@@ -1,0 +1,38 @@
+"""Fig. 10 — per-query execution time vs predicate overlap.
+
+Same workloads as Fig. 9.  Expected shape: even without partial loading,
+more overlap means more queries include a pushed-down predicate and gain
+from skipping (low: q0–q1; medium: q0–q3); high overlap pairs skipping
+with partial loading and is fastest across the board.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import emit, format_table, overlap_experiment
+
+PARAMS = config_for("winlog", n_records=4000, n_queries=5)
+
+
+def test_fig10_overlap_query(benchmark, tmp_path, results_dir):
+    def experiment():
+        return overlap_experiment(tmp_path, config=PARAMS["config"])
+
+    results = run_once(benchmark, experiment)
+    headers = ["query"] + [r.level for r in results] + ["baseline(low)"]
+    rows = []
+    for i in range(5):
+        row = [f"q{i}"]
+        row.extend(r.per_query_s[i] for r in results)
+        row.append(results[0].baseline.per_query_wall_s[i])
+        rows.append(row)
+    table = format_table(headers, rows)
+    emit("fig10_overlap_query", f"== Fig 10 ==\n{table}", results_dir)
+
+    by_level = {r.level: r.metrics for r in results}
+    # Covered-query counts rise with overlap (2 / 4 / 5 of 5).
+    assert by_level["low"].queries_using_skipping == 2
+    assert by_level["medium"].queries_using_skipping == 4
+    assert by_level["high"].queries_using_skipping == 5
+    # Total query time: high overlap is fastest.
+    totals = {level: m.query_wall_s for level, m in by_level.items()}
+    assert totals["high"] < totals["low"]

@@ -1,0 +1,40 @@
+"""Fig. 11 — data loading time and ratio vs predicate skewness.
+
+Paper setup: Windows log, 5-query workloads with skewness factor 0.0 /
+0.5 / 2.0, one predicate pushed.  Expected shape: only the highly skewed
+workload (the pushed predicate appears in every query) enables partial
+loading and cuts loading time.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import emit, format_table, skewness_experiment
+
+PARAMS = config_for("winlog", n_records=4000, n_queries=5)
+
+
+def test_fig11_skewness_loading(benchmark, tmp_path, results_dir):
+    def experiment():
+        return skewness_experiment(tmp_path, config=PARAMS["config"])
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        (r.level, r.loading_time_s, r.loading_ratio,
+         "yes" if r.metrics.partial_loading else "no")
+        for r in results
+    ]
+    table = format_table(
+        ["skewness", "loading time (s)", "loading ratio",
+         "partial loading"],
+        rows,
+    )
+    emit("fig11_skewness_loading", f"== Fig 11 ==\n{table}", results_dir)
+
+    by_level = {r.level: r for r in results}
+    assert by_level["skew=0.0"].loading_ratio == 1.0
+    assert by_level["skew=0.5"].loading_ratio == 1.0
+    assert by_level["skew=2.0"].loading_ratio < 0.6
+    assert (
+        by_level["skew=2.0"].loading_time_s
+        < by_level["skew=0.0"].loading_time_s
+    )

@@ -1,0 +1,35 @@
+"""Fig. 12 — per-query execution time vs predicate skewness.
+
+Same workloads as Fig. 11.  Expected shape: at skew 0.0 only q0 contains
+the pushed predicate and benefits; at 0.5 a couple of queries benefit; at
+2.0 every query contains it and all five drop.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import emit, format_table, skewness_experiment
+
+PARAMS = config_for("winlog", n_records=4000, n_queries=5)
+
+
+def test_fig12_skewness_query(benchmark, tmp_path, results_dir):
+    def experiment():
+        return skewness_experiment(tmp_path, config=PARAMS["config"])
+
+    results = run_once(benchmark, experiment)
+    headers = ["query"] + [r.level for r in results] + ["baseline(0.0)"]
+    rows = []
+    for i in range(5):
+        row = [f"q{i}"]
+        row.extend(r.per_query_s[i] for r in results)
+        row.append(results[0].baseline.per_query_wall_s[i])
+        rows.append(row)
+    table = format_table(headers, rows)
+    emit("fig12_skewness_query", f"== Fig 12 ==\n{table}", results_dir)
+
+    counts = [r.metrics.queries_using_skipping for r in results]
+    # 1 / 2 / 5 queries include the pushed predicate (paper: 1 / 3 / 5;
+    # our partition search lands on 2 for the middle level — same shape).
+    assert counts[0] == 1
+    assert counts == sorted(counts)
+    assert counts[-1] == 5

@@ -1,0 +1,54 @@
+"""Fig. 3 — end-to-end experiments on the Windows System Log dataset.
+
+Paper setup: workloads A/B/C (Table III), budgets 0–9 µs/record, stacked
+prefiltering / data loading / query time.  Expected shape: workload A
+partially loads even at tiny budgets and gains the most; B needs a larger
+budget before partial loading engages; C never partially loads but still
+gains query time on covered queries.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import (
+    BUDGET_GRIDS,
+    emit,
+    end_to_end_sweep,
+    headline_speedups,
+    metrics_table,
+    speedup_summary,
+)
+
+PARAMS = config_for("winlog", n_records=4000, n_queries=60)
+
+
+def test_fig3_winlog_end_to_end(benchmark, tmp_path, results_dir):
+    def experiment():
+        return end_to_end_sweep(
+            "winlog",
+            tmp_path,
+            config=PARAMS["config"],
+            n_queries=PARAMS["n_queries"],
+            budgets=BUDGET_GRIDS["winlog"],
+        )
+
+    sweep = run_once(benchmark, experiment)
+    sections = []
+    for label, runs in sweep.items():
+        sections.append(metrics_table(runs, f"Fig 3 — workload {label}"))
+        sections.append(speedup_summary(runs[0], runs[1:]))
+    best = headline_speedups(sweep)
+    sections.append(
+        "best speedups across Fig 3: "
+        f"loading {best['loading']:.1f}x, query {best['query']:.1f}x, "
+        f"end-to-end {best['end_to_end']:.1f}x"
+    )
+    emit("fig3_winlog_end_to_end", "\n\n".join(sections), results_dir)
+
+    runs_a = sweep["A"]
+    baseline = runs_a[0]
+    assert baseline.loading_ratio == 1.0
+    # Workload A partially loads at small budgets and beats the baseline.
+    engaged = [m for m in runs_a[1:] if m.partial_loading]
+    assert engaged, "workload A should enable partial loading"
+    assert min(m.loading_ratio for m in engaged) < 1.0
+    assert any(m.query_wall_s < baseline.query_wall_s for m in runs_a[1:])

@@ -1,0 +1,49 @@
+"""Fig. 4 — end-to-end experiments on the Yelp Review dataset.
+
+Budgets 0–50 µs/record (Yelp records are long, so predicate evaluation is
+pricier than on the log dataset); otherwise the Fig. 3 setup.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import (
+    BUDGET_GRIDS,
+    emit,
+    end_to_end_sweep,
+    headline_speedups,
+    metrics_table,
+    speedup_summary,
+)
+
+PARAMS = config_for("yelp", n_records=3000, n_queries=50)
+
+
+def test_fig4_yelp_end_to_end(benchmark, tmp_path, results_dir):
+    def experiment():
+        return end_to_end_sweep(
+            "yelp",
+            tmp_path,
+            config=PARAMS["config"],
+            n_queries=PARAMS["n_queries"],
+            budgets=BUDGET_GRIDS["yelp"],
+        )
+
+    sweep = run_once(benchmark, experiment)
+    sections = []
+    for label, runs in sweep.items():
+        sections.append(metrics_table(runs, f"Fig 4 — workload {label}"))
+        sections.append(speedup_summary(runs[0], runs[1:]))
+    best = headline_speedups(sweep)
+    sections.append(
+        "best speedups across Fig 4: "
+        f"loading {best['loading']:.1f}x, query {best['query']:.1f}x, "
+        f"end-to-end {best['end_to_end']:.1f}x"
+    )
+    emit("fig4_yelp_end_to_end", "\n\n".join(sections), results_dir)
+
+    for label, runs in sweep.items():
+        baseline = runs[0]
+        assert baseline.budget_us == 0
+        # Larger budgets push at least as many predicates.
+        pushed = [m.n_pushed for m in runs]
+        assert pushed == sorted(pushed), label

@@ -1,0 +1,48 @@
+"""Fig. 5 — end-to-end experiments on the YCSB customer dataset.
+
+Budgets 0–125 µs/record.  YCSB records carry 25 attributes with nested
+structures, so the loading (full-parse) cost dominates and partial loading
+has the most room; workload C (uniform) is the paper's "challenging" case
+where the aggregate numbers barely move — Fig. 6 then drills into it.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import (
+    BUDGET_GRIDS,
+    emit,
+    end_to_end_sweep,
+    headline_speedups,
+    metrics_table,
+    speedup_summary,
+)
+
+PARAMS = config_for("ycsb", n_records=2500, n_queries=50)
+
+
+def test_fig5_ycsb_end_to_end(benchmark, tmp_path, results_dir):
+    def experiment():
+        return end_to_end_sweep(
+            "ycsb",
+            tmp_path,
+            config=PARAMS["config"],
+            n_queries=PARAMS["n_queries"],
+            budgets=BUDGET_GRIDS["ycsb"],
+        )
+
+    sweep = run_once(benchmark, experiment)
+    sections = []
+    for label, runs in sweep.items():
+        sections.append(metrics_table(runs, f"Fig 5 — workload {label}"))
+        sections.append(speedup_summary(runs[0], runs[1:]))
+    best = headline_speedups(sweep)
+    sections.append(
+        "best speedups across Fig 5: "
+        f"loading {best['loading']:.1f}x, query {best['query']:.1f}x, "
+        f"end-to-end {best['end_to_end']:.1f}x"
+    )
+    emit("fig5_ycsb_end_to_end", "\n\n".join(sections), results_dir)
+
+    # The paper's observation: C's aggregate result shows little partial
+    # loading; A engages it.
+    assert any(m.partial_loading for m in sweep["A"][1:])

@@ -1,0 +1,37 @@
+"""Fig. 8 — per-query execution time vs predicate selectivity.
+
+Same workloads as Fig. 7; reports q0–q4 execution times per selectivity
+level.  Expected shape: lower selectivity (0.01) skips more tuples, so
+every query runs faster than at 0.35.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import emit, format_table, selectivity_experiment
+
+PARAMS = config_for("winlog", n_records=4000, n_queries=5)
+
+
+def test_fig8_selectivity_query(benchmark, tmp_path, results_dir):
+    def experiment():
+        return selectivity_experiment(tmp_path, config=PARAMS["config"])
+
+    results = run_once(benchmark, experiment)
+    headers = ["query"] + [r.level for r in results] + ["baseline(0.35)"]
+    rows = []
+    for i in range(5):
+        row = [f"q{i}"]
+        row.extend(r.per_query_s[i] for r in results)
+        row.append(results[0].baseline.per_query_wall_s[i])
+        rows.append(row)
+    table = format_table(headers, rows)
+    emit("fig8_selectivity_query", f"== Fig 8 ==\n{table}", results_dir)
+
+    # Per-query times at selectivity 0.01 beat those at 0.35.
+    high, low = results[0], results[-1]
+    faster = sum(
+        1 for a, b in zip(low.per_query_s, high.per_query_s) if a < b
+    )
+    assert faster >= 4
+    # And CIAO beats the baseline at the most selective level.
+    assert sum(low.per_query_s) < sum(low.baseline.per_query_wall_s)

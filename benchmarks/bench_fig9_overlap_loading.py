@@ -1,0 +1,39 @@
+"""Fig. 9 — data loading time and ratio vs predicate overlap.
+
+Paper setup: Windows log, 5-query workloads with 1 / 2 / 4 conjunctive
+predicates per query (low / medium / high overlap), two predicates pushed.
+Expected shape: low and medium overlap cannot enable partial loading
+(loading ratio 1.0, time ≈ baseline); high overlap covers every query and
+loading time drops drastically.
+"""
+
+from conftest import config_for, run_once
+
+from repro.bench import emit, format_table, overlap_experiment
+
+PARAMS = config_for("winlog", n_records=4000, n_queries=5)
+
+
+def test_fig9_overlap_loading(benchmark, tmp_path, results_dir):
+    def experiment():
+        return overlap_experiment(tmp_path, config=PARAMS["config"])
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        (r.level, r.loading_time_s, r.loading_ratio,
+         "yes" if r.metrics.partial_loading else "no")
+        for r in results
+    ]
+    table = format_table(
+        ["overlap", "loading time (s)", "loading ratio", "partial loading"],
+        rows,
+    )
+    emit("fig9_overlap_loading", f"== Fig 9 ==\n{table}", results_dir)
+
+    by_level = {r.level: r for r in results}
+    assert by_level["low"].loading_ratio == 1.0
+    assert by_level["medium"].loading_ratio == 1.0
+    assert by_level["high"].loading_ratio < 0.6
+    assert (
+        by_level["high"].loading_time_s < by_level["low"].loading_time_s
+    )

@@ -1,0 +1,55 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Scale: the paper ran 5–27 GB datasets; these benches default to
+laptop-scale record counts so the whole suite finishes in minutes.  Set
+``REPRO_SCALE`` (a float multiplier, e.g. ``REPRO_SCALE=10``) to run
+larger.  Every bench prints the paper-style series and archives it under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentConfig
+
+#: Global record-count multiplier.
+SCALE = float(os.environ.get("REPRO_SCALE", "1"))
+
+#: Where bench outputs are archived.
+RESULTS = Path(__file__).parent / "results"
+
+
+def config_for(dataset: str, n_records: int, n_queries: int,
+               chunk_size: int = 500) -> dict:
+    """Standard (config, n_queries) pair for an end-to-end bench."""
+    return {
+        "config": ExperimentConfig(
+            dataset=dataset,
+            n_records=n_records,
+            chunk_size=chunk_size,
+            sample_size=min(2000, n_records),
+            scale=SCALE,
+        ),
+        "n_queries": max(5, int(n_queries * min(SCALE, 1.0) + 0.5))
+        if SCALE < 1 else n_queries,
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Archive directory for bench outputs."""
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    return RESULTS
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    The experiments are minutes-scale deterministic pipelines; multiple
+    rounds would add nothing but wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""CIAO over CSV: no-parse filtering on a second text format.
+
+The paper notes the approach "can also be applied to other text-based data
+formats, like CSV" (§IV-A).  This example runs the client side of CIAO on
+CSV lines: sensors emit CSV, the pushed-down predicates compile to
+CSV-aware anchored patterns (``repro.rawcsv``), and the client produces
+the same per-predicate bit-vectors as the JSON pipeline — without parsing
+a single line.  The server boundary then decodes only the records the
+load mask selects.
+
+Run:  python examples/csv_pipeline.py
+"""
+
+import time
+
+from repro.bitvec import BitVector
+from repro.core import clause, exact, key_value, substring
+from repro.data import make_generator
+from repro.rawcsv import CsvCodec, compile_csv_clause
+
+N_RECORDS = 20_000
+
+#: The winlog dataset re-framed as a CSV feed.
+CODEC = CsvCodec(
+    ["event_id", "time", "level", "component", "info"],
+    types={"event_id": int},
+)
+
+PUSHED = [
+    clause(exact("component", "WuaEng")),
+    clause(substring("info", "evt012")),
+    clause(exact("level", "Critical")),
+]
+
+
+def main() -> None:
+    generator = make_generator("winlog", seed=77)
+    records = list(generator.generate(N_RECORDS))
+    lines = [CODEC.encode_record(r) for r in records]
+    payload_mb = sum(len(l) for l in lines) / 1e6
+    print(
+        f"{N_RECORDS} log events as CSV ({payload_mb:.1f} MB); pushing "
+        f"{len(PUSHED)} predicates:"
+    )
+    for c in PUSHED:
+        print(f"  {c.sql()}")
+
+    compiled = [compile_csv_clause(c, CODEC) for c in PUSHED]
+    start = time.perf_counter()
+    vectors = []
+    for cc in compiled:
+        bv = BitVector(len(lines))
+        for i, line in enumerate(lines):
+            if cc.match(line):
+                bv.set(i)
+        vectors.append(bv)
+    elapsed = time.perf_counter() - start
+    print(
+        f"\nClient matching: {elapsed * 1e6 / N_RECORDS:.2f} µs/record "
+        f"({N_RECORDS / elapsed / 1e6:.1f} M records/s) — no parsing"
+    )
+
+    # The load mask: records worth decoding at the server.
+    mask = vectors[0].copy()
+    for bv in vectors[1:]:
+        mask.union_update(bv)
+    selected = list(mask.iter_set())
+    print(
+        f"Load mask selects {len(selected)} of {N_RECORDS} records "
+        f"(ratio {len(selected) / N_RECORDS:.3f})"
+    )
+
+    start = time.perf_counter()
+    decoded = [CODEC.decode_line(lines[i]) for i in selected]
+    partial = time.perf_counter() - start
+    start = time.perf_counter()
+    for line in lines:
+        CODEC.decode_line(line)
+    full = time.perf_counter() - start
+    print(
+        f"Decoding selected records: {partial:.2f}s vs full decode "
+        f"{full:.2f}s → {full / max(partial, 1e-9):.1f}x loading speedup"
+    )
+
+    # One-sided error check against ground truth, for the skeptical.
+    for c, bv in zip(PUSHED, vectors):
+        semantic = sum(1 for r in records if c.evaluate(r))
+        raw = bv.count()
+        assert raw >= semantic, "false negative!"
+        print(
+            f"  {c.sql():<35} semantic={semantic:<6} raw={raw:<6} "
+            f"(false positives: {raw - semantic})"
+        )
+
+
+if __name__ == "__main__":
+    main()

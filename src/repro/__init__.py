@@ -1,0 +1,101 @@
+"""CIAO: an optimization framework for client-assisted data loading.
+
+A from-scratch Python reproduction of Ding et al., ICDE 2021
+(arXiv:2102.11793).  Clients evaluate pushed-down string predicates on raw
+JSON without parsing it, ship per-predicate bit-vectors with each chunk,
+and the server uses them for partial loading and query-time data skipping.
+Which predicates to push is a budgeted submodular maximization solved with
+the paper's paired greedy algorithms.
+
+Quickstart::
+
+    from repro import (
+        Budget, CiaoOptimizer, CiaoServer, CostModel,
+        DEFAULT_COEFFICIENTS, SimulatedClient,
+    )
+    from repro.data import make_generator
+    from repro.workload import estimate_selectivities, table3_workload
+
+    gen = make_generator("yelp", seed=7)
+    workload = table3_workload("yelp", "A", seed=7)
+    sels = estimate_selectivities(workload.candidate_pool, gen.sample(2000))
+    model = CostModel(DEFAULT_COEFFICIENTS, gen.average_record_length())
+    plan = CiaoOptimizer(workload, sels, model).plan(Budget(1.0))
+
+    server = CiaoServer("data/", plan=plan, workload=workload)
+    client = SimulatedClient("sensor-0", plan=plan)
+    for chunk in client.process(gen.raw_lines(10_000)):
+        server.ingest(chunk)
+    result = server.query(workload.queries[0].sql("t"))
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .core import (
+    APPROXIMATION_GUARANTEE,
+    Budget,
+    CiaoOptimizer,
+    Clause,
+    ClientProfile,
+    CostCoefficients,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+    PredicateKind,
+    PushdownEntry,
+    PushdownPlan,
+    Query,
+    SelectionObjective,
+    SelectionResult,
+    SimplePredicate,
+    UnsupportedPredicateError,
+    Workload,
+    allocate_budgets,
+    clause,
+    exact,
+    key_present,
+    key_value,
+    prefix,
+    select_predicates,
+    substring,
+    suffix,
+)
+from .client import ClientEvaluator, SimulatedClient
+from .server import CiaoServer, ClientAssistedLoader, EagerLoader
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPROXIMATION_GUARANTEE",
+    "Budget",
+    "CiaoOptimizer",
+    "CiaoServer",
+    "Clause",
+    "ClientAssistedLoader",
+    "ClientEvaluator",
+    "ClientProfile",
+    "CostCoefficients",
+    "CostModel",
+    "DEFAULT_COEFFICIENTS",
+    "EagerLoader",
+    "PredicateKind",
+    "PushdownEntry",
+    "PushdownPlan",
+    "Query",
+    "SelectionObjective",
+    "SelectionResult",
+    "SimplePredicate",
+    "SimulatedClient",
+    "UnsupportedPredicateError",
+    "Workload",
+    "__version__",
+    "allocate_budgets",
+    "clause",
+    "exact",
+    "key_present",
+    "key_value",
+    "prefix",
+    "select_predicates",
+    "substring",
+    "suffix",
+]

@@ -1,0 +1,46 @@
+"""Benchmark harness: the end-to-end runner, per-figure experiments, and
+paper-style reporting."""
+
+from .experiments import (
+    BUDGET_GRIDS,
+    CalibrationRow,
+    FIG6_BUDGETS,
+    MicroResult,
+    cost_model_experiment,
+    end_to_end_sweep,
+    headline_speedups,
+    overlap_experiment,
+    selectivity_experiment,
+    skewness_experiment,
+    skipping_benefit_sweep,
+)
+from .reporting import (
+    RESULTS_DIR,
+    emit,
+    format_table,
+    metrics_table,
+    speedup_summary,
+)
+from .runner import EndToEndRunner, ExperimentConfig, RunMetrics
+
+__all__ = [
+    "BUDGET_GRIDS",
+    "CalibrationRow",
+    "EndToEndRunner",
+    "ExperimentConfig",
+    "FIG6_BUDGETS",
+    "MicroResult",
+    "RESULTS_DIR",
+    "RunMetrics",
+    "cost_model_experiment",
+    "emit",
+    "end_to_end_sweep",
+    "format_table",
+    "headline_speedups",
+    "metrics_table",
+    "overlap_experiment",
+    "selectivity_experiment",
+    "skewness_experiment",
+    "skipping_benefit_sweep",
+    "speedup_summary",
+]

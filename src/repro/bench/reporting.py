@@ -1,0 +1,114 @@
+"""Paper-style tables and series for the benchmark harness.
+
+Each bench prints (and archives under ``benchmarks/results/``) the rows or
+series the corresponding paper table/figure reports, so the reproduction
+can be compared against the original side by side.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, List, Optional, Sequence
+
+from .runner import RunMetrics
+
+#: Where benches archive their printed output.
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table."""
+    columns = [
+        [str(h)] + [_fmt(row[i]) for row in rows]
+        for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _fmt(cell).ljust(w) for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100 or value == int(value):
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def metrics_table(runs: Sequence[RunMetrics],
+                  title: str = "") -> str:
+    """The standard end-to-end run table (one row per budget)."""
+    headers = [
+        "run", "budget(µs)", "#pushed", "partial", "covered",
+        "prefilter(s)", "prefilter-wall(s)", "loading(s)", "load-ratio",
+        "query(s)", "e2e(s)", "skip-queries",
+    ]
+    rows = []
+    for m in runs:
+        rows.append(
+            [
+                m.label,
+                m.budget_us,
+                m.n_pushed,
+                "yes" if m.partial_loading else "no",
+                f"{m.covered_queries}/{m.total_queries}",
+                m.prefilter_model_s,
+                m.prefilter_wall_s,
+                m.loading_wall_s,
+                m.loading_ratio,
+                m.query_wall_s,
+                m.end_to_end_wall_s,
+                m.queries_benefiting,
+            ]
+        )
+    table = format_table(headers, rows)
+    if title:
+        table = f"== {title} ==\n{table}"
+    return table
+
+
+def speedup_summary(baseline: RunMetrics,
+                    runs: Sequence[RunMetrics]) -> str:
+    """Loading / query / end-to-end speedups vs the zero-budget baseline."""
+    lines = ["speedups vs baseline (budget 0):"]
+    for m in runs:
+        load = _ratio(baseline.loading_wall_s, m.loading_wall_s)
+        query = _ratio(baseline.query_wall_s, m.query_wall_s)
+        e2e = _ratio(baseline.end_to_end_wall_s, m.end_to_end_wall_s)
+        lines.append(
+            f"  {m.label}: loading {load}, query {query}, end-to-end {e2e}"
+        )
+    return "\n".join(lines)
+
+
+def _ratio(base: float, new: float) -> str:
+    if new <= 0:
+        return "inf"
+    return f"{base / new:.1f}x"
+
+
+def emit(name: str, text: str,
+         results_dir: Optional[Path] = None) -> Path:
+    """Print *text* and archive it under the results directory."""
+    print()
+    print(text)
+    directory = results_dir or RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

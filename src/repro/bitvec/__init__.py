@@ -1,0 +1,12 @@
+"""Bit-vector substrate: packed and run-length encoded validity vectors."""
+
+from .bitvector import BitVector, intersect_all, union_all
+from .rle import RleBitVector, best_encoding
+
+__all__ = [
+    "BitVector",
+    "RleBitVector",
+    "best_encoding",
+    "intersect_all",
+    "union_all",
+]

@@ -1,0 +1,307 @@
+"""Packed bit-vectors used to annotate JSON chunks with predicate validity.
+
+CIAO clients produce one :class:`BitVector` per pushed-down predicate per
+chunk (bit ``1`` = the record *may* satisfy the predicate, bit ``0`` = the
+record definitely does not).  The server unions them to decide which records
+to load and intersects them to skip tuples at query time, so the hot
+operations here are ``|``, ``&``, ``count`` and ``iter_set``.
+
+Bits are packed little-endian within each byte: bit ``i`` lives at
+``data[i // 8] >> (i % 8) & 1``.  All logical operators require equal-length
+operands; mixing chunk sizes is a logic error and raises ``ValueError``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
+
+
+class BitVector:
+    """A fixed-length sequence of bits with fast bulk logical operations.
+
+    >>> bv = BitVector.from_bits([1, 0, 1, 1])
+    >>> bv.count()
+    3
+    >>> list(bv.iter_set())
+    [0, 2, 3]
+    """
+
+    __slots__ = ("_length", "_data")
+
+    def __init__(self, length: int, data: bytearray | bytes | None = None):
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        self._length = length
+        nbytes = (length + 7) // 8
+        if data is None:
+            self._data = bytearray(nbytes)
+        else:
+            if len(data) != nbytes:
+                raise ValueError(
+                    f"need {nbytes} bytes for {length} bits, got {len(data)}"
+                )
+            self._data = bytearray(data)
+            self._mask_tail()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, length: int) -> "BitVector":
+        """A vector of *length* cleared bits."""
+        return cls(length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        """A vector of *length* set bits."""
+        bv = cls(length)
+        for i in range(len(bv._data)):
+            bv._data[i] = 0xFF
+        bv._mask_tail()
+        return bv
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int] | Iterable[int]) -> "BitVector":
+        """Build from an iterable of truthy/falsy values."""
+        bits = list(bits)
+        bv = cls(len(bits))
+        for i, bit in enumerate(bits):
+            if bit:
+                bv._data[i >> 3] |= 1 << (i & 7)
+        return bv
+
+    @classmethod
+    def from_indices(cls, length: int, indices: Iterable[int]) -> "BitVector":
+        """Build a *length*-bit vector with the given positions set."""
+        bv = cls(length)
+        for i in indices:
+            bv.set(i)
+        return bv
+
+    @classmethod
+    def from_bools(cls, bools: Iterable[bool]) -> "BitVector":
+        """Alias of :meth:`from_bits` reading better at call sites."""
+        return cls.from_bits(bools)
+
+    # ------------------------------------------------------------------
+    # Single-bit access
+    # ------------------------------------------------------------------
+    def set(self, index: int, value: bool = True) -> None:
+        """Set (or clear, with ``value=False``) bit *index*."""
+        self._check_index(index)
+        if value:
+            self._data[index >> 3] |= 1 << (index & 7)
+        else:
+            self._data[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def clear(self, index: int) -> None:
+        """Clear bit *index*."""
+        self.set(index, False)
+
+    def get(self, index: int) -> bool:
+        """Return bit *index* as a bool."""
+        self._check_index(index)
+        return bool(self._data[index >> 3] >> (index & 7) & 1)
+
+    def __getitem__(self, index: int) -> bool:
+        if isinstance(index, slice):
+            raise TypeError("use .slice(start, stop) for sub-vectors")
+        if index < 0:
+            index += self._length
+        return self.get(index)
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        if index < 0:
+            index += self._length
+        self.set(index, bool(value))
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        combined = int.from_bytes(self._data, "little") & int.from_bytes(
+            other._data, "little"
+        )
+        return self._from_int(combined)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        combined = int.from_bytes(self._data, "little") | int.from_bytes(
+            other._data, "little"
+        )
+        return self._from_int(combined)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        combined = int.from_bytes(self._data, "little") ^ int.from_bytes(
+            other._data, "little"
+        )
+        return self._from_int(combined)
+
+    def _from_int(self, value: int) -> "BitVector":
+        out = BitVector(self._length)
+        out._data = bytearray(value.to_bytes(len(self._data), "little"))
+        out._mask_tail()
+        return out
+
+    def __invert__(self) -> "BitVector":
+        out = BitVector(self._length)
+        out._data = bytearray((~b) & 0xFF for b in self._data)
+        out._mask_tail()
+        return out
+
+    def intersect_update(self, other: "BitVector") -> None:
+        """In-place AND, avoiding an allocation on the hot skipping path."""
+        self._check_compatible(other)
+        for i, byte in enumerate(other._data):
+            self._data[i] &= byte
+
+    def union_update(self, other: "BitVector") -> None:
+        """In-place OR, used when folding per-predicate vectors for loading."""
+        self._check_compatible(other)
+        for i, byte in enumerate(other._data):
+            self._data[i] |= byte
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        return sum(_POPCOUNT[b] for b in self._data)
+
+    def any(self) -> bool:
+        """True if at least one bit is set."""
+        return any(self._data)
+
+    def all(self) -> bool:
+        """True if every bit is set."""
+        return self.count() == self._length
+
+    def density(self) -> float:
+        """Fraction of set bits; 0.0 for the empty vector."""
+        if self._length == 0:
+            return 0.0
+        return self.count() / self._length
+
+    def iter_set(self) -> Iterator[int]:
+        """Yield the indices of set bits in increasing order."""
+        for byte_index, byte in enumerate(self._data):
+            while byte:
+                low = byte & -byte
+                yield (byte_index << 3) + low.bit_length() - 1
+                byte ^= low
+
+    def to_bits(self) -> List[int]:
+        """Expand to a list of 0/1 ints (small vectors / tests only)."""
+        return [1 if self.get(i) else 0 for i in range(self._length)]
+
+    def slice(self, start: int, stop: int) -> "BitVector":
+        """Copy of bits ``[start, stop)`` as a new vector."""
+        if not 0 <= start <= stop <= self._length:
+            raise ValueError(f"bad slice [{start}, {stop}) of {self._length} bits")
+        out = BitVector(stop - start)
+        for offset, i in enumerate(range(start, stop)):
+            if self.get(i):
+                out.set(offset)
+        return out
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """New vector holding ``self`` followed by ``other``."""
+        out = BitVector(self._length + other._length)
+        for i in self.iter_set():
+            out.set(i)
+        for i in other.iter_set():
+            out.set(self._length + i)
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization (wire format for the client/server protocol)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize as ``<u32 length little-endian><packed payload>``."""
+        return self._length.to_bytes(4, "little") + bytes(self._data)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BitVector":
+        """Inverse of :meth:`to_bytes`; validates the payload size."""
+        if len(raw) < 4:
+            raise ValueError("bit-vector payload shorter than its header")
+        length = int.from_bytes(raw[:4], "little")
+        return cls(length, raw[4:])
+
+    def serialized_size(self) -> int:
+        """Byte size :meth:`to_bytes` will produce (header + payload)."""
+        return 4 + len(self._data)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._length == other._length and self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash((self._length, bytes(self._data)))
+
+    def __repr__(self) -> str:
+        if self._length <= 64:
+            bits = "".join(str(b) for b in self.to_bits())
+            return f"BitVector({bits!r})"
+        return f"BitVector(length={self._length}, set={self.count()})"
+
+    def copy(self) -> "BitVector":
+        """Independent copy."""
+        return BitVector(self._length, bytes(self._data))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _mask_tail(self) -> None:
+        tail = self._length & 7
+        if tail and self._data:
+            self._data[-1] &= (1 << tail) - 1
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._length:
+            raise IndexError(f"bit {index} out of range for {self._length} bits")
+
+    def _check_compatible(self, other: "BitVector") -> None:
+        if self._length != other._length:
+            raise ValueError(
+                f"length mismatch: {self._length} vs {other._length} bits"
+            )
+
+
+def intersect_all(vectors: Sequence[BitVector]) -> BitVector:
+    """AND a non-empty sequence of equal-length vectors.
+
+    This is the data-skipping primitive: a query's conjunctive predicates map
+    to one vector each and a tuple survives only if *every* vector agrees.
+    """
+    if not vectors:
+        raise ValueError("intersect_all needs at least one vector")
+    out = vectors[0].copy()
+    for vec in vectors[1:]:
+        out.intersect_update(vec)
+    return out
+
+
+def union_all(vectors: Sequence[BitVector]) -> BitVector:
+    """OR a non-empty sequence of equal-length vectors.
+
+    This is the partial-loading primitive: a record is loaded if it is valid
+    for *at least one* pushed-down predicate.
+    """
+    if not vectors:
+        raise ValueError("union_all needs at least one vector")
+    out = vectors[0].copy()
+    for vec in vectors[1:]:
+        out.union_update(vec)
+    return out

@@ -1,0 +1,23 @@
+"""Client-side substrate: raw-record evaluation, chunk protocol, devices."""
+
+from .device import ClientStats, SimulatedClient
+from .evaluator import ClientEvaluator, EvaluationReport
+from .protocol import (
+    MAGIC,
+    ProtocolError,
+    bitvector_overhead,
+    decode_chunk,
+    encode_chunk,
+)
+
+__all__ = [
+    "ClientEvaluator",
+    "ClientStats",
+    "EvaluationReport",
+    "MAGIC",
+    "ProtocolError",
+    "SimulatedClient",
+    "bitvector_overhead",
+    "decode_chunk",
+    "encode_chunk",
+]

@@ -1,0 +1,102 @@
+"""A simulated client device (edge sensor / log shipper).
+
+The device consumes raw records, batches them into chunks, runs the
+pushdown plan's predicates, and emits encoded chunks onto a channel.  It
+keeps a ledger of the client-side cost in both axes: wall-clock (what this
+Python process actually spent matching) and modeled µs (what the calibrated
+cost model charges — the number the budget constrains).
+
+A ``speed_factor`` < 1 makes the device an under-powered client: its
+*virtual* cost is scaled up accordingly, which is how heterogeneous-client
+experiments exercise :func:`repro.core.budgets.allocate_budgets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from ..core.optimizer import PushdownPlan
+from ..rawjson.chunks import DEFAULT_CHUNK_SIZE, JsonChunk, chunk_records
+from ..simulate.network import Channel
+from .evaluator import ClientEvaluator, EvaluationReport
+from .protocol import encode_chunk
+
+
+@dataclass
+class ClientStats:
+    """Cumulative device accounting."""
+
+    records: int = 0
+    chunks: int = 0
+    wall_seconds: float = 0.0
+    modeled_us: float = 0.0
+    bytes_sent: int = 0
+
+    def modeled_us_per_record(self) -> float:
+        """Average modeled per-record cost — the budget's unit."""
+        return self.modeled_us / self.records if self.records else 0.0
+
+
+class SimulatedClient:
+    """One data-producing client executing a pushdown plan.
+
+    Args:
+        client_id: Identifier, for multi-client experiments.
+        plan: The pushdown plan (None/empty = annotate nothing; the
+            zero-budget baseline).
+        chunk_size: Records per chunk (paper default 1 000).
+        speed_factor: Relative device speed; modeled cost scales by 1/f.
+    """
+
+    def __init__(self, client_id: str,
+                 plan: Optional[PushdownPlan] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 speed_factor: float = 1.0):
+        if speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+        self.client_id = client_id
+        self.plan = plan
+        self.chunk_size = chunk_size
+        self.speed_factor = speed_factor
+        self._evaluator = (
+            ClientEvaluator(plan.entries) if plan and len(plan) else None
+        )
+        self.stats = ClientStats()
+
+    def process(self, raw_records: Iterable[str]) -> Iterator[JsonChunk]:
+        """Batch, annotate, and yield chunks (not yet encoded)."""
+        for chunk in chunk_records(raw_records, self.chunk_size):
+            if self._evaluator is not None:
+                report = self._evaluator.annotate(chunk)
+                self._account(report)
+            self.stats.records += len(chunk)
+            self.stats.chunks += 1
+            yield chunk
+
+    def ship(self, raw_records: Iterable[str], channel: Channel) -> int:
+        """Process records and send encoded chunks; returns chunk count."""
+        sent = 0
+        for chunk in self.process(raw_records):
+            payload = encode_chunk(chunk)
+            self.stats.bytes_sent += len(payload)
+            channel.send(payload)
+            sent += 1
+        return sent
+
+    def _account(self, report: EvaluationReport) -> None:
+        self.stats.wall_seconds += report.wall_seconds
+        self.stats.modeled_us += report.modeled_us / self.speed_factor
+
+    def budget_respected(self, tolerance: float = 1e-9) -> bool:
+        """Did average modeled cost stay within the plan's budget?
+
+        The plan's budget is expressed in calibrated-machine µs, so the
+        device's speed-scaled ledger is rescaled back before comparing.
+        Vacuously true with no plan.  The optimizer guarantees this by
+        construction; integration tests assert it end to end.
+        """
+        if self.plan is None or self.stats.records == 0:
+            return True
+        calibrated_us = self.stats.modeled_us_per_record() * self.speed_factor
+        return calibrated_us <= self.plan.budget.us + tolerance

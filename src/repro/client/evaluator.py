@@ -1,0 +1,70 @@
+"""Client-side predicate evaluation: raw records → bit-vectors.
+
+This is the code that runs "on the sensor": for every pushed-down predicate
+it runs the compiled pattern matcher over each raw record and packs the
+outcomes into one bit-vector per predicate (paper §IV).  No JSON parsing
+happens here — that is the whole point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..bitvec.bitvector import BitVector
+from ..core.optimizer import PushdownEntry
+from ..rawjson.chunks import JsonChunk
+
+
+@dataclass
+class EvaluationReport:
+    """Per-chunk accounting from the evaluator."""
+
+    records: int = 0
+    predicates: int = 0
+    matches: Dict[int, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    modeled_us: float = 0.0
+
+    def modeled_us_per_record(self) -> float:
+        """Modeled client cost per record — compare against the budget."""
+        if self.records == 0:
+            return 0.0
+        return self.modeled_us / self.records
+
+
+class ClientEvaluator:
+    """Evaluate a pushdown plan's predicates over raw JSON records."""
+
+    def __init__(self, entries: Sequence[PushdownEntry]):
+        self._entries = list(entries)
+        self._matchers: List[Callable[[str], bool]] = [
+            entry.compiled.matcher() for entry in self._entries
+        ]
+
+    @property
+    def predicate_ids(self) -> List[int]:
+        """Ids this evaluator annotates."""
+        return [entry.predicate_id for entry in self._entries]
+
+    def annotate(self, chunk: JsonChunk) -> EvaluationReport:
+        """Attach one bit-vector per pushed predicate to *chunk*."""
+        report = EvaluationReport(
+            records=len(chunk.records), predicates=len(self._entries)
+        )
+        start = time.perf_counter()
+        for entry, matcher in zip(self._entries, self._matchers):
+            bv = BitVector(len(chunk.records))
+            hits = 0
+            for i, raw in enumerate(chunk.records):
+                if matcher(raw):
+                    bv.set(i)
+                    hits += 1
+            chunk.attach(entry.predicate_id, bv)
+            report.matches[entry.predicate_id] = hits
+        report.wall_seconds = time.perf_counter() - start
+        report.modeled_us = len(chunk.records) * sum(
+            entry.cost_us for entry in self._entries
+        )
+        return report

@@ -1,0 +1,212 @@
+"""Adaptive replanning under workload drift (extension).
+
+The paper estimates query frequencies "based on historical statistics" and
+plans once.  Real workloads drift: the dashboards of interest change, new
+predicates become hot, old ones go cold.  This module closes the loop:
+
+* :class:`FrequencyTracker` observes executed queries and maintains
+  exponentially-decayed frequency estimates — recent queries dominate;
+* :class:`AdaptiveReplanner` periodically re-solves the selection problem
+  against the tracked workload and proposes a new pushdown plan when the
+  expected benefit gap justifies it.
+
+Predicate-id stability: clauses retained across replans keep their ids, so
+bit-vectors already stored in Parquet-lite metadata remain valid; only new
+clauses receive fresh ids.  Queries over clauses whose vectors predate a
+replan fall back to full scans of the affected row groups (the engine's
+missing-vector rule), never to wrong answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from .budgets import Budget
+from .cost_model import CostModel
+from .objective import SelectionObjective
+from .optimizer import PushdownEntry, PushdownPlan
+from .patterns import compile_clause
+from .predicates import Clause, Query, Workload
+from .selection import select_predicates
+
+#: Type of the callback supplying selectivity estimates for clause sets.
+SelectivityProvider = Callable[[Iterable[Clause]], Mapping[Clause, float]]
+
+
+class FrequencyTracker:
+    """Exponentially-decayed query-frequency estimates.
+
+    Each observation multiplies every existing weight by ``decay`` and
+    adds 1 to the observed query's weight, so a query observed ``k``
+    times in the recent past has weight ≈ k while long-unseen queries
+    decay toward zero and are eventually dropped.
+    """
+
+    def __init__(self, decay: float = 0.98,
+                 prune_below: float = 1e-3):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if prune_below < 0:
+            raise ValueError("prune threshold must be non-negative")
+        self._decay = decay
+        self._prune_below = prune_below
+        self._weights: Dict[frozenset, float] = {}
+        self._names: Dict[frozenset, str] = {}
+        self._observations = 0
+
+    @property
+    def observations(self) -> int:
+        """Total queries observed."""
+        return self._observations
+
+    def observe(self, query: Query) -> None:
+        """Record one executed query."""
+        key = query.clause_set
+        for other in list(self._weights):
+            self._weights[other] *= self._decay
+            if self._weights[other] < self._prune_below:
+                del self._weights[other]
+                self._names.pop(other, None)
+        self._weights[key] = self._weights.get(key, 0.0) + 1.0
+        self._names.setdefault(key, query.name or f"q{len(self._names)}")
+        self._observations += 1
+
+    def distinct_queries(self) -> int:
+        """Number of distinct (non-pruned) query shapes tracked."""
+        return len(self._weights)
+
+    def estimated_workload(self, dataset: str = "") -> Workload:
+        """The tracked queries as a frequency-weighted workload."""
+        if not self._weights:
+            raise ValueError("no queries observed yet")
+        queries = tuple(
+            Query(tuple(clauses), frequency=weight,
+                  name=self._names[clauses])
+            for clauses, weight in sorted(
+                self._weights.items(),
+                key=lambda item: -item[1],
+            )
+        )
+        return Workload(queries, dataset=dataset)
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """Outcome of one replanning evaluation."""
+
+    current_benefit: float
+    candidate_benefit: float
+    replanned: bool
+    plan: Optional[PushdownPlan]
+
+    @property
+    def benefit_gap(self) -> float:
+        """How much f(S) the candidate plan adds under current traffic."""
+        return self.candidate_benefit - self.current_benefit
+
+
+class AdaptiveReplanner:
+    """Re-solve predicate selection as the observed workload drifts."""
+
+    def __init__(self,
+                 cost_model: CostModel,
+                 selectivity_provider: SelectivityProvider,
+                 budget: Budget,
+                 tracker: Optional[FrequencyTracker] = None,
+                 min_observations: int = 20):
+        self.cost_model = cost_model
+        self.selectivity_provider = selectivity_provider
+        self.budget = budget
+        self.tracker = tracker or FrequencyTracker()
+        self.min_observations = min_observations
+        self.current_plan: Optional[PushdownPlan] = None
+        self._next_id = 0
+
+    def observe(self, query: Query) -> None:
+        """Feed one executed query into the tracker."""
+        self.tracker.observe(query)
+
+    def adopt(self, plan: PushdownPlan) -> None:
+        """Register an externally produced initial plan."""
+        self.current_plan = plan
+        if plan.predicate_ids:
+            self._next_id = max(self._next_id,
+                                max(plan.predicate_ids) + 1)
+
+    def evaluate(self) -> ReplanDecision:
+        """Plan against tracked traffic and compare with the current plan.
+
+        Does not mutate state; :meth:`maybe_replan` applies the decision.
+        """
+        workload = self.tracker.estimated_workload()
+        pool = list(workload.candidate_pool)
+        current_clauses = (
+            [e.clause for e in self.current_plan.entries]
+            if self.current_plan is not None else []
+        )
+        all_clauses = list(dict.fromkeys(pool + current_clauses))
+        selectivities = dict(self.selectivity_provider(all_clauses))
+        objective = SelectionObjective(workload, {
+            c: selectivities[c] for c in pool
+        })
+        costs = {
+            c: self.cost_model.clause_cost(c, selectivities[c])
+            for c in pool
+        }
+        result = select_predicates(objective, costs, self.budget.us)
+        current_benefit = objective.value(
+            frozenset(c for c in current_clauses if c in set(pool))
+        )
+        plan = self._build_plan(result.selected, selectivities, costs,
+                                result)
+        return ReplanDecision(
+            current_benefit=current_benefit,
+            candidate_benefit=result.objective_value,
+            replanned=False,
+            plan=plan,
+        )
+
+    def maybe_replan(self, threshold: float = 0.05
+                     ) -> Optional[PushdownPlan]:
+        """Adopt a new plan when its benefit gap exceeds *threshold*.
+
+        Returns the new plan, or None when there is not enough traffic or
+        the current plan is still close to what replanning would choose.
+        """
+        if self.tracker.observations < self.min_observations:
+            return None
+        decision = self.evaluate()
+        if decision.benefit_gap <= threshold:
+            return None
+        self.adopt(decision.plan)
+        return decision.plan
+
+    # ------------------------------------------------------------------
+    def _build_plan(self, selected, selectivities, costs, result
+                    ) -> PushdownPlan:
+        """Package a selection, preserving ids of retained clauses."""
+        previous: Dict[Clause, int] = {}
+        if self.current_plan is not None:
+            previous = {
+                e.clause: e.predicate_id
+                for e in self.current_plan.entries
+            }
+        entries: List[PushdownEntry] = []
+        next_id = self._next_id
+        for clause in selected:
+            pid = previous.get(clause)
+            if pid is None:
+                pid = next_id
+                next_id += 1
+            entries.append(
+                PushdownEntry(
+                    predicate_id=pid,
+                    clause=clause,
+                    compiled=compile_clause(clause),
+                    selectivity=selectivities[clause],
+                    cost_us=costs[clause],
+                )
+            )
+        entries.sort(key=lambda e: e.predicate_id)
+        return PushdownPlan(entries, self.budget, result)

@@ -1,0 +1,112 @@
+"""Computation budgets and their allocation across heterogeneous clients.
+
+The budget ``B`` is the administrator's knob (paper §III): the average µs of
+predicate-evaluation work a client may spend per new record.  The paper's
+introduction also promises "different budgets for different clients" to
+balance client cost against server savings; :func:`allocate_budgets`
+implements that policy layer — faster or idler clients receive a larger
+share of the aggregate filtering work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A per-record client computation budget in microseconds."""
+
+    microseconds_per_record: float
+
+    def __post_init__(self) -> None:
+        if self.microseconds_per_record < 0:
+            raise ValueError("budgets must be non-negative")
+
+    @property
+    def us(self) -> float:
+        """The budget value (µs/record), spelled for formulas."""
+        return self.microseconds_per_record
+
+    def scaled(self, factor: float) -> "Budget":
+        """A budget scaled by *factor* (e.g. for a slower client)."""
+        if factor < 0:
+            raise ValueError("scale factors must be non-negative")
+        return Budget(self.microseconds_per_record * factor)
+
+    def __str__(self) -> str:
+        return f"{self.microseconds_per_record:g} µs/record"
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """What the server knows about one client when allocating budgets.
+
+    Attributes:
+        client_id: Stable identifier.
+        speed_factor: Relative per-operation speed (1.0 = the machine the
+            cost model was calibrated on; 0.5 = half as fast, so each unit
+            of modeled work costs twice the wall-clock).
+        slack_us_per_record: The client's self-reported idle capacity per
+            record, in *its own* µs.
+    """
+
+    client_id: str
+    speed_factor: float = 1.0
+    slack_us_per_record: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+        if self.slack_us_per_record < 0:
+            raise ValueError("slack must be non-negative")
+
+
+def allocate_budgets(clients: Sequence[ClientProfile],
+                     aggregate_budget: Budget) -> Dict[str, Budget]:
+    """Split an aggregate budget across clients, respecting slack caps.
+
+    The aggregate budget is expressed in calibrated-machine µs per record.
+    Allocation is proportional to each client's speed factor (a faster
+    client converts more modeled µs per unit wall-clock) and capped by its
+    slack.  Water-filling redistributes what capped clients cannot absorb.
+
+    Returns per-client budgets in *modeled* µs/record — directly usable as
+    the knapsack bound for that client's predicate selection.
+    """
+    if not clients:
+        raise ValueError("need at least one client")
+    ids = [c.client_id for c in clients]
+    if len(set(ids)) != len(ids):
+        raise ValueError("client ids must be unique")
+    total = aggregate_budget.us * len(clients)
+    remaining = {c.client_id: c for c in clients}
+    allocation: Dict[str, float] = {c.client_id: 0.0 for c in clients}
+    # Water-filling: hand out budget proportional to speed; clients that hit
+    # their slack cap drop out and the leftover is re-spread.
+    leftover = total
+    while leftover > 1e-12 and remaining:
+        weight_sum = sum(c.speed_factor for c in remaining.values())
+        next_round: Dict[str, ClientProfile] = {}
+        distributed = 0.0
+        for client in remaining.values():
+            share = leftover * client.speed_factor / weight_sum
+            cap = client.slack_us_per_record * client.speed_factor
+            headroom = cap - allocation[client.client_id]
+            grant = min(share, headroom)
+            allocation[client.client_id] += grant
+            distributed += grant
+            if grant < share - 1e-15:
+                continue  # capped: exclude from future rounds
+            next_round[client.client_id] = client
+        leftover -= distributed
+        if not next_round or distributed <= 1e-15:
+            break  # everyone capped; undistributable budget is dropped
+        remaining = next_round
+    return {cid: Budget(us) for cid, us in allocation.items()}
+
+
+def budget_sweep(values: Sequence[float]) -> List[Budget]:
+    """Budgets for an experiment sweep (e.g. Fig. 3's 0,1,3,5,7,9 µs)."""
+    return [Budget(v) for v in values]

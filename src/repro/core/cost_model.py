@@ -1,0 +1,130 @@
+"""The client-side predicate evaluation cost model (paper §V-D).
+
+The expected cost (µs) of evaluating a simple predicate ``p`` against one
+JSON object of average serialized length ``len(t)`` is
+
+    T = sel(p) · (k1·len(p) + k2·len(t))
+      + (1 − sel(p)) · (k3·len(p) + k4·len(t)) + c
+
+The first term prices a search that *finds* the pattern (it stops early, so
+it depends differently on the lengths than a full scan), the second a search
+that runs off the end of the record, and ``c`` is per-search startup
+overhead.  The five coefficients are hardware-dependent and fitted by
+:mod:`repro.core.calibration`.
+
+Disjunction cost is the sum of its simple-predicate costs; a key-value match
+performs two searches and is priced as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from .patterns import compile_predicate
+from .predicates import Clause, SimplePredicate
+
+
+@dataclass(frozen=True)
+class CostCoefficients:
+    """The five hardware-dependent constants of the §V-D model, in µs."""
+
+    k1: float  # pattern-length slope, match found
+    k2: float  # record-length slope, match found
+    k3: float  # pattern-length slope, no match
+    k4: float  # record-length slope, no match
+    c: float   # per-search startup cost
+
+    def __post_init__(self) -> None:
+        for name in ("k1", "k2", "k3", "k4", "c"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"coefficient {name} must be non-negative")
+
+    def as_vector(self) -> tuple:
+        """(k1, k2, k3, k4, c), the calibration regression's layout."""
+        return (self.k1, self.k2, self.k3, self.k4, self.c)
+
+
+#: A plausible default for a modern CPU running ``str.find``: scanning is a
+#: few GB/s (≈ 0.0005 µs/byte misses), hits stop early, and each call has
+#: sub-microsecond overhead.  Real experiments should calibrate instead.
+DEFAULT_COEFFICIENTS = CostCoefficients(
+    k1=0.0004, k2=0.0003, k3=0.0006, k4=0.0005, c=0.15
+)
+
+
+class CostModel:
+    """Price predicate evaluation on a (client, dataset) pair.
+
+    Args:
+        coefficients: Hardware-calibrated constants.
+        avg_record_length: The dataset's mean serialized object length
+            ``len(t)``, from historical statistics.
+    """
+
+    def __init__(self, coefficients: CostCoefficients,
+                 avg_record_length: float):
+        if avg_record_length <= 0:
+            raise ValueError("average record length must be positive")
+        self.coefficients = coefficients
+        self.avg_record_length = float(avg_record_length)
+
+    # ------------------------------------------------------------------
+    def search_cost(self, pattern_length: int, hit_probability: float) -> float:
+        """Expected µs of one substring search (the model's core formula)."""
+        if pattern_length <= 0:
+            raise ValueError("pattern length must be positive")
+        if not 0.0 <= hit_probability <= 1.0:
+            raise ValueError("hit probability must lie in [0, 1]")
+        k = self.coefficients
+        len_t = self.avg_record_length
+        hit = k.k1 * pattern_length + k.k2 * len_t
+        miss = k.k3 * pattern_length + k.k4 * len_t
+        return hit_probability * hit + (1 - hit_probability) * miss + k.c
+
+    def predicate_cost(self, predicate: SimplePredicate,
+                       selectivity: float) -> float:
+        """Expected µs to evaluate one simple predicate on one record.
+
+        Each pattern string of the compiled form is one search.  The
+        predicate's selectivity approximates the hit probability of each
+        search (for the two-search key-value form, the key search hits
+        almost always; using the predicate's own selectivity for both is the
+        paper's simplification and errs toward cheaper estimates for the
+        short value pattern — the calibration benches quantify the fit).
+        """
+        spec = compile_predicate(predicate)
+        return sum(
+            self.search_cost(len(pattern), selectivity)
+            for pattern in spec.searches()
+        )
+
+    def clause_cost(self, clause: Clause, selectivity: float) -> float:
+        """Expected µs for a disjunctive clause: sum over disjuncts (§V-D)."""
+        return sum(
+            self.predicate_cost(p, selectivity) for p in clause.predicates
+        )
+
+    def cost_table(self, selectivities: Mapping[Clause, float]
+                   ) -> Dict[Clause, float]:
+        """Price every clause of a candidate pool."""
+        return {
+            clause: self.clause_cost(clause, sel)
+            for clause, sel in selectivities.items()
+        }
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        k = self.coefficients
+        return (
+            f"CostModel(len_t={self.avg_record_length:.0f}, "
+            f"k1={k.k1:.2e}, k2={k.k2:.2e}, k3={k.k3:.2e}, "
+            f"k4={k.k4:.2e}, c={k.c:.2e})"
+        )
+
+
+def total_cost(costs: Mapping[Clause, float],
+               selected: Iterable[Clause]) -> float:
+    """Σ cost over *selected* — the knapsack constraint's left-hand side."""
+    return sum(costs[c] for c in selected)

@@ -1,0 +1,234 @@
+"""The CIAO optimizer facade: workload + statistics + budget → pushdown plan.
+
+Ties together the pieces of §V: clause statistics feed the objective and the
+cost model, the combined greedy picks the clause set, and the result is
+packaged as the *predicate hashmap* of Fig. 2 — predicate ids and pattern
+strings — which is exactly what gets shipped to clients and retained by the
+server for bit-vector resolution at load and query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .budgets import Budget
+from .cost_model import CostModel
+from .objective import SelectionObjective
+from .patterns import CompiledClause, compile_clause
+from .predicates import Clause, Query, Workload
+from .selection import SelectionResult, select_predicates
+
+
+@dataclass(frozen=True)
+class PushdownEntry:
+    """One pushed-down predicate as the clients and server see it.
+
+    Attributes:
+        predicate_id: Dense id; bit-vectors are keyed by it end to end.
+        clause: The source clause (server-side verification semantics).
+        compiled: Pattern strings and matching strategy (client-side).
+        selectivity: The estimate used during selection.
+        cost_us: Modeled per-record evaluation cost in µs.
+    """
+
+    predicate_id: int
+    clause: Clause
+    compiled: CompiledClause
+    selectivity: float
+    cost_us: float
+
+
+class PushdownPlan:
+    """The output of optimization: Fig. 2's predicate hashmap.
+
+    Maps predicate ids to pattern strings for clients, and SQL clause keys
+    back to ids for the server's query-time lookup.
+    """
+
+    def __init__(self, entries: List[PushdownEntry], budget: Budget,
+                 selection: SelectionResult):
+        self.entries = list(entries)
+        self.budget = budget
+        self.selection = selection
+        self._by_clause: Dict[Clause, PushdownEntry] = {
+            e.clause: e for e in self.entries
+        }
+        self._by_sql: Dict[str, PushdownEntry] = {
+            e.clause.sql(): e for e in self.entries
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def predicate_ids(self) -> List[int]:
+        """All pushed predicate ids, ascending."""
+        return [e.predicate_id for e in self.entries]
+
+    @property
+    def clauses(self) -> List[Clause]:
+        """The pushed clauses in id order."""
+        return [e.clause for e in self.entries]
+
+    def lookup(self, clause: Clause) -> Optional[PushdownEntry]:
+        """Entry for *clause*, or None if it was not pushed down."""
+        return self._by_clause.get(clause)
+
+    def lookup_sql(self, sql: str) -> Optional[PushdownEntry]:
+        """Entry by SQL text — the hashmap access of Fig. 2."""
+        return self._by_sql.get(sql)
+
+    def ids_for_query(self, query: Query) -> List[int]:
+        """Predicate ids of the query's clauses that were pushed down."""
+        return [
+            self._by_clause[c].predicate_id
+            for c in query.clauses
+            if c in self._by_clause
+        ]
+
+    def covers_query(self, query: Query) -> bool:
+        """True if at least one clause of *query* was pushed down.
+
+        A covered query can be answered from the Parquet-lite store alone
+        (plus bit-vector skipping); an uncovered query must also scan the
+        raw JSON sideline.
+        """
+        return any(c in self._by_clause for c in query.clauses)
+
+    def total_cost_us(self) -> float:
+        """Modeled per-record client cost of the plan."""
+        return sum(e.cost_us for e in self.entries)
+
+    def restrict(self, budget: Budget) -> "PushdownPlan":
+        """A sub-plan for a weaker client, preserving global predicate ids.
+
+        Takes entries in id (greedy pick) order while their cumulative
+        cost fits *budget*.  Heterogeneous fleets need every client to use
+        the *same* id for the same clause — re-optimizing per client would
+        renumber them — so sub-plans are prefixes of the global plan.
+        """
+        kept: List[PushdownEntry] = []
+        spent = 0.0
+        for entry in self.entries:
+            if spent + entry.cost_us > budget.us + 1e-12:
+                break
+            kept.append(entry)
+            spent += entry.cost_us
+        selection = SelectionResult(
+            selected=tuple(e.clause for e in kept),
+            objective_value=float("nan"),
+            total_cost=spent,
+            budget=budget.us,
+            algorithm=f"restrict({self.selection.algorithm})",
+        )
+        return PushdownPlan(kept, budget, selection)
+
+    def expected_benefit(self) -> float:
+        """f(S) of the selected set."""
+        return self.selection.objective_value
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PushdownPlan(predicates={len(self.entries)}, "
+            f"cost={self.total_cost_us():.3f}µs/record of {self.budget}, "
+            f"f(S)={self.expected_benefit():.4f})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line plan listing for reports and examples."""
+        lines = [repr(self)]
+        for e in self.entries:
+            patterns = ", ".join(
+                repr(p) for spec in e.compiled.specs for p in spec.patterns
+            )
+            lines.append(
+                f"  [{e.predicate_id}] {e.clause.sql()}  "
+                f"sel={e.selectivity:.3f} cost={e.cost_us:.3f}µs  "
+                f"patterns: {patterns}"
+            )
+        return "\n".join(lines)
+
+
+class CiaoOptimizer:
+    """Plan predicate pushdown for one workload on one dataset.
+
+    Args:
+        workload: Prospective queries with frequency estimates.
+        selectivities: Per-clause selectivity estimates (from
+            :mod:`repro.workload.selectivity` or known ground truth).
+        cost_model: Calibrated for the target client hardware and dataset.
+    """
+
+    def __init__(self, workload: Workload,
+                 selectivities: Mapping[Clause, float],
+                 cost_model: CostModel):
+        self.workload = workload
+        self.cost_model = cost_model
+        self.objective = SelectionObjective(workload, selectivities)
+        self._selectivities = dict(selectivities)
+        self.costs: Dict[Clause, float] = {
+            clause: cost_model.clause_cost(clause, sel)
+            for clause, sel in self._selectivities.items()
+        }
+
+    def plan(self, budget: Budget, use_celf: bool = True) -> PushdownPlan:
+        """Select predicates within *budget* and package the plan.
+
+        Predicate ids are assigned in greedy pick order, matching the
+        paper's workflow where ids are handed out as predicates are chosen.
+        """
+        result = select_predicates(
+            self.objective, self.costs, budget.us, use_celf=use_celf
+        )
+        entries = [
+            PushdownEntry(
+                predicate_id=i,
+                clause=clause,
+                compiled=compile_clause(clause),
+                selectivity=self._selectivities[clause],
+                cost_us=self.costs[clause],
+            )
+            for i, clause in enumerate(result.selected)
+        ]
+        return PushdownPlan(entries, budget, result)
+
+    def plan_sweep(self, budgets) -> List[Tuple[Budget, PushdownPlan]]:
+        """Plans for a budget sweep (the Figs 3–5 x-axis)."""
+        return [(b, self.plan(b)) for b in budgets]
+
+
+def manual_plan(clauses: List[Clause],
+                selectivities: Mapping[Clause, float],
+                cost_model: CostModel) -> PushdownPlan:
+    """A pushdown plan with an explicitly chosen clause set.
+
+    The sensitivity micro-benchmarks (paper §VII-E) push a *fixed* number
+    of predicates ("we push down 2 predicates to the client") instead of
+    letting the optimizer choose; this constructor packages such a set with
+    the same id/pattern bookkeeping the optimizer would produce.  The
+    budget recorded on the plan is exactly the set's total cost.
+    """
+    costs = {
+        c: cost_model.clause_cost(c, selectivities[c]) for c in clauses
+    }
+    total = sum(costs.values())
+    entries = [
+        PushdownEntry(
+            predicate_id=i,
+            clause=c,
+            compiled=compile_clause(c),
+            selectivity=selectivities[c],
+            cost_us=costs[c],
+        )
+        for i, c in enumerate(clauses)
+    ]
+    selection = SelectionResult(
+        selected=tuple(clauses),
+        objective_value=float("nan"),
+        total_cost=total,
+        budget=total,
+        algorithm="manual",
+    )
+    return PushdownPlan(entries, Budget(total), selection)

@@ -1,0 +1,43 @@
+"""Synthetic dataset generators substituting the paper's three datasets."""
+
+from .base import DatasetGenerator
+from .randomness import DEFAULT_SEED, SeedSequence, derive_seed, rng_stream
+from .winlog import WinLogGenerator
+from .ycsb import YcsbGenerator
+from .yelp import YelpGenerator
+from .zipf import WeightedSampler, ZipfSampler, zipf_choice, zipf_weights
+
+#: Registry keyed by the dataset names used throughout benches and docs.
+GENERATORS = {
+    "yelp": YelpGenerator,
+    "winlog": WinLogGenerator,
+    "ycsb": YcsbGenerator,
+}
+
+
+def make_generator(name: str, seed: int = DEFAULT_SEED) -> DatasetGenerator:
+    """Instantiate a dataset generator by name ('yelp'/'winlog'/'ycsb')."""
+    try:
+        cls = GENERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(GENERATORS))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+    return cls(seed)
+
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DatasetGenerator",
+    "GENERATORS",
+    "SeedSequence",
+    "WeightedSampler",
+    "WinLogGenerator",
+    "YcsbGenerator",
+    "YelpGenerator",
+    "ZipfSampler",
+    "derive_seed",
+    "make_generator",
+    "rng_stream",
+    "zipf_choice",
+    "zipf_weights",
+]

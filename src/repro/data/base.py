@@ -1,0 +1,64 @@
+"""Shared interface for the synthetic dataset generators.
+
+The paper evaluates on three real datasets (Yelp reviews, a Windows system
+log, a YCSB/fakeit customer dump).  Those are multi-GB downloads we cannot
+ship, so each is replaced by a generator that reproduces the *structure the
+experiments depend on*: the attributes of Table II, their candidate-value
+domains, and value-frequency distributions chosen so predicates with the
+selectivities the micro-benchmarks need actually exist.  DESIGN.md §2
+documents this substitution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterator, List
+
+from ..rawjson.writer import dump_record
+from .randomness import rng_stream
+
+
+class DatasetGenerator(ABC):
+    """Deterministic generator of JSON-object records for one dataset."""
+
+    #: Dataset identifier used in tables, benches, and the catalog.
+    name: str = "abstract"
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = rng_stream(seed, f"dataset:{self.name}")
+
+    @abstractmethod
+    def record(self) -> Dict[str, Any]:
+        """Produce the next record as a plain dict."""
+
+    def generate(self, count: int) -> Iterator[Dict[str, Any]]:
+        """Yield *count* records."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            yield self.record()
+
+    def raw_lines(self, count: int) -> Iterator[str]:
+        """Yield *count* serialized single-line JSON records.
+
+        This is what a CIAO client actually emits: newline-delimited JSON in
+        arrival order.
+        """
+        for rec in self.generate(count):
+            yield dump_record(rec)
+
+    def sample(self, count: int) -> List[Dict[str, Any]]:
+        """Materialize a sample (used for selectivity estimation).
+
+        The sample comes from an *independent* stream so estimating
+        selectivities does not consume records from the main sequence.
+        """
+        clone = type(self)(self.seed)
+        clone._rng = rng_stream(self.seed, f"dataset-sample:{self.name}")
+        return list(clone.generate(count))
+
+    def average_record_length(self, sample_size: int = 200) -> float:
+        """Mean serialized record length ``len(t)`` for the cost model."""
+        lengths = [len(dump_record(rec)) for rec in self.sample(sample_size)]
+        return sum(lengths) / len(lengths)

@@ -1,0 +1,123 @@
+"""Deterministic text generation for the synthetic datasets.
+
+The Yelp substitute needs review text in which specific keywords occur with
+controlled probability (so ``text LIKE '%delicious%'`` has a known, tunable
+selectivity), and the Windows-log substitute needs log messages with the same
+property for its 200 ``info LIKE`` candidates.  A tiny vocabulary keeps
+records realistic-looking without importing any external corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+# A compact general-purpose vocabulary.  None of these words are used as
+# predicate keywords, so keyword selectivities are controlled purely by
+# explicit planting below.
+WORDS: Sequence[str] = (
+    "the quick brown fox jumps over lazy dog pack my box with five dozen "
+    "liquor jugs how vexingly daft zebras jump bright vixens watch waltz bad "
+    "nymph for jocks glib quiz sphinx of black quartz judge my vow crazy "
+    "frederick bought many very exquisite opal jewels jackdaws love big "
+    "amazing service came back again highly recommend place food staff time "
+    "people really nice great good just like when they also there what your "
+    "which their would about other into more some could them these than then "
+    "now look only come its over think back after work first well even new "
+    "want because any give day most us table order menu night lunch dinner "
+    "visit price value clean fresh warm cold fast slow busy quiet small large"
+).split()
+
+FIRST_NAMES: Sequence[str] = (
+    "Alice Bob Carol David Erin Frank Grace Henry Ivy Jack Karen Leo Mona "
+    "Nate Olga Paul Quinn Rosa Sam Tina Uma Victor Wendy Xavier Yara Zack"
+).split()
+
+LAST_NAMES: Sequence[str] = (
+    "Anderson Brown Chen Davis Evans Fischer Garcia Hansen Ito Jones Kim "
+    "Lopez Miller Nguyen Olsen Patel Quirk Rossi Smith Taylor Ueda Vargas "
+    "Wong Xu Young Zhang"
+).split()
+
+STREETS: Sequence[str] = (
+    "Main St", "Oak Ave", "Pine Rd", "Maple Dr", "Cedar Ln",
+    "Elm St", "Lake Rd", "Hill Ave", "Park Blvd", "River Way",
+)
+
+CITIES: Sequence[str] = (
+    "Springfield", "Rivertown", "Lakeside", "Hillview", "Brookfield",
+    "Fairmont", "Georgetown", "Ashland", "Milton", "Clayton",
+)
+
+
+def word(rng: random.Random) -> str:
+    """One vocabulary word."""
+    return WORDS[rng.randrange(len(WORDS))]
+
+
+def sentence(rng: random.Random, n_words: int = 8) -> str:
+    """A capitalized sentence of *n_words* vocabulary words."""
+    if n_words <= 0:
+        raise ValueError("a sentence needs at least one word")
+    words = [word(rng) for _ in range(n_words)]
+    words[0] = words[0].capitalize()
+    return " ".join(words) + "."
+
+
+def paragraph(rng: random.Random, n_sentences: int = 3,
+              keywords: Sequence[str] = (),
+              keyword_probs: Sequence[float] = ()) -> str:
+    """Sentences with keywords independently planted by probability.
+
+    Each ``keywords[i]`` is inserted at a random position with probability
+    ``keyword_probs[i]``, giving a ``LIKE '%kw%'`` predicate a selectivity of
+    (approximately) that probability.
+    """
+    if len(keywords) != len(keyword_probs):
+        raise ValueError("keywords and keyword_probs must align")
+    sentences = [sentence(rng, rng.randint(5, 12)) for _ in range(n_sentences)]
+    text = " ".join(sentences)
+    tokens = text.split(" ")
+    for keyword, prob in zip(keywords, keyword_probs):
+        if rng.random() < prob:
+            position = rng.randrange(len(tokens) + 1)
+            tokens.insert(position, keyword)
+    return " ".join(tokens)
+
+
+def full_name(rng: random.Random) -> str:
+    """A synthetic "First Last" name."""
+    first = FIRST_NAMES[rng.randrange(len(FIRST_NAMES))]
+    last = LAST_NAMES[rng.randrange(len(LAST_NAMES))]
+    return f"{first} {last}"
+
+
+def street_address(rng: random.Random) -> str:
+    """A synthetic street address."""
+    number = rng.randint(1, 9999)
+    street = STREETS[rng.randrange(len(STREETS))]
+    return f"{number} {street}"
+
+
+def city(rng: random.Random) -> str:
+    """A synthetic city name."""
+    return CITIES[rng.randrange(len(CITIES))]
+
+
+def hex_id(rng: random.Random, length: int = 22) -> str:
+    """A random identifier like Yelp's review/business ids."""
+    alphabet = "0123456789abcdef"
+    return "".join(alphabet[rng.randrange(16)] for _ in range(length))
+
+
+def keyword_pool(prefix: str, count: int) -> List[str]:
+    """Deterministic keyword tokens (``prefix000`` ...) for LIKE templates.
+
+    Using synthetic tokens instead of vocabulary words guarantees a keyword
+    never occurs unless explicitly planted, so planted probability equals
+    true selectivity.
+    """
+    if count <= 0:
+        raise ValueError("keyword pools must be non-empty")
+    width = max(3, len(str(count - 1)))
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]

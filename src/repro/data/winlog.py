@@ -1,0 +1,193 @@
+"""Synthetic stand-in for the LogHub Windows System Log dataset.
+
+The real dataset is a 27 GB text dump of a Windows 7 machine: timestamp, log
+level, the service that produced the entry, and a message.  CIAO assumes
+clients emit JSON, so each entry here is a JSON object with ``time``,
+``level``, ``component`` and ``info`` keys.
+
+Table II alignment:
+
+=========================  ===========  =================================
+Template                   #Candidates  Realized here by
+=========================  ===========  =================================
+``info LIKE <string>``     200          200 keywords, Zipf-spread probs
+``time LIKE`` (month)      12           months uniform
+``time LIKE`` (day)        31           days ~uniform
+``time LIKE`` (hour)       24           hours uniform
+``time LIKE`` (minute)     60           minutes uniform
+``time LIKE`` (second)     60           seconds uniform
+=========================  ===========  =================================
+
+The micro-benchmarks (Figs 7–12) additionally need predicates whose
+selectivities are roughly 0.35 / 0.15 / 0.01; the ``component`` field's
+weights are chosen so ``component = "CBS"`` ≈ 0.35, ``component = "CSI"``
+≈ 0.15 and ``component = "WuaEng"`` ≈ 0.01, mirroring how the authors picked
+attributes "whose frequencies roughly represent the corresponding
+selectivity".
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Tuple
+
+from .base import DatasetGenerator
+from .textgen import keyword_pool, sentence
+from .zipf import WeightedSampler
+
+#: (component, frequency) pairs; frequencies double as exact selectivities
+#: for ``component = <value>`` predicates.
+COMPONENTS: List[Tuple[str, float]] = [
+    ("CBS", 0.35),
+    ("CSI", 0.15),
+    ("WindowsUpdateAgent", 0.14),
+    ("Defender", 0.12),
+    ("Kernel-General", 0.10),
+    ("DistributedCOM", 0.07),
+    ("GroupPolicy", 0.06),
+    ("WuaEng", 0.01),
+]
+
+#: Log-level distribution.
+LEVELS: List[Tuple[str, float]] = [
+    ("Info", 0.70),
+    ("Warning", 0.20),
+    ("Error", 0.09),
+    ("Critical", 0.01),
+]
+
+#: 200 message keywords for the ``info LIKE`` template.  The first three
+#: rank bands are *selectivity plateaus* at 0.35 / 0.15 / 0.01 — six
+#: keywords each — so the sensitivity micro-benchmarks (Figs 7–12) can draw
+#: several predicates of (roughly) equal selectivity, exactly as the
+#: authors picked attributes "whose frequencies roughly represent the
+#: corresponding selectivity".  The remaining ranks decay like real log
+#: token frequencies.
+INFO_KEYWORD_COUNT = 200
+INFO_KEYWORDS: List[str] = keyword_pool("evt", INFO_KEYWORD_COUNT)
+SELECTIVITY_PLATEAUS: List[Tuple[float, int]] = [
+    (0.35, 6), (0.15, 6), (0.01, 6),
+]
+
+
+def _keyword_probs() -> List[float]:
+    probs: List[float] = []
+    for level, width in SELECTIVITY_PLATEAUS:
+        probs.extend([level] * width)
+    tail = INFO_KEYWORD_COUNT - len(probs)
+    probs.extend(0.08 / (1 + rank) ** 0.9 for rank in range(tail))
+    return probs
+
+
+INFO_KEYWORD_PROBS: List[float] = _keyword_probs()
+
+
+def plateau_keyword_ranks(level: float) -> List[int]:
+    """Ranks of the keywords planted with exactly probability *level*."""
+    start = 0
+    for plateau, width in SELECTIVITY_PLATEAUS:
+        if plateau == level:
+            return list(range(start, start + width))
+        start += width
+    raise KeyError(
+        f"no selectivity plateau at {level}; available: "
+        f"{[p for p, _ in SELECTIVITY_PLATEAUS]}"
+    )
+
+#: The log spans 226 days in the paper; we cover 2016-01-01 .. 2016-08-13.
+LOG_YEAR = 2016
+LOG_MONTH_DAYS: List[Tuple[int, int]] = [
+    (1, 31), (2, 29), (3, 31), (4, 30),
+    (5, 31), (6, 30), (7, 31), (8, 13),
+]
+
+
+def component_selectivity(component: str) -> float:
+    """Exact selectivity of ``component = <component>``."""
+    for name, weight in COMPONENTS:
+        if name == component:
+            return weight
+    raise KeyError(f"unknown component {component!r}")
+
+
+class WinLogGenerator(DatasetGenerator):
+    """Generator for synthetic Windows system-log records."""
+
+    name = "winlog"
+
+    def __init__(self, seed: int):
+        super().__init__(seed)
+        rng = self._rng
+        self._components = WeightedSampler(
+            [c for c, _ in COMPONENTS], [w for _, w in COMPONENTS], rng
+        )
+        self._levels = WeightedSampler(
+            [lv for lv, _ in LEVELS], [w for _, w in LEVELS], rng
+        )
+        months = [m for m, _ in LOG_MONTH_DAYS]
+        weights = [float(d) for _, d in LOG_MONTH_DAYS]
+        self._months = WeightedSampler(months, weights, rng)
+        self._month_days = dict(LOG_MONTH_DAYS)
+        head = sum(width for _, width in SELECTIVITY_PLATEAUS)
+        self._tail_cumulative: List[float] = []
+        acc = 0.0
+        for rank in range(head, INFO_KEYWORD_COUNT):
+            acc += INFO_KEYWORD_PROBS[rank]
+            self._tail_cumulative.append(acc)
+        self._tail_total = acc
+        self._next_event_id = 0
+
+    def record(self) -> Dict[str, Any]:
+        """One log entry as a JSON object.
+
+        ``event_id`` is a monotone sequence number, as real log shippers
+        attach: arrival order correlates with it perfectly, which is what
+        makes min/max zone-map pruning on it effective (the zone-map
+        extension and its ablation bench rely on this clustering).
+        """
+        rng = self._rng
+        month = self._months.draw()
+        day = rng.randint(1, self._month_days[month])
+        hour = rng.randint(0, 23)
+        minute = rng.randint(0, 59)
+        second = rng.randint(0, 59)
+        event_id = self._next_event_id
+        self._next_event_id += 1
+        return {
+            "event_id": event_id,
+            "time": (
+                f"{LOG_YEAR:04d}-{month:02d}-{day:02d} "
+                f"{hour:02d}:{minute:02d}:{second:02d}"
+            ),
+            "level": self._levels.draw(),
+            "component": self._components.draw(),
+            "info": self._message(),
+        }
+
+    def _message(self) -> str:
+        """A log message with per-rank keyword planting.
+
+        The plateau ranks are planted with *exact* per-keyword draws (their
+        selectivities are contract: the micro-benchmarks rely on them).  The
+        long decaying tail is approximated with one aggregate draw — plant
+        "some tail keyword" with probability Σ tail probs, then pick which
+        one proportionally — trimming ~180 RNG calls per record while
+        keeping each tail keyword's marginal probability exact.
+        """
+        rng = self._rng
+        words = sentence(rng, rng.randint(6, 14))
+        planted: List[str] = []
+        head = sum(width for _, width in SELECTIVITY_PLATEAUS)
+        for rank in range(head):
+            if rng.random() < INFO_KEYWORD_PROBS[rank]:
+                planted.append(INFO_KEYWORDS[rank])
+        if rng.random() < self._tail_total:
+            pick = rng.random() * self._tail_total
+            offset = bisect.bisect_left(self._tail_cumulative, pick)
+            planted.append(INFO_KEYWORDS[head + offset])
+        if planted:
+            tokens = words.split(" ")
+            for keyword in planted:
+                tokens.insert(rng.randrange(len(tokens) + 1), keyword)
+            words = " ".join(tokens)
+        return words

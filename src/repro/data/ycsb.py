@@ -1,0 +1,132 @@
+"""Synthetic stand-in for the paper's YCSB/fakeit customer dataset.
+
+The authors generated 14.4M customer objects (20 GB) with the ``fakeit``
+JSON generator: 25 attributes including name, children, address, phone,
+email and visited places.  This generator reproduces that shape — 25
+top-level attributes, including nested objects and arrays that exercise the
+full JSON parser — and aligns the Table II predicate templates:
+
+==============================  ===========  ============================
+Template                        #Candidates  Realized here by
+==============================  ===========  ============================
+``isActive = <boolean>``        2            true with p = 0.6
+``linear_score = <int>``        100          uniform 0..99
+``weighted_score = <int>``      100          Zipf-skewed 0..99
+``phone_country = <string>``    3            weighted country codes
+``age_group = <string>``        4            weighted age bands
+``age_by_group = <int>``        100          uniform 0..99
+``url_domain LIKE <string>``    12           weighted TLD-ish domains
+``url_site LIKE <string>``      14           weighted site names
+``email LIKE <string>``         2            two mail providers
+==============================  ===========  ============================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .base import DatasetGenerator
+from .textgen import city, full_name, hex_id, sentence, street_address
+from .zipf import WeightedSampler, ZipfSampler
+
+#: Probability that ``isActive`` is true.
+ACTIVE_PROB = 0.6
+
+PHONE_COUNTRIES: List[Tuple[str, float]] = [
+    ("+1", 0.5), ("+44", 0.3), ("+86", 0.2),
+]
+
+AGE_GROUPS: List[Tuple[str, float]] = [
+    ("18-25", 0.25), ("26-40", 0.40), ("41-65", 0.25), ("65+", 0.10),
+]
+
+URL_DOMAINS: List[str] = [
+    "alpha.example", "beta.example", "gamma.example", "delta.example",
+    "epsilon.example", "zeta.example", "eta.example", "theta.example",
+    "iota.example", "kappa.example", "lambda.example", "mu.example",
+]
+
+URL_SITES: List[str] = [
+    "portal", "shop", "blog", "news", "docs", "forum", "wiki",
+    "mail", "cloud", "static", "media", "api", "auth", "cdn",
+]
+
+EMAIL_PROVIDERS: List[str] = ["mailbox.example", "postbox.example"]
+
+MEMBERSHIPS: List[Tuple[str, float]] = [
+    ("free", 0.6), ("silver", 0.25), ("gold", 0.12), ("platinum", 0.03),
+]
+
+DEVICE_OSES: List[str] = ["android", "ios", "windows", "linux", "macos"]
+
+LOCALES: List[str] = ["en_US", "en_GB", "zh_CN", "de_DE", "fr_FR", "es_ES"]
+
+
+class YcsbGenerator(DatasetGenerator):
+    """Generator for synthetic fakeit-style customer records."""
+
+    name = "ycsb"
+
+    def __init__(self, seed: int):
+        super().__init__(seed)
+        rng = self._rng
+        self._phone = WeightedSampler(
+            [c for c, _ in PHONE_COUNTRIES],
+            [w for _, w in PHONE_COUNTRIES], rng,
+        )
+        self._age_group = WeightedSampler(
+            [g for g, _ in AGE_GROUPS], [w for _, w in AGE_GROUPS], rng
+        )
+        self._membership = WeightedSampler(
+            [m for m, _ in MEMBERSHIPS], [w for _, w in MEMBERSHIPS], rng
+        )
+        self._weighted_score = ZipfSampler(100, 0.9, rng)
+        # Domains and sites are mildly skewed so LIKE predicates on them
+        # span a range of selectivities.
+        self._domains = ZipfSampler(len(URL_DOMAINS), 0.8, rng)
+        self._sites = ZipfSampler(len(URL_SITES), 0.8, rng)
+
+    def record(self) -> Dict[str, Any]:
+        """One customer object with 25 top-level attributes."""
+        rng = self._rng
+        domain = URL_DOMAINS[self._domains.draw()]
+        site = URL_SITES[self._sites.draw()]
+        provider = EMAIL_PROVIDERS[0 if rng.random() < 0.7 else 1]
+        name = full_name(rng)
+        local_part = name.lower().replace(" ", ".")
+        n_children = rng.choices([0, 1, 2, 3], weights=[45, 25, 20, 10])[0]
+        n_places = rng.randint(0, 4)
+        return {
+            "customer_id": hex_id(rng, 16),
+            "isActive": rng.random() < ACTIVE_PROB,
+            "linear_score": rng.randrange(100),
+            "weighted_score": self._weighted_score.draw(),
+            "phone_country": self._phone.draw(),
+            "phone_number": f"{rng.randint(200, 999)}-{rng.randint(1000, 9999)}",
+            "age_group": self._age_group.draw(),
+            "age_by_group": rng.randrange(100),
+            "url": f"https://{site}.{domain}/u/{rng.randrange(10_000)}",
+            "email": f"{local_part}@{provider}",
+            "first_name": name.split(" ")[0],
+            "last_name": name.split(" ")[1],
+            "company": f"{city(rng)} {rng.choice(['Labs', 'Corp', 'LLC'])}",
+            "address": {
+                "street": street_address(rng),
+                "city": city(rng),
+                "zip": f"{rng.randint(10_000, 99_999)}",
+            },
+            "children": [full_name(rng) for _ in range(n_children)],
+            "visited_places": [city(rng) for _ in range(n_places)],
+            "registered": (
+                f"{rng.randint(2010, 2020):04d}-"
+                f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+            ),
+            "balance": round(rng.uniform(0, 10_000), 2),
+            "notes": sentence(rng, rng.randint(4, 10)),
+            "membership": self._membership.draw(),
+            "device_os": rng.choice(DEVICE_OSES),
+            "locale": rng.choice(LOCALES),
+            "newsletter": rng.random() < 0.35,
+            "referral_code": hex_id(rng, 8),
+            "login_count": rng.randrange(1000),
+        }

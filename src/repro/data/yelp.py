@@ -1,0 +1,101 @@
+"""Synthetic stand-in for the Yelp Open Dataset ``review.json``.
+
+The real file (5 GB, 6.1M objects) has per-review: the review text, userId,
+businessId, date, and four integer feedback metrics.  This generator emits
+records with the same shape and with value distributions aligned to the
+predicate templates of Table II:
+
+=====================  =============  =====================================
+Template               #Candidates    Realized here by
+=====================  =============  =====================================
+``useful = <int>``     100            Zipf-skewed counts over 0..99
+``cool = <int>``       100            Zipf-skewed counts over 0..99
+``funny = <int>``      100            Zipf-skewed counts over 0..99
+``stars = <int>``      5              weighted ratings 1..5
+``user_id = <string>`` 5              top-5 users of a Zipfian user base
+``text LIKE <string>`` 5              5 keywords planted with fixed probs
+``date LIKE`` (year)   14             years 2007..2020, recency-weighted
+``date LIKE`` (month)  12             months uniform
+=====================  =============  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .base import DatasetGenerator
+from .textgen import hex_id, keyword_pool, paragraph
+from .zipf import WeightedSampler, ZipfSampler, zipf_weights
+
+#: Keywords available to ``text LIKE`` predicates, and the probability each
+#: is planted into a review — i.e. the predicate's true selectivity.
+TEXT_KEYWORDS: List[str] = keyword_pool("tasty", 5)
+TEXT_KEYWORD_PROBS: List[float] = [0.30, 0.15, 0.08, 0.03, 0.01]
+
+#: Star-rating distribution (reviews skew positive on the real platform).
+STAR_WEIGHTS: List[float] = [0.10, 0.09, 0.11, 0.25, 0.45]
+
+#: Year domain for the ``date LIKE`` (year) template: 14 candidates.
+YEARS: List[int] = list(range(2007, 2021))
+
+#: Recency-weighted year distribution (later years have more reviews).
+YEAR_WEIGHTS: List[float] = [1.0 + 0.35 * i for i in range(len(YEARS))]
+
+#: Size of the user population; the top five are the Table II candidates.
+USER_POPULATION = 1000
+USER_ZIPF_EXPONENT = 1.1
+
+#: Number of distinct businesses.
+BUSINESS_POPULATION = 500
+
+
+def top_user_ids(count: int = 5) -> List[str]:
+    """The *count* most prolific user ids (Table II's 5 candidates)."""
+    return [_user_id(rank) for rank in range(count)]
+
+
+def user_id_probability(rank: int) -> float:
+    """Exact selectivity of ``user_id = <rank-th user>`` under the Zipf."""
+    return zipf_weights(USER_POPULATION, USER_ZIPF_EXPONENT)[rank]
+
+
+def _user_id(rank: int) -> str:
+    return f"user_{rank:05d}"
+
+
+class YelpGenerator(DatasetGenerator):
+    """Generator for synthetic Yelp review records."""
+
+    name = "yelp"
+
+    def __init__(self, seed: int):
+        super().__init__(seed)
+        rng = self._rng
+        self._users = ZipfSampler(USER_POPULATION, USER_ZIPF_EXPONENT, rng)
+        self._stars = WeightedSampler([1, 2, 3, 4, 5], STAR_WEIGHTS, rng)
+        self._years = WeightedSampler(YEARS, YEAR_WEIGHTS, rng)
+        # Feedback metrics cluster near zero: Zipf rank-1 ↦ count 0.
+        self._feedback = ZipfSampler(100, 1.3, rng)
+
+    def record(self) -> Dict[str, Any]:
+        """One review object in the Yelp ``review.json`` shape."""
+        rng = self._rng
+        year = self._years.draw()
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 28)
+        return {
+            "review_id": hex_id(rng),
+            "user_id": _user_id(self._users.draw()),
+            "business_id": f"biz_{rng.randrange(BUSINESS_POPULATION):04d}",
+            "stars": self._stars.draw(),
+            "useful": self._feedback.draw(),
+            "funny": self._feedback.draw(),
+            "cool": self._feedback.draw(),
+            "text": paragraph(
+                rng,
+                n_sentences=rng.randint(2, 5),
+                keywords=TEXT_KEYWORDS,
+                keyword_probs=TEXT_KEYWORD_PROBS,
+            ),
+            "date": f"{year:04d}-{month:02d}-{day:02d}",
+        }

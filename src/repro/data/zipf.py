@@ -1,0 +1,110 @@
+"""Bounded Zipfian sampling.
+
+The paper generates skewed predicate choices with numpy's Zipf generator and
+notes (Table III) that a *smaller* exponent means *less* skew in their setup.
+We implement the standard bounded Zipf distribution over ``n`` ranks,
+
+    P(rank = i) ∝ 1 / i^s,   i = 1..n
+
+which degrades gracefully to uniform at ``s = 0``.  Sampling uses a
+precomputed cumulative table and binary search, so draws are O(log n) and
+fully deterministic given the caller's RNG.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def zipf_weights(n: int, s: float) -> List[float]:
+    """Normalized Zipf probabilities for ranks ``1..n`` with exponent *s*."""
+    if n <= 0:
+        raise ValueError(f"need at least one rank, got {n}")
+    if s < 0:
+        raise ValueError(f"Zipf exponent must be non-negative, got {s}")
+    raw = [1.0 / (i ** s) for i in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class ZipfSampler:
+    """Draw ranks ``0..n-1`` (0-based) with Zipfian probability.
+
+    >>> sampler = ZipfSampler(4, s=1.0, rng=random.Random(1))
+    >>> 0 <= sampler.draw() < 4
+    True
+    """
+
+    def __init__(self, n: int, s: float, rng: random.Random):
+        self._n = n
+        self._rng = rng
+        weights = zipf_weights(n, s)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0  # guard against float drift
+
+    @property
+    def n(self) -> int:
+        """Number of ranks."""
+        return self._n
+
+    def draw(self) -> int:
+        """One 0-based rank."""
+        return bisect.bisect_left(self._cumulative, self._rng.random())
+
+    def draw_many(self, count: int) -> List[int]:
+        """*count* independent ranks."""
+        return [self.draw() for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """P(rank) for a 0-based *rank*."""
+        if not 0 <= rank < self._n:
+            raise IndexError(f"rank {rank} out of range 0..{self._n - 1}")
+        low = self._cumulative[rank - 1] if rank else 0.0
+        return self._cumulative[rank] - low
+
+
+def zipf_choice(items: Sequence[T], s: float, rng: random.Random) -> T:
+    """Pick one item, rank-1 most likely (one-shot convenience)."""
+    return items[ZipfSampler(len(items), s, rng).draw()]
+
+
+class WeightedSampler:
+    """Draw items with explicit weights; shares the bisect machinery.
+
+    Data generators use this for attribute-value distributions whose
+    frequencies are chosen to realize the selectivities the micro-benchmarks
+    need (e.g. a log component appearing in 35% / 15% / 1% of records).
+    """
+
+    def __init__(self, items: Sequence[T], weights: Sequence[float],
+                 rng: random.Random):
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have equal length")
+        if not items:
+            raise ValueError("need at least one item")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self._items = list(items)
+        self._rng = rng
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    def draw(self) -> T:
+        """One weighted draw."""
+        index = bisect.bisect_left(self._cumulative, self._rng.random())
+        return self._items[index]

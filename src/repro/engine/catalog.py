@@ -1,0 +1,98 @@
+"""Catalog: tables as (Parquet-lite files + sideline store + pushdown map).
+
+A CIAO table is not just files: it also remembers *which predicates were
+pushed down* (clause → predicate id), because that mapping is what lets the
+planner turn a query's WHERE clauses into bit-vector lookups — the
+predicate hashmap of Fig. 2, server side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.predicates import Clause
+from ..storage.columnar import ParquetLiteReader
+from ..storage.jsonstore import JsonSideStore
+
+
+class CatalogError(KeyError):
+    """Unknown table or inconsistent registration."""
+
+
+@dataclass
+class TableEntry:
+    """One queryable table."""
+
+    name: str
+    parquet_paths: List[Path] = field(default_factory=list)
+    side_store: Optional[JsonSideStore] = None
+    #: Pushed-down clause → predicate id (empty when nothing was pushed).
+    pushdown: Dict[Clause, int] = field(default_factory=dict)
+    _readers: Optional[List[ParquetLiteReader]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def open_readers(self) -> List[ParquetLiteReader]:
+        """Open (and cache) readers for this table's Parquet-lite files.
+
+        Files are write-once — the loader seals each file before queries
+        run — so cached readers stay valid until :meth:`invalidate` is
+        called after new files are registered.  Paths that do not exist yet
+        are skipped: a freshly registered table is legitimately empty.
+        """
+        if self._readers is None:
+            self._readers = [
+                ParquetLiteReader(path)
+                for path in self.parquet_paths
+                if Path(path).exists()
+            ]
+        return self._readers
+
+    def invalidate(self) -> None:
+        """Close cached readers; call after loading new files."""
+        if self._readers is not None:
+            for reader in self._readers:
+                reader.close()
+            self._readers = None
+
+    def pushed_id(self, clause: Clause) -> Optional[int]:
+        """Predicate id for *clause* if it was pushed down."""
+        return self.pushdown.get(clause)
+
+    @property
+    def has_sideline(self) -> bool:
+        """True if a (non-empty) raw sideline exists for this table."""
+        return (
+            self.side_store is not None
+            and self.side_store.record_count > 0
+        )
+
+
+class Catalog:
+    """Name → table registry."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableEntry] = {}
+
+    def register(self, entry: TableEntry) -> None:
+        """Add or replace a table."""
+        self._tables[entry.name] = entry
+
+    def lookup(self, name: str) -> TableEntry:
+        """Fetch a table or raise :class:`CatalogError`."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "(none)"
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> List[str]:
+        """Registered table names, sorted."""
+        return sorted(self._tables)

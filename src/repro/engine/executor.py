@@ -1,0 +1,59 @@
+"""Query execution entry point."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .catalog import Catalog, TableEntry
+from .operators import ExecutionStats, Operator
+from .planner import PlanInfo, plan_query
+from .sql import ParsedQuery, parse_sql
+
+
+@dataclass
+class QueryResult:
+    """Rows plus everything the experiments measure about the run."""
+
+    rows: List[Dict[str, Any]]
+    stats: ExecutionStats
+    plan_info: PlanInfo
+    wall_seconds: float
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result (COUNT(*))."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError(
+                f"result is not scalar: {len(self.rows)} rows"
+            )
+        return next(iter(self.rows[0].values()))
+
+
+class Executor:
+    """Parse → plan → run against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def execute(self, sql: str) -> QueryResult:
+        """Run one SQL statement."""
+        parsed = parse_sql(sql)
+        return self.execute_parsed(parsed)
+
+    def execute_parsed(self, parsed: ParsedQuery) -> QueryResult:
+        """Run an already-parsed statement."""
+        table = self.catalog.lookup(parsed.table)
+        return run_plan(*plan_query(parsed, table))
+
+
+def run_plan(plan: Operator, info: PlanInfo) -> QueryResult:
+    """Drive an operator tree to completion."""
+    stats = ExecutionStats()
+    start = time.perf_counter()
+    rows = list(plan.execute(stats))
+    elapsed = time.perf_counter() - start
+    stats.rows_emitted = len(rows)
+    return QueryResult(
+        rows=rows, stats=stats, plan_info=info, wall_seconds=elapsed
+    )

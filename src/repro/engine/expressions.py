@@ -1,0 +1,382 @@
+"""Expression AST for the mini query engine.
+
+The engine evaluates full WHERE expressions over parsed rows — including
+predicates CIAO can *not* push down (ranges, inequalities) — because query
+results must be exact regardless of what was pushed.  The bridge to the
+optimizer is :func:`to_clause`: a best-effort conversion of one conjunct
+into a :class:`~repro.core.predicates.Clause`, returning ``None`` when the
+conjunct is not client-evaluable (paper §V-A: such clauses are simply not
+pushdown candidates).
+
+Null semantics are two-valued: any comparison against an absent/null field
+is false, matching the ground-truth semantics in
+:meth:`SimplePredicate.evaluate`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.predicates import (
+    Clause,
+    SimplePredicate,
+    exact,
+    key_present,
+    key_value,
+    prefix,
+    substring,
+    suffix,
+)
+
+
+class Expr(ABC):
+    """Base expression node."""
+
+    @abstractmethod
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        """Value of this expression on one row."""
+
+    @abstractmethod
+    def columns(self) -> Set[str]:
+        """Column names referenced (for projection pushdown)."""
+
+    @abstractmethod
+    def sql(self) -> str:
+        """Render back to SQL text."""
+
+    def __str__(self) -> str:
+        return self.sql()
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """A column reference."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return row.get(self.name)
+
+    def columns(self) -> Set[str]:
+        return {self.name}
+
+    def sql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def columns(self) -> Set[str]:
+        return set()
+
+    def sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A binary comparison; false on nulls or type mismatch."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if lhs is None or rhs is None:
+            return False
+        if isinstance(lhs, bool) != isinstance(rhs, bool):
+            return False  # never equate true/1
+        if isinstance(lhs, str) != isinstance(rhs, str):
+            return False
+        try:
+            return bool(_COMPARATORS[self.op](lhs, rhs))
+        except TypeError:
+            return False
+
+    def columns(self) -> Set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"{self.left.sql()} {self.op} {self.right.sql()}"
+
+
+@dataclass(frozen=True)
+class LikeExpr(Expr):
+    """SQL LIKE with ``%`` wildcards (no ``_`` support; the paper's
+    templates only use ``%``)."""
+
+    column: Expr
+    pattern: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.column.evaluate(row)
+        if not isinstance(value, str):
+            return False
+        return like_match(self.pattern, value)
+
+    def columns(self) -> Set[str]:
+        return self.column.columns()
+
+    def sql(self) -> str:
+        escaped = self.pattern.replace("'", "''")
+        return f"{self.column.sql()} LIKE '{escaped}'"
+
+
+@dataclass(frozen=True)
+class IsNotNull(Expr):
+    """``col IS NOT NULL`` (also produced by the paper's ``col != NULL``)."""
+
+    column: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.column.evaluate(row) is not None
+
+    def columns(self) -> Set[str]:
+        return self.column.columns()
+
+    def sql(self) -> str:
+        return f"{self.column.sql()} IS NOT NULL"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``col IS NULL``."""
+
+    column: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.column.evaluate(row) is None
+
+    def columns(self) -> Set[str]:
+        return self.column.columns()
+
+    def sql(self) -> str:
+        return f"{self.column.sql()} IS NULL"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction."""
+
+    children: Tuple[Expr, ...]
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return all(child.evaluate(row) for child in self.children)
+
+    def columns(self) -> Set[str]:
+        out: Set[str] = set()
+        for child in self.children:
+            out |= child.columns()
+        return out
+
+    def sql(self) -> str:
+        return " AND ".join(
+            f"({c.sql()})" if isinstance(c, Or) else c.sql()
+            for c in self.children
+        )
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction."""
+
+    children: Tuple[Expr, ...]
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return any(child.evaluate(row) for child in self.children)
+
+    def columns(self) -> Set[str]:
+        out: Set[str] = set()
+        for child in self.children:
+            out |= child.columns()
+        return out
+
+    def sql(self) -> str:
+        return " OR ".join(c.sql() for c in self.children)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Negation."""
+
+    child: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.child.evaluate(row)
+
+    def columns(self) -> Set[str]:
+        return self.child.columns()
+
+    def sql(self) -> str:
+        return f"NOT ({self.child.sql()})"
+
+
+# ----------------------------------------------------------------------
+# LIKE matching
+# ----------------------------------------------------------------------
+def like_match(pattern: str, value: str) -> bool:
+    """Match a ``%``-wildcard LIKE pattern against *value*.
+
+    Segments between ``%`` must appear in order; a leading/trailing
+    non-wildcard segment anchors the start/end.
+    """
+    segments = pattern.split("%")
+    if len(segments) == 1:
+        return value == pattern
+    head, *middle, tail = segments
+    if head and not value.startswith(head):
+        return False
+    if tail and not value.endswith(tail):
+        return False
+    position = len(head)
+    end_limit = len(value) - len(tail)
+    for segment in middle:
+        if not segment:
+            continue
+        found = value.find(segment, position, end_limit)
+        if found == -1:
+            return False
+        position = found + len(segment)
+    return position <= end_limit
+
+
+# ----------------------------------------------------------------------
+# Bridging to the optimizer's clause model
+# ----------------------------------------------------------------------
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Top-level AND factors of *expr* (flattening nested ANDs)."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: List[Expr] = []
+        for child in expr.children:
+            out.extend(conjuncts(child))
+        return out
+    return [expr]
+
+
+def _simple_from(expr: Expr) -> Optional[SimplePredicate]:
+    """One atom → supported SimplePredicate, or None."""
+    if isinstance(expr, Comparison) and isinstance(expr.left, Column) \
+            and isinstance(expr.right, Literal):
+        value = expr.right.value
+        if expr.op == "=":
+            if isinstance(value, str):
+                return exact(expr.left.name, value) if value else None
+            if isinstance(value, bool) or isinstance(value, int):
+                return key_value(expr.left.name, value)
+            return None  # float equality is not pushdown-safe
+        if expr.op == "!=" and value is None:
+            return key_present(expr.left.name)
+        return None
+    if isinstance(expr, IsNotNull) and isinstance(expr.column, Column):
+        return key_present(expr.column.name)
+    if isinstance(expr, LikeExpr) and isinstance(expr.column, Column):
+        return _simple_from_like(expr.column.name, expr.pattern)
+    return None
+
+
+def _simple_from_like(column: str, pattern: str
+                      ) -> Optional[SimplePredicate]:
+    body = pattern.strip("%")
+    if not body or "%" in body:
+        return None  # multi-segment patterns are not single searches
+    starts = pattern.startswith("%")
+    ends = pattern.endswith("%")
+    if starts and ends:
+        return substring(column, body)
+    if ends:
+        return prefix(column, body)
+    if starts:
+        return suffix(column, body)
+    return exact(column, body)
+
+
+def to_clause(expr: Expr) -> Optional[Clause]:
+    """Convert one conjunct into a pushdown-candidate clause, if supported.
+
+    A conjunct converts iff it is a supported atom or a disjunction of
+    supported atoms (paper §V-A).  ``None`` means "evaluate on the server
+    only".
+    """
+    if isinstance(expr, Or):
+        atoms = []
+        for child in expr.children:
+            atom = _simple_from(child)
+            if atom is None:
+                return None
+            atoms.append(atom)
+        return Clause(tuple(atoms))
+    atom = _simple_from(expr)
+    if atom is None:
+        return None
+    return Clause((atom,))
+
+
+def predicate_to_expr(pred: SimplePredicate) -> Expr:
+    """Inverse bridge: a core predicate as an engine expression."""
+    from ..core.predicates import PredicateKind
+
+    column = Column(pred.column)
+    kind = pred.kind
+    if kind is PredicateKind.EXACT:
+        return Comparison(column, "=", Literal(pred.value))
+    if kind is PredicateKind.SUBSTRING:
+        return LikeExpr(column, f"%{pred.value}%")
+    if kind is PredicateKind.PREFIX:
+        return LikeExpr(column, f"{pred.value}%")
+    if kind is PredicateKind.SUFFIX:
+        return LikeExpr(column, f"%{pred.value}")
+    if kind is PredicateKind.KEY_PRESENCE:
+        return IsNotNull(column)
+    if kind is PredicateKind.KEY_VALUE:
+        return Comparison(column, "=", Literal(pred.value))
+    raise AssertionError(f"unhandled kind {kind}")
+
+
+def clause_to_expr(clause: Clause) -> Expr:
+    """A clause as an engine expression (single atom or OR)."""
+    exprs = [predicate_to_expr(p) for p in clause.predicates]
+    if len(exprs) == 1:
+        return exprs[0]
+    return Or(tuple(exprs))
+
+
+def query_where_expr(clauses: Sequence[Clause]) -> Expr:
+    """The conjunction of *clauses* as one expression."""
+    exprs = [clause_to_expr(c) for c in clauses]
+    if len(exprs) == 1:
+        return exprs[0]
+    return And(tuple(exprs))

@@ -1,0 +1,406 @@
+"""Volcano-style operators over dict rows.
+
+The operator set covers the paper's query template (scan → filter →
+COUNT(*)) plus projections, general aggregates, and LIMIT so the examples
+can run realistic analytics.  The CIAO-specific operator is
+:class:`SkippingScan`: it resolves the query's pushed-down predicate ids to
+per-row-group bit-vectors, ANDs them (§VI-B), skips whole row groups whose
+intersection is empty, and materializes only surviving row positions.
+
+Every operator reports into a shared :class:`ExecutionStats`, which is how
+the experiment harness measures tuples skipped, groups skipped, and
+sideline parsing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..bitvec.bitvector import BitVector, intersect_all
+from ..storage.columnar import ParquetLiteReader
+from ..storage.jsonstore import JsonSideStore
+from .expressions import Expr
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated during one query execution."""
+
+    rows_examined: int = 0
+    rows_emitted: int = 0
+    row_groups_total: int = 0
+    row_groups_skipped: int = 0
+    row_groups_pruned_by_zonemap: int = 0
+    tuples_skipped: int = 0
+    tuples_pruned_by_zonemap: int = 0
+    sideline_records_parsed: int = 0
+    used_data_skipping: bool = False
+    scanned_sideline: bool = False
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one."""
+        self.rows_examined += other.rows_examined
+        self.rows_emitted += other.rows_emitted
+        self.row_groups_total += other.row_groups_total
+        self.row_groups_skipped += other.row_groups_skipped
+        self.row_groups_pruned_by_zonemap += \
+            other.row_groups_pruned_by_zonemap
+        self.tuples_skipped += other.tuples_skipped
+        self.tuples_pruned_by_zonemap += other.tuples_pruned_by_zonemap
+        self.sideline_records_parsed += other.sideline_records_parsed
+        self.used_data_skipping |= other.used_data_skipping
+        self.scanned_sideline |= other.scanned_sideline
+
+
+class Operator(ABC):
+    """An iterator node producing dict rows."""
+
+    @abstractmethod
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        """Yield result rows, accounting into *stats*."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line plan description."""
+
+
+class ParquetScan(Operator):
+    """Full scan of a Parquet-lite file, optionally projected.
+
+    ``prune`` is the zone-map hook: a callable deciding from row-group
+    metadata (min/max/null statistics) that a group cannot contain
+    qualifying rows and may be skipped without decoding anything.
+    """
+
+    def __init__(self, reader: ParquetLiteReader,
+                 columns: Optional[Sequence[str]] = None,
+                 prune: Optional[Callable] = None):
+        self._reader = reader
+        self._columns = list(columns) if columns is not None else None
+        self._prune = prune
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        for group in self._reader.row_groups():
+            stats.row_groups_total += 1
+            if self._prune is not None and self._prune(group.meta):
+                stats.row_groups_pruned_by_zonemap += 1
+                stats.tuples_pruned_by_zonemap += group.row_count
+                continue
+            for row in group.rows(columns=self._columns):
+                stats.rows_examined += 1
+                yield row
+            group.clear_cache()
+
+    def describe(self) -> str:
+        cols = ", ".join(self._columns) if self._columns else "*"
+        zone = ", zonemap" if self._prune is not None else ""
+        return f"ParquetScan({self._reader.path.name}, columns=[{cols}]{zone})"
+
+
+class SkippingScan(Operator):
+    """Bit-vector data-skipping scan (paper §VI-B).
+
+    For each row group: fetch the bit-vectors of the query's pushed-down
+    predicate ids, AND them, and
+
+    * if a predicate id has no stored vector in this group (it was pushed
+      after this data was loaded), fall back to scanning the group fully —
+      soundness first;
+    * if the intersection is empty, skip the group without decoding a
+      single column;
+    * otherwise materialize only the surviving row positions.
+    """
+
+    def __init__(self, reader: ParquetLiteReader,
+                 predicate_ids: Sequence[int],
+                 columns: Optional[Sequence[str]] = None,
+                 prune: Optional[Callable] = None):
+        if not predicate_ids:
+            raise ValueError("SkippingScan needs at least one predicate id")
+        self._reader = reader
+        self._ids = list(predicate_ids)
+        self._columns = list(columns) if columns is not None else None
+        self._prune = prune
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        stats.used_data_skipping = True
+        for index, group in enumerate(self._reader.row_groups()):
+            stats.row_groups_total += 1
+            if self._prune is not None and self._prune(group.meta):
+                stats.row_groups_pruned_by_zonemap += 1
+                stats.tuples_pruned_by_zonemap += group.row_count
+                continue
+            vectors: List[BitVector] = []
+            missing = False
+            for pid in self._ids:
+                bv = group.meta.bitvectors.get(pid)
+                if bv is None:
+                    missing = True
+                    break
+                vectors.append(bv)
+            if missing:
+                for row in group.rows(columns=self._columns):
+                    stats.rows_examined += 1
+                    yield row
+                group.clear_cache()
+                continue
+            mask = intersect_all(vectors)
+            survivors = mask.count()
+            stats.tuples_skipped += group.row_count - survivors
+            if survivors == 0:
+                stats.row_groups_skipped += 1
+                continue
+            indices = list(mask.iter_set())
+            for row in group.rows(columns=self._columns, indices=indices):
+                stats.rows_examined += 1
+                yield row
+            group.clear_cache()
+
+    def describe(self) -> str:
+        return (
+            f"SkippingScan({self._reader.path.name}, "
+            f"predicates={self._ids})"
+        )
+
+
+class SidelineScan(Operator):
+    """Just-in-time parse-and-scan of the raw JSON sideline store."""
+
+    def __init__(self, store: JsonSideStore):
+        self._store = store
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        stats.scanned_sideline = True
+        for record in self._store.iter_parsed():
+            stats.sideline_records_parsed += 1
+            stats.rows_examined += 1
+            yield record
+
+    def describe(self) -> str:
+        return f"SidelineScan({self._store.path.name})"
+
+
+class ChainScan(Operator):
+    """Concatenate child scans (Parquet files + sideline)."""
+
+    def __init__(self, children: Sequence[Operator]):
+        if not children:
+            raise ValueError("ChainScan needs at least one child")
+        self._children = list(children)
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        for child in self._children:
+            yield from child.execute(stats)
+
+    def describe(self) -> str:
+        return " + ".join(child.describe() for child in self._children)
+
+
+class Filter(Operator):
+    """Residual predicate evaluation.
+
+    Always present above CIAO scans: bit-vectors admit false positives, so
+    every surviving tuple re-checks the full WHERE expression (§IV-B).
+    """
+
+    def __init__(self, child: Operator, predicate: Expr):
+        self._child = child
+        self._predicate = predicate
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        predicate = self._predicate
+        for row in self._child.execute(stats):
+            if predicate.evaluate(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self._predicate.sql()}) <- {self._child.describe()}"
+
+
+class Project(Operator):
+    """Column projection."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("projections need at least one column")
+        self._child = child
+        self._columns = list(columns)
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        columns = self._columns
+        for row in self._child.execute(stats):
+            yield {name: row.get(name) for name in columns}
+
+    def describe(self) -> str:
+        return (
+            f"Project({', '.join(self._columns)}) <- "
+            f"{self._child.describe()}"
+        )
+
+
+class Limit(Operator):
+    """Stop after *n* rows."""
+
+    def __init__(self, child: Operator, n: int):
+        if n < 0:
+            raise ValueError("LIMIT must be non-negative")
+        self._child = child
+        self._n = n
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        if self._n == 0:
+            return
+        emitted = 0
+        for row in self._child.execute(stats):
+            yield row
+            emitted += 1
+            if emitted >= self._n:
+                return
+
+    def describe(self) -> str:
+        return f"Limit({self._n}) <- {self._child.describe()}"
+
+
+@dataclass
+class _AggState:
+    count: int = 0
+    total: float = 0.0
+    minimum: Any = None
+    maximum: Any = None
+
+
+class Aggregate(Operator):
+    """COUNT/SUM/AVG/MIN/MAX over the child's rows (single output row).
+
+    Null handling follows SQL: only COUNT(*) counts null-valued rows;
+    per-column aggregates ignore nulls.
+    """
+
+    def __init__(self, child: Operator, items: Sequence):
+        from .sql import SelectItem  # local to avoid cycle at import time
+
+        self._child = child
+        self._items: List[SelectItem] = list(items)
+        for item in self._items:
+            if item.aggregate is None:
+                raise ValueError(
+                    "Aggregate received a non-aggregate select item; "
+                    "grouping is not supported"
+                )
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        states = [_AggState() for _ in self._items]
+        for row in self._child.execute(stats):
+            for item, state in zip(self._items, states):
+                if item.column == "*":
+                    state.count += 1
+                    continue
+                value = row.get(item.column)
+                if value is None:
+                    continue
+                state.count += 1
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    state.total += value
+                if state.minimum is None or value < state.minimum:
+                    state.minimum = value
+                if state.maximum is None or value > state.maximum:
+                    state.maximum = value
+        result: Dict[str, Any] = {}
+        for item, state in zip(self._items, states):
+            result[item.label] = self._finalize(item.aggregate, state)
+        yield result
+
+    @staticmethod
+    def _finalize(aggregate: str, state: _AggState) -> Any:
+        if aggregate == "COUNT":
+            return state.count
+        if aggregate == "SUM":
+            return state.total if state.count else None
+        if aggregate == "AVG":
+            return state.total / state.count if state.count else None
+        if aggregate == "MIN":
+            return state.minimum
+        if aggregate == "MAX":
+            return state.maximum
+        raise ValueError(f"unknown aggregate {aggregate}")
+
+    def describe(self) -> str:
+        labels = ", ".join(item.label for item in self._items)
+        return f"Aggregate({labels}) <- {self._child.describe()}"
+
+
+class GroupedAggregate(Operator):
+    """GROUP BY aggregation: one output row per distinct key tuple.
+
+    Select items must be either aggregates or bare group-by columns (the
+    planner enforces this).  Output order is first-appearance order of
+    each group, which keeps results deterministic for tests.
+    """
+
+    def __init__(self, child: Operator, group_columns: Sequence[str],
+                 items: Sequence):
+        if not group_columns:
+            raise ValueError("GroupedAggregate needs group columns")
+        self._child = child
+        self._group_columns = list(group_columns)
+        self._items = list(items)
+        for item in self._items:
+            if item.aggregate is None and \
+                    item.column not in self._group_columns:
+                raise ValueError(
+                    f"column {item.column!r} is neither aggregated nor "
+                    f"grouped"
+                )
+
+    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+        groups: Dict[tuple, List[_AggState]] = {}
+        order: List[tuple] = []
+        agg_items = [i for i in self._items if i.aggregate is not None]
+        for row in self._child.execute(stats):
+            key = tuple(row.get(c) for c in self._group_columns)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState() for _ in agg_items]
+                groups[key] = states
+                order.append(key)
+            for item, state in zip(agg_items, states):
+                if item.column == "*":
+                    state.count += 1
+                    continue
+                value = row.get(item.column)
+                if value is None:
+                    continue
+                state.count += 1
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    state.total += value
+                if state.minimum is None or value < state.minimum:
+                    state.minimum = value
+                if state.maximum is None or value > state.maximum:
+                    state.maximum = value
+        for key in order:
+            states = groups[key]
+            result: Dict[str, Any] = {}
+            agg_index = 0
+            for item in self._items:
+                if item.aggregate is None:
+                    result[item.label] = key[
+                        self._group_columns.index(item.column)
+                    ]
+                else:
+                    result[item.label] = Aggregate._finalize(
+                        item.aggregate, states[agg_index]
+                    )
+                    agg_index += 1
+            yield result
+
+    def describe(self) -> str:
+        labels = ", ".join(item.label for item in self._items)
+        keys = ", ".join(self._group_columns)
+        return (
+            f"GroupedAggregate([{keys}] -> {labels}) <- "
+            f"{self._child.describe()}"
+        )

@@ -1,0 +1,169 @@
+"""Query planning: when and how to use CIAO's bit-vector skipping.
+
+The decision procedure (paper §VI-B):
+
+1. Extract the query's top-level conjuncts and convert each supported one
+   into a :class:`~repro.core.predicates.Clause`.
+2. Look the clauses up in the table's pushdown map.  Every match yields a
+   predicate id.
+3. If at least one conjunct matched, scan **only the Parquet-lite files**,
+   with a :class:`SkippingScan` over the matched ids — the sideline cannot
+   contain qualifying tuples, because a sidelined record is invalid for
+   every pushed predicate, in particular the matched one.
+4. Otherwise scan Parquet-lite *and* the sideline (just-in-time parsing).
+5. In all cases the full WHERE expression is re-applied above the scan
+   (false positives; and the bit-vector only covers matched conjuncts).
+
+Additionally every Parquet-lite scan carries a **zone-map pruning hook**
+(:mod:`repro.engine.zonemaps`): row groups whose min/max statistics prove
+the WHERE clause unsatisfiable are skipped without decoding — this covers
+range and inequality predicates that CIAO cannot push to clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .catalog import TableEntry
+from .expressions import Expr, conjuncts, to_clause
+from .operators import (
+    Aggregate,
+    ChainScan,
+    Filter,
+    GroupedAggregate,
+    Limit,
+    Operator,
+    ParquetScan,
+    Project,
+    SidelineScan,
+    SkippingScan,
+)
+from .sql import ParsedQuery, SelectItem
+from .zonemaps import expr_prunes_group
+
+
+@dataclass
+class PlanInfo:
+    """What the planner decided, for reporting and tests."""
+
+    matched_predicate_ids: List[int] = field(default_factory=list)
+    used_skipping: bool = False
+    uses_zonemaps: bool = False
+    scans_sideline: bool = False
+    description: str = ""
+
+
+class PlannerError(ValueError):
+    """Query shape the engine cannot plan."""
+
+
+def plan_query(parsed: ParsedQuery, table: TableEntry
+               ) -> Tuple[Operator, PlanInfo]:
+    """Build the operator tree for *parsed* against *table*."""
+    info = PlanInfo()
+    matched_ids = _match_pushdown(parsed.where, table)
+    info.matched_predicate_ids = matched_ids
+
+    readers = table.open_readers()
+    scan_columns = _scan_columns(parsed)
+    prune = None
+    if parsed.where is not None:
+        where = parsed.where
+        info.uses_zonemaps = True
+
+        def prune(meta, _where=where):
+            return expr_prunes_group(_where, meta)
+
+    scans: List[Operator] = []
+    if matched_ids:
+        info.used_skipping = True
+        for reader in readers:
+            scans.append(SkippingScan(reader, matched_ids,
+                                      columns=scan_columns, prune=prune))
+    else:
+        for reader in readers:
+            scans.append(ParquetScan(reader, columns=scan_columns,
+                                     prune=prune))
+        if table.has_sideline:
+            info.scans_sideline = True
+            scans.append(SidelineScan(table.side_store))
+    if not scans:
+        # Empty table: an empty parquet scan equivalent.
+        scans.append(_EmptyScan())
+
+    plan: Operator = scans[0] if len(scans) == 1 else ChainScan(scans)
+    if parsed.where is not None:
+        plan = Filter(plan, parsed.where)
+    plan = _projection(plan, parsed)
+    if parsed.limit is not None:
+        plan = Limit(plan, parsed.limit)
+    info.description = plan.describe()
+    return plan, info
+
+
+def _match_pushdown(where: Optional[Expr], table: TableEntry) -> List[int]:
+    """Predicate ids for the query's pushed-down conjuncts."""
+    if where is None or not table.pushdown:
+        return []
+    ids: List[int] = []
+    for conjunct in conjuncts(where):
+        clause = to_clause(conjunct)
+        if clause is None:
+            continue
+        pid = table.pushed_id(clause)
+        if pid is not None:
+            ids.append(pid)
+    return sorted(set(ids))
+
+
+def _scan_columns(parsed: ParsedQuery) -> Optional[Sequence[str]]:
+    """Columns the scan must decode, or None for SELECT * shapes.
+
+    COUNT(*)-only queries still need the WHERE columns; projection pushdown
+    is what makes columnar scans cheap.
+    """
+    needed = set(parsed.group_by)
+    for item in parsed.select:
+        if item.column == "*":
+            if item.aggregate is None:
+                return None  # SELECT *: all columns
+            continue  # COUNT(*): no data column needed
+        needed.add(item.column)
+    if parsed.where is not None:
+        needed |= parsed.where.columns()
+    return sorted(needed) if needed else []
+
+
+def _projection(plan: Operator, parsed: ParsedQuery) -> Operator:
+    if parsed.group_by:
+        bad = [
+            item.column for item in parsed.select
+            if item.aggregate is None and item.column not in parsed.group_by
+        ]
+        if bad:
+            raise PlannerError(
+                f"columns {bad} appear in SELECT but are neither "
+                f"aggregated nor in GROUP BY"
+            )
+        return GroupedAggregate(plan, parsed.group_by, parsed.select)
+    if parsed.is_aggregate:
+        bare = [item for item in parsed.select if item.aggregate is None]
+        if bare:
+            raise PlannerError(
+                "mixing aggregates and bare columns requires GROUP BY"
+            )
+        return Aggregate(plan, parsed.select)
+    if len(parsed.select) == 1 and parsed.select[0].column == "*":
+        return plan
+    return Project(plan, [item.column for item in parsed.select])
+
+
+class _EmptyScan(Operator):
+    """Zero-row scan for empty tables."""
+
+    def execute(self, stats):
+        return iter(())
+
+    def describe(self) -> str:
+        return "EmptyScan"

@@ -1,0 +1,292 @@
+"""A small SQL parser covering the paper's query shapes and a bit more.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list FROM ident [WHERE disj] [LIMIT int]
+    select_list:= '*' | item (',' item)*
+    item       := agg '(' ('*' | ident) ')' | ident
+    agg        := COUNT | SUM | AVG | MIN | MAX
+    disj       := conj (OR conj)*
+    conj       := unary (AND unary)*
+    unary      := NOT unary | '(' disj ')' | predicate
+    predicate  := ident (('='|'!='|'<>'|'<'|'<='|'>'|'>=') literal
+                 | LIKE string
+                 | IS [NOT] NULL
+                 | IN '(' literal (',' literal)* ')')
+    literal    := string | number | TRUE | FALSE | NULL
+
+``col != NULL`` is accepted as the paper writes it (sugar for IS NOT NULL);
+``col IN (...)`` desugars to a disjunction of equalities — exactly the
+disjunctive clauses of §V-A.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+from .expressions import (
+    And,
+    Column,
+    Comparison,
+    Expr,
+    IsNotNull,
+    IsNull,
+    LikeExpr,
+    Literal,
+    Not,
+    Or,
+)
+
+AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+class SqlError(ValueError):
+    """Malformed SQL text."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: a column or an aggregate over one column/'*'."""
+
+    aggregate: Optional[str]  # None for a bare column
+    column: str               # '*' only valid under COUNT
+
+    @property
+    def label(self) -> str:
+        """Output column name."""
+        if self.aggregate is None:
+            return self.column
+        return f"{self.aggregate.lower()}({self.column})"
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed SELECT statement."""
+
+    select: Tuple[SelectItem, ...]
+    table: str
+    where: Optional[Expr]
+    limit: Optional[int]
+    group_by: Tuple[str, ...] = ()
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True if any select item aggregates or the query groups."""
+        return bool(self.group_by) or any(
+            item.aggregate for item in self.select
+        )
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+      | (?P<symbol><>|!=|<=|>=|[(),*=<>])
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenize SQL at: {remainder[:30]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        tokens.append((kind, match.group(kind)))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        kind, value = self._peek()
+        if kind == "ident" and value.upper() == word:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            kind, value = self._peek()
+            raise SqlError(f"expected {word}, found {value!r}")
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        kind, value = self._peek()
+        if kind == "symbol" and value == symbol:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect_symbol(self, symbol: str) -> None:
+        if not self._accept_symbol(symbol):
+            kind, value = self._peek()
+            raise SqlError(f"expected {symbol!r}, found {value!r}")
+
+    def _expect_ident(self) -> str:
+        kind, value = self._peek()
+        if kind != "ident":
+            raise SqlError(f"expected an identifier, found {value!r}")
+        self._pos += 1
+        return value
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("SELECT")
+        select = self._select_list()
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._disjunction()
+        group_by: List[str] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expect_ident())
+            while self._accept_symbol(","):
+                group_by.append(self._expect_ident())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            kind, value = self._next()
+            if kind != "number" or "." in value:
+                raise SqlError(f"LIMIT needs an integer, found {value!r}")
+            limit = int(value)
+        kind, value = self._peek()
+        if kind != "eof":
+            raise SqlError(f"trailing SQL after statement: {value!r}")
+        return ParsedQuery(tuple(select), table, where, limit,
+                           tuple(group_by))
+
+    def _select_list(self) -> List[SelectItem]:
+        if self._accept_symbol("*"):
+            return [SelectItem(None, "*")]
+        items = [self._select_item()]
+        while self._accept_symbol(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        name = self._expect_ident()
+        if name.upper() in AGGREGATES and self._accept_symbol("("):
+            agg = name.upper()
+            if self._accept_symbol("*"):
+                if agg != "COUNT":
+                    raise SqlError(f"{agg}(*) is not valid SQL")
+                column = "*"
+            else:
+                column = self._expect_ident()
+            self._expect_symbol(")")
+            return SelectItem(agg, column)
+        return SelectItem(None, name)
+
+    def _disjunction(self) -> Expr:
+        children = [self._conjunction()]
+        while self._accept_keyword("OR"):
+            children.append(self._conjunction())
+        if len(children) == 1:
+            return children[0]
+        return Or(tuple(children))
+
+    def _conjunction(self) -> Expr:
+        children = [self._unary()]
+        while self._accept_keyword("AND"):
+            children.append(self._unary())
+        if len(children) == 1:
+            return children[0]
+        return And(tuple(children))
+
+    def _unary(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return Not(self._unary())
+        if self._accept_symbol("("):
+            inner = self._disjunction()
+            self._expect_symbol(")")
+            return inner
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        column = Column(self._expect_ident())
+        if self._accept_keyword("LIKE"):
+            kind, value = self._next()
+            if kind != "string":
+                raise SqlError("LIKE needs a string pattern")
+            return LikeExpr(column, _unquote(value))
+        if self._accept_keyword("IS"):
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNotNull(column) if negated else IsNull(column)
+        if self._accept_keyword("IN"):
+            self._expect_symbol("(")
+            literals = [self._literal()]
+            while self._accept_symbol(","):
+                literals.append(self._literal())
+            self._expect_symbol(")")
+            return Or(
+                tuple(
+                    Comparison(column, "=", Literal(v)) for v in literals
+                )
+            )
+        kind, value = self._peek()
+        if kind == "symbol" and value in ("=", "!=", "<>", "<", "<=", ">",
+                                          ">="):
+            self._pos += 1
+            op = "!=" if value == "<>" else value
+            operand = self._literal()
+            if operand is None:
+                # The paper's `col != NULL` / `col = NULL` forms.
+                return IsNotNull(column) if op == "!=" else IsNull(column)
+            return Comparison(column, op, Literal(operand))
+        raise SqlError(f"expected a predicate operator, found {value!r}")
+
+    def _literal(self) -> Any:
+        kind, value = self._next()
+        if kind == "string":
+            return _unquote(value)
+        if kind == "number":
+            if "." in value or "e" in value or "E" in value:
+                return float(value)
+            return int(value)
+        if kind == "ident":
+            upper = value.upper()
+            if upper == "TRUE":
+                return True
+            if upper == "FALSE":
+                return False
+            if upper == "NULL":
+                return None
+        raise SqlError(f"expected a literal, found {value!r}")
+
+
+def _unquote(token: str) -> str:
+    return token[1:-1].replace("''", "'")
+
+
+def parse_sql(text: str) -> ParsedQuery:
+    """Parse one SELECT statement."""
+    if not text or not text.strip():
+        raise SqlError("empty SQL text")
+    return _Parser(text).parse()

@@ -1,0 +1,206 @@
+"""RFC 4180-style CSV reading and writing.
+
+Fields are quoted only when they contain the delimiter, the quote
+character, or a newline; quotes inside quoted fields are doubled.  The
+writer/parser pair is deterministic and self-inverse, which — exactly as
+with the JSON writer — is what lets raw pattern matching guarantee no
+false negatives: the matcher knows the one serialized form a value can
+take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class CsvError(ValueError):
+    """Malformed CSV line or inconsistent row shape."""
+
+
+@dataclass(frozen=True)
+class CsvDialect:
+    """Delimiter and quote configuration."""
+
+    delimiter: str = ","
+    quote: str = '"'
+
+    def __post_init__(self) -> None:
+        if len(self.delimiter) != 1 or len(self.quote) != 1:
+            raise CsvError("delimiter and quote must be single characters")
+        if self.delimiter == self.quote:
+            raise CsvError("delimiter and quote must differ")
+
+
+DEFAULT_DIALECT = CsvDialect()
+
+
+def escape_field(value: str, dialect: CsvDialect = DEFAULT_DIALECT) -> str:
+    """The serialized form of one field."""
+    needs_quoting = (
+        dialect.delimiter in value
+        or dialect.quote in value
+        or "\n" in value
+        or "\r" in value
+    )
+    if not needs_quoting:
+        return value
+    doubled = value.replace(dialect.quote, dialect.quote * 2)
+    return f"{dialect.quote}{doubled}{dialect.quote}"
+
+
+def write_row(values: Sequence[str],
+              dialect: CsvDialect = DEFAULT_DIALECT) -> str:
+    """Serialize one row of string fields."""
+    return dialect.delimiter.join(
+        escape_field(v, dialect) for v in values
+    )
+
+
+def parse_line_details(line: str,
+                       dialect: CsvDialect = DEFAULT_DIALECT
+                       ) -> List[Tuple[str, bool]]:
+    """Parse one CSV line into ``(text, was_quoted)`` fields.
+
+    The quoting flag is what disambiguates SQL NULL from the empty
+    string (PostgreSQL COPY semantics): an unquoted empty field is NULL,
+    a quoted empty field (``""``) is ``''``.
+    """
+    fields: List[Tuple[str, bool]] = []
+    buffer: List[str] = []
+    quoted = False
+    in_quotes = False
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if in_quotes:
+            if ch == dialect.quote:
+                if i + 1 < n and line[i + 1] == dialect.quote:
+                    buffer.append(dialect.quote)
+                    i += 2
+                    continue
+                in_quotes = False
+                i += 1
+                continue
+            buffer.append(ch)
+            i += 1
+            continue
+        if ch == dialect.quote:
+            if buffer:
+                raise CsvError(
+                    f"quote in the middle of an unquoted field at {i}"
+                )
+            in_quotes = True
+            quoted = True
+            i += 1
+            continue
+        if ch == dialect.delimiter:
+            fields.append(("".join(buffer), quoted))
+            buffer = []
+            quoted = False
+            i += 1
+            continue
+        buffer.append(ch)
+        i += 1
+    if in_quotes:
+        raise CsvError("unterminated quoted field")
+    fields.append(("".join(buffer), quoted))
+    return fields
+
+
+def parse_line(line: str,
+               dialect: CsvDialect = DEFAULT_DIALECT) -> List[str]:
+    """Parse one CSV line into its field texts."""
+    return [text for text, _ in parse_line_details(line, dialect)]
+
+
+class CsvCodec:
+    """Dict-record ↔ CSV-line conversion for a fixed column order.
+
+    Values serialize via ``str`` with JSON-style booleans (``true`` /
+    ``false``) and ``""`` for None; decoding optionally restores int,
+    float and bool types per column.
+    """
+
+    def __init__(self, columns: Sequence[str],
+                 types: Optional[Mapping[str, type]] = None,
+                 dialect: CsvDialect = DEFAULT_DIALECT):
+        if not columns:
+            raise CsvError("a codec needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise CsvError("duplicate column names")
+        self.columns = list(columns)
+        self.types = dict(types or {})
+        unknown = set(self.types) - set(self.columns)
+        if unknown:
+            raise CsvError(f"types given for unknown columns: {unknown}")
+        self.dialect = dialect
+
+    def field_text(self, value: Any) -> str:
+        """The pre-escaping text form of one value."""
+        if value is None:
+            return ""
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        return str(value)
+
+    def encode_record(self, record: Mapping[str, Any]) -> str:
+        """Serialize one record to a CSV line.
+
+        ``None`` becomes an unquoted empty field; an empty *string* is
+        written quoted (``""``) so the two survive a roundtrip —
+        PostgreSQL COPY semantics.
+        """
+        extra = set(record) - set(self.columns)
+        if extra:
+            raise CsvError(f"record has unknown columns: {sorted(extra)}")
+        pieces: List[str] = []
+        for column in self.columns:
+            value = record.get(column)
+            if value == "" and isinstance(value, str):
+                pieces.append(self.dialect.quote * 2)
+            else:
+                pieces.append(
+                    escape_field(self.field_text(value), self.dialect)
+                )
+        return self.dialect.delimiter.join(pieces)
+
+    def decode_line(self, line: str) -> Dict[str, Any]:
+        """Parse one CSV line back into a typed record."""
+        fields = parse_line_details(line, self.dialect)
+        if len(fields) != len(self.columns):
+            raise CsvError(
+                f"expected {len(self.columns)} fields, got {len(fields)}"
+            )
+        record: Dict[str, Any] = {}
+        for column, (text, quoted) in zip(self.columns, fields):
+            record[column] = self._restore(column, text, quoted)
+        return record
+
+    def _restore(self, column: str, text: str, quoted: bool) -> Any:
+        target = self.types.get(column, str)
+        if text == "":
+            if not quoted:
+                return None
+            if target is str:
+                return ""
+            raise CsvError(
+                f"quoted empty field in {target.__name__} column {column}"
+            )
+        if target is bool:
+            if text == "true":
+                return True
+            if text == "false":
+                return False
+            raise CsvError(f"bad boolean {text!r} in column {column}")
+        if target in (int, float):
+            try:
+                return target(text)
+            except ValueError:
+                raise CsvError(
+                    f"bad {target.__name__} {text!r} in column {column}"
+                ) from None
+        return text

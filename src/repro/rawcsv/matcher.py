@@ -1,0 +1,176 @@
+"""No-parse predicate matching on CSV lines.
+
+CSV lacks JSON's self-describing keys, so the Table I matchers adapt:
+
+* **substring match** stays a plain search (field text appears verbatim in
+  the line as long as the operand contains no quote character — quoting
+  only doubles quotes, leaving other characters intact);
+* **exact / key-value match** anchors the serialized field form against
+  the delimiter or line boundary: the pattern matches as ``,form,``,
+  ``form,`` at line start, ``,form`` at line end, or the whole line;
+* **prefix / suffix match** anchor likewise, additionally allowing the
+  quoted variant (a field is quoted when its *remainder* contains the
+  delimiter, which the prefix cannot know);
+* **key-presence match is not supported**: presence means "the Nth field
+  is non-empty", which cannot be decided without counting delimiters —
+  i.e. parsing.  :class:`CsvUnsupportedError` is raised, mirroring the
+  paper's rule that unsupported clauses are simply not pushdown candidates.
+
+Everything preserves the one-sided contract: false positives allowed
+(a pattern may match inside an unrelated column), false negatives
+impossible (hypothesis-verified in ``tests/properties``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..core.predicates import Clause, PredicateKind, SimplePredicate
+from .codec import CsvCodec, CsvDialect, escape_field
+
+
+class CsvUnsupportedError(ValueError):
+    """Predicate family not client-evaluable on CSV."""
+
+
+@dataclass(frozen=True)
+class CompiledCsvPredicate:
+    """One simple predicate compiled against a CSV dialect."""
+
+    kind: PredicateKind
+    matcher: Callable[[str], bool]
+    patterns: Tuple[str, ...]
+
+    def match(self, line: str) -> bool:
+        """Evaluate against one serialized CSV line."""
+        return self.matcher(line)
+
+
+@dataclass(frozen=True)
+class CompiledCsvClause:
+    """A disjunctive clause compiled for CSV lines."""
+
+    clause: Clause
+    specs: Tuple[CompiledCsvPredicate, ...]
+
+    def match(self, line: str) -> bool:
+        """True if any disjunct may match."""
+        return any(spec.match(line) for spec in self.specs)
+
+
+def _field_anchored(form: str, delimiter: str) -> Callable[[str], bool]:
+    """Match *form* as a complete field (delimiter/boundary anchored)."""
+    mid = delimiter + form + delimiter
+    head = form + delimiter
+    tail = delimiter + form
+
+    def match(line: str) -> bool:
+        return (
+            line == form
+            or line.startswith(head)
+            or line.endswith(tail)
+            or mid in line
+        )
+
+    return match
+
+
+def _prefix_anchored(operand: str, dialect: CsvDialect
+                     ) -> Callable[[str], bool]:
+    delimiter, quote = dialect.delimiter, dialect.quote
+    bare_head = operand
+    bare_mid = delimiter + operand
+    quoted_head = quote + operand
+    quoted_mid = delimiter + quote + operand
+
+    def match(line: str) -> bool:
+        return (
+            line.startswith(bare_head)
+            or line.startswith(quoted_head)
+            or bare_mid in line
+            or quoted_mid in line
+        )
+
+    return match
+
+
+def _suffix_anchored(operand: str, dialect: CsvDialect
+                     ) -> Callable[[str], bool]:
+    delimiter, quote = dialect.delimiter, dialect.quote
+    bare_tail = operand
+    bare_mid = operand + delimiter
+    quoted_tail = operand + quote
+    quoted_mid = operand + quote + delimiter
+
+    def match(line: str) -> bool:
+        return (
+            line.endswith(bare_tail)
+            or line.endswith(quoted_tail)
+            or bare_mid in line
+            or quoted_mid in line
+        )
+
+    return match
+
+
+def compile_csv_predicate(predicate: SimplePredicate,
+                          codec: CsvCodec) -> CompiledCsvPredicate:
+    """Compile one simple predicate for *codec*'s dialect.
+
+    Raises :class:`CsvUnsupportedError` for key-presence predicates and
+    for string operands containing the quote character (their serialized
+    form inside a quoted field is position-dependent, which would risk
+    false negatives).
+    """
+    kind = predicate.kind
+    dialect = codec.dialect
+    if kind is PredicateKind.KEY_PRESENCE:
+        raise CsvUnsupportedError(
+            "key-presence cannot be evaluated on raw CSV: field position "
+            "requires parsing"
+        )
+    if predicate.column not in codec.columns:
+        raise CsvUnsupportedError(
+            f"column {predicate.column!r} is not in the CSV schema"
+        )
+    if kind is PredicateKind.KEY_VALUE:
+        form = escape_field(
+            codec.field_text(predicate.value), dialect
+        )
+        return CompiledCsvPredicate(
+            kind, _field_anchored(form, dialect.delimiter), (form,)
+        )
+    operand = predicate.value
+    if dialect.quote in operand:
+        raise CsvUnsupportedError(
+            "operands containing the quote character are not "
+            "pushdown-safe on CSV"
+        )
+    if kind is PredicateKind.EXACT:
+        form = escape_field(operand, dialect)
+        return CompiledCsvPredicate(
+            kind, _field_anchored(form, dialect.delimiter), (form,)
+        )
+    if kind is PredicateKind.SUBSTRING:
+        return CompiledCsvPredicate(
+            kind, lambda line: operand in line, (operand,)
+        )
+    if kind is PredicateKind.PREFIX:
+        return CompiledCsvPredicate(
+            kind, _prefix_anchored(operand, dialect), (operand,)
+        )
+    if kind is PredicateKind.SUFFIX:
+        return CompiledCsvPredicate(
+            kind, _suffix_anchored(operand, dialect), (operand,)
+        )
+    raise AssertionError(f"unhandled kind {kind}")
+
+
+def compile_csv_clause(clause: Clause, codec: CsvCodec
+                       ) -> CompiledCsvClause:
+    """Compile a disjunctive clause; unsupported disjuncts poison it."""
+    specs: List[CompiledCsvPredicate] = [
+        compile_csv_predicate(p, codec) for p in clause.predicates
+    ]
+    return CompiledCsvClause(clause, tuple(specs))

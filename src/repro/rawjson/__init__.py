@@ -1,0 +1,33 @@
+"""Raw-JSON substrate: from-scratch tokenizer/parser/writer plus the
+no-parse matchers and chunking that CIAO's client side is built on."""
+
+from .chunks import DEFAULT_CHUNK_SIZE, JsonChunk, chunk_records, concat_chunks
+from .errors import JsonError, JsonSyntaxError, JsonTokenError
+from .parser import loads, parse_lines, parse_object, try_parse
+from .raw_matcher import contains, key_present, key_value_match
+from .tokenizer import Token, Tokenizer, TokenType, tokenize
+from .writer import dump_record, dumps, escape_string
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "JsonChunk",
+    "JsonError",
+    "JsonSyntaxError",
+    "JsonTokenError",
+    "Token",
+    "Tokenizer",
+    "TokenType",
+    "chunk_records",
+    "concat_chunks",
+    "contains",
+    "dump_record",
+    "dumps",
+    "escape_string",
+    "key_present",
+    "key_value_match",
+    "loads",
+    "parse_lines",
+    "parse_object",
+    "tokenize",
+    "try_parse",
+]

@@ -1,0 +1,23 @@
+"""Error types shared by the raw-JSON substrate."""
+
+from __future__ import annotations
+
+
+class JsonError(ValueError):
+    """Base class for JSON tokenizer/parser failures.
+
+    Carries the byte offset where the problem was detected so server-side
+    loaders can report which record of a chunk was malformed.
+    """
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class JsonSyntaxError(JsonError):
+    """Structural problem: bad token sequence, unbalanced braces, etc."""
+
+
+class JsonTokenError(JsonError):
+    """Lexical problem: bad escape, malformed number, stray character."""

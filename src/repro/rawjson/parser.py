@@ -1,0 +1,151 @@
+"""Recursive-descent JSON parser built on :mod:`repro.rawjson.tokenizer`.
+
+This is the server's "expensive" loading path — the Python analogue of the
+paper's rapidJSON step.  It produces plain Python objects (``dict`` / ``list``
+/ ``str`` / ``int`` / ``float`` / ``bool`` / ``None``) and raises
+:class:`~repro.rawjson.errors.JsonSyntaxError` with a byte offset on
+malformed input.
+
+Differential tests in ``tests/rawjson`` check it agrees with the stdlib
+``json`` module on every valid document hypothesis can produce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+from .errors import JsonSyntaxError
+from .tokenizer import Token, Tokenizer, TokenType
+
+# Nesting guard: JSON from sensors is shallow; a bound keeps malicious or
+# corrupt input from exhausting the interpreter stack.
+MAX_DEPTH = 128
+
+_VALUE_STARTERS = {
+    TokenType.LBRACE,
+    TokenType.LBRACKET,
+    TokenType.STRING,
+    TokenType.NUMBER,
+    TokenType.TRUE,
+    TokenType.FALSE,
+    TokenType.NULL,
+}
+
+
+class Parser:
+    """Single-document recursive-descent parser."""
+
+    def __init__(self, text: str):
+        self._tokenizer = Tokenizer(text)
+        self._current: Token = self._tokenizer.next_token()
+
+    def parse(self) -> Any:
+        """Parse exactly one JSON value and require EOF after it."""
+        value = self._parse_value(depth=0)
+        if self._current.type is not TokenType.EOF:
+            raise JsonSyntaxError(
+                f"trailing data after document: {self._current.type.name}",
+                self._current.position,
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> Token:
+        token = self._current
+        self._current = self._tokenizer.next_token()
+        return token
+
+    def _expect(self, ttype: TokenType) -> Token:
+        if self._current.type is not ttype:
+            raise JsonSyntaxError(
+                f"expected {ttype.name}, found {self._current.type.name}",
+                self._current.position,
+            )
+        return self._advance()
+
+    def _parse_value(self, depth: int) -> Any:
+        if depth > MAX_DEPTH:
+            raise JsonSyntaxError("maximum nesting depth exceeded",
+                                  self._current.position)
+        ttype = self._current.type
+        if ttype is TokenType.LBRACE:
+            return self._parse_object(depth)
+        if ttype is TokenType.LBRACKET:
+            return self._parse_array(depth)
+        if ttype in (TokenType.STRING, TokenType.NUMBER, TokenType.TRUE,
+                     TokenType.FALSE, TokenType.NULL):
+            return self._advance().value
+        raise JsonSyntaxError(
+            f"expected a value, found {ttype.name}", self._current.position
+        )
+
+    def _parse_object(self, depth: int) -> Dict[str, Any]:
+        self._expect(TokenType.LBRACE)
+        obj: Dict[str, Any] = {}
+        if self._current.type is TokenType.RBRACE:
+            self._advance()
+            return obj
+        while True:
+            key_token = self._expect(TokenType.STRING)
+            self._expect(TokenType.COLON)
+            obj[key_token.value] = self._parse_value(depth + 1)
+            if self._current.type is TokenType.COMMA:
+                self._advance()
+                continue
+            self._expect(TokenType.RBRACE)
+            return obj
+
+    def _parse_array(self, depth: int) -> List[Any]:
+        self._expect(TokenType.LBRACKET)
+        items: List[Any] = []
+        if self._current.type is TokenType.RBRACKET:
+            self._advance()
+            return items
+        while True:
+            items.append(self._parse_value(depth + 1))
+            if self._current.type is TokenType.COMMA:
+                self._advance()
+                continue
+            self._expect(TokenType.RBRACKET)
+            return items
+
+
+def loads(text: str) -> Any:
+    """Parse one JSON document from *text* (the `json.loads` equivalent)."""
+    return Parser(text).parse()
+
+
+def parse_object(text: str) -> Dict[str, Any]:
+    """Parse *text* and require the top-level value to be an object.
+
+    CIAO records are always JSON objects (one per line); anything else in a
+    chunk indicates a corrupt producer and should fail loudly at load time.
+    """
+    value = loads(text)
+    if not isinstance(value, dict):
+        raise JsonSyntaxError(
+            f"expected a JSON object, got {type(value).__name__}", 0
+        )
+    return value
+
+
+def parse_lines(lines: Iterable[str]) -> Iterator[Dict[str, Any]]:
+    """Parse newline-delimited JSON objects, skipping blank lines."""
+    for line in lines:
+        stripped = line.strip()
+        if stripped:
+            yield parse_object(stripped)
+
+
+def try_parse(text: str) -> Tuple[Any, bool]:
+    """Parse leniently: returns ``(value, ok)`` instead of raising.
+
+    Used by the just-in-time loader to quarantine malformed sideline records
+    without aborting a whole query.
+    """
+    try:
+        return loads(text), True
+    except JsonSyntaxError:
+        return None, False
+    except Exception:  # noqa: BLE001 - tokenizer errors subclass ValueError
+        return None, False

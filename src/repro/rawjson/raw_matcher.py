@@ -1,0 +1,102 @@
+"""Predicate evaluation on *raw* JSON text, without parsing.
+
+This is CIAO's client-side primitive (paper §IV): every supported predicate
+reduces to one or two substring searches over the serialized record.  Python's
+``str.find`` is a C routine, so — exactly as with ``std::string::find`` in
+the authors' C++ client — matching a record costs orders of magnitude less
+than parsing it.
+
+Contract (paper §IV-B): **false positives are allowed, false negatives are
+not**.  A ``True`` here means "the record may satisfy the predicate; verify
+after parsing"; a ``False`` means "the record definitely does not satisfy
+it".  Queries re-evaluate their full predicate on surviving tuples, so
+correctness never depends on the precision of these matchers.
+
+The pattern strings handed to these functions are produced by
+:mod:`repro.core.patterns`, which escapes operands with the same escaping the
+:mod:`repro.rawjson.writer` applies — that shared escaping is what makes the
+no-false-negative guarantee hold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def contains(raw: str, pattern: str) -> bool:
+    """Plain substring search: the primitive behind every matcher.
+
+    Used directly for *exact string match* (quoted operand) and *substring
+    match* (bare operand), per Table I of the paper.
+    """
+    return raw.find(pattern) != -1
+
+
+def key_present(raw: str, key_pattern: str) -> bool:
+    """Key-presence match (``email != NULL``): search the quoted key."""
+    return raw.find(key_pattern) != -1
+
+
+def key_value_match(raw: str, key_pattern: str, value_pattern: str) -> bool:
+    """Key-value match (``age = 10``): two-phase search per paper §IV-B.
+
+    Search for the key pattern; from just after it, scan to the next
+    key-value delimiter (a comma, or the closing brace for the final pair)
+    and report whether the value pattern occurs inside that window.  Every
+    occurrence of the key pattern is tried so a look-alike byte sequence
+    earlier in the record (e.g. inside a text field) can only *add* windows,
+    never hide the real one — preserving the no-false-negative contract.
+    """
+    for window_start in _iter_occurrences(raw, key_pattern):
+        window_end = _find_delimiter(raw, window_start)
+        if raw.find(value_pattern, window_start, window_end) != -1:
+            return True
+    return False
+
+
+def match_count_estimate(raw: str, pattern: str) -> int:
+    """Number of (non-overlapping) occurrences of *pattern* in *raw*.
+
+    Diagnostic helper used by the false-positive ablation bench to relate
+    pattern specificity to spurious matches.
+    """
+    if not pattern:
+        raise ValueError("empty patterns match everywhere; refusing to count")
+    count = 0
+    pos = raw.find(pattern)
+    while pos != -1:
+        count += 1
+        pos = raw.find(pattern, pos + len(pattern))
+    return count
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _iter_occurrences(raw: str, pattern: str) -> Iterator[int]:
+    """Yield the end offset of each occurrence of *pattern* in *raw*."""
+    pos = raw.find(pattern)
+    while pos != -1:
+        yield pos + len(pattern)
+        pos = raw.find(pattern, pos + 1)
+
+
+def _find_delimiter(raw: str, start: int) -> int:
+    """Offset of the window-terminating delimiter at or after *start*.
+
+    The paper scans to the next comma; the final key-value pair of an object
+    has no trailing comma, so we also accept the closing brace, and fall back
+    to end-of-record for truncated input.  Choosing the *nearest* of the two
+    keeps windows tight, which only risks false positives being missed —
+    i.e. fewer spurious loads — never false negatives for the scalar values
+    (numbers, booleans) this matcher is specified for.
+    """
+    comma = raw.find(",", start)
+    brace = raw.find("}", start)
+    if comma == -1 and brace == -1:
+        return len(raw)
+    if comma == -1:
+        return brace
+    if brace == -1:
+        return comma
+    return min(comma, brace)

@@ -1,0 +1,253 @@
+"""A from-scratch JSON tokenizer.
+
+CIAO's server must *actually pay* for parsing: partial loading only shows a
+benefit if converting a JSON record into tuples costs real work.  We therefore
+implement the lexer (and the parser on top of it) from scratch instead of
+calling the C-accelerated stdlib ``json`` — mirroring the paper's rapidJSON
+server component, where parsing is likewise orders of magnitude more expensive
+than a bare substring search.
+
+The grammar follows RFC 8259: strings with full escape handling (including
+``\\uXXXX`` surrogate pairs), numbers with optional fraction/exponent, the
+three literals, and the six punctuators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List, Optional, Union
+
+from .errors import JsonTokenError
+
+
+class TokenType(Enum):
+    """Lexical token kinds of RFC 8259 JSON."""
+
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COLON = auto()
+    COMMA = auto()
+    STRING = auto()
+    NUMBER = auto()
+    TRUE = auto()
+    FALSE = auto()
+    NULL = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its decoded value and source offset."""
+
+    type: TokenType
+    value: Union[str, int, float, bool, None]
+    position: int
+
+
+_WHITESPACE = " \t\n\r"
+_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+_DIGITS = "0123456789"
+
+
+class Tokenizer:
+    """Streaming lexer over a JSON text.
+
+    >>> [t.type.name for t in Tokenizer('{"a": 1}').tokens()]
+    ['LBRACE', 'STRING', 'COLON', 'NUMBER', 'RBRACE', 'EOF']
+    """
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._length = len(text)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens followed by a single EOF token."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.type is TokenType.EOF:
+                return
+
+    def next_token(self) -> Token:
+        """Scan and return the next token (EOF at end of input)."""
+        self._skip_whitespace()
+        if self._pos >= self._length:
+            return Token(TokenType.EOF, None, self._pos)
+        ch = self._text[self._pos]
+        start = self._pos
+        if ch == "{":
+            self._pos += 1
+            return Token(TokenType.LBRACE, "{", start)
+        if ch == "}":
+            self._pos += 1
+            return Token(TokenType.RBRACE, "}", start)
+        if ch == "[":
+            self._pos += 1
+            return Token(TokenType.LBRACKET, "[", start)
+        if ch == "]":
+            self._pos += 1
+            return Token(TokenType.RBRACKET, "]", start)
+        if ch == ":":
+            self._pos += 1
+            return Token(TokenType.COLON, ":", start)
+        if ch == ",":
+            self._pos += 1
+            return Token(TokenType.COMMA, ",", start)
+        if ch == '"':
+            return self._scan_string()
+        if ch == "-" or ch in _DIGITS:
+            return self._scan_number()
+        if ch == "t":
+            return self._scan_literal("true", TokenType.TRUE, True)
+        if ch == "f":
+            return self._scan_literal("false", TokenType.FALSE, False)
+        if ch == "n":
+            return self._scan_literal("null", TokenType.NULL, None)
+        raise JsonTokenError(f"unexpected character {ch!r}", self._pos)
+
+    @property
+    def position(self) -> int:
+        """Current byte offset into the input."""
+        return self._pos
+
+    # ------------------------------------------------------------------
+    def _skip_whitespace(self) -> None:
+        text, pos, length = self._text, self._pos, self._length
+        while pos < length and text[pos] in _WHITESPACE:
+            pos += 1
+        self._pos = pos
+
+    def _scan_literal(self, word: str, ttype: TokenType, value) -> Token:
+        start = self._pos
+        end = start + len(word)
+        if self._text[start:end] != word:
+            raise JsonTokenError(f"invalid literal, expected {word!r}", start)
+        self._pos = end
+        return Token(ttype, value, start)
+
+    def _scan_string(self) -> Token:
+        text = self._text
+        start = self._pos
+        pos = start + 1  # skip the opening quote
+        pieces: List[str] = []
+        segment_start = pos
+        while True:
+            if pos >= self._length:
+                raise JsonTokenError("unterminated string", start)
+            ch = text[pos]
+            if ch == '"':
+                pieces.append(text[segment_start:pos])
+                self._pos = pos + 1
+                return Token(TokenType.STRING, "".join(pieces), start)
+            if ch == "\\":
+                pieces.append(text[segment_start:pos])
+                decoded, pos = self._scan_escape(pos)
+                pieces.append(decoded)
+                segment_start = pos
+                continue
+            if ord(ch) < 0x20:
+                raise JsonTokenError(
+                    f"unescaped control character {ch!r} in string", pos
+                )
+            pos += 1
+
+    def _scan_escape(self, pos: int) -> tuple:
+        """Decode one backslash escape starting at *pos*; return (str, next)."""
+        text = self._text
+        if pos + 1 >= self._length:
+            raise JsonTokenError("truncated escape sequence", pos)
+        ch = text[pos + 1]
+        simple = _ESCAPES.get(ch)
+        if simple is not None:
+            return simple, pos + 2
+        if ch == "u":
+            code, pos = self._scan_unicode_escape(pos)
+            if 0xD800 <= code <= 0xDBFF:
+                return self._scan_surrogate_pair(code, pos)
+            if 0xDC00 <= code <= 0xDFFF:
+                # A lone low surrogate cannot be represented; substitute.
+                return "�", pos
+            return chr(code), pos
+        raise JsonTokenError(f"invalid escape character {ch!r}", pos + 1)
+
+    def _scan_unicode_escape(self, pos: int) -> tuple:
+        """Read ``\\uXXXX`` starting at *pos*; return (codepoint, next_pos)."""
+        hex_digits = self._text[pos + 2 : pos + 6]
+        if len(hex_digits) != 4:
+            raise JsonTokenError("truncated \\u escape", pos)
+        try:
+            code = int(hex_digits, 16)
+        except ValueError:
+            raise JsonTokenError(
+                f"invalid \\u escape {hex_digits!r}", pos
+            ) from None
+        return code, pos + 6
+
+    def _scan_surrogate_pair(self, high: int, pos: int) -> tuple:
+        """Combine a high surrogate with a following ``\\uXXXX`` low half."""
+        text = self._text
+        if text[pos : pos + 2] == "\\u":
+            low, next_pos = self._scan_unicode_escape(pos)
+            if 0xDC00 <= low <= 0xDFFF:
+                combined = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                return chr(combined), next_pos
+        # Unpaired high surrogate: substitute, consume nothing extra.
+        return "�", pos
+
+    def _scan_number(self) -> Token:
+        text = self._text
+        start = self._pos
+        pos = start
+        if pos < self._length and text[pos] == "-":
+            pos += 1
+        # Integer part: 0, or a nonzero digit followed by digits.
+        if pos >= self._length or text[pos] not in _DIGITS:
+            raise JsonTokenError("malformed number", start)
+        if text[pos] == "0":
+            pos += 1
+        else:
+            while pos < self._length and text[pos] in _DIGITS:
+                pos += 1
+        is_float = False
+        if pos < self._length and text[pos] == ".":
+            is_float = True
+            pos += 1
+            if pos >= self._length or text[pos] not in _DIGITS:
+                raise JsonTokenError("digit expected after decimal point", pos)
+            while pos < self._length and text[pos] in _DIGITS:
+                pos += 1
+        if pos < self._length and text[pos] in "eE":
+            is_float = True
+            pos += 1
+            if pos < self._length and text[pos] in "+-":
+                pos += 1
+            if pos >= self._length or text[pos] not in _DIGITS:
+                raise JsonTokenError("digit expected in exponent", pos)
+            while pos < self._length and text[pos] in _DIGITS:
+                pos += 1
+        literal = text[start:pos]
+        self._pos = pos
+        value: Union[int, float]
+        if is_float:
+            value = float(literal)
+        else:
+            value = int(literal)
+        return Token(TokenType.NUMBER, value, start)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text* eagerly; convenience wrapper for tests and tools."""
+    return list(Tokenizer(text).tokens())

@@ -1,0 +1,119 @@
+"""JSON serializer used by the synthetic data generators.
+
+Producing our own writer keeps the substrate self-contained and lets the
+generators control details the experiments rely on: stable key order (so a
+record's raw length is deterministic for the cost model) and ASCII-safe
+escaping (so client-side byte-oriented matching sees exactly what the writer
+produced).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+_ESCAPE_MAP = {
+    '"': '\\"',
+    "\\": "\\\\",
+    "\b": "\\b",
+    "\f": "\\f",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def escape_string(value: str) -> str:
+    """Escape *value* for embedding inside JSON double quotes.
+
+    Lone surrogate code points (invalid in UTF-8 text) are emitted as
+    ``\\uXXXX`` escapes so the output always UTF-8-encodes; note the
+    parser decodes such escapes to U+FFFD, as they do not denote a
+    character.
+    """
+    pieces: List[str] = []
+    for ch in value:
+        mapped = _ESCAPE_MAP.get(ch)
+        code = ord(ch)
+        if mapped is not None:
+            pieces.append(mapped)
+        elif code < 0x20 or 0xD800 <= code <= 0xDFFF:
+            pieces.append(f"\\u{code:04x}")
+        else:
+            pieces.append(ch)
+    return "".join(pieces)
+
+
+def dumps(value: Any, sort_keys: bool = False) -> str:
+    """Serialize *value* as compact JSON (no insignificant whitespace).
+
+    Compact output matters: the paper's cost model is linear in record
+    length, so the writer must not inject padding that would skew ``len(t)``.
+    """
+    pieces: List[str] = []
+    _write(value, pieces, sort_keys)
+    return "".join(pieces)
+
+
+def dump_record(record: Dict[str, Any]) -> str:
+    """Serialize one data record (a flat-ish JSON object) to a single line."""
+    if not isinstance(record, dict):
+        raise TypeError(f"records must be dicts, got {type(record).__name__}")
+    return dumps(record)
+
+
+def _write(value: Any, out: List[str], sort_keys: bool) -> None:
+    if value is None:
+        out.append("null")
+    elif value is True:
+        out.append("true")
+    elif value is False:
+        out.append("false")
+    elif isinstance(value, str):
+        out.append('"')
+        out.append(escape_string(value))
+        out.append('"')
+    elif isinstance(value, int):
+        out.append(str(value))
+    elif isinstance(value, float):
+        _write_float(value, out)
+    elif isinstance(value, dict):
+        _write_object(value, out, sort_keys)
+    elif isinstance(value, (list, tuple)):
+        _write_array(value, out, sort_keys)
+    else:
+        raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def _write_float(value: float, out: List[str]) -> None:
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError("NaN and infinities are not valid JSON")
+    if value == int(value) and abs(value) < 1e16:
+        # Keep x.0 so the value round-trips as a float.
+        out.append(f"{int(value)}.0")
+    else:
+        out.append(repr(value))
+
+
+def _write_object(value: Dict[str, Any], out: List[str],
+                  sort_keys: bool) -> None:
+    out.append("{")
+    keys = sorted(value) if sort_keys else list(value)
+    for i, key in enumerate(keys):
+        if not isinstance(key, str):
+            raise TypeError("JSON object keys must be strings")
+        if i:
+            out.append(",")
+        out.append('"')
+        out.append(escape_string(key))
+        out.append('":')
+        _write(value[key], out, sort_keys)
+    out.append("}")
+
+
+def _write_array(value, out: List[str], sort_keys: bool) -> None:
+    out.append("[")
+    for i, item in enumerate(value):
+        if i:
+            out.append(",")
+        _write(item, out, sort_keys)
+    out.append("]")

@@ -1,0 +1,27 @@
+"""Server-side substrate: partial loading, eager baseline, data skipping,
+and the CIAO server facade."""
+
+from .ciao import CiaoServer, ServerConfig
+from .ingest import EagerLoader
+from .loader import ClientAssistedLoader, LoadReport, LoadSummary
+from .skipping import (
+    SkippingEstimate,
+    estimate_skipping,
+    query_predicate_ids,
+    resolve_group_mask,
+    skipping_benefit_fractions,
+)
+
+__all__ = [
+    "CiaoServer",
+    "ClientAssistedLoader",
+    "EagerLoader",
+    "LoadReport",
+    "LoadSummary",
+    "ServerConfig",
+    "SkippingEstimate",
+    "estimate_skipping",
+    "query_predicate_ids",
+    "resolve_group_mask",
+    "skipping_benefit_fractions",
+]

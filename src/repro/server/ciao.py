@@ -1,0 +1,177 @@
+"""The CIAO server facade: plan registration, ingestion, and querying.
+
+Wires the whole server side together (Fig. 1, right):
+
+* holds the pushdown plan (Fig. 2's predicate hashmap) and decides the
+  partial-loading policy;
+* ingests encoded chunks from a channel — or :class:`JsonChunk` objects
+  directly — through the client-assisted loader;
+* registers the loaded table in a catalog and answers SQL through the mini
+  engine, with bit-vector skipping planned automatically.
+
+Partial-loading policy (``partial_loading='auto'``): enabled iff the plan
+covers every query of the prospective workload, i.e. each query has at
+least one pushed-down clause.  Then no prospective query ever needs the
+sideline (§VI-B), so sidelining records cannot hurt those queries.  With an
+uncovered workload the server loads everything — the paper's workload-C
+behaviour, where loading shows no win but skipping still helps covered
+queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..client.protocol import decode_chunk
+from ..core.optimizer import PushdownPlan
+from ..core.predicates import Query, Workload
+from ..engine.catalog import Catalog, TableEntry
+from ..engine.executor import Executor, QueryResult
+from ..rawjson.chunks import JsonChunk
+from ..simulate.network import Channel
+from ..storage.jsonstore import JsonSideStore
+from ..storage.schema import Schema
+from .loader import ClientAssistedLoader, LoadSummary
+
+
+@dataclass
+class ServerConfig:
+    """Construction options for :class:`CiaoServer`."""
+
+    data_dir: Path
+    table_name: str = "t"
+    partial_loading: str = "auto"  # 'auto' | 'on' | 'off'
+    schema: Optional[Schema] = None
+
+
+class CiaoServer:
+    """One CIAO server instance managing one table."""
+
+    def __init__(self, data_dir: str | Path,
+                 plan: Optional[PushdownPlan] = None,
+                 workload: Optional[Workload] = None,
+                 table_name: str = "t",
+                 partial_loading: str = "auto",
+                 schema: Optional[Schema] = None):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.plan = plan
+        self.workload = workload
+        self.table_name = table_name
+        self.partial_loading_enabled = self._decide_partial_loading(
+            partial_loading
+        )
+        self._side_store = JsonSideStore(
+            self.data_dir / f"{table_name}.sideline.jsonl"
+        )
+        self._parquet_path = self.data_dir / f"{table_name}.pql"
+        self._loader = ClientAssistedLoader(
+            self._parquet_path,
+            self._side_store,
+            partial_loading=self.partial_loading_enabled,
+            schema=schema,
+            required_predicate_ids=(
+                plan.predicate_ids if plan is not None else None
+            ),
+        )
+        self.catalog = Catalog()
+        self._table = TableEntry(
+            name=table_name,
+            parquet_paths=[],
+            side_store=self._side_store,
+            pushdown=(
+                {e.clause: e.predicate_id for e in plan.entries}
+                if plan is not None else {}
+            ),
+        )
+        self.catalog.register(self._table)
+        self._executor = Executor(self.catalog)
+        self._loading_finalized = False
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def ingest(self, chunk: Union[JsonChunk, bytes]) -> None:
+        """Ingest one chunk (decoded or wire-encoded)."""
+        if isinstance(chunk, (bytes, bytearray)):
+            chunk = decode_chunk(bytes(chunk))
+        self._loader.ingest(chunk)
+
+    def ingest_channel(self, channel: Channel) -> int:
+        """Drain a channel; returns the number of chunks ingested."""
+        count = 0
+        for payload in channel.drain():
+            self.ingest(payload)
+            count += 1
+        return count
+
+    def finalize_loading(self) -> LoadSummary:
+        """Seal storage and make the table queryable; idempotent."""
+        summary = self._loader.finalize()
+        if not self._loading_finalized:
+            self._table.parquet_paths = list(self._loader.parquet_paths)
+            self._table.invalidate()
+            self._loading_finalized = True
+        return summary
+
+    @property
+    def load_summary(self) -> LoadSummary:
+        """Loading statistics so far."""
+        return self._loader.summary
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> QueryResult:
+        """Execute one SQL statement against the loaded table."""
+        if not self._loading_finalized:
+            self.finalize_loading()
+        return self._executor.execute(sql)
+
+    def run_workload(self, queries: Iterable[Query]
+                     ) -> List[QueryResult]:
+        """Execute core-model queries via their SQL renderings."""
+        return [self.query(q.sql(self.table_name)) for q in queries]
+
+    @property
+    def table(self) -> TableEntry:
+        """The managed table's catalog entry."""
+        return self._table
+
+    def update_plan(self, plan: PushdownPlan) -> None:
+        """Swap in a replanned pushdown registry (adaptive replanning).
+
+        Affects the query path immediately: queries matching the new
+        plan's clauses resolve to its predicate ids.  Row groups loaded
+        before the new predicates existed have no vectors for them and
+        are scanned fully (the engine's missing-vector rule), so answers
+        stay exact; data ingested by future sessions carries the new
+        annotations.  Retained clauses keep their ids (see
+        :mod:`repro.core.adaptive`), so their historical vectors keep
+        skipping.
+        """
+        self.plan = plan
+        self._table.pushdown = {
+            e.clause: e.predicate_id for e in plan.entries
+        }
+
+    # ------------------------------------------------------------------
+    def _decide_partial_loading(self, mode: str) -> bool:
+        if mode == "on":
+            return True
+        if mode == "off":
+            return False
+        if mode != "auto":
+            raise ValueError(
+                f"partial_loading must be 'auto', 'on' or 'off', got {mode!r}"
+            )
+        if self.plan is None or len(self.plan) == 0:
+            return False
+        if self.workload is None:
+            # No prospective workload to check coverage against: be
+            # conservative, exactly like a baseline server.
+            return False
+        return all(self.plan.covers_query(q) for q in self.workload)

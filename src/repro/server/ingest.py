@@ -1,0 +1,50 @@
+"""The eager baseline loader: what a server does without CIAO.
+
+Parses and converts *every* record of *every* chunk, ignores bit-vectors
+entirely, and stores nothing in the sideline.  This is the paper's
+zero-budget baseline against which all loading speedups are measured.
+
+Implementation-wise it is the client-assisted loader with partial loading
+off and annotations dropped — made explicit as its own class so experiment
+code reads as "baseline vs CIAO", not as a flag soup.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..rawjson.chunks import JsonChunk
+from ..storage.jsonstore import JsonSideStore
+from ..storage.schema import Schema
+from .loader import ClientAssistedLoader, LoadReport, LoadSummary
+
+
+class EagerLoader:
+    """Parse-everything baseline loader."""
+
+    def __init__(self, parquet_path: str | Path,
+                 side_store: JsonSideStore,
+                 schema: Optional[Schema] = None):
+        self._inner = ClientAssistedLoader(
+            parquet_path, side_store, partial_loading=False, schema=schema
+        )
+
+    @property
+    def summary(self) -> LoadSummary:
+        """Session accounting (loading ratio is always 1.0 here)."""
+        return self._inner.summary
+
+    @property
+    def parquet_paths(self):
+        """The Parquet-lite files written so far."""
+        return self._inner.parquet_paths
+
+    def ingest(self, chunk: JsonChunk) -> LoadReport:
+        """Load the whole chunk, discarding any client annotations."""
+        stripped = JsonChunk(chunk.chunk_id, chunk.records)
+        return self._inner.ingest(stripped)
+
+    def finalize(self) -> LoadSummary:
+        """Seal the output file."""
+        return self._inner.finalize()

@@ -1,0 +1,218 @@
+"""The client-assisted data loader (paper §VI-A).
+
+For every received chunk the loader:
+
+1. computes the **load mask** — the union of the chunk's predicate
+   bit-vectors (a record is loaded iff it may satisfy at least one pushed
+   predicate);
+2. **parses** the selected records with the from-scratch JSON parser (the
+   expensive step partial loading exists to avoid) and writes them as one
+   Parquet-lite row group, attaching the *derived* bit-vectors (original
+   vectors restricted to the loaded positions);
+3. appends the rejected records, unparsed, to the raw JSON sideline store.
+
+Partial-loading policy: the mask is honoured only when the loader was
+constructed with ``partial_loading=True``.  The CIAO server enables it when
+the pushed-down set covers every prospective query (§VI-B: a covered query
+never needs the sideline).  With partial loading off — low budgets, low
+overlap, or the eager baseline — every record is loaded, but bit-vectors
+are *still* retained for data skipping, which is why workloads with no
+loading win can still show query wins (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..bitvec.bitvector import BitVector
+from ..rawjson.chunks import JsonChunk
+from ..rawjson.parser import try_parse
+from ..storage.columnar import ParquetLiteWriter
+from ..storage.jsonstore import JsonSideStore
+from ..storage.schema import (
+    Schema,
+    infer_schema,
+    merge_schemas,
+    schema_covers,
+)
+
+
+@dataclass
+class LoadReport:
+    """Accounting for one ingested chunk."""
+
+    chunk_id: int
+    received: int
+    loaded: int
+    sidelined: int
+    malformed: int
+    wall_seconds: float
+
+
+@dataclass
+class LoadSummary:
+    """Accounting for a whole loading session."""
+
+    chunks: int = 0
+    received: int = 0
+    loaded: int = 0
+    sidelined: int = 0
+    malformed: int = 0
+    wall_seconds: float = 0.0
+    reports: List[LoadReport] = field(default_factory=list)
+
+    @property
+    def loading_ratio(self) -> float:
+        """Loaded / received — the y-axis of Figs 7, 9, 11."""
+        return self.loaded / self.received if self.received else 0.0
+
+    def add(self, report: LoadReport) -> None:
+        """Fold one chunk report in."""
+        self.chunks += 1
+        self.received += report.received
+        self.loaded += report.loaded
+        self.sidelined += report.sidelined
+        self.malformed += report.malformed
+        self.wall_seconds += report.wall_seconds
+        self.reports.append(report)
+
+
+class ClientAssistedLoader:
+    """Load annotated chunks into Parquet-lite + sideline storage.
+
+    JSON streams have no declared schema, so the loader infers one from the
+    first loaded chunk and *rotates* to a new file with a widened schema
+    whenever a later chunk introduces new keys or wider types — the same
+    strategy streaming warehouses use for schema drift.  All produced files
+    together form the table (:attr:`parquet_paths`).
+
+    Args:
+        parquet_path: Base output path; rotated parts append ``.partN``.
+        side_store: Sideline store for unloaded records.
+        partial_loading: Honour the load mask; off = load everything.
+        schema: Optional pre-agreed schema (servers usually know one from
+            historical data); inference and rotation still widen it if the
+            stream disagrees.
+    """
+
+    def __init__(self, parquet_path: str | Path,
+                 side_store: JsonSideStore,
+                 partial_loading: bool,
+                 schema: Optional[Schema] = None,
+                 required_predicate_ids: Optional[Sequence[int]] = None):
+        self.parquet_path = Path(parquet_path)
+        self.side_store = side_store
+        self.partial_loading = partial_loading
+        self._schema = schema
+        #: Ids every chunk must annotate before any of its records may be
+        #: sidelined.  In heterogeneous fleets a weak client evaluates only
+        #: a sub-plan; a record it did not test against some pushed
+        #: predicate could still satisfy that predicate, so it must load.
+        self._required_ids = (
+            frozenset(required_predicate_ids)
+            if required_predicate_ids is not None else None
+        )
+        self._writer: Optional[ParquetLiteWriter] = None
+        self.parquet_paths: List[Path] = []
+        self.summary = LoadSummary()
+        self._finalized = False
+
+    def _may_sideline(self, chunk: JsonChunk) -> bool:
+        if not self.partial_loading:
+            return False
+        if self._required_ids is None:
+            return bool(chunk.bitvectors)
+        return self._required_ids <= set(chunk.bitvectors)
+
+    def ingest(self, chunk: JsonChunk) -> LoadReport:
+        """Load one chunk per the partial-loading policy."""
+        if self._finalized:
+            raise RuntimeError("loader already finalized")
+        start = time.perf_counter()
+        if self._may_sideline(chunk):
+            mask = chunk.load_mask()
+        else:
+            mask = BitVector.ones(len(chunk.records))
+        selected, rejected = chunk.split_by_mask(mask)
+
+        parsed_rows: List[Mapping[str, Any]] = []
+        kept_positions: List[int] = []
+        malformed = 0
+        for position in selected:
+            value, ok = try_parse(chunk.records[position])
+            if ok and isinstance(value, dict):
+                parsed_rows.append(value)
+                kept_positions.append(position)
+            else:
+                malformed += 1
+
+        if parsed_rows:
+            writer = self._ensure_writer(parsed_rows)
+            derived = self._derive_bitvectors(chunk, kept_positions)
+            writer.write_row_group(
+                parsed_rows,
+                bitvectors=derived,
+                source_chunk_id=chunk.chunk_id,
+            )
+        if rejected:
+            self.side_store.append(
+                chunk.chunk_id, (chunk.records[i] for i in rejected)
+            )
+        report = LoadReport(
+            chunk_id=chunk.chunk_id,
+            received=len(chunk.records),
+            loaded=len(parsed_rows),
+            sidelined=len(rejected),
+            malformed=malformed,
+            wall_seconds=time.perf_counter() - start,
+        )
+        self.summary.add(report)
+        return report
+
+    def finalize(self) -> LoadSummary:
+        """Seal the Parquet-lite file; idempotent."""
+        if not self._finalized:
+            if self._writer is not None:
+                self._writer.close()
+            self._finalized = True
+        return self.summary
+
+    # ------------------------------------------------------------------
+    def _ensure_writer(self, rows: Sequence[Mapping[str, Any]]
+                       ) -> ParquetLiteWriter:
+        needed = infer_schema(rows)
+        if self._schema is None:
+            self._schema = needed
+        elif not schema_covers(self._schema, needed):
+            self._schema = merge_schemas(self._schema, needed)
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+        if self._writer is None:
+            part = self.parquet_path.with_suffix(
+                f".part{len(self.parquet_paths)}" + self.parquet_path.suffix
+            )
+            self._writer = ParquetLiteWriter(part, self._schema)
+            self.parquet_paths.append(part)
+        return self._writer
+
+    @staticmethod
+    def _derive_bitvectors(chunk: JsonChunk,
+                           kept_positions: Sequence[int]
+                           ) -> Dict[int, BitVector]:
+        """Restrict chunk bit-vectors to the loaded rows (paper §VI-A).
+
+        Row ``i`` of the row group corresponds to ``kept_positions[i]`` of
+        the original chunk.
+        """
+        derived: Dict[int, BitVector] = {}
+        for pid, bv in chunk.bitvectors.items():
+            out = BitVector(len(kept_positions))
+            for row, position in enumerate(kept_positions):
+                if bv.get(position):
+                    out.set(row)
+            derived[pid] = out
+        return derived

@@ -1,0 +1,38 @@
+"""Simulation substrate: virtual time, hardware profiles, and transport."""
+
+from .clock import ClockWindow, VirtualClock
+from .hardware import (
+    GaussianNoise,
+    HardwareProfile,
+    HypervisorNoise,
+    PLATFORMS,
+    synthesize_observations,
+)
+from .network import (
+    Channel,
+    ChannelStats,
+    FileChannel,
+    LinkModel,
+    MemoryChannel,
+)
+from .runtime import ACCOUNTS, LOADING, PREFILTERING, QUERY, CostLedger
+
+__all__ = [
+    "ACCOUNTS",
+    "Channel",
+    "ChannelStats",
+    "ClockWindow",
+    "CostLedger",
+    "FileChannel",
+    "GaussianNoise",
+    "HardwareProfile",
+    "HypervisorNoise",
+    "LOADING",
+    "LinkModel",
+    "MemoryChannel",
+    "PLATFORMS",
+    "PREFILTERING",
+    "QUERY",
+    "VirtualClock",
+    "synthesize_observations",
+]

@@ -1,0 +1,72 @@
+"""A virtual clock for deterministic experiment timing.
+
+Wall-clock timings of a pure-Python prototype vary run to run and cannot
+match the paper's C++/Spark testbed anyway, so experiments report *two*
+time axes: real wall-clock (honest, noisy) and virtual time advanced by the
+calibrated cost model (deterministic, comparable across runs).  The virtual
+clock is the spine of the second axis.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class VirtualClock:
+    """Monotone microsecond counter advanced explicitly by components."""
+
+    def __init__(self, start_us: float = 0.0):
+        if start_us < 0:
+            raise ValueError("clocks cannot start before zero")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_us / 1e6
+
+    def advance(self, microseconds: float) -> float:
+        """Advance the clock and return the new time.
+
+        Negative advances are rejected: virtual time is monotone by
+        construction, which keeps experiment traces well-ordered.
+        """
+        if microseconds < 0:
+            raise ValueError(f"cannot advance by {microseconds} µs")
+        self._now_us += microseconds
+        return self._now_us
+
+    @contextmanager
+    def window(self) -> Iterator["ClockWindow"]:
+        """Measure virtual time spent inside a with-block."""
+        window = ClockWindow(self, self._now_us)
+        yield window
+        window.close(self._now_us)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock({self._now_us:.1f}µs)"
+
+
+class ClockWindow:
+    """Elapsed-virtual-time probe produced by :meth:`VirtualClock.window`."""
+
+    def __init__(self, clock: VirtualClock, start_us: float):
+        self._clock = clock
+        self.start_us = start_us
+        self.end_us: float | None = None
+
+    def close(self, end_us: float) -> None:
+        """Seal the window at *end_us* (called by the context manager)."""
+        self.end_us = end_us
+
+    @property
+    def elapsed_us(self) -> float:
+        """Virtual microseconds elapsed inside the window so far/at close."""
+        end = self.end_us if self.end_us is not None else self._clock.now_us
+        return end - self.start_us

@@ -1,0 +1,157 @@
+"""Simulated client→server transport.
+
+The paper's prototype "simulates all communication through file I/O" on a
+single machine; :class:`FileChannel` reproduces that literally (one spool
+file per chunk), while :class:`MemoryChannel` offers the same interface
+without touching disk for tests and fast benchmarks.  Both account bytes
+and messages so experiments can report transfer overhead — bit-vectors add
+~1 bit per record per pushed predicate, one of CIAO's selling points.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Iterator, List, Optional
+
+
+@dataclass
+class ChannelStats:
+    """Transfer accounting for one channel."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+
+    def record_send(self, size: int) -> None:
+        """Account one outgoing message of *size* bytes."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+    def record_receive(self) -> None:
+        """Account one delivered message."""
+        self.messages_received += 1
+
+
+class Channel(ABC):
+    """One-directional ordered message transport."""
+
+    def __init__(self) -> None:
+        self.stats = ChannelStats()
+
+    @abstractmethod
+    def send(self, payload: bytes) -> None:
+        """Enqueue one message."""
+
+    @abstractmethod
+    def receive(self) -> Optional[bytes]:
+        """Dequeue the oldest message, or None if the channel is empty."""
+
+    def drain(self) -> Iterator[bytes]:
+        """Receive until empty."""
+        while True:
+            payload = self.receive()
+            if payload is None:
+                return
+            yield payload
+
+    def __len__(self) -> int:
+        return self.pending()
+
+    @abstractmethod
+    def pending(self) -> int:
+        """Number of undelivered messages."""
+
+
+class MemoryChannel(Channel):
+    """In-process FIFO — the fast default for tests and benches."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque[bytes] = deque()
+
+    def send(self, payload: bytes) -> None:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("channels carry bytes")
+        self._queue.append(bytes(payload))
+        self.stats.record_send(len(payload))
+
+    def receive(self) -> Optional[bytes]:
+        if not self._queue:
+            return None
+        self.stats.record_receive()
+        return self._queue.popleft()
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class FileChannel(Channel):
+    """File-spool FIFO, mirroring the paper's file-I/O deployment.
+
+    Messages are numbered spool files under *directory*; receive order is
+    send order.  The channel owns the directory's ``.msg`` files; anything
+    else in there is left alone.
+    """
+
+    def __init__(self, directory: str | Path):
+        super().__init__()
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._next_send = 0
+        self._next_receive = 0
+        # Resume counters from any existing spool (restart tolerance).
+        existing = sorted(self._dir.glob("*.msg"))
+        if existing:
+            numbers = [int(p.stem) for p in existing]
+            self._next_receive = min(numbers)
+            self._next_send = max(numbers) + 1
+
+    def _path(self, index: int) -> Path:
+        return self._dir / f"{index:09d}.msg"
+
+    def send(self, payload: bytes) -> None:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("channels carry bytes")
+        path = self._path(self._next_send)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)  # atomic publish: no torn reads
+        self._next_send += 1
+        self.stats.record_send(len(payload))
+
+    def receive(self) -> Optional[bytes]:
+        path = self._path(self._next_receive)
+        if not path.exists():
+            return None
+        payload = path.read_bytes()
+        path.unlink()
+        self._next_receive += 1
+        self.stats.record_receive()
+        return payload
+
+    def pending(self) -> int:
+        return self._next_send - self._next_receive
+
+
+@dataclass
+class LinkModel:
+    """Optional virtual-time pricing of a link (extension over the paper).
+
+    Attributes:
+        bandwidth_mbps: Payload throughput in megabits per second.
+        latency_us: Fixed per-message latency.
+    """
+
+    bandwidth_mbps: float = 1000.0
+    latency_us: float = 50.0
+
+    def transfer_time_us(self, payload_bytes: int) -> float:
+        """Virtual µs to move one message across the link."""
+        if payload_bytes < 0:
+            raise ValueError("payload sizes are non-negative")
+        bits = payload_bytes * 8
+        return self.latency_us + bits / self.bandwidth_mbps

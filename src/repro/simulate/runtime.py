@@ -1,0 +1,111 @@
+"""Cost ledgers: the deterministic time axis of every experiment.
+
+Each end-to-end run maintains one :class:`CostLedger` with the paper's
+three accounts — ``prefiltering`` (client), ``loading`` (server parse +
+convert), ``query`` (execution) — charged in virtual microseconds from the
+calibrated cost model.  Wall-clock seconds are recorded alongside; the
+benches print both so readers can check that the deterministic model and
+the actual Python runtime agree in *shape*.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+#: Canonical account names, matching the stacked bars of Figs 3–5.
+PREFILTERING = "prefiltering"
+LOADING = "loading"
+QUERY = "query"
+ACCOUNTS = (PREFILTERING, LOADING, QUERY)
+
+
+@dataclass
+class CostLedger:
+    """Virtual-µs and wall-clock accounting across named accounts."""
+
+    virtual_us: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def charge(self, account: str, microseconds: float) -> None:
+        """Add virtual cost to *account*."""
+        if microseconds < 0:
+            raise ValueError("cannot charge negative cost")
+        self.virtual_us[account] = (
+            self.virtual_us.get(account, 0.0) + microseconds
+        )
+
+    def charge_wall(self, account: str, seconds: float) -> None:
+        """Add wall-clock seconds to *account*."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.wall_seconds[account] = (
+            self.wall_seconds.get(account, 0.0) + seconds
+        )
+
+    @contextmanager
+    def timed(self, account: str) -> Iterator[None]:
+        """Wall-clock a with-block into *account*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge_wall(account, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    def virtual_total_us(self) -> float:
+        """Σ virtual µs over all accounts."""
+        return sum(self.virtual_us.values())
+
+    def wall_total_seconds(self) -> float:
+        """Σ wall seconds over all accounts."""
+        return sum(self.wall_seconds.values())
+
+    def virtual_seconds(self, account: str) -> float:
+        """One account's virtual time, in seconds."""
+        return self.virtual_us.get(account, 0.0) / 1e6
+
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Sum of two ledgers (new object)."""
+        merged = CostLedger(dict(self.virtual_us), dict(self.wall_seconds))
+        for account, us in other.virtual_us.items():
+            merged.charge(account, us)
+        for account, sec in other.wall_seconds.items():
+            merged.charge_wall(account, sec)
+        return merged
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(account, virtual_seconds, wall_seconds) rows for reporting."""
+        accounts = list(ACCOUNTS) + sorted(
+            set(self.virtual_us) | set(self.wall_seconds) - set(ACCOUNTS)
+        )
+        seen = set()
+        out: List[Tuple[str, float, float]] = []
+        for account in accounts:
+            if account in seen:
+                continue
+            seen.add(account)
+            if (account not in self.virtual_us
+                    and account not in self.wall_seconds):
+                continue
+            out.append(
+                (
+                    account,
+                    self.virtual_seconds(account),
+                    self.wall_seconds.get(account, 0.0),
+                )
+            )
+        return out
+
+    def describe(self) -> str:
+        """Small table: per-account virtual and wall time."""
+        lines = [f"{'account':<14}{'virtual (s)':>14}{'wall (s)':>12}"]
+        for account, virtual, wall in self.rows():
+            lines.append(f"{account:<14}{virtual:>14.4f}{wall:>12.4f}")
+        lines.append(
+            f"{'total':<14}{self.virtual_total_us() / 1e6:>14.4f}"
+            f"{self.wall_total_seconds():>12.4f}"
+        )
+        return "\n".join(lines)

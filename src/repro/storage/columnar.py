@@ -1,0 +1,196 @@
+"""Parquet-lite file writer and reader.
+
+File layout::
+
+    [MAGIC "PQL1"]
+    [row group 0 block][row group 1 block]...
+    [footer JSON]
+    [footer length: 8 bytes little-endian]
+    [MAGIC "PQL1"]
+
+The footer (see :mod:`repro.storage.metadata`) carries the schema, column
+chunk locations, per-column stats, and CIAO's per-row-group predicate
+bit-vectors.  Readers memory-map nothing and cache decoded columns per row
+group; the format favours clarity over raw I/O tricks, but the *layout*
+decisions (columnar pages, row-group skipping, footer-last) are the real
+ones.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..bitvec.bitvector import BitVector
+from .encodings import Encoding
+from .metadata import MAGIC, FileMeta, RowGroupMeta
+from .rowgroup import RowGroupReader, build_row_group
+from .schema import Schema, infer_schema
+
+
+class ParquetLiteError(ValueError):
+    """Corrupt or inconsistent Parquet-lite file."""
+
+
+class ParquetLiteWriter:
+    """Streaming writer: append row groups, then :meth:`close` the footer.
+
+    Usable as a context manager; the footer is written on exit.
+    """
+
+    def __init__(self, path: str | Path, schema: Schema,
+                 encoding: Optional[Encoding] = None):
+        self.path = Path(path)
+        self.schema = schema
+        self._encoding = encoding
+        self._file = open(self.path, "wb")
+        self._file.write(MAGIC)
+        self._meta = FileMeta(schema=schema)
+        self._closed = False
+
+    def write_row_group(
+        self,
+        rows: Sequence[Mapping[str, Any]],
+        bitvectors: Optional[Mapping[int, BitVector]] = None,
+        source_chunk_id: Optional[int] = None,
+    ) -> RowGroupMeta:
+        """Append one row group with optional predicate bit-vectors."""
+        self._check_open()
+        block, meta = build_row_group(
+            rows,
+            self.schema,
+            base_offset=self._file.tell(),
+            source_chunk_id=source_chunk_id,
+            bitvectors=bitvectors,
+            encoding=self._encoding,
+        )
+        self._file.write(block)
+        self._meta.row_groups.append(meta)
+        return meta
+
+    def close(self) -> FileMeta:
+        """Write the footer and seal the file."""
+        self._check_open()
+        footer = self._meta.serialize()
+        self._file.write(footer)
+        self._file.write(len(footer).to_bytes(8, "little"))
+        self._file.write(MAGIC)
+        self._file.close()
+        self._closed = True
+        return self._meta
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ParquetLiteError("writer already closed")
+
+    def __enter__(self) -> "ParquetLiteWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            if exc_type is None:
+                self.close()
+            else:
+                self._file.close()  # leave no half-written footer
+
+
+class ParquetLiteReader:
+    """Reader with row-group granularity and bit-vector access."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        self.meta = self._read_footer()
+        self._groups = [
+            RowGroupReader(self._file, self.meta.schema, rg)
+            for rg in self.meta.row_groups
+        ]
+
+    def _read_footer(self) -> FileMeta:
+        f = self._file
+        f.seek(0, 2)
+        size = f.tell()
+        tail = len(MAGIC) + 8
+        if size < len(MAGIC) + tail:
+            raise ParquetLiteError(f"{self.path} is too small to be PQL1")
+        f.seek(0)
+        if f.read(len(MAGIC)) != MAGIC:
+            raise ParquetLiteError(f"{self.path}: bad leading magic")
+        f.seek(size - tail)
+        footer_len = int.from_bytes(f.read(8), "little")
+        if f.read(len(MAGIC)) != MAGIC:
+            raise ParquetLiteError(f"{self.path}: bad trailing magic")
+        footer_start = size - tail - footer_len
+        if footer_start < len(MAGIC):
+            raise ParquetLiteError(f"{self.path}: footer length corrupt")
+        f.seek(footer_start)
+        return FileMeta.deserialize(f.read(footer_len))
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The file schema."""
+        return self.meta.schema
+
+    @property
+    def total_rows(self) -> int:
+        """Total rows across row groups."""
+        return self.meta.total_rows
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def row_group(self, index: int) -> RowGroupReader:
+        """Reader for row group *index*."""
+        return self._groups[index]
+
+    def row_groups(self) -> Iterator[RowGroupReader]:
+        """Iterate row-group readers in file order."""
+        return iter(self._groups)
+
+    def iter_rows(self, columns: Optional[Sequence[str]] = None
+                  ) -> Iterator[Dict[str, Any]]:
+        """Full scan, optionally projected."""
+        for group in self._groups:
+            yield from group.rows(columns=columns)
+            group.clear_cache()
+
+    def read_all(self) -> List[Dict[str, Any]]:
+        """Materialize the whole file (tests / small files)."""
+        return list(self.iter_rows())
+
+    def bitvector(self, group_index: int,
+                  predicate_id: int) -> Optional[BitVector]:
+        """The stored bit-vector for (row group, predicate), if any."""
+        rg = self.meta.row_groups[group_index]
+        return rg.bitvectors.get(predicate_id)
+
+    def close(self) -> None:
+        """Release the file handle."""
+        self._file.close()
+
+    def __enter__(self) -> "ParquetLiteReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def write_records(path: str | Path,
+                  records: Sequence[Mapping[str, Any]],
+                  row_group_size: int = 1000,
+                  schema: Optional[Schema] = None,
+                  encoding: Optional[Encoding] = None) -> FileMeta:
+    """Convenience: write records in fixed-size row groups.
+
+    Infers the schema from all records unless one is given.
+    """
+    if not records:
+        raise ValueError("cannot write an empty Parquet-lite file")
+    if row_group_size <= 0:
+        raise ValueError("row_group_size must be positive")
+    schema = schema or infer_schema(records)
+    with ParquetLiteWriter(path, schema, encoding=encoding) as writer:
+        for start in range(0, len(records), row_group_size):
+            writer.write_row_group(records[start:start + row_group_size])
+    return writer._meta

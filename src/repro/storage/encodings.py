@@ -1,0 +1,264 @@
+"""Column encodings for Parquet-lite: PLAIN, DICTIONARY, and RLE.
+
+Each encoder turns a list of non-null python values of one
+:class:`~repro.storage.schema.ColumnType` into bytes and back.  Null
+handling lives one level up (the column chunk stores a presence bit-vector
+and only non-null values are encoded), mirroring Parquet's
+definition-levels-then-values layout in miniature.
+
+Encoding selection is heuristic, as in real writers: low-cardinality
+columns dictionary-encode, runs compress with RLE, everything else stays
+plain.  The encodings ablation bench measures the trade-offs.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+from typing import Any, List, Sequence, Tuple
+
+from .schema import ColumnType
+
+
+class Encoding(Enum):
+    """Available physical encodings."""
+
+    PLAIN = "plain"
+    DICTIONARY = "dictionary"
+    RLE = "rle"
+
+
+class EncodingError(ValueError):
+    """Corrupt encoded payload or unencodable values."""
+
+
+# ----------------------------------------------------------------------
+# Varints (shared by all encodings for counts/lengths/indices)
+# ----------------------------------------------------------------------
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise EncodingError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Read an unsigned varint at *pos*; return (value, next_pos)."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise EncodingError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to unsigned for varint storage."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# ----------------------------------------------------------------------
+# Plain value codecs per column type
+# ----------------------------------------------------------------------
+def _encode_plain_values(values: Sequence[Any],
+                         column_type: ColumnType) -> bytes:
+    out = bytearray()
+    if column_type in (ColumnType.STRING, ColumnType.JSON):
+        for value in values:
+            raw = value.encode("utf-8")
+            write_varint(out, len(raw))
+            out += raw
+    elif column_type is ColumnType.INT64:
+        for value in values:
+            write_varint(out, zigzag_encode(value))
+    elif column_type is ColumnType.FLOAT64:
+        out += struct.pack(f"<{len(values)}d", *values)
+    elif column_type is ColumnType.BOOL:
+        # Bit-pack, little-endian within bytes.
+        byte = 0
+        for i, value in enumerate(values):
+            if value:
+                byte |= 1 << (i & 7)
+            if i & 7 == 7:
+                out.append(byte)
+                byte = 0
+        if len(values) & 7:
+            out.append(byte)
+    else:
+        raise EncodingError(f"unhandled column type {column_type}")
+    return bytes(out)
+
+
+def _decode_plain_values(data: bytes, count: int,
+                         column_type: ColumnType) -> List[Any]:
+    values: List[Any] = []
+    pos = 0
+    if column_type in (ColumnType.STRING, ColumnType.JSON):
+        for _ in range(count):
+            length, pos = read_varint(data, pos)
+            values.append(data[pos:pos + length].decode("utf-8"))
+            pos += length
+    elif column_type is ColumnType.INT64:
+        for _ in range(count):
+            raw, pos = read_varint(data, pos)
+            values.append(zigzag_decode(raw))
+    elif column_type is ColumnType.FLOAT64:
+        values = list(struct.unpack_from(f"<{count}d", data, 0))
+    elif column_type is ColumnType.BOOL:
+        for i in range(count):
+            values.append(bool(data[i >> 3] >> (i & 7) & 1))
+    else:
+        raise EncodingError(f"unhandled column type {column_type}")
+    return values
+
+
+# ----------------------------------------------------------------------
+# Encoders
+# ----------------------------------------------------------------------
+def encode_plain(values: Sequence[Any], column_type: ColumnType) -> bytes:
+    """PLAIN: values back to back in type-specific form."""
+    return _encode_plain_values(values, column_type)
+
+
+def decode_plain(data: bytes, count: int,
+                 column_type: ColumnType) -> List[Any]:
+    """Inverse of :func:`encode_plain`."""
+    return _decode_plain_values(data, count, column_type)
+
+
+def encode_dictionary(values: Sequence[Any],
+                      column_type: ColumnType) -> bytes:
+    """DICTIONARY: distinct values (plain) + per-row varint indices."""
+    dictionary: List[Any] = []
+    index_of = {}
+    indices: List[int] = []
+    for value in values:
+        slot = index_of.get(value)
+        if slot is None:
+            slot = len(dictionary)
+            index_of[value] = slot
+            dictionary.append(value)
+        indices.append(slot)
+    out = bytearray()
+    write_varint(out, len(dictionary))
+    dict_bytes = _encode_plain_values(dictionary, column_type)
+    write_varint(out, len(dict_bytes))
+    out += dict_bytes
+    for index in indices:
+        write_varint(out, index)
+    return bytes(out)
+
+
+def decode_dictionary(data: bytes, count: int,
+                      column_type: ColumnType) -> List[Any]:
+    """Inverse of :func:`encode_dictionary`."""
+    dict_size, pos = read_varint(data, 0)
+    dict_len, pos = read_varint(data, pos)
+    dictionary = _decode_plain_values(
+        data[pos:pos + dict_len], dict_size, column_type
+    )
+    pos += dict_len
+    values: List[Any] = []
+    for _ in range(count):
+        index, pos = read_varint(data, pos)
+        if index >= dict_size:
+            raise EncodingError("dictionary index out of range")
+        values.append(dictionary[index])
+    return values
+
+
+def encode_rle(values: Sequence[Any], column_type: ColumnType) -> bytes:
+    """RLE: (run length, value) pairs; values plain-encoded one at a time."""
+    out = bytearray()
+    runs: List[Tuple[int, Any]] = []
+    for value in values:
+        if runs and runs[-1][1] == value and type(runs[-1][1]) is type(value):
+            runs[-1] = (runs[-1][0] + 1, value)
+        else:
+            runs.append((1, value))
+    write_varint(out, len(runs))
+    for length, value in runs:
+        write_varint(out, length)
+        encoded = _encode_plain_values([value], column_type)
+        write_varint(out, len(encoded))
+        out += encoded
+    return bytes(out)
+
+
+def decode_rle(data: bytes, count: int, column_type: ColumnType) -> List[Any]:
+    """Inverse of :func:`encode_rle`."""
+    n_runs, pos = read_varint(data, 0)
+    values: List[Any] = []
+    for _ in range(n_runs):
+        length, pos = read_varint(data, pos)
+        enc_len, pos = read_varint(data, pos)
+        value = _decode_plain_values(
+            data[pos:pos + enc_len], 1, column_type
+        )[0]
+        pos += enc_len
+        values.extend([value] * length)
+    if len(values) != count:
+        raise EncodingError(
+            f"RLE decoded {len(values)} values, expected {count}"
+        )
+    return values
+
+
+_ENCODERS = {
+    Encoding.PLAIN: (encode_plain, decode_plain),
+    Encoding.DICTIONARY: (encode_dictionary, decode_dictionary),
+    Encoding.RLE: (encode_rle, decode_rle),
+}
+
+
+def encode(values: Sequence[Any], column_type: ColumnType,
+           encoding: Encoding) -> bytes:
+    """Encode with an explicit encoding."""
+    return _ENCODERS[encoding][0](values, column_type)
+
+
+def decode(data: bytes, count: int, column_type: ColumnType,
+           encoding: Encoding) -> List[Any]:
+    """Decode *count* values with an explicit encoding."""
+    return _ENCODERS[encoding][1](data, count, column_type)
+
+
+def choose_encoding(values: Sequence[Any],
+                    column_type: ColumnType) -> Encoding:
+    """Writer heuristic: dictionary for low cardinality, RLE for runs.
+
+    Floats never dictionary-encode (distinctness is near-total and the
+    dictionary would just add overhead); booleans are already bit-packed in
+    PLAIN so only long runs justify RLE.
+    """
+    if not values:
+        return Encoding.PLAIN
+    sample = values if len(values) <= 512 else values[:512]
+    distinct = len(set(sample))
+    runs = 1 + sum(
+        1 for a, b in zip(sample, sample[1:]) if a != b
+    )
+    if runs <= len(sample) // 4:
+        return Encoding.RLE
+    if (column_type in (ColumnType.STRING, ColumnType.JSON,
+                        ColumnType.INT64)
+            and distinct <= len(sample) // 2):
+        return Encoding.DICTIONARY
+    return Encoding.PLAIN

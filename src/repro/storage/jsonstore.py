@@ -1,0 +1,107 @@
+"""The raw-JSON sideline store for records partial loading set aside.
+
+Records invalid for every pushed-down predicate are *not* converted to
+Parquet-lite; they are appended here in their original serialized form
+(paper §III: "the other is left in a raw JSON format, which requires later
+parsing and conversion to analyze the unprocessed records").  Queries whose
+predicates were all pushed down never touch this store; any other query
+must scan it — parsing each record just in time — which is precisely the
+cost asymmetry the partial-loading experiments measure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+from ..rawjson.parser import try_parse
+
+
+class JsonSideStore:
+    """Append-only newline-delimited store of unloaded raw records.
+
+    Each line is ``<chunk_id>\\t<raw json>`` so just-in-time loading can
+    trace a record back to its origin chunk.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._records = 0
+        self._bytes = 0
+        if self.path.exists():
+            # Recover counts from an existing store (restart tolerance).
+            with open(self.path, "r", encoding="utf-8") as f:
+                for line in f:
+                    if line.strip():
+                        self._records += 1
+                        self._bytes += len(line)
+        else:
+            self.path.touch()
+
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        """Number of sidelined records."""
+        return self._records
+
+    @property
+    def byte_size(self) -> int:
+        """Approximate store size in bytes."""
+        return self._bytes
+
+    def append(self, chunk_id: int, raw_records: Iterable[str]) -> int:
+        """Append raw records from one chunk; returns how many."""
+        count = 0
+        with open(self.path, "a", encoding="utf-8") as f:
+            for raw in raw_records:
+                if "\n" in raw:
+                    raise ValueError(
+                        "raw records must be single-line JSON"
+                    )
+                line = f"{chunk_id}\t{raw}\n"
+                f.write(line)
+                self._records += 1
+                self._bytes += len(line)
+                count += 1
+        return count
+
+    def iter_raw(self) -> Iterator[Tuple[int, str]]:
+        """Yield (chunk_id, raw_record) pairs in append order."""
+        with open(self.path, "r", encoding="utf-8") as f:
+            for line in f:
+                stripped = line.rstrip("\n")
+                if not stripped:
+                    continue
+                chunk_id, _, raw = stripped.partition("\t")
+                yield int(chunk_id), raw
+
+    def iter_parsed(self) -> Iterator[Dict[str, Any]]:
+        """Parse records just in time; malformed lines are skipped.
+
+        Skipping (rather than raising) quarantines producer corruption the
+        same way the eager loader would have; counts are exposed via
+        :meth:`scan_with_errors` when callers need them.
+        """
+        for _, raw in self.iter_raw():
+            value, ok = try_parse(raw)
+            if ok and isinstance(value, dict):
+                yield value
+
+    def scan_with_errors(self) -> Tuple[List[Dict[str, Any]], int]:
+        """Parse everything; returns (records, malformed_count)."""
+        records: List[Dict[str, Any]] = []
+        errors = 0
+        for _, raw in self.iter_raw():
+            value, ok = try_parse(raw)
+            if ok and isinstance(value, dict):
+                records.append(value)
+            else:
+                errors += 1
+        return records, errors
+
+    def clear(self) -> None:
+        """Empty the store (used when re-loading from scratch)."""
+        open(self.path, "w", encoding="utf-8").close()
+        self._records = 0
+        self._bytes = 0

@@ -1,0 +1,148 @@
+"""File and row-group metadata for Parquet-lite.
+
+The footer is where CIAO's integration with the storage format lives: each
+row group carries, besides per-column statistics, the **predicate
+bit-vectors** derived from the client chunks whose records were loaded into
+it (paper §VI-A: "we store the bit-vector information of this object into
+the metadata of each data block of the Parquet file").
+
+The footer is serialized as JSON via our own writer/parser — the format is
+self-hosted on the repository's substrates.  Bit-vector payloads are
+hex-encoded strings inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..bitvec.bitvector import BitVector
+from ..rawjson.parser import loads
+from ..rawjson.writer import dumps
+from .pages import PageStats
+from .schema import Schema
+
+#: Format magic / version, first and last bytes of every file.
+MAGIC = b"PQL1"
+
+
+@dataclass
+class ColumnChunkMeta:
+    """Location and statistics of one column chunk within a row group."""
+
+    offset: int
+    length: int
+    stats: PageStats
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the footer."""
+        return {
+            "offset": self.offset,
+            "length": self.length,
+            "row_count": self.stats.row_count,
+            "null_count": self.stats.null_count,
+            "min": self.stats.min_value,
+            "max": self.stats.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ColumnChunkMeta":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            offset=data["offset"],
+            length=data["length"],
+            stats=PageStats(
+                row_count=data["row_count"],
+                null_count=data["null_count"],
+                min_value=data["min"],
+                max_value=data["max"],
+            ),
+        )
+
+
+@dataclass
+class RowGroupMeta:
+    """One row group: column locations, row count, and CIAO bit-vectors."""
+
+    row_count: int
+    columns: Dict[str, ColumnChunkMeta] = field(default_factory=dict)
+    bitvectors: Dict[int, BitVector] = field(default_factory=dict)
+    source_chunk_id: Optional[int] = None
+
+    def attach_bitvector(self, predicate_id: int, bv: BitVector) -> None:
+        """Attach a derived predicate bit-vector (one bit per loaded row)."""
+        if len(bv) != self.row_count:
+            raise ValueError(
+                f"bit-vector has {len(bv)} bits for a row group of "
+                f"{self.row_count} rows"
+            )
+        self.bitvectors[predicate_id] = bv
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the footer."""
+        return {
+            "row_count": self.row_count,
+            "source_chunk_id": self.source_chunk_id,
+            "columns": {
+                name: meta.to_dict() for name, meta in self.columns.items()
+            },
+            "bitvectors": {
+                str(pid): bv.to_bytes().hex()
+                for pid, bv in self.bitvectors.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RowGroupMeta":
+        """Inverse of :meth:`to_dict`."""
+        meta = cls(
+            row_count=data["row_count"],
+            source_chunk_id=data.get("source_chunk_id"),
+        )
+        for name, column in data["columns"].items():
+            meta.columns[name] = ColumnChunkMeta.from_dict(column)
+        for pid, payload in data.get("bitvectors", {}).items():
+            meta.bitvectors[int(pid)] = BitVector.from_bytes(
+                bytes.fromhex(payload)
+            )
+        return meta
+
+
+@dataclass
+class FileMeta:
+    """The footer: schema, row groups, global row count."""
+
+    schema: Schema
+    row_groups: List[RowGroupMeta] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        """Rows across all row groups."""
+        return sum(rg.row_count for rg in self.row_groups)
+
+    @property
+    def predicate_ids(self) -> List[int]:
+        """All predicate ids annotated anywhere in the file, sorted."""
+        ids = set()
+        for rg in self.row_groups:
+            ids.update(rg.bitvectors)
+        return sorted(ids)
+
+    def serialize(self) -> bytes:
+        """Footer bytes (JSON, UTF-8)."""
+        return dumps(
+            {
+                "schema": self.schema.to_dict(),
+                "row_groups": [rg.to_dict() for rg in self.row_groups],
+            }
+        ).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "FileMeta":
+        """Inverse of :meth:`serialize`."""
+        data = loads(payload.decode("utf-8"))
+        meta = cls(schema=Schema.from_dict(data["schema"]))
+        meta.row_groups = [
+            RowGroupMeta.from_dict(rg) for rg in data["row_groups"]
+        ]
+        return meta

@@ -1,0 +1,125 @@
+"""Column-chunk pages: null bitmap + encoded values, with a tiny header.
+
+Page layout (all integers varint unless noted):
+
+    [encoding tag: 1 byte]
+    [row count: varint]
+    [null bitmap length: varint][null bitmap: BitVector bytes]
+    [values length: varint][encoded non-null values]
+
+The null bitmap has one bit per row (1 = present); only present values are
+encoded, Parquet-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..bitvec.bitvector import BitVector
+from .encodings import (
+    Encoding,
+    EncodingError,
+    choose_encoding,
+    decode,
+    encode,
+    read_varint,
+    write_varint,
+)
+from .schema import ColumnType
+
+_ENCODING_TAGS = {
+    Encoding.PLAIN: 0,
+    Encoding.DICTIONARY: 1,
+    Encoding.RLE: 2,
+}
+_TAG_ENCODINGS = {tag: enc for enc, tag in _ENCODING_TAGS.items()}
+
+
+@dataclass(frozen=True)
+class PageStats:
+    """Per-page statistics kept in row-group metadata.
+
+    min/max are tracked for orderable scalar types and are ``None`` for
+    JSON columns or all-null pages; null_count always populated.
+    """
+
+    row_count: int
+    null_count: int
+    min_value: Optional[Any]
+    max_value: Optional[Any]
+
+
+def write_page(values: Sequence[Any], column_type: ColumnType,
+               encoding: Optional[Encoding] = None
+               ) -> Tuple[bytes, PageStats]:
+    """Encode one column's values (with nulls) into a page.
+
+    ``encoding`` forces a specific encoding (the ablation bench does);
+    the default defers to :func:`choose_encoding` over non-null values.
+    """
+    presence = BitVector(len(values))
+    non_null: List[Any] = []
+    for i, value in enumerate(values):
+        if value is not None:
+            presence.set(i)
+            non_null.append(value)
+    chosen = encoding or choose_encoding(non_null, column_type)
+    payload = encode(non_null, column_type, chosen)
+    bitmap = presence.to_bytes()
+    out = bytearray()
+    out.append(_ENCODING_TAGS[chosen])
+    write_varint(out, len(values))
+    write_varint(out, len(bitmap))
+    out += bitmap
+    write_varint(out, len(payload))
+    out += payload
+    stats = _compute_stats(values, non_null, column_type)
+    return bytes(out), stats
+
+
+def read_page(data: bytes, column_type: ColumnType) -> List[Any]:
+    """Decode a page back to its values (with ``None`` for nulls)."""
+    if not data:
+        raise EncodingError("empty page")
+    tag = data[0]
+    try:
+        encoding = _TAG_ENCODINGS[tag]
+    except KeyError:
+        raise EncodingError(f"unknown encoding tag {tag}") from None
+    row_count, pos = read_varint(data, 1)
+    bitmap_len, pos = read_varint(data, pos)
+    presence = BitVector.from_bytes(data[pos:pos + bitmap_len])
+    pos += bitmap_len
+    payload_len, pos = read_varint(data, pos)
+    payload = data[pos:pos + payload_len]
+    if len(presence) != row_count:
+        raise EncodingError("null bitmap does not match page row count")
+    non_null = decode(payload, presence.count(), column_type, encoding)
+    values: List[Any] = [None] * row_count
+    for slot, row in enumerate(presence.iter_set()):
+        values[row] = non_null[slot]
+    return values
+
+
+def page_encoding(data: bytes) -> Encoding:
+    """Peek a page's encoding without decoding it (diagnostics)."""
+    if not data:
+        raise EncodingError("empty page")
+    try:
+        return _TAG_ENCODINGS[data[0]]
+    except KeyError:
+        raise EncodingError(f"unknown encoding tag {data[0]}") from None
+
+
+def _compute_stats(values: Sequence[Any], non_null: Sequence[Any],
+                   column_type: ColumnType) -> PageStats:
+    null_count = len(values) - len(non_null)
+    if not non_null or column_type is ColumnType.JSON:
+        return PageStats(len(values), null_count, None, None)
+    return PageStats(
+        row_count=len(values),
+        null_count=null_count,
+        min_value=min(non_null),
+        max_value=max(non_null),
+    )

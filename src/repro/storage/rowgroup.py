@@ -1,0 +1,107 @@
+"""Row-group assembly: rows in, column chunks + metadata out.
+
+A row group is the skipping granularity: the partial loader emits one row
+group per client chunk so the chunk's bit-vectors map one-to-one onto row
+positions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..bitvec.bitvector import BitVector
+from .encodings import Encoding
+from .metadata import ColumnChunkMeta, RowGroupMeta
+from .pages import read_page, write_page
+from .schema import Schema, coerce_value
+
+
+def build_row_group(
+    rows: Sequence[Mapping[str, Any]],
+    schema: Schema,
+    base_offset: int,
+    source_chunk_id: Optional[int] = None,
+    bitvectors: Optional[Mapping[int, BitVector]] = None,
+    encoding: Optional[Encoding] = None,
+) -> Tuple[bytes, RowGroupMeta]:
+    """Encode *rows* into a row-group block positioned at *base_offset*.
+
+    Returns the block bytes and its metadata (column chunk offsets are
+    absolute file offsets, so the caller passes where the block will land).
+    """
+    if not rows:
+        raise ValueError("row groups must contain at least one row")
+    meta = RowGroupMeta(
+        row_count=len(rows), source_chunk_id=source_chunk_id
+    )
+    block = bytearray()
+    for field in schema:
+        values = [
+            coerce_value(row.get(field.name), field.type) for row in rows
+        ]
+        page, stats = write_page(values, field.type, encoding=encoding)
+        meta.columns[field.name] = ColumnChunkMeta(
+            offset=base_offset + len(block),
+            length=len(page),
+            stats=stats,
+        )
+        block += page
+    if bitvectors:
+        for predicate_id, bv in bitvectors.items():
+            meta.attach_bitvector(predicate_id, bv)
+    return bytes(block), meta
+
+
+class RowGroupReader:
+    """Decode columns of one row group from an open file."""
+
+    def __init__(self, file_handle, schema: Schema, meta: RowGroupMeta):
+        self._file = file_handle
+        self._schema = schema
+        self.meta = meta
+        self._cache: Dict[str, List[Any]] = {}
+
+    @property
+    def row_count(self) -> int:
+        """Rows in this group."""
+        return self.meta.row_count
+
+    def column(self, name: str) -> List[Any]:
+        """Decode (and cache) one column.
+
+        A column missing from this file's schema reads as all nulls — a
+        query may reference keys that no loaded record ever had, or that
+        only appear in a later, wider file of the same table.
+        """
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        chunk = self.meta.columns.get(name)
+        if chunk is None:
+            values: List[Any] = [None] * self.meta.row_count
+        else:
+            self._file.seek(chunk.offset)
+            page = self._file.read(chunk.length)
+            values = read_page(page, self._schema.field(name).type)
+        self._cache[name] = values
+        return values
+
+    def rows(self, columns: Optional[Sequence[str]] = None,
+             indices: Optional[Sequence[int]] = None
+             ) -> List[Dict[str, Any]]:
+        """Materialize rows as dicts.
+
+        ``columns`` restricts which columns are decoded (projection
+        pushdown); ``indices`` restricts which row positions materialize
+        (the data-skipping hook — skipped rows are never built).
+        """
+        names = list(columns) if columns is not None else self._schema.names
+        data = {name: self.column(name) for name in names}
+        positions = indices if indices is not None else range(self.row_count)
+        return [
+            {name: data[name][i] for name in names} for i in positions
+        ]
+
+    def clear_cache(self) -> None:
+        """Drop decoded column caches (memory control for big scans)."""
+        self._cache.clear()

@@ -1,0 +1,252 @@
+"""Schema model and inference for the Parquet-lite columnar format.
+
+CIAO converts loaded JSON objects into a binary columnar layout (the paper
+uses Parquet via Arrow C++; we implement the format from scratch).  JSON is
+schemaless, so the writer infers a schema from the records it sees:
+
+* scalar types map to typed columns (STRING / INT64 / FLOAT64 / BOOL);
+* mixed numeric columns promote INT64 → FLOAT64;
+* nested objects/arrays and irreconcilably mixed columns fall back to the
+  JSON column type, which stores the value re-serialized as JSON text —
+  lossless, queryable after re-parse, exactly how engines handle "schema
+  drift" columns;
+* every column is nullable (a JSON object may simply omit the key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..rawjson.writer import dumps
+
+
+class ColumnType(Enum):
+    """Physical column types of Parquet-lite."""
+
+    STRING = "string"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    JSON = "json"
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed, always-nullable column."""
+
+    name: str
+    type: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fields need a name")
+
+
+class SchemaError(ValueError):
+    """A record does not fit the schema, or the schema is malformed."""
+
+
+class Schema:
+    """An ordered collection of fields with O(1) name lookup."""
+
+    def __init__(self, fields: Sequence[Field]):
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column names in schema")
+        self._fields = tuple(fields)
+        self._index: Dict[str, int] = {
+            f.name: i for i, f in enumerate(self._fields)
+        }
+
+    @property
+    def fields(self) -> Tuple[Field, ...]:
+        """The fields in column order."""
+        return self._fields
+
+    @property
+    def names(self) -> List[str]:
+        """Column names in order."""
+        return [f.name for f in self._fields]
+
+    def field(self, name: str) -> Field:
+        """Field by name."""
+        try:
+            return self._fields[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def index_of(self, name: str) -> int:
+        """Column position by name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{f.name}:{f.type.value}" for f in self._fields)
+        return f"Schema({cols})"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for the file footer."""
+        return {
+            "fields": [
+                {"name": f.name, "type": f.type.value} for f in self._fields
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Schema":
+        """Inverse of :meth:`to_dict`."""
+        fields = [
+            Field(entry["name"], ColumnType(entry["type"]))
+            for entry in data["fields"]
+        ]
+        return cls(fields)
+
+
+def _classify(value: Any) -> Optional[ColumnType]:
+    """Column type of a single JSON value; None for nulls."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return ColumnType.BOOL
+    if isinstance(value, int):
+        return ColumnType.INT64
+    if isinstance(value, float):
+        return ColumnType.FLOAT64
+    if isinstance(value, str):
+        return ColumnType.STRING
+    return ColumnType.JSON
+
+
+_PROMOTIONS = {
+    frozenset({ColumnType.INT64, ColumnType.FLOAT64}): ColumnType.FLOAT64,
+}
+
+
+def infer_schema(records: Iterable[Mapping[str, Any]]) -> Schema:
+    """Infer the widest schema covering *records*.
+
+    Column order is first-appearance order, which for generator output is
+    the stable writer key order.
+    """
+    seen: Dict[str, Optional[ColumnType]] = {}
+    order: List[str] = []
+    for record in records:
+        for key, value in record.items():
+            if key not in seen:
+                seen[key] = None
+                order.append(key)
+            kind = _classify(value)
+            if kind is None:
+                continue
+            current = seen[key]
+            if current is None or current == kind:
+                seen[key] = kind
+            else:
+                seen[key] = _PROMOTIONS.get(
+                    frozenset({current, kind}), ColumnType.JSON
+                )
+    if not order:
+        raise SchemaError("cannot infer a schema from zero records")
+    return Schema(
+        [Field(name, seen[name] or ColumnType.STRING) for name in order]
+    )
+
+
+def schema_covers(current: Schema, needed: Schema) -> bool:
+    """Can *current* store every field of *needed* losslessly?
+
+    True when each needed field exists in *current* with the same type, or
+    with a wider one (FLOAT64 stores INT64; JSON stores anything).  Used by
+    the loader to decide whether an incoming chunk fits the open file or
+    the schema must widen (file rotation).
+    """
+    for field in needed:
+        if field.name not in current:
+            return False
+        have = current.field(field.name).type
+        if have == field.type:
+            continue
+        if have is ColumnType.JSON:
+            continue
+        if have is ColumnType.FLOAT64 and field.type is ColumnType.INT64:
+            continue
+        return False
+    return True
+
+
+def merge_schemas(current: Schema, needed: Schema) -> Schema:
+    """Widen *current* to additionally cover *needed*.
+
+    Field order: current fields first (stable column ids for existing
+    data), then new fields in their needed order.  Conflicting types
+    promote INT64/FLOAT64 to FLOAT64 and everything else to JSON.
+    """
+    fields: List[Field] = []
+    for field in current:
+        if field.name in needed:
+            other = needed.field(field.name).type
+            if other == field.type:
+                fields.append(field)
+            else:
+                promoted = _PROMOTIONS.get(
+                    frozenset({field.type, other}), ColumnType.JSON
+                )
+                fields.append(Field(field.name, promoted))
+        else:
+            fields.append(field)
+    for field in needed:
+        if field.name not in current:
+            fields.append(field)
+    return Schema(fields)
+
+
+def coerce_value(value: Any, column_type: ColumnType) -> Any:
+    """Convert *value* to the physical representation of *column_type*.
+
+    Raises :class:`SchemaError` on lossy or impossible conversions — a
+    loader bug, not a data property, because the schema was inferred to
+    cover the data.
+    """
+    if value is None:
+        return None
+    if column_type is ColumnType.JSON:
+        return dumps(value)
+    if column_type is ColumnType.BOOL:
+        if isinstance(value, bool):
+            return value
+    elif column_type is ColumnType.INT64:
+        if isinstance(value, bool):
+            raise SchemaError("bool in INT64 column")
+        if isinstance(value, int):
+            return value
+    elif column_type is ColumnType.FLOAT64:
+        if isinstance(value, bool):
+            raise SchemaError("bool in FLOAT64 column")
+        if isinstance(value, (int, float)):
+            return float(value)
+    elif column_type is ColumnType.STRING:
+        if isinstance(value, str):
+            return value
+    raise SchemaError(
+        f"cannot store {type(value).__name__} value in a "
+        f"{column_type.value} column"
+    )

@@ -1,0 +1,145 @@
+"""Query workload generation (paper §VII-C and Table III).
+
+Every query instantiates the single template
+``SELECT COUNT(*) FROM <dataset> WHERE <conjunctive predicates>``.
+To build a query we assign each pool predicate an inclusion probability,
+scaled so the *expected* number of predicates per query is fixed (3 in the
+paper), and draw each predicate independently:
+
+* **uniform** — every predicate equally likely (workload C);
+* **zipfian(s)** — probability proportional to ``1/rank^s``, so a few hot
+  predicates recur across many queries (workloads A and B).
+
+Queries that draw no predicate are rejected and resampled, which is why the
+realized per-query counts (Table III's Min/Max) start at 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.predicates import Clause, Query, Workload
+from ..data.zipf import zipf_weights
+from .pool import PredicatePool
+
+
+@dataclass(frozen=True)
+class SelectionDistribution:
+    """How pool predicates are drawn into queries.
+
+    ``exponent = 0`` is the uniform distribution; larger exponents
+    concentrate inclusion probability on low ranks.  (The paper parameterizes
+    its numpy Zipfian so that a *smaller* parameter is *more* skewed; we
+    record the paper label separately in the canonical workload specs and
+    always use the standard "larger exponent = more skew" here.)
+    """
+
+    exponent: float
+
+    def inclusion_probabilities(self, pool_size: int,
+                                expected_predicates: float) -> List[float]:
+        """Per-rank inclusion probabilities summing to the expected count.
+
+        Probabilities are capped at 1; mass lost to capping is re-spread
+        over uncapped ranks so the expectation stays (approximately) fixed.
+        """
+        if expected_predicates <= 0:
+            raise ValueError("expected predicate count must be positive")
+        if expected_predicates > pool_size:
+            raise ValueError(
+                f"cannot expect {expected_predicates} predicates from a "
+                f"pool of {pool_size}"
+            )
+        weights = zipf_weights(pool_size, self.exponent)
+        probs = [w * expected_predicates for w in weights]
+        # Redistribute the excess of capped ranks (≥ 1.0) onto the rest.
+        for _ in range(32):
+            excess = sum(p - 1.0 for p in probs if p > 1.0)
+            if excess <= 1e-12:
+                break
+            uncapped_weight = sum(
+                weights[i] for i, p in enumerate(probs) if p < 1.0
+            )
+            if uncapped_weight <= 0:
+                break
+            for i, p in enumerate(probs):
+                if p > 1.0:
+                    probs[i] = 1.0
+                elif p < 1.0:
+                    probs[i] = min(
+                        1.0, p + excess * weights[i] / uncapped_weight
+                    )
+        return [min(1.0, p) for p in probs]
+
+
+UNIFORM = SelectionDistribution(0.0)
+
+
+def zipfian(exponent: float) -> SelectionDistribution:
+    """A Zipfian selection distribution with the given exponent."""
+    if exponent < 0:
+        raise ValueError("Zipf exponents must be non-negative")
+    return SelectionDistribution(exponent)
+
+
+def generate_query(pool: PredicatePool,
+                   probabilities: Sequence[float],
+                   rng: random.Random,
+                   max_predicates: Optional[int] = None,
+                   name: str = "") -> Query:
+    """Draw one query; resample until it has ≥ 1 predicate.
+
+    ``max_predicates`` optionally rejects overly long conjunctions, used by
+    the micro-benchmarks that fix the exact predicate count per query.
+    """
+    for _ in range(10_000):
+        chosen: List[Clause] = [
+            pool[i] for i, p in enumerate(probabilities)
+            if rng.random() < p
+        ]
+        if not chosen:
+            continue
+        if max_predicates is not None and len(chosen) > max_predicates:
+            continue
+        return Query(tuple(chosen), name=name)
+    raise RuntimeError(
+        "rejected 10000 query draws; inclusion probabilities are degenerate"
+    )
+
+
+def generate_workload(pool: PredicatePool,
+                      n_queries: int,
+                      expected_predicates: float,
+                      distribution: SelectionDistribution,
+                      rng: random.Random,
+                      max_predicates: Optional[int] = None) -> Workload:
+    """Generate a full workload in the paper's style."""
+    if n_queries <= 0:
+        raise ValueError("need at least one query")
+    probabilities = distribution.inclusion_probabilities(
+        len(pool), expected_predicates
+    )
+    queries = tuple(
+        generate_query(pool, probabilities, rng,
+                       max_predicates=max_predicates, name=f"q{i}")
+        for i in range(n_queries)
+    )
+    return Workload(queries, dataset=pool.dataset)
+
+
+def fixed_size_query(pool: PredicatePool, ranks: Sequence[int],
+                     name: str = "") -> Query:
+    """A query over explicit pool ranks (micro-benchmark construction)."""
+    return Query(tuple(pool.subset(ranks)), name=name)
+
+
+def overlap_statistics(workload: Workload) -> Tuple[float, float]:
+    """(mean queries per distinct clause, max queries per clause).
+
+    The first number is the paper's informal "predicate overlap": how many
+    queries an average pushed-down predicate would serve.
+    """
+    counts = list(workload.clause_query_counts().values())
+    return sum(counts) / len(counts), float(max(counts))

@@ -1,0 +1,80 @@
+"""Predicate pools: the candidate clauses a workload draws from.
+
+Paper §VII-C: "we build a predicate pool and randomly draw the predicates
+from the pool to build each query's conjunctive predicates".  A pool is an
+ordered list of distinct clauses; order matters because skewed selection
+assigns rank-based probabilities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..core.predicates import Clause
+from .templates import PredicateTemplate, templates_for
+
+
+class PredicatePool:
+    """An ordered pool of candidate clauses for one dataset.
+
+    The pool's iteration order defines predicate *rank* for Zipfian query
+    generation: rank 0 is the most likely to be drawn into a query.  The
+    order is shuffled once at construction (deterministically from the
+    seed), so rank is independent of which template a clause came from.
+    """
+
+    def __init__(self, dataset: str, clauses: Sequence[Clause]):
+        if not clauses:
+            raise ValueError("a predicate pool cannot be empty")
+        if len(set(clauses)) != len(clauses):
+            raise ValueError("pool clauses must be distinct")
+        self.dataset = dataset
+        self._clauses = list(clauses)
+
+    @classmethod
+    def from_templates(cls, dataset: str,
+                       rng: Optional[random.Random] = None,
+                       max_per_template: Optional[int] = None,
+                       ) -> "PredicatePool":
+        """Expand the dataset's Table II templates into a pool.
+
+        ``max_per_template`` truncates large templates (the 100-candidate
+        integer templates) to keep micro-benchmark pools small; the
+        end-to-end experiments use the full expansion.
+        """
+        clauses: List[Clause] = []
+        for template in templates_for(dataset):
+            candidates = template.candidates()
+            if max_per_template is not None:
+                candidates = candidates[:max_per_template]
+            clauses.extend(candidates)
+        if rng is not None:
+            rng.shuffle(clauses)
+        return cls(dataset, clauses)
+
+    # ------------------------------------------------------------------
+    @property
+    def clauses(self) -> List[Clause]:
+        """The pool contents in rank order (copy-safe view)."""
+        return list(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __getitem__(self, rank: int) -> Clause:
+        return self._clauses[rank]
+
+    def __iter__(self):
+        return iter(self._clauses)
+
+    def __contains__(self, clause: Clause) -> bool:
+        return clause in set(self._clauses)
+
+    def rank_of(self, clause: Clause) -> int:
+        """Rank (draw-probability order) of *clause*."""
+        return self._clauses.index(clause)
+
+    def subset(self, ranks: Sequence[int]) -> List[Clause]:
+        """Clauses at the given ranks."""
+        return [self._clauses[r] for r in ranks]

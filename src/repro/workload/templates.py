@@ -1,0 +1,190 @@
+"""Predicate templates per dataset (paper Table II).
+
+Each template expands into its candidate predicates — e.g. ``stars = <int>``
+into five concrete clauses — and the union of expansions forms the dataset's
+*predicate pool* from which query workloads draw.
+
+The candidates are aligned with the synthetic generators in
+:mod:`repro.data`: every template targets an attribute the generator
+produces, with the same candidate counts as Table II.  Timestamp LIKE
+templates are anchored for our JSON encoding (e.g. the "second" template
+matches the end of the ``time`` string instead of the raw log line's
+trailing comma); DESIGN.md §2 records this adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..core.predicates import (
+    Clause,
+    clause,
+    exact,
+    key_value,
+    prefix,
+    substring,
+    suffix,
+)
+from ..data import winlog, ycsb, yelp
+
+
+@dataclass(frozen=True)
+class PredicateTemplate:
+    """One Table II row: a parameterized predicate and its value domain."""
+
+    name: str
+    dataset: str
+    count: int
+    make: Callable[[int], Clause]
+
+    def candidates(self) -> List[Clause]:
+        """Expand into all candidate clauses."""
+        return [self.make(i) for i in range(self.count)]
+
+    def candidate(self, index: int) -> Clause:
+        """The *index*-th candidate."""
+        if not 0 <= index < self.count:
+            raise IndexError(
+                f"template {self.name} has {self.count} candidates"
+            )
+        return self.make(index)
+
+
+def _yelp_templates() -> List[PredicateTemplate]:
+    top_users = yelp.top_user_ids(5)
+    return [
+        PredicateTemplate(
+            "useful = <int>", "yelp", 100,
+            lambda i: clause(key_value("useful", i)),
+        ),
+        PredicateTemplate(
+            "cool = <int>", "yelp", 100,
+            lambda i: clause(key_value("cool", i)),
+        ),
+        PredicateTemplate(
+            "funny = <int>", "yelp", 100,
+            lambda i: clause(key_value("funny", i)),
+        ),
+        PredicateTemplate(
+            "stars = <int>", "yelp", 5,
+            lambda i: clause(key_value("stars", i + 1)),
+        ),
+        PredicateTemplate(
+            "user_id = <string>", "yelp", 5,
+            lambda i: clause(exact("user_id", top_users[i])),
+        ),
+        PredicateTemplate(
+            "text LIKE <string>", "yelp", len(yelp.TEXT_KEYWORDS),
+            lambda i: clause(substring("text", yelp.TEXT_KEYWORDS[i])),
+        ),
+        PredicateTemplate(
+            "date LIKE <year>", "yelp", len(yelp.YEARS),
+            lambda i: clause(prefix("date", f"{yelp.YEARS[i]:04d}-")),
+        ),
+        PredicateTemplate(
+            "date LIKE <month>", "yelp", 12,
+            lambda i: clause(substring("date", f"-{i + 1:02d}-")),
+        ),
+    ]
+
+
+def _winlog_templates() -> List[PredicateTemplate]:
+    return [
+        PredicateTemplate(
+            "info LIKE <string>", "winlog", winlog.INFO_KEYWORD_COUNT,
+            lambda i: clause(substring("info", winlog.INFO_KEYWORDS[i])),
+        ),
+        PredicateTemplate(
+            "time LIKE <month>", "winlog", 12,
+            lambda i: clause(substring("time", f"-{i + 1:02d}-")),
+        ),
+        PredicateTemplate(
+            "time LIKE <day>", "winlog", 31,
+            lambda i: clause(substring("time", f"-{i + 1:02d} ")),
+        ),
+        PredicateTemplate(
+            "time LIKE <hour>", "winlog", 24,
+            lambda i: clause(substring("time", f" {i:02d}:")),
+        ),
+        PredicateTemplate(
+            "time LIKE <minute>", "winlog", 60,
+            lambda i: clause(substring("time", f":{i:02d}:")),
+        ),
+        PredicateTemplate(
+            "time LIKE <second>", "winlog", 60,
+            lambda i: clause(suffix("time", f":{i:02d}")),
+        ),
+    ]
+
+
+def _ycsb_templates() -> List[PredicateTemplate]:
+    return [
+        PredicateTemplate(
+            "isActive = <boolean>", "ycsb", 2,
+            lambda i: clause(key_value("isActive", i == 0)),
+        ),
+        PredicateTemplate(
+            "linear_score = <int>", "ycsb", 100,
+            lambda i: clause(key_value("linear_score", i)),
+        ),
+        PredicateTemplate(
+            "weighted_score = <int>", "ycsb", 100,
+            lambda i: clause(key_value("weighted_score", i)),
+        ),
+        PredicateTemplate(
+            "phone_country = <string>", "ycsb", len(ycsb.PHONE_COUNTRIES),
+            lambda i: clause(exact("phone_country", ycsb.PHONE_COUNTRIES[i][0])),
+        ),
+        PredicateTemplate(
+            "age_group = <string>", "ycsb", len(ycsb.AGE_GROUPS),
+            lambda i: clause(exact("age_group", ycsb.AGE_GROUPS[i][0])),
+        ),
+        PredicateTemplate(
+            "age_by_group = <int>", "ycsb", 100,
+            lambda i: clause(key_value("age_by_group", i)),
+        ),
+        PredicateTemplate(
+            "url_domain LIKE <string>", "ycsb", len(ycsb.URL_DOMAINS),
+            lambda i: clause(substring("url", f".{ycsb.URL_DOMAINS[i]}/")),
+        ),
+        PredicateTemplate(
+            "url_site LIKE <string>", "ycsb", len(ycsb.URL_SITES),
+            lambda i: clause(substring("url", f"//{ycsb.URL_SITES[i]}.")),
+        ),
+        PredicateTemplate(
+            "email LIKE <string>", "ycsb", len(ycsb.EMAIL_PROVIDERS),
+            lambda i: clause(substring("email", f"@{ycsb.EMAIL_PROVIDERS[i]}")),
+        ),
+    ]
+
+
+_BUILDERS: Dict[str, Callable[[], List[PredicateTemplate]]] = {
+    "yelp": _yelp_templates,
+    "winlog": _winlog_templates,
+    "ycsb": _ycsb_templates,
+}
+
+
+def templates_for(dataset: str) -> List[PredicateTemplate]:
+    """All Table II templates for *dataset*."""
+    try:
+        return _BUILDERS[dataset]()
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise KeyError(f"unknown dataset {dataset!r}; known: {known}") from None
+
+
+def table2_summary() -> List[Dict[str, object]]:
+    """Rows mirroring Table II: dataset, template, #candidates."""
+    rows: List[Dict[str, object]] = []
+    for dataset in ("yelp", "winlog", "ycsb"):
+        for template in templates_for(dataset):
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "template": template.name,
+                    "candidates": template.count,
+                }
+            )
+    return rows

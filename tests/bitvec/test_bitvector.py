@@ -1,0 +1,195 @@
+"""Unit tests for the packed bit-vector."""
+
+import pytest
+
+from repro.bitvec import BitVector, intersect_all, union_all
+
+
+class TestConstruction:
+    def test_zeros_has_no_set_bits(self):
+        bv = BitVector.zeros(17)
+        assert len(bv) == 17
+        assert bv.count() == 0
+        assert not bv.any()
+
+    def test_ones_sets_every_bit(self):
+        bv = BitVector.ones(13)
+        assert bv.count() == 13
+        assert bv.all()
+
+    def test_ones_masks_the_tail_byte(self):
+        bv = BitVector.ones(9)
+        # Internal bytes beyond bit 8 must be clear or count() would lie.
+        assert bv.count() == 9
+
+    def test_from_bits_roundtrip(self):
+        bits = [1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 1]
+        assert BitVector.from_bits(bits).to_bits() == bits
+
+    def test_from_indices(self):
+        bv = BitVector.from_indices(10, [0, 3, 9])
+        assert list(bv.iter_set()) == [0, 3, 9]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_zero_length_vector(self):
+        bv = BitVector(0)
+        assert len(bv) == 0
+        assert bv.count() == 0
+        assert bv.density() == 0.0
+        assert not bv.any()
+
+    def test_payload_size_validation(self):
+        with pytest.raises(ValueError):
+            BitVector(16, b"\x00")  # needs 2 bytes
+
+
+class TestBitAccess:
+    def test_set_get_clear(self):
+        bv = BitVector(8)
+        bv.set(3)
+        assert bv.get(3)
+        bv.clear(3)
+        assert not bv.get(3)
+
+    def test_setitem_getitem(self):
+        bv = BitVector(8)
+        bv[2] = True
+        assert bv[2]
+        bv[-1] = True
+        assert bv[7]
+
+    def test_out_of_range_raises(self):
+        bv = BitVector(8)
+        with pytest.raises(IndexError):
+            bv.get(8)
+        with pytest.raises(IndexError):
+            bv.set(100)
+
+
+class TestLogicalOps:
+    A = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+    B = [1, 1, 0, 1, 0, 1, 1, 0, 0]
+
+    def test_and(self):
+        got = BitVector.from_bits(self.A) & BitVector.from_bits(self.B)
+        assert got.to_bits() == [a & b for a, b in zip(self.A, self.B)]
+
+    def test_or(self):
+        got = BitVector.from_bits(self.A) | BitVector.from_bits(self.B)
+        assert got.to_bits() == [a | b for a, b in zip(self.A, self.B)]
+
+    def test_xor(self):
+        got = BitVector.from_bits(self.A) ^ BitVector.from_bits(self.B)
+        assert got.to_bits() == [a ^ b for a, b in zip(self.A, self.B)]
+
+    def test_invert(self):
+        got = ~BitVector.from_bits(self.A)
+        assert got.to_bits() == [1 - a for a in self.A]
+
+    def test_invert_masks_tail(self):
+        inverted = ~BitVector.zeros(9)
+        assert inverted.count() == 9
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitVector(8) & BitVector(9)
+
+    def test_inplace_intersect(self):
+        bv = BitVector.from_bits(self.A)
+        bv.intersect_update(BitVector.from_bits(self.B))
+        assert bv.to_bits() == [a & b for a, b in zip(self.A, self.B)]
+
+    def test_inplace_union(self):
+        bv = BitVector.from_bits(self.A)
+        bv.union_update(BitVector.from_bits(self.B))
+        assert bv.to_bits() == [a | b for a, b in zip(self.A, self.B)]
+
+
+class TestQueries:
+    def test_count_and_density(self):
+        bv = BitVector.from_bits([1, 0, 1, 0])
+        assert bv.count() == 2
+        assert bv.density() == 0.5
+
+    def test_iter_set_order(self):
+        bv = BitVector.from_indices(300, [299, 5, 64, 63])
+        assert list(bv.iter_set()) == [5, 63, 64, 299]
+
+    def test_slice(self):
+        bv = BitVector.from_bits([1, 0, 1, 1, 0, 1])
+        assert bv.slice(2, 5).to_bits() == [1, 1, 0]
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ValueError):
+            BitVector(4).slice(2, 8)
+
+    def test_concat(self):
+        a = BitVector.from_bits([1, 0])
+        b = BitVector.from_bits([0, 1, 1])
+        assert a.concat(b).to_bits() == [1, 0, 0, 1, 1]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bv = BitVector.from_indices(77, [0, 13, 76])
+        assert BitVector.from_bytes(bv.to_bytes()) == bv
+
+    def test_serialized_size(self):
+        bv = BitVector(16)
+        assert bv.serialized_size() == len(bv.to_bytes()) == 4 + 2
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(b"\x01")
+
+
+class TestAggregates:
+    def test_intersect_all(self):
+        vectors = [
+            BitVector.from_bits([1, 1, 1, 0]),
+            BitVector.from_bits([1, 0, 1, 1]),
+            BitVector.from_bits([1, 1, 0, 1]),
+        ]
+        assert intersect_all(vectors).to_bits() == [1, 0, 0, 0]
+
+    def test_union_all(self):
+        vectors = [
+            BitVector.from_bits([1, 0, 0, 0]),
+            BitVector.from_bits([0, 0, 1, 0]),
+        ]
+        assert union_all(vectors).to_bits() == [1, 0, 1, 0]
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_all([])
+        with pytest.raises(ValueError):
+            union_all([])
+
+    def test_aggregates_do_not_mutate_inputs(self):
+        a = BitVector.from_bits([1, 1])
+        b = BitVector.from_bits([0, 1])
+        intersect_all([a, b])
+        union_all([b, a])
+        assert a.to_bits() == [1, 1]
+        assert b.to_bits() == [0, 1]
+
+
+class TestEquality:
+    def test_equal_and_hash(self):
+        a = BitVector.from_bits([1, 0, 1])
+        b = BitVector.from_bits([1, 0, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_copy_is_independent(self):
+        a = BitVector.from_bits([1, 0, 1])
+        b = a.copy()
+        b.set(1)
+        assert not a.get(1)
+
+    def test_repr_small_and_large(self):
+        assert "101" in repr(BitVector.from_bits([1, 0, 1]))
+        assert "length=100" in repr(BitVector(100))

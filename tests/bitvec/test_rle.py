@@ -1,0 +1,88 @@
+"""Unit tests for run-length encoded bit-vectors."""
+
+import pytest
+
+from repro.bitvec import BitVector, RleBitVector, best_encoding
+
+
+class TestRleRoundtrip:
+    def test_simple_roundtrip(self):
+        bv = BitVector.from_bits([1, 1, 0, 1])
+        rle = RleBitVector.from_bitvector(bv)
+        assert rle.to_bitvector() == bv
+
+    def test_canonical_runs_start_with_zero_run(self):
+        rle = RleBitVector.from_bitvector(BitVector.from_bits([1, 1, 0, 1]))
+        assert rle.runs == (0, 2, 1, 1)
+
+    def test_all_zeros(self):
+        bv = BitVector.zeros(40)
+        rle = RleBitVector.from_bitvector(bv)
+        assert rle.runs == (40,)
+        assert rle.count() == 0
+        assert rle.to_bitvector() == bv
+
+    def test_all_ones(self):
+        bv = BitVector.ones(40)
+        rle = RleBitVector.from_bitvector(bv)
+        assert rle.runs == (0, 40)
+        assert rle.count() == 40
+
+    def test_empty_vector(self):
+        bv = BitVector(0)
+        rle = RleBitVector.from_bitvector(bv)
+        assert len(rle) == 0
+        assert rle.to_bitvector() == bv
+
+    def test_count_matches_packed(self):
+        bv = BitVector.from_indices(200, range(0, 200, 7))
+        assert RleBitVector.from_bitvector(bv).count() == bv.count()
+
+    def test_iter_set_matches_packed(self):
+        bv = BitVector.from_indices(64, [0, 1, 10, 63])
+        rle = RleBitVector.from_bitvector(bv)
+        assert list(rle.iter_set()) == list(bv.iter_set())
+
+
+class TestRleValidation:
+    def test_runs_must_sum_to_length(self):
+        with pytest.raises(ValueError):
+            RleBitVector(10, [3, 3])
+
+    def test_negative_runs_rejected(self):
+        with pytest.raises(ValueError):
+            RleBitVector(2, [3, -1])
+
+    def test_canonicalization_merges_empty_interior_runs(self):
+        # [0, 2, 0, 1] means: two ones, zero zeros, one one == three ones.
+        a = RleBitVector(3, [0, 2, 0, 1])
+        b = RleBitVector(3, [0, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRleSerialization:
+    def test_bytes_roundtrip(self):
+        bv = BitVector.from_indices(500, [3, 4, 5, 6, 400])
+        rle = RleBitVector.from_bitvector(bv)
+        assert RleBitVector.from_bytes(rle.to_bytes()) == rle
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            RleBitVector.from_bytes(b"\x00\x00")
+
+    def test_sparse_vector_compresses(self):
+        bv = BitVector.from_indices(8000, [17])
+        rle = RleBitVector.from_bitvector(bv)
+        assert rle.serialized_size() < bv.serialized_size() / 10
+
+
+class TestBestEncoding:
+    def test_sparse_prefers_rle(self):
+        bv = BitVector.from_indices(8000, [17])
+        assert isinstance(best_encoding(bv), RleBitVector)
+
+    def test_dense_random_prefers_packed(self):
+        bits = [(i * 7919) % 3 == 0 for i in range(512)]
+        bv = BitVector.from_bits(bits)
+        assert isinstance(best_encoding(bv), BitVector)

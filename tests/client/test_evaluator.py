@@ -1,0 +1,67 @@
+"""Unit tests for the client-side evaluator."""
+
+import pytest
+
+from repro.client import ClientEvaluator
+from repro.core import Budget, CostModel, DEFAULT_COEFFICIENTS, manual_plan
+from repro.core import clause, exact, key_value, substring
+from repro.rawjson import JsonChunk, dump_record
+
+RECORDS = [
+    {"name": "Bob", "age": 10, "text": "nice delicious food"},
+    {"name": "Eve", "age": 10, "text": "awful"},
+    {"name": "Bob", "age": 3, "text": "delicious"},
+    {"name": "Zed", "age": 9, "text": "fine"},
+]
+
+C_NAME = clause(exact("name", "Bob"))
+C_AGE = clause(key_value("age", 10))
+C_TEXT = clause(substring("text", "delicious"))
+
+
+@pytest.fixture()
+def plan():
+    model = CostModel(DEFAULT_COEFFICIENTS, 80)
+    sels = {C_NAME: 0.5, C_AGE: 0.5, C_TEXT: 0.5}
+    return manual_plan([C_NAME, C_AGE, C_TEXT], sels, model)
+
+
+@pytest.fixture()
+def chunk():
+    return JsonChunk(0, [dump_record(r) for r in RECORDS])
+
+
+class TestAnnotate:
+    def test_bitvectors_match_semantics(self, plan, chunk):
+        evaluator = ClientEvaluator(plan.entries)
+        evaluator.annotate(chunk)
+        assert chunk.bitvectors[0].to_bits() == [1, 0, 1, 0]  # name=Bob
+        assert chunk.bitvectors[1].to_bits() == [1, 1, 0, 0]  # age=10
+        assert chunk.bitvectors[2].to_bits() == [1, 0, 1, 0]  # delicious
+
+    def test_report_counts(self, plan, chunk):
+        evaluator = ClientEvaluator(plan.entries)
+        report = evaluator.annotate(chunk)
+        assert report.records == 4
+        assert report.predicates == 3
+        assert report.matches == {0: 2, 1: 2, 2: 2}
+        assert report.wall_seconds >= 0
+
+    def test_modeled_cost_scales_with_records(self, plan):
+        evaluator = ClientEvaluator(plan.entries)
+        small = JsonChunk(0, [dump_record(RECORDS[0])] * 2)
+        large = JsonChunk(1, [dump_record(RECORDS[0])] * 8)
+        r_small = evaluator.annotate(small)
+        r_large = evaluator.annotate(large)
+        assert r_large.modeled_us == pytest.approx(4 * r_small.modeled_us)
+        assert r_small.modeled_us_per_record() == pytest.approx(
+            plan.total_cost_us()
+        )
+
+    def test_predicate_ids_exposed(self, plan):
+        assert ClientEvaluator(plan.entries).predicate_ids == [0, 1, 2]
+
+    def test_empty_report(self, plan):
+        evaluator = ClientEvaluator(plan.entries)
+        report = evaluator.annotate(JsonChunk(0, []))
+        assert report.modeled_us_per_record() == 0.0

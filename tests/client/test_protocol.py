@@ -1,0 +1,83 @@
+"""Unit tests for the chunk wire protocol."""
+
+import pytest
+
+from repro.bitvec import BitVector
+from repro.client import (
+    ProtocolError,
+    bitvector_overhead,
+    decode_chunk,
+    encode_chunk,
+)
+from repro.rawjson import JsonChunk, dump_record
+
+
+def sample_chunk(n=10, with_vectors=True):
+    records = [dump_record({"i": i, "text": f"record {i}"})
+               for i in range(n)]
+    chunk = JsonChunk(chunk_id=3, records=records)
+    if with_vectors:
+        chunk.attach(0, BitVector.from_bits([i % 2 == 0 for i in range(n)]))
+        chunk.attach(2, BitVector.from_indices(n, [1]))
+    return chunk
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self):
+        chunk = sample_chunk()
+        decoded = decode_chunk(encode_chunk(chunk))
+        assert decoded.chunk_id == chunk.chunk_id
+        assert decoded.records == chunk.records
+        assert decoded.bitvectors == chunk.bitvectors
+
+    def test_chunk_without_vectors(self):
+        chunk = sample_chunk(with_vectors=False)
+        decoded = decode_chunk(encode_chunk(chunk))
+        assert decoded.bitvectors == {}
+        assert decoded.records == chunk.records
+
+    def test_empty_chunk(self):
+        chunk = JsonChunk(chunk_id=0, records=[])
+        decoded = decode_chunk(encode_chunk(chunk))
+        assert decoded.records == []
+
+    def test_sparse_vector_roundtrips_via_rle(self):
+        # A 1-in-5000 vector ships as RLE; decoding must restore it.
+        chunk = JsonChunk(
+            chunk_id=1,
+            records=[dump_record({"i": i}) for i in range(5000)],
+        )
+        chunk.attach(0, BitVector.from_indices(5000, [4321]))
+        decoded = decode_chunk(encode_chunk(chunk))
+        assert list(decoded.bitvectors[0].iter_set()) == [4321]
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        payload = encode_chunk(sample_chunk())
+        with pytest.raises(ProtocolError):
+            decode_chunk(b"XXXX" + payload[4:])
+
+    def test_truncated_payload(self):
+        payload = encode_chunk(sample_chunk())
+        with pytest.raises((ProtocolError, ValueError)):
+            decode_chunk(payload[: len(payload) // 2])
+
+    def test_trailing_garbage(self):
+        payload = encode_chunk(sample_chunk())
+        with pytest.raises(ProtocolError):
+            decode_chunk(payload + b"zz")
+
+
+class TestOverhead:
+    def test_bitvector_overhead_is_small(self):
+        chunk = sample_chunk(n=1000)
+        record_bytes, vector_bytes = bitvector_overhead(chunk)
+        # Two bit-vectors over 1000 records: ≤ ~260 bytes vs ~20 KB of
+        # records — well under 2%.
+        assert vector_bytes < record_bytes * 0.02
+
+    def test_overhead_zero_without_vectors(self):
+        chunk = sample_chunk(with_vectors=False)
+        _, vector_bytes = bitvector_overhead(chunk)
+        assert vector_bytes == 0

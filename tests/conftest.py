@@ -1,0 +1,96 @@
+"""Shared fixtures for the CIAO reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Budget,
+    CiaoOptimizer,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+    Query,
+    Workload,
+    clause,
+    exact,
+    key_present,
+    key_value,
+    substring,
+)
+from repro.data import make_generator
+from repro.rawjson import dump_record
+from repro.workload import estimate_selectivities
+
+TEST_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def winlog_generator():
+    """A deterministic Windows-log generator shared across tests."""
+    return make_generator("winlog", TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def yelp_generator():
+    """A deterministic Yelp generator shared across tests."""
+    return make_generator("yelp", TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def ycsb_generator():
+    """A deterministic YCSB generator shared across tests."""
+    return make_generator("ycsb", TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def winlog_sample(winlog_generator):
+    """Parsed record sample for selectivity estimation."""
+    return winlog_generator.sample(1500)
+
+
+@pytest.fixture(scope="session")
+def winlog_raw_lines(winlog_generator):
+    """Raw serialized records (2 000) of the winlog dataset."""
+    gen = make_generator("winlog", TEST_SEED)
+    return list(gen.raw_lines(2000))
+
+
+@pytest.fixture()
+def tiny_workload():
+    """A 3-query workload over hand-built clauses with known structure."""
+    c_name = clause(exact("name", "Bob"), exact("name", "John"))
+    c_age = clause(key_value("age", 20))
+    c_text = clause(substring("text", "delicious"))
+    c_email = clause(key_present("email"))
+    q1 = Query((c_name, c_age), name="q1")
+    q2 = Query((c_name, c_text), name="q2")
+    q3 = Query((c_text, c_email), name="q3")
+    return Workload((q1, q2, q3), dataset="demo")
+
+
+@pytest.fixture()
+def tiny_selectivities(tiny_workload):
+    """Hand-fixed selectivities for the tiny workload's pool."""
+    pool = tiny_workload.candidate_pool
+    return {c: v for c, v in zip(pool, [0.30, 0.10, 0.25, 0.60])}
+
+
+@pytest.fixture()
+def tiny_optimizer(tiny_workload, tiny_selectivities):
+    """Optimizer over the tiny workload with the default cost model."""
+    model = CostModel(DEFAULT_COEFFICIENTS, avg_record_length=200)
+    return CiaoOptimizer(tiny_workload, tiny_selectivities, model)
+
+
+@pytest.fixture()
+def demo_records():
+    """Parsed + raw records matching the tiny workload's columns."""
+    records = [
+        {"name": "Bob", "age": 20, "text": "truly delicious stew",
+         "email": "bob@example.test"},
+        {"name": "John", "age": 31, "text": "bland", "email": None},
+        {"name": "Eve", "age": 20, "text": "delicious crumbs"},
+        {"name": "Mallory", "age": 44, "text": "awful"},
+        {"name": "Bob", "age": 20, "text": "ok"},
+    ]
+    return records, [dump_record(r) for r in records]

@@ -1,0 +1,178 @@
+"""Unit tests for workload-drift tracking and adaptive replanning."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveReplanner,
+    Budget,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+    FrequencyTracker,
+    Query,
+    clause,
+    exact,
+)
+
+C_A = clause(exact("col", "a"))
+C_B = clause(exact("col", "b"))
+C_C = clause(exact("col", "c"))
+Q_A = Query((C_A,), name="qa")
+Q_B = Query((C_B,), name="qb")
+Q_AB = Query((C_A, C_B), name="qab")
+
+SELS = {C_A: 0.2, C_B: 0.2, C_C: 0.2}
+
+
+def provider(clauses):
+    return {c: SELS.get(c, 0.2) for c in clauses}
+
+
+def make_replanner(min_observations=5, budget=10.0):
+    model = CostModel(DEFAULT_COEFFICIENTS, 100)
+    return AdaptiveReplanner(
+        model, provider, Budget(budget), min_observations=min_observations
+    )
+
+
+class TestFrequencyTracker:
+    def test_counts_accumulate(self):
+        tracker = FrequencyTracker(decay=1.0)
+        for _ in range(3):
+            tracker.observe(Q_A)
+        tracker.observe(Q_B)
+        workload = tracker.estimated_workload()
+        freqs = {q.name: q.frequency for q in workload}
+        assert freqs["qa"] == pytest.approx(3.0)
+        assert freqs["qb"] == pytest.approx(1.0)
+
+    def test_decay_forgets_old_traffic(self):
+        tracker = FrequencyTracker(decay=0.5)
+        tracker.observe(Q_A)
+        for _ in range(6):
+            tracker.observe(Q_B)
+        workload = tracker.estimated_workload()
+        freqs = {q.name: q.frequency for q in workload}
+        assert freqs["qb"] > 10 * freqs.get("qa", tracker._prune_below)
+
+    def test_pruning_drops_cold_queries(self):
+        tracker = FrequencyTracker(decay=0.1, prune_below=0.05)
+        tracker.observe(Q_A)
+        for _ in range(4):
+            tracker.observe(Q_B)
+        assert tracker.distinct_queries() == 1
+
+    def test_identical_clause_sets_merge(self):
+        tracker = FrequencyTracker(decay=1.0)
+        tracker.observe(Query((C_A, C_B), name="x"))
+        tracker.observe(Query((C_B, C_A), name="y"))
+        assert tracker.distinct_queries() == 1
+
+    def test_empty_tracker_rejects_workload(self):
+        with pytest.raises(ValueError):
+            FrequencyTracker().estimated_workload()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyTracker(decay=0.0)
+        with pytest.raises(ValueError):
+            FrequencyTracker(prune_below=-1)
+
+
+class TestReplanner:
+    def test_no_replan_below_min_observations(self):
+        replanner = make_replanner(min_observations=10)
+        for _ in range(5):
+            replanner.observe(Q_A)
+        assert replanner.maybe_replan() is None
+
+    def test_first_plan_adopts_hot_clause(self):
+        replanner = make_replanner()
+        for _ in range(10):
+            replanner.observe(Q_A)
+        plan = replanner.maybe_replan()
+        assert plan is not None
+        assert C_A in set(plan.clauses)
+        assert replanner.current_plan is plan
+
+    def test_drift_triggers_replan_with_stable_ids(self):
+        replanner = make_replanner()
+        for _ in range(10):
+            replanner.observe(Q_AB)
+        first = replanner.maybe_replan()
+        assert first is not None
+        id_a = first.lookup(C_A).predicate_id
+
+        # Traffic drifts: C_C becomes hot while C_A stays warm.
+        q_ac = Query((C_A, C_C), name="qac")
+        for _ in range(60):
+            replanner.observe(q_ac)
+        second = replanner.maybe_replan(threshold=0.01)
+        assert second is not None
+        assert C_C in set(second.clauses)
+        # Retained clause keeps its predicate id; new one gets a fresh id.
+        assert second.lookup(C_A).predicate_id == id_a
+        new_ids = {e.predicate_id for e in second.entries}
+        assert all(
+            pid >= id_a for pid in new_ids
+        )
+
+    def test_stable_traffic_does_not_replan(self):
+        replanner = make_replanner()
+        for _ in range(10):
+            replanner.observe(Q_A)
+        first = replanner.maybe_replan()
+        assert first is not None
+        for _ in range(10):
+            replanner.observe(Q_A)
+        assert replanner.maybe_replan() is None
+
+    def test_evaluate_reports_gap_without_mutating(self):
+        replanner = make_replanner()
+        for _ in range(10):
+            replanner.observe(Q_A)
+        decision = replanner.evaluate()
+        assert decision.benefit_gap > 0
+        assert replanner.current_plan is None  # evaluate is pure
+
+    def test_budget_respected_after_replan(self):
+        replanner = make_replanner(budget=0.35)
+        for _ in range(10):
+            replanner.observe(Q_AB)
+        plan = replanner.maybe_replan()
+        assert plan is not None
+        assert plan.total_cost_us() <= 0.35 + 1e-9
+
+
+class TestServerIntegration:
+    def test_update_plan_keeps_answers_exact(self, tmp_path):
+        from repro.client import SimulatedClient
+        from repro.core import manual_plan
+        from repro.rawjson import dump_record
+        from repro.server import CiaoServer
+
+        records = [{"col": v, "n": i}
+                   for i, v in enumerate(["a", "b", "c"] * 20)]
+        lines = [dump_record(r) for r in records]
+        model = CostModel(DEFAULT_COEFFICIENTS, 40)
+        initial = manual_plan([C_A], provider([C_A]), model)
+        server = CiaoServer(tmp_path, plan=initial,
+                            workload=None, partial_loading="off")
+        client = SimulatedClient("c", plan=initial, chunk_size=20)
+        for chunk in client.process(lines):
+            server.ingest(chunk)
+        server.finalize_loading()
+
+        replanner = make_replanner()
+        replanner.adopt(initial)
+        for _ in range(10):
+            replanner.observe(Q_B)
+        new_plan = replanner.maybe_replan()
+        assert new_plan is not None
+        server.update_plan(new_plan)
+
+        # New-clause query: no stored vectors → full scan, exact answer.
+        result_b = server.query("SELECT COUNT(*) FROM t WHERE col = 'b'")
+        assert result_b.scalar() == 20
+        # The old clause was dropped from the registry with the traffic.
+        result_a = server.query("SELECT COUNT(*) FROM t WHERE col = 'a'")
+        assert result_a.scalar() == 20

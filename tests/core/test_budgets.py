@@ -1,0 +1,84 @@
+"""Unit tests for budgets and multi-client budget allocation."""
+
+import pytest
+
+from repro.core import Budget, ClientProfile, allocate_budgets, budget_sweep
+
+
+class TestBudget:
+    def test_value_and_str(self):
+        budget = Budget(1.5)
+        assert budget.us == 1.5
+        assert "1.5" in str(budget)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(-0.1)
+
+    def test_scaled(self):
+        assert Budget(2.0).scaled(0.5).us == 1.0
+        with pytest.raises(ValueError):
+            Budget(1.0).scaled(-1)
+
+    def test_sweep(self):
+        budgets = budget_sweep([0, 1, 3])
+        assert [b.us for b in budgets] == [0, 1, 3]
+
+
+class TestAllocation:
+    def test_uniform_clients_share_equally(self):
+        clients = [ClientProfile(f"c{i}") for i in range(4)]
+        allocation = allocate_budgets(clients, Budget(2.0))
+        assert all(b.us == pytest.approx(2.0) for b in allocation.values())
+
+    def test_total_budget_preserved(self):
+        clients = [
+            ClientProfile("fast", speed_factor=2.0),
+            ClientProfile("slow", speed_factor=0.5),
+        ]
+        allocation = allocate_budgets(clients, Budget(3.0))
+        assert sum(b.us for b in allocation.values()) == pytest.approx(6.0)
+
+    def test_faster_clients_get_more(self):
+        clients = [
+            ClientProfile("fast", speed_factor=2.0),
+            ClientProfile("slow", speed_factor=0.5),
+        ]
+        allocation = allocate_budgets(clients, Budget(3.0))
+        assert allocation["fast"].us > allocation["slow"].us
+        assert allocation["fast"].us / allocation["slow"].us == \
+            pytest.approx(4.0)
+
+    def test_slack_caps_respected_and_redistributed(self):
+        clients = [
+            ClientProfile("capped", slack_us_per_record=0.5),
+            ClientProfile("open"),
+        ]
+        allocation = allocate_budgets(clients, Budget(2.0))
+        assert allocation["capped"].us == pytest.approx(0.5)
+        # The capped client's unusable share flows to the open one.
+        assert allocation["open"].us == pytest.approx(3.5)
+
+    def test_everyone_capped_drops_leftover(self):
+        clients = [
+            ClientProfile("a", slack_us_per_record=0.25),
+            ClientProfile("b", slack_us_per_record=0.25),
+        ]
+        allocation = allocate_budgets(clients, Budget(10.0))
+        assert allocation["a"].us == pytest.approx(0.25)
+        assert allocation["b"].us == pytest.approx(0.25)
+
+    def test_duplicate_ids_rejected(self):
+        clients = [ClientProfile("x"), ClientProfile("x")]
+        with pytest.raises(ValueError):
+            allocate_budgets(clients, Budget(1.0))
+
+    def test_empty_client_list_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budgets([], Budget(1.0))
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ClientProfile("c", speed_factor=0)
+        with pytest.raises(ValueError):
+            ClientProfile("c", slack_us_per_record=-1)

@@ -1,0 +1,127 @@
+"""Unit tests for cost-model calibration (regression fit + R²)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CostCoefficients,
+    Observation,
+    clause,
+    compile_clause,
+    fit,
+    key_value,
+    measure_search_costs,
+    predict,
+    r_squared,
+    substring,
+)
+from repro.rawjson import dump_record
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_scores_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_constant_truth(self):
+        assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r_squared([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0], [1.0, 2.0])
+
+
+def synth_observations(coeffs, shapes, noise=0.0, seed=3):
+    rng = random.Random(seed)
+    observations = []
+    for length, record_len, sel in shapes:
+        hit = coeffs.k1 * length + coeffs.k2 * record_len
+        miss = coeffs.k3 * length + coeffs.k4 * record_len
+        cost = sel * hit + (1 - sel) * miss + coeffs.c
+        if noise:
+            cost *= rng.gauss(1.0, noise)
+        observations.append(Observation(length, record_len, sel, cost))
+    return observations
+
+
+SHAPES = [
+    (lp, lt, sel)
+    for lp in (3, 8, 15, 30)
+    for lt in (120, 400, 900)
+    for sel in (0.0, 0.2, 0.5, 0.9)
+]
+
+
+class TestFit:
+    def test_recovers_exact_coefficients_noiselessly(self):
+        truth = CostCoefficients(0.002, 0.0005, 0.004, 0.0009, 0.3)
+        report = fit(synth_observations(truth, SHAPES))
+        assert report.r_squared == pytest.approx(1.0, abs=1e-9)
+        for got, want in zip(report.coefficients.as_vector(),
+                             truth.as_vector()):
+            assert got == pytest.approx(want, rel=1e-6)
+
+    def test_noise_lowers_r_squared(self):
+        truth = CostCoefficients(0.002, 0.0005, 0.004, 0.0009, 0.3)
+        clean = fit(synth_observations(truth, SHAPES, noise=0.0))
+        noisy = fit(synth_observations(truth, SHAPES, noise=0.4))
+        assert noisy.r_squared < clean.r_squared
+
+    def test_negative_solutions_clamped(self):
+        # Observations engineered to push an unconstrained solution
+        # negative: costs unrelated to features.
+        rng = random.Random(1)
+        observations = [
+            Observation(lp, lt, sel, rng.random())
+            for lp, lt, sel in SHAPES
+        ]
+        report = fit(observations)
+        assert all(v >= 0 for v in report.coefficients.as_vector())
+
+    def test_minimum_observation_count(self):
+        with pytest.raises(ValueError):
+            fit([Observation(1, 1, 0.5, 1.0)] * 4)
+
+    def test_summary_mentions_r_squared(self):
+        truth = CostCoefficients(0.002, 0.0005, 0.004, 0.0009, 0.3)
+        report = fit(synth_observations(truth, SHAPES))
+        assert "R²=" in report.summary()
+
+
+class TestPredict:
+    def test_matches_manual_formula(self):
+        coeffs = CostCoefficients(0.01, 0.02, 0.03, 0.04, 0.5)
+        obs = Observation(10, 100, 0.25, 0.0)
+        (value,) = predict(coeffs, [obs])
+        hit = 0.01 * 10 + 0.02 * 100
+        miss = 0.03 * 10 + 0.04 * 100
+        assert value == pytest.approx(0.25 * hit + 0.75 * miss + 0.5)
+
+
+class TestMeasure:
+    def test_real_measurement_shapes(self):
+        records = [
+            dump_record({"age": i % 20, "text": "word " * (i % 5 + 1)})
+            for i in range(50)
+        ]
+        compiled = [
+            compile_clause(clause(key_value("age", 3))),
+            compile_clause(clause(substring("text", "word"))),
+            compile_clause(clause(substring("text", "zzz"))),
+        ]
+        observations = measure_search_costs(compiled, records, repeats=1)
+        assert len(observations) == 3
+        always, never = observations[1], observations[2]
+        assert always.hit_rate == 1.0
+        assert never.hit_rate == 0.0
+        assert all(obs.mean_cost_us >= 0 for obs in observations)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            measure_search_costs([], [])

@@ -1,0 +1,122 @@
+"""Unit tests for the §V-D cost model."""
+
+import pytest
+
+from repro.core import (
+    CostCoefficients,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+    clause,
+    exact,
+    key_value,
+    substring,
+    total_cost,
+)
+
+
+@pytest.fixture()
+def model():
+    coeffs = CostCoefficients(k1=0.001, k2=0.002, k3=0.003, k4=0.004, c=0.5)
+    return CostModel(coeffs, avg_record_length=100)
+
+
+class TestCoefficients:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostCoefficients(-1, 0, 0, 0, 0)
+
+    def test_vector_layout(self):
+        assert DEFAULT_COEFFICIENTS.as_vector() == (
+            DEFAULT_COEFFICIENTS.k1,
+            DEFAULT_COEFFICIENTS.k2,
+            DEFAULT_COEFFICIENTS.k3,
+            DEFAULT_COEFFICIENTS.k4,
+            DEFAULT_COEFFICIENTS.c,
+        )
+
+
+class TestSearchCost:
+    def test_formula_hit_branch(self, model):
+        # sel = 1: T = k1·len(p) + k2·len(t) + c
+        assert model.search_cost(10, 1.0) == pytest.approx(
+            0.001 * 10 + 0.002 * 100 + 0.5
+        )
+
+    def test_formula_miss_branch(self, model):
+        # sel = 0: T = k3·len(p) + k4·len(t) + c
+        assert model.search_cost(10, 0.0) == pytest.approx(
+            0.003 * 10 + 0.004 * 100 + 0.5
+        )
+
+    def test_formula_mixes_linearly(self, model):
+        hit = model.search_cost(10, 1.0)
+        miss = model.search_cost(10, 0.0)
+        assert model.search_cost(10, 0.25) == pytest.approx(
+            0.25 * hit + 0.75 * miss
+        )
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.search_cost(0, 0.5)
+        with pytest.raises(ValueError):
+            model.search_cost(5, 1.5)
+
+    def test_record_length_validated(self):
+        with pytest.raises(ValueError):
+            CostModel(DEFAULT_COEFFICIENTS, 0)
+
+
+class TestPredicateCost:
+    def test_substring_is_one_search(self, model):
+        pred = substring("text", "delicious")
+        expected = model.search_cost(len("delicious"), 0.3)
+        assert model.predicate_cost(pred, 0.3) == pytest.approx(expected)
+
+    def test_exact_pattern_includes_quotes(self, model):
+        pred = exact("name", "Bob")
+        expected = model.search_cost(len('"Bob"'), 0.3)
+        assert model.predicate_cost(pred, 0.3) == pytest.approx(expected)
+
+    def test_key_value_is_two_searches(self, model):
+        pred = key_value("age", 10)
+        expected = (
+            model.search_cost(len('"age":'), 0.1)
+            + model.search_cost(len("10"), 0.1)
+        )
+        assert model.predicate_cost(pred, 0.1) == pytest.approx(expected)
+
+
+class TestClauseCost:
+    def test_disjunction_cost_is_sum(self, model):
+        # Paper §V-D: disjunction cost = Σ simple costs.
+        c = clause(exact("n", "A"), exact("n", "Bee"))
+        expected = (
+            model.predicate_cost(exact("n", "A"), 0.2)
+            + model.predicate_cost(exact("n", "Bee"), 0.2)
+        )
+        assert model.clause_cost(c, 0.2) == pytest.approx(expected)
+
+    def test_cost_table_covers_all(self, model):
+        c1 = clause(exact("a", "x"))
+        c2 = clause(key_value("b", 2))
+        table = model.cost_table({c1: 0.1, c2: 0.9})
+        assert set(table) == {c1, c2}
+        assert all(v > 0 for v in table.values())
+
+    def test_total_cost_helper(self, model):
+        c1 = clause(exact("a", "x"))
+        c2 = clause(key_value("b", 2))
+        table = model.cost_table({c1: 0.1, c2: 0.9})
+        assert total_cost(table, [c1, c2]) == pytest.approx(
+            table[c1] + table[c2]
+        )
+
+    def test_longer_records_cost_more(self):
+        short = CostModel(DEFAULT_COEFFICIENTS, 100)
+        long = CostModel(DEFAULT_COEFFICIENTS, 1000)
+        pred = substring("t", "kw")
+        assert long.predicate_cost(pred, 0.1) > short.predicate_cost(
+            pred, 0.1)
+
+    def test_describe_mentions_coefficients(self, model):
+        assert "k1=" in model.describe()

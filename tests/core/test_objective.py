@@ -1,0 +1,118 @@
+"""Unit tests for the selection objective f(S)."""
+
+import pytest
+
+from repro.core import (
+    Query,
+    SelectionObjective,
+    Workload,
+    all_subsets,
+    clause,
+    exact,
+    is_submodular_on,
+    key_value,
+    substring,
+)
+
+
+@pytest.fixture()
+def objective(tiny_workload, tiny_selectivities):
+    return SelectionObjective(tiny_workload, tiny_selectivities)
+
+
+class TestValidation:
+    def test_missing_selectivities_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            SelectionObjective(tiny_workload, {})
+
+    def test_out_of_range_selectivities_rejected(self, tiny_workload,
+                                                 tiny_selectivities):
+        bad = dict(tiny_selectivities)
+        bad[next(iter(bad))] = 1.5
+        with pytest.raises(ValueError):
+            SelectionObjective(tiny_workload, bad)
+
+
+class TestValue:
+    def test_empty_set_is_zero(self, objective):
+        assert objective.value(frozenset()) == 0.0
+
+    def test_single_query_formula(self):
+        c1, c2 = clause(exact("a", "x")), clause(key_value("b", 1))
+        workload = Workload((Query((c1, c2)),))
+        objective = SelectionObjective(workload, {c1: 0.2, c2: 0.5})
+        assert objective.value({c1}) == pytest.approx(0.8)
+        assert objective.value({c1, c2}) == pytest.approx(1 - 0.2 * 0.5)
+
+    def test_clauses_outside_query_do_not_count(self):
+        c1, c2 = clause(exact("a", "x")), clause(key_value("b", 1))
+        workload = Workload((Query((c1,)),))
+        objective = SelectionObjective(workload, {c1: 0.2, c2: 0.5})
+        assert objective.value({c2}) == 0.0
+
+    def test_frequency_weighting(self):
+        c1, c2 = clause(exact("a", "x")), clause(key_value("b", 1))
+        q_hot = Query((c1,), frequency=3.0)
+        q_cold = Query((c2,), frequency=1.0)
+        workload = Workload((q_hot, q_cold))
+        objective = SelectionObjective(workload, {c1: 0.5, c2: 0.5})
+        # Hot query contributes 3/4 of the weight.
+        assert objective.value({c1}) == pytest.approx(0.75 * 0.5)
+        assert objective.value({c2}) == pytest.approx(0.25 * 0.5)
+
+    def test_monotone(self, objective, tiny_workload):
+        pool = list(tiny_workload.candidate_pool)
+        value = 0.0
+        selected = frozenset()
+        for c in pool:
+            selected = selected | {c}
+            new_value = objective.value(selected)
+            assert new_value >= value - 1e-12
+            value = new_value
+
+
+class TestMarginalGain:
+    def test_matches_value_difference(self, objective, tiny_workload):
+        pool = list(tiny_workload.candidate_pool)
+        selected = frozenset(pool[:2])
+        for candidate in pool[2:]:
+            direct = (
+                objective.value(selected | {candidate})
+                - objective.value(selected)
+            )
+            assert objective.marginal_gain(selected, candidate) == \
+                pytest.approx(direct)
+
+    def test_already_selected_gains_nothing(self, objective, tiny_workload):
+        pool = list(tiny_workload.candidate_pool)
+        assert objective.marginal_gain(frozenset(pool), pool[0]) == 0.0
+
+    def test_diminishing_returns(self, objective, tiny_workload):
+        # The defining property: gain shrinks as the base set grows.
+        pool = list(tiny_workload.candidate_pool)
+        candidate = pool[-1]
+        small = frozenset()
+        large = frozenset(pool[:-1])
+        assert objective.marginal_gain(small, candidate) >= \
+            objective.marginal_gain(large, candidate) - 1e-12
+
+
+class TestSubmodularity:
+    def test_exhaustive_on_tiny_pool(self, objective, tiny_workload):
+        subsets = all_subsets(tiny_workload.candidate_pool)
+        assert is_submodular_on(objective, subsets)
+
+    def test_is_submodular_on_detects_violations(self):
+        # A fake objective that is NOT submodular must be flagged.
+        c1, c2 = clause(exact("a", "x")), clause(substring("t", "k"))
+
+        class FakeObjective:
+            workload = None
+
+            def value(self, s):
+                s = frozenset(s)
+                return 1.0 if len(s) == 2 else 0.0  # supermodular
+
+        sets = [frozenset(), frozenset({c1}), frozenset({c2}),
+                frozenset({c1, c2})]
+        assert not is_submodular_on(FakeObjective(), sets)

@@ -1,0 +1,116 @@
+"""Unit tests for pushdown-plan serialization."""
+
+import pytest
+
+from repro.core import (
+    Budget,
+    PlanFormatError,
+    clause,
+    dumps_plan,
+    exact,
+    key_present,
+    key_value,
+    loads_plan,
+    substring,
+)
+from repro.core.plan_io import (
+    clause_from_dict,
+    clause_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.rawjson import dump_record
+
+
+@pytest.fixture()
+def plan(tiny_optimizer):
+    return tiny_optimizer.plan(Budget(10.0))
+
+
+class TestClauseSerialization:
+    def test_roundtrip_all_kinds(self):
+        clauses = [
+            clause(exact("name", "Bob"), exact("name", "Jo's")),
+            clause(key_value("age", 10)),
+            clause(key_value("on", True)),
+            clause(key_present("email")),
+            clause(substring("text", 'has "quotes" and \\slashes\\')),
+        ]
+        for c in clauses:
+            assert clause_from_dict(clause_to_dict(c)) == c
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(PlanFormatError):
+            clause_from_dict([])
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(PlanFormatError):
+            clause_from_dict([{"kind": "regex", "column": "a", "value": "b"}])
+
+
+class TestPlanRoundtrip:
+    def test_full_roundtrip(self, plan):
+        restored = loads_plan(dumps_plan(plan))
+        assert restored.predicate_ids == plan.predicate_ids
+        assert restored.clauses == plan.clauses
+        assert restored.budget.us == plan.budget.us
+        for a, b in zip(restored.entries, plan.entries):
+            assert a.selectivity == b.selectivity
+            assert a.cost_us == pytest.approx(b.cost_us)
+
+    def test_patterns_rederived_identically(self, plan):
+        restored = loads_plan(dumps_plan(plan))
+        for a, b in zip(restored.entries, plan.entries):
+            assert a.compiled.specs == b.compiled.specs
+
+    def test_restored_matchers_behave_identically(self, plan):
+        restored = loads_plan(dumps_plan(plan))
+        records = [
+            {"name": "Bob", "age": 20, "text": "so delicious",
+             "email": "e@f"},
+            {"name": "Eve", "age": 3, "text": "meh"},
+            {},
+        ]
+        for record in records:
+            raw = dump_record(record)
+            for a, b in zip(restored.entries, plan.entries):
+                assert a.compiled.match(raw) == b.compiled.match(raw)
+
+    def test_id_gaps_preserved(self, plan):
+        data = plan_to_dict(plan)
+        data["entries"] = [e for e in data["entries"] if e["id"] != 1]
+        restored = plan_from_dict(data)
+        assert 1 not in restored.predicate_ids
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, plan):
+        data = plan_to_dict(plan)
+        data["format"] = "ciao-plan/999"
+        with pytest.raises(PlanFormatError):
+            plan_from_dict(data)
+
+    def test_duplicate_ids_rejected(self, plan):
+        data = plan_to_dict(plan)
+        data["entries"].append(dict(data["entries"][0]))
+        with pytest.raises(PlanFormatError):
+            plan_from_dict(data)
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(PlanFormatError):
+            loads_plan("{not json")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(PlanFormatError):
+            loads_plan("[1, 2]")
+
+    def test_tampered_patterns_are_ignored(self, plan):
+        # Patterns in the payload are informational; the loaded plan must
+        # re-derive them from the clause (no-false-negative contract).
+        data = plan_to_dict(plan)
+        data["entries"][0]["patterns"] = ["@@bogus@@"]
+        restored = plan_from_dict(data)
+        original = plan.entries[0]
+        match = restored.lookup(original.clause)
+        assert match is not None
+        assert match.compiled.specs == original.compiled.specs

@@ -1,0 +1,162 @@
+"""Unit tests for the selection algorithms (paper Algorithms 1 & 2)."""
+
+import pytest
+
+from repro.core import (
+    APPROXIMATION_GUARANTEE,
+    Query,
+    SelectionObjective,
+    Workload,
+    celf_greedy,
+    clause,
+    exact,
+    exhaustive_optimum,
+    key_value,
+    naive_greedy,
+    ratio_greedy,
+    select_predicates,
+    substring,
+)
+
+
+def build(selectivities_and_costs):
+    """Workload of one query per clause; returns (objective, costs)."""
+    clauses = []
+    sels = {}
+    costs = {}
+    for i, (sel, cost) in enumerate(selectivities_and_costs):
+        c = clause(exact(f"col{i}", f"v{i}"))
+        clauses.append(c)
+        sels[c] = sel
+        costs[c] = cost
+    queries = tuple(Query((c,), name=f"q{i}")
+                    for i, c in enumerate(clauses))
+    return SelectionObjective(Workload(queries), sels), costs, clauses
+
+
+class TestBudgetRespected:
+    @pytest.mark.parametrize("algorithm", [
+        naive_greedy, ratio_greedy, celf_greedy, select_predicates,
+    ])
+    def test_never_exceeds_budget(self, algorithm, tiny_optimizer):
+        objective, costs = tiny_optimizer.objective, tiny_optimizer.costs
+        for budget in [0.0, 0.1, 0.3, 0.6, 1.0, 10.0]:
+            result = algorithm(objective, costs, budget)
+            assert result.total_cost <= budget + 1e-9
+
+    def test_zero_budget_selects_nothing_when_costs_positive(
+            self, tiny_optimizer):
+        result = select_predicates(
+            tiny_optimizer.objective, tiny_optimizer.costs, 0.0
+        )
+        assert len(result) == 0
+        assert result.objective_value == 0.0
+
+    def test_negative_budget_rejected(self, tiny_optimizer):
+        with pytest.raises(ValueError):
+            naive_greedy(tiny_optimizer.objective, tiny_optimizer.costs, -1)
+
+    def test_missing_costs_rejected(self, tiny_optimizer):
+        with pytest.raises(ValueError):
+            naive_greedy(tiny_optimizer.objective, {}, 1.0)
+
+
+class TestAlgorithmBehaviour:
+    def test_naive_greedy_ignores_cost(self):
+        # Clause 0: huge benefit, huge cost. Clause 1+2: slightly less
+        # benefit each, tiny cost.  Naive picks clause 0 and exhausts the
+        # budget; ratio picks the two cheap ones and wins.
+        objective, costs, clauses = build(
+            [(0.01, 10.0), (0.05, 1.0), (0.05, 1.0)]
+        )
+        naive = naive_greedy(objective, costs, 10.0)
+        ratio = ratio_greedy(objective, costs, 10.0)
+        assert naive.selected == (clauses[0],)
+        assert set(ratio.selected) == {clauses[1], clauses[2]}
+        assert ratio.objective_value > naive.objective_value
+
+    def test_ratio_greedy_can_lose_to_naive(self):
+        # One expensive clause worth almost the whole objective vs one
+        # cheap low-value clause that fills the budget first.
+        objective, costs, clauses = build([(0.01, 10.0), (0.95, 0.1)])
+        naive = naive_greedy(objective, costs, 10.0)
+        ratio = ratio_greedy(objective, costs, 10.0)
+        # Ratio takes the cheap clause first and can no longer afford the
+        # big one; naive goes straight for the big one.
+        assert clauses[0] in naive.selected_set
+        assert ratio.selected[0] == clauses[1]
+        assert naive.objective_value > ratio.objective_value
+
+    def test_combined_takes_the_better(self):
+        objective, costs, _ = build([(0.01, 10.0), (0.95, 0.1)])
+        combined = select_predicates(objective, costs, 10.0)
+        naive = naive_greedy(objective, costs, 10.0)
+        ratio = ratio_greedy(objective, costs, 10.0)
+        assert combined.objective_value == pytest.approx(
+            max(naive.objective_value, ratio.objective_value)
+        )
+
+    def test_pick_order_recorded(self, tiny_optimizer):
+        result = ratio_greedy(
+            tiny_optimizer.objective, tiny_optimizer.costs, 100.0
+        )
+        # With an ample budget everything is selected, best-ratio first.
+        assert len(result) == 4
+        gains = [
+            tiny_optimizer.objective.marginal_gain(
+                frozenset(result.selected[:i]), c
+            ) / tiny_optimizer.costs[c]
+            for i, c in enumerate(result.selected)
+        ]
+        assert gains == sorted(gains, reverse=True)
+
+
+class TestCelf:
+    def test_celf_matches_ratio_greedy(self, tiny_optimizer):
+        for budget in [0.2, 0.5, 1.0, 3.0]:
+            lazy = celf_greedy(
+                tiny_optimizer.objective, tiny_optimizer.costs, budget
+            )
+            eager = ratio_greedy(
+                tiny_optimizer.objective, tiny_optimizer.costs, budget
+            )
+            assert lazy.selected == eager.selected
+
+    def test_celf_saves_evaluations_on_larger_pools(self):
+        pairs = [(0.1 + 0.8 * (i / 40), 0.5 + (i % 7) * 0.1)
+                 for i in range(40)]
+        objective, costs, _ = build(pairs)
+        lazy = celf_greedy(objective, costs, 8.0)
+        eager = ratio_greedy(objective, costs, 8.0)
+        assert lazy.selected == eager.selected
+        assert lazy.evaluations < eager.evaluations
+
+
+class TestApproximationBound:
+    def test_bound_against_brute_force(self, tiny_optimizer):
+        for budget in [0.1, 0.25, 0.5, 0.75, 1.5]:
+            got = select_predicates(
+                tiny_optimizer.objective, tiny_optimizer.costs, budget
+            )
+            opt = exhaustive_optimum(
+                tiny_optimizer.objective, tiny_optimizer.costs, budget
+            )
+            assert got.objective_value >= \
+                APPROXIMATION_GUARANTEE * opt.objective_value - 1e-12
+
+    def test_exhaustive_refuses_large_pools(self):
+        pairs = [(0.5, 1.0)] * 25
+        objective, costs, _ = build(pairs)
+        with pytest.raises(ValueError):
+            exhaustive_optimum(objective, costs, 5.0)
+
+    def test_guarantee_constant(self):
+        assert APPROXIMATION_GUARANTEE == pytest.approx(0.316, abs=1e-3)
+
+
+class TestZeroCostClauses:
+    def test_zero_cost_clauses_always_selectable(self):
+        objective, costs, clauses = build([(0.5, 0.0), (0.5, 1.0)])
+        result = ratio_greedy(objective, costs, 0.0)
+        assert clauses[0] in result.selected_set
+        assert clauses[1] not in result.selected_set

@@ -1,0 +1,166 @@
+"""Unit tests for the three synthetic dataset generators."""
+
+import json
+
+import pytest
+
+from repro.data import GENERATORS, make_generator
+from repro.data import winlog, ycsb, yelp
+from repro.rawjson import dump_record, loads
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestCommonContract:
+    def test_deterministic_given_seed(self, name):
+        a = list(make_generator(name, 5).raw_lines(30))
+        b = list(make_generator(name, 5).raw_lines(30))
+        assert a == b
+
+    def test_seed_changes_output(self, name):
+        a = list(make_generator(name, 5).raw_lines(30))
+        b = list(make_generator(name, 6).raw_lines(30))
+        assert a != b
+
+    def test_records_parse_with_both_parsers(self, name):
+        for line in make_generator(name, 7).raw_lines(20):
+            assert loads(line) == json.loads(line)
+
+    def test_sample_does_not_consume_main_stream(self, name):
+        gen = make_generator(name, 9)
+        before = list(gen.raw_lines(10))
+        gen2 = make_generator(name, 9)
+        gen2.sample(50)
+        after = list(gen2.raw_lines(10))
+        assert before == after
+
+    def test_average_record_length_positive(self, name):
+        assert make_generator(name, 1).average_record_length(50) > 50
+
+    def test_negative_count_rejected(self, name):
+        with pytest.raises(ValueError):
+            list(make_generator(name, 1).generate(-1))
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(KeyError):
+        make_generator("nope")
+
+
+class TestYelpShape:
+    def test_fields(self):
+        record = next(make_generator("yelp", 3).generate(1))
+        assert set(record) == {
+            "review_id", "user_id", "business_id", "stars", "useful",
+            "funny", "cool", "text", "date",
+        }
+        assert 1 <= record["stars"] <= 5
+        assert 0 <= record["useful"] <= 99
+
+    def test_date_format_and_year_domain(self):
+        for record in make_generator("yelp", 3).generate(50):
+            year, month, day = record["date"].split("-")
+            assert int(year) in yelp.YEARS
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+
+    def test_top_users_are_frequent(self):
+        sample = list(make_generator("yelp", 3).generate(3000))
+        top = yelp.top_user_ids(1)[0]
+        share = sum(1 for r in sample if r["user_id"] == top) / len(sample)
+        assert share == pytest.approx(
+            yelp.user_id_probability(0), abs=0.05
+        )
+
+    def test_text_keyword_selectivities(self):
+        sample = list(make_generator("yelp", 3).generate(4000))
+        for keyword, prob in zip(yelp.TEXT_KEYWORDS,
+                                 yelp.TEXT_KEYWORD_PROBS):
+            share = sum(
+                1 for r in sample if keyword in r["text"]
+            ) / len(sample)
+            assert share == pytest.approx(prob, abs=0.035), keyword
+
+
+class TestWinlogShape:
+    def test_fields_and_time_format(self):
+        for record in make_generator("winlog", 3).generate(30):
+            assert set(record) == {
+                "event_id", "time", "level", "component", "info"
+            }
+            date, clock = record["time"].split(" ")
+            assert len(date.split("-")) == 3
+            assert len(clock.split(":")) == 3
+
+    def test_event_ids_are_monotone(self):
+        ids = [r["event_id"] for r in make_generator("winlog", 3).generate(50)]
+        assert ids == list(range(50))
+
+    def test_component_selectivities_match_weights(self):
+        sample = list(make_generator("winlog", 3).generate(6000))
+        for component, weight in winlog.COMPONENTS:
+            share = sum(
+                1 for r in sample if r["component"] == component
+            ) / len(sample)
+            assert share == pytest.approx(weight, abs=0.03), component
+
+    def test_selectivity_plateaus(self):
+        sample = list(make_generator("winlog", 3).generate(8000))
+        for level, _ in winlog.SELECTIVITY_PLATEAUS:
+            for rank in winlog.plateau_keyword_ranks(level):
+                keyword = winlog.INFO_KEYWORDS[rank]
+                share = sum(
+                    1 for r in sample if keyword in r["info"]
+                ) / len(sample)
+                tolerance = max(0.035, level * 0.35)
+                assert share == pytest.approx(level, abs=tolerance), (
+                    level, keyword, share
+                )
+
+    def test_plateau_rank_lookup_validates(self):
+        with pytest.raises(KeyError):
+            winlog.plateau_keyword_ranks(0.5)
+
+    def test_component_selectivity_helper(self):
+        assert winlog.component_selectivity("CBS") == 0.35
+        with pytest.raises(KeyError):
+            winlog.component_selectivity("nope")
+
+
+class TestYcsbShape:
+    def test_25_top_level_attributes(self):
+        record = next(make_generator("ycsb", 3).generate(1))
+        assert len(record) == 25
+
+    def test_nested_structures_present(self):
+        record = next(make_generator("ycsb", 3).generate(1))
+        assert isinstance(record["address"], dict)
+        assert isinstance(record["children"], list)
+        assert isinstance(record["visited_places"], list)
+
+    def test_domains(self):
+        for record in make_generator("ycsb", 3).generate(100):
+            assert record["phone_country"] in [
+                c for c, _ in ycsb.PHONE_COUNTRIES
+            ]
+            assert record["age_group"] in [g for g, _ in ycsb.AGE_GROUPS]
+            assert 0 <= record["linear_score"] <= 99
+            assert record["email"].split("@")[1] in ycsb.EMAIL_PROVIDERS
+
+    def test_url_contains_site_and_domain(self):
+        for record in make_generator("ycsb", 3).generate(50):
+            assert any(
+                f"//{site}." in record["url"] for site in ycsb.URL_SITES
+            )
+            assert any(
+                f".{domain}/" in record["url"] for domain in ycsb.URL_DOMAINS
+            )
+
+    def test_is_active_rate(self):
+        sample = list(make_generator("ycsb", 3).generate(4000))
+        share = sum(1 for r in sample if r["isActive"]) / len(sample)
+        assert share == pytest.approx(ycsb.ACTIVE_PROB, abs=0.03)
+
+    def test_serialized_length_reasonable(self):
+        # 25 attributes of customer data: a few hundred bytes per record.
+        record = next(make_generator("ycsb", 3).generate(1))
+        assert 300 < len(dump_record(record)) < 1500

@@ -1,0 +1,42 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.data import SeedSequence, derive_seed, rng_stream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestStreams:
+    def test_same_name_replays(self):
+        a = rng_stream(7, "data")
+        b = rng_stream(7, "data")
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_names_independent(self):
+        a = rng_stream(7, "data")
+        b = rng_stream(7, "noise")
+        assert [a.random() for _ in range(5)] != [
+            b.random() for _ in range(5)
+        ]
+
+
+class TestSeedSequence:
+    def test_stream_and_seed_agree(self):
+        seq = SeedSequence(42)
+        assert seq.seed("a") == derive_seed(42, "a")
+
+    def test_substreams_are_distinct(self):
+        seq = SeedSequence(42)
+        streams = list(seq.substreams("workers", 3))
+        values = [s.random() for s in streams]
+        assert len(set(values)) == 3

@@ -1,0 +1,85 @@
+"""Unit tests for bounded Zipf and weighted sampling."""
+
+import random
+
+import pytest
+
+from repro.data import WeightedSampler, ZipfSampler, zipf_choice, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(50, 1.2)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.5)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_higher_exponent_concentrates_head(self):
+        flat = zipf_weights(100, 0.5)[0]
+        steep = zipf_weights(100, 2.0)[0]
+        assert steep > flat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestZipfSampler:
+    def test_draws_in_range(self):
+        sampler = ZipfSampler(10, 1.0, random.Random(1))
+        assert all(0 <= r < 10 for r in sampler.draw_many(500))
+
+    def test_empirical_rank_ordering(self):
+        sampler = ZipfSampler(5, 1.5, random.Random(1))
+        counts = [0] * 5
+        for rank in sampler.draw_many(20_000):
+            counts[rank] += 1
+        assert counts[0] > counts[1] > counts[4]
+
+    def test_probability_matches_weights(self):
+        sampler = ZipfSampler(8, 1.1, random.Random(0))
+        weights = zipf_weights(8, 1.1)
+        for rank in range(8):
+            assert sampler.probability(rank) == pytest.approx(
+                weights[rank], abs=1e-9
+            )
+
+    def test_probability_bounds_checked(self):
+        sampler = ZipfSampler(3, 1.0, random.Random(0))
+        with pytest.raises(IndexError):
+            sampler.probability(3)
+
+    def test_zipf_choice(self):
+        assert zipf_choice(["a", "b"], 1.0, random.Random(2)) in ("a", "b")
+
+
+class TestWeightedSampler:
+    def test_respects_weights_empirically(self):
+        sampler = WeightedSampler(
+            ["x", "y"], [0.9, 0.1], random.Random(5)
+        )
+        draws = [sampler.draw() for _ in range(5000)]
+        assert draws.count("x") / len(draws) == pytest.approx(0.9, abs=0.03)
+
+    def test_zero_weight_items_never_drawn(self):
+        sampler = WeightedSampler(["x", "y"], [1.0, 0.0], random.Random(5))
+        assert all(sampler.draw() == "x" for _ in range(200))
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            WeightedSampler([], [], rng)
+        with pytest.raises(ValueError):
+            WeightedSampler(["a"], [1.0, 2.0], rng)
+        with pytest.raises(ValueError):
+            WeightedSampler(["a"], [-1.0], rng)
+        with pytest.raises(ValueError):
+            WeightedSampler(["a", "b"], [0.0, 0.0], rng)

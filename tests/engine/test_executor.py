@@ -1,0 +1,100 @@
+"""Executor tests against a brute-force oracle."""
+
+import random
+
+import pytest
+
+from repro.engine import Catalog, Executor, TableEntry, parse_sql
+from repro.storage import ParquetLiteWriter, infer_schema
+
+
+def oracle_filter(rows, where):
+    return [r for r in rows if where is None or where.evaluate(r)]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rng = random.Random(42)
+    return [
+        {
+            "name": rng.choice(["Ann", "Bob", "Cat", "Dan"]),
+            "age": rng.randrange(5),
+            "score": rng.random() * 10,
+            "city": rng.choice(["x", "y", None]),
+            "note": rng.choice(["has kw inside", "plain", "kw", ""]),
+        }
+        for _ in range(200)
+    ]
+
+
+@pytest.fixture(scope="module")
+def executor(rows, tmp_path_factory):
+    path = tmp_path_factory.mktemp("exec") / "t.pql"
+    with ParquetLiteWriter(path, infer_schema(rows)) as writer:
+        for start in range(0, len(rows), 50):
+            writer.write_row_group(rows[start:start + 50])
+    catalog = Catalog()
+    catalog.register(TableEntry(name="t", parquet_paths=[path]))
+    return Executor(catalog)
+
+
+QUERIES = [
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(*) FROM t WHERE name = 'Bob'",
+    "SELECT COUNT(*) FROM t WHERE name = 'Bob' AND age = 2",
+    "SELECT COUNT(*) FROM t WHERE name IN ('Ann', 'Cat') AND age = 1",
+    "SELECT COUNT(*) FROM t WHERE note LIKE '%kw%'",
+    "SELECT COUNT(*) FROM t WHERE note LIKE 'has%'",
+    "SELECT COUNT(*) FROM t WHERE note LIKE '%kw'",
+    "SELECT COUNT(*) FROM t WHERE city != NULL",
+    "SELECT COUNT(*) FROM t WHERE city IS NULL",
+    "SELECT COUNT(*) FROM t WHERE age > 2",
+    "SELECT COUNT(*) FROM t WHERE age >= 2 AND age < 4",
+    "SELECT COUNT(*) FROM t WHERE NOT name = 'Bob'",
+    "SELECT COUNT(*) FROM t WHERE name = 'Bob' OR name = 'Cat'",
+    "SELECT COUNT(*) FROM t WHERE (name = 'Bob' OR age = 0) AND city = 'x'",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_counts_match_oracle(executor, rows, sql):
+    parsed = parse_sql(sql)
+    expected = len(oracle_filter(rows, parsed.where))
+    assert executor.execute(sql).scalar() == expected
+
+
+def test_projection_rows(executor, rows):
+    result = executor.execute("SELECT name, age FROM t LIMIT 7")
+    assert len(result.rows) == 7
+    assert set(result.rows[0]) == {"name", "age"}
+    assert result.rows[0]["name"] == rows[0]["name"]
+
+
+def test_aggregates_match_oracle(executor, rows):
+    result = executor.execute(
+        "SELECT SUM(age), AVG(score), MIN(age), MAX(age) FROM t"
+    )
+    row = result.rows[0]
+    ages = [r["age"] for r in rows]
+    scores = [r["score"] for r in rows]
+    assert row["sum(age)"] == sum(ages)
+    assert row["avg(score)"] == pytest.approx(sum(scores) / len(scores))
+    assert row["min(age)"] == min(ages)
+    assert row["max(age)"] == max(ages)
+
+
+def test_select_star(executor, rows):
+    result = executor.execute("SELECT * FROM t WHERE name = 'Bob'")
+    assert all(r["name"] == "Bob" for r in result.rows)
+    assert set(result.rows[0]) == set(rows[0])
+
+
+def test_scalar_rejects_multi_row_results(executor):
+    result = executor.execute("SELECT name FROM t LIMIT 2")
+    with pytest.raises(ValueError):
+        result.scalar()
+
+
+def test_wall_time_recorded(executor):
+    result = executor.execute("SELECT COUNT(*) FROM t")
+    assert result.wall_seconds > 0

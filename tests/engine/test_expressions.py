@@ -1,0 +1,198 @@
+"""Unit tests for engine expressions and the clause bridge."""
+
+import pytest
+
+from repro.core import (
+    PredicateKind,
+    clause,
+    exact,
+    key_present,
+    key_value,
+    prefix,
+    substring,
+    suffix,
+)
+from repro.engine import (
+    And,
+    Column,
+    Comparison,
+    IsNotNull,
+    LikeExpr,
+    Literal,
+    Not,
+    Or,
+    clause_to_expr,
+    conjuncts,
+    like_match,
+    parse_sql,
+    predicate_to_expr,
+    query_where_expr,
+    to_clause,
+)
+
+ROW = {"name": "Bob", "age": 20, "text": "very delicious", "email": "x@y"}
+
+
+class TestEvaluation:
+    def test_comparisons(self):
+        assert Comparison(Column("age"), "=", Literal(20)).evaluate(ROW)
+        assert Comparison(Column("age"), ">", Literal(10)).evaluate(ROW)
+        assert not Comparison(Column("age"), "<", Literal(10)).evaluate(ROW)
+        assert Comparison(Column("age"), "!=", Literal(3)).evaluate(ROW)
+
+    def test_null_comparisons_are_false(self):
+        assert not Comparison(
+            Column("missing"), "=", Literal(1)
+        ).evaluate(ROW)
+        assert not Comparison(
+            Column("missing"), "!=", Literal(1)
+        ).evaluate(ROW)
+
+    def test_type_confusion_is_false(self):
+        assert not Comparison(Column("age"), "=", Literal("20")).evaluate(ROW)
+        assert not Comparison(
+            Column("age"), "=", Literal(True)
+        ).evaluate({"age": 1})
+
+    def test_like(self):
+        assert LikeExpr(Column("text"), "%delicious%").evaluate(ROW)
+        assert LikeExpr(Column("text"), "very%").evaluate(ROW)
+        assert not LikeExpr(Column("age"), "%2%").evaluate(ROW)  # non-string
+
+    def test_null_checks(self):
+        assert IsNotNull(Column("email")).evaluate(ROW)
+        assert not IsNotNull(Column("missing")).evaluate(ROW)
+
+    def test_boolean_combinators(self):
+        true = Comparison(Column("age"), "=", Literal(20))
+        false = Comparison(Column("age"), "=", Literal(3))
+        assert And((true, true)).evaluate(ROW)
+        assert not And((true, false)).evaluate(ROW)
+        assert Or((false, true)).evaluate(ROW)
+        assert Not(false).evaluate(ROW)
+
+    def test_columns_collected(self):
+        expr = And((
+            Comparison(Column("a"), "=", Literal(1)),
+            Or((LikeExpr(Column("b"), "%x%"), IsNotNull(Column("c")))),
+        ))
+        assert expr.columns() == {"a", "b", "c"}
+
+
+class TestLikeMatch:
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("%abc%", "xxabcyy", True),
+            ("%abc%", "ab", False),
+            ("abc%", "abcdef", True),
+            ("abc%", "zabc", False),
+            ("%abc", "zzabc", True),
+            ("%abc", "abcz", False),
+            ("abc", "abc", True),
+            ("abc", "abcd", False),
+            ("a%b%c", "a__b__c", True),
+            ("a%b%c", "acb", False),
+            ("%a%b%", "xaxbx", True),
+            ("%a%b%", "xbxax", False),
+            ("%%", "anything", True),
+            ("", "", True),
+        ],
+    )
+    def test_matching(self, pattern, value, expected):
+        assert like_match(pattern, value) is expected
+
+
+class TestConjuncts:
+    def test_flattens_nested_ands(self):
+        q = parse_sql(
+            "SELECT * FROM t WHERE a = 1 AND (b = 2 AND c = 3) AND d = 4"
+        )
+        assert len(conjuncts(q.where)) == 4
+
+    def test_none_is_empty(self):
+        assert conjuncts(None) == []
+
+    def test_single_atom(self):
+        q = parse_sql("SELECT * FROM t WHERE a = 1")
+        assert len(conjuncts(q.where)) == 1
+
+
+class TestToClause:
+    @pytest.mark.parametrize(
+        "sql_fragment,kind,value",
+        [
+            ("name = 'Bob'", PredicateKind.EXACT, "Bob"),
+            ("age = 10", PredicateKind.KEY_VALUE, 10),
+            ("on = true", PredicateKind.KEY_VALUE, True),
+            ("email != NULL", PredicateKind.KEY_PRESENCE, None),
+            ("email IS NOT NULL", PredicateKind.KEY_PRESENCE, None),
+            ("t LIKE '%x%'", PredicateKind.SUBSTRING, "x"),
+            ("t LIKE 'x%'", PredicateKind.PREFIX, "x"),
+            ("t LIKE '%x'", PredicateKind.SUFFIX, "x"),
+            ("t LIKE 'x'", PredicateKind.EXACT, "x"),
+        ],
+    )
+    def test_supported_atoms(self, sql_fragment, kind, value):
+        q = parse_sql(f"SELECT * FROM t WHERE {sql_fragment}")
+        got = to_clause(q.where)
+        assert got is not None
+        pred = got.predicates[0]
+        assert pred.kind is kind
+        assert pred.value == value
+
+    @pytest.mark.parametrize(
+        "sql_fragment",
+        [
+            "age > 10",             # range
+            "age != 10",            # inequality
+            "score = 1.5",          # float equality
+            "t LIKE '%a%b%'",       # multi-segment pattern
+            "NOT name = 'Bob'",     # negation
+            "a IS NULL",            # null check (not presence)
+        ],
+    )
+    def test_unsupported_atoms(self, sql_fragment):
+        q = parse_sql(f"SELECT * FROM t WHERE {sql_fragment}")
+        assert to_clause(q.where) is None
+
+    def test_in_list_becomes_disjunctive_clause(self):
+        q = parse_sql("SELECT * FROM t WHERE name IN ('a', 'b')")
+        got = to_clause(q.where)
+        assert got == clause(exact("name", "a"), exact("name", "b"))
+
+    def test_disjunction_with_unsupported_arm_is_rejected(self):
+        q = parse_sql("SELECT * FROM t WHERE name = 'a' OR age > 3")
+        assert to_clause(q.where) is None
+
+
+class TestRoundTripBridges:
+    def test_predicate_expr_equivalence_on_rows(self):
+        predicates = [
+            exact("name", "Bob"),
+            substring("text", "deli"),
+            prefix("text", "very"),
+            suffix("text", "cious"),
+            key_present("email"),
+            key_value("age", 20),
+        ]
+        rows = [ROW, {"name": "Eve"}, {"age": 20}, {}]
+        for pred in predicates:
+            expr = predicate_to_expr(pred)
+            for row in rows:
+                assert expr.evaluate(row) == pred.evaluate(row), (
+                    pred.sql(), row
+                )
+
+    def test_clause_and_query_exprs(self):
+        c1 = clause(exact("name", "Bob"), exact("name", "Eve"))
+        c2 = clause(key_value("age", 20))
+        expr = query_where_expr([c1, c2])
+        assert expr.evaluate(ROW)
+        assert not expr.evaluate({"name": "Bob", "age": 1})
+        assert clause_to_expr(c1).evaluate({"name": "Eve"})
+
+    def test_clause_sql_reparses_to_same_clause(self):
+        original = clause(exact("name", "Bob"), key_value("age", 10))
+        q = parse_sql(f"SELECT * FROM t WHERE {original.sql()}")
+        assert to_clause(q.where) == original

@@ -1,0 +1,142 @@
+"""Unit tests for GROUP BY aggregation."""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    Catalog,
+    Executor,
+    PlannerError,
+    SqlError,
+    TableEntry,
+    parse_sql,
+)
+from repro.storage import ParquetLiteWriter, infer_schema
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rng = random.Random(7)
+    return [
+        {
+            "city": rng.choice(["x", "y", "z"]),
+            "tier": rng.choice(["gold", "free"]),
+            "amount": rng.randrange(100),
+            "note": rng.choice(["a", None]),
+        }
+        for _ in range(120)
+    ]
+
+
+@pytest.fixture(scope="module")
+def executor(rows, tmp_path_factory):
+    path = tmp_path_factory.mktemp("groupby") / "t.pql"
+    with ParquetLiteWriter(path, infer_schema(rows)) as writer:
+        for start in range(0, len(rows), 40):
+            writer.write_row_group(rows[start:start + 40])
+    catalog = Catalog()
+    catalog.register(TableEntry(name="t", parquet_paths=[path]))
+    return Executor(catalog)
+
+
+def oracle_groups(rows, keys):
+    groups = {}
+    for row in rows:
+        groups.setdefault(tuple(row.get(k) for k in keys), []).append(row)
+    return groups
+
+
+class TestParsing:
+    def test_group_by_parses(self):
+        q = parse_sql("SELECT city, COUNT(*) FROM t GROUP BY city")
+        assert q.group_by == ("city",)
+        assert q.is_aggregate
+
+    def test_multi_column_group_by(self):
+        q = parse_sql(
+            "SELECT city, tier, COUNT(*) FROM t GROUP BY city, tier"
+        )
+        assert q.group_by == ("city", "tier")
+
+    def test_group_requires_by(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT city FROM t GROUP city")
+
+
+class TestExecution:
+    def test_count_per_group(self, executor, rows):
+        result = executor.execute(
+            "SELECT city, COUNT(*) FROM t GROUP BY city"
+        )
+        expected = oracle_groups(rows, ["city"])
+        got = {r["city"]: r["count(*)"] for r in result.rows}
+        assert got == {k[0]: len(v) for k, v in expected.items()}
+
+    def test_multiple_aggregates_per_group(self, executor, rows):
+        result = executor.execute(
+            "SELECT tier, SUM(amount), MIN(amount), MAX(amount), "
+            "AVG(amount) FROM t GROUP BY tier"
+        )
+        expected = oracle_groups(rows, ["tier"])
+        for row in result.rows:
+            amounts = [r["amount"] for r in expected[(row["tier"],)]]
+            assert row["sum(amount)"] == sum(amounts)
+            assert row["min(amount)"] == min(amounts)
+            assert row["max(amount)"] == max(amounts)
+            assert row["avg(amount)"] == pytest.approx(
+                sum(amounts) / len(amounts)
+            )
+
+    def test_group_by_two_columns(self, executor, rows):
+        result = executor.execute(
+            "SELECT city, tier, COUNT(*) FROM t GROUP BY city, tier"
+        )
+        expected = oracle_groups(rows, ["city", "tier"])
+        assert len(result.rows) == len(expected)
+        for row in result.rows:
+            assert row["count(*)"] == len(
+                expected[(row["city"], row["tier"])]
+            )
+
+    def test_where_applies_before_grouping(self, executor, rows):
+        result = executor.execute(
+            "SELECT city, COUNT(*) FROM t WHERE tier = 'gold' "
+            "GROUP BY city"
+        )
+        expected = oracle_groups(
+            [r for r in rows if r["tier"] == "gold"], ["city"]
+        )
+        got = {r["city"]: r["count(*)"] for r in result.rows}
+        assert got == {k[0]: len(v) for k, v in expected.items()}
+
+    def test_null_group_keys(self, executor, rows):
+        result = executor.execute(
+            "SELECT note, COUNT(*) FROM t GROUP BY note"
+        )
+        keys = {r["note"] for r in result.rows}
+        assert None in keys and "a" in keys
+
+    def test_per_column_count_ignores_nulls(self, executor, rows):
+        result = executor.execute(
+            "SELECT city, COUNT(note) FROM t GROUP BY city"
+        )
+        expected = oracle_groups(rows, ["city"])
+        for row in result.rows:
+            non_null = sum(
+                1 for r in expected[(row["city"],)]
+                if r["note"] is not None
+            )
+            assert row["count(note)"] == non_null
+
+    def test_limit_applies_to_groups(self, executor):
+        result = executor.execute(
+            "SELECT city, COUNT(*) FROM t GROUP BY city LIMIT 2"
+        )
+        assert len(result.rows) == 2
+
+    def test_ungrouped_bare_column_rejected(self, executor):
+        with pytest.raises(PlannerError):
+            executor.execute(
+                "SELECT city, tier, COUNT(*) FROM t GROUP BY city"
+            )

@@ -1,0 +1,204 @@
+"""Unit tests for the volcano operators, especially SkippingScan."""
+
+import pytest
+
+from repro.bitvec import BitVector
+from repro.engine import (
+    Aggregate,
+    ChainScan,
+    ExecutionStats,
+    Filter,
+    Limit,
+    ParquetScan,
+    Project,
+    SidelineScan,
+    SkippingScan,
+    parse_sql,
+)
+from repro.engine.operators import Operator
+from repro.rawjson import dump_record
+from repro.storage import (
+    JsonSideStore,
+    ParquetLiteReader,
+    ParquetLiteWriter,
+    infer_schema,
+)
+
+ROWS = [{"i": i, "name": f"u{i}", "flag": i % 2 == 0} for i in range(20)]
+
+
+class ListScan(Operator):
+    """Test helper: scan over in-memory rows."""
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def execute(self, stats):
+        for row in self._rows:
+            stats.rows_examined += 1
+            yield row
+
+    def describe(self):
+        return "ListScan"
+
+
+@pytest.fixture()
+def parquet(tmp_path):
+    """Two row groups of 10 rows with bit-vectors for predicates 0/1."""
+    path = tmp_path / "t.pql"
+    schema = infer_schema(ROWS)
+    with ParquetLiteWriter(path, schema) as writer:
+        for start in (0, 10):
+            rows = ROWS[start:start + 10]
+            writer.write_row_group(
+                rows,
+                bitvectors={
+                    # predicate 0: i % 5 == 0; predicate 1: i >= 10
+                    0: BitVector.from_bits(
+                        [r["i"] % 5 == 0 for r in rows]
+                    ),
+                    1: BitVector.from_bits([r["i"] >= 10 for r in rows]),
+                },
+                source_chunk_id=start // 10,
+            )
+    return ParquetLiteReader(path)
+
+
+class TestParquetScan:
+    def test_full_scan(self, parquet):
+        stats = ExecutionStats()
+        rows = list(ParquetScan(parquet).execute(stats))
+        assert len(rows) == 20
+        assert stats.rows_examined == 20
+        assert stats.row_groups_total == 2
+
+    def test_projection(self, parquet):
+        stats = ExecutionStats()
+        rows = list(ParquetScan(parquet, columns=["i"]).execute(stats))
+        assert set(rows[0]) == {"i"}
+
+
+class TestSkippingScan:
+    def test_single_predicate(self, parquet):
+        stats = ExecutionStats()
+        rows = list(SkippingScan(parquet, [0]).execute(stats))
+        assert sorted(r["i"] for r in rows) == [0, 5, 10, 15]
+        assert stats.tuples_skipped == 16
+        assert stats.used_data_skipping
+
+    def test_intersection_of_two_predicates(self, parquet):
+        stats = ExecutionStats()
+        rows = list(SkippingScan(parquet, [0, 1]).execute(stats))
+        assert sorted(r["i"] for r in rows) == [10, 15]
+
+    def test_whole_group_skipped(self, parquet):
+        # Predicate 1 is all-zero in the first row group.
+        stats = ExecutionStats()
+        rows = list(SkippingScan(parquet, [1]).execute(stats))
+        assert sorted(r["i"] for r in rows) == list(range(10, 20))
+        assert stats.row_groups_skipped == 1
+
+    def test_missing_vector_falls_back_to_full_scan(self, parquet):
+        stats = ExecutionStats()
+        rows = list(SkippingScan(parquet, [7]).execute(stats))
+        assert len(rows) == 20  # soundness first
+        assert stats.tuples_skipped == 0
+
+    def test_requires_predicates(self, parquet):
+        with pytest.raises(ValueError):
+            SkippingScan(parquet, [])
+
+
+class TestSidelineScan:
+    def test_parses_raw_records(self, tmp_path):
+        store = JsonSideStore(tmp_path / "s.jsonl")
+        store.append(0, [dump_record(r) for r in ROWS[:3]])
+        stats = ExecutionStats()
+        rows = list(SidelineScan(store).execute(stats))
+        assert len(rows) == 3
+        assert stats.sideline_records_parsed == 3
+        assert stats.scanned_sideline
+
+
+class TestComposition:
+    def test_filter(self):
+        stats = ExecutionStats()
+        q = parse_sql("SELECT * FROM t WHERE i = 3")
+        rows = list(Filter(ListScan(ROWS), q.where).execute(stats))
+        assert [r["i"] for r in rows] == [3]
+
+    def test_project(self):
+        stats = ExecutionStats()
+        rows = list(
+            Project(ListScan(ROWS), ["name"]).execute(stats)
+        )
+        assert rows[0] == {"name": "u0"}
+
+    def test_limit(self):
+        stats = ExecutionStats()
+        rows = list(Limit(ListScan(ROWS), 4).execute(stats))
+        assert len(rows) == 4
+        assert stats.rows_examined == 4  # early termination
+
+    def test_limit_zero(self):
+        stats = ExecutionStats()
+        assert list(Limit(ListScan(ROWS), 0).execute(stats)) == []
+
+    def test_chain(self):
+        stats = ExecutionStats()
+        rows = list(
+            ChainScan([ListScan(ROWS[:5]), ListScan(ROWS[5:])])
+            .execute(stats)
+        )
+        assert len(rows) == 20
+
+    def test_describe_compose(self, parquet):
+        plan = Filter(
+            SkippingScan(parquet, [0]),
+            parse_sql("SELECT * FROM t WHERE i = 0").where,
+        )
+        text = plan.describe()
+        assert "SkippingScan" in text and "Filter" in text
+
+
+class TestAggregate:
+    def test_count_star_counts_everything(self):
+        stats = ExecutionStats()
+        q = parse_sql("SELECT COUNT(*) FROM t")
+        (row,) = Aggregate(ListScan(ROWS), q.select).execute(stats)
+        assert row == {"count(*)": 20}
+
+    def test_column_aggregates_ignore_nulls(self):
+        rows = [{"x": 1}, {"x": None}, {"x": 3}]
+        q = parse_sql("SELECT COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) "
+                      "FROM t")
+        stats = ExecutionStats()
+        (row,) = Aggregate(ListScan(rows), q.select).execute(stats)
+        assert row["count(x)"] == 2
+        assert row["sum(x)"] == 4
+        assert row["avg(x)"] == 2
+        assert row["min(x)"] == 1
+        assert row["max(x)"] == 3
+
+    def test_empty_input_aggregates(self):
+        q = parse_sql("SELECT COUNT(*), SUM(x), MIN(x) FROM t")
+        stats = ExecutionStats()
+        (row,) = Aggregate(ListScan([]), q.select).execute(stats)
+        assert row["count(*)"] == 0
+        assert row["sum(x)"] is None
+        assert row["min(x)"] is None
+
+    def test_rejects_bare_columns(self):
+        q = parse_sql("SELECT a FROM t")
+        with pytest.raises(ValueError):
+            Aggregate(ListScan(ROWS), q.select)
+
+
+class TestStatsMerge:
+    def test_merge_accumulates(self):
+        a = ExecutionStats(rows_examined=3, used_data_skipping=True)
+        b = ExecutionStats(rows_examined=4, tuples_skipped=7)
+        a.merge(b)
+        assert a.rows_examined == 7
+        assert a.tuples_skipped == 7
+        assert a.used_data_skipping

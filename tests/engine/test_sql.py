@@ -1,0 +1,148 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.engine import (
+    And,
+    Comparison,
+    IsNotNull,
+    IsNull,
+    LikeExpr,
+    Not,
+    Or,
+    SqlError,
+    parse_sql,
+)
+
+
+class TestSelectList:
+    def test_count_star(self):
+        q = parse_sql("SELECT COUNT(*) FROM t")
+        assert q.select[0].aggregate == "COUNT"
+        assert q.select[0].column == "*"
+        assert q.is_aggregate
+
+    def test_bare_columns(self):
+        q = parse_sql("SELECT a, b FROM t")
+        assert [item.column for item in q.select] == ["a", "b"]
+        assert not q.is_aggregate
+
+    def test_star(self):
+        q = parse_sql("SELECT * FROM t")
+        assert q.select[0].column == "*"
+
+    def test_aggregates_over_columns(self):
+        q = parse_sql("SELECT SUM(x), AVG(y), MIN(z), MAX(z) FROM t")
+        assert [item.aggregate for item in q.select] == [
+            "SUM", "AVG", "MIN", "MAX"
+        ]
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT SUM(*) FROM t")
+
+    def test_labels(self):
+        q = parse_sql("SELECT COUNT(*), a FROM t")
+        assert q.select[0].label == "count(*)"
+        assert q.select[1].label == "a"
+
+
+class TestWhere:
+    def test_no_where(self):
+        assert parse_sql("SELECT * FROM t").where is None
+
+    def test_equality_types(self):
+        q = parse_sql(
+            "SELECT * FROM t WHERE a = 'x' AND b = 10 AND c = true"
+        )
+        comparisons = q.where.children
+        assert comparisons[0].right.value == "x"
+        assert comparisons[1].right.value == 10
+        assert comparisons[2].right.value is True
+
+    def test_string_escape(self):
+        q = parse_sql("SELECT * FROM t WHERE a = 'it''s'")
+        assert q.where.right.value == "it's"
+
+    def test_like(self):
+        q = parse_sql("SELECT * FROM t WHERE a LIKE '%kw%'")
+        assert isinstance(q.where, LikeExpr)
+        assert q.where.pattern == "%kw%"
+
+    def test_null_forms(self):
+        q = parse_sql("SELECT * FROM t WHERE a != NULL AND b IS NOT NULL "
+                      "AND c IS NULL AND d = NULL")
+        kinds = [type(child) for child in q.where.children]
+        assert kinds == [IsNotNull, IsNotNull, IsNull, IsNull]
+
+    def test_in_desugars_to_disjunction(self):
+        q = parse_sql("SELECT * FROM t WHERE name IN ('a', 'b')")
+        assert isinstance(q.where, Or)
+        assert [c.right.value for c in q.where.children] == ["a", "b"]
+
+    def test_precedence_and_binds_tighter(self):
+        q = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.children[1], And)
+
+    def test_parentheses(self):
+        q = parse_sql("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.children[0], Or)
+
+    def test_not(self):
+        q = parse_sql("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(q.where, Not)
+
+    def test_inequalities(self):
+        q = parse_sql("SELECT * FROM t WHERE a > 1 AND b <= 2 AND c <> 'x'")
+        ops = [child.op for child in q.where.children]
+        assert ops == [">", "<=", "!="]
+
+    def test_numeric_literals(self):
+        q = parse_sql("SELECT * FROM t WHERE a = -1.5 AND b = 2e3")
+        assert q.where.children[0].right.value == -1.5
+        assert q.where.children[1].right.value == 2000.0
+
+    def test_paper_query_template(self):
+        sql = ("SELECT COUNT(*) FROM logs WHERE "
+               "(name = 'Bob' OR name = 'John') AND age = 20")
+        q = parse_sql(sql)
+        assert q.table == "logs"
+        assert isinstance(q.where, And)
+
+
+class TestLimit:
+    def test_limit(self):
+        assert parse_sql("SELECT * FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT * FROM t LIMIT 1.5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * WHERE a = 1",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a",
+            "SELECT * FROM t WHERE a = ",
+            "SELECT * FROM t WHERE a LIKE 5",
+            "SELECT * FROM t trailing",
+            "INSERT INTO t VALUES (1)",
+            "SELECT * FROM t WHERE a = 'unterminated",
+        ],
+    )
+    def test_malformed_rejected(self, sql):
+        with pytest.raises(SqlError):
+            parse_sql(sql)
+
+    def test_keywords_case_insensitive(self):
+        q = parse_sql("select count(*) from t where a like '%x%' limit 2")
+        assert q.limit == 2
+        assert q.select[0].aggregate == "COUNT"

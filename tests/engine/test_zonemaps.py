@@ -1,0 +1,154 @@
+"""Unit tests for zone-map pruning."""
+
+import pytest
+
+from repro.engine import Executor, Catalog, TableEntry, parse_sql
+from repro.engine.zonemaps import _prefix_upper_bound, expr_prunes_group
+from repro.storage import ParquetLiteWriter, infer_schema
+from repro.storage.metadata import ColumnChunkMeta, RowGroupMeta
+from repro.storage.pages import PageStats
+
+
+def group_with(column: str, minimum, maximum, nulls=0, rows=10):
+    meta = RowGroupMeta(row_count=rows)
+    meta.columns[column] = ColumnChunkMeta(
+        offset=0, length=0,
+        stats=PageStats(rows, nulls, minimum, maximum),
+    )
+    return meta
+
+
+def where(sql_fragment: str):
+    return parse_sql(f"SELECT * FROM t WHERE {sql_fragment}").where
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "fragment,minimum,maximum,prunes",
+        [
+            ("x = 5", 10, 20, True),
+            ("x = 25", 10, 20, True),
+            ("x = 15", 10, 20, False),
+            ("x = 10", 10, 20, False),
+            ("x < 10", 10, 20, True),
+            ("x < 11", 10, 20, False),
+            ("x <= 9", 10, 20, True),
+            ("x <= 10", 10, 20, False),
+            ("x > 20", 10, 20, True),
+            ("x > 19", 10, 20, False),
+            ("x >= 21", 10, 20, True),
+            ("x >= 20", 10, 20, False),
+            ("x != 15", 10, 20, False),
+        ],
+    )
+    def test_numeric_bounds(self, fragment, minimum, maximum, prunes):
+        meta = group_with("x", minimum, maximum)
+        assert expr_prunes_group(where(fragment), meta) is prunes
+
+    def test_string_equality(self):
+        meta = group_with("s", "apple", "melon")
+        assert expr_prunes_group(where("s = 'zebra'"), meta)
+        assert not expr_prunes_group(where("s = 'grape'"), meta)
+
+    def test_type_mismatch_never_prunes(self):
+        meta = group_with("x", 10, 20)
+        assert not expr_prunes_group(where("x = 'ten'"), meta)
+
+    def test_bool_never_prunes(self):
+        meta = group_with("b", False, True)
+        assert not expr_prunes_group(where("b = true"), meta)
+
+    def test_missing_column_never_prunes(self):
+        meta = group_with("x", 10, 20)
+        assert not expr_prunes_group(where("y = 5"), meta)
+
+    def test_all_null_group_prunes_comparisons(self):
+        meta = group_with("x", None, None, nulls=10)
+        assert expr_prunes_group(where("x = 5"), meta)
+
+    def test_some_null_without_stats_does_not_prune(self):
+        meta = group_with("x", None, None, nulls=4)
+        assert not expr_prunes_group(where("x = 5"), meta)
+
+
+class TestNullChecks:
+    def test_is_null_prunes_when_no_nulls(self):
+        meta = group_with("x", 1, 2, nulls=0)
+        assert expr_prunes_group(where("x IS NULL"), meta)
+        meta2 = group_with("x", 1, 2, nulls=1)
+        assert not expr_prunes_group(where("x IS NULL"), meta2)
+
+    def test_is_not_null_prunes_all_null_groups(self):
+        meta = group_with("x", None, None, nulls=10)
+        assert expr_prunes_group(where("x IS NOT NULL"), meta)
+
+
+class TestLikePrefix:
+    def test_prefix_below_range(self):
+        meta = group_with("s", "m-100", "m-200")
+        assert expr_prunes_group(where("s LIKE 'z%'"), meta)
+
+    def test_prefix_above_range(self):
+        meta = group_with("s", "m-100", "m-200")
+        assert expr_prunes_group(where("s LIKE 'a%'"), meta)
+
+    def test_prefix_inside_range(self):
+        meta = group_with("s", "m-100", "m-200")
+        assert not expr_prunes_group(where("s LIKE 'm-1%'"), meta)
+
+    def test_substring_patterns_never_prune(self):
+        meta = group_with("s", "aaa", "bbb")
+        assert not expr_prunes_group(where("s LIKE '%zzz%'"), meta)
+
+    def test_prefix_upper_bound(self):
+        assert _prefix_upper_bound("abc") == "abd"
+        assert _prefix_upper_bound("a" + chr(0x10FFFF)) == "b"
+        assert _prefix_upper_bound(chr(0x10FFFF)) is None
+
+
+class TestBooleanStructure:
+    def test_conjunction_prunes_if_any_factor_does(self):
+        meta = group_with("x", 10, 20)
+        assert expr_prunes_group(where("x = 99 AND x > 0"), meta)
+
+    def test_disjunction_needs_every_arm(self):
+        meta = group_with("x", 10, 20)
+        assert expr_prunes_group(where("x = 99 OR x = 88"), meta)
+        assert not expr_prunes_group(where("x = 99 OR x = 15"), meta)
+
+    def test_not_never_prunes(self):
+        meta = group_with("x", 10, 20)
+        assert not expr_prunes_group(where("NOT x = 99"), meta)
+
+
+class TestEndToEnd:
+    def test_range_query_prunes_clustered_groups(self, tmp_path):
+        rows = [{"seq": i, "v": f"x{i}"} for i in range(100)]
+        path = tmp_path / "t.pql"
+        with ParquetLiteWriter(path, infer_schema(rows)) as writer:
+            for start in range(0, 100, 20):
+                writer.write_row_group(rows[start:start + 20])
+        catalog = Catalog()
+        catalog.register(TableEntry(name="t", parquet_paths=[path]))
+        executor = Executor(catalog)
+
+        result = executor.execute("SELECT COUNT(*) FROM t WHERE seq >= 80")
+        assert result.scalar() == 20
+        assert result.stats.row_groups_pruned_by_zonemap == 4
+        assert result.stats.tuples_pruned_by_zonemap == 80
+        assert result.stats.rows_examined == 20
+        assert result.plan_info.uses_zonemaps
+
+    def test_unclustered_column_prunes_nothing_but_stays_exact(
+            self, tmp_path):
+        rows = [{"seq": (i * 37) % 100} for i in range(100)]
+        path = tmp_path / "t.pql"
+        with ParquetLiteWriter(path, infer_schema(rows)) as writer:
+            for start in range(0, 100, 20):
+                writer.write_row_group(rows[start:start + 20])
+        catalog = Catalog()
+        catalog.register(TableEntry(name="t", parquet_paths=[path]))
+        executor = Executor(catalog)
+        result = executor.execute("SELECT COUNT(*) FROM t WHERE seq >= 80")
+        assert result.scalar() == 20
+        assert result.stats.row_groups_pruned_by_zonemap == 0

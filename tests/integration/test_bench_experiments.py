@@ -1,0 +1,113 @@
+"""Smoke tests for every per-figure experiment at tiny scale.
+
+These guarantee the benchmark harness stays runnable; the real scale lives
+in ``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    cost_model_experiment,
+    end_to_end_sweep,
+    headline_speedups,
+    metrics_table,
+    overlap_experiment,
+    selectivity_experiment,
+    skewness_experiment,
+    skipping_benefit_sweep,
+    speedup_summary,
+)
+
+TINY = dict(n_records=500, chunk_size=100, sample_size=400)
+
+
+class TestEndToEndSweep:
+    def test_fig3_shape(self, tmp_path):
+        config = ExperimentConfig(dataset="winlog", **TINY)
+        sweep = end_to_end_sweep(
+            "winlog", tmp_path, config=config, labels=("A",),
+            n_queries=8, budgets=[0, 2],
+        )
+        runs = sweep["A"]
+        assert len(runs) == 2
+        assert runs[0].budget_us == 0 and runs[0].n_pushed == 0
+        assert runs[1].n_pushed > 0
+        # Reporting helpers render without error.
+        assert "budget" in metrics_table(runs)
+        assert "speedups" in speedup_summary(runs[0], runs[1:])
+
+    def test_headline_speedups_structure(self, tmp_path):
+        config = ExperimentConfig(dataset="winlog", **TINY)
+        sweep = end_to_end_sweep(
+            "winlog", tmp_path, config=config, labels=("A",),
+            n_queries=8, budgets=[0, 2],
+        )
+        best = headline_speedups(sweep)
+        assert set(best) == {"loading", "query", "end_to_end"}
+        assert best["query"] > 0
+
+    def test_config_dataset_mismatch_rejected(self, tmp_path):
+        config = ExperimentConfig(dataset="yelp", **TINY)
+        with pytest.raises(ValueError):
+            end_to_end_sweep("winlog", tmp_path, config=config)
+
+
+class TestFig6:
+    def test_skipping_fraction_series(self, tmp_path):
+        config = ExperimentConfig(dataset="ycsb", **TINY)
+        series = skipping_benefit_sweep(
+            tmp_path, config=config, n_queries=10, budgets=[10, 40]
+        )
+        assert [b for b, _ in series] == [10, 40]
+        assert all(0.0 <= f <= 1.0 for _, f in series)
+
+
+class TestMicroExperiments:
+    def test_selectivity_levels(self, tmp_path):
+        config = ExperimentConfig(dataset="winlog", **TINY)
+        results = selectivity_experiment(tmp_path, config=config)
+        assert [r.level for r in results] == [
+            "sel=0.35", "sel=0.15", "sel=0.01"
+        ]
+        ratios = [r.loading_ratio for r in results]
+        assert ratios == sorted(ratios, reverse=True)  # Fig. 7's shape
+        assert all(len(r.per_query_s) == 5 for r in results)
+
+    def test_overlap_levels(self, tmp_path):
+        config = ExperimentConfig(dataset="winlog", **TINY)
+        results = overlap_experiment(tmp_path, config=config)
+        by_level = {r.level: r for r in results}
+        # Fig. 9's shape: only the high-overlap workload partially loads.
+        assert by_level["low"].loading_ratio == 1.0
+        assert by_level["medium"].loading_ratio == 1.0
+        assert by_level["high"].loading_ratio < 1.0
+
+    def test_skewness_levels(self, tmp_path):
+        config = ExperimentConfig(dataset="winlog", **TINY)
+        results = skewness_experiment(tmp_path, config=config)
+        by_level = {r.level: r for r in results}
+        # Fig. 11's shape: only the highly skewed workload partially loads.
+        assert by_level["skew=0.0"].loading_ratio == 1.0
+        assert by_level["skew=0.5"].loading_ratio == 1.0
+        assert by_level["skew=2.0"].loading_ratio < 1.0
+
+
+class TestTable4:
+    def test_cost_model_rows(self):
+        rows = cost_model_experiment(
+            predicates_per_dataset=25,
+            hit_rate_records=120,
+            include_real_local=True,
+            real_records=60,
+        )
+        platforms = [r.platform for r in rows]
+        assert platforms[:3] == ["local", "alibaba", "pku"]
+        assert platforms[3] == "this-machine"
+        simulated = {r.platform: r for r in rows[:3]}
+        # The Table IV ordering: cloud VM fits worst, cluster best.
+        assert simulated["pku"].r_squared > simulated["alibaba"].r_squared
+        assert simulated["local"].r_squared > simulated["alibaba"].r_squared
+        assert math.isnan(rows[3].paper_r_squared)

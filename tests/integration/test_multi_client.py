@@ -1,0 +1,104 @@
+"""Integration tests for heterogeneous multi-client fleets.
+
+Clients with smaller budgets execute budget-restricted prefixes of the
+server's global plan; the server must never sideline a record that was not
+tested against every pushed predicate.
+"""
+
+import pytest
+
+from repro.client import SimulatedClient
+from repro.core import (
+    Budget,
+    CiaoOptimizer,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+)
+from repro.data import make_generator
+from repro.rawjson import parse_object
+from repro.server import CiaoServer
+from repro.workload import estimate_selectivities, table3_workload
+
+SEED = 4242
+
+
+@pytest.fixture(scope="module")
+def setup():
+    generator = make_generator("winlog", SEED)
+    lines = list(generator.raw_lines(1200))
+    workload = table3_workload("winlog", "A", seed=SEED, n_queries=12)
+    sels = estimate_selectivities(
+        workload.candidate_pool, generator.sample(800)
+    )
+    model = CostModel(DEFAULT_COEFFICIENTS, 160)
+    optimizer = CiaoOptimizer(workload, sels, model)
+    global_plan = optimizer.plan(Budget(6.0))
+    return lines, workload, global_plan
+
+
+class TestPlanRestriction:
+    def test_restrict_is_a_prefix_with_stable_ids(self, setup):
+        _, _, plan = setup
+        sub = plan.restrict(Budget(plan.total_cost_us() / 2))
+        assert len(sub) < len(plan)
+        for entry, original in zip(sub.entries, plan.entries):
+            assert entry.predicate_id == original.predicate_id
+            assert entry.clause == original.clause
+
+    def test_restrict_respects_budget(self, setup):
+        _, _, plan = setup
+        for fraction in (0.0, 0.3, 0.7, 1.0):
+            budget = Budget(plan.total_cost_us() * fraction)
+            sub = plan.restrict(budget)
+            assert sub.total_cost_us() <= budget.us + 1e-9
+
+    def test_full_budget_restriction_is_identity(self, setup):
+        _, _, plan = setup
+        sub = plan.restrict(Budget(plan.total_cost_us() + 1))
+        assert [e.predicate_id for e in sub.entries] == plan.predicate_ids
+
+
+class TestHeterogeneousFleet:
+    def test_answers_exact_with_mixed_clients(self, tmp_path, setup):
+        lines, workload, plan = setup
+        server = CiaoServer(tmp_path, plan=plan, workload=workload)
+        third = len(lines) // 3
+        weak_plan = plan.restrict(Budget(plan.total_cost_us() / 3))
+        clients = [
+            SimulatedClient("strong", plan=plan, chunk_size=200),
+            SimulatedClient("weak", plan=weak_plan, chunk_size=200),
+            SimulatedClient("mute", plan=None, chunk_size=200),
+        ]
+        parts = [lines[:third], lines[third:2 * third], lines[2 * third:]]
+        for client, part in zip(clients, parts):
+            for chunk in client.process(part):
+                server.ingest(chunk)
+        server.finalize_loading()
+
+        parsed = [parse_object(line) for line in lines]
+        for query in workload.queries:
+            expected = sum(1 for r in parsed if query.evaluate(r))
+            assert server.query(query.sql("t")).scalar() == expected
+
+    def test_partially_annotated_chunks_load_eagerly(self, tmp_path, setup):
+        lines, workload, plan = setup
+        server = CiaoServer(tmp_path, plan=plan, workload=workload)
+        assert server.partial_loading_enabled
+        weak_plan = plan.restrict(Budget(plan.total_cost_us() / 3))
+        weak = SimulatedClient("weak", plan=weak_plan, chunk_size=300)
+        for chunk in weak.process(lines):
+            server.ingest(chunk)
+        summary = server.finalize_loading()
+        # Nothing may be sidelined: the weak client did not test every
+        # pushed predicate.
+        assert summary.loading_ratio == 1.0
+
+    def test_fully_annotated_chunks_still_partially_load(self, tmp_path,
+                                                         setup):
+        lines, workload, plan = setup
+        server = CiaoServer(tmp_path, plan=plan, workload=workload)
+        strong = SimulatedClient("strong", plan=plan, chunk_size=300)
+        for chunk in strong.process(lines):
+            server.ingest(chunk)
+        summary = server.finalize_loading()
+        assert summary.loading_ratio < 1.0

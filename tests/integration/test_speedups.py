@@ -1,0 +1,72 @@
+"""Shape assertions for the paper's headline claims.
+
+Absolute numbers depend on the host, but the *direction* of every paper
+result must reproduce: partial loading beats eager loading, skipped queries
+beat full scans, and the end-to-end pipeline wins at a modest budget.
+"""
+
+import pytest
+
+from repro.bench import EndToEndRunner, ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    from repro.workload import selectivity_workload
+
+    config = ExperimentConfig(
+        dataset="winlog", n_records=1500, chunk_size=300, sample_size=800
+    )
+    runner = EndToEndRunner(
+        config, tmp_path_factory.mktemp("speedups")
+    )
+    workload, pushed = selectivity_workload(0.01)
+    baseline = runner.run(workload, None, label="baseline")
+    plan = runner.plan_for_clauses(workload, pushed)
+    ciao = runner.run(workload, plan, label="ciao")
+    return baseline, ciao
+
+
+class TestDirectionalClaims:
+    def test_loading_time_improves(self, sweep):
+        baseline, ciao = sweep
+        assert ciao.partial_loading
+        assert ciao.loading_ratio < 0.25
+        assert ciao.loading_wall_s < baseline.loading_wall_s
+
+    def test_query_time_improves(self, sweep):
+        baseline, ciao = sweep
+        assert ciao.query_wall_s < baseline.query_wall_s
+
+    def test_end_to_end_improves(self, sweep):
+        baseline, ciao = sweep
+        assert ciao.end_to_end_wall_s < baseline.end_to_end_wall_s
+
+    def test_prefiltering_cost_is_the_price(self, sweep):
+        baseline, ciao = sweep
+        assert baseline.prefilter_model_s == 0.0
+        assert ciao.prefilter_model_s > 0.0
+
+    def test_all_queries_benefit_from_skipping(self, sweep):
+        _, ciao = sweep
+        assert ciao.queries_benefiting == ciao.total_queries
+
+
+class TestBudgetMonotonicity:
+    def test_more_budget_pushes_more_predicates(self, tmp_path):
+        from repro.workload import table3_workload
+
+        config = ExperimentConfig(
+            dataset="winlog", n_records=600, chunk_size=200,
+            sample_size=500,
+        )
+        runner = EndToEndRunner(config, tmp_path)
+        workload = table3_workload(
+            "winlog", "A", seed=config.seed, n_queries=15
+        )
+        sizes = []
+        for budget in (0.5, 2.0, 8.0):
+            plan = runner.plan_for_budget(workload, budget)
+            sizes.append(len(plan))
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]

@@ -1,0 +1,99 @@
+"""Property test: the CSV matchers obey the one-sided error contract too.
+
+Same invariant as the JSON property suite (§IV-B): for every supported
+predicate and record, a semantic match implies a raw CSV-line match.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import exact, key_value, prefix, substring, suffix
+from repro.rawcsv import CsvCodec, compile_csv_predicate
+
+COLUMNS = ["alpha", "beta", "gamma"]
+CODEC = CsvCodec(COLUMNS, types={"gamma": int})
+
+# Quote-free text: operands with quotes are rejected by the compiler, and
+# values may contain anything EXCEPT newlines (line framing).
+field_text = st.text(
+    alphabet=st.characters(blacklist_characters='"\n\r'), max_size=20
+)
+operand_text = st.text(
+    alphabet=st.characters(blacklist_characters='"\n\r'),
+    min_size=1, max_size=10,
+)
+
+
+@st.composite
+def records(draw):
+    return {
+        "alpha": draw(field_text),
+        "beta": draw(field_text),
+        "gamma": draw(st.integers(min_value=-9999, max_value=9999)),
+    }
+
+
+@st.composite
+def csv_predicates(draw):
+    kind = draw(st.sampled_from(
+        ["exact", "substring", "prefix", "suffix", "kv"]
+    ))
+    if kind == "kv":
+        return key_value(
+            "gamma", draw(st.integers(min_value=-9999, max_value=9999))
+        )
+    column = draw(st.sampled_from(["alpha", "beta"]))
+    operand = draw(operand_text)
+    maker = {
+        "exact": exact, "substring": substring,
+        "prefix": prefix, "suffix": suffix,
+    }[kind]
+    return maker(column, operand)
+
+
+@given(records(), csv_predicates())
+@settings(max_examples=500)
+def test_csv_no_false_negatives(record, predicate):
+    if predicate.evaluate(record):
+        line = CODEC.encode_record(record)
+        spec = compile_csv_predicate(predicate, CODEC)
+        assert spec.match(line), (
+            f"CSV FALSE NEGATIVE: {predicate.sql()} on {line!r}"
+        )
+
+
+@st.composite
+def planted_csv_cases(draw):
+    record = draw(records())
+    column = draw(st.sampled_from(["alpha", "beta"]))
+    operand = draw(operand_text)
+    pad_a = draw(field_text)
+    pad_b = draw(field_text)
+    kind = draw(st.sampled_from(["exact", "substring", "prefix", "suffix"]))
+    if kind == "exact":
+        pred, value = exact(column, operand), operand
+    elif kind == "substring":
+        pred, value = substring(column, operand), pad_a + operand + pad_b
+    elif kind == "prefix":
+        pred, value = prefix(column, operand), operand + pad_b
+    else:
+        pred, value = suffix(column, operand), pad_a + operand
+    record[column] = value
+    return pred, record
+
+
+@given(planted_csv_cases())
+@settings(max_examples=500)
+def test_csv_no_false_negatives_on_planted_matches(case):
+    predicate, record = case
+    assert predicate.evaluate(record)
+    line = CODEC.encode_record(record)
+    assert compile_csv_predicate(predicate, CODEC).match(line), (
+        f"CSV FALSE NEGATIVE: {predicate.sql()} on {line!r}"
+    )
+
+
+@given(records())
+@settings(max_examples=300)
+def test_csv_codec_roundtrip(record):
+    assert CODEC.decode_line(CODEC.encode_record(record)) == record

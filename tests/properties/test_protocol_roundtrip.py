@@ -1,0 +1,123 @@
+"""Property tests: wire-protocol and SQL round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitvec import BitVector
+from repro.client import decode_chunk, encode_chunk
+from repro.engine import parse_sql
+from repro.rawjson import JsonChunk, dump_record
+
+
+# ----------------------------------------------------------------------
+# Chunk protocol: decode(encode(chunk)) == chunk, for arbitrary shapes.
+# ----------------------------------------------------------------------
+@st.composite
+def chunks(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    records = [
+        dump_record(
+            {
+                "i": i,
+                "s": draw(st.text(
+                    alphabet=st.characters(
+                        exclude_characters="\n\r",
+                        exclude_categories=["Cs"],  # no lone surrogates
+                    ),
+                    max_size=15,
+                )),
+            }
+        )
+        for i in range(n)
+    ]
+    chunk = JsonChunk(draw(st.integers(min_value=0, max_value=10_000)),
+                      records)
+    for pid in draw(st.lists(st.integers(min_value=0, max_value=50),
+                             unique=True, max_size=4)):
+        bits = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        chunk.attach(pid, BitVector.from_bits(bits))
+    return chunk
+
+
+@given(chunks())
+@settings(max_examples=150)
+def test_chunk_protocol_roundtrip(chunk):
+    decoded = decode_chunk(encode_chunk(chunk))
+    assert decoded.chunk_id == chunk.chunk_id
+    assert decoded.records == chunk.records
+    assert decoded.bitvectors == chunk.bitvectors
+
+
+@given(chunks(), st.integers(min_value=1, max_value=40))
+@settings(max_examples=60)
+def test_chunk_protocol_rejects_truncation(chunk, cut):
+    payload = encode_chunk(chunk)
+    if cut >= len(payload):
+        return
+    try:
+        decoded = decode_chunk(payload[:-cut])
+    except ValueError:
+        return  # rejected, as expected
+    # Extremely unlikely, but if truncation still decodes it must not
+    # silently corrupt record counts.
+    assert len(decoded.records) <= len(chunk.records)
+
+
+# ----------------------------------------------------------------------
+# SQL: rendering an expression and re-parsing it is the identity.
+# ----------------------------------------------------------------------
+_columns = st.sampled_from(["a", "b", "c_col"])
+_strings = st.text(
+    alphabet=st.characters(blacklist_characters="\n\r"), max_size=10
+)
+
+
+@st.composite
+def where_fragments(draw):
+    kind = draw(st.sampled_from(
+        ["eq_str", "eq_int", "like", "null", "not_null", "cmp"]
+    ))
+    column = draw(_columns)
+    if kind == "eq_str":
+        return f"{column} = '{draw(_strings).replace(chr(39), chr(39)*2)}'"
+    if kind == "eq_int":
+        return f"{column} = {draw(st.integers(-999, 999))}"
+    if kind == "like":
+        body = draw(_strings).replace("'", "''").replace("%", "")
+        return f"{column} LIKE '%{body}%'"
+    if kind == "null":
+        return f"{column} IS NULL"
+    if kind == "not_null":
+        return f"{column} IS NOT NULL"
+    op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+    return f"{column} {op} {draw(st.integers(-999, 999))}"
+
+
+@st.composite
+def where_clauses(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    joiner = draw(st.sampled_from([" AND ", " OR "]))
+    return joiner.join(draw(where_fragments()) for _ in range(n))
+
+
+@given(where_clauses())
+@settings(max_examples=200)
+def test_sql_render_reparse_identity(fragment):
+    parsed = parse_sql(f"SELECT COUNT(*) FROM t WHERE {fragment}")
+    rendered = parsed.where.sql()
+    reparsed = parse_sql(f"SELECT COUNT(*) FROM t WHERE {rendered}")
+    assert reparsed.where == parsed.where
+
+
+@given(where_clauses(), st.dictionaries(
+    _columns,
+    st.one_of(st.none(), st.integers(-999, 999), _strings),
+    max_size=3,
+))
+@settings(max_examples=200)
+def test_sql_rendered_expression_evaluates_identically(fragment, row):
+    parsed = parse_sql(f"SELECT COUNT(*) FROM t WHERE {fragment}")
+    rendered = parse_sql(
+        f"SELECT COUNT(*) FROM t WHERE {parsed.where.sql()}"
+    )
+    assert parsed.where.evaluate(row) == rendered.where.evaluate(row)

@@ -1,0 +1,106 @@
+"""Unit tests for JSON chunking and load masks."""
+
+import pytest
+
+from repro.bitvec import BitVector
+from repro.rawjson import JsonChunk, chunk_records, concat_chunks
+
+
+def make_chunk(n=4, chunk_id=0):
+    return JsonChunk(chunk_id, [f'{{"i":{i}}}' for i in range(n)])
+
+
+class TestJsonChunk:
+    def test_length_and_iteration(self):
+        chunk = make_chunk(3)
+        assert len(chunk) == 3
+        assert list(chunk.iter_records()) == chunk.records
+
+    def test_attach_validates_length(self):
+        chunk = make_chunk(4)
+        with pytest.raises(ValueError):
+            chunk.attach(0, BitVector(3))
+
+    def test_constructor_validates_existing_bitvectors(self):
+        with pytest.raises(ValueError):
+            JsonChunk(0, ['{"a":1}'], {0: BitVector(5)})
+
+    def test_predicate_ids_sorted(self):
+        chunk = make_chunk(2)
+        chunk.attach(5, BitVector(2))
+        chunk.attach(1, BitVector(2))
+        assert chunk.predicate_ids == [1, 5]
+
+    def test_total_bytes(self):
+        chunk = make_chunk(2)
+        assert chunk.total_bytes() == sum(len(r) for r in chunk.records)
+
+
+class TestLoadMask:
+    def test_union_of_predicate_vectors(self):
+        chunk = make_chunk(4)
+        chunk.attach(0, BitVector.from_bits([1, 0, 0, 0]))
+        chunk.attach(1, BitVector.from_bits([0, 0, 1, 0]))
+        assert chunk.load_mask().to_bits() == [1, 0, 1, 0]
+        assert chunk.loaded_ratio() == 0.5
+
+    def test_no_annotations_loads_everything(self):
+        chunk = make_chunk(3)
+        assert chunk.load_mask().to_bits() == [1, 1, 1]
+        assert chunk.loaded_ratio() == 1.0
+
+    def test_split_by_mask(self):
+        chunk = make_chunk(4)
+        selected, rejected = chunk.split_by_mask(
+            BitVector.from_bits([1, 0, 0, 1])
+        )
+        assert selected == [0, 3]
+        assert rejected == [1, 2]
+
+    def test_split_validates_length(self):
+        with pytest.raises(ValueError):
+            make_chunk(4).split_by_mask(BitVector(3))
+
+
+class TestChunkRecords:
+    def test_even_split(self):
+        chunks = list(chunk_records((f"r{i}" for i in range(6)), 2))
+        assert [len(c) for c in chunks] == [2, 2, 2]
+        assert [c.chunk_id for c in chunks] == [0, 1, 2]
+
+    def test_short_final_chunk(self):
+        chunks = list(chunk_records((f"r{i}" for i in range(5)), 2))
+        assert [len(c) for c in chunks] == [2, 2, 1]
+
+    def test_start_id_offset(self):
+        chunks = list(chunk_records(["a", "b"], 1, start_id=7))
+        assert [c.chunk_id for c in chunks] == [7, 8]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_records(["a"], 0))
+
+    def test_empty_input_yields_nothing(self):
+        assert list(chunk_records([], 10)) == []
+
+
+class TestConcatChunks:
+    def test_concat_aligns_bitvectors(self):
+        a = make_chunk(2, 0)
+        b = make_chunk(3, 1)
+        a.attach(0, BitVector.from_bits([1, 0]))
+        b.attach(0, BitVector.from_bits([0, 1, 1]))
+        merged = concat_chunks([a, b])
+        assert len(merged) == 5
+        assert merged.bitvectors[0].to_bits() == [1, 0, 0, 1, 1]
+
+    def test_mismatched_predicate_sets_rejected(self):
+        a = make_chunk(2)
+        b = make_chunk(2, 1)
+        a.attach(0, BitVector(2))
+        with pytest.raises(ValueError):
+            concat_chunks([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_chunks([])

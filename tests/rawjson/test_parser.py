@@ -1,0 +1,107 @@
+"""Unit tests for the recursive-descent JSON parser."""
+
+import json
+
+import pytest
+
+from repro.rawjson import (
+    JsonSyntaxError,
+    loads,
+    parse_lines,
+    parse_object,
+    try_parse,
+)
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{}",
+            "[]",
+            '{"a": 1}',
+            '{"a": {"b": [1, 2, {"c": null}]}}',
+            '[1, 2.5, "x", true, false, null]',
+            '"plain"',
+            "-12",
+            "0.125",
+            '{"nested": {"deep": {"deeper": [[[1]]]}}}',
+        ],
+    )
+    def test_agrees_with_stdlib(self, text):
+        assert loads(text) == json.loads(text)
+
+    def test_duplicate_keys_keep_last(self):
+        # Matches stdlib json and most real-world parsers.
+        assert loads('{"a": 1, "a": 2}') == {"a": 2}
+
+    def test_number_types_preserved(self):
+        value = loads('[1, 1.0]')
+        assert isinstance(value[0], int)
+        assert isinstance(value[1], float)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "{",
+            "}",
+            '{"a"}',
+            '{"a": }',
+            '{"a": 1,}',
+            "[1, ]",
+            "[1 2]",
+            '{"a": 1} extra',
+            "{'a': 1}",
+            '{"a": 1 "b": 2}',
+            '{1: 2}',
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ValueError):
+            loads(text)
+
+    def test_depth_limit(self):
+        deep = "[" * 200 + "]" * 200
+        with pytest.raises(JsonSyntaxError):
+            loads(deep)
+
+    def test_error_carries_position(self):
+        with pytest.raises(JsonSyntaxError) as info:
+            loads('{"a": 1,}')
+        assert info.value.position == 8
+
+
+class TestParseObject:
+    def test_accepts_objects_only(self):
+        assert parse_object('{"x": 1}') == {"x": 1}
+        with pytest.raises(JsonSyntaxError):
+            parse_object("[1]")
+        with pytest.raises(JsonSyntaxError):
+            parse_object('"str"')
+
+
+class TestParseLines:
+    def test_skips_blank_lines(self):
+        lines = ['{"a": 1}', "", "  ", '{"a": 2}']
+        assert list(parse_lines(lines)) == [{"a": 1}, {"a": 2}]
+
+    def test_propagates_errors(self):
+        with pytest.raises(ValueError):
+            list(parse_lines(['{"a": 1}', "{broken"]))
+
+
+class TestTryParse:
+    def test_ok_path(self):
+        value, ok = try_parse('{"a": [1]}')
+        assert ok and value == {"a": [1]}
+
+    def test_error_path(self):
+        value, ok = try_parse("{nope")
+        assert not ok and value is None
+
+    def test_lexical_error_path(self):
+        value, ok = try_parse('"unterminated')
+        assert not ok and value is None

@@ -1,0 +1,94 @@
+"""Unit tests for the no-parse raw matchers."""
+
+import pytest
+
+from repro.rawjson import (
+    contains,
+    dump_record,
+    key_present,
+    key_value_match,
+)
+from repro.rawjson.raw_matcher import match_count_estimate
+
+
+class TestContains:
+    def test_found_and_not_found(self):
+        raw = dump_record({"text": "very delicious indeed"})
+        assert contains(raw, "delicious")
+        assert not contains(raw, "horrid")
+
+    def test_exact_match_pattern_includes_quotes(self):
+        raw = dump_record({"name": "Bob", "note": "Bobby"})
+        assert contains(raw, '"Bob"')
+        raw2 = dump_record({"name": "Bobby"})
+        assert not contains(raw2, '"Bob"')
+
+
+class TestKeyPresence:
+    def test_present_key_found(self):
+        raw = dump_record({"email": "a@b.c"})
+        assert key_present(raw, '"email"')
+
+    def test_absent_key_not_found(self):
+        raw = dump_record({"mail": "a@b.c"})
+        assert not key_present(raw, '"email"')
+
+    def test_key_as_substring_of_other_key_not_matched(self):
+        raw = dump_record({"age_group": "18-25"})
+        assert not key_present(raw, '"age"')
+
+    def test_false_positive_on_string_value_is_allowed(self):
+        # The paper's contract: false positives allowed, never negatives.
+        raw = dump_record({"field": 'has "email" inside'})
+        # The quotes inside the value are escaped, so no match here —
+        # but a bare value equal to the key does produce one:
+        assert not key_present(raw, '"email"')
+        raw2 = dump_record({"field": "email"})
+        assert key_present(raw2, '"email"')
+
+
+class TestKeyValueMatch:
+    def test_basic_match(self):
+        raw = dump_record({"age": 10, "zip": "999"})
+        assert key_value_match(raw, '"age":', "10")
+        assert not key_value_match(raw, '"age":', "11")
+
+    def test_value_beyond_delimiter_not_matched(self):
+        raw = dump_record({"age": 9, "next": 10})
+        assert not key_value_match(raw, '"age":', "10")
+
+    def test_last_pair_uses_closing_brace(self):
+        raw = dump_record({"a": 1, "age": 10})
+        assert key_value_match(raw, '"age":', "10")
+
+    def test_multiple_key_occurrences_are_all_tried(self):
+        # The key text appears first inside a string value; the real pair
+        # comes later.  A single-window implementation would miss it.
+        raw = dump_record({"note": 'about "age": nothing', "age": 10})
+        assert key_value_match(raw, '"age":', "10")
+
+    def test_false_positive_substring_number(self):
+        # "10" inside "100" is a tolerated false positive (§IV-B).
+        raw = dump_record({"age": 100})
+        assert key_value_match(raw, '"age":', "10")
+
+    def test_boolean_values(self):
+        raw = dump_record({"isActive": True, "newsletter": False})
+        assert key_value_match(raw, '"isActive":', "true")
+        assert not key_value_match(raw, '"isActive":', "false")
+
+    def test_missing_key(self):
+        raw = dump_record({"other": 10})
+        assert not key_value_match(raw, '"age":', "10")
+
+
+class TestMatchCount:
+    def test_counts_non_overlapping(self):
+        assert match_count_estimate("abcabcab", "abc") == 2
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            match_count_estimate("abc", "")
+
+    def test_zero_when_absent(self):
+        assert match_count_estimate("abc", "zz") == 0

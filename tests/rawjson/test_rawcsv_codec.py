@@ -1,0 +1,88 @@
+"""Unit tests for the CSV codec."""
+
+import pytest
+
+from repro.rawcsv import CsvCodec, CsvDialect, CsvError, parse_line, write_row
+
+
+class TestDialect:
+    def test_validation(self):
+        with pytest.raises(CsvError):
+            CsvDialect(delimiter=";;")
+        with pytest.raises(CsvError):
+            CsvDialect(delimiter='"', quote='"')
+
+
+class TestRowRoundtrip:
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            ["a", "b", "c"],
+            ["", "", ""],
+            ["plain", "with,comma", 'with"quote'],
+            ['""', ",", "a,b\"c\"d"],
+            ["trailing "],
+        ],
+    )
+    def test_write_parse_roundtrip(self, fields):
+        assert parse_line(write_row(fields)) == fields
+
+    def test_quoting_rules(self):
+        assert write_row(["a"]) == "a"
+        assert write_row(["a,b"]) == '"a,b"'
+        assert write_row(['say "hi"']) == '"say ""hi"""'
+
+    def test_custom_dialect(self):
+        dialect = CsvDialect(delimiter=";")
+        line = write_row(["a;b", "c"], dialect)
+        assert parse_line(line, dialect) == ["a;b", "c"]
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(CsvError):
+            parse_line('"unterminated')
+        with pytest.raises(CsvError):
+            parse_line('mid"quote')
+
+
+class TestCodec:
+    @pytest.fixture()
+    def codec(self):
+        return CsvCodec(
+            ["name", "age", "score", "active"],
+            types={"age": int, "score": float, "active": bool},
+        )
+
+    def test_record_roundtrip(self, codec):
+        record = {"name": "Ann", "age": 33, "score": 1.5, "active": True}
+        assert codec.decode_line(codec.encode_record(record)) == record
+
+    def test_none_roundtrips_as_empty(self, codec):
+        record = {"name": None, "age": None, "score": None, "active": None}
+        assert codec.decode_line(codec.encode_record(record)) == record
+
+    def test_missing_keys_become_none(self, codec):
+        line = codec.encode_record({"name": "Bo"})
+        decoded = codec.decode_line(line)
+        assert decoded["age"] is None
+
+    def test_unknown_columns_rejected(self, codec):
+        with pytest.raises(CsvError):
+            codec.encode_record({"ghost": 1})
+
+    def test_field_count_enforced(self, codec):
+        with pytest.raises(CsvError):
+            codec.decode_line("a,b")
+
+    def test_bad_typed_values_rejected(self, codec):
+        with pytest.raises(CsvError):
+            codec.decode_line("Ann,notanint,1.5,true")
+        with pytest.raises(CsvError):
+            codec.decode_line("Ann,3,1.5,maybe")
+
+    def test_codec_validation(self):
+        with pytest.raises(CsvError):
+            CsvCodec([])
+        with pytest.raises(CsvError):
+            CsvCodec(["a", "a"])
+        with pytest.raises(CsvError):
+            CsvCodec(["a"], types={"b": int})

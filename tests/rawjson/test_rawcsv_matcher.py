@@ -1,0 +1,109 @@
+"""Unit tests for no-parse CSV matching."""
+
+import pytest
+
+from repro.core import (
+    clause,
+    exact,
+    key_present,
+    key_value,
+    prefix,
+    substring,
+    suffix,
+)
+from repro.rawcsv import (
+    CsvCodec,
+    CsvUnsupportedError,
+    compile_csv_clause,
+    compile_csv_predicate,
+)
+
+CODEC = CsvCodec(
+    ["name", "city", "age", "note"],
+    types={"age": int},
+)
+
+
+def line(**record):
+    return CODEC.encode_record(record)
+
+
+class TestExactMatch:
+    def test_middle_field(self):
+        spec = compile_csv_predicate(exact("city", "Rome"), CODEC)
+        assert spec.match(line(name="Ann", city="Rome", age=3, note="x"))
+        assert not spec.match(line(name="Ann", city="Romeo", age=3))
+
+    def test_first_and_last_field_anchoring(self):
+        spec = compile_csv_predicate(exact("name", "Ann"), CODEC)
+        assert spec.match(line(name="Ann", city="x", age=1, note="y"))
+        spec2 = compile_csv_predicate(exact("note", "zz"), CODEC)
+        assert spec2.match(line(name="Ann", city="x", age=1, note="zz"))
+
+    def test_quoted_field_form(self):
+        spec = compile_csv_predicate(exact("note", "a,b"), CODEC)
+        assert spec.match(line(name="n", city="c", age=1, note="a,b"))
+
+    def test_false_positive_cross_column_allowed(self):
+        spec = compile_csv_predicate(exact("city", "Ann"), CODEC)
+        # 'Ann' sits in the name column: raw matching cannot tell.
+        assert spec.match(line(name="Ann", city="x", age=1, note="y"))
+
+
+class TestSubstringPrefixSuffix:
+    def test_substring(self):
+        spec = compile_csv_predicate(substring("note", "needle"), CODEC)
+        assert spec.match(line(name="a", city="b", age=1,
+                               note="hay needle stack"))
+        assert not spec.match(line(name="a", city="b", age=1, note="hay"))
+
+    def test_prefix_on_quoted_field(self):
+        spec = compile_csv_predicate(prefix("note", "abc"), CODEC)
+        assert spec.match(line(name="n", city="c", age=1, note="abc,def"))
+        assert spec.match(line(name="n", city="c", age=1, note="abcdef"))
+
+    def test_suffix_on_quoted_field(self):
+        spec = compile_csv_predicate(suffix("note", "def"), CODEC)
+        assert spec.match(line(name="n", city="c", age=1, note="abc,def"))
+        assert spec.match(line(name="n", city="c", age=1, note="xdef"))
+
+
+class TestKeyValue:
+    def test_int_match(self):
+        spec = compile_csv_predicate(key_value("age", 42), CODEC)
+        assert spec.match(line(name="a", city="b", age=42, note="z"))
+        assert not spec.match(line(name="a", city="b", age=421, note="z"))
+
+    def test_bool_match(self):
+        codec = CsvCodec(["flag"], types={"flag": bool})
+        spec = compile_csv_predicate(key_value("flag", True), codec)
+        assert spec.match(codec.encode_record({"flag": True}))
+        assert not spec.match(codec.encode_record({"flag": False}))
+
+
+class TestUnsupported:
+    def test_key_presence_rejected(self):
+        with pytest.raises(CsvUnsupportedError):
+            compile_csv_predicate(key_present("name"), CODEC)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(CsvUnsupportedError):
+            compile_csv_predicate(exact("ghost", "x"), CODEC)
+
+    def test_quote_in_operand_rejected(self):
+        with pytest.raises(CsvUnsupportedError):
+            compile_csv_predicate(substring("note", 'has"quote'), CODEC)
+
+
+class TestClause:
+    def test_disjunction(self):
+        c = clause(exact("city", "Rome"), exact("city", "Pisa"))
+        compiled = compile_csv_clause(c, CODEC)
+        assert compiled.match(line(name="a", city="Pisa", age=1, note="n"))
+        assert not compiled.match(line(name="a", city="Bonn", age=1,
+                                       note="n"))
+
+    def test_unsupported_disjunct_poisons_clause(self):
+        c = clause(exact("city", "Rome"), key_present("name"))
+        with pytest.raises(CsvUnsupportedError):
+            compile_csv_clause(c, CODEC)

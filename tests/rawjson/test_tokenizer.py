@@ -1,0 +1,133 @@
+"""Unit tests for the from-scratch JSON tokenizer."""
+
+import pytest
+
+from repro.rawjson import JsonTokenError, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+class TestPunctuation:
+    def test_object_tokens(self):
+        assert kinds('{"a": 1}') == [
+            TokenType.LBRACE, TokenType.STRING, TokenType.COLON,
+            TokenType.NUMBER, TokenType.RBRACE, TokenType.EOF,
+        ]
+
+    def test_array_tokens(self):
+        assert kinds("[1, 2]") == [
+            TokenType.LBRACKET, TokenType.NUMBER, TokenType.COMMA,
+            TokenType.NUMBER, TokenType.RBRACKET, TokenType.EOF,
+        ]
+
+    def test_whitespace_is_skipped(self):
+        assert kinds(" \t\r\n{ }\n") == [
+            TokenType.LBRACE, TokenType.RBRACE, TokenType.EOF,
+        ]
+
+
+class TestLiterals:
+    def test_true_false_null(self):
+        tokens = tokenize("[true, false, null]")
+        values = [t.value for t in tokens if t.type in (
+            TokenType.TRUE, TokenType.FALSE, TokenType.NULL)]
+        assert values == [True, False, None]
+
+    def test_misspelled_literal_rejected(self):
+        with pytest.raises(JsonTokenError):
+            tokenize("tru")
+        with pytest.raises(JsonTokenError):
+            tokenize("nul")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0", 0),
+            ("-0", 0),
+            ("42", 42),
+            ("-17", -17),
+            ("3.5", 3.5),
+            ("-0.25", -0.25),
+            ("1e3", 1000.0),
+            ("1E+2", 100.0),
+            ("25e-1", 2.5),
+            ("1.5e2", 150.0),
+        ],
+    )
+    def test_valid_numbers(self, text, value):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == value
+        assert isinstance(token.value, type(value))
+
+    @pytest.mark.parametrize(
+        "text", ["1.", ".5", "-", "1e", "1e+", "+1"]
+    )
+    def test_invalid_numbers(self, text):
+        with pytest.raises(JsonTokenError):
+            tokenize(text)
+
+    def test_leading_zero_splits_into_two_tokens(self):
+        tokens = tokenize("01")
+        assert [t.type for t in tokens[:2]] == [
+            TokenType.NUMBER, TokenType.NUMBER
+        ]
+
+
+class TestStrings:
+    def test_plain_string(self):
+        assert tokenize('"hello"')[0].value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b\\c\/d\be\ff\ng\rh\ti"')[0].value == (
+            'a"b\\c/d\be\ff\ng\rh\ti'
+        )
+
+    def test_unicode_escape(self):
+        assert tokenize(r'"é"')[0].value == "é"
+
+    def test_surrogate_pair(self):
+        assert tokenize(r'"😀"')[0].value == "😀"
+
+    def test_lone_surrogate_replaced(self):
+        assert tokenize(r'"\ud83d"')[0].value == "�"
+        assert tokenize(r'"\ude00"')[0].value == "�"
+
+    def test_unterminated_string(self):
+        with pytest.raises(JsonTokenError):
+            tokenize('"abc')
+
+    def test_control_character_rejected(self):
+        with pytest.raises(JsonTokenError):
+            tokenize('"a\nb"')
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(JsonTokenError):
+            tokenize(r'"\x41"')
+
+    def test_truncated_unicode_escape(self):
+        with pytest.raises(JsonTokenError):
+            tokenize(r'"\u00"')
+
+
+class TestPositions:
+    def test_token_positions_point_at_start(self):
+        tokens = tokenize('{"ab": 12}')
+        string_token = tokens[1]
+        number_token = tokens[3]
+        assert string_token.position == 1
+        assert number_token.position == 7
+
+    def test_error_position_reported(self):
+        with pytest.raises(JsonTokenError) as info:
+            tokenize("{@}")
+        assert info.value.position == 1
+
+
+def test_unexpected_character():
+    with pytest.raises(JsonTokenError):
+        tokenize("#")

@@ -1,0 +1,94 @@
+"""Unit tests for the JSON writer."""
+
+import json
+
+import pytest
+
+from repro.rawjson import dump_record, dumps, escape_string, loads
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "null"),
+            (True, "true"),
+            (False, "false"),
+            (0, "0"),
+            (-7, "-7"),
+            (1.5, "1.5"),
+            (2.0, "2.0"),
+            ("hi", '"hi"'),
+        ],
+    )
+    def test_rendering(self, value, expected):
+        assert dumps(value) == expected
+
+    def test_whole_floats_stay_floats_on_reparse(self):
+        assert isinstance(loads(dumps(3.0)), float)
+
+    def test_nan_and_inf_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                dumps(bad)
+
+
+class TestEscaping:
+    def test_special_characters(self):
+        assert escape_string('a"b\\c\nd\te') == 'a\\"b\\\\c\\nd\\te'
+
+    def test_control_characters_become_unicode_escapes(self):
+        assert escape_string("\x01") == "\\u0001"
+
+    def test_stdlib_can_read_escapes(self):
+        tricky = {"k\n": 'v"\\\t\x02'}
+        assert json.loads(dumps(tricky)) == tricky
+
+
+class TestContainers:
+    def test_compact_output(self):
+        text = dumps({"a": [1, 2], "b": {"c": True}})
+        assert " " not in text
+        assert text == '{"a":[1,2],"b":{"c":true}}'
+
+    def test_sort_keys(self):
+        assert dumps({"b": 1, "a": 2}, sort_keys=True) == '{"a":2,"b":1}'
+
+    def test_insertion_order_by_default(self):
+        assert dumps({"b": 1, "a": 2}) == '{"b":1,"a":2}'
+
+    def test_tuple_serializes_as_array(self):
+        assert dumps((1, 2)) == "[1,2]"
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            dumps({1: "x"})
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            dumps({"x": object()})
+
+
+class TestDumpRecord:
+    def test_single_line(self):
+        line = dump_record({"msg": "two\nlines"})
+        assert "\n" not in line
+        assert loads(line) == {"msg": "two\nlines"}
+
+    def test_rejects_non_dicts(self):
+        with pytest.raises(TypeError):
+            dump_record([1, 2])
+
+
+class TestRoundtrip:
+    def test_own_parser_roundtrip(self):
+        record = {
+            "s": "hé\n\"quoted\"",
+            "i": -42,
+            "f": 2.5,
+            "b": False,
+            "n": None,
+            "arr": [1, "two", None],
+            "obj": {"inner": [True]},
+        }
+        assert loads(dumps(record)) == record

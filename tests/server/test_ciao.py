@@ -1,0 +1,108 @@
+"""Unit tests for the CIAO server facade."""
+
+import pytest
+
+from repro.client import SimulatedClient, encode_chunk
+from repro.core import (
+    Budget,
+    CiaoOptimizer,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+    Query,
+    Workload,
+    clause,
+    key_value,
+)
+from repro.rawjson import JsonChunk, dump_record
+from repro.server import CiaoServer
+from repro.simulate import MemoryChannel
+
+RECORDS = [{"i": i % 5, "name": f"u{i}"} for i in range(50)]
+LINES = [dump_record(r) for r in RECORDS]
+C0 = clause(key_value("i", 0))
+C1 = clause(key_value("i", 1))
+WORKLOAD = Workload((Query((C0,), name="q0"), Query((C1,), name="q1")))
+
+
+def make_plan(clauses):
+    model = CostModel(DEFAULT_COEFFICIENTS, 40)
+    opt = CiaoOptimizer(
+        WORKLOAD, {C0: 0.2, C1: 0.2}, model
+    )
+    plan = opt.plan(Budget(10.0))
+    assert set(plan.clauses) == set(clauses)
+    return plan
+
+
+class TestPartialLoadingPolicy:
+    def test_auto_on_when_plan_covers_workload(self, tmp_path):
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=WORKLOAD)
+        assert server.partial_loading_enabled
+
+    def test_auto_off_without_plan(self, tmp_path):
+        server = CiaoServer(tmp_path, plan=None, workload=WORKLOAD)
+        assert not server.partial_loading_enabled
+
+    def test_auto_off_without_workload(self, tmp_path):
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=None)
+        assert not server.partial_loading_enabled
+
+    def test_explicit_override(self, tmp_path):
+        plan = make_plan([C0, C1])
+        on = CiaoServer(tmp_path / "a", plan=plan, partial_loading="on")
+        off = CiaoServer(tmp_path / "b", plan=plan, workload=WORKLOAD,
+                         partial_loading="off")
+        assert on.partial_loading_enabled
+        assert not off.partial_loading_enabled
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CiaoServer(tmp_path, partial_loading="maybe")
+
+
+class TestIngestAndQuery:
+    def test_ingest_decoded_and_encoded_chunks(self, tmp_path):
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=WORKLOAD)
+        client = SimulatedClient("c", plan=plan, chunk_size=25)
+        chunks = list(client.process(LINES))
+        server.ingest(chunks[0])                 # decoded object
+        server.ingest(encode_chunk(chunks[1]))   # wire bytes
+        summary = server.finalize_loading()
+        assert summary.received == 50
+        assert summary.loaded == 20  # i in {0, 1} → 2 of 5 values
+
+    def test_ingest_channel_drains(self, tmp_path):
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=WORKLOAD)
+        client = SimulatedClient("c", plan=plan, chunk_size=10)
+        channel = MemoryChannel()
+        client.ship(LINES, channel)
+        assert server.ingest_channel(channel) == 5
+        assert channel.pending() == 0
+
+    def test_query_answers_and_skipping(self, tmp_path):
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=WORKLOAD)
+        client = SimulatedClient("c", plan=plan, chunk_size=25)
+        for chunk in client.process(LINES):
+            server.ingest(chunk)
+        results = server.run_workload(WORKLOAD.queries)
+        assert [r.scalar() for r in results] == [10, 10]
+        assert all(r.plan_info.used_skipping for r in results)
+
+    def test_query_finalizes_loading_automatically(self, tmp_path):
+        server = CiaoServer(tmp_path)
+        chunk = JsonChunk(0, LINES[:10])
+        server.ingest(chunk)
+        result = server.query("SELECT COUNT(*) FROM t")
+        assert result.scalar() == 10
+
+    def test_table_name_respected(self, tmp_path):
+        server = CiaoServer(tmp_path, table_name="events")
+        server.ingest(JsonChunk(0, LINES[:5]))
+        assert server.query(
+            "SELECT COUNT(*) FROM events"
+        ).scalar() == 5

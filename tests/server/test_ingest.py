@@ -1,0 +1,34 @@
+"""Unit tests for the eager baseline loader."""
+
+from repro.bitvec import BitVector
+from repro.rawjson import JsonChunk, dump_record
+from repro.server import EagerLoader
+from repro.storage import JsonSideStore, ParquetLiteReader
+
+RECORDS = [{"i": i} for i in range(8)]
+
+
+def test_loads_everything_and_drops_annotations(tmp_path):
+    parquet = tmp_path / "t.pql"
+    side = JsonSideStore(tmp_path / "side.jsonl")
+    loader = EagerLoader(parquet, side)
+    chunk = JsonChunk(0, [dump_record(r) for r in RECORDS])
+    chunk.attach(0, BitVector.from_bits([0] * 8))  # would sideline all
+    report = loader.ingest(chunk)
+    summary = loader.finalize()
+    assert report.loaded == 8
+    assert side.record_count == 0
+    assert summary.loading_ratio == 1.0
+    with ParquetLiteReader(loader.parquet_paths[0]) as reader:
+        assert reader.total_rows == 8
+        # The baseline never stores bit-vectors.
+        assert reader.meta.predicate_ids == []
+
+
+def test_summary_property_mirrors_inner(tmp_path):
+    loader = EagerLoader(
+        tmp_path / "t.pql", JsonSideStore(tmp_path / "s.jsonl")
+    )
+    chunk = JsonChunk(0, [dump_record(r) for r in RECORDS])
+    loader.ingest(chunk)
+    assert loader.summary.received == 8

@@ -1,0 +1,133 @@
+"""Unit tests for the client-assisted partial loader."""
+
+import pytest
+
+from repro.bitvec import BitVector
+from repro.rawjson import JsonChunk, dump_record
+from repro.server import ClientAssistedLoader
+from repro.storage import JsonSideStore, ParquetLiteReader
+
+RECORDS = [{"i": i, "name": f"u{i}"} for i in range(10)]
+
+
+def chunk_with_mask(bits, chunk_id=0):
+    chunk = JsonChunk(chunk_id, [dump_record(r) for r in RECORDS])
+    chunk.attach(0, BitVector.from_bits(bits))
+    return chunk
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    return tmp_path / "t.pql", JsonSideStore(tmp_path / "side.jsonl")
+
+
+class TestPartialLoading:
+    def test_mask_splits_records(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        bits = [1, 0, 1, 0, 0, 0, 0, 0, 0, 1]
+        report = loader.ingest(chunk_with_mask(bits))
+        loader.finalize()
+        assert report.loaded == 3
+        assert report.sidelined == 7
+        with ParquetLiteReader(loader.parquet_paths[0]) as reader:
+            rows = reader.read_all()
+        assert [r["i"] for r in rows] == [0, 2, 9]
+        assert side.record_count == 7
+
+    def test_derived_bitvectors_restricted_to_loaded_rows(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        bits = [1, 0, 1, 0, 0, 0, 0, 0, 0, 1]
+        loader.ingest(chunk_with_mask(bits))
+        loader.finalize()
+        with ParquetLiteReader(loader.parquet_paths[0]) as reader:
+            derived = reader.bitvector(0, 0)
+        # All three loaded rows satisfied predicate 0.
+        assert derived.to_bits() == [1, 1, 1]
+
+    def test_two_predicate_union(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        chunk = JsonChunk(0, [dump_record(r) for r in RECORDS])
+        chunk.attach(0, BitVector.from_indices(10, [1]))
+        chunk.attach(1, BitVector.from_indices(10, [8]))
+        report = loader.ingest(chunk)
+        loader.finalize()
+        assert report.loaded == 2
+        with ParquetLiteReader(loader.parquet_paths[0]) as reader:
+            assert reader.bitvector(0, 0).to_bits() == [1, 0]
+            assert reader.bitvector(0, 1).to_bits() == [0, 1]
+
+    def test_partial_loading_off_loads_everything(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=False)
+        bits = [0] * 10
+        report = loader.ingest(chunk_with_mask(bits))
+        loader.finalize()
+        assert report.loaded == 10
+        assert side.record_count == 0
+        # Bit-vectors are still retained for skipping.
+        with ParquetLiteReader(loader.parquet_paths[0]) as reader:
+            assert reader.bitvector(0, 0).count() == 0
+
+    def test_all_zero_mask_sidelines_whole_chunk(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        report = loader.ingest(chunk_with_mask([0] * 10))
+        summary = loader.finalize()
+        assert report.loaded == 0
+        assert side.record_count == 10
+        assert summary.loading_ratio == 0.0
+        # No parquet file is written when nothing was loaded.
+        assert loader.parquet_paths == []
+
+
+class TestMalformedRecords:
+    def test_malformed_selected_records_counted(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        chunk = JsonChunk(0, [dump_record(RECORDS[0]), "{broken"])
+        chunk.attach(0, BitVector.from_bits([1, 1]))
+        report = loader.ingest(chunk)
+        loader.finalize()
+        assert report.loaded == 1
+        assert report.malformed == 1
+
+
+class TestSummary:
+    def test_accumulates_across_chunks(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        loader.ingest(chunk_with_mask([1] * 10, chunk_id=0))
+        loader.ingest(chunk_with_mask([1, 0] * 5, chunk_id=1))
+        summary = loader.finalize()
+        assert summary.chunks == 2
+        assert summary.received == 20
+        assert summary.loaded == 15
+        assert summary.loading_ratio == pytest.approx(0.75)
+        assert len(summary.reports) == 2
+
+    def test_source_chunk_ids_preserved(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        loader.ingest(chunk_with_mask([1] * 10, chunk_id=7))
+        loader.finalize()
+        with ParquetLiteReader(loader.parquet_paths[0]) as reader:
+            assert reader.meta.row_groups[0].source_chunk_id == 7
+
+    def test_ingest_after_finalize_rejected(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        loader.ingest(chunk_with_mask([1] * 10))
+        loader.finalize()
+        with pytest.raises(RuntimeError):
+            loader.ingest(chunk_with_mask([1] * 10, chunk_id=1))
+
+    def test_finalize_idempotent(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        loader.ingest(chunk_with_mask([1] * 10))
+        first = loader.finalize()
+        second = loader.finalize()
+        assert first is second

@@ -1,0 +1,39 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.simulate import VirtualClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_us == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(150.0) == 150.0
+        assert clock.now_us == 150.0
+        assert clock.now_seconds == pytest.approx(150e-6)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-5)
+
+    def test_window_measures_elapsed(self):
+        clock = VirtualClock()
+        with clock.window() as window:
+            clock.advance(30)
+            clock.advance(12)
+        assert window.elapsed_us == 42
+
+    def test_open_window_tracks_live(self):
+        clock = VirtualClock()
+        with clock.window() as window:
+            clock.advance(10)
+            assert window.elapsed_us == 10
+            clock.advance(5)
+        assert window.elapsed_us == 15

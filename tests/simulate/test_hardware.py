@@ -1,0 +1,94 @@
+"""Unit tests for hardware platform profiles (Table IV inputs)."""
+
+import random
+
+import pytest
+
+from repro.core import fit
+from repro.simulate import (
+    GaussianNoise,
+    HypervisorNoise,
+    PLATFORMS,
+    synthesize_observations,
+)
+
+SHAPES = [
+    (lp, sel)
+    for lp in (3, 6, 12, 24)
+    for sel in (0.01, 0.1, 0.3, 0.6)
+]
+
+
+class TestNoiseModels:
+    def test_gaussian_centers_on_truth(self):
+        rng = random.Random(0)
+        noise = GaussianNoise(relative_sigma=0.05)
+        samples = [noise.perturb(10.0, rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.02)
+
+    def test_gaussian_never_negative(self):
+        rng = random.Random(0)
+        noise = GaussianNoise(relative_sigma=2.0)
+        assert all(noise.perturb(1.0, rng) >= 0 for _ in range(500))
+
+    def test_hypervisor_spikes_inflate_mean(self):
+        rng = random.Random(0)
+        calm = GaussianNoise(relative_sigma=0.1)
+        spiky = HypervisorNoise(
+            relative_sigma=0.1, spike_probability=0.2, spike_scale=4.0
+        )
+        calm_mean = sum(calm.perturb(10.0, rng) for _ in range(3000)) / 3000
+        spiky_mean = sum(
+            spiky.perturb(10.0, rng) for _ in range(3000)
+        ) / 3000
+        assert spiky_mean > calm_mean * 1.1
+
+
+class TestProfiles:
+    def test_table4_platforms_present(self):
+        assert set(PLATFORMS) == {"local", "alibaba", "pku"}
+
+    def test_observation_is_positive_and_deterministic(self):
+        profile = PLATFORMS["local"]
+        a = profile.observe(10, 300, 0.2, random.Random(7))
+        b = profile.observe(10, 300, 0.2, random.Random(7))
+        assert a == b > 0
+
+    def test_synthesize_observations_shape(self):
+        rng = random.Random(1)
+        observations = synthesize_observations(
+            PLATFORMS["pku"], SHAPES, record_length=300, rng=rng
+        )
+        assert len(observations) == len(SHAPES)
+        assert all(obs.record_length == 300 for obs in observations)
+
+    def test_fitted_r_squared_ordering_matches_table4(self):
+        """The reproduction's key Table IV property: bare metal fits the
+        linear model well; the hypervisor-noised cloud VM fits worse."""
+        scores = {}
+        for name, profile in PLATFORMS.items():
+            rng = random.Random(11)
+            observations = []
+            for record_length in (250, 500, 900):
+                observations.extend(
+                    synthesize_observations(
+                        profile, SHAPES, record_length, rng
+                    )
+                )
+            scores[name] = fit(observations).r_squared
+        assert scores["pku"] > scores["local"] > scores["alibaba"]
+
+    def test_r_squared_in_paper_ballpark(self):
+        for name, profile in PLATFORMS.items():
+            rng = random.Random(23)
+            observations = []
+            for record_length in (250, 500, 900):
+                observations.extend(
+                    synthesize_observations(
+                        profile, SHAPES, record_length, rng
+                    )
+                )
+            score = fit(observations).r_squared
+            assert score == pytest.approx(
+                profile.paper_r_squared, abs=0.15
+            ), name

@@ -1,0 +1,72 @@
+"""Unit tests for the simulated transport channels."""
+
+import pytest
+
+from repro.simulate import FileChannel, LinkModel, MemoryChannel
+
+
+@pytest.mark.parametrize("make_channel", [
+    lambda tmp: MemoryChannel(),
+    lambda tmp: FileChannel(tmp / "spool"),
+])
+class TestChannelContract:
+    def test_fifo_order(self, tmp_path, make_channel):
+        channel = make_channel(tmp_path)
+        channel.send(b"one")
+        channel.send(b"two")
+        assert channel.receive() == b"one"
+        assert channel.receive() == b"two"
+        assert channel.receive() is None
+
+    def test_pending_and_len(self, tmp_path, make_channel):
+        channel = make_channel(tmp_path)
+        assert len(channel) == 0
+        channel.send(b"x")
+        assert channel.pending() == 1
+        channel.receive()
+        assert channel.pending() == 0
+
+    def test_drain(self, tmp_path, make_channel):
+        channel = make_channel(tmp_path)
+        for i in range(5):
+            channel.send(f"m{i}".encode())
+        assert [m.decode() for m in channel.drain()] == [
+            f"m{i}" for i in range(5)
+        ]
+
+    def test_stats(self, tmp_path, make_channel):
+        channel = make_channel(tmp_path)
+        channel.send(b"abcd")
+        channel.send(b"ef")
+        channel.receive()
+        assert channel.stats.messages_sent == 2
+        assert channel.stats.bytes_sent == 6
+        assert channel.stats.messages_received == 1
+
+    def test_type_checked(self, tmp_path, make_channel):
+        channel = make_channel(tmp_path)
+        with pytest.raises(TypeError):
+            channel.send("not bytes")
+
+
+class TestFileChannelPersistence:
+    def test_spool_survives_reopen(self, tmp_path):
+        a = FileChannel(tmp_path / "spool")
+        a.send(b"persisted")
+        b = FileChannel(tmp_path / "spool")
+        assert b.pending() == 1
+        assert b.receive() == b"persisted"
+
+
+class TestLinkModel:
+    def test_transfer_time(self):
+        link = LinkModel(bandwidth_mbps=8.0, latency_us=100.0)
+        # 1000 bytes = 8000 bits at 8 Mbps = 1000 µs + latency.
+        assert link.transfer_time_us(1000) == pytest.approx(1100.0)
+
+    def test_zero_payload_costs_latency(self):
+        assert LinkModel(latency_us=50).transfer_time_us(0) == 50
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel().transfer_time_us(-1)

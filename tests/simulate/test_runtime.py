@@ -1,0 +1,60 @@
+"""Unit tests for cost ledgers."""
+
+import pytest
+
+from repro.simulate import CostLedger, LOADING, PREFILTERING, QUERY
+
+
+class TestCharging:
+    def test_virtual_accumulates(self):
+        ledger = CostLedger()
+        ledger.charge(PREFILTERING, 100)
+        ledger.charge(PREFILTERING, 50)
+        ledger.charge(LOADING, 10)
+        assert ledger.virtual_us[PREFILTERING] == 150
+        assert ledger.virtual_total_us() == 160
+
+    def test_negative_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.charge(QUERY, -1)
+        with pytest.raises(ValueError):
+            ledger.charge_wall(QUERY, -1)
+
+    def test_timed_context(self):
+        ledger = CostLedger()
+        with ledger.timed(QUERY):
+            sum(range(1000))
+        assert ledger.wall_seconds[QUERY] > 0
+
+    def test_virtual_seconds(self):
+        ledger = CostLedger()
+        ledger.charge(LOADING, 2_000_000)
+        assert ledger.virtual_seconds(LOADING) == pytest.approx(2.0)
+
+
+class TestMergeAndReport:
+    def test_merge_is_additive_and_pure(self):
+        a = CostLedger()
+        a.charge(QUERY, 10)
+        b = CostLedger()
+        b.charge(QUERY, 5)
+        b.charge_wall(LOADING, 0.5)
+        merged = a.merge(b)
+        assert merged.virtual_us[QUERY] == 15
+        assert merged.wall_seconds[LOADING] == 0.5
+        assert a.virtual_us[QUERY] == 10  # unchanged
+
+    def test_rows_cover_canonical_accounts_in_order(self):
+        ledger = CostLedger()
+        ledger.charge(QUERY, 1)
+        ledger.charge(PREFILTERING, 1)
+        rows = ledger.rows()
+        assert [r[0] for r in rows] == [PREFILTERING, QUERY]
+
+    def test_describe_prints_totals(self):
+        ledger = CostLedger()
+        ledger.charge(LOADING, 1_500_000)
+        text = ledger.describe()
+        assert "loading" in text
+        assert "total" in text

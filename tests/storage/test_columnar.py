@@ -1,0 +1,145 @@
+"""Unit tests for the Parquet-lite file format."""
+
+import pytest
+
+from repro.bitvec import BitVector
+from repro.storage import (
+    ColumnType,
+    Field,
+    ParquetLiteError,
+    ParquetLiteReader,
+    ParquetLiteWriter,
+    Schema,
+    infer_schema,
+    write_records,
+)
+
+RECORDS = [
+    {"name": f"user{i}", "score": i, "active": i % 2 == 0,
+     "ratio": i / 4, "tags": [i, i + 1]}
+    for i in range(25)
+]
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return tmp_path / "table.pql"
+
+
+class TestRoundtrip:
+    def test_write_read_all(self, path):
+        write_records(path, RECORDS, row_group_size=10)
+        with ParquetLiteReader(path) as reader:
+            rows = reader.read_all()
+        assert len(rows) == 25
+        assert rows[3]["name"] == "user3"
+        assert rows[3]["score"] == 3
+        assert rows[3]["active"] is False
+        assert rows[3]["ratio"] == 0.75
+        assert rows[3]["tags"] == "[3,4]"  # JSON column re-serialized
+
+    def test_row_group_partitioning(self, path):
+        write_records(path, RECORDS, row_group_size=10)
+        with ParquetLiteReader(path) as reader:
+            assert len(reader) == 3
+            assert [g.row_count for g in reader.row_groups()] == [10, 10, 5]
+            assert reader.total_rows == 25
+
+    def test_projection(self, path):
+        write_records(path, RECORDS, row_group_size=10)
+        with ParquetLiteReader(path) as reader:
+            rows = list(reader.iter_rows(columns=["score"]))
+        assert rows[0] == {"score": 0}
+
+    def test_index_materialization(self, path):
+        write_records(path, RECORDS, row_group_size=25)
+        with ParquetLiteReader(path) as reader:
+            rows = reader.row_group(0).rows(indices=[1, 7])
+        assert [r["score"] for r in rows] == [1, 7]
+
+    def test_missing_keys_become_nulls(self, path):
+        records = [{"a": 1, "b": "x"}, {"a": 2}]
+        write_records(path, records)
+        with ParquetLiteReader(path) as reader:
+            rows = reader.read_all()
+        assert rows[1]["b"] is None
+
+
+class TestBitvectorMetadata:
+    def test_roundtrip(self, path):
+        schema = infer_schema(RECORDS)
+        bv = BitVector.from_bits([i % 3 == 0 for i in range(25)])
+        with ParquetLiteWriter(path, schema) as writer:
+            writer.write_row_group(RECORDS, bitvectors={4: bv},
+                                   source_chunk_id=11)
+        with ParquetLiteReader(path) as reader:
+            assert reader.bitvector(0, 4) == bv
+            assert reader.bitvector(0, 5) is None
+            assert reader.meta.row_groups[0].source_chunk_id == 11
+            assert reader.meta.predicate_ids == [4]
+
+    def test_length_validated(self, path):
+        schema = infer_schema(RECORDS)
+        with ParquetLiteWriter(path, schema) as writer:
+            with pytest.raises(ValueError):
+                writer.write_row_group(RECORDS,
+                                       bitvectors={0: BitVector(3)})
+            writer.write_row_group(RECORDS)
+
+
+class TestColumnStats:
+    def test_min_max_in_footer(self, path):
+        write_records(path, RECORDS, row_group_size=25)
+        with ParquetLiteReader(path) as reader:
+            meta = reader.meta.row_groups[0].columns["score"]
+        assert meta.stats.min_value == 0
+        assert meta.stats.max_value == 24
+        assert meta.stats.null_count == 0
+
+
+class TestErrors:
+    def test_corrupt_magic_rejected(self, path):
+        write_records(path, RECORDS)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"XXXX"
+        path.write_bytes(bytes(data))
+        with pytest.raises(ParquetLiteError):
+            ParquetLiteReader(path)
+
+    def test_truncated_file_rejected(self, path):
+        write_records(path, RECORDS)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ParquetLiteError):
+            ParquetLiteReader(path)
+
+    def test_writer_rejects_use_after_close(self, path):
+        schema = Schema([Field("a", ColumnType.INT64)])
+        writer = ParquetLiteWriter(path, schema)
+        writer.write_row_group([{"a": 1}])
+        writer.close()
+        with pytest.raises(ParquetLiteError):
+            writer.write_row_group([{"a": 2}])
+
+    def test_empty_row_group_rejected(self, path):
+        schema = Schema([Field("a", ColumnType.INT64)])
+        with ParquetLiteWriter(path, schema) as writer:
+            with pytest.raises(ValueError):
+                writer.write_row_group([])
+            writer.write_row_group([{"a": 1}])
+
+    def test_write_records_validation(self, path):
+        with pytest.raises(ValueError):
+            write_records(path, [])
+        with pytest.raises(ValueError):
+            write_records(path, RECORDS, row_group_size=0)
+
+    def test_aborted_writer_leaves_no_footer(self, path):
+        schema = Schema([Field("a", ColumnType.INT64)])
+        try:
+            with ParquetLiteWriter(path, schema) as writer:
+                writer.write_row_group([{"a": 1}])
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with pytest.raises(ParquetLiteError):
+            ParquetLiteReader(path)

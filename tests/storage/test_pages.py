@@ -1,0 +1,67 @@
+"""Unit tests for column-chunk pages (null handling + stats)."""
+
+import pytest
+
+from repro.storage import ColumnType, Encoding, read_page, write_page
+from repro.storage.pages import page_encoding
+
+
+class TestPageRoundtrip:
+    @pytest.mark.parametrize(
+        "column_type,values",
+        [
+            (ColumnType.INT64, [1, None, 3, None, 5]),
+            (ColumnType.STRING, [None, "a", None, "b"]),
+            (ColumnType.BOOL, [True, None, False]),
+            (ColumnType.FLOAT64, [None, None, 2.5]),
+            (ColumnType.JSON, ['{"x":1}', None]),
+        ],
+    )
+    def test_nulls_roundtrip(self, column_type, values):
+        page, _ = write_page(values, column_type)
+        assert read_page(page, column_type) == values
+
+    def test_all_null_page(self):
+        page, stats = write_page([None, None], ColumnType.INT64)
+        assert read_page(page, ColumnType.INT64) == [None, None]
+        assert stats.null_count == 2
+        assert stats.min_value is None
+
+    def test_forced_encoding(self):
+        values = [1] * 50
+        page, _ = write_page(values, ColumnType.INT64,
+                             encoding=Encoding.PLAIN)
+        assert page_encoding(page) is Encoding.PLAIN
+        page_rle, _ = write_page(values, ColumnType.INT64,
+                                 encoding=Encoding.RLE)
+        assert page_encoding(page_rle) is Encoding.RLE
+        assert read_page(page_rle, ColumnType.INT64) == values
+
+
+class TestPageStats:
+    def test_min_max_ignore_nulls(self):
+        _, stats = write_page([None, 5, 2, None, 9], ColumnType.INT64)
+        assert stats.min_value == 2
+        assert stats.max_value == 9
+        assert stats.null_count == 2
+        assert stats.row_count == 5
+
+    def test_json_columns_have_no_min_max(self):
+        _, stats = write_page(['{"a":1}'], ColumnType.JSON)
+        assert stats.min_value is None and stats.max_value is None
+
+    def test_string_min_max(self):
+        _, stats = write_page(["pear", "apple"], ColumnType.STRING)
+        assert stats.min_value == "apple"
+        assert stats.max_value == "pear"
+
+
+class TestPageErrors:
+    def test_empty_page_rejected(self):
+        with pytest.raises(ValueError):
+            read_page(b"", ColumnType.INT64)
+
+    def test_unknown_tag_rejected(self):
+        page, _ = write_page([1], ColumnType.INT64)
+        with pytest.raises(ValueError):
+            read_page(b"\xff" + page[1:], ColumnType.INT64)

@@ -1,0 +1,99 @@
+"""Unit tests for schema inference and value coercion."""
+
+import pytest
+
+from repro.storage import (
+    ColumnType,
+    Field,
+    Schema,
+    SchemaError,
+    coerce_value,
+    infer_schema,
+)
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([Field("a", ColumnType.INT64),
+                         Field("b", ColumnType.STRING)])
+        assert schema.field("a").type is ColumnType.INT64
+        assert schema.index_of("b") == 1
+        assert "a" in schema and "z" not in schema
+        assert schema.names == ["a", "b"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", ColumnType.INT64),
+                    Field("a", ColumnType.STRING)])
+
+    def test_unknown_column_raises(self):
+        schema = Schema([Field("a", ColumnType.INT64)])
+        with pytest.raises(SchemaError):
+            schema.field("b")
+
+    def test_dict_roundtrip(self):
+        schema = Schema([Field("a", ColumnType.JSON),
+                         Field("b", ColumnType.BOOL)])
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+
+class TestInference:
+    def test_scalar_types(self):
+        schema = infer_schema(
+            [{"s": "x", "i": 1, "f": 1.5, "b": True, "n": None}]
+        )
+        assert schema.field("s").type is ColumnType.STRING
+        assert schema.field("i").type is ColumnType.INT64
+        assert schema.field("f").type is ColumnType.FLOAT64
+        assert schema.field("b").type is ColumnType.BOOL
+        # All-null columns default to STRING.
+        assert schema.field("n").type is ColumnType.STRING
+
+    def test_int_float_promotion(self):
+        schema = infer_schema([{"x": 1}, {"x": 2.5}])
+        assert schema.field("x").type is ColumnType.FLOAT64
+
+    def test_mixed_types_fall_back_to_json(self):
+        schema = infer_schema([{"x": 1}, {"x": "s"}])
+        assert schema.field("x").type is ColumnType.JSON
+
+    def test_nested_values_are_json(self):
+        schema = infer_schema([{"x": {"a": 1}}, {"y": [1, 2]}])
+        assert schema.field("x").type is ColumnType.JSON
+        assert schema.field("y").type is ColumnType.JSON
+
+    def test_column_order_is_first_appearance(self):
+        schema = infer_schema([{"b": 1}, {"a": 2, "b": 3}])
+        assert schema.names == ["b", "a"]
+
+    def test_bool_does_not_promote_with_int(self):
+        schema = infer_schema([{"x": True}, {"x": 1}])
+        assert schema.field("x").type is ColumnType.JSON
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_schema([])
+
+
+class TestCoercion:
+    def test_none_passes_through(self):
+        assert coerce_value(None, ColumnType.INT64) is None
+
+    def test_json_column_serializes(self):
+        assert coerce_value({"a": 1}, ColumnType.JSON) == '{"a":1}'
+
+    def test_int_to_float(self):
+        assert coerce_value(3, ColumnType.FLOAT64) == 3.0
+
+    def test_bool_guards(self):
+        with pytest.raises(SchemaError):
+            coerce_value(True, ColumnType.INT64)
+        with pytest.raises(SchemaError):
+            coerce_value(True, ColumnType.FLOAT64)
+        assert coerce_value(True, ColumnType.BOOL) is True
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_value("s", ColumnType.INT64)
+        with pytest.raises(SchemaError):
+            coerce_value(1, ColumnType.STRING)

@@ -1,0 +1,101 @@
+"""Unit tests for query workload generation."""
+
+import random
+
+import pytest
+
+from repro.core import clause, exact
+from repro.workload import (
+    PredicatePool,
+    UNIFORM,
+    generate_query,
+    generate_workload,
+    overlap_statistics,
+    zipfian,
+)
+
+
+@pytest.fixture()
+def pool():
+    return PredicatePool(
+        "demo", [clause(exact("col", f"v{i}")) for i in range(50)]
+    )
+
+
+class TestInclusionProbabilities:
+    def test_uniform_probabilities(self):
+        probs = UNIFORM.inclusion_probabilities(100, 3.0)
+        assert all(p == pytest.approx(0.03) for p in probs)
+
+    def test_expectation_preserved(self):
+        for dist in (UNIFORM, zipfian(0.8), zipfian(1.5)):
+            probs = dist.inclusion_probabilities(200, 3.0)
+            assert sum(probs) == pytest.approx(3.0, rel=0.05)
+
+    def test_probabilities_capped_at_one(self):
+        probs = zipfian(2.5).inclusion_probabilities(50, 5.0)
+        assert max(probs) <= 1.0
+
+    def test_zipfian_concentrates_low_ranks(self):
+        probs = zipfian(1.5).inclusion_probabilities(100, 3.0)
+        assert probs[0] > probs[10] > probs[90]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UNIFORM.inclusion_probabilities(10, 0)
+        with pytest.raises(ValueError):
+            UNIFORM.inclusion_probabilities(2, 3.0)
+        with pytest.raises(ValueError):
+            zipfian(-1)
+
+
+class TestGenerateQuery:
+    def test_queries_are_never_empty(self, pool):
+        rng = random.Random(0)
+        probs = UNIFORM.inclusion_probabilities(len(pool), 1.0)
+        for _ in range(50):
+            q = generate_query(pool, probs, rng)
+            assert len(q) >= 1
+
+    def test_max_predicates_respected(self, pool):
+        rng = random.Random(0)
+        probs = UNIFORM.inclusion_probabilities(len(pool), 5.0)
+        for _ in range(30):
+            q = generate_query(pool, probs, rng, max_predicates=3)
+            assert 1 <= len(q) <= 3
+
+    def test_degenerate_probabilities_rejected(self, pool):
+        rng = random.Random(0)
+        with pytest.raises(RuntimeError):
+            generate_query(pool, [0.0] * len(pool), rng)
+
+
+class TestGenerateWorkload:
+    def test_shape_and_determinism(self, pool):
+        wl1 = generate_workload(pool, 40, 3.0, UNIFORM, random.Random(9))
+        wl2 = generate_workload(pool, 40, 3.0, UNIFORM, random.Random(9))
+        assert len(wl1) == 40
+        assert wl1.queries == wl2.queries
+        assert wl1.dataset == "demo"
+
+    def test_expected_predicate_count(self, pool):
+        wl = generate_workload(pool, 300, 3.0, UNIFORM, random.Random(1))
+        mean = wl.total_predicates() / len(wl)
+        # Rejection of empty draws biases the mean up slightly.
+        assert mean == pytest.approx(3.0, abs=0.5)
+
+    def test_zipfian_creates_overlap(self, pool):
+        uniform = generate_workload(
+            pool, 100, 3.0, UNIFORM, random.Random(2)
+        )
+        skewed = generate_workload(
+            pool, 100, 3.0, zipfian(1.5), random.Random(2)
+        )
+        mean_u, max_u = overlap_statistics(uniform)
+        mean_s, max_s = overlap_statistics(skewed)
+        assert max_s > max_u
+        assert mean_s > mean_u
+
+    def test_zero_queries_rejected(self, pool):
+        with pytest.raises(ValueError):
+            generate_workload(pool, 0, 3.0, UNIFORM, random.Random(1))

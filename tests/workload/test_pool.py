@@ -1,0 +1,55 @@
+"""Unit tests for predicate pools."""
+
+import random
+
+import pytest
+
+from repro.core import clause, exact
+from repro.workload import PredicatePool
+
+
+class TestConstruction:
+    def test_from_templates_expands_everything(self):
+        pool = PredicatePool.from_templates("winlog")
+        assert len(pool) == 200 + 12 + 31 + 24 + 60 + 60
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        a = PredicatePool.from_templates("yelp", rng=random.Random(3))
+        b = PredicatePool.from_templates("yelp", rng=random.Random(3))
+        c = PredicatePool.from_templates("yelp", rng=random.Random(4))
+        assert a.clauses == b.clauses
+        assert a.clauses != c.clauses
+
+    def test_max_per_template_truncates(self):
+        pool = PredicatePool.from_templates("ycsb", max_per_template=3)
+        # 7 templates truncate to 3; isActive and email only have 2.
+        assert len(pool) == 7 * 3 + 2 + 2
+
+    def test_duplicates_rejected(self):
+        c = clause(exact("a", "b"))
+        with pytest.raises(ValueError):
+            PredicatePool("x", [c, c])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PredicatePool("x", [])
+
+
+class TestAccess:
+    def test_rank_lookup(self):
+        c1, c2 = clause(exact("a", "1")), clause(exact("a", "2"))
+        pool = PredicatePool("x", [c1, c2])
+        assert pool[0] == c1
+        assert pool.rank_of(c2) == 1
+        assert c1 in pool
+
+    def test_subset(self):
+        clauses = [clause(exact("a", str(i))) for i in range(5)]
+        pool = PredicatePool("x", clauses)
+        assert pool.subset([4, 0]) == [clauses[4], clauses[0]]
+
+    def test_clauses_view_is_a_copy(self):
+        pool = PredicatePool("x", [clause(exact("a", "1"))])
+        view = pool.clauses
+        view.append(clause(exact("a", "2")))
+        assert len(pool) == 1

@@ -1,0 +1,101 @@
+"""Unit tests for the skewness factor and skew-targeted workloads."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import clause, exact
+from repro.workload import (
+    PredicatePool,
+    multiplicities_for_skew,
+    skewness_factor,
+    workload_skewness,
+    workload_with_skewness,
+)
+
+
+class TestSkewnessFactor:
+    def test_uniform_counts_have_zero_skew(self):
+        assert skewness_factor([2, 2, 2, 2]) == 0.0
+        assert skewness_factor([1]) == 0.0
+
+    def test_formula_matches_manual_computation(self):
+        counts = [5, 2, 1, 1, 1]
+        n = len(counts)
+        mean = sum(counts) / n
+        sigma = math.sqrt(sum((x - mean) ** 2 for x in counts) / n)
+        expected = sum((x - mean) ** 3 for x in counts) / (
+            (n - 1) * sigma ** 3
+        )
+        assert skewness_factor(counts) == pytest.approx(expected)
+
+    def test_right_skewed_is_positive(self):
+        assert skewness_factor([10, 1, 1, 1, 1]) > 0
+
+    def test_left_skewed_is_negative(self):
+        assert skewness_factor([10, 10, 10, 1]) < 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            skewness_factor([])
+
+
+class TestMultiplicities:
+    def test_partition_sums_to_slots(self):
+        parts = multiplicities_for_skew(5, 2, 0.5)
+        assert sum(parts) == 10
+        assert max(parts) <= 5
+
+    def test_zero_target_yields_uniform(self):
+        parts = multiplicities_for_skew(5, 2, 0.0)
+        assert skewness_factor(parts) == 0.0
+        assert max(parts) == 1  # max-part penalty prefers the flattest
+
+    def test_high_target_concentrates(self):
+        parts = multiplicities_for_skew(5, 2, 2.0)
+        assert max(parts) == 5
+
+    def test_coverage_grows_with_target(self):
+        tops = [
+            max(multiplicities_for_skew(5, 2, t)) for t in (0.0, 0.5, 2.0)
+        ]
+        assert tops == sorted(tops)
+
+    def test_too_many_slots_rejected(self):
+        with pytest.raises(ValueError):
+            multiplicities_for_skew(30, 2, 1.0)
+
+
+class TestSkewWorkloads:
+    @pytest.fixture()
+    def pool(self):
+        return PredicatePool(
+            "demo", [clause(exact("c", f"v{i}")) for i in range(20)]
+        )
+
+    @pytest.mark.parametrize("target", [0.0, 0.5, 2.0])
+    def test_workload_shape(self, pool, target):
+        wl = workload_with_skewness(pool, 5, 2, target, random.Random(4))
+        assert len(wl) == 5
+        assert all(len(q) == 2 for q in wl)
+
+    def test_achieved_skew_tracks_target(self, pool):
+        achieved = [
+            workload_skewness(
+                workload_with_skewness(pool, 5, 2, t, random.Random(4))
+            )
+            for t in (0.0, 0.5, 2.0)
+        ]
+        assert achieved[0] == pytest.approx(0.0, abs=1e-9)
+        assert achieved == sorted(achieved)
+
+    def test_no_query_repeats_a_predicate(self, pool):
+        wl = workload_with_skewness(pool, 5, 2, 2.0, random.Random(4))
+        for q in wl:
+            assert len(q.clauses) == len(set(q.clauses)) == 2
+
+    def test_pool_too_small_rejected(self):
+        tiny = PredicatePool("demo", [clause(exact("c", "v"))])
+        with pytest.raises(ValueError):
+            workload_with_skewness(tiny, 5, 2, 0.0, random.Random(4))

@@ -1,0 +1,95 @@
+"""Unit tests for the Table II predicate templates."""
+
+import pytest
+
+from repro.workload import table2_summary, templates_for
+
+#: The candidate counts of paper Table II, per dataset and template.
+TABLE2 = {
+    "yelp": {
+        "useful = <int>": 100,
+        "cool = <int>": 100,
+        "funny = <int>": 100,
+        "stars = <int>": 5,
+        "user_id = <string>": 5,
+        "text LIKE <string>": 5,
+        "date LIKE <year>": 14,
+        "date LIKE <month>": 12,
+    },
+    "winlog": {
+        "info LIKE <string>": 200,
+        "time LIKE <month>": 12,
+        "time LIKE <day>": 31,
+        "time LIKE <hour>": 24,
+        "time LIKE <minute>": 60,
+        "time LIKE <second>": 60,
+    },
+    "ycsb": {
+        "isActive = <boolean>": 2,
+        "linear_score = <int>": 100,
+        "weighted_score = <int>": 100,
+        "phone_country = <string>": 3,
+        "age_group = <string>": 4,
+        "age_by_group = <int>": 100,
+        "url_domain LIKE <string>": 12,
+        "url_site LIKE <string>": 14,
+        "email LIKE <string>": 2,
+    },
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(TABLE2))
+class TestTable2Alignment:
+    def test_template_names_and_counts(self, dataset):
+        templates = {t.name: t.count for t in templates_for(dataset)}
+        assert templates == TABLE2[dataset]
+
+    def test_candidates_expand_to_count(self, dataset):
+        for template in templates_for(dataset):
+            candidates = template.candidates()
+            assert len(candidates) == template.count
+            assert len(set(candidates)) == template.count
+
+    def test_candidate_index_bounds(self, dataset):
+        template = templates_for(dataset)[0]
+        with pytest.raises(IndexError):
+            template.candidate(template.count)
+
+
+class TestCandidateSemantics:
+    def test_yelp_star_values_start_at_one(self):
+        template = next(
+            t for t in templates_for("yelp") if t.name == "stars = <int>"
+        )
+        values = {
+            t.predicates[0].value for t in template.candidates()
+        }
+        assert values == {1, 2, 3, 4, 5}
+
+    def test_winlog_month_patterns(self):
+        template = next(
+            t for t in templates_for("winlog")
+            if t.name == "time LIKE <month>"
+        )
+        first = template.candidate(0).predicates[0]
+        assert first.value == "-01-"
+
+    def test_ycsb_boolean_candidates(self):
+        template = next(
+            t for t in templates_for("ycsb")
+            if t.name == "isActive = <boolean>"
+        )
+        values = {t.predicates[0].value for t in template.candidates()}
+        assert values == {True, False}
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            templates_for("postgres")
+
+
+def test_table2_summary_totals():
+    rows = table2_summary()
+    assert len(rows) == 8 + 6 + 9
+    total = sum(r["candidates"] for r in rows)
+    expected = sum(sum(d.values()) for d in TABLE2.values())
+    assert total == expected

@@ -1,0 +1,129 @@
+"""Unit tests for the canonical experiment workloads."""
+
+import pytest
+
+from repro.data import winlog
+from repro.workload import (
+    OVERLAP_LEVELS,
+    SELECTIVITY_LEVELS,
+    SKEWNESS_LEVELS,
+    TABLE3_SPECS,
+    overlap_statistics,
+    overlap_workload,
+    selectivity_workload,
+    skewness_workload,
+    table3_workload,
+    workload_skewness,
+)
+
+SEED = 99
+
+
+class TestTable3:
+    def test_specs_present(self):
+        assert set(TABLE3_SPECS) == {"A", "B", "C"}
+        assert TABLE3_SPECS["C"].distribution.exponent == 0.0
+
+    @pytest.mark.parametrize("label", ["A", "B", "C"])
+    def test_workload_shape(self, label):
+        wl = table3_workload("winlog", label, SEED, n_queries=50)
+        assert len(wl) == 50
+        lo, hi = wl.min_max_predicates()
+        assert lo >= 1
+        assert wl.dataset == "winlog"
+
+    def test_overlap_ordering_a_b_c(self):
+        # The behavioural contract of Table III: A overlaps most, C least.
+        overlaps = {}
+        for label in ("A", "B", "C"):
+            wl = table3_workload("winlog", label, SEED, n_queries=100)
+            overlaps[label] = overlap_statistics(wl)[0]
+        assert overlaps["A"] > overlaps["B"] > overlaps["C"]
+
+    def test_determinism(self):
+        a = table3_workload("yelp", "A", SEED, n_queries=20)
+        b = table3_workload("yelp", "A", SEED, n_queries=20)
+        assert a.queries == b.queries
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(KeyError):
+            table3_workload("yelp", "D", SEED)
+
+
+class TestSelectivityWorkloads:
+    @pytest.mark.parametrize("level", SELECTIVITY_LEVELS)
+    def test_structure(self, level):
+        wl, pushed = selectivity_workload(level)
+        assert len(wl) == 5
+        assert all(len(q) == 3 for q in wl)
+        assert len(pushed) == 2
+
+    @pytest.mark.parametrize("level", SELECTIVITY_LEVELS)
+    def test_pushed_cover_all_queries(self, level):
+        wl, pushed = selectivity_workload(level)
+        for q in wl:
+            assert any(c in q.clause_set for c in pushed)
+
+    @pytest.mark.parametrize("level", SELECTIVITY_LEVELS)
+    def test_predicates_come_from_the_level_plateau(self, level):
+        wl, pushed = selectivity_workload(level)
+        plateau_keywords = {
+            winlog.INFO_KEYWORDS[r]
+            for r in winlog.plateau_keyword_ranks(level)
+        }
+        for q in wl:
+            for c in q.clauses:
+                assert c.predicates[0].value in plateau_keywords
+
+
+class TestOverlapWorkloads:
+    def test_levels_and_sizes(self):
+        for level, preds in OVERLAP_LEVELS.items():
+            wl, pushed = overlap_workload(level)
+            assert len(wl) == 5
+            assert all(len(q) == preds for q in wl)
+            assert len(pushed) == 2
+
+    def test_coverage_progression(self):
+        covered = {}
+        for level in OVERLAP_LEVELS:
+            wl, pushed = overlap_workload(level)
+            covered[level] = sum(
+                1 for q in wl if any(c in q.clause_set for c in pushed)
+            )
+        assert covered["low"] == 2
+        assert covered["medium"] == 4
+        assert covered["high"] == 5
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(KeyError):
+            overlap_workload("extreme")
+
+
+class TestSkewnessWorkloads:
+    def test_levels(self):
+        assert SKEWNESS_LEVELS == (0.0, 0.5, 2.0)
+
+    def test_coverage_progression(self):
+        coverage = []
+        for level in SKEWNESS_LEVELS:
+            wl, pushed = skewness_workload(level, SEED)
+            coverage.append(
+                sum(1 for q in wl if pushed[0] in q.clause_set)
+            )
+        assert coverage[0] == 1
+        assert coverage == sorted(coverage)
+        assert coverage[-1] == 5
+
+    def test_achieved_skew_ordering(self):
+        achieved = [
+            workload_skewness(skewness_workload(level, SEED)[0])
+            for level in SKEWNESS_LEVELS
+        ]
+        assert achieved == sorted(achieved)
+
+    def test_pushed_is_single_hottest_clause(self):
+        wl, pushed = skewness_workload(2.0, SEED)
+        counts = wl.clause_query_counts()
+        assert len(pushed) == 1
+        assert counts[pushed[0]] == max(counts.values())
