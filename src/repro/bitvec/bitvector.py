@@ -9,13 +9,20 @@ operations here are ``|``, ``&``, ``count`` and ``iter_set``.
 Bits are packed little-endian within each byte: bit ``i`` lives at
 ``data[i // 8] >> (i % 8) & 1``.  All logical operators require equal-length
 operands; mixing chunk sizes is a logic error and raises ``ValueError``.
+
+The bulk operations (``intersect_update``, ``union_update``, ``slice``,
+``concat``, ``select``, ``count``, ``iter_set``) are implemented as
+word-level kernels over Python big-ints: the whole payload is reinterpreted
+as one little-endian integer and combined with a single C-level ``&``/``|``/
+shift, so cost scales with machine words, not bits.  A 1M-bit intersect is
+two ``int.from_bytes`` calls, one ``&``, and one ``to_bytes`` — orders of
+magnitude faster than a per-byte Python loop
+(``benchmarks/bench_parallel_ingest.py`` tracks the ratio).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Sequence
-
-_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
 
 
 class BitVector:
@@ -30,7 +37,8 @@ class BitVector:
 
     __slots__ = ("_length", "_data")
 
-    def __init__(self, length: int, data: bytearray | bytes | None = None):
+    def __init__(self, length: int,
+                 data: bytearray | bytes | memoryview | None = None):
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
         self._length = length
@@ -57,8 +65,7 @@ class BitVector:
     def ones(cls, length: int) -> "BitVector":
         """A vector of *length* set bits."""
         bv = cls(length)
-        for i in range(len(bv._data)):
-            bv._data[i] = 0xFF
+        bv._data = bytearray(b"\xff" * len(bv._data))
         bv._mask_tail()
         return bv
 
@@ -149,28 +156,41 @@ class BitVector:
 
     def __invert__(self) -> "BitVector":
         out = BitVector(self._length)
-        out._data = bytearray((~b) & 0xFF for b in self._data)
-        out._mask_tail()
+        nbytes = len(self._data)
+        if nbytes:
+            flipped = int.from_bytes(self._data, "little") ^ (
+                (1 << (nbytes * 8)) - 1
+            )
+            out._data[:] = flipped.to_bytes(nbytes, "little")
+            out._mask_tail()
         return out
 
     def intersect_update(self, other: "BitVector") -> None:
         """In-place AND, avoiding an allocation on the hot skipping path."""
         self._check_compatible(other)
-        for i, byte in enumerate(other._data):
-            self._data[i] &= byte
+        nbytes = len(self._data)
+        if nbytes:
+            combined = int.from_bytes(self._data, "little") & int.from_bytes(
+                other._data, "little"
+            )
+            self._data[:] = combined.to_bytes(nbytes, "little")
 
     def union_update(self, other: "BitVector") -> None:
         """In-place OR, used when folding per-predicate vectors for loading."""
         self._check_compatible(other)
-        for i, byte in enumerate(other._data):
-            self._data[i] |= byte
+        nbytes = len(self._data)
+        if nbytes:
+            combined = int.from_bytes(self._data, "little") | int.from_bytes(
+                other._data, "little"
+            )
+            self._data[:] = combined.to_bytes(nbytes, "little")
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def count(self) -> int:
         """Number of set bits (population count)."""
-        return sum(_POPCOUNT[b] for b in self._data)
+        return int.from_bytes(self._data, "little").bit_count()
 
     def any(self) -> bool:
         """True if at least one bit is set."""
@@ -188,11 +208,14 @@ class BitVector:
 
     def iter_set(self) -> Iterator[int]:
         """Yield the indices of set bits in increasing order."""
-        for byte_index, byte in enumerate(self._data):
-            while byte:
-                low = byte & -byte
-                yield (byte_index << 3) + low.bit_length() - 1
-                byte ^= low
+        data = self._data
+        for word_index in range(0, len(data), 8):
+            word = int.from_bytes(data[word_index:word_index + 8], "little")
+            base = word_index << 3
+            while word:
+                low = word & -word
+                yield base + low.bit_length() - 1
+                word ^= low
 
     def to_bits(self) -> List[int]:
         """Expand to a list of 0/1 ints (small vectors / tests only)."""
@@ -202,19 +225,47 @@ class BitVector:
         """Copy of bits ``[start, stop)`` as a new vector."""
         if not 0 <= start <= stop <= self._length:
             raise ValueError(f"bad slice [{start}, {stop}) of {self._length} bits")
-        out = BitVector(stop - start)
-        for offset, i in enumerate(range(start, stop)):
-            if self.get(i):
-                out.set(offset)
+        width = stop - start
+        out = BitVector(width)
+        if width:
+            window = (int.from_bytes(self._data, "little") >> start) & (
+                (1 << width) - 1
+            )
+            out._data[:] = window.to_bytes(len(out._data), "little")
         return out
 
     def concat(self, other: "BitVector") -> "BitVector":
         """New vector holding ``self`` followed by ``other``."""
         out = BitVector(self._length + other._length)
-        for i in self.iter_set():
-            out.set(i)
-        for i in other.iter_set():
-            out.set(self._length + i)
+        if out._length:
+            combined = int.from_bytes(self._data, "little") | (
+                int.from_bytes(other._data, "little") << self._length
+            )
+            out._data[:] = combined.to_bytes(len(out._data), "little")
+        return out
+
+    def select(self, positions: Sequence[int]) -> "BitVector":
+        """Gather bits at *positions* into a dense ``len(positions)``-vector.
+
+        Bit ``i`` of the result is ``self[positions[i]]``.  This is the bulk
+        primitive behind deriving row-group bit-vectors from chunk vectors:
+        the loader keeps only the parsed positions, and the stored vector
+        must be re-indexed to the surviving rows.  Out-of-range positions
+        raise ``IndexError``.
+        """
+        out = BitVector(len(positions))
+        data = self._data
+        length = self._length
+        gathered = 0
+        for row, position in enumerate(positions):
+            if not 0 <= position < length:
+                raise IndexError(
+                    f"bit {position} out of range for {length} bits"
+                )
+            if data[position >> 3] >> (position & 7) & 1:
+                gathered |= 1 << row
+        if gathered:
+            out._data[:] = gathered.to_bytes(len(out._data), "little")
         return out
 
     # ------------------------------------------------------------------
@@ -225,12 +276,32 @@ class BitVector:
         return self._length.to_bytes(4, "little") + bytes(self._data)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "BitVector":
-        """Inverse of :meth:`to_bytes`; validates the payload size."""
+    def from_bytes(cls, raw: bytes | memoryview) -> "BitVector":
+        """Inverse of :meth:`to_bytes`; strict about payload size and padding.
+
+        Wire decoding is deliberately unforgiving: a payload whose size does
+        not match the declared length, or whose tail padding carries set
+        bits, is corrupt.  Constructing a vector from it anyway (as
+        ``__init__``'s silent ``_mask_tail`` would) would *change semantics*
+        — bits a client set would vanish — so corruption fails loudly here
+        instead.
+        """
         if len(raw) < 4:
             raise ValueError("bit-vector payload shorter than its header")
         length = int.from_bytes(raw[:4], "little")
-        return cls(length, raw[4:])
+        payload = raw[4:]
+        nbytes = (length + 7) // 8
+        if len(payload) != nbytes:
+            raise ValueError(
+                f"need {nbytes} payload bytes for {length} bits, "
+                f"got {len(payload)}"
+            )
+        tail = length & 7
+        if tail and nbytes and payload[-1] >> tail:
+            raise ValueError(
+                "nonzero bits in the tail padding of a bit-vector payload"
+            )
+        return cls(length, payload)
 
     def serialized_size(self) -> int:
         """Byte size :meth:`to_bytes` will produce (header + payload)."""

@@ -65,30 +65,45 @@ class RleBitVector:
     # ------------------------------------------------------------------
     @classmethod
     def from_bitvector(cls, bv: BitVector) -> "RleBitVector":
-        """Encode a packed vector."""
+        """Encode a packed vector.
+
+        Driven by the set bits only (via the word-level ``iter_set``), so
+        cost scales with runs, not with vector length — the common selective
+        predicate encodes in microseconds regardless of chunk size.
+        """
         runs: List[int] = []
-        current_bit = 0
-        current_run = 0
-        for i in range(len(bv)):
-            bit = 1 if bv.get(i) else 0
-            if bit == current_bit:
-                current_run += 1
-            else:
-                runs.append(current_run)
-                current_bit = bit
-                current_run = 1
-        runs.append(current_run)
+        cursor = 0  # first position not yet encoded
+        ones = 0  # length of the currently open 1-run
+        for index in bv.iter_set():
+            if ones and index == cursor:
+                ones += 1
+                cursor += 1
+                continue
+            if ones:
+                runs.append(ones)
+            # Zero-gap up to this set bit (the leading zero-run may be 0).
+            runs.append(index - cursor if runs else index)
+            ones = 1
+            cursor = index + 1
+        if ones:
+            runs.append(ones)
+        if not runs:
+            runs.append(len(bv))  # all-zero vector: one zero-run
+        elif cursor < len(bv):
+            runs.append(len(bv) - cursor)  # trailing zero-run
         return cls(len(bv), runs)
 
     def to_bitvector(self) -> BitVector:
-        """Decode back to a packed vector."""
+        """Decode back to a packed vector (word-level run masks)."""
         bv = BitVector(self._length)
+        value = 0
         pos = 0
         for i, run in enumerate(self._runs):
-            if i % 2 == 1:
-                for j in range(pos, pos + run):
-                    bv.set(j)
+            if i % 2 == 1 and run:
+                value |= ((1 << run) - 1) << pos
             pos += run
+        if value:
+            bv._data[:] = value.to_bytes(len(bv._data), "little")
         return bv
 
     # ------------------------------------------------------------------
@@ -147,6 +162,10 @@ class RleBitVector:
         for _ in range(nruns):
             run, pos = _decode_varint(raw, pos)
             runs.append(run)
+        if pos != len(raw):
+            raise ValueError(
+                f"{len(raw) - pos} trailing bytes after RLE runs"
+            )
         return cls(length, runs)
 
     def serialized_size(self) -> int:

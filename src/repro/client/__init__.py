@@ -7,6 +7,7 @@ from .protocol import (
     ProtocolError,
     bitvector_overhead,
     decode_chunk,
+    decode_chunk_stream,
     encode_chunk,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "SimulatedClient",
     "bitvector_overhead",
     "decode_chunk",
+    "decode_chunk_stream",
     "encode_chunk",
 ]

@@ -12,15 +12,26 @@ The header carries the chunk id, record count, and the predicate ids.  Each
 bit-vector ships in whichever encoding is smaller (packed vs RLE) — for
 selective predicates RLE routinely wins by 10×, keeping CIAO's network
 overhead at a fraction of a percent of the record payload.
+
+Decoding is *strict*: every length field is bounds-checked before the bytes
+it describes are touched, duplicate predicate ids are rejected, and any
+corruption — truncation at an arbitrary byte offset, bad UTF-8, a malformed
+header, set bits in bit-vector tail padding — raises :class:`ProtocolError`
+(never ``IndexError`` or a silent mis-parse).  Decoding is also *iterative
+and zero-copy*: it walks a ``memoryview`` cursor over the payload, so the
+sharded ingest workers (:mod:`repro.server.pipeline`) can decode concurrent
+chunks without re-copying record blobs, and :func:`decode_chunk_stream`
+yields successive chunks straight out of one concatenated buffer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Iterator, List, Tuple
 
 from ..bitvec.bitvector import BitVector
 from ..bitvec.rle import RleBitVector
 from ..rawjson.chunks import JsonChunk
+from ..rawjson.errors import JsonError
 from ..rawjson.parser import loads
 from ..rawjson.writer import dumps
 
@@ -65,17 +76,44 @@ def encode_chunk(chunk: JsonChunk) -> bytes:
     return bytes(out)
 
 
-def decode_chunk(data: bytes) -> JsonChunk:
+def decode_chunk(data: bytes | bytearray | memoryview) -> JsonChunk:
     """Inverse of :func:`encode_chunk`, with structural validation."""
-    if data[: len(MAGIC)] != MAGIC:
+    view = memoryview(data)
+    chunk, pos = _decode_one(view, 0)
+    if pos != len(view):
+        raise ProtocolError(f"{len(view) - pos} trailing bytes after chunk")
+    return chunk
+
+
+def decode_chunk_stream(data: bytes | bytearray | memoryview
+                        ) -> Iterator[JsonChunk]:
+    """Yield successive chunks from a buffer of concatenated frames.
+
+    The iterative counterpart of :func:`decode_chunk` for transports that
+    batch several encoded chunks into one payload: each frame is decoded in
+    place off a shared ``memoryview``, so nothing is re-copied per chunk.
+    """
+    view = memoryview(data)
+    pos = 0
+    while pos < len(view):
+        chunk, pos = _decode_one(view, pos)
+        yield chunk
+
+
+def _decode_one(view: memoryview, pos: int) -> Tuple[JsonChunk, int]:
+    """Decode one chunk frame starting at *pos*; returns (chunk, next_pos)."""
+    magic, pos = _take(view, pos, len(MAGIC), "chunk magic")
+    if bytes(magic) != MAGIC:
         raise ProtocolError("bad chunk magic")
-    pos = len(MAGIC)
-    header_len, pos = _read_u32(data, pos)
-    header = loads(data[pos:pos + header_len].decode("utf-8"))
-    pos += header_len
-    records_len, pos = _read_u32(data, pos)
-    records_blob = data[pos:pos + records_len].decode("utf-8")
-    pos += records_len
+    header_len, pos = _read_u32(view, pos)
+    header_blob, pos = _take(view, pos, header_len, "chunk header")
+    header = _parse_header(header_blob)
+    records_len, pos = _read_u32(view, pos)
+    records_view, pos = _take(view, pos, records_len, "records payload")
+    try:
+        records_blob = str(records_view, "utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"records payload is not valid UTF-8: {exc}")
     records: List[str] = records_blob.split("\n") if records_blob else []
     if len(records) != header["records"]:
         raise ProtocolError(
@@ -84,23 +122,70 @@ def decode_chunk(data: bytes) -> JsonChunk:
         )
     chunk = JsonChunk(chunk_id=header["chunk_id"], records=records)
     for pid in header["predicates"]:
-        if pos >= len(data):
-            raise ProtocolError("truncated bit-vector section")
-        tag = data[pos]
-        pos += 1
-        payload_len, pos = _read_u32(data, pos)
-        payload = data[pos:pos + payload_len]
-        pos += payload_len
-        if tag == _PACKED_TAG:
-            bv = BitVector.from_bytes(payload)
-        elif tag == _RLE_TAG:
-            bv = RleBitVector.from_bytes(payload).to_bitvector()
-        else:
-            raise ProtocolError(f"unknown bit-vector encoding tag {tag}")
-        chunk.attach(pid, bv)
-    if pos != len(data):
-        raise ProtocolError(f"{len(data) - pos} trailing bytes after chunk")
-    return chunk
+        tag_byte, pos = _take(view, pos, 1, "bit-vector tag")
+        tag = tag_byte[0]
+        payload_len, pos = _read_u32(view, pos)
+        payload, pos = _take(view, pos, payload_len, "bit-vector payload")
+        if payload_len < 4:
+            raise ProtocolError("truncated bit-vector payload")
+        # Both encodings lead with their bit length; check it against the
+        # record count BEFORE decoding, so a corrupt frame cannot force a
+        # huge allocation (an RLE payload of a few bytes can declare 2^32
+        # bits) — and a wrong-length vector is corruption either way.
+        declared_bits = int.from_bytes(payload[:4], "little")
+        if declared_bits != len(records):
+            raise ProtocolError(
+                f"bit-vector for predicate {pid} declares {declared_bits} "
+                f"bits for {len(records)} records"
+            )
+        try:
+            if tag == _PACKED_TAG:
+                bv = BitVector.from_bytes(payload)
+            elif tag == _RLE_TAG:
+                bv = RleBitVector.from_bytes(payload).to_bitvector()
+            else:
+                raise ProtocolError(
+                    f"unknown bit-vector encoding tag {tag}"
+                )
+            chunk.attach(pid, bv)
+        except ProtocolError:
+            raise
+        except ValueError as exc:
+            raise ProtocolError(
+                f"corrupt bit-vector for predicate {pid}: {exc}"
+            )
+    return chunk, pos
+
+
+def _parse_header(blob: memoryview) -> dict:
+    """Parse and validate the chunk header JSON."""
+    try:
+        header = loads(str(blob, "utf-8"))
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"chunk header is not valid UTF-8: {exc}")
+    except JsonError as exc:
+        raise ProtocolError(f"chunk header is not valid JSON: {exc}")
+    if not isinstance(header, dict):
+        raise ProtocolError("chunk header must be a JSON object")
+    chunk_id = header.get("chunk_id")
+    n_records = header.get("records")
+    predicates = header.get("predicates")
+    if not isinstance(chunk_id, int) or isinstance(chunk_id, bool):
+        raise ProtocolError("chunk header needs an integer 'chunk_id'")
+    if (not isinstance(n_records, int) or isinstance(n_records, bool)
+            or n_records < 0):
+        raise ProtocolError(
+            "chunk header needs a non-negative integer 'records'"
+        )
+    if not isinstance(predicates, list) or any(
+        not isinstance(p, int) or isinstance(p, bool) for p in predicates
+    ):
+        raise ProtocolError(
+            "chunk header needs a list of integer 'predicates'"
+        )
+    if len(set(predicates)) != len(predicates):
+        raise ProtocolError("duplicate predicate ids in chunk header")
+    return header
 
 
 def bitvector_overhead(chunk: JsonChunk) -> Tuple[int, int]:
@@ -119,7 +204,15 @@ def bitvector_overhead(chunk: JsonChunk) -> Tuple[int, int]:
     return len(records_blob), len(encoded) - fixed
 
 
-def _read_u32(data: bytes, pos: int) -> Tuple[int, int]:
-    if pos + 4 > len(data):
+def _take(view: memoryview, pos: int, size: int, what: str
+          ) -> Tuple[memoryview, int]:
+    """Bounds-checked cursor advance; raises before touching bytes."""
+    if size < 0 or pos + size > len(view):
+        raise ProtocolError(f"truncated {what}")
+    return view[pos:pos + size], pos + size
+
+
+def _read_u32(view: memoryview, pos: int) -> Tuple[int, int]:
+    if pos + 4 > len(view):
         raise ProtocolError("truncated length field")
-    return int.from_bytes(data[pos:pos + 4], "little"), pos + 4
+    return int.from_bytes(view[pos:pos + 4], "little"), pos + 4

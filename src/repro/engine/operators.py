@@ -147,12 +147,11 @@ class SkippingScan(Operator):
                 group.clear_cache()
                 continue
             mask = intersect_all(vectors)
-            survivors = mask.count()
-            stats.tuples_skipped += group.row_count - survivors
-            if survivors == 0:
+            indices = list(mask.iter_set())
+            stats.tuples_skipped += group.row_count - len(indices)
+            if not indices:
                 stats.row_groups_skipped += 1
                 continue
-            indices = list(mask.iter_set())
             for row in group.rows(columns=self._columns, indices=indices):
                 stats.rows_examined += 1
                 yield row

@@ -84,10 +84,8 @@ class JsonChunk:
         """Partition record indices by *mask*: (selected, rejected)."""
         if len(mask) != len(self.records):
             raise ValueError("mask length does not match chunk size")
-        selected: List[int] = []
-        rejected: List[int] = []
-        for i in range(len(self.records)):
-            (selected if mask.get(i) else rejected).append(i)
+        selected = list(mask.iter_set())
+        rejected = list((~mask).iter_set())
         return selected, rejected
 
 

@@ -4,6 +4,7 @@ and the CIAO server facade."""
 from .ciao import CiaoServer, ServerConfig
 from .ingest import EagerLoader
 from .loader import ClientAssistedLoader, LoadReport, LoadSummary
+from .pipeline import IngestPipelineError, ShardedIngestPipeline
 from .skipping import (
     SkippingEstimate,
     estimate_skipping,
@@ -16,9 +17,11 @@ __all__ = [
     "CiaoServer",
     "ClientAssistedLoader",
     "EagerLoader",
+    "IngestPipelineError",
     "LoadReport",
     "LoadSummary",
     "ServerConfig",
+    "ShardedIngestPipeline",
     "SkippingEstimate",
     "estimate_skipping",
     "query_predicate_ids",

@@ -35,6 +35,7 @@ from ..simulate.network import Channel
 from ..storage.jsonstore import JsonSideStore
 from ..storage.schema import Schema
 from .loader import ClientAssistedLoader, LoadSummary
+from .pipeline import ShardedIngestPipeline
 
 
 @dataclass
@@ -45,17 +46,29 @@ class ServerConfig:
     table_name: str = "t"
     partial_loading: str = "auto"  # 'auto' | 'on' | 'off'
     schema: Optional[Schema] = None
+    n_shards: int = 1
+    shard_mode: str = "process"  # 'process' | 'thread'
 
 
 class CiaoServer:
-    """One CIAO server instance managing one table."""
+    """One CIAO server instance managing one table.
+
+    With ``n_shards > 1`` ingestion runs through a
+    :class:`~repro.server.pipeline.ShardedIngestPipeline`: encoded chunks
+    are fanned across shard workers (decode + parse + write each) and the
+    shard outputs are merged into the catalog at :meth:`finalize_loading`.
+    Query results are identical to serial ingest; ``load_summary`` is only
+    complete once loading has finalized in that mode.
+    """
 
     def __init__(self, data_dir: str | Path,
                  plan: Optional[PushdownPlan] = None,
                  workload: Optional[Workload] = None,
                  table_name: str = "t",
                  partial_loading: str = "auto",
-                 schema: Optional[Schema] = None):
+                 schema: Optional[Schema] = None,
+                 n_shards: int = 1,
+                 shard_mode: str = "process"):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.plan = plan
@@ -68,15 +81,27 @@ class CiaoServer:
             self.data_dir / f"{table_name}.sideline.jsonl"
         )
         self._parquet_path = self.data_dir / f"{table_name}.pql"
-        self._loader = ClientAssistedLoader(
-            self._parquet_path,
-            self._side_store,
-            partial_loading=self.partial_loading_enabled,
-            schema=schema,
-            required_predicate_ids=(
-                plan.predicate_ids if plan is not None else None
-            ),
-        )
+        required_ids = plan.predicate_ids if plan is not None else None
+        self._loader: Optional[ClientAssistedLoader] = None
+        self._pipeline: Optional[ShardedIngestPipeline] = None
+        if n_shards > 1:
+            self._pipeline = ShardedIngestPipeline(
+                self._parquet_path,
+                self._side_store,
+                n_shards=n_shards,
+                partial_loading=self.partial_loading_enabled,
+                schema=schema,
+                required_predicate_ids=required_ids,
+                mode=shard_mode,
+            )
+        else:
+            self._loader = ClientAssistedLoader(
+                self._parquet_path,
+                self._side_store,
+                partial_loading=self.partial_loading_enabled,
+                schema=schema,
+                required_predicate_ids=required_ids,
+            )
         self.catalog = Catalog()
         self._table = TableEntry(
             name=table_name,
@@ -95,7 +120,14 @@ class CiaoServer:
     # Loading
     # ------------------------------------------------------------------
     def ingest(self, chunk: Union[JsonChunk, bytes]) -> None:
-        """Ingest one chunk (decoded or wire-encoded)."""
+        """Ingest one chunk (decoded or wire-encoded).
+
+        Sharded servers forward encoded payloads verbatim — the shard
+        worker decodes them off the submitting thread.
+        """
+        if self._pipeline is not None:
+            self._pipeline.submit(chunk)
+            return
         if isinstance(chunk, (bytes, bytearray)):
             chunk = decode_chunk(bytes(chunk))
         self._loader.ingest(chunk)
@@ -109,17 +141,33 @@ class CiaoServer:
         return count
 
     def finalize_loading(self) -> LoadSummary:
-        """Seal storage and make the table queryable; idempotent."""
-        summary = self._loader.finalize()
+        """Seal storage and make the table queryable; idempotent.
+
+        For a sharded server this is the merge point: shard loaders are
+        sealed, their Parquet parts registered (shard-major order) and
+        their sidelines folded into the table's store.
+        """
+        if self._pipeline is not None:
+            summary = self._pipeline.finalize()
+            parquet_paths = self._pipeline.parquet_paths
+        else:
+            summary = self._loader.finalize()
+            parquet_paths = self._loader.parquet_paths
         if not self._loading_finalized:
-            self._table.parquet_paths = list(self._loader.parquet_paths)
+            self._table.parquet_paths = list(parquet_paths)
             self._table.invalidate()
             self._loading_finalized = True
         return summary
 
     @property
     def load_summary(self) -> LoadSummary:
-        """Loading statistics so far."""
+        """Loading statistics so far.
+
+        In sharded mode the per-chunk reports only arrive at the merge, so
+        this is empty until :meth:`finalize_loading` has run.
+        """
+        if self._pipeline is not None:
+            return self._pipeline.summary
         return self._loader.summary
 
     # ------------------------------------------------------------------

@@ -1,8 +1,10 @@
 """The eager baseline loader: what a server does without CIAO.
 
-Parses and converts *every* record of *every* chunk, ignores bit-vectors
-entirely, and stores nothing in the sideline.  This is the paper's
-zero-budget baseline against which all loading speedups are measured.
+Parses and converts *every* record of *every* chunk and ignores bit-vectors
+entirely.  This is the paper's zero-budget baseline against which all
+loading speedups are measured.  The only records it sidelines are malformed
+ones — the loader-wide quarantine policy (raw text preserved, counted as
+``malformed``) applies to the baseline too, so no input is ever dropped.
 
 Implementation-wise it is the client-assisted loader with partial loading
 off and annotations dropped — made explicit as its own class so experiment

@@ -11,6 +11,21 @@ For every received chunk the loader:
    vectors restricted to the loaded positions);
 3. appends the rejected records, unparsed, to the raw JSON sideline store.
 
+Malformed-record policy: a selected record that fails to parse is counted
+as ``malformed`` and its raw text is appended to the sideline store, so no
+byte of input is ever dropped (corruption is quarantined, not erased).  The
+per-chunk invariant is ``received == loaded + sidelined + malformed`` —
+the three report counters partition the chunk — while the *side store*
+receives ``sidelined + malformed`` records.
+
+Scaling: one loader is strictly serial.  Under heavy multi-client traffic
+the server fans chunks across several loaders via
+:class:`repro.server.pipeline.ShardedIngestPipeline` — each shard owns a
+private loader writing shard-local Parquet-lite parts and a shard-local
+sideline, and the pipeline merges all shard outputs into the catalog when
+loading finalizes.  Nothing in this module is shard-aware; the pipeline
+composes loaders without changing their contract.
+
 Partial-loading policy: the mask is honoured only when the loader was
 constructed with ``partial_loading=True``.  The CIAO server enables it when
 the pushed-down set covers every prospective query (§VI-B: a covered query
@@ -140,14 +155,14 @@ class ClientAssistedLoader:
 
         parsed_rows: List[Mapping[str, Any]] = []
         kept_positions: List[int] = []
-        malformed = 0
+        malformed_positions: List[int] = []
         for position in selected:
             value, ok = try_parse(chunk.records[position])
             if ok and isinstance(value, dict):
                 parsed_rows.append(value)
                 kept_positions.append(position)
             else:
-                malformed += 1
+                malformed_positions.append(position)
 
         if parsed_rows:
             writer = self._ensure_writer(parsed_rows)
@@ -157,18 +172,25 @@ class ClientAssistedLoader:
                 bitvectors=derived,
                 source_chunk_id=chunk.chunk_id,
             )
-        if rejected:
+        # Mask-rejected AND malformed records both land in the side store,
+        # in arrival order: malformed input is quarantined raw, never
+        # dropped (see the module docstring for the counting invariant).
+        unloaded = sorted(rejected + malformed_positions)
+        if unloaded:
             self.side_store.append(
-                chunk.chunk_id, (chunk.records[i] for i in rejected)
+                chunk.chunk_id, (chunk.records[i] for i in unloaded)
             )
         report = LoadReport(
             chunk_id=chunk.chunk_id,
             received=len(chunk.records),
             loaded=len(parsed_rows),
             sidelined=len(rejected),
-            malformed=malformed,
+            malformed=len(malformed_positions),
             wall_seconds=time.perf_counter() - start,
         )
+        assert report.received == (
+            report.loaded + report.sidelined + report.malformed
+        ), "loader invariant violated: counters must partition the chunk"
         self.summary.add(report)
         return report
 
@@ -208,11 +230,7 @@ class ClientAssistedLoader:
         Row ``i`` of the row group corresponds to ``kept_positions[i]`` of
         the original chunk.
         """
-        derived: Dict[int, BitVector] = {}
-        for pid, bv in chunk.bitvectors.items():
-            out = BitVector(len(kept_positions))
-            for row, position in enumerate(kept_positions):
-                if bv.get(position):
-                    out.set(row)
-            derived[pid] = out
-        return derived
+        return {
+            pid: bv.select(kept_positions)
+            for pid, bv in chunk.bitvectors.items()
+        }

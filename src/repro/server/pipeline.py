@@ -1,0 +1,328 @@
+"""Sharded, pipelined ingest: N loaders fed round-robin, merged at finalize.
+
+One :class:`~repro.server.loader.ClientAssistedLoader` is strictly serial —
+decode, parse, and write happen on the caller's thread, so a server draining
+many client channels leaves every other core idle and the expensive JSON
+parse on the critical path.  This module fans that work out (Fig. 1's server
+box, scaled horizontally):
+
+Architecture::
+
+    submit(payload) ──round-robin──▶ shard 0 queue ─▶ worker 0 ┐
+                                     shard 1 queue ─▶ worker 1 ├─ finalize()
+                                     ...                       │  merges into
+                                     shard N queue ─▶ worker N ┘  the catalog
+
+* **Shard workers.**  Each worker owns a private
+  :class:`ClientAssistedLoader` writing shard-local Parquet-lite parts
+  (``table.shardK[.partM].pql``) and a shard-local sideline file.  Encoded
+  payloads are shipped raw to the worker, which decodes them there
+  (:func:`repro.client.protocol.decode_chunk` walks a zero-copy
+  ``memoryview`` cursor), so the submitting thread does no per-chunk work
+  beyond a queue put.
+* **Round-robin assignment.**  Chunk *k* (by submission order) goes to shard
+  ``k % n_shards``.  The mapping is deterministic, so a given input stream
+  always produces the same shard files — the shard-equivalence tests rely
+  on this.
+* **Merge at finalize.**  :meth:`finalize` seals every shard loader, then
+  merges the shard outputs: Parquet parts are concatenated in shard order
+  into one path list for the catalog, shard sidelines are folded into the
+  table's side store (and removed), and per-chunk
+  :class:`~repro.server.loader.LoadReport`\\ s are re-ordered by submission
+  sequence so the merged :class:`~repro.server.loader.LoadSummary` is
+  identical to what serial ingest of the same stream would report.
+
+Correctness: every record lands in exactly one shard, each shard preserves
+its loader's invariants (``received == loaded + sidelined + malformed``
+per chunk, malformed records quarantined raw in the sideline), and the
+engine already scans a table as the union of its Parquet parts plus the
+side store — so query results match serial ingest exactly; only row-group
+*order* across files differs (grouped by shard instead of interleaved),
+which no aggregate observes.
+
+Execution modes: ``mode="process"`` (default) forks one worker process per
+shard — under CPython's GIL this is the only way decode+parse actually runs
+in parallel; ``mode="thread"`` runs workers as daemon threads in-process,
+which keeps tests fast and deterministic and would parallelize on
+free-threaded builds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import traceback
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..client.protocol import decode_chunk
+from ..rawjson.chunks import JsonChunk
+from ..storage.jsonstore import JsonSideStore
+from ..storage.schema import Schema
+from .loader import ClientAssistedLoader, LoadReport, LoadSummary
+
+#: Bounded per-shard queue depth: backpressure instead of unbounded RAM.
+DEFAULT_QUEUE_DEPTH = 64
+
+
+class IngestPipelineError(RuntimeError):
+    """One or more shard workers failed during a parallel load."""
+
+
+def _run_shard(shard_id: int,
+               in_queue,
+               out_queue,
+               parquet_path: str,
+               sideline_path: str,
+               partial_loading: bool,
+               schema: Optional[Schema],
+               required_ids: Optional[frozenset]) -> None:
+    """Shard worker loop: decode + parse + write until the sentinel.
+
+    Module-level so process mode can spawn it.  On failure the worker keeps
+    draining its queue (a bounded queue with a dead consumer would deadlock
+    the submitter) and reports the error at shutdown.
+    """
+    error: Optional[str] = None
+    reports: List[Tuple[int, LoadReport]] = []
+    paths: List[str] = []
+    loader: Optional[ClientAssistedLoader] = None
+    try:
+        side = JsonSideStore(sideline_path)
+        loader = ClientAssistedLoader(
+            parquet_path,
+            side,
+            partial_loading=partial_loading,
+            schema=schema,
+            required_predicate_ids=required_ids,
+        )
+    except Exception:
+        error = (
+            f"shard {shard_id} failed to initialize:\n"
+            f"{traceback.format_exc()}"
+        )
+    # The drain loop must run no matter what happened above: a bounded
+    # queue with a dead consumer would block submit() forever.
+    while True:
+        item = in_queue.get()
+        if item is None:
+            break
+        if error is not None:
+            continue
+        seq, payload = item
+        try:
+            if isinstance(payload, (bytes, bytearray)):
+                chunk = decode_chunk(payload)
+            else:
+                chunk = payload
+            reports.append((seq, loader.ingest(chunk)))
+        except Exception:
+            error = (
+                f"shard {shard_id} failed on chunk #{seq}:\n"
+                f"{traceback.format_exc()}"
+            )
+    try:
+        if loader is not None:
+            loader.finalize()
+            paths = [str(p) for p in loader.parquet_paths]
+    except Exception:
+        if error is None:
+            error = (
+                f"shard {shard_id} failed to finalize:\n"
+                f"{traceback.format_exc()}"
+            )
+    if error is not None:
+        out_queue.put(("error", shard_id, error))
+    else:
+        out_queue.put(("done", shard_id, paths, reports))
+
+
+class ShardedIngestPipeline:
+    """Fan encoded chunks across shard loaders; merge outputs at finalize.
+
+    Args:
+        parquet_path: Base table path; shard *K* writes
+            ``<stem>.shardK<suffix>`` parts next to it.
+        side_store: The table's sideline store.  Shards write shard-local
+            sidelines during the load; :meth:`finalize` folds them in here.
+        n_shards: Worker count (1 is legal and equivalent to one loader
+            behind a queue).
+        partial_loading / schema / required_predicate_ids: Forwarded to
+            every shard's :class:`ClientAssistedLoader`.
+        mode: ``"process"`` (parallel under the GIL) or ``"thread"``.
+        queue_depth: Bound of each shard's input queue (backpressure).
+    """
+
+    def __init__(self, parquet_path: str | Path,
+                 side_store: JsonSideStore,
+                 n_shards: int,
+                 partial_loading: bool,
+                 schema: Optional[Schema] = None,
+                 required_predicate_ids: Optional[Sequence[int]] = None,
+                 mode: str = "process",
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if mode not in ("process", "thread"):
+            raise ValueError(
+                f"mode must be 'process' or 'thread', got {mode!r}"
+            )
+        self.parquet_path = Path(parquet_path)
+        self.side_store = side_store
+        self.n_shards = n_shards
+        self.mode = mode
+        self.summary = LoadSummary()
+        self._seq = 0
+        self._finalized = False
+        self._shard_parquet_paths: List[List[Path]] = [[] for _ in
+                                                       range(n_shards)]
+        self._parquet_paths: List[Path] = []
+        self._errors: List[str] = []
+
+        required = (
+            frozenset(required_predicate_ids)
+            if required_predicate_ids is not None else None
+        )
+        side_path = side_store.path
+        self._sideline_paths = [
+            side_path.parent / f"{side_path.stem}.shard{i}{side_path.suffix}"
+            for i in range(n_shards)
+        ]
+        shard_parquet = [
+            self.parquet_path.parent
+            / f"{self.parquet_path.stem}.shard{i}{self.parquet_path.suffix}"
+            for i in range(n_shards)
+        ]
+        if mode == "process":
+            ctx = multiprocessing.get_context("fork")
+            self._out_queue = ctx.Queue()
+            self._in_queues = [ctx.Queue(maxsize=queue_depth)
+                               for _ in range(n_shards)]
+            self._workers = [
+                ctx.Process(
+                    target=_run_shard,
+                    args=(i, self._in_queues[i], self._out_queue,
+                          str(shard_parquet[i]), str(self._sideline_paths[i]),
+                          partial_loading, schema, required),
+                    daemon=True,
+                )
+                for i in range(n_shards)
+            ]
+        else:
+            self._out_queue = queue.Queue()
+            self._in_queues = [queue.Queue(maxsize=queue_depth)
+                               for _ in range(n_shards)]
+            self._workers = [
+                threading.Thread(
+                    target=_run_shard,
+                    args=(i, self._in_queues[i], self._out_queue,
+                          str(shard_parquet[i]), str(self._sideline_paths[i]),
+                          partial_loading, schema, required),
+                    daemon=True,
+                )
+                for i in range(n_shards)
+            ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: Union[JsonChunk, bytes, bytearray, memoryview]
+               ) -> int:
+        """Enqueue one chunk (encoded or decoded); returns its sequence no.
+
+        Encoded payloads are decoded *inside* the worker, keeping the
+        submitting thread off the critical path.  Blocks when the target
+        shard's queue is full (backpressure).
+        """
+        if self._finalized:
+            raise RuntimeError("pipeline already finalized")
+        if isinstance(payload, memoryview):
+            payload = bytes(payload)  # queues need an owned buffer
+        seq = self._seq
+        self._seq += 1
+        self._in_queues[seq % self.n_shards].put((seq, payload))
+        return seq
+
+    def drain_channel(self, channel) -> int:
+        """Submit every payload of a channel; returns the number submitted."""
+        count = 0
+        for payload in channel.drain():
+            self.submit(payload)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> LoadSummary:
+        """Stop workers, merge shard outputs, and return the summary.
+
+        Idempotent.  Raises :class:`IngestPipelineError` if any shard
+        failed; shards that succeeded are still merged first so partial
+        output remains inspectable.
+        """
+        if self._finalized:
+            if self._errors:
+                raise IngestPipelineError("\n".join(self._errors))
+            return self.summary
+        self._finalized = True
+        for in_queue in self._in_queues:
+            in_queue.put(None)
+        ordered_reports: List[Tuple[int, LoadReport]] = []
+
+        def handle(message) -> int:
+            if message[0] == "error":
+                self._errors.append(message[2])
+                return message[1]
+            _, shard_id, paths, reports = message
+            self._shard_parquet_paths[shard_id] = [Path(p) for p in paths]
+            ordered_reports.extend(reports)
+            return shard_id
+
+        # Collect one result per shard, but never hang on a worker that
+        # died without posting (e.g. an OOM-killed process): poll with a
+        # timeout, and when a pending worker is no longer alive give its
+        # in-flight message one grace period before declaring it lost.
+        pending = set(range(self.n_shards))
+        while pending:
+            try:
+                pending.discard(handle(self._out_queue.get(timeout=0.5)))
+                continue
+            except queue.Empty:
+                pass
+            dead = [i for i in sorted(pending)
+                    if not self._workers[i].is_alive()]
+            if not dead:
+                continue
+            try:
+                pending.discard(handle(self._out_queue.get(timeout=0.5)))
+                continue  # a straggler message made it; keep collecting
+            except queue.Empty:
+                for shard_id in dead:
+                    self._errors.append(
+                        f"shard {shard_id} terminated without reporting "
+                        f"a result"
+                    )
+                    pending.discard(shard_id)
+        for worker in self._workers:
+            worker.join()
+        # Merge: parquet parts in shard order, reports in submission order,
+        # shard sidelines folded into the table's store (then removed).
+        self._parquet_paths = [
+            path for paths in self._shard_parquet_paths for path in paths
+        ]
+        ordered_reports.sort(key=lambda pair: pair[0])
+        for _, report in ordered_reports:
+            self.summary.add(report)
+        for sideline_path in self._sideline_paths:
+            if sideline_path.exists():
+                shard_side = JsonSideStore(sideline_path)
+                self.side_store.append_pairs(shard_side.iter_raw())
+                sideline_path.unlink()
+        if self._errors:
+            raise IngestPipelineError("\n".join(self._errors))
+        return self.summary
+
+    @property
+    def parquet_paths(self) -> List[Path]:
+        """All shard Parquet-lite parts, shard-major order (post-finalize)."""
+        return list(self._parquet_paths)

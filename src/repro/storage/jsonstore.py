@@ -52,13 +52,20 @@ class JsonSideStore:
 
     def append(self, chunk_id: int, raw_records: Iterable[str]) -> int:
         """Append raw records from one chunk; returns how many."""
+        return self.append_pairs((chunk_id, raw) for raw in raw_records)
+
+    def append_pairs(self, pairs: Iterable[Tuple[int, str]]) -> int:
+        """Append (chunk_id, raw) pairs in one file-open; returns how many.
+
+        The bulk path used when shard-local sidelines are merged into the
+        table's store at the end of a parallel load (one open per shard,
+        not one per record).
+        """
         count = 0
         with open(self.path, "a", encoding="utf-8") as f:
-            for raw in raw_records:
+            for chunk_id, raw in pairs:
                 if "\n" in raw:
-                    raise ValueError(
-                        "raw records must be single-line JSON"
-                    )
+                    raise ValueError("raw records must be single-line JSON")
                 line = f"{chunk_id}\t{raw}\n"
                 f.write(line)
                 self._records += 1

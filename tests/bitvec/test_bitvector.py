@@ -131,6 +131,34 @@ class TestQueries:
         b = BitVector.from_bits([0, 1, 1])
         assert a.concat(b).to_bits() == [1, 0, 0, 1, 1]
 
+    def test_slice_concat_roundtrip_random(self):
+        import random
+        rng = random.Random(11)
+        bits = [rng.randint(0, 1) for _ in range(517)]
+        bv = BitVector.from_bits(bits)
+        cut = 129
+        rejoined = bv.slice(0, cut).concat(bv.slice(cut, len(bits)))
+        assert rejoined == bv
+
+    def test_select_gathers_positions(self):
+        bv = BitVector.from_bits([1, 0, 1, 1, 0, 1])
+        assert bv.select([0, 1, 5]).to_bits() == [1, 0, 1]
+        assert bv.select([]).to_bits() == []
+
+    def test_select_matches_naive_random(self):
+        import random
+        rng = random.Random(23)
+        bits = [rng.randint(0, 1) for _ in range(403)]
+        bv = BitVector.from_bits(bits)
+        positions = sorted(rng.sample(range(403), 97))
+        assert bv.select(positions).to_bits() == [
+            bits[p] for p in positions
+        ]
+
+    def test_select_bounds_checked(self):
+        with pytest.raises(IndexError):
+            BitVector(4).select([0, 4])
+
 
 class TestSerialization:
     def test_roundtrip(self):
@@ -144,6 +172,23 @@ class TestSerialization:
     def test_truncated_payload_rejected(self):
         with pytest.raises(ValueError):
             BitVector.from_bytes(b"\x01")
+
+    def test_payload_size_mismatch_rejected(self):
+        # 9 declared bits need exactly 2 payload bytes.
+        header = (9).to_bytes(4, "little")
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(header + b"\x00")
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(header + b"\x00\x00\x00")
+
+    def test_set_tail_padding_bits_rejected(self):
+        # 4 declared bits leave the upper nibble as padding; a set bit
+        # there means corruption and must fail loudly, not be masked off.
+        header = (4).to_bytes(4, "little")
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(header + b"\x10")
+        # Clean padding still decodes.
+        assert BitVector.from_bytes(header + b"\x0f").to_bits() == [1] * 4
 
 
 class TestAggregates:

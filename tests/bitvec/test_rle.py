@@ -71,6 +71,11 @@ class TestRleSerialization:
         with pytest.raises(ValueError):
             RleBitVector.from_bytes(b"\x00\x00")
 
+    def test_trailing_garbage_rejected(self):
+        rle = RleBitVector.from_bitvector(BitVector.from_bits([0, 0, 1, 1]))
+        with pytest.raises(ValueError, match="trailing bytes"):
+            RleBitVector.from_bytes(rle.to_bytes() + b"GARBAGE")
+
     def test_sparse_vector_compresses(self):
         bv = BitVector.from_indices(8000, [17])
         rle = RleBitVector.from_bitvector(bv)

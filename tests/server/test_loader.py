@@ -94,6 +94,55 @@ class TestMalformedRecords:
         assert report.loaded == 1
         assert report.malformed == 1
 
+    def test_malformed_records_quarantined_in_side_store(self, paths):
+        # A selected record that fails to parse must not be dropped: its
+        # raw text lands in the sideline alongside mask-rejected records.
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        chunk = JsonChunk(
+            7, [dump_record(RECORDS[0]), "{broken", dump_record(RECORDS[1])]
+        )
+        chunk.attach(0, BitVector.from_bits([1, 1, 0]))
+        report = loader.ingest(chunk)
+        loader.finalize()
+        assert report.received == 3
+        assert report.loaded == 1
+        assert report.sidelined == 1  # the mask-rejected record
+        assert report.malformed == 1  # the unparseable record
+        # Side store holds sidelined + malformed, in arrival order.
+        assert list(side.iter_raw()) == [
+            (7, "{broken"), (7, dump_record(RECORDS[1]))
+        ]
+
+    def test_counters_partition_received(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        records = [dump_record(RECORDS[0]), "not json", "[1, 2]",
+                   dump_record(RECORDS[1]), dump_record(RECORDS[2])]
+        chunk = JsonChunk(0, records)
+        chunk.attach(0, BitVector.from_bits([1, 1, 1, 0, 1]))
+        report = loader.ingest(chunk)
+        loader.finalize()
+        # "[1, 2]" parses but is not an object — also malformed.
+        assert report.malformed == 2
+        assert report.received == (
+            report.loaded + report.sidelined + report.malformed
+        )
+        assert side.record_count == report.sidelined + report.malformed
+
+    def test_derived_vectors_skip_malformed_positions(self, paths):
+        parquet, side = paths
+        loader = ClientAssistedLoader(parquet, side, partial_loading=True)
+        chunk = JsonChunk(
+            0, [dump_record(RECORDS[0]), "{broken", dump_record(RECORDS[1])]
+        )
+        chunk.attach(0, BitVector.from_bits([1, 1, 1]))
+        loader.ingest(chunk)
+        loader.finalize()
+        with ParquetLiteReader(loader.parquet_paths[0]) as reader:
+            # Two loaded rows (positions 0 and 2), both valid for pred 0.
+            assert reader.bitvector(0, 0).to_bits() == [1, 1]
+
 
 class TestSummary:
     def test_accumulates_across_chunks(self, paths):
