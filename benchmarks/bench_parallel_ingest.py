@@ -196,6 +196,9 @@ def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
         f"  {N_SHARDS}-shard pipeline     : {parallel_rate:8.1f} chunks/s "
         f"({parallel_seconds:.2f} s)",
         f"  speedup              : {speedup:8.2f}x (floor {floor:.1f}x)",
+        f"  accounting           : loaded={parallel_summary.loaded} "
+        f"sidelined={parallel_summary.sidelined} "
+        f"malformed={parallel_summary.malformed} (quarantined raw)",
     ]
     emit("parallel_ingest_throughput", "\n".join(lines), results_dir)
 
@@ -203,6 +206,7 @@ def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
     assert parallel_summary.received == serial_summary.received
     assert parallel_summary.loaded == serial_summary.loaded
     assert parallel_summary.sidelined == serial_summary.sidelined
+    assert parallel_summary.malformed == serial_summary.malformed
     assert speedup >= floor, (
         f"{N_SHARDS}-shard pipeline only {speedup:.2f}x over serial "
         f"(floor {floor:.1f}x on {cores} cores)"

@@ -1,0 +1,230 @@
+"""Query-during-load latency and work-stealing vs round-robin dispatch.
+
+Two claims are measured:
+
+1. **Streaming exactness + latency** — a sharded server answers
+   ``COUNT(*)``-style queries *mid-load* from its loaded-so-far snapshot.
+   At several ingest-progress points the bench quiesces, queries, and
+   asserts the answers equal serial ingest of exactly the chunks loaded so
+   far (and, after finalize, of the whole stream).  Reported: query
+   latency at each progress point, plus the load accounting including the
+   ``malformed`` counter (quarantined-raw records).
+2. **Work-stealing speedup** — the same skewed chunk stream (every
+   ``N_SHARDS``-th chunk is ~15× bigger, so round-robin pins all the big
+   chunks to shard 0 and serializes on it) ingested under
+   ``dispatch="round-robin"`` vs ``dispatch="work-stealing"``.  The ≥1.3×
+   assertion is *core-gated* like ``bench_parallel_ingest.py``: on fewer
+   than 2 usable cores both dispatchers serialize and the bench only
+   guards a no-pathological-overhead floor.  Override with
+   ``REPRO_BENCH_MIN_STEAL_SPEEDUP`` (a float) to pin it in CI.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_streaming_query.py``
+(set ``REPRO_BENCH_SMOKE=1`` for a <60 s smoke configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.bench import emit
+from repro.rawjson import JsonChunk, dump_record
+from repro.server import CiaoServer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_SHARDS = 4
+SEED = 20260727
+
+# Streaming-query stream: uniform chunks, queried at progress points.
+STREAM_CHUNKS = 8 if SMOKE else 20
+STREAM_CHUNK_RECORDS = 120 if SMOKE else 250
+#: One malformed record is planted per chunk to exercise (and surface)
+#: the quarantine counter end to end.
+MALFORMED_PER_CHUNK = 1
+
+# Skewed stream: every N_SHARDS-th chunk is big.
+SKEW_ROUNDS = 4 if SMOKE else 8
+SKEW_BIG = 450 if SMOKE else 1200
+SKEW_SMALL = 30 if SMOKE else 80
+
+QUERIES = [
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(*) FROM t WHERE i = 2",
+    "SELECT SUM(v) FROM t WHERE i = 0",
+]
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _min_steal_speedup() -> float:
+    override = os.environ.get("REPRO_BENCH_MIN_STEAL_SPEEDUP")
+    if override:
+        return float(override)
+    if _effective_cores() >= 2:
+        return 1.3
+    # Single core: both dispatchers serialize the same total work; only
+    # guard against pathological dispatch overhead.
+    return 0.5
+
+
+def _record(cid: int, k: int) -> str:
+    return dump_record({"i": (cid * 7 + k) % 5, "v": cid * 10000 + k,
+                        "tag": f"t{k % 3}"})
+
+
+def _stream_chunks():
+    chunks = []
+    for cid in range(STREAM_CHUNKS):
+        records = [_record(cid, k) for k in range(STREAM_CHUNK_RECORDS)]
+        for m in range(MALFORMED_PER_CHUNK):
+            records[7 + m] = '{"i": 2, "v": broken'
+        chunks.append(JsonChunk(cid, records))
+    return chunks
+
+
+def _skewed_chunks():
+    chunks = []
+    cid = 0
+    for _ in range(SKEW_ROUNDS):
+        for pos in range(N_SHARDS):
+            size = SKEW_BIG if pos == 0 else SKEW_SMALL
+            chunks.append(
+                JsonChunk(cid, [_record(cid, k) for k in range(size)])
+            )
+            cid += 1
+    return chunks
+
+
+def _answers(server):
+    return [server.query(sql).scalar() for sql in QUERIES]
+
+
+def _serial_reference(tmp_path, chunks, tag):
+    server = CiaoServer(tmp_path / tag)
+    for chunk in chunks:
+        server.ingest(chunk)
+    server.finalize_loading()
+    return server
+
+
+# ----------------------------------------------------------------------
+# 1. Streaming queries: exactness + latency vs ingest progress
+# ----------------------------------------------------------------------
+def test_streaming_query_latency_and_exactness(benchmark, tmp_path,
+                                               results_dir):
+    chunks = _stream_chunks()
+    checkpoints = [len(chunks) // 4, len(chunks) // 2,
+                   3 * len(chunks) // 4, len(chunks)]
+
+    def experiment():
+        server = CiaoServer(tmp_path / "stream", n_shards=N_SHARDS,
+                            shard_mode="process")
+        rows = []
+        done = 0
+        for point in checkpoints:
+            for chunk in chunks[done:point]:
+                server.ingest(chunk)
+            done = point
+            server.quiesce()
+            start = time.perf_counter()
+            got = _answers(server)
+            latency = time.perf_counter() - start
+            reference = _serial_reference(
+                tmp_path, chunks[:point], f"ref{point}"
+            )
+            assert got == _answers(reference), (
+                f"mid-load answers diverged at {point} chunks"
+            )
+            rows.append((point, server.load_summary.chunks, latency))
+        summary = server.finalize_loading()
+        final = _answers(server)
+        assert final == _answers(
+            _serial_reference(tmp_path, chunks, "ref-final")
+        )
+        return rows, summary
+
+    rows, summary = run_once(benchmark, experiment)
+    lines = [
+        f"streaming queries during a {len(chunks)}-chunk sharded load "
+        f"({N_SHARDS} shards, {STREAM_CHUNK_RECORDS} records/chunk):",
+        "  progress   covered   query latency",
+    ]
+    for point, covered, latency in rows:
+        lines.append(
+            f"  {point:4d} sent  {covered:4d} chk   {latency * 1e3:8.2f} ms"
+            f"   (answers == serial ingest of prefix)"
+        )
+    lines += [
+        f"  load accounting: received={summary.received} "
+        f"loaded={summary.loaded} sidelined={summary.sidelined} "
+        f"malformed={summary.malformed} (quarantined raw)",
+    ]
+    emit("streaming_query_progress", "\n".join(lines), results_dir)
+    assert summary.malformed == STREAM_CHUNKS * MALFORMED_PER_CHUNK
+    assert summary.received == STREAM_CHUNKS * STREAM_CHUNK_RECORDS
+
+
+# ----------------------------------------------------------------------
+# 2. Work-stealing vs round-robin on a skewed stream
+# ----------------------------------------------------------------------
+def _ingest(tmp_path, tag, chunks, dispatch):
+    server = CiaoServer(tmp_path / tag, n_shards=N_SHARDS,
+                        shard_mode="process", dispatch=dispatch)
+    start = time.perf_counter()
+    for chunk in chunks:
+        server.ingest(chunk)
+    summary = server.finalize_loading()
+    elapsed = time.perf_counter() - start
+    return summary, elapsed
+
+
+def test_work_stealing_speedup_on_skewed_chunks(benchmark, tmp_path,
+                                                results_dir):
+    chunks = _skewed_chunks()
+
+    def experiment():
+        rr_summary, rr_seconds = _ingest(
+            tmp_path, "round-robin", chunks, "round-robin"
+        )
+        ws_summary, ws_seconds = _ingest(
+            tmp_path, "work-stealing", chunks, "work-stealing"
+        )
+        return rr_summary, rr_seconds, ws_summary, ws_seconds
+
+    rr_summary, rr_seconds, ws_summary, ws_seconds = run_once(
+        benchmark, experiment
+    )
+    speedup = rr_seconds / ws_seconds
+    floor = _min_steal_speedup()
+    cores = _effective_cores()
+    n_big = SKEW_ROUNDS
+    lines = [
+        f"work-stealing vs round-robin, skewed stream "
+        f"({len(chunks)} chunks; every {N_SHARDS}th is {SKEW_BIG} records "
+        f"vs {SKEW_SMALL} — round-robin pins all {n_big} big chunks to "
+        f"shard 0):",
+        f"  effective cores : {cores}",
+        f"  round-robin     : {rr_seconds:8.2f} s",
+        f"  work-stealing   : {ws_seconds:8.2f} s",
+        f"  speedup         : {speedup:8.2f}x (floor {floor:.1f}x)",
+        f"  malformed       : {ws_summary.malformed} "
+        f"(== {rr_summary.malformed} round-robin)",
+    ]
+    emit("streaming_query_work_stealing", "\n".join(lines), results_dir)
+
+    # Identical accounting regardless of dispatch policy.
+    assert ws_summary.received == rr_summary.received
+    assert ws_summary.loaded == rr_summary.loaded
+    assert ws_summary.sidelined == rr_summary.sidelined
+    assert ws_summary.malformed == rr_summary.malformed
+    assert speedup >= floor, (
+        f"work-stealing only {speedup:.2f}x over round-robin "
+        f"(floor {floor:.1f}x on {cores} cores)"
+    )

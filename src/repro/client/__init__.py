@@ -9,6 +9,8 @@ from .protocol import (
     decode_chunk,
     decode_chunk_stream,
     encode_chunk,
+    encode_frame_batch,
+    split_frames,
 )
 
 __all__ = [
@@ -22,4 +24,6 @@ __all__ = [
     "decode_chunk",
     "decode_chunk_stream",
     "encode_chunk",
+    "encode_frame_batch",
+    "split_frames",
 ]

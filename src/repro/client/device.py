@@ -74,15 +74,36 @@ class SimulatedClient:
             self.stats.chunks += 1
             yield chunk
 
-    def ship(self, raw_records: Iterable[str], channel: Channel) -> int:
-        """Process records and send encoded chunks; returns chunk count."""
+    def ship(self, raw_records: Iterable[str], channel: Channel,
+             batch_size: int = 1) -> int:
+        """Process records and send encoded chunks; returns chunk count.
+
+        With ``batch_size > 1``, that many chunk frames are concatenated
+        into one channel message (:meth:`Channel.send_batch`), amortizing
+        per-message transport overhead for small chunks; the server splits
+        the frames back apart when draining.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         sent = 0
+        batch: List[bytes] = []
         for chunk in self.process(raw_records):
             payload = encode_chunk(chunk)
             self.stats.bytes_sent += len(payload)
-            channel.send(payload)
+            batch.append(payload)
             sent += 1
+            if len(batch) >= batch_size:
+                self._flush(batch, channel)
+        self._flush(batch, channel)
         return sent
+
+    @staticmethod
+    def _flush(batch: List[bytes], channel: Channel) -> None:
+        if len(batch) == 1:
+            channel.send(batch[0])
+        elif batch:
+            channel.send_batch(batch)
+        batch.clear()
 
     def _account(self, report: EvaluationReport) -> None:
         self.stats.wall_seconds += report.wall_seconds

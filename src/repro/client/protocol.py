@@ -26,7 +26,7 @@ yields successive chunks straight out of one concatenated buffer.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from ..bitvec.bitvector import BitVector
 from ..bitvec.rle import RleBitVector
@@ -74,6 +74,69 @@ def encode_chunk(chunk: JsonChunk) -> bytes:
         out += len(payload).to_bytes(4, "little")
         out += payload
     return bytes(out)
+
+
+def encode_frame_batch(
+    chunks: "Iterable[JsonChunk | bytes | bytearray | memoryview]",
+) -> bytes:
+    """Concatenate several chunk frames into one channel message.
+
+    Frames are self-delimiting, so batching is plain concatenation; the
+    point is to amortize per-message transport overhead (queue puts, spool
+    files, message latency) across many small chunks.  Items may be
+    :class:`JsonChunk` objects (encoded here) or already-encoded frame
+    bytes (forwarded verbatim).  The receiver splits the batch back apart
+    with :func:`split_frames` or decodes it wholesale with
+    :func:`decode_chunk_stream`.
+    """
+    out = bytearray()
+    for item in chunks:
+        if isinstance(item, JsonChunk):
+            out += encode_chunk(item)
+        elif isinstance(item, (bytes, bytearray, memoryview)):
+            out += item
+        else:
+            raise TypeError(
+                f"frame batches carry JsonChunk or bytes, "
+                f"got {type(item).__name__}"
+            )
+    return bytes(out)
+
+
+def split_frames(data: bytes | bytearray | memoryview
+                 ) -> Iterator[memoryview]:
+    """Yield each chunk frame of a (possibly batched) payload, undecoded.
+
+    Walks the frame structure — header, records length, per-predicate
+    segment lengths — without parsing records or decoding bit-vectors, so
+    a dispatcher can split a batch and ship individual frames to shard
+    workers while staying off the expensive decode path.  A single
+    un-batched frame yields itself.  Raises :class:`ProtocolError` on any
+    structural corruption, like the full decoder would.
+    """
+    view = memoryview(data)
+    pos = 0
+    while pos < len(view):
+        start = pos
+        pos = _skip_one(view, pos)
+        yield view[start:pos]
+
+
+def _skip_one(view: memoryview, pos: int) -> int:
+    """Advance past one chunk frame starting at *pos*; returns next_pos."""
+    magic, pos = _take(view, pos, len(MAGIC), "chunk magic")
+    if bytes(magic) != MAGIC:
+        raise ProtocolError("bad chunk magic")
+    header_len, pos = _read_u32(view, pos)
+    header_blob, pos = _take(view, pos, header_len, "chunk header")
+    header = _parse_header(header_blob)
+    records_len, pos = _read_u32(view, pos)
+    _, pos = _take(view, pos, records_len, "records payload")
+    for _ in header["predicates"]:
+        _, pos = _take(view, pos, 1, "bit-vector tag")
+        payload_len, pos = _read_u32(view, pos)
+        _, pos = _take(view, pos, payload_len, "bit-vector payload")
+    return pos
 
 
 def decode_chunk(data: bytes | bytearray | memoryview) -> JsonChunk:

@@ -23,7 +23,16 @@ class CatalogError(KeyError):
 
 @dataclass
 class TableEntry:
-    """One queryable table."""
+    """One queryable table.
+
+    A table is normally *sealed*: its file list and sideline are fixed
+    until the next load session.  During a streaming load the owning
+    server instead drives the entry in **snapshot-scan mode**
+    (:meth:`apply_snapshot`): the scanned files become the sealed-so-far
+    Parquet parts of an in-flight ingest and the sideline is replaced by
+    a bounded loaded-so-far view, so the engine answers queries against a
+    consistent prefix of the stream while loading continues.
+    """
 
     name: str
     parquet_paths: List[Path] = field(default_factory=list)
@@ -31,6 +40,14 @@ class TableEntry:
     #: Pushed-down clause → predicate id (empty when nothing was pushed).
     pushdown: Dict[Clause, int] = field(default_factory=dict)
     _readers: Optional[List[ParquetLiteReader]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Snapshot-scan mode state: the sideline view queries should scan
+    #: instead of ``side_store``, and the snapshot version it came from.
+    _snapshot_side: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+    _snapshot_version: Optional[int] = field(
         default=None, repr=False, compare=False
     )
 
@@ -61,13 +78,49 @@ class TableEntry:
         """Predicate id for *clause* if it was pushed down."""
         return self.pushdown.get(clause)
 
+    # ------------------------------------------------------------------
+    # Snapshot-scan mode
+    # ------------------------------------------------------------------
+    def apply_snapshot(self, version: int, parquet_paths: List[Path],
+                       side_view: Optional[object]) -> None:
+        """Point queries at a loaded-so-far snapshot of an in-flight load.
+
+        *version* is the snapshot's monotonic change counter: reapplying
+        an unchanged version is a no-op, so cached readers survive across
+        queries between ingest progress.  Sealed snapshot parts are
+        immutable, which is what makes caching them safe.
+        """
+        if self._snapshot_version == version:
+            return
+        self.invalidate()
+        self.parquet_paths = [Path(p) for p in parquet_paths]
+        self._snapshot_side = side_view
+        self._snapshot_version = version
+
+    def clear_snapshot(self) -> None:
+        """Leave snapshot-scan mode (the load finalized or was reset)."""
+        if self._snapshot_version is not None:
+            self.invalidate()
+            self._snapshot_side = None
+            self._snapshot_version = None
+
+    @property
+    def in_snapshot_mode(self) -> bool:
+        """True while queries scan a mid-load snapshot view."""
+        return self._snapshot_version is not None
+
+    @property
+    def scan_side_store(self):
+        """The sideline queries should scan: snapshot view or the store."""
+        if self._snapshot_version is not None:
+            return self._snapshot_side
+        return self.side_store
+
     @property
     def has_sideline(self) -> bool:
         """True if a (non-empty) raw sideline exists for this table."""
-        return (
-            self.side_store is not None
-            and self.side_store.record_count > 0
-        )
+        store = self.scan_side_store
+        return store is not None and store.record_count > 0
 
 
 class Catalog:

@@ -165,7 +165,12 @@ class SkippingScan(Operator):
 
 
 class SidelineScan(Operator):
-    """Just-in-time parse-and-scan of the raw JSON sideline store."""
+    """Just-in-time parse-and-scan of the raw JSON sideline store.
+
+    Accepts anything with the store's read interface (``iter_parsed`` +
+    ``path``) — in particular the bounded loaded-so-far views snapshot
+    queries scan during a streaming ingest.
+    """
 
     def __init__(self, store: JsonSideStore):
         self._store = store

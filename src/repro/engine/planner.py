@@ -87,7 +87,7 @@ def plan_query(parsed: ParsedQuery, table: TableEntry
                                      prune=prune))
         if table.has_sideline:
             info.scans_sideline = True
-            scans.append(SidelineScan(table.side_store))
+            scans.append(SidelineScan(table.scan_side_store))
     if not scans:
         # Empty table: an empty parquet scan equivalent.
         scans.append(_EmptyScan())

@@ -4,7 +4,11 @@ and the CIAO server facade."""
 from .ciao import CiaoServer, ServerConfig
 from .ingest import EagerLoader
 from .loader import ClientAssistedLoader, LoadReport, LoadSummary
-from .pipeline import IngestPipelineError, ShardedIngestPipeline
+from .pipeline import (
+    IngestPipelineError,
+    LoadSnapshot,
+    ShardedIngestPipeline,
+)
 from .skipping import (
     SkippingEstimate,
     estimate_skipping,
@@ -19,6 +23,7 @@ __all__ = [
     "EagerLoader",
     "IngestPipelineError",
     "LoadReport",
+    "LoadSnapshot",
     "LoadSummary",
     "ServerConfig",
     "ShardedIngestPipeline",

@@ -7,7 +7,9 @@ Wires the whole server side together (Fig. 1, right):
 * ingests encoded chunks from a channel — or :class:`JsonChunk` objects
   directly — through the client-assisted loader;
 * registers the loaded table in a catalog and answers SQL through the mini
-  engine, with bit-vector skipping planned automatically.
+  engine, with bit-vector skipping planned automatically — for sharded
+  servers even *while* loading, against a consistent loaded-so-far
+  snapshot of the ingest stream.
 
 Partial-loading policy (``partial_loading='auto'``): enabled iff the plan
 covers every query of the prospective workload, i.e. each query has at
@@ -20,27 +22,35 @@ queries.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
-from ..client.protocol import decode_chunk
+from ..client.protocol import decode_chunk, decode_chunk_stream, split_frames
 from ..core.optimizer import PushdownPlan
 from ..core.predicates import Query, Workload
 from ..engine.catalog import Catalog, TableEntry
 from ..engine.executor import Executor, QueryResult
 from ..rawjson.chunks import JsonChunk
 from ..simulate.network import Channel
-from ..storage.jsonstore import JsonSideStore
+from ..storage.jsonstore import CompositeSidelineView, JsonSideStore
 from ..storage.schema import Schema
 from .loader import ClientAssistedLoader, LoadSummary
-from .pipeline import ShardedIngestPipeline
+from .pipeline import DEFAULT_SEAL_INTERVAL, ShardedIngestPipeline
+
+_SHARD_MODES = ("process", "thread")
+_DISPATCH_MODES = ("work-stealing", "round-robin")
 
 
 @dataclass
 class ServerConfig:
-    """Construction options for :class:`CiaoServer`."""
+    """Construction options for :class:`CiaoServer`.
+
+    Consume with :meth:`CiaoServer.from_config`, which forwards every
+    field; the plan and prospective workload stay separate arguments
+    because they are produced per session by the optimizer, not part of
+    deployment configuration.
+    """
 
     data_dir: Path
     table_name: str = "t"
@@ -48,6 +58,8 @@ class ServerConfig:
     schema: Optional[Schema] = None
     n_shards: int = 1
     shard_mode: str = "process"  # 'process' | 'thread'
+    dispatch: str = "work-stealing"  # 'work-stealing' | 'round-robin'
+    seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL
 
 
 class CiaoServer:
@@ -55,10 +67,19 @@ class CiaoServer:
 
     With ``n_shards > 1`` ingestion runs through a
     :class:`~repro.server.pipeline.ShardedIngestPipeline`: encoded chunks
-    are fanned across shard workers (decode + parse + write each) and the
-    shard outputs are merged into the catalog at :meth:`finalize_loading`.
-    Query results are identical to serial ingest; ``load_summary`` is only
-    complete once loading has finalized in that mode.
+    are fanned across shard workers (decode + parse + write each, pulled
+    from a shared work-stealing deque by default) and the shard outputs
+    are merged into the catalog at :meth:`finalize_loading`.  Query
+    results are identical to serial ingest.
+
+    Lifecycle: a server starts in state ``"loading"`` and moves to
+    ``"finalized"`` at :meth:`finalize_loading`; ingesting into a
+    finalized server raises ``RuntimeError`` (its storage is sealed — a
+    new server/session is needed to load more data).  Sharded servers are
+    queryable *while* loading: :meth:`query` scans a consistent
+    loaded-so-far snapshot (sealed shard parts + sideline watermarks),
+    matching serial ingest of exactly the covered chunks.  ``load_summary``
+    is only complete once loading has finalized in sharded mode.
     """
 
     def __init__(self, data_dir: str | Path,
@@ -68,7 +89,19 @@ class CiaoServer:
                  partial_loading: str = "auto",
                  schema: Optional[Schema] = None,
                  n_shards: int = 1,
-                 shard_mode: str = "process"):
+                 shard_mode: str = "process",
+                 dispatch: str = "work-stealing",
+                 seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL):
+        if shard_mode not in _SHARD_MODES:
+            raise ValueError(
+                f"shard_mode must be one of {_SHARD_MODES}, "
+                f"got {shard_mode!r}"
+            )
+        if dispatch not in _DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {_DISPATCH_MODES}, "
+                f"got {dispatch!r}"
+            )
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.plan = plan
@@ -93,6 +126,8 @@ class CiaoServer:
                 schema=schema,
                 required_predicate_ids=required_ids,
                 mode=shard_mode,
+                dispatch=dispatch,
+                seal_interval=seal_interval,
             )
         else:
             self._loader = ClientAssistedLoader(
@@ -116,6 +151,33 @@ class CiaoServer:
         self._executor = Executor(self.catalog)
         self._loading_finalized = False
 
+    @classmethod
+    def from_config(cls, config: ServerConfig,
+                    plan: Optional[PushdownPlan] = None,
+                    workload: Optional[Workload] = None) -> "CiaoServer":
+        """Build a server from a :class:`ServerConfig`.
+
+        The optional *plan*/*workload* are the per-session optimizer
+        outputs; everything else comes from the config.
+        """
+        return cls(
+            config.data_dir,
+            plan=plan,
+            workload=workload,
+            table_name=config.table_name,
+            partial_loading=config.partial_loading,
+            schema=config.schema,
+            n_shards=config.n_shards,
+            shard_mode=config.shard_mode,
+            dispatch=config.dispatch,
+            seal_interval=config.seal_interval,
+        )
+
+    @property
+    def state(self) -> str:
+        """Explicit lifecycle state: ``"loading"`` or ``"finalized"``."""
+        return "finalized" if self._loading_finalized else "loading"
+
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
@@ -123,22 +185,58 @@ class CiaoServer:
         """Ingest one chunk (decoded or wire-encoded).
 
         Sharded servers forward encoded payloads verbatim — the shard
-        worker decodes them off the submitting thread.
+        worker decodes them off the submitting thread.  Encoded payloads
+        may carry several batched frames
+        (:func:`repro.client.protocol.encode_frame_batch`); each frame is
+        ingested as its own chunk.
+
+        Raises ``RuntimeError`` once the server is finalized: storage is
+        sealed at that point, so feeding it more data would be silently
+        lost — start a new server/session instead.
         """
+        self._check_loading("ingest")
+        if not isinstance(chunk, (bytes, bytearray, memoryview)):
+            self._ingest_one(chunk)
+            return
+        if self._pipeline is not None:
+            for frame in split_frames(chunk):
+                self._pipeline.submit(frame)
+            return
+        for decoded in decode_chunk_stream(chunk):
+            self._loader.ingest(decoded)
+
+    def _ingest_one(self, chunk: JsonChunk) -> None:
         if self._pipeline is not None:
             self._pipeline.submit(chunk)
-            return
-        if isinstance(chunk, (bytes, bytearray)):
-            chunk = decode_chunk(bytes(chunk))
-        self._loader.ingest(chunk)
+        else:
+            self._loader.ingest(chunk)
 
     def ingest_channel(self, channel: Channel) -> int:
-        """Drain a channel; returns the number of chunks ingested."""
+        """Drain a channel; returns the number of chunk frames ingested.
+
+        Batched messages (``Channel.send_batch``) are split back into
+        individual chunk frames, so the count is chunks, not messages.
+        Frames coming off ``drain_chunks`` are already split, so they go
+        straight to the loader/pipeline without :meth:`ingest`'s re-split
+        (each split walks the frame header).
+        """
+        self._check_loading("ingest_channel")
         count = 0
-        for payload in channel.drain():
-            self.ingest(payload)
+        for frame in channel.drain_chunks():
+            if self._pipeline is not None:
+                self._pipeline.submit(frame)
+            else:
+                self._loader.ingest(decode_chunk(frame))
             count += 1
         return count
+
+    def _check_loading(self, operation: str) -> None:
+        if self._loading_finalized:
+            raise RuntimeError(
+                f"{operation}() on a finalized server: loading sealed at "
+                f"finalize_loading(); create a new server/session to load "
+                f"more data into table {self.table_name!r}"
+            )
 
     def finalize_loading(self) -> LoadSummary:
         """Seal storage and make the table queryable; idempotent.
@@ -154,6 +252,7 @@ class CiaoServer:
             summary = self._loader.finalize()
             parquet_paths = self._loader.parquet_paths
         if not self._loading_finalized:
+            self._table.clear_snapshot()
             self._table.parquet_paths = list(parquet_paths)
             self._table.invalidate()
             self._loading_finalized = True
@@ -163,10 +262,16 @@ class CiaoServer:
     def load_summary(self) -> LoadSummary:
         """Loading statistics so far.
 
-        In sharded mode the per-chunk reports only arrive at the merge, so
-        this is empty until :meth:`finalize_loading` has run.
+        Mid-load a sharded-streaming server reports the chunks covered by
+        the current snapshot (the same view queries see); once finalized,
+        the complete merged summary.  With streaming disabled
+        (``seal_interval=None``) the sharded summary stays empty until
+        :meth:`finalize_loading` has run.
         """
         if self._pipeline is not None:
+            if (not self._loading_finalized
+                    and self._pipeline.seal_interval is not None):
+                return self._pipeline.snapshot().summary
             return self._pipeline.summary
         return self._loader.summary
 
@@ -174,10 +279,48 @@ class CiaoServer:
     # Querying
     # ------------------------------------------------------------------
     def query(self, sql: str) -> QueryResult:
-        """Execute one SQL statement against the loaded table."""
+        """Execute one SQL statement against the loaded table.
+
+        Sharded servers answer queries **while loading**: the statement
+        runs against a consistent loaded-so-far snapshot (sealed shard
+        parts plus per-shard sideline watermarks), so results equal serial
+        ingest of exactly the chunks covered so far — no auto-finalize,
+        and ingestion keeps running.  Serial (``n_shards=1``) servers —
+        and sharded servers with streaming disabled
+        (``seal_interval=None``) — keep the historical convenience
+        behavior: the first query finalizes loading, because without
+        sealed parts there is nothing consistent to scan mid-load.  Call
+        :meth:`finalize_loading` explicitly to seal either kind.
+        """
         if not self._loading_finalized:
-            self.finalize_loading()
+            if (self._pipeline is not None
+                    and self._pipeline.seal_interval is not None):
+                self._refresh_snapshot()
+            else:
+                self.finalize_loading()
         return self._executor.execute(sql)
+
+    def _refresh_snapshot(self) -> None:
+        """Point the table at the pipeline's latest loaded-so-far view."""
+        snap = self._pipeline.snapshot()
+        self._table.apply_snapshot(
+            snap.version,
+            snap.parquet_paths,
+            CompositeSidelineView(self._side_store.path,
+                                  snap.sideline_views),
+        )
+
+    def quiesce(self, timeout: float = 30.0) -> None:
+        """Wait until every ingested chunk is visible to queries.
+
+        Useful to make "query the prefix ingested so far" deterministic
+        in tests and benchmarks.  A serial server is always caught up; a
+        sharded server with streaming disabled (``seal_interval=None``)
+        cannot expose mid-load state, so quiescing it raises
+        ``RuntimeError`` (finalize instead).
+        """
+        if self._pipeline is not None and not self._loading_finalized:
+            self._pipeline.quiesce(timeout)
 
     def run_workload(self, queries: Iterable[Query]
                      ) -> List[QueryResult]:

@@ -194,11 +194,35 @@ class ClientAssistedLoader:
         self.summary.add(report)
         return report
 
+    def seal_part(self) -> None:
+        """Close the currently open Parquet part, making it readable.
+
+        The loader keeps accepting chunks: the next loaded chunk opens a
+        fresh ``.partN`` file.  This is what lets streaming readers scan a
+        consistent loaded-so-far view while ingestion continues — a sealed
+        part has its footer written and is immutable from then on.
+        No-op when no part is open.
+        """
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    @property
+    def sealed_paths(self) -> List[Path]:
+        """Parquet parts already sealed (footer written, safe to read).
+
+        Excludes the part currently being written, if any.
+        """
+        if self._writer is None:
+            return list(self.parquet_paths)
+        return [p for p in self.parquet_paths if p != self._writer.path]
+
     def finalize(self) -> LoadSummary:
         """Seal the Parquet-lite file; idempotent."""
         if not self._finalized:
             if self._writer is not None:
                 self._writer.close()
+                self._writer = None
             self._finalized = True
         return self.summary
 

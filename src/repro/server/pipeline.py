@@ -1,17 +1,24 @@
-"""Sharded, pipelined ingest: N loaders fed round-robin, merged at finalize.
+"""Sharded, pipelined ingest with streaming snapshots and work stealing.
 
 One :class:`~repro.server.loader.ClientAssistedLoader` is strictly serial —
 decode, parse, and write happen on the caller's thread, so a server draining
 many client channels leaves every other core idle and the expensive JSON
 parse on the critical path.  This module fans that work out (Fig. 1's server
-box, scaled horizontally):
+box, scaled horizontally) and, unlike the paper's load-then-query lifecycle,
+keeps the table queryable *while* loading:
 
 Architecture::
 
-    submit(payload) ──round-robin──▶ shard 0 queue ─▶ worker 0 ┐
-                                     shard 1 queue ─▶ worker 1 ├─ finalize()
-                                     ...                       │  merges into
-                                     shard N queue ─▶ worker N ┘  the catalog
+    submit(payload) ──▶ shared work deque ─▶ worker 0 (local queue) ┐
+                        (work stealing:      worker 1 (local queue) ├─▶
+                        idle workers pull    ...                    │
+                        the oldest chunk)    worker N (local queue) ┘
+                             │                        │
+                             │        seal part every K chunks / on idle,
+                             │        publish (sealed parts, sideline
+                             │        watermark, per-chunk reports)
+                             ▼                        ▼
+                        snapshot() ◀──lock-protected merge──  finalize()
 
 * **Shard workers.**  Each worker owns a private
   :class:`ClientAssistedLoader` writing shard-local Parquet-lite parts
@@ -20,10 +27,28 @@ Architecture::
   (:func:`repro.client.protocol.decode_chunk` walks a zero-copy
   ``memoryview`` cursor), so the submitting thread does no per-chunk work
   beyond a queue put.
-* **Round-robin assignment.**  Chunk *k* (by submission order) goes to shard
-  ``k % n_shards``.  The mapping is deterministic, so a given input stream
-  always produces the same shard files — the shard-equivalence tests rely
-  on this.
+* **Work-stealing dispatch** (``dispatch="work-stealing"``, the default).
+  Chunks go into one shared deque; each worker pulls the oldest pending
+  chunk (grabbing a small local batch to amortize queue traffic) whenever
+  it runs dry.  Skewed chunk sizes therefore spread across shards instead
+  of serializing on whichever shard round-robin happened to hand the big
+  chunks to.  Which shard processes which chunk is timing-dependent, but
+  everything the equivalence tests observe is assignment-invariant: merged
+  reports are re-ordered by submission sequence, and the engine scans a
+  table as the unordered union of its Parquet parts plus sideline.
+  ``dispatch="round-robin"`` restores the old deterministic mapping (chunk
+  *k* → shard ``k % n_shards``, reproducible shard files) for layout tests
+  and as the bench baseline.
+* **Streaming snapshots** (``seal_interval``).  Workers seal their current
+  Parquet part every *seal_interval* chunks and whenever their queue goes
+  idle, then publish ``(sealed part paths, sideline record watermark,
+  per-chunk reports)``.  :meth:`snapshot` merges those publications under a
+  lock into a :class:`LoadSnapshot` — a consistent loaded-so-far view the
+  query engine can scan mid-load: every covered chunk has *all* its rows
+  either in a sealed part or below the sideline watermark, exactly as
+  serial ingest of those chunks would have placed them.  ``seal_interval=
+  None`` disables sealing/publishing (legacy batch behavior, deterministic
+  part layout under round-robin).
 * **Merge at finalize.**  :meth:`finalize` seals every shard loader, then
   merges the shard outputs: Parquet parts are concatenated in shard order
   into one path list for the catalog, shard sidelines are folded into the
@@ -37,14 +62,12 @@ its loader's invariants (``received == loaded + sidelined + malformed``
 per chunk, malformed records quarantined raw in the sideline), and the
 engine already scans a table as the union of its Parquet parts plus the
 side store — so query results match serial ingest exactly; only row-group
-*order* across files differs (grouped by shard instead of interleaved),
-which no aggregate observes.
+*order* across files differs, which no aggregate observes.
 
 Execution modes: ``mode="process"`` (default) forks one worker process per
 shard — under CPython's GIL this is the only way decode+parse actually runs
 in parallel; ``mode="thread"`` runs workers as daemon threads in-process,
-which keeps tests fast and deterministic and would parallelize on
-free-threaded builds.
+which keeps tests fast and would parallelize on free-threaded builds.
 """
 
 from __future__ import annotations
@@ -52,22 +75,77 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import threading
+import time
 import traceback
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..client.protocol import decode_chunk
 from ..rawjson.chunks import JsonChunk
-from ..storage.jsonstore import JsonSideStore
+from ..storage.jsonstore import JsonSideStore, SidelineView
 from ..storage.schema import Schema
 from .loader import ClientAssistedLoader, LoadReport, LoadSummary
 
 #: Bounded per-shard queue depth: backpressure instead of unbounded RAM.
 DEFAULT_QUEUE_DEPTH = 64
 
+#: Chunks a worker ingests between part seals when streaming is on.
+DEFAULT_SEAL_INTERVAL = 8
+
+#: How long a worker blocks on its queue before treating itself as idle
+#: (idle workers seal + publish so snapshots converge to "everything
+#: submitted" as soon as the submitter pauses).
+_IDLE_POLL_SECONDS = 0.05
+
+#: Extra chunks a worker pulls in one shared-deque visit (work stealing).
+_GRAB_BATCH = 4
+
+#: How long finalize() keeps waiting on silent surviving workers after a
+#: sibling died under work-stealing dispatch.  A killed process can take
+#: the shared queue's reader lock with it, leaving survivors polling an
+#: unreadable queue forever — after this grace they are abandoned (the
+#: load already failed) instead of hanging finalize.
+_ABANDON_GRACE_SECONDS = 5.0
+
 
 class IngestPipelineError(RuntimeError):
     """One or more shard workers failed during a parallel load."""
+
+
+@dataclass
+class LoadSnapshot:
+    """A consistent loaded-so-far view of an in-flight sharded load.
+
+    Attributes:
+        version: Monotonic change counter — equal versions mean an
+            identical view, so readers can cache derived state.
+        parquet_paths: Sealed (immutable, footer-written) Parquet-lite
+            parts, shard-major order.
+        sideline_views: Per-shard prefix views of the shard sideline
+            files, bounded at each shard's published watermark.
+        summary: Merged accounting for exactly the covered chunks, with
+            reports in submission order — what serial ingest of those
+            chunks would report (modulo wall time).
+        submitted: Chunks submitted to the pipeline when the snapshot was
+            taken; ``submitted - summary.chunks`` are still in flight.
+    """
+
+    version: int
+    parquet_paths: List[Path] = field(default_factory=list)
+    sideline_views: List[SidelineView] = field(default_factory=list)
+    summary: LoadSummary = field(default_factory=LoadSummary)
+    submitted: int = 0
+
+    @property
+    def chunks(self) -> int:
+        """Number of chunks covered by this snapshot."""
+        return self.summary.chunks
+
+    @property
+    def complete(self) -> bool:
+        """True when every submitted chunk is covered."""
+        return self.summary.chunks == self.submitted
 
 
 def _run_shard(shard_id: int,
@@ -77,17 +155,42 @@ def _run_shard(shard_id: int,
                sideline_path: str,
                partial_loading: bool,
                schema: Optional[Schema],
-               required_ids: Optional[frozenset]) -> None:
+               required_ids: Optional[frozenset],
+               seal_interval: Optional[int]) -> None:
     """Shard worker loop: decode + parse + write until the sentinel.
 
     Module-level so process mode can spawn it.  On failure the worker keeps
     draining its queue (a bounded queue with a dead consumer would deadlock
     the submitter) and reports the error at shutdown.
+
+    With *seal_interval* set the worker periodically seals its current
+    Parquet part and publishes a ``("progress", shard_id, new_paths,
+    sideline_watermark, new_reports)`` message carrying only what was
+    sealed/ingested *since its last publication* (the sideline watermark
+    is absolute but O(1)).  Deltas keep streaming IPC linear in load
+    size; the merge can simply append because the out-queue preserves
+    each producer's message order.  The terminal ``"done"`` message
+    carries the full final state and supersedes all progress.
     """
     error: Optional[str] = None
     reports: List[Tuple[int, LoadReport]] = []
-    paths: List[str] = []
+    unpublished = 0
+    published_paths = 0
+    published_reports = 0
     loader: Optional[ClientAssistedLoader] = None
+    side: Optional[JsonSideStore] = None
+
+    def fail(what: str) -> str:
+        """Record the first error and announce it eagerly.
+
+        The non-terminal ``"failing"`` message lets snapshot()/quiesce()
+        surface the real cause immediately instead of timing out while
+        the worker keeps draining its queue until the stop sentinel.
+        """
+        message = f"shard {shard_id} {what}:\n{traceback.format_exc()}"
+        out_queue.put(("failing", shard_id, message))
+        return message
+
     try:
         side = JsonSideStore(sideline_path)
         loader = ClientAssistedLoader(
@@ -98,18 +201,30 @@ def _run_shard(shard_id: int,
             required_predicate_ids=required_ids,
         )
     except Exception:
-        error = (
-            f"shard {shard_id} failed to initialize:\n"
-            f"{traceback.format_exc()}"
-        )
-    # The drain loop must run no matter what happened above: a bounded
-    # queue with a dead consumer would block submit() forever.
-    while True:
-        item = in_queue.get()
-        if item is None:
-            break
+        error = fail("failed to initialize")
+
+    def publish() -> None:
+        """Seal the open part and post what's new since the last publish."""
+        nonlocal unpublished, published_paths, published_reports
+        loader.seal_part()
+        # sealed_paths only ever grows at the tail (parts are opened and
+        # sealed in order), so a slice is the delta.
+        sealed = loader.sealed_paths
+        out_queue.put((
+            "progress",
+            shard_id,
+            [str(p) for p in sealed[published_paths:]],
+            side.record_count,
+            list(reports[published_reports:]),
+        ))
+        published_paths = len(sealed)
+        published_reports = len(reports)
+        unpublished = 0
+
+    def process(item) -> None:
+        nonlocal error, unpublished
         if error is not None:
-            continue
+            return
         seq, payload = item
         try:
             if isinstance(payload, (bytes, bytearray)):
@@ -117,25 +232,59 @@ def _run_shard(shard_id: int,
             else:
                 chunk = payload
             reports.append((seq, loader.ingest(chunk)))
+            unpublished += 1
+            if seal_interval is not None and unpublished >= seal_interval:
+                publish()
         except Exception:
-            error = (
-                f"shard {shard_id} failed on chunk #{seq}:\n"
-                f"{traceback.format_exc()}"
-            )
+            error = fail(f"failed on chunk #{seq}")
+
+    # The drain loop must run no matter what happened above: a bounded
+    # queue with a dead consumer would block submit() forever.
+    stop = False
+    while not stop:
+        try:
+            item = in_queue.get(timeout=_IDLE_POLL_SECONDS)
+        except queue.Empty:
+            # Idle: everything handed to us so far becomes visible to
+            # readers, so a paused submitter sees a complete snapshot.
+            if seal_interval is not None and error is None and unpublished:
+                publish()
+            continue
+        if item is None:
+            break
+        process(item)
+        # Work stealing hands every worker the same shared deque; grab a
+        # small batch per visit to amortize queue synchronization.  A
+        # sentinel found mid-batch goes back — each worker must consume
+        # exactly one so its peers also stop.
+        grabbed = []
+        try:
+            while len(grabbed) < _GRAB_BATCH - 1:
+                extra = in_queue.get_nowait()
+                if extra is None:
+                    in_queue.put(None)
+                    stop = True
+                    break
+                grabbed.append(extra)
+        except queue.Empty:
+            pass
+        for extra in grabbed:
+            process(extra)
+    paths: List[str] = []
     try:
         if loader is not None:
             loader.finalize()
             paths = [str(p) for p in loader.parquet_paths]
     except Exception:
         if error is None:
-            error = (
-                f"shard {shard_id} failed to finalize:\n"
-                f"{traceback.format_exc()}"
-            )
+            error = fail("failed to finalize")
     if error is not None:
         out_queue.put(("error", shard_id, error))
     else:
-        out_queue.put(("done", shard_id, paths, reports))
+        out_queue.put((
+            "done", shard_id, paths, list(reports),
+            side.record_count if side is not None else 0,
+        ))
 
 
 class ShardedIngestPipeline:
@@ -151,7 +300,14 @@ class ShardedIngestPipeline:
         partial_loading / schema / required_predicate_ids: Forwarded to
             every shard's :class:`ClientAssistedLoader`.
         mode: ``"process"`` (parallel under the GIL) or ``"thread"``.
-        queue_depth: Bound of each shard's input queue (backpressure).
+        dispatch: ``"work-stealing"`` (shared deque, default) or
+            ``"round-robin"`` (chunk *k* → shard ``k % n_shards``,
+            deterministic shard files).
+        seal_interval: Chunks between streaming part seals; ``None``
+            disables mid-load snapshots.
+        queue_depth: Per-shard bound of the input queue(s) (backpressure);
+            the shared work-stealing deque is bounded at
+            ``queue_depth * n_shards``.
     """
 
     def __init__(self, parquet_path: str | Path,
@@ -161,6 +317,8 @@ class ShardedIngestPipeline:
                  schema: Optional[Schema] = None,
                  required_predicate_ids: Optional[Sequence[int]] = None,
                  mode: str = "process",
+                 dispatch: str = "work-stealing",
+                 seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -168,10 +326,21 @@ class ShardedIngestPipeline:
             raise ValueError(
                 f"mode must be 'process' or 'thread', got {mode!r}"
             )
+        if dispatch not in ("work-stealing", "round-robin"):
+            raise ValueError(
+                f"dispatch must be 'work-stealing' or 'round-robin', "
+                f"got {dispatch!r}"
+            )
+        if seal_interval is not None and seal_interval < 1:
+            raise ValueError(
+                f"seal_interval must be >= 1 or None, got {seal_interval}"
+            )
         self.parquet_path = Path(parquet_path)
         self.side_store = side_store
         self.n_shards = n_shards
         self.mode = mode
+        self.dispatch = dispatch
+        self.seal_interval = seal_interval
         self.summary = LoadSummary()
         self._seq = 0
         self._finalized = False
@@ -179,6 +348,16 @@ class ShardedIngestPipeline:
                                                        range(n_shards)]
         self._parquet_paths: List[Path] = []
         self._errors: List[str] = []
+        # Streaming snapshot state, guarded by _lock: the latest published
+        # per-shard (sealed paths, sideline watermark, reports) plus a
+        # version bumped on every observed change.
+        self._lock = threading.Lock()
+        self._progress: Dict[int, Tuple[List[Path], int,
+                                        List[Tuple[int, LoadReport]]]] = {}
+        self._final_reports: Dict[int, List[Tuple[int, LoadReport]]] = {}
+        self._terminal: set = set()
+        self._version = 0
+        self._snapshot_cache: Optional[LoadSnapshot] = None
 
         required = (
             frozenset(required_predicate_ids)
@@ -196,35 +375,46 @@ class ShardedIngestPipeline:
         ]
         if mode == "process":
             ctx = multiprocessing.get_context("fork")
-            self._out_queue = ctx.Queue()
-            self._in_queues = [ctx.Queue(maxsize=queue_depth)
-                               for _ in range(n_shards)]
-            self._workers = [
-                ctx.Process(
-                    target=_run_shard,
-                    args=(i, self._in_queues[i], self._out_queue,
-                          str(shard_parquet[i]), str(self._sideline_paths[i]),
-                          partial_loading, schema, required),
-                    daemon=True,
-                )
-                for i in range(n_shards)
-            ]
+            make_queue = ctx.Queue
+            make_worker = ctx.Process
         else:
-            self._out_queue = queue.Queue()
-            self._in_queues = [queue.Queue(maxsize=queue_depth)
+            ctx = None
+            make_queue = queue.Queue
+            make_worker = threading.Thread
+        self._out_queue = make_queue()
+        if dispatch == "round-robin":
+            self._in_queues = [make_queue(maxsize=queue_depth)
                                for _ in range(n_shards)]
-            self._workers = [
-                threading.Thread(
-                    target=_run_shard,
-                    args=(i, self._in_queues[i], self._out_queue,
-                          str(shard_parquet[i]), str(self._sideline_paths[i]),
-                          partial_loading, schema, required),
-                    daemon=True,
-                )
-                for i in range(n_shards)
-            ]
+        else:
+            shared = make_queue(maxsize=queue_depth * n_shards)
+            self._in_queues = [shared] * n_shards
+        self._workers = [
+            make_worker(
+                target=_run_shard,
+                args=(i, self._in_queues[i], self._out_queue,
+                      str(shard_parquet[i]), str(self._sideline_paths[i]),
+                      partial_loading, schema, required, seal_interval),
+                daemon=True,
+            )
+            for i in range(n_shards)
+        ]
         for worker in self._workers:
             worker.start()
+        if mode == "process":
+            # A pipeline abandoned before finalize (caller crashed) must
+            # not wedge interpreter exit: atexit joins each queue's feeder
+            # thread AFTER daemon workers are terminated, so a feeder
+            # still holding more buffered chunks than the pipe fits would
+            # block forever with nobody reading.  Cancel the join on the
+            # parent's input-queue copies only (post-fork, so workers
+            # still flush their own re-queued sentinels normally);
+            # finalize() never needs exit-time flushing — it waits for
+            # every worker's terminal message while they are alive.
+            seen = set()
+            for in_queue in self._in_queues:
+                if id(in_queue) not in seen:
+                    seen.add(id(in_queue))
+                    in_queue.cancel_join_thread()
 
     # ------------------------------------------------------------------
     def submit(self, payload: Union[JsonChunk, bytes, bytearray, memoryview]
@@ -233,7 +423,7 @@ class ShardedIngestPipeline:
 
         Encoded payloads are decoded *inside* the worker, keeping the
         submitting thread off the critical path.  Blocks when the target
-        shard's queue is full (backpressure).
+        queue is full (backpressure).
         """
         if self._finalized:
             raise RuntimeError("pipeline already finalized")
@@ -245,12 +435,145 @@ class ShardedIngestPipeline:
         return seq
 
     def drain_channel(self, channel) -> int:
-        """Submit every payload of a channel; returns the number submitted."""
+        """Submit every chunk frame of a channel; returns how many.
+
+        Batched messages (see :meth:`repro.simulate.network.Channel.
+        send_batch`) are split back into individual chunk frames, each
+        submitted — and therefore accounted — separately.
+        """
         count = 0
-        for payload in channel.drain():
+        for payload in channel.drain_chunks():
             self.submit(payload)
             count += 1
         return count
+
+    # ------------------------------------------------------------------
+    # Streaming snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> LoadSnapshot:
+        """The current consistent loaded-so-far view (lock-protected).
+
+        Merges any worker publications that arrived since the last call
+        and returns the covered state: sealed Parquet parts, per-shard
+        sideline views bounded at their watermarks, and a summary whose
+        reports are in submission order.  Chunks still in flight (or
+        sealed but not yet published) are simply absent — they appear in
+        a later snapshot.  Requires ``seal_interval`` (streaming) to be
+        enabled.  Raises :class:`IngestPipelineError` as soon as any
+        shard has reported a failure — a failed load has no trustworthy
+        loaded-so-far view.  The returned snapshot is cached until the
+        next publication arrives; treat it as read-only.
+        """
+        if self.seal_interval is None:
+            raise RuntimeError(
+                "streaming snapshots are disabled (seal_interval=None)"
+            )
+        with self._lock:
+            self._pump_messages()
+            if self._errors:
+                raise IngestPipelineError("\n".join(self._errors))
+            cached = self._snapshot_cache
+            if (cached is not None and cached.version == self._version
+                    and cached.submitted == self._seq):
+                return cached
+            paths = [
+                path
+                for shard_id in sorted(self._progress)
+                for path in self._progress[shard_id][0]
+            ]
+            views = [
+                SidelineView(self._sideline_paths[shard_id], watermark)
+                for shard_id in sorted(self._progress)
+                for watermark in (self._progress[shard_id][1],)
+                if watermark > 0
+            ]
+            ordered: List[Tuple[int, LoadReport]] = []
+            for shard_id in sorted(self._progress):
+                ordered.extend(self._progress[shard_id][2])
+            ordered.sort(key=lambda pair: pair[0])
+            summary = LoadSummary()
+            for _, report in ordered:
+                summary.add(report)
+            self._snapshot_cache = LoadSnapshot(
+                version=self._version,
+                parquet_paths=paths,
+                sideline_views=views,
+                summary=summary,
+                submitted=self._seq,
+            )
+            return self._snapshot_cache
+
+    def quiesce(self, timeout: float = 30.0) -> LoadSnapshot:
+        """Block until every submitted chunk is covered by a snapshot.
+
+        Workers seal + publish when their queue goes idle, so once the
+        submitter pauses the snapshot converges to the full submitted
+        stream within a few idle polls.  Raises :class:`TimeoutError`
+        after *timeout* seconds — e.g. when a shard died mid-load
+        (:meth:`finalize` surfaces the underlying error).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.snapshot()
+            if snap.complete:
+                return snap
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"pipeline did not quiesce within {timeout}s: "
+                    f"{snap.chunks}/{snap.submitted} chunks covered"
+                )
+            time.sleep(_IDLE_POLL_SECONDS / 2)
+
+    def _pump_messages(self, block_seconds: Optional[float] = None) -> bool:
+        """Drain pending out-queue messages into state; caller holds _lock.
+
+        Returns True if at least one message was handled.  With
+        *block_seconds* the first get blocks that long (used by
+        :meth:`finalize` while waiting on workers).
+        """
+        handled = False
+        block = block_seconds
+        while True:
+            try:
+                if block:
+                    message = self._out_queue.get(timeout=block)
+                    block = None
+                else:
+                    message = self._out_queue.get_nowait()
+            except queue.Empty:
+                return handled
+            handled = True
+            kind = message[0]
+            if kind == "progress":
+                _, shard_id, paths, watermark, reports = message
+                prev = self._progress.get(shard_id, ([], 0, []))
+                self._progress[shard_id] = (
+                    prev[0] + [Path(p) for p in paths],
+                    watermark,
+                    prev[2] + list(reports),
+                )
+                self._version += 1
+            elif kind == "failing":
+                # Eager (non-terminal) announcement of a shard error; the
+                # worker repeats the same text in its terminal message.
+                if message[2] not in self._errors:
+                    self._errors.append(message[2])
+            elif kind == "error":
+                if message[2] not in self._errors:
+                    self._errors.append(message[2])
+                self._terminal.add(message[1])
+            else:
+                _, shard_id, paths, reports, watermark = message
+                self._shard_parquet_paths[shard_id] = [
+                    Path(p) for p in paths
+                ]
+                # The final state supersedes any progress publication.
+                self._progress[shard_id] = (
+                    [Path(p) for p in paths], watermark, list(reports)
+                )
+                self._final_reports[shard_id] = list(reports)
+                self._version += 1
+                self._terminal.add(shard_id)
 
     # ------------------------------------------------------------------
     def finalize(self) -> LoadSummary:
@@ -265,51 +588,68 @@ class ShardedIngestPipeline:
                 raise IngestPipelineError("\n".join(self._errors))
             return self.summary
         self._finalized = True
-        for in_queue in self._in_queues:
-            in_queue.put(None)
-        ordered_reports: List[Tuple[int, LoadReport]] = []
-
-        def handle(message) -> int:
-            if message[0] == "error":
-                self._errors.append(message[2])
-                return message[1]
-            _, shard_id, paths, reports = message
-            self._shard_parquet_paths[shard_id] = [Path(p) for p in paths]
-            ordered_reports.extend(reports)
-            return shard_id
-
-        # Collect one result per shard, but never hang on a worker that
-        # died without posting (e.g. an OOM-killed process): poll with a
-        # timeout, and when a pending worker is no longer alive give its
-        # in-flight message one grace period before declaring it lost.
-        pending = set(range(self.n_shards))
-        while pending:
-            try:
-                pending.discard(handle(self._out_queue.get(timeout=0.5)))
-                continue
-            except queue.Empty:
-                pass
-            dead = [i for i in sorted(pending)
-                    if not self._workers[i].is_alive()]
-            if not dead:
-                continue
-            try:
-                pending.discard(handle(self._out_queue.get(timeout=0.5)))
-                continue  # a straggler message made it; keep collecting
-            except queue.Empty:
+        if self.dispatch == "round-robin":
+            for in_queue in self._in_queues:
+                in_queue.put(None)
+        else:
+            for _ in range(self.n_shards):
+                self._in_queues[0].put(None)
+        # Collect one terminal result per shard, but never hang on a
+        # worker that died without posting (e.g. an OOM-killed process):
+        # poll with a timeout, and when a pending worker is no longer
+        # alive give its in-flight message one grace period before
+        # declaring it lost.  Under work-stealing dispatch a killed
+        # worker may additionally have poisoned the shared queue (died
+        # holding its reader lock), leaving alive siblings unable to ever
+        # see their stop sentinel — once a death is recorded, survivors
+        # that stay silent past a grace period are abandoned too rather
+        # than waited on forever.
+        abandon_at: Optional[float] = None
+        while True:
+            with self._lock:
+                pending = set(range(self.n_shards)) - self._terminal
+                if not pending:
+                    break
+                if self._pump_messages(block_seconds=0.5):
+                    continue
+                dead = [i for i in sorted(pending)
+                        if not self._workers[i].is_alive()]
+                if dead and self._pump_messages(block_seconds=0.5):
+                    continue  # a straggler message made it; keep collecting
                 for shard_id in dead:
                     self._errors.append(
                         f"shard {shard_id} terminated without reporting "
                         f"a result"
                     )
-                    pending.discard(shard_id)
+                    self._terminal.add(shard_id)
+                if (dead and abandon_at is None
+                        and self.dispatch == "work-stealing"):
+                    abandon_at = time.monotonic() + _ABANDON_GRACE_SECONDS
+                if abandon_at is not None and \
+                        time.monotonic() >= abandon_at:
+                    stuck = sorted(
+                        set(range(self.n_shards)) - self._terminal
+                    )
+                    for shard_id in stuck:
+                        self._errors.append(
+                            f"shard {shard_id} abandoned: a sibling "
+                            f"worker died and may have poisoned the "
+                            f"shared work queue"
+                        )
+                        self._terminal.add(shard_id)
+                        worker = self._workers[shard_id]
+                        if hasattr(worker, "terminate"):
+                            worker.terminate()
         for worker in self._workers:
-            worker.join()
+            worker.join(timeout=5.0)
         # Merge: parquet parts in shard order, reports in submission order,
         # shard sidelines folded into the table's store (then removed).
         self._parquet_paths = [
             path for paths in self._shard_parquet_paths for path in paths
         ]
+        ordered_reports: List[Tuple[int, LoadReport]] = []
+        for reports in self._final_reports.values():
+            ordered_reports.extend(reports)
         ordered_reports.sort(key=lambda pair: pair[0])
         for _, report in ordered_reports:
             self.summary.add(report)

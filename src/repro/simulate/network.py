@@ -15,7 +15,7 @@ from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterable, Iterator, List, Optional
 
 
 @dataclass
@@ -46,6 +46,23 @@ class Channel(ABC):
     def send(self, payload: bytes) -> None:
         """Enqueue one message."""
 
+    def send_batch(self, payloads: Iterable[bytes]) -> None:
+        """Frame several encoded chunks into one message.
+
+        Chunk frames are self-delimiting, so the batch is their plain
+        concatenation; one queue put / spool file then carries many
+        chunks, amortizing per-message transport overhead.  Receivers
+        that care about chunk boundaries use :meth:`drain_chunks`, which
+        splits batches back apart; an empty batch sends nothing.
+        """
+        batch = bytearray()
+        for payload in payloads:
+            if not isinstance(payload, (bytes, bytearray, memoryview)):
+                raise TypeError("channels carry bytes")
+            batch += payload
+        if batch:
+            self.send(bytes(batch))
+
     @abstractmethod
     def receive(self) -> Optional[bytes]:
         """Dequeue the oldest message, or None if the channel is empty."""
@@ -57,6 +74,24 @@ class Channel(ABC):
             if payload is None:
                 return
             yield payload
+
+    def drain_chunks(self) -> Iterator[bytes]:
+        """Receive until empty, yielding individual chunk frames.
+
+        The inverse of :meth:`send_batch`: each received message is split
+        into its chunk frames (a single-chunk message yields itself), so
+        consumers see one chunk per iteration regardless of how the
+        sender framed them.  Only valid for channels carrying encoded
+        chunks.
+        """
+        # Imported lazily: the protocol module sits above the transport
+        # layer in the package graph, and channels stay payload-agnostic
+        # except for this one chunk-aware convenience.
+        from ..client.protocol import split_frames
+
+        for payload in self.drain():
+            for frame in split_frames(payload):
+                yield bytes(frame)
 
     def __len__(self) -> int:
         return self.pending()
@@ -104,9 +139,8 @@ class FileChannel(Channel):
         self._next_send = 0
         self._next_receive = 0
         # Resume counters from any existing spool (restart tolerance).
-        existing = sorted(self._dir.glob("*.msg"))
-        if existing:
-            numbers = [int(p.stem) for p in existing]
+        numbers = self._spool_numbers()
+        if numbers:
             self._next_receive = min(numbers)
             self._next_send = max(numbers) + 1
 
@@ -126,7 +160,16 @@ class FileChannel(Channel):
     def receive(self) -> Optional[bytes]:
         path = self._path(self._next_receive)
         if not path.exists():
-            return None
+            # A gap in the spool (e.g. a crashed consumer deleted one
+            # file out of order) must not stall the channel forever:
+            # skip forward to the oldest spool file that actually
+            # exists, if any.
+            numbers = self._spool_numbers()
+            later = [n for n in numbers if n > self._next_receive]
+            if not later:
+                return None
+            self._next_receive = min(later)
+            path = self._path(self._next_receive)
         payload = path.read_bytes()
         path.unlink()
         self._next_receive += 1
@@ -134,7 +177,17 @@ class FileChannel(Channel):
         return payload
 
     def pending(self) -> int:
-        return self._next_send - self._next_receive
+        # Counted from files actually on disk, not send/receive counters:
+        # a resumed spool with gaps would otherwise overcount messages
+        # that no longer exist.
+        return len(self._spool_numbers())
+
+    def _spool_numbers(self) -> List[int]:
+        """Message numbers of the spool files currently on disk."""
+        return [
+            int(p.stem) for p in self._dir.glob("*.msg")
+            if p.stem.isdigit()
+        ]
 
 
 @dataclass

@@ -112,3 +112,76 @@ class JsonSideStore:
         open(self.path, "w", encoding="utf-8").close()
         self._records = 0
         self._bytes = 0
+
+
+class SidelineView:
+    """Read-only view of the first *limit* records of a sideline file.
+
+    The streaming ingest pipeline publishes, per shard, a watermark of how
+    many sideline records were durably written when the shard last sealed a
+    Parquet part.  Reading only up to that watermark gives queries a
+    sideline view consistent with the sealed parts even while the shard
+    worker keeps appending — the store is append-only with a single
+    writer, so the first *limit* records never change.
+    """
+
+    def __init__(self, path: str | Path, limit: int):
+        if limit < 0:
+            raise ValueError("sideline view limit must be non-negative")
+        self.path = Path(path)
+        self.limit = limit
+
+    @property
+    def record_count(self) -> int:
+        return self.limit
+
+    def iter_raw(self) -> Iterator[Tuple[int, str]]:
+        """Yield the first *limit* (chunk_id, raw_record) pairs."""
+        if self.limit == 0 or not self.path.exists():
+            return
+        remaining = self.limit
+        with open(self.path, "r", encoding="utf-8") as f:
+            for line in f:
+                stripped = line.rstrip("\n")
+                if not stripped:
+                    continue
+                chunk_id, _, raw = stripped.partition("\t")
+                yield int(chunk_id), raw
+                remaining -= 1
+                if remaining == 0:
+                    return
+
+    def iter_parsed(self) -> Iterator[Dict[str, Any]]:
+        """Parse viewed records just in time; malformed lines are skipped."""
+        for _, raw in self.iter_raw():
+            value, ok = try_parse(raw)
+            if ok and isinstance(value, dict):
+                yield value
+
+
+class CompositeSidelineView:
+    """Several sideline views presented as one store-like object.
+
+    Used by snapshot-scan mode: during a sharded load each shard owns its
+    own sideline file, so a consistent loaded-so-far sideline is the union
+    of per-shard prefix views.  Exposes the read interface the engine's
+    ``SidelineScan`` needs (``record_count``/``iter_raw``/``iter_parsed``/
+    ``path``); ``path`` is the table's canonical sideline path, used only
+    for plan descriptions.
+    """
+
+    def __init__(self, path: str | Path, views: Iterable[SidelineView]):
+        self.path = Path(path)
+        self.views = list(views)
+
+    @property
+    def record_count(self) -> int:
+        return sum(view.record_count for view in self.views)
+
+    def iter_raw(self) -> Iterator[Tuple[int, str]]:
+        for view in self.views:
+            yield from view.iter_raw()
+
+    def iter_parsed(self) -> Iterator[Dict[str, Any]]:
+        for view in self.views:
+            yield from view.iter_parsed()

@@ -49,6 +49,23 @@ class TestProcess:
         assert len(decoded) == 10
         assert client.stats.bytes_sent == channel.stats.bytes_sent
 
+    def test_ship_batched_frames(self, plan):
+        client = SimulatedClient("c", plan=plan, chunk_size=10)
+        channel = MemoryChannel()
+        sent = client.ship(LINES, channel, batch_size=2)
+        assert sent == 3
+        # 3 chunks, batch_size=2 → 2 messages (2 + 1 frames).
+        assert channel.pending() == 2
+        frames = list(channel.drain_chunks())
+        assert len(frames) == 3
+        assert all(decode_chunk(f).records for f in frames)
+        assert client.stats.bytes_sent == channel.stats.bytes_sent
+
+    def test_ship_batch_size_validated(self, plan):
+        client = SimulatedClient("c", plan=plan)
+        with pytest.raises(ValueError):
+            client.ship(LINES, MemoryChannel(), batch_size=0)
+
 
 class TestBudgetAccounting:
     def test_budget_respected_normal_speed(self, plan):

@@ -81,3 +81,74 @@ class TestOverhead:
         chunk = sample_chunk(with_vectors=False)
         _, vector_bytes = bitvector_overhead(chunk)
         assert vector_bytes == 0
+
+
+class TestFrameBatching:
+    """encode_frame_batch / split_frames: self-delimiting frame batches."""
+
+    def payloads(self, n=4):
+        return [encode_chunk(sample_chunk(n=3 + i)) for i in range(n)]
+
+    def test_split_inverts_batch(self):
+        from repro.client import encode_frame_batch, split_frames
+
+        payloads = self.payloads()
+        batch = encode_frame_batch(payloads)
+        assert [bytes(f) for f in split_frames(batch)] == payloads
+
+    def test_batch_accepts_chunks_and_bytes(self):
+        from repro.client import encode_frame_batch, split_frames
+
+        chunk = sample_chunk()
+        batch = encode_frame_batch([chunk, encode_chunk(chunk)])
+        frames = list(split_frames(batch))
+        assert len(frames) == 2
+        assert bytes(frames[0]) == bytes(frames[1])
+
+    def test_batch_rejects_other_types(self):
+        from repro.client import encode_frame_batch
+
+        with pytest.raises(TypeError):
+            encode_frame_batch([42])
+
+    def test_single_frame_yields_itself(self):
+        from repro.client import split_frames
+
+        payload = encode_chunk(sample_chunk())
+        assert [bytes(f) for f in split_frames(payload)] == [payload]
+
+    def test_split_does_not_decode_records(self):
+        # split_frames must bound-check structure but not parse records:
+        # a frame whose records are not valid JSON still splits fine.
+        from repro.client import encode_frame_batch, split_frames
+
+        broken = JsonChunk(chunk_id=1, records=["{not json", "also not"])
+        batch = encode_frame_batch([broken, sample_chunk()])
+        assert len(list(split_frames(batch))) == 2
+
+    def test_split_raises_on_truncation(self):
+        from repro.client import encode_frame_batch, split_frames
+
+        batch = encode_frame_batch(self.payloads(2))
+        with pytest.raises(ProtocolError):
+            list(split_frames(batch[:-3]))
+
+    def test_split_raises_on_bad_magic(self):
+        from repro.client import split_frames
+
+        payload = encode_chunk(sample_chunk())
+        with pytest.raises(ProtocolError):
+            list(split_frames(payload + b"JUNK" + payload))
+
+    def test_stream_decode_matches_split_then_decode(self):
+        from repro.client import (
+            decode_chunk_stream,
+            encode_frame_batch,
+            split_frames,
+        )
+
+        payloads = self.payloads(3)
+        batch = encode_frame_batch(payloads)
+        streamed = [c.records for c in decode_chunk_stream(batch)]
+        split = [decode_chunk(f).records for f in split_frames(batch)]
+        assert streamed == split

@@ -145,12 +145,39 @@ class TestPipelineBehavior:
         assert summary.sidelined == 60
 
     def test_round_robin_assignment_is_deterministic(self, tmp_path):
-        pipeline, _ = self.make_pipeline(tmp_path, n_shards=2)
+        # Round-robin dispatch (with streaming seals off) still promises
+        # reproducible shard files; work-stealing trades that for load
+        # balance, so the layout contract is opt-in now.
+        pipeline, _ = self.make_pipeline(
+            tmp_path, n_shards=2, dispatch="round-robin", seal_interval=None
+        )
         for chunk in self.simple_chunks(n_chunks=4):
             pipeline.submit(chunk)
         pipeline.finalize()
         names = [p.name for p in pipeline.parquet_paths]
         assert names == ["t.shard0.part0.pql", "t.shard1.part0.pql"]
+
+    def test_work_stealing_covers_every_chunk_once(self, tmp_path):
+        pipeline, _ = self.make_pipeline(tmp_path, n_shards=2)
+        chunks = self.simple_chunks(n_chunks=8)
+        for chunk in chunks:
+            pipeline.submit(chunk)
+        summary = pipeline.finalize()
+        assert sorted(r.chunk_id for r in summary.reports) == [
+            c.chunk_id for c in chunks
+        ]
+        assert summary.received == sum(len(c.records) for c in chunks)
+
+    def test_invalid_dispatch_and_seal_interval(self, tmp_path):
+        side = JsonSideStore(tmp_path / "s.jsonl")
+        with pytest.raises(ValueError, match="dispatch"):
+            ShardedIngestPipeline(tmp_path / "t.pql", side, n_shards=2,
+                                  partial_loading=True, mode="thread",
+                                  dispatch="lottery")
+        with pytest.raises(ValueError, match="seal_interval"):
+            ShardedIngestPipeline(tmp_path / "t.pql", side, n_shards=2,
+                                  partial_loading=True, mode="thread",
+                                  seal_interval=0)
 
     def test_drain_channel(self, tmp_path):
         pipeline, _ = self.make_pipeline(tmp_path)
@@ -184,6 +211,21 @@ class TestPipelineBehavior:
         with pytest.raises(IngestPipelineError, match="shard"):
             pipeline.finalize()
         # And stays failed on repeat finalize.
+        with pytest.raises(IngestPipelineError):
+            pipeline.finalize()
+
+    def test_shard_error_surfaces_in_snapshot_fast(self, tmp_path):
+        # A corrupt payload must fail snapshot()/quiesce() promptly with
+        # the real cause, not burn the quiesce timeout.
+        import time as time_module
+
+        pipeline, _ = self.make_pipeline(tmp_path)
+        pipeline.submit(self.simple_chunks(n_chunks=1)[0])
+        pipeline.submit(b"CIA1 this is not a chunk")
+        start = time_module.monotonic()
+        with pytest.raises(IngestPipelineError, match="failed on chunk"):
+            pipeline.quiesce(timeout=30)
+        assert time_module.monotonic() - start < 10
         with pytest.raises(IngestPipelineError):
             pipeline.finalize()
 

@@ -57,6 +57,85 @@ class TestFileChannelPersistence:
         assert b.pending() == 1
         assert b.receive() == b"persisted"
 
+    def test_gap_is_skipped_not_stalled(self, tmp_path):
+        # A crashed consumer that deleted one file out of order must not
+        # wedge the channel on the missing number forever.
+        channel = FileChannel(tmp_path / "spool")
+        for i in range(4):
+            channel.send(b"m%d" % i)
+        (tmp_path / "spool" / "000000001.msg").unlink()
+        assert channel.receive() == b"m0"
+        assert channel.receive() == b"m2"
+        assert channel.receive() == b"m3"
+        assert channel.receive() is None
+
+    def test_pending_counts_files_on_disk(self, tmp_path):
+        channel = FileChannel(tmp_path / "spool")
+        for i in range(5):
+            channel.send(b"x%d" % i)
+        (tmp_path / "spool" / "000000002.msg").unlink()
+        # Not 5 (counter arithmetic): only 4 messages still exist.
+        assert channel.pending() == 4
+        resumed = FileChannel(tmp_path / "spool")
+        assert resumed.pending() == 4
+        assert len(list(resumed.drain())) == 4
+        assert resumed.pending() == 0
+
+    def test_resume_ignores_non_numeric_msg_files(self, tmp_path):
+        spool = tmp_path / "spool"
+        channel = FileChannel(spool)
+        channel.send(b"real")
+        (spool / "notes.msg").write_bytes(b"junk someone dropped here")
+        resumed = FileChannel(spool)
+        assert resumed.pending() == 1
+        assert resumed.receive() == b"real"
+
+
+class TestBatchedFraming:
+    """send_batch/drain_chunks round chunk frames through one message."""
+
+    def frames(self):
+        from repro.client import encode_chunk
+        from repro.rawjson import JsonChunk, dump_record
+
+        return [
+            encode_chunk(JsonChunk(i, [dump_record({"v": i})]))
+            for i in range(5)
+        ]
+
+    @pytest.mark.parametrize("make_channel", [
+        lambda tmp: MemoryChannel(),
+        lambda tmp: FileChannel(tmp / "spool"),
+    ])
+    def test_round_trip(self, tmp_path, make_channel):
+        frames = self.frames()
+        channel = make_channel(tmp_path)
+        channel.send_batch(frames[:3])
+        channel.send(frames[3])
+        channel.send_batch(frames[4:])
+        # 3 messages on the wire, 5 chunk frames delivered.
+        assert channel.stats.messages_sent == 3
+        assert channel.stats.bytes_sent == sum(len(f) for f in frames)
+        assert list(channel.drain_chunks()) == frames
+
+    def test_empty_batch_sends_nothing(self, tmp_path):
+        channel = MemoryChannel()
+        channel.send_batch([])
+        assert channel.pending() == 0
+        assert channel.stats.messages_sent == 0
+
+    def test_batch_type_checked(self, tmp_path):
+        channel = MemoryChannel()
+        with pytest.raises(TypeError):
+            channel.send_batch(["not bytes"])
+
+    def test_drain_chunks_passes_single_frames_through(self, tmp_path):
+        frames = self.frames()
+        channel = MemoryChannel()
+        for frame in frames:
+            channel.send(frame)
+        assert list(channel.drain_chunks()) == frames
+
 
 class TestLinkModel:
     def test_transfer_time(self):
