@@ -1,0 +1,199 @@
+"""Coordinated fleet loading vs 1-client loading, plus straggler recovery.
+
+Three claims are measured:
+
+1. **Fleet equivalence** — an 8-client heterogeneous fleet (Table IV
+   hardware profiles, Zipf-skewed data shares, per-client budget
+   allocation) produces query results *identical* to serial single-client
+   ingest of the same records.  Asserted unconditionally.
+2. **Straggler recovery** — the same fleet with one client killed
+   mid-load still completes with zero record loss
+   (``received == loaded + sidelined + malformed == all records``) and
+   identical query results; survivors absorb the dead client's remaining
+   partition.  Asserted unconditionally.
+3. **Concurrency speedup** — the fleet (client workers shipping
+   concurrently into a 4-shard fork-process pipeline) must beat 1-client
+   serial loading by ≥1.5× wall-clock.  Like the other parallel benches
+   this is *core-gated*: on fewer than 4 usable cores the fleet cannot
+   parallelize, so the bench only guards a no-pathological-overhead floor
+   and reports the measured ratio.  Override with
+   ``REPRO_BENCH_MIN_FLEET_SPEEDUP`` (a float) to pin it in CI.
+
+Chunk framing is batched (``batch_size=DEFAULT_SHIP_BATCH``) per the
+measured amortization win — see ``bench_parallel_ingest.py`` and
+``benchmarks/results/batched_framing.txt``.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_fleet_loading.py``
+(set ``REPRO_BENCH_SMOKE=1`` for a <60 s smoke configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.bench import emit, fleet_table
+from repro.client import DEFAULT_SHIP_BATCH, SimulatedClient
+from repro.core import (
+    Budget,
+    CiaoOptimizer,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+)
+from repro.data import make_generator
+from repro.fleet import ClientPopulation, FleetCoordinator
+from repro.server import CiaoServer
+from repro.workload import estimate_selectivities, table3_workload
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_RECORDS = 1600 if SMOKE else 6000
+CHUNK_SIZE = 200
+N_CLIENTS = 8
+N_SHARDS = 4
+AGGREGATE_BUDGET = Budget(8.0)
+SEED = 20260727
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _min_fleet_speedup() -> float:
+    override = os.environ.get("REPRO_BENCH_MIN_FLEET_SPEEDUP")
+    if override:
+        return float(override)
+    cores = _effective_cores()
+    if cores >= N_SHARDS:
+        return 1.5
+    if cores >= 2:
+        return 1.1
+    # Single core: concurrency cannot beat serial; only guard against
+    # pathological coordination overhead.
+    return 0.4
+
+
+def _prepare():
+    generator = make_generator("yelp", SEED)
+    lines = list(generator.raw_lines(N_RECORDS))
+    workload = table3_workload("yelp", "A", seed=SEED, n_queries=15)
+    sels = estimate_selectivities(
+        workload.candidate_pool, generator.sample(min(1000, N_RECORDS))
+    )
+    model = CostModel(DEFAULT_COEFFICIENTS, 160)
+    plan = CiaoOptimizer(workload, sels, model).plan(Budget(20.0))
+    return lines, workload, plan
+
+
+def _serial_load(tmp_path, tag, lines, workload, plan):
+    """1-client loading: the baseline the fleet must beat."""
+    server = CiaoServer(tmp_path / tag, plan=plan, workload=workload)
+    client = SimulatedClient("solo", plan=plan, chunk_size=CHUNK_SIZE)
+    start = time.perf_counter()
+    for chunk in client.process(lines):
+        server.ingest(chunk)
+    server.finalize_loading()
+    elapsed = time.perf_counter() - start
+    return server, elapsed
+
+
+def _fleet_load(tmp_path, tag, lines, workload, plan, population):
+    server = CiaoServer(
+        tmp_path / tag, plan=plan, workload=workload,
+        n_shards=N_SHARDS, shard_mode="process",
+    )
+    coordinator = FleetCoordinator(
+        server, population,
+        global_plan=plan,
+        aggregate_budget=AGGREGATE_BUDGET,
+        chunk_size=CHUNK_SIZE,
+        batch_size=DEFAULT_SHIP_BATCH,
+        realloc_interval=max(4, N_RECORDS // CHUNK_SIZE // 4),
+    )
+    start = time.perf_counter()
+    report = coordinator.run(lines)
+    elapsed = time.perf_counter() - start
+    return server, report, elapsed
+
+
+def _answers(server, workload):
+    return [server.query(q.sql("t")).scalar() for q in workload.queries]
+
+
+def test_fleet_loading(benchmark, tmp_path, results_dir):
+    lines, workload, plan = _prepare()
+    population = ClientPopulation.generate(N_CLIENTS, seed=SEED)
+    fat = max(population, key=lambda s: s.share).client_id
+    killed_population = population.with_kill(fat, after_chunks=1)
+
+    def experiment():
+        serial_server, serial_s = _serial_load(
+            tmp_path, "serial", lines, workload, plan
+        )
+        fleet_server, report, fleet_s = _fleet_load(
+            tmp_path, "fleet", lines, workload, plan, population
+        )
+        kill_server, kill_report, _ = _fleet_load(
+            tmp_path, "killed", lines, workload, plan, killed_population
+        )
+        return (serial_server, serial_s, fleet_server, report, fleet_s,
+                kill_server, kill_report)
+
+    (serial_server, serial_s, fleet_server, report, fleet_s,
+     kill_server, kill_report) = run_once(benchmark, experiment)
+
+    expected = _answers(serial_server, workload)
+
+    # 1. Fleet result ≡ serial single-client ingest of the same records.
+    assert report.no_record_loss
+    assert _answers(fleet_server, workload) == expected, (
+        "fleet answers diverged from serial ingest"
+    )
+
+    # 2. One client killed mid-load: zero record loss, same answers,
+    #    survivors absorbed the dead client's partition.
+    assert kill_report.killed_clients == [fat]
+    assert kill_report.no_record_loss, (
+        f"record loss after killing {fat}: "
+        f"received={kill_report.summary.received} of {N_RECORDS}"
+    )
+    assert _answers(kill_server, workload) == expected, (
+        "killed-fleet answers diverged from serial ingest"
+    )
+    assert kill_report.reassignment_events > 0
+    dead = kill_report.client(fat)
+    assert dead.shipped_records < dead.assigned_records
+
+    # 3. Core-gated concurrency speedup.
+    speedup = serial_s / fleet_s
+    floor = _min_fleet_speedup()
+    cores = _effective_cores()
+    lines_out = [
+        f"coordinated fleet loading, yelp-style stream "
+        f"({N_RECORDS} records, {N_CLIENTS} clients, {N_SHARDS} shards, "
+        f"chunk {CHUNK_SIZE}, ship batch {DEFAULT_SHIP_BATCH}):",
+        "",
+        fleet_table(report),
+        "",
+        f"straggler run: killed {fat} after 1 chunk — "
+        f"{kill_report.reassignment_events} reassignment events moved "
+        f"{kill_report.reassigned_records} records to survivors; "
+        f"no record loss: {kill_report.no_record_loss}",
+        "",
+        f"  effective cores : {cores}",
+        f"  1-client serial : {serial_s:8.2f} s "
+        f"({N_RECORDS / serial_s:8.0f} rec/s)",
+        f"  {N_CLIENTS}-client fleet  : {fleet_s:8.2f} s "
+        f"({N_RECORDS / fleet_s:8.0f} rec/s)",
+        f"  speedup         : {speedup:8.2f}x (floor {floor:.1f}x)",
+    ]
+    emit("fleet_loading", "\n".join(lines_out), results_dir)
+
+    assert speedup >= floor, (
+        f"{N_CLIENTS}-client fleet only {speedup:.2f}x over 1-client "
+        f"loading (floor {floor:.1f}x on {cores} cores)"
+    )

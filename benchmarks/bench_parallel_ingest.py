@@ -16,6 +16,15 @@ Two claims are measured:
    instead and reports the measured ratio.  Override the threshold with
    ``REPRO_BENCH_MIN_SPEEDUP`` (a float) to pin it in CI.
 
+A third measurement quantifies **batched chunk framing**: shipping
+``DEFAULT_SHIP_BATCH`` chunk frames per channel message vs one, over both
+in-memory and file-spool channels (the paper's deployment).  Per-message
+overhead is what batching amortizes, so the file channel — four syscalls
+per message — is where the win lives; the measured delta (archived in
+``benchmarks/results/batched_framing.txt``) is why
+``DEFAULT_SHIP_BATCH = 8`` is the default, and both this bench's ingest
+streams and ``bench_fleet_loading.py`` ship batched.
+
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_parallel_ingest.py``
 (set ``REPRO_BENCH_SMOKE=1`` for a <60 s smoke configuration).
 """
@@ -27,9 +36,9 @@ import time
 
 from conftest import run_once
 
-from repro.bench import emit
+from repro.bench import emit, format_table
 from repro.bitvec import BitVector
-from repro.client import SimulatedClient, encode_chunk
+from repro.client import DEFAULT_SHIP_BATCH, SimulatedClient, encode_chunk
 from repro.core import (
     Budget,
     CiaoOptimizer,
@@ -38,6 +47,7 @@ from repro.core import (
 )
 from repro.data import make_generator
 from repro.server import CiaoServer
+from repro.simulate import FileChannel, MemoryChannel
 from repro.workload import estimate_selectivities, table3_workload
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -138,6 +148,13 @@ def test_bitvector_kernel_speedup(benchmark, results_dir):
 # 2. Sharded ingest throughput
 # ----------------------------------------------------------------------
 def _prepare_payloads():
+    """Annotated chunk stream, shipped with batched framing.
+
+    The stream is built exactly as a client would emit it: encoded chunk
+    frames concatenated ``DEFAULT_SHIP_BATCH`` per message
+    (``SimulatedClient.ship(batch_size=...)`` through a channel); the
+    server splits the frames back apart on ingest.
+    """
     generator = make_generator("yelp", SEED)
     lines = list(generator.raw_lines(N_RECORDS))
     workload = table3_workload("yelp", "A", seed=SEED, n_queries=20)
@@ -147,8 +164,10 @@ def _prepare_payloads():
     model = CostModel(DEFAULT_COEFFICIENTS, 160)
     plan = CiaoOptimizer(workload, sels, model).plan(Budget(20.0))
     client = SimulatedClient("bench", plan=plan, chunk_size=CHUNK_SIZE)
-    payloads = [encode_chunk(c) for c in client.process(lines)]
-    return plan, workload, payloads
+    channel = MemoryChannel()
+    n_chunks = client.ship(lines, channel,
+                           batch_size=DEFAULT_SHIP_BATCH)
+    return plan, workload, list(channel.drain()), n_chunks
 
 
 def _ingest(tmp_path, tag, plan, workload, payloads, n_shards):
@@ -165,7 +184,7 @@ def _ingest(tmp_path, tag, plan, workload, payloads, n_shards):
 
 
 def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
-    plan, workload, payloads = _prepare_payloads()
+    plan, workload, payloads, n_chunks = _prepare_payloads()
 
     def experiment():
         serial_summary, serial_seconds = _ingest(
@@ -181,7 +200,6 @@ def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
     (serial_summary, serial_seconds,
      parallel_summary, parallel_seconds) = run_once(benchmark, experiment)
 
-    n_chunks = len(payloads)
     serial_rate = n_chunks / serial_seconds
     parallel_rate = n_chunks / parallel_seconds
     speedup = parallel_rate / serial_rate
@@ -189,7 +207,8 @@ def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
     cores = _effective_cores()
     lines = [
         f"parallel sharded ingest, yelp-style stream "
-        f"({N_RECORDS} records, {n_chunks} chunks of {CHUNK_SIZE}):",
+        f"({N_RECORDS} records, {n_chunks} chunks of {CHUNK_SIZE}, "
+        f"shipped {DEFAULT_SHIP_BATCH} frames/message):",
         f"  effective cores      : {cores}",
         f"  serial ingest        : {serial_rate:8.1f} chunks/s "
         f"({serial_seconds:.2f} s)",
@@ -211,3 +230,132 @@ def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
         f"{N_SHARDS}-shard pipeline only {speedup:.2f}x over serial "
         f"(floor {floor:.1f}x on {cores} cores)"
     )
+
+
+# ----------------------------------------------------------------------
+# 3. Batched chunk framing amortization
+# ----------------------------------------------------------------------
+def _frame_roundtrip(frames, channel_factory, batch_size):
+    """Ship pre-encoded frames at *batch_size* and drain them back.
+
+    Isolates the transport + framing cost (annotation and parsing are
+    excluded): sender-side message sends, receiver-side frame splits.
+    Returns (seconds, messages, frames_received).
+    """
+    channel = channel_factory()
+    start = time.perf_counter()
+    batch = []
+    for frame in frames:
+        batch.append(frame)
+        if len(batch) >= batch_size:
+            channel.send_frames(batch)
+            batch.clear()
+    channel.send_frames(batch)
+    received = sum(1 for _ in channel.drain_chunks())
+    elapsed = time.perf_counter() - start
+    return elapsed, channel.stats.messages_sent, received
+
+
+#: Small-chunk stream for the framing bench: per-message overhead is a
+#: fixed cost, so its relative weight — and batching's win — grows as
+#: chunks shrink.
+FRAMING_SMALL_CHUNK = 25
+
+
+def test_batched_framing_amortization(benchmark, tmp_path, results_dir):
+    """One-vs-batched framing delta; why DEFAULT_SHIP_BATCH is 8.
+
+    Per-message overhead is a *fixed* cost, so batching matters in
+    proportion to how small messages are: a stream of small chunks over
+    the file-spool channel (the paper's deployment: four syscalls per
+    message) is where the win must show, and big-chunk streams must at
+    least not regress.  The assertion targets the file channel because
+    I/O amortization is mechanical — independent of core count; memory
+    deltas are reported for reference.
+    """
+    generator = make_generator("yelp", SEED)
+    lines = list(generator.raw_lines(N_RECORDS))
+    streams = {}
+    for chunk_size in (FRAMING_SMALL_CHUNK, CHUNK_SIZE):
+        client = SimulatedClient(f"framing-{chunk_size}",
+                                 chunk_size=chunk_size)
+        streams[chunk_size] = [
+            encode_chunk(c) for c in client.process(lines)
+        ]
+    batch_sizes = [1, 4, DEFAULT_SHIP_BATCH, 32]
+
+    def experiment():
+        results = {}
+        spool = 0
+        for chunk_size, frames in streams.items():
+            for factory_name, factory in (
+                ("memory", MemoryChannel),
+                ("file", lambda: FileChannel(tmp_path / f"spool-{spool}")),
+            ):
+                for batch in batch_sizes:
+                    spool += 1
+                    best = float("inf")
+                    for _ in range(3):
+                        seconds, messages, received = _frame_roundtrip(
+                            frames, factory, batch
+                        )
+                        assert received == len(frames)
+                        best = min(best, seconds)
+                    results[(chunk_size, factory_name, batch)] = (
+                        best, messages
+                    )
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for (chunk_size, channel_name, batch), (seconds, messages) \
+            in results.items():
+        baseline = results[(chunk_size, channel_name, 1)][0]
+        rows.append(
+            [
+                chunk_size,
+                channel_name,
+                batch,
+                messages,
+                seconds * 1e3,
+                baseline / seconds if seconds > 0 else float("inf"),
+            ]
+        )
+
+    def speedup(chunk_size, channel_name):
+        return (results[(chunk_size, channel_name, 1)][0]
+                / results[(chunk_size, channel_name,
+                           DEFAULT_SHIP_BATCH)][0])
+
+    small_file = speedup(FRAMING_SMALL_CHUNK, "file")
+    big_file = speedup(CHUNK_SIZE, "file")
+    small_memory = speedup(FRAMING_SMALL_CHUNK, "memory")
+    lines_out = [
+        f"batched chunk framing over {N_RECORDS} records "
+        f"(transport + framing only):",
+        format_table(
+            ["chunk", "channel", "frames/msg", "messages", "wall(ms)",
+             "speedup"],
+            rows,
+        ),
+        f"  default ship batch : {DEFAULT_SHIP_BATCH} frames/message — "
+        f"file channel {small_file:.2f}x at {FRAMING_SMALL_CHUNK}-record "
+        f"chunks, {big_file:.2f}x at {CHUNK_SIZE}-record chunks "
+        f"(memory {small_memory:.2f}x at {FRAMING_SMALL_CHUNK}); "
+        f"returns diminish past ~{DEFAULT_SHIP_BATCH} frames.",
+    ]
+    emit("batched_framing", "\n".join(lines_out), results_dir)
+
+    # Small chunks must show a real file-channel win; big chunks must
+    # not regress (payload I/O dominates there, so ~1x is expected).
+    # Pinnable in CI like the other bench floors.
+    floor = float(
+        os.environ.get("REPRO_BENCH_MIN_FRAMING_SPEEDUP", "1.5")
+    )
+    assert small_file >= floor, (
+        f"batched framing only {small_file:.2f}x on the file channel "
+        f"at {FRAMING_SMALL_CHUNK}-record chunks"
+    )
+    assert big_file >= 0.9
+    assert small_memory >= 0.8

@@ -61,6 +61,11 @@ from .core import (
     suffix,
 )
 from .client import ClientEvaluator, SimulatedClient
+from .fleet import (
+    ClientPopulation,
+    FleetCoordinator,
+    FleetReport,
+)
 from .server import CiaoServer, ClientAssistedLoader, EagerLoader
 
 __version__ = "1.0.0"
@@ -73,11 +78,14 @@ __all__ = [
     "Clause",
     "ClientAssistedLoader",
     "ClientEvaluator",
+    "ClientPopulation",
     "ClientProfile",
     "CostCoefficients",
     "CostModel",
     "DEFAULT_COEFFICIENTS",
     "EagerLoader",
+    "FleetCoordinator",
+    "FleetReport",
     "PredicateKind",
     "PushdownEntry",
     "PushdownPlan",

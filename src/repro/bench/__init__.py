@@ -17,6 +17,7 @@ from .experiments import (
 from .reporting import (
     RESULTS_DIR,
     emit,
+    fleet_table,
     format_table,
     metrics_table,
     speedup_summary,
@@ -35,6 +36,7 @@ __all__ = [
     "cost_model_experiment",
     "emit",
     "end_to_end_sweep",
+    "fleet_table",
     "format_table",
     "headline_speedups",
     "metrics_table",

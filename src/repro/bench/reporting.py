@@ -102,6 +102,58 @@ def _ratio(base: float, new: float) -> str:
     return f"{base / new:.1f}x"
 
 
+def fleet_table(report: Any) -> str:
+    """Per-client + aggregate table for a fleet load.
+
+    *report* is a :class:`repro.fleet.report.FleetReport` (duck-typed so
+    the fleet data model has no import edge into the bench layer).
+    """
+    headers = [
+        "client", "platform", "speed", "share", "budget(µs)", "#pushed",
+        "assigned", "shipped", "absorbed", "chunks", "µs/rec",
+        "rec/s(dev)", "util", "killed",
+    ]
+    rows = []
+    for c in report.clients:
+        rows.append(
+            [
+                c.client_id,
+                c.platform,
+                c.speed_factor,
+                c.share,
+                c.budget_us,
+                c.n_pushed,
+                c.assigned_records,
+                c.shipped_records,
+                c.absorbed_records,
+                c.shipped_chunks,
+                c.modeled_us_per_record,
+                c.device_records_per_s,
+                c.budget_utilization,
+                "yes" if c.killed else "no",
+            ]
+        )
+    summary = report.summary
+    lines = [
+        format_table(headers, rows),
+        "",
+        f"fleet aggregate: {len(report.clients)} clients, "
+        f"{report.total_records} records in {report.wall_seconds:.2f} s "
+        f"({report.records_per_second:.0f} rec/s)",
+        f"  accounting     : received={summary.received} "
+        f"loaded={summary.loaded} sidelined={summary.sidelined} "
+        f"malformed={summary.malformed} "
+        f"(no record loss: {report.no_record_loss})",
+        f"  reassignments  : {report.reassignment_events} events, "
+        f"{report.reassigned_records} records"
+        + (f" ({', '.join(f'{src}→{dst}:{n}' for src, dst, n in report.reassignments[:6])}"
+           + (", ..." if len(report.reassignments) > 6 else "") + ")"
+           if report.reassignments else ""),
+        f"  re-allocations : {report.realloc_rounds} rounds",
+    ]
+    return "\n".join(lines)
+
+
 def emit(name: str, text: str,
          results_dir: Optional[Path] = None) -> Path:
     """Print *text* and archive it under the results directory."""

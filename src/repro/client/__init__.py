@@ -1,6 +1,6 @@
 """Client-side substrate: raw-record evaluation, chunk protocol, devices."""
 
-from .device import ClientStats, SimulatedClient
+from .device import DEFAULT_SHIP_BATCH, ClientStats, SimulatedClient
 from .evaluator import ClientEvaluator, EvaluationReport
 from .protocol import (
     MAGIC,
@@ -15,6 +15,7 @@ from .protocol import (
 
 __all__ = [
     "ClientEvaluator",
+    "DEFAULT_SHIP_BATCH",
     "ClientStats",
     "EvaluationReport",
     "MAGIC",

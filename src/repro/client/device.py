@@ -22,6 +22,15 @@ from ..simulate.network import Channel
 from .evaluator import ClientEvaluator, EvaluationReport
 from .protocol import encode_chunk
 
+#: Default chunk frames concatenated per channel message.  Measured in
+#: ``benchmarks/bench_parallel_ingest.py`` (see
+#: ``benchmarks/results/batched_framing.txt``): per-message overhead is a
+#: fixed cost, so batching wins in proportion to how small messages are —
+#: ~2.1× transport time on the file-spool channel (the paper's
+#: deployment) at 25-record chunks, ~1.1× at 250 — while the in-memory
+#: delta is noise next to parse cost.  Returns diminish past ~8 frames.
+DEFAULT_SHIP_BATCH = 8
+
 
 @dataclass
 class ClientStats:
@@ -64,9 +73,28 @@ class SimulatedClient:
         )
         self.stats = ClientStats()
 
-    def process(self, raw_records: Iterable[str]) -> Iterator[JsonChunk]:
+    def update_plan(self, plan: Optional[PushdownPlan]) -> None:
+        """Swap the executed plan (fleet budget re-allocation).
+
+        Fleet coordinators re-allocate budgets between loading intervals;
+        the new plan must be a prefix/superset of the same global plan so
+        predicate ids stay consistent (see ``PushdownPlan.restrict``).
+        Chunks annotated before the swap keep their old annotations —
+        the server loads partially-annotated chunks eagerly, so answers
+        stay exact.  ``budget_respected`` compares the cumulative ledger
+        against the *current* plan's budget, so it is only meaningful
+        between swaps.
+        """
+        self.plan = plan
+        self._evaluator = (
+            ClientEvaluator(plan.entries) if plan and len(plan) else None
+        )
+
+    def process(self, raw_records: Iterable[str],
+                start_chunk_id: int = 0) -> Iterator[JsonChunk]:
         """Batch, annotate, and yield chunks (not yet encoded)."""
-        for chunk in chunk_records(raw_records, self.chunk_size):
+        for chunk in chunk_records(raw_records, self.chunk_size,
+                                   start_id=start_chunk_id):
             if self._evaluator is not None:
                 report = self._evaluator.annotate(chunk)
                 self._account(report)
@@ -99,10 +127,7 @@ class SimulatedClient:
 
     @staticmethod
     def _flush(batch: List[bytes], channel: Channel) -> None:
-        if len(batch) == 1:
-            channel.send(batch[0])
-        elif batch:
-            channel.send_batch(batch)
+        channel.send_frames(batch)
         batch.clear()
 
     def _account(self, report: EvaluationReport) -> None:

@@ -11,7 +11,7 @@ share of the aggregate filtering work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -105,6 +105,56 @@ def allocate_budgets(clients: Sequence[ClientProfile],
             break  # everyone capped; undistributable budget is dropped
         remaining = next_round
     return {cid: Budget(us) for cid, us in allocation.items()}
+
+
+def observed_speed_factors(
+    throughput: Mapping[str, float],
+    prior: Optional[Mapping[str, float]] = None,
+    blend: float = 0.5,
+) -> Dict[str, float]:
+    """Speed factors inferred from observed per-client throughput.
+
+    *throughput* maps client ids to any proportional rate measurement
+    (records/s, chunks/s, modeled µs of work retired per wall second).
+    Throughput only carries *relative* speed, so the rates are mapped
+    onto the absolute scale of the *prior* (e.g. the declared speed
+    factors the fleet started with): observed factors are normalized so
+    their mean equals the prior's mean — a uniformly slow fleet stays
+    uniformly slow instead of drifting toward nominal, which matters
+    because :func:`allocate_budgets` converts slack caps through the
+    absolute factor (``cap = slack × speed``).  Without a prior the mean
+    is 1.0.  Clients with no observation yet (rate <= 0) keep the mean
+    factor.
+
+    The observation is exponentially blended:
+    ``blend * observed + (1 - blend) * prior`` — one noisy interval then
+    cannot swing an allocation to an extreme.  This is the re-allocation
+    entry point fleet coordinators call between loading intervals.
+    """
+    if not throughput:
+        raise ValueError("need at least one throughput observation")
+    if not 0.0 <= blend <= 1.0:
+        raise ValueError(f"blend must be in [0, 1], got {blend}")
+    scale = 1.0
+    if prior:
+        known = [prior[cid] for cid in throughput if cid in prior]
+        if known:
+            scale = sum(known) / len(known)
+    positive = [rate for rate in throughput.values() if rate > 0]
+    if not positive:
+        # Nothing measured yet: everyone keeps the prior scale.
+        return {
+            cid: prior.get(cid, scale) if prior else scale
+            for cid in throughput
+        }
+    mean = sum(positive) / len(positive)
+    factors: Dict[str, float] = {}
+    for cid, rate in throughput.items():
+        observed = rate / mean * scale if rate > 0 else scale
+        if prior is not None and cid in prior:
+            observed = blend * observed + (1.0 - blend) * prior[cid]
+        factors[cid] = max(observed, 1e-6)
+    return factors
 
 
 def budget_sweep(values: Sequence[float]) -> List[Budget]:

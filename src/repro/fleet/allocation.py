@@ -1,0 +1,129 @@
+"""Per-client budget allocation and online re-allocation.
+
+One global :class:`~repro.core.optimizer.PushdownPlan` is optimized once
+for the whole fleet; each client then executes the budget-restricted
+*prefix* of it that its allocated share affords
+(:meth:`PushdownPlan.restrict` — prefixes keep predicate ids globally
+consistent, which the server's bit-vector bookkeeping requires).  The
+aggregate budget is split by :func:`repro.core.budgets.allocate_budgets`:
+proportional to speed, capped by slack, water-filled.
+
+Re-allocation closes the loop: declared speed factors are guesses, and
+hardware profiles drift (thermal throttling, co-tenants — the paper's
+Table IV hypervisor noise).  Between loading intervals the coordinator
+feeds *observed* per-client throughput into
+:func:`repro.core.budgets.observed_speed_factors`, blends it with the
+current factors, and recomputes the allocation; clients pick up their new
+plan prefix at the next chunk boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.budgets import (
+    Budget,
+    ClientProfile,
+    allocate_budgets,
+    observed_speed_factors,
+)
+from ..core.optimizer import PushdownPlan
+
+
+@dataclass
+class FleetAllocation:
+    """One allocation round's outcome."""
+
+    round: int
+    budgets: Dict[str, Budget]
+    plans: Dict[str, PushdownPlan]
+    speed_factors: Dict[str, float]
+
+    def pushed(self, client_id: str) -> int:
+        """Number of predicates client *client_id* executes."""
+        return len(self.plans[client_id])
+
+    def utilization(self, client_id: str) -> float:
+        """Allocated-budget fraction the client's plan prefix consumes."""
+        budget = self.budgets[client_id].us
+        if budget <= 0:
+            return 0.0
+        return self.plans[client_id].total_cost_us() / budget
+
+
+class FleetBudgetAllocator:
+    """Allocate one global plan's prefixes across a fleet.
+
+    Args:
+        global_plan: The fleet-wide optimized plan (deepest any client
+            can go).
+        aggregate_budget: Mean per-record budget across the fleet, in
+            calibrated-machine µs (see :func:`allocate_budgets`).
+    """
+
+    def __init__(self, global_plan: PushdownPlan,
+                 aggregate_budget: Budget):
+        self.global_plan = global_plan
+        self.aggregate_budget = aggregate_budget
+        self.rounds = 0
+
+    def allocate(self, profiles: Sequence[ClientProfile]
+                 ) -> FleetAllocation:
+        """Initial (or recomputed) allocation for *profiles*."""
+        budgets = allocate_budgets(profiles, self.aggregate_budget)
+        plans = {
+            cid: self.global_plan.restrict(budget)
+            for cid, budget in budgets.items()
+        }
+        allocation = FleetAllocation(
+            round=self.rounds,
+            budgets=budgets,
+            plans=plans,
+            speed_factors={p.client_id: p.speed_factor for p in profiles},
+        )
+        self.rounds += 1
+        return allocation
+
+    def reallocate(self, profiles: Sequence[ClientProfile],
+                   throughput: Mapping[str, float],
+                   blend: float = 0.5) -> FleetAllocation:
+        """Re-allocate from observed throughput (the online hook).
+
+        *throughput* maps client ids to any proportional rate (the
+        coordinator uses records retired per prefiltering wall-second
+        from each client's :class:`~repro.simulate.runtime.CostLedger`).
+        Clients absent from *throughput* — e.g. dead ones — are excluded
+        from the new allocation entirely; their share of the aggregate
+        budget flows to the survivors.
+        """
+        alive: List[ClientProfile] = [
+            p for p in profiles if p.client_id in throughput
+        ]
+        if not alive:
+            raise ValueError("no surviving clients to re-allocate across")
+        factors = observed_speed_factors(
+            {p.client_id: throughput[p.client_id] for p in alive},
+            prior={p.client_id: p.speed_factor for p in alive},
+            blend=blend,
+        )
+        updated = [
+            replace(p, speed_factor=factors[p.client_id]) for p in alive
+        ]
+        return self.allocate(updated)
+
+
+def uniform_allocation(plan: Optional[PushdownPlan],
+                       client_ids: Sequence[str]) -> FleetAllocation:
+    """Every client runs the same (possibly empty) plan — no budget split.
+
+    The degenerate allocation used when a fleet runs without an aggregate
+    budget: comparison baselines and plain multi-source loads.
+    """
+    budget = Budget(plan.total_cost_us()) if plan is not None else Budget(0)
+    return FleetAllocation(
+        round=0,
+        budgets={cid: budget for cid in client_ids},
+        plans={cid: plan for cid in client_ids},
+        speed_factors={cid: 1.0 for cid in client_ids},
+    )

@@ -1,0 +1,219 @@
+"""Deterministic heterogeneous client populations.
+
+A fleet experiment needs a *population*: N clients whose hardware, idle
+capacity, and data volume differ the way a real deployment's do.  This
+module generates one reproducibly from a seed:
+
+* **Hardware** comes from :data:`repro.simulate.hardware.PLATFORMS` — each
+  client is an instance of one of the Table IV machines, and its speed
+  factor is *derived* from that platform's cost coefficients
+  (:meth:`HardwareProfile.relative_speed` against the calibrated ``local``
+  machine) with a small per-device jitter, rather than invented.
+* **Slack** — a fraction of the clients are battery/duty-cycle constrained
+  and declare a finite ``slack_us_per_record`` cap, which the budget
+  allocator's water-filling must respect.
+* **Data shares** are Zipf-skewed (:func:`repro.data.zipf.zipf_weights`)
+  and then permuted independently of hardware, so fat partitions land on
+  weak devices as often as on strong ones — the regime where coordination
+  (backpressure + straggler reassignment) actually matters.
+
+Everything is drawn from :func:`repro.data.randomness.rng_stream` child
+streams, so the same seed reproduces the identical population, partition
+assignment, and therefore (under round-robin dispatch) identical server
+shard layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..core.budgets import ClientProfile
+from ..data.randomness import rng_stream
+from ..data.zipf import zipf_weights
+from ..simulate.hardware import PLATFORMS, HardwareProfile
+
+#: Reference platform for speed factors (the calibrated machine).
+REFERENCE_PLATFORM = "local"
+
+
+@dataclass(frozen=True)
+class FleetClientSpec:
+    """One fleet member: identity, capability, and data share.
+
+    Attributes:
+        client_id: Stable identifier (also the ingest-session source id).
+        platform: Key into :data:`repro.simulate.hardware.PLATFORMS`.
+        speed_factor: Relative device speed (1.0 = calibrated machine).
+        slack_us_per_record: Self-reported idle capacity cap, in the
+            device's own µs (``inf`` = unconstrained).
+        share: Fraction of the fleet's raw input this client produces.
+        kill_after_chunks: Fault injection — the client dies right
+            after shipping this many chunks (``None`` = healthy).  Used
+            by the straggler tests and bench; real deployments simply
+            vanish.  The coordinator guarantees a live client processes
+            at least one chunk of its own partition before siblings may
+            steal the rest, so ``1`` kills deterministically; larger
+            values are best-effort (a heavily-stolen-from client may
+            finish earlier).
+    """
+
+    client_id: str
+    platform: str
+    speed_factor: float
+    slack_us_per_record: float = float("inf")
+    share: float = 0.0
+    kill_after_chunks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.platform not in PLATFORMS:
+            raise ValueError(
+                f"unknown platform {self.platform!r}; "
+                f"expected one of {sorted(PLATFORMS)}"
+            )
+        if self.speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+        if self.share < 0:
+            raise ValueError("data shares must be non-negative")
+
+    @property
+    def hardware(self) -> HardwareProfile:
+        """The underlying hardware profile."""
+        return PLATFORMS[self.platform]
+
+    def profile(self) -> ClientProfile:
+        """The budget-allocation view of this client."""
+        return ClientProfile(
+            client_id=self.client_id,
+            speed_factor=self.speed_factor,
+            slack_us_per_record=self.slack_us_per_record,
+        )
+
+    def killed_spec(self, after_chunks: int) -> "FleetClientSpec":
+        """A copy of this spec that dies after *after_chunks* chunks."""
+        return replace(self, kill_after_chunks=after_chunks)
+
+
+class ClientPopulation:
+    """An ordered, validated collection of :class:`FleetClientSpec`\\ s."""
+
+    def __init__(self, specs: Sequence[FleetClientSpec]):
+        if not specs:
+            raise ValueError("a population needs at least one client")
+        ids = [s.client_id for s in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("client ids must be unique")
+        total_share = sum(s.share for s in specs)
+        if total_share <= 0:
+            raise ValueError("at least one client must have a data share")
+        # Normalize shares so partitioning never depends on whether the
+        # caller provided fractions or raw weights.
+        self.specs: List[FleetClientSpec] = [
+            replace(s, share=s.share / total_share) for s in specs
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, n: int, seed: int,
+                 platforms: Optional[Sequence[str]] = None,
+                 zipf_s: float = 1.0,
+                 slack_fraction: float = 0.25,
+                 slack_range_us: tuple = (2.0, 8.0),
+                 speed_jitter: float = 0.2) -> "ClientPopulation":
+        """A seeded heterogeneous population of *n* clients.
+
+        Args:
+            n: Number of clients.
+            seed: Root seed; equal seeds produce identical populations.
+            platforms: Platform keys to draw from (default: all of
+                Table IV's machines).
+            zipf_s: Skew of the data shares (0 = uniform).  Shares are
+                permuted independently of hardware.
+            slack_fraction: Fraction of clients (in expectation) that
+                declare a finite slack cap.
+            slack_range_us: Uniform range the finite caps are drawn from.
+            speed_jitter: Relative spread of per-device speed around the
+                platform's derived factor.
+        """
+        if n < 1:
+            raise ValueError(f"need at least one client, got {n}")
+        names = sorted(platforms) if platforms else sorted(PLATFORMS)
+        rng = rng_stream(seed, "fleet:population")
+        reference = PLATFORMS[REFERENCE_PLATFORM]
+        shares = zipf_weights(n, zipf_s)
+        rng.shuffle(shares)
+        specs: List[FleetClientSpec] = []
+        for i in range(n):
+            platform = names[rng.randrange(len(names))]
+            base_speed = PLATFORMS[platform].relative_speed(reference)
+            jitter = rng.uniform(1.0 - speed_jitter, 1.0 + speed_jitter)
+            slack = float("inf")
+            if rng.random() < slack_fraction:
+                slack = rng.uniform(*slack_range_us)
+            specs.append(
+                FleetClientSpec(
+                    client_id=f"client-{i:02d}",
+                    platform=platform,
+                    speed_factor=base_speed * jitter,
+                    slack_us_per_record=slack,
+                    share=shares[i],
+                )
+            )
+        return cls(specs)
+
+    # ------------------------------------------------------------------
+    def profiles(self) -> List[ClientProfile]:
+        """Budget-allocation profiles, population order."""
+        return [s.profile() for s in self.specs]
+
+    def partition(self, records: Sequence[str]) -> Dict[str, List[str]]:
+        """Split *records* into per-client contiguous slices by share.
+
+        Sizes follow largest-remainder rounding (deterministic: ties break
+        by population order), so ``sum(len(part)) == len(records)`` exactly
+        and the same population always produces the same assignment.
+        """
+        total = len(records)
+        quotas = [s.share * total for s in self.specs]
+        sizes = [int(q) for q in quotas]
+        leftover = total - sum(sizes)
+        remainders = sorted(
+            range(len(self.specs)),
+            key=lambda i: (-(quotas[i] - sizes[i]), i),
+        )
+        for i in remainders[:leftover]:
+            sizes[i] += 1
+        out: Dict[str, List[str]] = {}
+        cursor = 0
+        for spec, size in zip(self.specs, sizes):
+            out[spec.client_id] = list(records[cursor:cursor + size])
+            cursor += size
+        return out
+
+    def with_kill(self, client_id: str,
+                  after_chunks: int) -> "ClientPopulation":
+        """A copy where *client_id* dies after *after_chunks* chunks."""
+        found = False
+        specs = []
+        for spec in self.specs:
+            if spec.client_id == client_id:
+                specs.append(spec.killed_spec(after_chunks))
+                found = True
+            else:
+                specs.append(spec)
+        if not found:
+            raise KeyError(client_id)
+        return ClientPopulation(specs)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FleetClientSpec]:
+        return iter(self.specs)
+
+    def __getitem__(self, client_id: str) -> FleetClientSpec:
+        for spec in self.specs:
+            if spec.client_id == client_id:
+                return spec
+        raise KeyError(client_id)

@@ -1,7 +1,7 @@
 """Server-side substrate: partial loading, eager baseline, data skipping,
 and the CIAO server facade."""
 
-from .ciao import CiaoServer, ServerConfig
+from .ciao import CiaoServer, IngestSession, ServerConfig
 from .ingest import EagerLoader
 from .loader import ClientAssistedLoader, LoadReport, LoadSummary
 from .pipeline import (
@@ -21,6 +21,7 @@ __all__ = [
     "CiaoServer",
     "ClientAssistedLoader",
     "EagerLoader",
+    "IngestSession",
     "IngestPipelineError",
     "LoadReport",
     "LoadSnapshot",

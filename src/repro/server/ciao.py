@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..client.protocol import decode_chunk, decode_chunk_stream, split_frames
 from ..core.optimizer import PushdownPlan
@@ -60,6 +60,67 @@ class ServerConfig:
     shard_mode: str = "process"  # 'process' | 'thread'
     dispatch: str = "work-stealing"  # 'work-stealing' | 'round-robin'
     seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL
+
+
+class IngestSession:
+    """One data source's ingest stream into a loading server.
+
+    Multi-source loads (fleets of clients) open one session per source via
+    :meth:`CiaoServer.open_ingest_session`.  A session is a thin tagged
+    facade over the server's ingest path: every chunk it forwards is
+    accounted to its ``source_id`` (and, on sharded servers, tagged
+    through to the pipeline's per-source counters), so reports can
+    attribute server-side load to individual clients.  Sessions close
+    individually (:meth:`close`, or as a context manager); the server
+    closes any still-open sessions at ``finalize_loading``.
+    """
+
+    def __init__(self, server: "CiaoServer", source_id: str):
+        self._server = server
+        self.source_id = source_id
+        self.chunks = 0
+        self.bytes = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once the session no longer accepts chunks."""
+        return self._closed
+
+    def ingest(self, chunk: Union[JsonChunk, bytes]) -> int:
+        """Ingest one chunk or encoded message; returns frames ingested.
+
+        Encoded payloads may carry several batched frames; each counts
+        separately, exactly like :meth:`CiaoServer.ingest`.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"ingest session {self.source_id!r} is closed"
+            )
+        self._server._check_loading("ingest")
+        frames = self._server._ingest_any(chunk, source=self.source_id)
+        self.chunks += frames
+        if isinstance(chunk, (bytes, bytearray, memoryview)):
+            self.bytes += len(chunk)
+        return frames
+
+    def drain_channel(self, channel: Channel) -> int:
+        """Drain a channel through this session; returns messages drained."""
+        count = 0
+        for payload in channel.drain():
+            self.ingest(payload)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        """Stop accepting chunks on this session (idempotent)."""
+        self._closed = True
+
+    def __enter__(self) -> "IngestSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class CiaoServer:
@@ -137,6 +198,7 @@ class CiaoServer:
                 schema=schema,
                 required_predicate_ids=required_ids,
             )
+        self._sessions: Dict[str, IngestSession] = {}
         self.catalog = Catalog()
         self._table = TableEntry(
             name=table_name,
@@ -195,19 +257,30 @@ class CiaoServer:
         lost — start a new server/session instead.
         """
         self._check_loading("ingest")
+        self._ingest_any(chunk, source=None)
+
+    def _ingest_any(self, chunk: Union[JsonChunk, bytes],
+                    source: Optional[str] = None) -> int:
+        """Shared ingest core; returns the number of frames ingested."""
         if not isinstance(chunk, (bytes, bytearray, memoryview)):
-            self._ingest_one(chunk)
-            return
+            self._ingest_one(chunk, source)
+            return 1
         if self._pipeline is not None:
+            count = 0
             for frame in split_frames(chunk):
-                self._pipeline.submit(frame)
-            return
+                self._pipeline.submit(frame, source=source)
+                count += 1
+            return count
+        count = 0
         for decoded in decode_chunk_stream(chunk):
             self._loader.ingest(decoded)
+            count += 1
+        return count
 
-    def _ingest_one(self, chunk: JsonChunk) -> None:
+    def _ingest_one(self, chunk: JsonChunk,
+                    source: Optional[str] = None) -> None:
         if self._pipeline is not None:
-            self._pipeline.submit(chunk)
+            self._pipeline.submit(chunk, source=source)
         else:
             self._loader.ingest(chunk)
 
@@ -230,6 +303,39 @@ class CiaoServer:
             count += 1
         return count
 
+    def open_ingest_session(self, source_id: str) -> IngestSession:
+        """Open a tagged ingest stream for one data source.
+
+        Fleet loads open one session per client so server-side accounting
+        (:attr:`ingest_sources`, and the sharded pipeline's
+        ``submitted_by_source``) can attribute chunks to their origin.
+        Source ids are single-use per server: reusing one — even after
+        its session closed — raises ``ValueError``, because per-source
+        accounting would conflate the two streams.
+        """
+        self._check_loading("open_ingest_session")
+        existing = self._sessions.get(source_id)
+        if existing is not None and not existing.closed:
+            raise ValueError(
+                f"ingest session {source_id!r} is already open"
+            )
+        if existing is not None:
+            raise ValueError(
+                f"source {source_id!r} already ingested on this server; "
+                f"per-source accounting would conflate the two streams"
+            )
+        session = IngestSession(self, source_id)
+        self._sessions[source_id] = session
+        return session
+
+    @property
+    def ingest_sources(self) -> Dict[str, int]:
+        """Chunk frames ingested per source id (open + closed sessions)."""
+        return {
+            source_id: session.chunks
+            for source_id, session in self._sessions.items()
+        }
+
     def _check_loading(self, operation: str) -> None:
         if self._loading_finalized:
             raise RuntimeError(
@@ -245,6 +351,8 @@ class CiaoServer:
         sealed, their Parquet parts registered (shard-major order) and
         their sidelines folded into the table's store.
         """
+        for session in self._sessions.values():
+            session.close()
         if self._pipeline is not None:
             summary = self._pipeline.finalize()
             parquet_paths = self._pipeline.parquet_paths

@@ -343,6 +343,7 @@ class ShardedIngestPipeline:
         self.seal_interval = seal_interval
         self.summary = LoadSummary()
         self._seq = 0
+        self._submitted_by_source: Dict[str, int] = {}
         self._finalized = False
         self._shard_parquet_paths: List[List[Path]] = [[] for _ in
                                                        range(n_shards)]
@@ -417,13 +418,16 @@ class ShardedIngestPipeline:
                     in_queue.cancel_join_thread()
 
     # ------------------------------------------------------------------
-    def submit(self, payload: Union[JsonChunk, bytes, bytearray, memoryview]
-               ) -> int:
+    def submit(self, payload: Union[JsonChunk, bytes, bytearray, memoryview],
+               source: Optional[str] = None) -> int:
         """Enqueue one chunk (encoded or decoded); returns its sequence no.
 
         Encoded payloads are decoded *inside* the worker, keeping the
         submitting thread off the critical path.  Blocks when the target
-        queue is full (backpressure).
+        queue is full (backpressure).  *source* tags the chunk's origin
+        (e.g. a fleet client id) for the per-source accounting exposed by
+        :attr:`submitted_by_source`; like ``submit`` itself it assumes one
+        submitting thread.
         """
         if self._finalized:
             raise RuntimeError("pipeline already finalized")
@@ -431,8 +435,17 @@ class ShardedIngestPipeline:
             payload = bytes(payload)  # queues need an owned buffer
         seq = self._seq
         self._seq += 1
+        if source is not None:
+            self._submitted_by_source[source] = (
+                self._submitted_by_source.get(source, 0) + 1
+            )
         self._in_queues[seq % self.n_shards].put((seq, payload))
         return seq
+
+    @property
+    def submitted_by_source(self) -> Dict[str, int]:
+        """Chunks submitted per source tag (multi-source ingest sessions)."""
+        return dict(self._submitted_by_source)
 
     def drain_channel(self, channel) -> int:
         """Submit every chunk frame of a channel; returns how many.

@@ -77,6 +77,32 @@ class HardwareProfile:
     noise: NoiseModel
     paper_r_squared: float
 
+    def true_cost_us(self, pattern_length: float, record_length: float,
+                     hit_rate: float) -> float:
+        """Noise-free modeled cost of one predicate evaluation."""
+        k = self.coefficients
+        hit = k.k1 * pattern_length + k.k2 * record_length
+        miss = k.k3 * pattern_length + k.k4 * record_length
+        return hit_rate * hit + (1 - hit_rate) * miss + k.c
+
+    def relative_speed(self, reference: "HardwareProfile",
+                       pattern_length: float = 12.0,
+                       record_length: float = 160.0,
+                       hit_rate: float = 0.1) -> float:
+        """How fast this platform runs predicate work vs *reference*.
+
+        Ratio of noise-free modeled costs for a nominal predicate shape:
+        > 1 means this platform evaluates the same predicate cheaper
+        (faster) than the reference.  Fleet simulations use this to derive
+        a :class:`repro.core.budgets.ClientProfile` speed factor from a
+        hardware profile instead of inventing one.
+        """
+        own = self.true_cost_us(pattern_length, record_length, hit_rate)
+        ref = reference.true_cost_us(pattern_length, record_length, hit_rate)
+        if own <= 0:
+            raise ValueError(f"profile {self.name} has non-positive cost")
+        return ref / own
+
     def observe(self, pattern_length: float, record_length: float,
                 hit_rate: float, rng: random.Random,
                 samples: int = 1) -> float:
@@ -88,10 +114,8 @@ class HardwareProfile:
         average out across predicates.  ``samples=1`` reproduces that;
         larger values model re-running the sample multiple times.
         """
-        k = self.coefficients
-        hit = k.k1 * pattern_length + k.k2 * record_length
-        miss = k.k3 * pattern_length + k.k4 * record_length
-        true_cost = hit_rate * hit + (1 - hit_rate) * miss + k.c
+        true_cost = self.true_cost_us(pattern_length, record_length,
+                                      hit_rate)
         total = 0.0
         for _ in range(max(1, samples)):
             total += self.noise.perturb(true_cost, rng)

@@ -15,7 +15,7 @@ from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Iterable, Iterator, List, Optional
+from typing import Deque, Iterable, Iterator, List, Optional, Sequence
 
 
 @dataclass
@@ -62,6 +62,18 @@ class Channel(ABC):
             batch += payload
         if batch:
             self.send(bytes(batch))
+
+    def send_frames(self, payloads: Sequence[bytes]) -> None:
+        """Send buffered chunk frames as one message.
+
+        The canonical flush for senders that accumulate frames: a single
+        frame goes out directly (no copy), several are concatenated via
+        :meth:`send_batch`, and an empty buffer sends nothing.
+        """
+        if len(payloads) == 1:
+            self.send(payloads[0])
+        elif payloads:
+            self.send_batch(payloads)
 
     @abstractmethod
     def receive(self) -> Optional[bytes]:

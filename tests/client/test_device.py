@@ -92,3 +92,25 @@ class TestBudgetAccounting:
     def test_vacuous_budget_without_plan(self):
         client = SimulatedClient("c", plan=None)
         assert client.budget_respected()
+
+
+class TestUpdatePlan:
+    def test_swap_changes_annotations(self, plan):
+        client = SimulatedClient("c", plan=None, chunk_size=10)
+        first = next(iter(client.process(LINES[:10])))
+        assert first.bitvectors == {}
+        client.update_plan(plan)
+        second = next(iter(client.process(LINES[:10])))
+        assert second.predicate_ids == plan.predicate_ids
+
+    def test_swap_to_none_stops_annotating(self, plan):
+        client = SimulatedClient("c", plan=plan, chunk_size=10)
+        client.update_plan(None)
+        chunk = next(iter(client.process(LINES[:10])))
+        assert chunk.bitvectors == {}
+        assert client.plan is None
+
+    def test_start_chunk_id_offsets_numbering(self, plan):
+        client = SimulatedClient("c", plan=plan, chunk_size=10)
+        chunks = list(client.process(LINES[:20], start_chunk_id=7))
+        assert [c.chunk_id for c in chunks] == [7, 8]

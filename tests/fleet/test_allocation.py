@@ -1,0 +1,145 @@
+"""Unit tests for per-client budget allocation and re-allocation."""
+
+import pytest
+
+from repro.core import (
+    Budget,
+    CiaoOptimizer,
+    ClientProfile,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+    observed_speed_factors,
+)
+from repro.fleet import FleetBudgetAllocator, uniform_allocation
+
+
+@pytest.fixture()
+def global_plan(tiny_optimizer):
+    return tiny_optimizer.plan(Budget(50.0))
+
+
+PROFILES = [
+    ClientProfile("fast", speed_factor=2.0),
+    ClientProfile("mid", speed_factor=1.0),
+    ClientProfile("slow", speed_factor=0.4),
+]
+
+
+class TestAllocate:
+    def test_faster_clients_get_larger_budgets(self, global_plan):
+        allocator = FleetBudgetAllocator(global_plan, Budget(10.0))
+        allocation = allocator.allocate(PROFILES)
+        assert (allocation.budgets["fast"].us
+                > allocation.budgets["mid"].us
+                > allocation.budgets["slow"].us)
+
+    def test_plans_are_prefixes_with_stable_ids(self, global_plan):
+        allocator = FleetBudgetAllocator(global_plan, Budget(10.0))
+        allocation = allocator.allocate(PROFILES)
+        for plan in allocation.plans.values():
+            for entry, original in zip(plan.entries, global_plan.entries):
+                assert entry.predicate_id == original.predicate_id
+                assert entry.clause == original.clause
+
+    def test_plan_fits_allocated_budget(self, global_plan):
+        allocator = FleetBudgetAllocator(global_plan, Budget(10.0))
+        allocation = allocator.allocate(PROFILES)
+        for cid, plan in allocation.plans.items():
+            assert plan.total_cost_us() <= allocation.budgets[cid].us + 1e-9
+            assert allocation.utilization(cid) <= 1.0 + 1e-9
+
+    def test_slack_cap_respected(self, global_plan):
+        capped = [
+            ClientProfile("capped", speed_factor=2.0,
+                          slack_us_per_record=1.0),
+            ClientProfile("free", speed_factor=1.0),
+        ]
+        allocator = FleetBudgetAllocator(global_plan, Budget(10.0))
+        allocation = allocator.allocate(capped)
+        # Budget is modeled µs = slack (own µs) × speed.
+        assert allocation.budgets["capped"].us <= 2.0 + 1e-9
+        assert allocation.round == 0
+
+    def test_rounds_increment(self, global_plan):
+        allocator = FleetBudgetAllocator(global_plan, Budget(5.0))
+        assert allocator.allocate(PROFILES).round == 0
+        assert allocator.allocate(PROFILES).round == 1
+
+
+class TestReallocate:
+    def test_dead_clients_drop_out(self, global_plan):
+        allocator = FleetBudgetAllocator(global_plan, Budget(10.0))
+        allocation = allocator.reallocate(
+            PROFILES, {"fast": 100.0, "mid": 50.0}
+        )
+        assert "slow" not in allocation.budgets
+        assert set(allocation.plans) == {"fast", "mid"}
+
+    def test_observation_shifts_allocation(self, global_plan):
+        allocator = FleetBudgetAllocator(global_plan, Budget(10.0))
+        # "slow" turns out to be the fastest device in practice.
+        allocation = allocator.reallocate(
+            PROFILES, {"fast": 10.0, "mid": 10.0, "slow": 1000.0},
+            blend=1.0,
+        )
+        assert (allocation.budgets["slow"].us
+                > allocation.budgets["fast"].us)
+
+    def test_no_survivors_raises(self, global_plan):
+        allocator = FleetBudgetAllocator(global_plan, Budget(10.0))
+        with pytest.raises(ValueError):
+            allocator.reallocate(PROFILES, {})
+
+
+class TestObservedSpeedFactors:
+    def test_normalized_to_unit_mean(self):
+        factors = observed_speed_factors({"a": 10.0, "b": 30.0})
+        assert (factors["a"] + factors["b"]) / 2 == pytest.approx(1.0)
+        assert factors["b"] == pytest.approx(3 * factors["a"])
+
+    def test_unobserved_client_gets_mean(self):
+        factors = observed_speed_factors({"a": 10.0, "b": 0.0})
+        assert factors["b"] == pytest.approx(1.0)
+
+    def test_all_unobserved_is_nominal(self):
+        factors = observed_speed_factors({"a": 0.0, "b": 0.0})
+        assert factors == {"a": 1.0, "b": 1.0}
+
+    def test_prior_blending(self):
+        factors = observed_speed_factors(
+            {"a": 10.0, "b": 10.0}, prior={"a": 3.0, "b": 1.0},
+            blend=0.5,
+        )
+        # Observation says both are equal, at the prior's mean scale
+        # (2.0); blend pulls each halfway from its prior toward that.
+        assert factors["a"] == pytest.approx(2.5)
+        assert factors["b"] == pytest.approx(1.5)
+
+    def test_uniform_fleet_keeps_absolute_scale(self):
+        """Slack caps depend on absolute factors: a uniformly slow fleet
+        must not drift toward nominal across realloc rounds."""
+        factors = {"a": 0.5, "b": 0.5}
+        for _ in range(5):
+            factors = observed_speed_factors(
+                {"a": 10.0, "b": 10.0}, prior=factors, blend=0.5
+            )
+        assert factors["a"] == pytest.approx(0.5)
+        assert factors["b"] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            observed_speed_factors({})
+        with pytest.raises(ValueError):
+            observed_speed_factors({"a": 1.0}, blend=1.5)
+
+
+class TestUniformAllocation:
+    def test_everyone_gets_the_global_plan(self, global_plan):
+        allocation = uniform_allocation(global_plan, ["a", "b"])
+        assert allocation.plans == {"a": global_plan, "b": global_plan}
+        assert allocation.pushed("a") == len(global_plan)
+
+    def test_none_plan(self):
+        allocation = uniform_allocation(None, ["a"])
+        assert allocation.plans["a"] is None
+        assert allocation.budgets["a"].us == 0

@@ -1,0 +1,136 @@
+"""Unit tests for deterministic fleet population generation."""
+
+import pytest
+
+from repro.fleet import ClientPopulation, FleetClientSpec
+from repro.simulate import PLATFORMS
+
+
+class TestGenerate:
+    def test_same_seed_identical_population(self):
+        a = ClientPopulation.generate(8, seed=42)
+        b = ClientPopulation.generate(8, seed=42)
+        assert a.specs == b.specs
+
+    def test_different_seed_differs(self):
+        a = ClientPopulation.generate(8, seed=42)
+        b = ClientPopulation.generate(8, seed=43)
+        assert a.specs != b.specs
+
+    def test_platforms_come_from_table_iv(self):
+        population = ClientPopulation.generate(12, seed=7)
+        assert {s.platform for s in population} <= set(PLATFORMS)
+
+    def test_speed_factors_derive_from_hardware(self):
+        population = ClientPopulation.generate(
+            40, seed=7, speed_jitter=0.0, zipf_s=0.0
+        )
+        reference = PLATFORMS["local"]
+        for spec in population:
+            expected = PLATFORMS[spec.platform].relative_speed(reference)
+            assert spec.speed_factor == pytest.approx(expected)
+
+    def test_shares_are_normalized(self):
+        population = ClientPopulation.generate(9, seed=3, zipf_s=1.2)
+        assert sum(s.share for s in population) == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        population = ClientPopulation.generate(5, seed=3, zipf_s=0.0)
+        for spec in population:
+            assert spec.share == pytest.approx(0.2)
+
+    def test_skewed_shares_spread(self):
+        population = ClientPopulation.generate(6, seed=11, zipf_s=1.5)
+        shares = sorted(s.share for s in population)
+        assert shares[-1] > 2 * shares[0]
+
+    def test_slack_fraction_bounds(self):
+        never = ClientPopulation.generate(10, seed=5, slack_fraction=0.0)
+        assert all(s.slack_us_per_record == float("inf") for s in never)
+        always = ClientPopulation.generate(10, seed=5, slack_fraction=1.0)
+        assert all(s.slack_us_per_record < float("inf") for s in always)
+
+    def test_needs_at_least_one_client(self):
+        with pytest.raises(ValueError):
+            ClientPopulation.generate(0, seed=1)
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        spec = FleetClientSpec("dup", "local", 1.0, share=0.5)
+        with pytest.raises(ValueError):
+            ClientPopulation([spec, spec])
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            FleetClientSpec("c", "quantum", 1.0, share=1.0)
+
+    def test_zero_total_share_rejected(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(
+                [FleetClientSpec("c", "local", 1.0, share=0.0)]
+            )
+
+    def test_shares_renormalized(self):
+        population = ClientPopulation(
+            [
+                FleetClientSpec("a", "local", 1.0, share=3.0),
+                FleetClientSpec("b", "pku", 1.0, share=1.0),
+            ]
+        )
+        assert population["a"].share == pytest.approx(0.75)
+        assert population["b"].share == pytest.approx(0.25)
+
+
+class TestPartition:
+    def test_partition_is_exact_and_deterministic(self):
+        population = ClientPopulation.generate(7, seed=9, zipf_s=1.0)
+        records = [f"r{i}" for i in range(1003)]
+        first = population.partition(records)
+        second = population.partition(records)
+        assert first == second
+        assert sum(len(part) for part in first.values()) == len(records)
+        flattened = [
+            r for spec in population for r in first[spec.client_id]
+        ]
+        assert flattened == records  # contiguous slices, no loss, no dup
+
+    def test_partition_sizes_track_shares(self):
+        population = ClientPopulation(
+            [
+                FleetClientSpec("big", "local", 1.0, share=0.75),
+                FleetClientSpec("small", "local", 1.0, share=0.25),
+            ]
+        )
+        parts = population.partition([str(i) for i in range(100)])
+        assert len(parts["big"]) == 75
+        assert len(parts["small"]) == 25
+
+    def test_empty_input(self):
+        population = ClientPopulation.generate(3, seed=1)
+        parts = population.partition([])
+        assert all(part == [] for part in parts.values())
+
+
+class TestHelpers:
+    def test_with_kill(self):
+        population = ClientPopulation.generate(4, seed=2)
+        victim = population.specs[2].client_id
+        killed = population.with_kill(victim, after_chunks=3)
+        assert killed[victim].kill_after_chunks == 3
+        others = [s for s in killed if s.client_id != victim]
+        assert all(s.kill_after_chunks is None for s in others)
+        with pytest.raises(KeyError):
+            population.with_kill("nobody", 1)
+
+    def test_profiles_match_specs(self):
+        population = ClientPopulation.generate(5, seed=8)
+        for spec, profile in zip(population, population.profiles()):
+            assert profile.client_id == spec.client_id
+            assert profile.speed_factor == spec.speed_factor
+            assert profile.slack_us_per_record == spec.slack_us_per_record
+
+    def test_getitem_unknown(self):
+        population = ClientPopulation.generate(2, seed=1)
+        with pytest.raises(KeyError):
+            population["ghost"]

@@ -1,0 +1,177 @@
+"""Straggler reassignment: client deaths must not lose records.
+
+The invariant under test (fleet-wide, across any single-client death):
+``received == loaded + sidelined + malformed`` and ``received`` equals
+every record handed to the fleet — the dead client's remaining partition
+is absorbed by survivors.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.client import SimulatedClient
+from repro.core import (
+    Budget,
+    CiaoOptimizer,
+    CostModel,
+    DEFAULT_COEFFICIENTS,
+)
+from repro.data import make_generator
+from repro.fleet import ClientPopulation, FleetCoordinator
+from repro.server import CiaoServer
+from repro.workload import estimate_selectivities, table3_workload
+
+SEED = 31337
+N_RECORDS = 1200
+CHUNK = 100
+
+
+@pytest.fixture(scope="module")
+def setup():
+    generator = make_generator("winlog", SEED)
+    lines = list(generator.raw_lines(N_RECORDS))
+    workload = table3_workload("winlog", "A", seed=SEED, n_queries=8)
+    sels = estimate_selectivities(
+        workload.candidate_pool, generator.sample(600)
+    )
+    model = CostModel(DEFAULT_COEFFICIENTS, 160)
+    plan = CiaoOptimizer(workload, sels, model).plan(Budget(10.0))
+    return lines, workload, plan
+
+
+@pytest.fixture(scope="module")
+def reference_answers(setup, tmp_path_factory):
+    lines, workload, plan = setup
+    server = CiaoServer(
+        tmp_path_factory.mktemp("ref"), plan=plan, workload=workload
+    )
+    client = SimulatedClient("solo", plan=plan, chunk_size=CHUNK)
+    for chunk in client.process(lines):
+        server.ingest(chunk)
+    server.finalize_loading()
+    return [server.query(q.sql("t")).scalar() for q in workload.queries]
+
+
+def fat_client(population):
+    """The client with the largest partition — killing it guarantees
+    leftover work for the survivors to absorb."""
+    return max(population, key=lambda s: s.share).client_id
+
+
+class TestKillAfterChunks:
+    def test_no_record_loss_and_absorption(self, tmp_path, setup,
+                                           reference_answers):
+        lines, workload, plan = setup
+        population = ClientPopulation.generate(5, seed=SEED)
+        victim = fat_client(population)
+        population = population.with_kill(victim, after_chunks=1)
+        server = CiaoServer(
+            tmp_path / "kill", plan=plan, workload=workload,
+            n_shards=2, shard_mode="thread",
+        )
+        coordinator = FleetCoordinator(
+            server, population, global_plan=plan,
+            aggregate_budget=Budget(5.0),
+            chunk_size=CHUNK, batch_size=1,
+        )
+        report = coordinator.run(lines)
+
+        assert report.killed_clients == [victim]
+        assert report.no_record_loss
+        summary = report.summary
+        assert summary.received == N_RECORDS
+        assert (summary.loaded + summary.sidelined + summary.malformed
+                == summary.received)
+        # The victim died after ~1 chunk: survivors absorbed the rest.
+        dead = report.client(victim)
+        assert dead.shipped_records < dead.assigned_records
+        assert report.reassignment_events > 0
+        absorbed = sum(c.absorbed_records for c in report.clients
+                       if c.client_id != victim)
+        assert absorbed > 0
+        assert any(src == victim for src, _, _ in report.reassignments)
+        # Fleet-wide shipped records still cover every input record.
+        assert sum(c.shipped_records for c in report.clients) == N_RECORDS
+
+        got = [server.query(q.sql("t")).scalar()
+               for q in workload.queries]
+        assert got == reference_answers
+
+    def test_killed_client_drops_from_reallocation(self, tmp_path, setup):
+        lines, workload, plan = setup
+        population = ClientPopulation.generate(4, seed=SEED)
+        victim = fat_client(population)
+        population = population.with_kill(victim, after_chunks=1)
+        server = CiaoServer(
+            tmp_path / "realloc", plan=plan, workload=workload,
+            n_shards=2, shard_mode="thread",
+        )
+        coordinator = FleetCoordinator(
+            server, population, global_plan=plan,
+            aggregate_budget=Budget(5.0),
+            chunk_size=CHUNK, batch_size=1, realloc_interval=3,
+        )
+        report = coordinator.run(lines)
+        assert report.no_record_loss
+        assert report.killed_clients == [victim]
+
+
+class TestKillSignal:
+    def test_external_kill_mid_run(self, tmp_path, setup,
+                                   reference_answers):
+        """kill_client() from another thread, racing the load.
+
+        The kill may land mid-load (records reassigned) or after the
+        victim finished (no-op beyond the flag); the accounting
+        invariant and query answers must hold either way.
+        """
+        lines, workload, plan = setup
+        population = ClientPopulation.generate(5, seed=SEED)
+        victim = fat_client(population)
+        server = CiaoServer(
+            tmp_path / "sig", plan=plan, workload=workload,
+            n_shards=2, shard_mode="thread",
+        )
+        coordinator = FleetCoordinator(
+            server, population, global_plan=plan,
+            aggregate_budget=Budget(5.0),
+            chunk_size=CHUNK, batch_size=1,
+        )
+        killer = threading.Timer(0.05, coordinator.kill_client, (victim,))
+        killer.start()
+        try:
+            report = coordinator.run(lines)
+        finally:
+            killer.cancel()
+        assert report.no_record_loss
+        got = [server.query(q.sql("t")).scalar()
+               for q in workload.queries]
+        assert got == reference_answers
+
+
+class TestSlowStraggler:
+    def test_live_straggler_sheds_load(self, tmp_path, setup):
+        """A merely slow client's backlog is absorbed by idle peers."""
+        lines, workload, plan = setup
+        # One client owns (nearly) everything; four idle peers.
+        from repro.fleet import FleetClientSpec
+        specs = [FleetClientSpec("hog", "alibaba", 0.5, share=0.96)] + [
+            FleetClientSpec(f"idle-{i}", "pku", 1.2, share=0.01)
+            for i in range(4)
+        ]
+        server = CiaoServer(
+            tmp_path / "slow", plan=plan, workload=workload,
+            n_shards=2, shard_mode="thread",
+        )
+        coordinator = FleetCoordinator(
+            server, specs, global_plan=plan,
+            aggregate_budget=Budget(5.0), chunk_size=CHUNK,
+            batch_size=1,
+        )
+        report = coordinator.run(lines)
+        assert report.no_record_loss
+        assert report.reassigned_records > 0
+        hog = report.client("hog")
+        assert hog.shipped_records < hog.assigned_records

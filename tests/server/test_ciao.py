@@ -106,3 +106,77 @@ class TestIngestAndQuery:
         assert server.query(
             "SELECT COUNT(*) FROM events"
         ).scalar() == 5
+
+
+class TestIngestSessions:
+    def test_session_counts_frames(self, tmp_path):
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=WORKLOAD)
+        client = SimulatedClient("c", plan=plan, chunk_size=10)
+        chunks = list(client.process(LINES))
+        with server.open_ingest_session("edge-0") as session:
+            assert session.ingest(chunks[0]) == 1
+            assert session.ingest(encode_chunk(chunks[1])) == 1
+        assert server.ingest_sources == {"edge-0": 2}
+
+    def test_batched_message_counts_each_frame(self, tmp_path):
+        from repro.client import encode_frame_batch
+
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=WORKLOAD)
+        client = SimulatedClient("c", plan=plan, chunk_size=10)
+        payloads = [encode_chunk(c) for c in client.process(LINES)]
+        session = server.open_ingest_session("batcher")
+        assert session.ingest(encode_frame_batch(payloads)) == 5
+        assert server.ingest_sources == {"batcher": 5}
+        summary = server.finalize_loading()
+        assert summary.received == 50
+
+    def test_session_drain_channel(self, tmp_path):
+        plan = make_plan([C0, C1])
+        server = CiaoServer(tmp_path, plan=plan, workload=WORKLOAD)
+        client = SimulatedClient("c", plan=plan, chunk_size=10)
+        channel = MemoryChannel()
+        client.ship(LINES, channel, batch_size=2)
+        session = server.open_ingest_session("shipper")
+        assert session.drain_channel(channel) == 3  # messages, not chunks
+        assert session.chunks == 5                  # frames
+        assert session.bytes > 0
+
+    def test_duplicate_source_rejected(self, tmp_path):
+        server = CiaoServer(tmp_path)
+        session = server.open_ingest_session("dup")
+        with pytest.raises(ValueError):
+            server.open_ingest_session("dup")
+        session.close()
+        # Reuse after close is still rejected: accounting would conflate.
+        with pytest.raises(ValueError):
+            server.open_ingest_session("dup")
+
+    def test_closed_session_rejects_chunks(self, tmp_path):
+        server = CiaoServer(tmp_path)
+        session = server.open_ingest_session("s")
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.ingest(JsonChunk(0, LINES[:5]))
+
+    def test_finalize_closes_sessions(self, tmp_path):
+        server = CiaoServer(tmp_path)
+        session = server.open_ingest_session("s")
+        session.ingest(JsonChunk(0, LINES[:5]))
+        server.finalize_loading()
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            server.open_ingest_session("late")
+
+    def test_sharded_pipeline_source_accounting(self, tmp_path):
+        server = CiaoServer(tmp_path, n_shards=2, shard_mode="thread")
+        a = server.open_ingest_session("a")
+        b = server.open_ingest_session("b")
+        a.ingest(JsonChunk(0, LINES[:10]))
+        a.ingest(JsonChunk(1, LINES[10:20]))
+        b.ingest(JsonChunk(0, LINES[20:30]))
+        assert server._pipeline.submitted_by_source == {"a": 2, "b": 1}
+        summary = server.finalize_loading()
+        assert summary.received == 30
+        assert server.ingest_sources == {"a": 2, "b": 1}

@@ -92,3 +92,21 @@ class TestProfiles:
             assert score == pytest.approx(
                 profile.paper_r_squared, abs=0.15
             ), name
+
+
+class TestRelativeSpeed:
+    def test_self_speed_is_unity(self):
+        local = PLATFORMS["local"]
+        assert local.relative_speed(local) == pytest.approx(1.0)
+
+    def test_ordering_matches_coefficients(self):
+        local = PLATFORMS["local"]
+        # pku has uniformly smaller coefficients (faster); alibaba larger.
+        assert PLATFORMS["pku"].relative_speed(local) > 1.0
+        assert PLATFORMS["alibaba"].relative_speed(local) < 1.0
+
+    def test_true_cost_is_noise_free(self):
+        profile = PLATFORMS["pku"]
+        a = profile.true_cost_us(12.0, 160.0, 0.1)
+        b = profile.true_cost_us(12.0, 160.0, 0.1)
+        assert a == b > 0

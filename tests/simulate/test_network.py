@@ -149,3 +149,35 @@ class TestLinkModel:
     def test_negative_payload_rejected(self):
         with pytest.raises(ValueError):
             LinkModel().transfer_time_us(-1)
+
+
+class TestSendFrames:
+    """send_frames: the shared one-frame-vs-batch flush dispatch."""
+
+    def frames(self):
+        from repro.client import encode_chunk
+        from repro.rawjson import JsonChunk, dump_record
+
+        return [
+            encode_chunk(JsonChunk(i, [dump_record({"v": i})]))
+            for i in range(3)
+        ]
+
+    def test_empty_sends_nothing(self):
+        channel = MemoryChannel()
+        channel.send_frames([])
+        assert channel.stats.messages_sent == 0
+
+    def test_single_frame_sent_directly(self):
+        frames = self.frames()
+        channel = MemoryChannel()
+        channel.send_frames(frames[:1])
+        assert channel.stats.messages_sent == 1
+        assert channel.receive() == frames[0]
+
+    def test_many_frames_become_one_message(self):
+        frames = self.frames()
+        channel = MemoryChannel()
+        channel.send_frames(frames)
+        assert channel.stats.messages_sent == 1
+        assert [bytes(f) for f in channel.drain_chunks()] == frames
