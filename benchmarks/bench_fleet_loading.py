@@ -1,5 +1,10 @@
 """Coordinated fleet loading vs 1-client loading, plus straggler recovery.
 
+Runs entirely through the deployment API (`repro.api.CiaoSession`): the
+serial baseline and the fleets differ only in their `DeploymentConfig`,
+and both sides pay the same encode → channel → decode protocol path, so
+the comparison is transport-for-transport fair.
+
 Three claims are measured:
 
 1. **Fleet equivalence** — an 8-client heterogeneous fleet (Table IV
@@ -19,7 +24,7 @@ Three claims are measured:
    and reports the measured ratio.  Override with
    ``REPRO_BENCH_MIN_FLEET_SPEEDUP`` (a float) to pin it in CI.
 
-Chunk framing is batched (``batch_size=DEFAULT_SHIP_BATCH``) per the
+Chunk framing is batched (``ship_batch=DEFAULT_SHIP_BATCH``) per the
 measured amortization win — see ``bench_parallel_ingest.py`` and
 ``benchmarks/results/batched_framing.txt``.
 
@@ -30,22 +35,20 @@ Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_fleet_loading.py``
 from __future__ import annotations
 
 import os
-import time
 
 from conftest import run_once
 
-from repro.bench import emit, fleet_table
-from repro.client import DEFAULT_SHIP_BATCH, SimulatedClient
-from repro.core import (
+from repro.api import (
     Budget,
-    CiaoOptimizer,
-    CostModel,
-    DEFAULT_COEFFICIENTS,
+    CiaoSession,
+    ClientPopulation,
+    DeploymentConfig,
+    LineSource,
 )
+from repro.bench import emit, fleet_table
+from repro.client import DEFAULT_SHIP_BATCH
 from repro.data import make_generator
-from repro.fleet import ClientPopulation, FleetCoordinator
-from repro.server import CiaoServer
-from repro.workload import estimate_selectivities, table3_workload
+from repro.workload import table3_workload
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 N_RECORDS = 1600 if SMOKE else 6000
@@ -54,6 +57,9 @@ N_CLIENTS = 8
 N_SHARDS = 4
 AGGREGATE_BUDGET = Budget(8.0)
 SEED = 20260727
+
+SERIAL = DeploymentConfig(mode="serial", chunk_size=CHUNK_SIZE,
+                          ship_batch=DEFAULT_SHIP_BATCH)
 
 
 def _effective_cores() -> int:
@@ -77,98 +83,96 @@ def _min_fleet_speedup() -> float:
     return 0.4
 
 
-def _prepare():
-    generator = make_generator("yelp", SEED)
-    lines = list(generator.raw_lines(N_RECORDS))
-    workload = table3_workload("yelp", "A", seed=SEED, n_queries=15)
-    sels = estimate_selectivities(
-        workload.candidate_pool, generator.sample(min(1000, N_RECORDS))
-    )
-    model = CostModel(DEFAULT_COEFFICIENTS, 160)
-    plan = CiaoOptimizer(workload, sels, model).plan(Budget(20.0))
-    return lines, workload, plan
-
-
-def _serial_load(tmp_path, tag, lines, workload, plan):
-    """1-client loading: the baseline the fleet must beat."""
-    server = CiaoServer(tmp_path / tag, plan=plan, workload=workload)
-    client = SimulatedClient("solo", plan=plan, chunk_size=CHUNK_SIZE)
-    start = time.perf_counter()
-    for chunk in client.process(lines):
-        server.ingest(chunk)
-    server.finalize_loading()
-    elapsed = time.perf_counter() - start
-    return server, elapsed
-
-
-def _fleet_load(tmp_path, tag, lines, workload, plan, population):
-    server = CiaoServer(
-        tmp_path / tag, plan=plan, workload=workload,
-        n_shards=N_SHARDS, shard_mode="process",
-    )
-    coordinator = FleetCoordinator(
-        server, population,
-        global_plan=plan,
-        aggregate_budget=AGGREGATE_BUDGET,
+def fleet_config(population: ClientPopulation) -> DeploymentConfig:
+    return DeploymentConfig(
+        mode="fleet",
+        n_shards=N_SHARDS,
+        shard_mode="process",
         chunk_size=CHUNK_SIZE,
-        batch_size=DEFAULT_SHIP_BATCH,
+        ship_batch=DEFAULT_SHIP_BATCH,
+        population=population,
+        aggregate_budget=AGGREGATE_BUDGET,
         realloc_interval=max(4, N_RECORDS // CHUNK_SIZE // 4),
     )
-    start = time.perf_counter()
-    report = coordinator.run(lines)
-    elapsed = time.perf_counter() - start
-    return server, report, elapsed
 
 
-def _answers(server, workload):
-    return [server.query(q.sql("t")).scalar() for q in workload.queries]
+def _prepare():
+    generator = make_generator("yelp", SEED)
+    source = LineSource(generator.raw_lines(N_RECORDS), name="yelp")
+    workload = table3_workload("yelp", "A", seed=SEED, n_queries=15)
+    return source, workload
+
+
+def _load(tmp_path, tag, source, workload, config):
+    """One session-driven load; returns (session, unified report)."""
+    session = CiaoSession(
+        workload, source=source, config=config,
+        data_dir=tmp_path / tag, seed=SEED,
+    )
+    session.plan(
+        Budget(20.0),
+        sample_size=min(1000, N_RECORDS),
+        avg_record_length=160,
+    )
+    report = session.load().result()
+    return session, report
+
+
+def _answers(session, workload):
+    return [session.query(q.sql("t")).scalar() for q in workload.queries]
 
 
 def test_fleet_loading(benchmark, tmp_path, results_dir):
-    lines, workload, plan = _prepare()
+    source, workload = _prepare()
     population = ClientPopulation.generate(N_CLIENTS, seed=SEED)
     fat = max(population, key=lambda s: s.share).client_id
     killed_population = population.with_kill(fat, after_chunks=1)
 
     def experiment():
-        serial_server, serial_s = _serial_load(
-            tmp_path, "serial", lines, workload, plan
+        serial_session, serial_report = _load(
+            tmp_path, "serial", source, workload, SERIAL
         )
-        fleet_server, report, fleet_s = _fleet_load(
-            tmp_path, "fleet", lines, workload, plan, population
+        fleet_session, fleet_report = _load(
+            tmp_path, "fleet", source, workload,
+            fleet_config(population),
         )
-        kill_server, kill_report, _ = _fleet_load(
-            tmp_path, "killed", lines, workload, plan, killed_population
+        kill_session, kill_report = _load(
+            tmp_path, "killed", source, workload,
+            fleet_config(killed_population),
         )
-        return (serial_server, serial_s, fleet_server, report, fleet_s,
-                kill_server, kill_report)
+        return (serial_session, serial_report, fleet_session,
+                fleet_report, kill_session, kill_report)
 
-    (serial_server, serial_s, fleet_server, report, fleet_s,
-     kill_server, kill_report) = run_once(benchmark, experiment)
+    (serial_session, serial_report, fleet_session, fleet_report,
+     kill_session, kill_report) = run_once(benchmark, experiment)
 
-    expected = _answers(serial_server, workload)
+    expected = _answers(serial_session, workload)
 
     # 1. Fleet result ≡ serial single-client ingest of the same records.
-    assert report.no_record_loss
-    assert _answers(fleet_server, workload) == expected, (
+    assert serial_report.no_record_loss
+    assert fleet_report.no_record_loss
+    assert _answers(fleet_session, workload) == expected, (
         "fleet answers diverged from serial ingest"
     )
 
     # 2. One client killed mid-load: zero record loss, same answers,
     #    survivors absorbed the dead client's partition.
-    assert kill_report.killed_clients == [fat]
+    assert kill_report.fleet.killed_clients == [fat]
     assert kill_report.no_record_loss, (
         f"record loss after killing {fat}: "
-        f"received={kill_report.summary.received} of {N_RECORDS}"
+        f"received={kill_report.received} of {N_RECORDS}"
     )
-    assert _answers(kill_server, workload) == expected, (
+    assert _answers(kill_session, workload) == expected, (
         "killed-fleet answers diverged from serial ingest"
     )
-    assert kill_report.reassignment_events > 0
-    dead = kill_report.client(fat)
+    assert kill_report.fleet.reassignment_events > 0
+    dead = kill_report.fleet.client(fat)
     assert dead.shipped_records < dead.assigned_records
 
-    # 3. Core-gated concurrency speedup.
+    # 3. Core-gated concurrency speedup (both sides timed end-to-end
+    #    through the identical session/protocol path).
+    serial_s = serial_report.wall_seconds
+    fleet_s = fleet_report.wall_seconds
     speedup = serial_s / fleet_s
     floor = _min_fleet_speedup()
     cores = _effective_cores()
@@ -177,12 +181,12 @@ def test_fleet_loading(benchmark, tmp_path, results_dir):
         f"({N_RECORDS} records, {N_CLIENTS} clients, {N_SHARDS} shards, "
         f"chunk {CHUNK_SIZE}, ship batch {DEFAULT_SHIP_BATCH}):",
         "",
-        fleet_table(report),
+        fleet_table(fleet_report.fleet),
         "",
         f"straggler run: killed {fat} after 1 chunk — "
-        f"{kill_report.reassignment_events} reassignment events moved "
-        f"{kill_report.reassigned_records} records to survivors; "
-        f"no record loss: {kill_report.no_record_loss}",
+        f"{kill_report.fleet.reassignment_events} reassignment events "
+        f"moved {kill_report.fleet.reassigned_records} records to "
+        f"survivors; no record loss: {kill_report.no_record_loss}",
         "",
         f"  effective cores : {cores}",
         f"  1-client serial : {serial_s:8.2f} s "
@@ -192,6 +196,9 @@ def test_fleet_loading(benchmark, tmp_path, results_dir):
         f"  speedup         : {speedup:8.2f}x (floor {floor:.1f}x)",
     ]
     emit("fleet_loading", "\n".join(lines_out), results_dir)
+
+    for session in (serial_session, fleet_session, kill_session):
+        session.close()
 
     assert speedup >= floor, (
         f"{N_CLIENTS}-client fleet only {speedup:.2f}x over 1-client "

@@ -6,23 +6,23 @@ provides: a *calibrated* cost model (§V-D / Table IV) so B is in real
 they can see where the diminishing returns of §V set in.
 
 This example calibrates against real ``str.find`` timings on the current
-machine, then sweeps budgets and prints, for each: predicates pushed,
-expected filtering benefit f(S), and the cost-model estimate of client
-spend.
+machine, injects the calibrated model into ``CiaoSession.plan`` (every
+stage of the session's planning pipeline accepts an override), then
+sweeps budgets and prints, for each: predicates pushed, expected filtering
+benefit f(S), and the cost-model estimate of client spend.
 
 Run:  python examples/budget_tuning.py
 """
 
-from repro import Budget, CiaoOptimizer, CostModel
+from repro.api import Budget, CiaoSession, CostModel, as_source
 from repro.core import fit, measure_search_costs
 from repro.core.patterns import compile_clause
-from repro.data import make_generator
-from repro.workload import estimate_selectivities, table3_workload
+from repro.workload import table3_workload
 
 
-def calibrate(generator, clauses, n_records=400):
+def calibrate(source, clauses, n_records=400):
     """Fit the §V-D model to real substring-search timings."""
-    records = list(generator.raw_lines(n_records))
+    records = list(source.records())[:n_records]
     compiled = [compile_clause(c) for c in clauses]
     observations = measure_search_costs(compiled, records, repeats=3)
     report = fit(observations)
@@ -35,17 +35,12 @@ def calibrate(generator, clauses, n_records=400):
 
 
 def main() -> None:
-    generator = make_generator("winlog", seed=5)
+    source = as_source("winlog", seed=5, n_records=400)
     workload = table3_workload("winlog", "A", seed=5, n_queries=40)
     pool = workload.candidate_pool
-    sample = generator.sample(2000)
-    selectivities = estimate_selectivities(pool, sample)
 
-    coefficients = calibrate(generator, list(pool)[:80])
-    cost_model = CostModel(
-        coefficients, generator.average_record_length()
-    )
-    optimizer = CiaoOptimizer(workload, selectivities, cost_model)
+    coefficients = calibrate(source, list(pool)[:80])
+    cost_model = CostModel(coefficients, source.average_record_length())
 
     print(
         f"\nWorkload: {len(workload)} queries over {len(pool)} candidate "
@@ -57,20 +52,21 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    previous = (0.0, 0.0)
-    for budget_us in (0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2):
-        plan = optimizer.plan(Budget(budget_us))
-        benefit = plan.expected_benefit()
-        spend = plan.total_cost_us()
-        marginal = (
-            (benefit - previous[0]) / (spend - previous[1])
-            if spend > previous[1] else float("nan")
-        )
-        print(
-            f"{budget_us:>16.2f} {len(plan):>8} {benefit:>7.3f} "
-            f"{spend:>15.3f} {marginal:>18.2f}"
-        )
-        previous = (benefit, spend)
+    with CiaoSession(workload, source=source, seed=5) as session:
+        previous = (0.0, 0.0)
+        for budget_us in (0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2):
+            plan = session.plan(Budget(budget_us), cost_model=cost_model)
+            benefit = plan.expected_benefit()
+            spend = plan.total_cost_us()
+            marginal = (
+                (benefit - previous[0]) / (spend - previous[1])
+                if spend > previous[1] else float("nan")
+            )
+            print(
+                f"{budget_us:>16.2f} {len(plan):>8} {benefit:>7.3f} "
+                f"{spend:>15.3f} {marginal:>18.2f}"
+            )
+            previous = (benefit, spend)
     print(
         "\nDiminishing marginal returns (submodularity, §V-B): each extra "
         "µs of budget buys less filtering than the one before."

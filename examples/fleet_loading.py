@@ -1,96 +1,84 @@
-"""Coordinated fleet loading: many heterogeneous clients, one server.
+"""Coordinated fleet loading through the `CiaoSession` front door.
 
 Generates a seeded 8-client population from the Table IV hardware
 profiles (Zipf-skewed data shares, a few slack-capped devices), allocates
 an aggregate budget across it, and runs the whole fleet concurrently
-against a sharded CIAO server with bounded backpressure and online
-budget re-allocation.  A second run kills the fattest client mid-load to
-show straggler reassignment: survivors absorb its partition and the
-fleet still loses no records.
+against a sharded CIAO server with bounded backpressure and online budget
+re-allocation — one `DeploymentConfig` instead of hand-wiring optimizer,
+server, coordinator, and channels.  A second run kills the fattest client
+mid-load *and* makes every channel lossy (drops are retransmitted, seeded,
+replayable): survivors absorb the dead client's partition and the fleet
+still loses no records.
 
 Run:  python examples/fleet_loading.py
 """
 
-import tempfile
-from pathlib import Path
-
-from repro import (
-    Budget,
-    CiaoOptimizer,
-    ClientPopulation,
-    CostModel,
-    DEFAULT_COEFFICIENTS,
-    FleetCoordinator,
-)
-from repro.data import make_generator
-from repro.server import CiaoServer
-from repro.workload import estimate_selectivities, table3_workload
+from repro.api import Budget, ChannelSpec, CiaoSession, DeploymentConfig
+from repro.workload import table3_workload
 
 N_RECORDS = 12_000
 N_CLIENTS = 8
 SEED = 7
 AGGREGATE_BUDGET = Budget(8.0)  # mean µs/record across the fleet
 
+BASE = DeploymentConfig(
+    mode="fleet",
+    n_shards=2,
+    shard_mode="thread",
+    chunk_size=500,
+    n_clients=N_CLIENTS,
+    population_seed=SEED,  # pinned so the straggler run can rebuild it
+    aggregate_budget=AGGREGATE_BUDGET,
+    realloc_interval=8,
+)
 
-def run_fleet(workdir: Path, tag: str, population, lines, workload,
-              plan):
-    server = CiaoServer(
-        workdir / tag, plan=plan, workload=workload,
-        n_shards=2, shard_mode="thread",
-    )
-    coordinator = FleetCoordinator(
-        server, population,
-        global_plan=plan,
-        aggregate_budget=AGGREGATE_BUDGET,
-        chunk_size=500,
-        realloc_interval=8,
-    )
-    report = coordinator.run(lines)
-    return server, report
+
+def run_fleet(tag: str, config: DeploymentConfig, workload):
+    with CiaoSession(workload, source="yelp", seed=SEED,
+                     config=config) as session:
+        session.plan(Budget(20.0))
+        report = session.load(n_records=N_RECORDS).result()
+        count = session.query("SELECT COUNT(*) FROM t").scalar()
+    print(f"== {tag} ==")
+    print(report.describe())
+    print(f"COUNT(*) = {count} (of {N_RECORDS} records)\n")
+    return report
 
 
 def main() -> None:
-    generator = make_generator("yelp", seed=SEED)
-    lines = list(generator.raw_lines(N_RECORDS))
     workload = table3_workload("yelp", "A", seed=SEED, n_queries=20)
-    selectivities = estimate_selectivities(
-        workload.candidate_pool, generator.sample(2000)
+
+    healthy = run_fleet(
+        f"healthy fleet: {N_CLIENTS} clients, {N_RECORDS} records",
+        BASE, workload,
     )
-    cost_model = CostModel(
-        DEFAULT_COEFFICIENTS, generator.average_record_length()
+
+    fat = max(healthy.fleet.clients, key=lambda c: c.share).client_id
+    flaky = BASE.with_mode(
+        "fleet",
+        population=_population_with_kill(fat),
+        channel=ChannelSpec(drop_rate=0.2, seed=SEED),
+        ship_batch=2,  # more, smaller messages: drops become visible
     )
-    plan = CiaoOptimizer(workload, selectivities, cost_model).plan(
-        Budget(20.0)
+    kill = run_fleet(
+        f"straggler fleet over lossy links: {fat} dies after 1 chunk, "
+        f"20% of transmissions dropped",
+        flaky, workload,
     )
+    print(
+        f"killed={kill.fleet.killed_clients} reassigned "
+        f"{kill.fleet.reassigned_records} records in "
+        f"{kill.fleet.reassignment_events} events; "
+        f"{kill.messages_dropped} transmissions dropped and retried; "
+        f"no record loss: {kill.no_record_loss}"
+    )
+
+
+def _population_with_kill(client_id: str):
+    from repro.api import ClientPopulation
+
     population = ClientPopulation.generate(N_CLIENTS, seed=SEED)
-
-    with tempfile.TemporaryDirectory() as workdir:
-        workdir = Path(workdir)
-
-        print(f"== healthy fleet: {N_CLIENTS} clients, "
-              f"{N_RECORDS} records ==")
-        server, report = run_fleet(
-            workdir, "healthy", population, lines, workload, plan
-        )
-        print(report.describe())
-
-        count = server.query("SELECT COUNT(*) FROM t").scalar()
-        print(f"\nCOUNT(*) = {count} (all {N_RECORDS} records visible)")
-
-        fat = max(population, key=lambda s: s.share).client_id
-        print(f"\n== straggler fleet: {fat} dies after 1 chunk ==")
-        _, kill_report = run_fleet(
-            workdir, "straggler",
-            population.with_kill(fat, after_chunks=1),
-            lines, workload, plan,
-        )
-        print(kill_report.describe())
-        print(
-            f"\nkilled={kill_report.killed_clients} "
-            f"reassigned {kill_report.reassigned_records} records in "
-            f"{kill_report.reassignment_events} events; "
-            f"no record loss: {kill_report.no_record_loss}"
-        )
+    return population.with_kill(client_id, after_chunks=1)
 
 
 if __name__ == "__main__":

@@ -4,59 +4,44 @@ A central log server collects syslog-style events from many machines.
 Analysts repeatedly filter on components, log levels, and message
 keywords; most events are never touched by any query.  CIAO pushes the hot
 predicates to the log shippers and the server loads only what the workload
-can reach — this example sweeps the client budget and prints how loading
-and query time respond (a miniature of the paper's Fig. 3).
+can reach — this example sweeps the client budget (one `CiaoSession` per
+sweep point, the source sampled once) and prints how loading and query
+time respond (a miniature of the paper's Fig. 3).
 
 Run:  python examples/log_analytics.py
 """
 
-import tempfile
 import time
 
-from repro import Budget, CiaoOptimizer, CiaoServer, CostModel, \
-    DEFAULT_COEFFICIENTS, SimulatedClient
+from repro.api import Budget, CiaoSession, LineSource
 from repro.data import make_generator
-from repro.workload import estimate_selectivities, table3_workload
+from repro.workload import table3_workload
 
 N_RECORDS = 8000
 N_QUERIES = 30
 BUDGETS_US = [0.0, 0.5, 1.0, 2.0, 4.0]
 
 
-def run_budget(budget_us, workload, generator, lines, sample):
+def run_budget(budget_us, workload, source):
     """One sweep point: returns (loading_s, query_s, ratio, n_pushed)."""
-    cost_model = CostModel(
-        DEFAULT_COEFFICIENTS, generator.average_record_length()
-    )
-    plan = None
-    if budget_us > 0:
-        selectivities = estimate_selectivities(
-            workload.candidate_pool, sample
-        )
-        optimizer = CiaoOptimizer(workload, selectivities, cost_model)
-        plan = optimizer.plan(Budget(budget_us))
-
-    with tempfile.TemporaryDirectory() as workdir:
-        server = CiaoServer(workdir, plan=plan, workload=workload)
-        client = SimulatedClient("shipper", plan=plan, chunk_size=1000)
+    with CiaoSession(workload, source=source, seed=2021) as session:
+        plan = None
+        if budget_us > 0:
+            plan = session.plan(Budget(budget_us))
         start = time.perf_counter()
-        for chunk in client.process(iter(lines)):
-            server.ingest(chunk)
-        summary = server.finalize_loading()
+        report = session.load().result()
         loading_s = time.perf_counter() - start
 
         start = time.perf_counter()
-        for query in workload.queries:
-            server.query(query.sql("t"))
+        session.run_workload()
         query_s = time.perf_counter() - start
-    return loading_s, query_s, summary.loading_ratio, \
+    return loading_s, query_s, report.loading_ratio, \
         (len(plan) if plan else 0)
 
 
 def main() -> None:
     generator = make_generator("winlog", seed=2021)
-    lines = list(generator.raw_lines(N_RECORDS))
-    sample = generator.sample(2000)
+    source = LineSource(generator.raw_lines(N_RECORDS), name="winlog")
     workload = table3_workload(
         "winlog", "A", seed=2021, n_queries=N_QUERIES
     )
@@ -74,7 +59,7 @@ def main() -> None:
     baseline = None
     for budget in BUDGETS_US:
         loading, query, ratio, pushed = run_budget(
-            budget, workload, generator, lines, sample
+            budget, workload, source
         )
         total = loading + query
         if baseline is None:

@@ -1,89 +1,28 @@
-"""Quickstart: the CIAO pipeline in ~60 lines.
+"""Quickstart: the whole CIAO pipeline through the `CiaoSession` front door.
 
-Generates a synthetic Yelp-style review stream, optimizes a pushdown plan
-for a small prospective workload under a 1 µs/record client budget, ships
-annotated chunks from a simulated client, partially loads them on the
-server, and runs the workload with bit-vector data skipping.
+Plan a budgeted pushdown for a prospective workload, load a synthetic
+Yelp-style stream with client assistance, query with data skipping.
 
 Run:  python examples/quickstart.py
 """
 
-import tempfile
+from repro.api import Budget, CiaoSession, Query, Workload, clause, key_value, substring
 
-from repro import (
-    Budget,
-    CiaoOptimizer,
-    CiaoServer,
-    CostModel,
-    DEFAULT_COEFFICIENTS,
-    Query,
-    SimulatedClient,
-    Workload,
-    clause,
-    exact,
-    key_value,
-    substring,
+five_stars = clause(key_value("stars", 5))
+tasty = clause(substring("text", "tasty000"))
+workload = Workload(
+    (Query((five_stars, tasty), name="rave-reviews"),
+     Query((tasty,), name="keyword-mentions")),
+    dataset="yelp",
 )
-from repro.data import make_generator
-from repro.workload import estimate_selectivities
 
-
-def main() -> None:
-    generator = make_generator("yelp", seed=7)
-
-    # 1. Prospective queries: what analysts are expected to ask.
-    five_stars = clause(key_value("stars", 5))
-    tasty = clause(substring("text", "tasty000"))
-    power_user = clause(exact("user_id", "user_00000"))
-    workload = Workload(
-        (
-            Query((five_stars, tasty), name="rave-reviews"),
-            Query((five_stars, power_user), name="influencer-raves"),
-            Query((tasty,), name="keyword-mentions"),
-        ),
-        dataset="yelp",
-    )
-
-    # 2. Optimize the pushdown plan under a client budget.
-    sample = generator.sample(2000)
-    selectivities = estimate_selectivities(
-        workload.candidate_pool, sample
-    )
-    cost_model = CostModel(
-        DEFAULT_COEFFICIENTS, generator.average_record_length()
-    )
-    optimizer = CiaoOptimizer(workload, selectivities, cost_model)
-    plan = optimizer.plan(Budget(1.0))
-    print("Pushdown plan:")
-    print(plan.describe())
-
-    # 3. Client annotates raw JSON without parsing; server partially loads.
-    with tempfile.TemporaryDirectory() as workdir:
-        server = CiaoServer(workdir, plan=plan, workload=workload)
-        client = SimulatedClient("edge-0", plan=plan, chunk_size=1000)
-        for chunk in client.process(generator.raw_lines(10_000)):
-            server.ingest(chunk)
-        summary = server.finalize_loading()
-        print(
-            f"\nLoaded {summary.loaded} of {summary.received} records "
-            f"(ratio {summary.loading_ratio:.2f}); "
-            f"{summary.sidelined} left as raw JSON."
-        )
-        print(
-            f"Client spent {client.stats.modeled_us_per_record():.3f} µs "
-            f"per record of its {plan.budget} budget."
-        )
-
-        # 4. Query with data skipping; answers are exact.
-        print("\nQuery results:")
-        for query in workload.queries:
-            result = server.query(query.sql("t"))
-            print(
-                f"  {query.name:<18} count={result.scalar():<6} "
-                f"rows examined={result.stats.rows_examined:<6} "
-                f"(skipping={'on' if result.plan_info.used_skipping else 'off'})"
-            )
-
-
-if __name__ == "__main__":
-    main()
+with CiaoSession(workload, source="yelp", seed=7) as session:
+    print(session.plan(Budget(1.0)).describe())
+    report = session.load(n_records=10_000).result()
+    print(f"\nLoaded {report.loaded} of {report.received} records "
+          f"(ratio {report.loading_ratio:.2f}); {report.sidelined} sidelined.")
+    print("\nQuery results:")
+    for query in workload.queries:
+        result = session.query(query.sql("t"))
+        print(f"  {query.name:<18} count={result.scalar():<6} "
+              f"rows examined={result.stats.rows_examined}")

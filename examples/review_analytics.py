@@ -4,30 +4,24 @@ Beyond the paper's COUNT(*) template, the bundled engine runs projections,
 aggregates, IN-lists, LIKE anchors, and NULL checks — including queries
 that were *not* anticipated by the pushdown plan and therefore fall back
 to scanning the raw JSON sideline just in time.  This example loads a
-synthetic Yelp stream under a plan tuned for star/keyword dashboards, then
-runs a mix of covered and uncovered analytics.
+synthetic Yelp stream through a `CiaoSession` under a plan tuned for
+star/keyword dashboards, then runs a mix of covered and uncovered
+analytics.
 
 Run:  python examples/review_analytics.py
 """
 
-import tempfile
-
-from repro import (
+from repro.api import (
     Budget,
-    CiaoOptimizer,
-    CiaoServer,
-    CostModel,
-    DEFAULT_COEFFICIENTS,
+    CiaoSession,
+    DeploymentConfig,
     Query,
-    SimulatedClient,
     Workload,
     clause,
     key_value,
     prefix,
     substring,
 )
-from repro.data import make_generator
-from repro.workload import estimate_selectivities
 
 QUERIES = [
     # Covered by the pushdown plan (skipping engages):
@@ -51,8 +45,6 @@ QUERIES = [
 
 
 def main() -> None:
-    generator = make_generator("yelp", seed=31)
-
     five_stars = clause(key_value("stars", 5))
     tasty = clause(substring("text", "tasty000"))
     recent = clause(prefix("date", "2019-"))
@@ -64,29 +56,20 @@ def main() -> None:
         ),
         dataset="yelp",
     )
-    sample = generator.sample(2000)
-    plan = CiaoOptimizer(
-        workload,
-        estimate_selectivities(workload.candidate_pool, sample),
-        CostModel(DEFAULT_COEFFICIENTS, generator.average_record_length()),
-    ).plan(Budget(2.0))
 
-    with tempfile.TemporaryDirectory() as workdir:
-        server = CiaoServer(
-            workdir, plan=plan, workload=workload, table_name="reviews"
-        )
-        client = SimulatedClient("app", plan=plan, chunk_size=1000)
-        for chunk in client.process(generator.raw_lines(12_000)):
-            server.ingest(chunk)
-        summary = server.finalize_loading()
+    config = DeploymentConfig(table_name="reviews")
+    with CiaoSession(workload, source="yelp", seed=31,
+                     config=config) as session:
+        session.plan(Budget(2.0))
+        report = session.load(n_records=12_000).result()
         print(
-            f"Loaded {summary.loaded}/{summary.received} reviews "
-            f"(ratio {summary.loading_ratio:.2f}), "
-            f"{summary.sidelined} sidelined as raw JSON\n"
+            f"Loaded {report.loaded}/{report.received} reviews "
+            f"(ratio {report.loading_ratio:.2f}), "
+            f"{report.sidelined} sidelined as raw JSON\n"
         )
 
         for name, sql in QUERIES:
-            result = server.query(sql)
+            result = session.query(sql)
             path = (
                 "skipping" if result.plan_info.used_skipping
                 else "full scan + sideline"

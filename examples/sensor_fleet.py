@@ -4,104 +4,74 @@ The paper's introduction promises to "address the trade-off between client
 cost and server savings by setting different budgets for different
 clients".  This example runs three customer-data producers of very
 different capabilities — a beefy gateway, a mid-range box, and a weak
-battery-powered sensor with a hard slack cap — allocates an aggregate
-budget across them with water-filling, plans per-client pushdowns, and
-ships everything over file-backed channels (the paper's deployment) into
-one server.
+battery-powered sensor with a hard slack cap — as an explicit
+`ClientPopulation` behind the `CiaoSession` front door: the session plans
+one global pushdown, the fleet allocator water-fills the aggregate budget
+across the declared speed factors and slack caps, and every client ships
+its budget-restricted plan prefix over a file-backed channel (the paper's
+deployment) into one server.
 
 Run:  python examples/sensor_fleet.py
 """
 
-import tempfile
-from pathlib import Path
-
-from repro import (
+from repro.api import (
     Budget,
-    CiaoOptimizer,
-    CiaoServer,
-    ClientProfile,
-    CostModel,
-    DEFAULT_COEFFICIENTS,
-    SimulatedClient,
-    allocate_budgets,
+    CiaoSession,
+    ClientPopulation,
+    DeploymentConfig,
+    FleetClientSpec,
 )
-from repro.data import make_generator
-from repro.simulate import FileChannel
-from repro.workload import estimate_selectivities, table3_workload
+from repro.workload import table3_workload
 
-RECORDS_PER_CLIENT = 4000
+N_RECORDS = 12_000
 AGGREGATE_BUDGET = Budget(20.0)  # µs/record, calibrated-machine units
 
-FLEET = [
-    ClientProfile("gateway", speed_factor=2.0),
-    ClientProfile("midbox", speed_factor=1.0),
-    ClientProfile("sensor", speed_factor=0.4, slack_us_per_record=4.0),
-]
+#: Three producers; platforms are Table IV machines, capabilities declared.
+FLEET = ClientPopulation([
+    FleetClientSpec("gateway", platform="local", speed_factor=2.0,
+                    share=1 / 3),
+    FleetClientSpec("midbox", platform="alibaba", speed_factor=1.0,
+                    share=1 / 3),
+    FleetClientSpec("sensor", platform="pku", speed_factor=0.4,
+                    slack_us_per_record=4.0, share=1 / 3),
+])
+
+CONFIG = DeploymentConfig(
+    mode="fleet",
+    population=FLEET,
+    aggregate_budget=AGGREGATE_BUDGET,
+    chunk_size=1000,
+    channel="file",  # one file-spool per client, the paper's deployment
+)
 
 
 def main() -> None:
-    generator = make_generator("ycsb", seed=99)
     workload = table3_workload("ycsb", "A", seed=99, n_queries=25)
-    sample = generator.sample(2000)
-    selectivities = estimate_selectivities(
-        workload.candidate_pool, sample
-    )
-    cost_model = CostModel(
-        DEFAULT_COEFFICIENTS, generator.average_record_length()
-    )
-    optimizer = CiaoOptimizer(workload, selectivities, cost_model)
+    with CiaoSession(workload, source="ycsb", seed=99,
+                     config=CONFIG) as session:
+        # One global plan (generous budget); each client executes the
+        # prefix its allocated budget affords, so predicate ids stay
+        # globally consistent and mixed-depth chunks stay exact.
+        session.plan(AGGREGATE_BUDGET.scaled(2.0))
+        report = session.load(n_records=N_RECORDS).result()
 
-    budgets = allocate_budgets(FLEET, AGGREGATE_BUDGET)
-    print(f"Aggregate budget {AGGREGATE_BUDGET} across {len(FLEET)} clients:")
-    for profile in FLEET:
-        print(
-            f"  {profile.client_id:<8} speed={profile.speed_factor:<4} "
-            f"slack={profile.slack_us_per_record:<6} "
-            f"→ budget {budgets[profile.client_id]}"
-        )
-
-    with tempfile.TemporaryDirectory() as workdir:
-        workdir = Path(workdir)
-        # The server plans once at the largest per-client budget; weaker
-        # clients execute budget-restricted *prefixes* of that plan so
-        # predicate ids stay globally consistent.  Chunks from clients
-        # that did not evaluate every pushed predicate load eagerly — a
-        # record they did not test might match an untested predicate.
-        global_plan = optimizer.plan(
-            max(budgets.values(), key=lambda b: b.us)
-        )
-        server = CiaoServer(
-            workdir / "server", plan=global_plan, workload=workload
-        )
-        total_modeled = 0.0
-        for profile in FLEET:
-            plan = global_plan.restrict(budgets[profile.client_id])
-            client = SimulatedClient(
-                profile.client_id,
-                plan=plan,
-                chunk_size=1000,
-                speed_factor=profile.speed_factor,
-            )
-            channel = FileChannel(workdir / f"spool-{profile.client_id}")
-            client.ship(
-                generator.raw_lines(RECORDS_PER_CLIENT), channel
-            )
-            server.ingest_channel(channel)
-            total_modeled += client.stats.modeled_us
+        print(f"Aggregate budget {AGGREGATE_BUDGET} across "
+              f"{len(FLEET)} clients:")
+        for c in report.fleet.clients:
             print(
-                f"  {profile.client_id:<8} pushed {len(plan):>3} predicates, "
-                f"spent {client.stats.modeled_us_per_record():6.2f} µs/rec "
-                f"(device time), budget ok: {client.budget_respected()}"
+                f"  {c.client_id:<8} speed={c.speed_factor:<4} "
+                f"→ budget {c.budget_us:6.2f} µs, pushed {c.n_pushed:>3} "
+                f"predicates, spent {c.modeled_us_per_record:6.2f} µs/rec "
+                f"(utilization {c.budget_utilization:.2f})"
             )
-        summary = server.finalize_loading()
         print(
-            f"\nServer loaded {summary.loaded}/{summary.received} records "
-            f"(ratio {summary.loading_ratio:.2f})"
+            f"\nServer loaded {report.loaded}/{report.received} records "
+            f"(ratio {report.loading_ratio:.2f})"
         )
 
         covered = sum(
             1 for q in workload
-            if server.query(q.sql("t")).plan_info.used_skipping
+            if session.query(q.sql("t")).plan_info.used_skipping
         )
         print(f"{covered}/{len(workload)} queries answered with skipping")
 

@@ -7,31 +7,41 @@ and the server uses them for partial loading and query-time data skipping.
 Which predicates to push is a budgeted submodular maximization solved with
 the paper's paired greedy algorithms.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` front door runs the whole pipeline
+(sampling, selectivity estimation, cost model, optimizer, client, server)
+in three calls::
 
-    from repro import (
-        Budget, CiaoOptimizer, CiaoServer, CostModel,
-        DEFAULT_COEFFICIENTS, SimulatedClient,
-    )
-    from repro.data import make_generator
-    from repro.workload import estimate_selectivities, table3_workload
+    from repro.api import Budget, CiaoSession, Query, Workload, clause, key_value
 
-    gen = make_generator("yelp", seed=7)
-    workload = table3_workload("yelp", "A", seed=7)
-    sels = estimate_selectivities(workload.candidate_pool, gen.sample(2000))
-    model = CostModel(DEFAULT_COEFFICIENTS, gen.average_record_length())
-    plan = CiaoOptimizer(workload, sels, model).plan(Budget(1.0))
+    workload = Workload((Query((clause(key_value("stars", 5)),)),), dataset="yelp")
+    with CiaoSession(workload, source="yelp", seed=7) as session:
+        session.plan(Budget(1.0))
+        report = session.load(n_records=10_000).result()
+        count = session.query("SELECT COUNT(*) FROM t").scalar()
 
-    server = CiaoServer("data/", plan=plan, workload=workload)
-    client = SimulatedClient("sensor-0", plan=plan)
-    for chunk in client.process(gen.raw_lines(10_000)):
-        server.ingest(chunk)
-    result = server.query(workload.queries[0].sql("t"))
+Swap the session's :class:`~repro.api.DeploymentConfig` to go sharded
+(``mode="sharded"`` — query *while* loading via
+``job.snapshot_query(...)``) or to a coordinated heterogeneous fleet
+(``mode="fleet"`` — per-client budgets, backpressure, straggler
+reassignment, declarative — optionally lossy — channels).
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+The low-level layer the session composes (``CiaoOptimizer``,
+``CiaoServer``, ``SimulatedClient``, ``FleetCoordinator``, channels)
+stays public below it — see ROADMAP.md — and is what this package
+re-exports alongside the facade.  See README.md for the architecture
+overview and EXPERIMENTS.md for the paper-versus-measured record of every
+table and figure.
 """
 
+from .api import (
+    CiaoSession,
+    DataSource,
+    DeploymentConfig,
+    LoadJob,
+    LoadProgress,
+    LoadReport,
+    as_source,
+)
 from .core import (
     APPROXIMATION_GUARANTEE,
     Budget,
@@ -63,45 +73,84 @@ from .core import (
 from .client import ClientEvaluator, SimulatedClient
 from .fleet import (
     ClientPopulation,
+    ClientRunReport,
+    FleetClientSpec,
     FleetCoordinator,
     FleetReport,
 )
-from .server import CiaoServer, ClientAssistedLoader, EagerLoader
+from .server import (
+    CiaoServer,
+    ClientAssistedLoader,
+    EagerLoader,
+    IngestSession,
+    LoadSummary,
+    ServerConfig,
+)
+from .simulate import (
+    Channel,
+    ChannelSpec,
+    FileChannel,
+    LatencyChannel,
+    LinkModel,
+    LossyChannel,
+    MemoryChannel,
+    make_channel,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "APPROXIMATION_GUARANTEE",
     "Budget",
+    "Channel",
+    "ChannelSpec",
     "CiaoOptimizer",
     "CiaoServer",
+    "CiaoSession",
     "Clause",
     "ClientAssistedLoader",
     "ClientEvaluator",
     "ClientPopulation",
     "ClientProfile",
+    "ClientRunReport",
     "CostCoefficients",
     "CostModel",
     "DEFAULT_COEFFICIENTS",
+    "DataSource",
+    "DeploymentConfig",
     "EagerLoader",
+    "FileChannel",
+    "FleetClientSpec",
     "FleetCoordinator",
     "FleetReport",
+    "IngestSession",
+    "LatencyChannel",
+    "LinkModel",
+    "LoadJob",
+    "LoadProgress",
+    "LoadReport",
+    "LoadSummary",
+    "LossyChannel",
+    "MemoryChannel",
     "PredicateKind",
     "PushdownEntry",
     "PushdownPlan",
     "Query",
     "SelectionObjective",
     "SelectionResult",
+    "ServerConfig",
     "SimplePredicate",
     "SimulatedClient",
     "UnsupportedPredicateError",
     "Workload",
     "__version__",
     "allocate_budgets",
+    "as_source",
     "clause",
     "exact",
     "key_present",
     "key_value",
+    "make_channel",
     "prefix",
     "select_predicates",
     "substring",

@@ -1,0 +1,516 @@
+"""The CIAO front door: plan → load → query in one session object.
+
+The paper presents CIAO as a single framework (Fig. 1): a workload goes
+in, an optimized pushdown plan comes out, and client-assisted loading and
+skipping run underneath.  :class:`CiaoSession` is that picture as an API:
+
+    session = CiaoSession(workload, source="yelp", seed=7)
+    plan = session.plan(Budget(1.0))
+    report = session.load(n_records=10_000).result()
+    result = session.query("SELECT COUNT(*) FROM t")
+
+Everything underneath — sampling, selectivity estimation, cost modeling,
+optimization, server construction, client simulation, fleet coordination,
+transport — stays the existing low-level API; the session composes it and
+injects nothing you cannot override (pass your own ``selectivities``,
+``cost_model``, ``plan``, population, or channel spec).  One session is
+one deployment: its :class:`~repro.api.config.DeploymentConfig` decides
+whether a load runs serial, sharded, or as a coordinated fleet, and
+:meth:`load` always returns a :class:`LoadJob` handle with the same
+contract in every mode.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from ..client.device import SimulatedClient
+from ..core.budgets import Budget
+from ..core.cost_model import DEFAULT_COEFFICIENTS, CostModel
+from ..core.optimizer import CiaoOptimizer, PushdownPlan
+from ..core.predicates import Query, Workload
+from ..data import DEFAULT_SEED
+from ..data.randomness import derive_seed
+from ..engine.executor import QueryResult
+from ..fleet.coordinator import FleetCoordinator
+from ..fleet.population import ClientPopulation
+from ..server.ciao import CiaoServer
+from ..simulate.network import Channel, make_channel, per_client_channels
+from ..workload.selectivity import estimate_selectivities
+from .config import DeploymentConfig
+from .report import LoadReport
+from .source import DataSource, SourceLike, as_source
+
+
+@dataclass(frozen=True)
+class LoadProgress:
+    """A point-in-time view of a running :class:`LoadJob`."""
+
+    state: str  # 'running' | 'done' | 'failed'
+    records_shipped: int
+    chunks_shipped: int
+
+    @property
+    def done(self) -> bool:
+        return self.state != "running"
+
+
+class LoadJob:
+    """Handle on one in-flight (or finished) load.
+
+    The load runs on a background thread, so the caller keeps control
+    while data flows: poll :meth:`progress`, answer analytics mid-load
+    with :meth:`snapshot_query` (sharded deployments), and collect the
+    unified :class:`~repro.api.report.LoadReport` with :meth:`result` —
+    which joins the load, finalizes the server, and enforces the
+    accounting invariant's visibility in every mode.
+    """
+
+    def __init__(self, server: CiaoServer, config: DeploymentConfig,
+                 records_offered: Optional[int]):
+        self.server = server
+        self.config = config
+        self.records_offered = records_offered
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+        self._report: Optional[LoadReport] = None
+        self._started = time.perf_counter()
+        self._wall: Optional[float] = None
+        #: Server summary, set by the worker thread after it finalizes —
+        #: so wall time covers finalize in every mode (the fleet
+        #: coordinator finalizes internally; serial/sharded match it).
+        self._summary = None
+        # Mode-specific progress taps, set by the session at start.
+        self._client: Optional[SimulatedClient] = None
+        self._channel: Optional[Channel] = None
+        self._coordinator: Optional[FleetCoordinator] = None
+        self._fleet_report = None
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """The deployment mode this job runs under."""
+        return self.config.mode
+
+    @property
+    def done(self) -> bool:
+        """True once the load thread has finished (success or failure)."""
+        return self._thread is not None and not self._thread.is_alive()
+
+    def progress(self) -> LoadProgress:
+        """Client-side progress so far (monotone, safely stale)."""
+        if self._coordinator is not None:
+            workers = self._coordinator._workers
+            shipped = sum(w.shipped_records for w in workers)
+            chunks = sum(w.shipped_chunks for w in workers)
+        elif self._client is not None:
+            shipped = self._client.stats.records
+            chunks = self._client.stats.chunks
+        else:
+            shipped = chunks = 0
+        if not self.done:
+            state = "running"
+        else:
+            state = "failed" if self._error is not None else "done"
+        return LoadProgress(
+            state=state, records_shipped=shipped, chunks_shipped=chunks
+        )
+
+    def snapshot_query(self, sql: str) -> QueryResult:
+        """Answer *sql* against the loaded-so-far snapshot, mid-load.
+
+        Only sharded deployments with streaming enabled can expose a
+        consistent mid-load view (sealed shard parts + sideline
+        watermarks); serial deployments and ``seal_interval=None`` raise
+        ``RuntimeError`` — finalize via :meth:`result` and query then.
+        """
+        if not self.config.streaming_queries:
+            raise RuntimeError(
+                f"snapshot_query() needs a sharded deployment with "
+                f"streaming enabled (n_shards >= 2 and a seal_interval); "
+                f"this job runs mode={self.config.mode!r} with "
+                f"n_shards={self.config.resolved_n_shards} — call "
+                f"result() and query the session instead"
+            )
+        return self.server.query(sql)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the load thread finishes; True if it did."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            return not self._thread.is_alive()
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> LoadReport:
+        """The unified load report (joins the load and finalizes).
+
+        Idempotent: the first call seals the server and builds the
+        report, later calls return the same object.  A load that failed
+        re-raises its exception here.
+        """
+        if self._report is not None:
+            return self._report
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"load did not finish within {timeout} s"
+            )
+        if self._error is not None:
+            # Reap shard workers even on failure; the original error
+            # stays the one surfaced.
+            try:
+                self.server.finalize_loading()
+            except BaseException:
+                pass
+            raise self._error
+        if self._wall is None:
+            self._wall = time.perf_counter() - self._started
+        self._report = self._build_report()
+        return self._report
+
+    # ------------------------------------------------------------------
+    def _build_report(self) -> LoadReport:
+        if self._fleet_report is not None:
+            report = LoadReport.from_fleet(
+                self._fleet_report,
+                messages_dropped=self._fleet_report.messages_dropped,
+            )
+            report.wall_seconds = self._wall
+            return report
+        # The worker thread finalized on success; finalize_loading() is
+        # idempotent and covers the failure-cleanup path.
+        summary = (self._summary if self._summary is not None
+                   else self.server.finalize_loading())
+        stats = self._client.stats if self._client is not None else None
+        channel = self._channel
+        report = LoadReport.from_summary(
+            self.config.mode,
+            summary,
+            records_offered=self.records_offered,
+            client_stats=stats,
+            bytes_sent=stats.bytes_sent if stats else 0,
+            messages_dropped=(
+                channel.stats.messages_dropped if channel is not None else 0
+            ),
+        )
+        report.wall_seconds = self._wall
+        return report
+
+
+class CiaoSession:
+    """One CIAO deployment: plan, load, and query through a single object.
+
+    Args:
+        workload: The prospective workload (needed by :meth:`plan` and
+            the server's partial-loading coverage policy).
+        source: Default input — anything :func:`repro.api.as_source`
+            accepts (dataset name, generator, lines, JSONL/CSV path).
+        config: The :class:`DeploymentConfig`; default is a serial
+            deployment.
+        data_dir: Server storage root.  ``None`` manages a temporary
+            directory, cleaned up by :meth:`close` / context-manager
+            exit.
+        seed: Root seed for source coercion, generated fleet
+            populations, and channel loss sequences.
+        plan: A pre-built pushdown plan (skips :meth:`plan`).
+
+    The session is a facade over — not a fork of — the low-level API:
+    :attr:`server`, :attr:`pushdown_plan`, and every constructor the
+    session calls remain public and injectable.
+    """
+
+    def __init__(self, workload: Optional[Workload] = None,
+                 source: Optional[SourceLike] = None,
+                 config: Optional[DeploymentConfig] = None,
+                 data_dir: Optional[Union[str, Path]] = None,
+                 seed: int = DEFAULT_SEED,
+                 plan: Optional[PushdownPlan] = None):
+        self.workload = workload
+        self.config = config or DeploymentConfig()
+        self.seed = seed
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if data_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="ciao-")
+            data_dir = self._tmpdir.name
+        self.data_dir = Path(data_dir)
+        self._source: Optional[DataSource] = (
+            as_source(source, seed=seed) if source is not None else None
+        )
+        self._plan = plan
+        self._jobs: List[LoadJob] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Optional[DataSource]:
+        """The session's default data source."""
+        return self._source
+
+    @property
+    def pushdown_plan(self) -> Optional[PushdownPlan]:
+        """The current pushdown plan (from :meth:`plan` or injection)."""
+        return self._plan
+
+    @property
+    def server(self) -> CiaoServer:
+        """The latest load's server (the thin inner layer)."""
+        if not self._jobs:
+            raise RuntimeError(
+                "no server yet: call load() first"
+            )
+        return self._jobs[-1].server
+
+    @property
+    def last_job(self) -> Optional[LoadJob]:
+        """The most recent :class:`LoadJob`, if any."""
+        return self._jobs[-1] if self._jobs else None
+
+    # ------------------------------------------------------------------
+    # Plan
+    # ------------------------------------------------------------------
+    def plan(self, budget: Union[Budget, float], *,
+             source: Optional[SourceLike] = None,
+             sample_size: int = 2000,
+             sample: Optional[List[Dict[str, Any]]] = None,
+             selectivities: Optional[Mapping[Any, float]] = None,
+             cost_model: Optional[CostModel] = None,
+             coefficients=None,
+             avg_record_length: Optional[float] = None,
+             use_celf: bool = True) -> PushdownPlan:
+        """Optimize the pushdown plan for *budget* in one call.
+
+        Runs the full paper pipeline — sample the source, estimate
+        selectivities over the workload's candidate pool, build the cost
+        model, run the budgeted submodular optimizer — with every stage
+        injectable: pass *selectivities* to skip estimation, *sample* to
+        skip sampling, *cost_model* (or *coefficients* /
+        *avg_record_length*) to replace calibration.  Deterministic for a
+        fixed session seed.  The plan is stored on the session and used
+        by subsequent :meth:`load` calls.
+        """
+        if self.workload is None:
+            raise RuntimeError(
+                "plan() needs a prospective workload; construct the "
+                "session with one"
+            )
+        if not isinstance(budget, Budget):
+            budget = Budget(float(budget))
+        if selectivities is None:
+            if sample is None:
+                src = self._require_source(source, "plan")
+                sample = src.sample(sample_size)
+            selectivities = estimate_selectivities(
+                self.workload.candidate_pool, sample
+            )
+        if cost_model is None:
+            if avg_record_length is None:
+                src = self._require_source(source, "plan")
+                avg_record_length = src.average_record_length()
+            cost_model = CostModel(
+                coefficients if coefficients is not None
+                else DEFAULT_COEFFICIENTS,
+                avg_record_length,
+            )
+        optimizer = CiaoOptimizer(self.workload, selectivities, cost_model)
+        self._plan = optimizer.plan(budget, use_celf=use_celf)
+        return self._plan
+
+    def use_plan(self, plan: Optional[PushdownPlan]) -> None:
+        """Inject a pre-built plan (e.g. deserialized via plan_io)."""
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(self, source: Optional[SourceLike] = None, *,
+             n_records: Optional[int] = None) -> LoadJob:
+        """Start loading *source* (default: the session source).
+
+        Returns immediately with a :class:`LoadJob`; the data flows on a
+        background thread through whatever the session's config deploys —
+        a single client into a serial or sharded server, or a full
+        coordinated fleet.  One load runs at a time per session; each
+        load gets a fresh server under the session's data directory.
+        """
+        self._check_open()
+        active = self.last_job
+        if active is not None and not active.done and \
+                active._report is None:
+            raise RuntimeError(
+                "a load is already running on this session; collect "
+                "job.result() first"
+            )
+        src = self._require_source(source, "load", n_records=n_records)
+        server = CiaoServer.from_config(
+            self.config.server_config(
+                self.data_dir / f"load-{len(self._jobs)}"
+            ),
+            plan=self._plan,
+            workload=self.workload,
+        )
+        job = LoadJob(server, self.config, src.count())
+        if self.config.mode == "fleet":
+            self._start_fleet(job, src)
+        else:
+            self._start_serial(job, src)
+        self._jobs.append(job)
+        return job
+
+    def _start_serial(self, job: LoadJob, src: DataSource) -> None:
+        client = SimulatedClient(
+            "session-client",
+            plan=self._plan,
+            chunk_size=self.config.chunk_size,
+        )
+        channel = make_channel(
+            self.config.channel,
+            directory=self.data_dir / f"spool-{len(self._jobs)}",
+        )
+        job._client = client
+        job._channel = channel
+
+        def run() -> None:
+            try:
+                # The documented low-level path, verbatim: ship drains
+                # into the server after every flushed message, so memory
+                # stays bounded by the batch, and the worker finalizes so
+                # wall time covers the merge (as the fleet's does).
+                client.ship(
+                    src.records(), channel,
+                    batch_size=self.config.ship_batch,
+                    on_flush=lambda: job.server.ingest_channel(channel),
+                )
+                job._summary = job.server.finalize_loading()
+            except BaseException as exc:  # surfaced by result()
+                job._error = exc
+            finally:
+                job._wall = time.perf_counter() - job._started
+
+        job._thread = threading.Thread(target=run, daemon=True)
+        job._thread.start()
+
+    def _start_fleet(self, job: LoadJob, src: DataSource) -> None:
+        population = self.config.population
+        if population is None:
+            population = ClientPopulation.generate(
+                self.config.n_clients,
+                seed=(
+                    self.config.population_seed
+                    if self.config.population_seed is not None
+                    else derive_seed(self.seed, "api:population")
+                ),
+            )
+        coordinator = FleetCoordinator(
+            job.server,
+            population,
+            global_plan=self._plan,
+            aggregate_budget=self.config.aggregate_budget,
+            chunk_size=self.config.chunk_size,
+            batch_size=self.config.ship_batch,
+            max_pending=self.config.max_pending,
+            max_active=self.config.max_active,
+            channel_factory=per_client_channels(
+                self.config.channel,
+                directory=self.data_dir / f"spool-{len(self._jobs)}",
+            ),
+            realloc_interval=self.config.realloc_interval,
+        )
+        job._coordinator = coordinator
+        records = list(src.records())
+        job.records_offered = len(records)
+
+        def run() -> None:
+            try:
+                job._fleet_report = coordinator.run(records)
+            except BaseException as exc:  # surfaced by result()
+                job._error = exc
+            finally:
+                job._wall = time.perf_counter() - job._started
+
+        job._thread = threading.Thread(target=run, daemon=True)
+        job._thread.start()
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> QueryResult:
+        """Execute *sql* against the loaded table.
+
+        Waits for an in-flight load to finish first (final answers);
+        for mid-load answers use :meth:`LoadJob.snapshot_query` on a
+        sharded deployment.
+        """
+        self._check_open()
+        job = self.last_job
+        if job is None:
+            raise RuntimeError(
+                "nothing loaded on this session yet: call load() first"
+            )
+        job.result()
+        return job.server.query(sql)
+
+    def run_workload(self, queries: Optional[Iterable[Query]] = None
+                     ) -> List[QueryResult]:
+        """Run the prospective workload (or *queries*) to completion."""
+        if queries is None:
+            if self.workload is None:
+                raise RuntimeError(
+                    "run_workload() needs queries or a session workload"
+                )
+            queries = self.workload.queries
+        table = self.config.table_name
+        return [self.query(q.sql(table)) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Finish and finalize every load, then release session storage.
+
+        Uncollected jobs are joined and finalized here — a finalize left
+        undone would leak shard workers (and, for process shards, OS
+        processes) past the session's lifetime.
+        """
+        if self._closed:
+            return
+        for job in self._jobs:
+            if job._report is None:
+                try:
+                    job.result()
+                except BaseException:
+                    pass  # closing must not mask the caller's exception
+        self._closed = True
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "CiaoSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this session is closed")
+
+    def _require_source(self, source: Optional[SourceLike],
+                        operation: str,
+                        n_records: Optional[int] = None) -> DataSource:
+        if source is not None:
+            return as_source(source, seed=self.seed, n_records=n_records)
+        if self._source is None:
+            raise RuntimeError(
+                f"{operation}() needs a data source; pass one here or "
+                f"construct the session with source=..."
+            )
+        if n_records is not None:
+            return as_source(self._source, n_records=n_records)
+        return self._source

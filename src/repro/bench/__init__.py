@@ -18,6 +18,7 @@ from .reporting import (
     RESULTS_DIR,
     emit,
     fleet_table,
+    load_report_block,
     format_table,
     metrics_table,
     speedup_summary,
@@ -39,6 +40,7 @@ __all__ = [
     "fleet_table",
     "format_table",
     "headline_speedups",
+    "load_report_block",
     "metrics_table",
     "overlap_experiment",
     "selectivity_experiment",

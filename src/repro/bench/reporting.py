@@ -154,6 +154,39 @@ def fleet_table(report: Any) -> str:
     return "\n".join(lines)
 
 
+def load_report_block(report: Any) -> str:
+    """Summary block for a unified :class:`repro.api.LoadReport`.
+
+    Duck-typed like :func:`fleet_table` so the API data model has no
+    import edge into the bench layer.  Fleet loads include the full
+    per-client table; every mode gets the shared accounting footer.
+    """
+    lines = []
+    if report.fleet is not None:
+        lines += [fleet_table(report.fleet), ""]
+    lines += [
+        f"{report.mode} load: {report.received} records in "
+        f"{report.wall_seconds:.2f} s — loaded={report.loaded} "
+        f"sidelined={report.sidelined} malformed={report.malformed} "
+        f"(ratio {report.loading_ratio:.2f})",
+        f"  invariants : accounting={report.accounting_ok} "
+        f"no-record-loss={report.no_record_loss}",
+    ]
+    if report.bytes_sent or report.messages_dropped:
+        lines.append(
+            f"  transport  : {report.bytes_sent} bytes shipped, "
+            f"{report.messages_dropped} transmissions dropped/retried"
+        )
+    if report.client_stats is not None:
+        stats = report.client_stats
+        lines.append(
+            f"  client     : {stats.records} records in {stats.chunks} "
+            f"chunks, {stats.modeled_us_per_record():.3f} µs/record "
+            f"modeled"
+        )
+    return "\n".join(lines)
+
+
 def emit(name: str, text: str,
          results_dir: Optional[Path] = None) -> Path:
     """Print *text* and archive it under the results directory."""

@@ -15,8 +15,8 @@ from .protocol import (
 
 __all__ = [
     "ClientEvaluator",
-    "DEFAULT_SHIP_BATCH",
     "ClientStats",
+    "DEFAULT_SHIP_BATCH",
     "EvaluationReport",
     "MAGIC",
     "ProtocolError",

@@ -14,7 +14,7 @@ experiments exercise :func:`repro.core.budgets.allocate_budgets`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional
 
 from ..core.optimizer import PushdownPlan
 from ..rawjson.chunks import DEFAULT_CHUNK_SIZE, JsonChunk, chunk_records
@@ -103,13 +103,18 @@ class SimulatedClient:
             yield chunk
 
     def ship(self, raw_records: Iterable[str], channel: Channel,
-             batch_size: int = 1) -> int:
+             batch_size: int = 1,
+             on_flush: Optional[Callable[[], None]] = None) -> int:
         """Process records and send encoded chunks; returns chunk count.
 
         With ``batch_size > 1``, that many chunk frames are concatenated
         into one channel message (:meth:`Channel.send_batch`), amortizing
         per-message transport overhead for small chunks; the server splits
         the frames back apart when draining.
+
+        *on_flush* runs after every message actually sent — the hook a
+        driver uses to drain the channel into a server as data flows
+        (bounded memory) instead of after the whole stream shipped.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -121,14 +126,18 @@ class SimulatedClient:
             batch.append(payload)
             sent += 1
             if len(batch) >= batch_size:
-                self._flush(batch, channel)
-        self._flush(batch, channel)
+                self._flush(batch, channel, on_flush)
+        self._flush(batch, channel, on_flush)
         return sent
 
     @staticmethod
-    def _flush(batch: List[bytes], channel: Channel) -> None:
+    def _flush(batch: List[bytes], channel: Channel,
+               on_flush: Optional[Callable[[], None]] = None) -> None:
+        flushed = bool(batch)
         channel.send_frames(batch)
         batch.clear()
+        if flushed and on_flush is not None:
+            on_flush()
 
     def _account(self, report: EvaluationReport) -> None:
         self.stats.wall_seconds += report.wall_seconds

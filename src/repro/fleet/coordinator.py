@@ -43,14 +43,15 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, \
+    Tuple, Union
 
 from ..client.device import DEFAULT_SHIP_BATCH, SimulatedClient
 from ..client.protocol import encode_chunk
 from ..core.budgets import Budget, ClientProfile
 from ..core.optimizer import PushdownPlan
 from ..server.ciao import CiaoServer, IngestSession
-from ..simulate.network import Channel, MemoryChannel
+from ..simulate.network import Channel, ChannelLike, per_client_channels
 from ..simulate.runtime import LOADING, PREFILTERING, CostLedger
 from .allocation import FleetAllocation, FleetBudgetAllocator, \
     uniform_allocation
@@ -127,8 +128,12 @@ class FleetCoordinator:
         max_pending: Per-channel backpressure bound, in messages.
         max_active: Admission control — concurrently running client
             workers (``None`` = all at once).
-        channel_factory: ``client_id -> Channel``; defaults to in-memory
-            channels.
+        channel_factory: Per-client transport — a ``client_id ->
+            Channel`` factory, or any declarative spec
+            :func:`repro.simulate.network.per_client_channels` accepts
+            (a :class:`~repro.simulate.network.ChannelSpec`, ``"memory"``,
+            ``"file:<dir>"``); defaults to in-memory channels.  Lossy
+            specs derive an independent, replayable drop seed per client.
         realloc_interval: Re-allocate budgets from observed throughput
             every this many chunks drained (``None`` disables — required
             for bit-for-bit deterministic client ledgers).
@@ -142,7 +147,9 @@ class FleetCoordinator:
                  batch_size: int = DEFAULT_SHIP_BATCH,
                  max_pending: int = DEFAULT_MAX_PENDING,
                  max_active: Optional[int] = None,
-                 channel_factory: Optional[Callable[[str], Channel]] = None,
+                 channel_factory: Union[
+                     Callable[[str], Channel], ChannelLike, None
+                 ] = None,
                  realloc_interval: Optional[int] = None):
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -165,9 +172,7 @@ class FleetCoordinator:
         self.max_pending = max_pending
         self.max_active = max_active
         self.realloc_interval = realloc_interval
-        self._channel_factory = channel_factory or (
-            lambda client_id: MemoryChannel()
-        )
+        self._channel_factory = per_client_channels(channel_factory)
         self._allocator: Optional[FleetBudgetAllocator] = None
         if global_plan is not None and aggregate_budget is not None:
             self._allocator = FleetBudgetAllocator(
@@ -554,6 +559,7 @@ class FleetCoordinator:
                         PREFILTERING, 0.0
                     ),
                     killed=worker.killed,
+                    messages_dropped=worker.channel.stats.messages_dropped,
                 )
             )
         if summary is None:

@@ -35,6 +35,9 @@ class ClientRunReport:
     modeled_us_per_record: float
     prefilter_wall_s: float
     killed: bool
+    #: Transmissions a lossy channel dropped (and retransmitted) for
+    #: this client — loss costs bytes, never records.
+    messages_dropped: int = 0
 
     @property
     def device_records_per_s(self) -> float:
@@ -79,6 +82,11 @@ class FleetReport:
     def killed_clients(self) -> List[str]:
         """Ids of clients that died mid-load."""
         return [c.client_id for c in self.clients if c.killed]
+
+    @property
+    def messages_dropped(self) -> int:
+        """Fleet-wide dropped (retransmitted) transmissions."""
+        return sum(c.messages_dropped for c in self.clients)
 
     @property
     def no_record_loss(self) -> bool:

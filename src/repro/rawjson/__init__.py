@@ -15,8 +15,8 @@ __all__ = [
     "JsonSyntaxError",
     "JsonTokenError",
     "Token",
-    "Tokenizer",
     "TokenType",
+    "Tokenizer",
     "chunk_records",
     "concat_chunks",
     "contains",

@@ -1,7 +1,12 @@
 """Server-side substrate: partial loading, eager baseline, data skipping,
 and the CIAO server facade."""
 
-from .ciao import CiaoServer, IngestSession, ServerConfig
+from .ciao import (
+    CiaoServer,
+    IngestSession,
+    ServerConfig,
+    validate_server_options,
+)
 from .ingest import EagerLoader
 from .loader import ClientAssistedLoader, LoadReport, LoadSummary
 from .pipeline import (
@@ -21,8 +26,8 @@ __all__ = [
     "CiaoServer",
     "ClientAssistedLoader",
     "EagerLoader",
-    "IngestSession",
     "IngestPipelineError",
+    "IngestSession",
     "LoadReport",
     "LoadSnapshot",
     "LoadSummary",
@@ -33,4 +38,5 @@ __all__ = [
     "query_predicate_ids",
     "resolve_group_mask",
     "skipping_benefit_fractions",
+    "validate_server_options",
 ]

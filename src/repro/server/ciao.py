@@ -22,6 +22,7 @@ queries.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
@@ -40,6 +41,38 @@ from .pipeline import DEFAULT_SEAL_INTERVAL, ShardedIngestPipeline
 
 _SHARD_MODES = ("process", "thread")
 _DISPATCH_MODES = ("work-stealing", "round-robin")
+_PARTIAL_LOADING_MODES = ("auto", "on", "off")
+
+
+def validate_server_options(shard_mode: str = "process",
+                            dispatch: str = "work-stealing",
+                            partial_loading: str = "auto",
+                            n_shards: int = 1) -> None:
+    """The single validation path for server deployment knobs.
+
+    Shared by :class:`ServerConfig` (at construction), the
+    :class:`CiaoServer` constructor, and the deployment-level
+    :class:`repro.api.DeploymentConfig`, so an invalid option produces
+    the same error message no matter which layer it entered through —
+    the two paths cannot drift apart.
+    """
+    if shard_mode not in _SHARD_MODES:
+        raise ValueError(
+            f"shard_mode must be one of {_SHARD_MODES}, "
+            f"got {shard_mode!r}"
+        )
+    if dispatch not in _DISPATCH_MODES:
+        raise ValueError(
+            f"dispatch must be one of {_DISPATCH_MODES}, "
+            f"got {dispatch!r}"
+        )
+    if partial_loading not in _PARTIAL_LOADING_MODES:
+        raise ValueError(
+            f"partial_loading must be 'auto', 'on' or 'off', "
+            f"got {partial_loading!r}"
+        )
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
 
 
 @dataclass
@@ -49,7 +82,9 @@ class ServerConfig:
     Consume with :meth:`CiaoServer.from_config`, which forwards every
     field; the plan and prospective workload stay separate arguments
     because they are produced per session by the optimizer, not part of
-    deployment configuration.
+    deployment configuration.  Options are validated at construction
+    through the same :func:`validate_server_options` path the server
+    itself uses.
     """
 
     data_dir: Path
@@ -60,6 +95,14 @@ class ServerConfig:
     shard_mode: str = "process"  # 'process' | 'thread'
     dispatch: str = "work-stealing"  # 'work-stealing' | 'round-robin'
     seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL
+
+    def __post_init__(self) -> None:
+        validate_server_options(
+            shard_mode=self.shard_mode,
+            dispatch=self.dispatch,
+            partial_loading=self.partial_loading,
+            n_shards=self.n_shards,
+        )
 
 
 class IngestSession:
@@ -153,16 +196,12 @@ class CiaoServer:
                  shard_mode: str = "process",
                  dispatch: str = "work-stealing",
                  seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL):
-        if shard_mode not in _SHARD_MODES:
-            raise ValueError(
-                f"shard_mode must be one of {_SHARD_MODES}, "
-                f"got {shard_mode!r}"
-            )
-        if dispatch not in _DISPATCH_MODES:
-            raise ValueError(
-                f"dispatch must be one of {_DISPATCH_MODES}, "
-                f"got {dispatch!r}"
-            )
+        validate_server_options(
+            shard_mode=shard_mode,
+            dispatch=dispatch,
+            partial_loading=partial_loading,
+            n_shards=n_shards,
+        )
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.plan = plan
@@ -212,6 +251,12 @@ class CiaoServer:
         self.catalog.register(self._table)
         self._executor = Executor(self.catalog)
         self._loading_finalized = False
+        # Serializes query() against finalize_loading(): a loading
+        # server may be queried from one thread while another thread
+        # finalizes (session load jobs, fleet coordinators), and the
+        # finalize mutates the catalog entry a query scans.  Reentrant
+        # because a serial query() auto-finalizes through the same lock.
+        self._lifecycle_lock = threading.RLock()
 
     @classmethod
     def from_config(cls, config: ServerConfig,
@@ -351,20 +396,21 @@ class CiaoServer:
         sealed, their Parquet parts registered (shard-major order) and
         their sidelines folded into the table's store.
         """
-        for session in self._sessions.values():
-            session.close()
-        if self._pipeline is not None:
-            summary = self._pipeline.finalize()
-            parquet_paths = self._pipeline.parquet_paths
-        else:
-            summary = self._loader.finalize()
-            parquet_paths = self._loader.parquet_paths
-        if not self._loading_finalized:
-            self._table.clear_snapshot()
-            self._table.parquet_paths = list(parquet_paths)
-            self._table.invalidate()
-            self._loading_finalized = True
-        return summary
+        with self._lifecycle_lock:
+            for session in self._sessions.values():
+                session.close()
+            if self._pipeline is not None:
+                summary = self._pipeline.finalize()
+                parquet_paths = self._pipeline.parquet_paths
+            else:
+                summary = self._loader.finalize()
+                parquet_paths = self._loader.parquet_paths
+            if not self._loading_finalized:
+                self._table.clear_snapshot()
+                self._table.parquet_paths = list(parquet_paths)
+                self._table.invalidate()
+                self._loading_finalized = True
+            return summary
 
     @property
     def load_summary(self) -> LoadSummary:
@@ -399,14 +445,19 @@ class CiaoServer:
         behavior: the first query finalizes loading, because without
         sealed parts there is nothing consistent to scan mid-load.  Call
         :meth:`finalize_loading` explicitly to seal either kind.
+
+        Queries serialize against a concurrent :meth:`finalize_loading`
+        (and against each other): a statement sees either a consistent
+        mid-load snapshot or the final table, never the transition.
         """
-        if not self._loading_finalized:
-            if (self._pipeline is not None
-                    and self._pipeline.seal_interval is not None):
-                self._refresh_snapshot()
-            else:
-                self.finalize_loading()
-        return self._executor.execute(sql)
+        with self._lifecycle_lock:
+            if not self._loading_finalized:
+                if (self._pipeline is not None
+                        and self._pipeline.seal_interval is not None):
+                    self._refresh_snapshot()
+                else:
+                    self.finalize_loading()
+            return self._executor.execute(sql)
 
     def _refresh_snapshot(self) -> None:
         """Point the table at the pipeline's latest loaded-so-far view."""
@@ -459,14 +510,12 @@ class CiaoServer:
 
     # ------------------------------------------------------------------
     def _decide_partial_loading(self, mode: str) -> bool:
+        # The mode itself was validated up front by
+        # validate_server_options; only policy resolution happens here.
         if mode == "on":
             return True
         if mode == "off":
             return False
-        if mode != "auto":
-            raise ValueError(
-                f"partial_loading must be 'auto', 'on' or 'off', got {mode!r}"
-            )
         if self.plan is None or len(self.plan) == 0:
             return False
         if self.workload is None:

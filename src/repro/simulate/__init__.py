@@ -10,16 +10,23 @@ from .hardware import (
 )
 from .network import (
     Channel,
+    ChannelDecorator,
+    ChannelSpec,
     ChannelStats,
     FileChannel,
+    LatencyChannel,
     LinkModel,
+    LossyChannel,
     MemoryChannel,
+    make_channel,
 )
 from .runtime import ACCOUNTS, LOADING, PREFILTERING, QUERY, CostLedger
 
 __all__ = [
     "ACCOUNTS",
     "Channel",
+    "ChannelDecorator",
+    "ChannelSpec",
     "ChannelStats",
     "ClockWindow",
     "CostLedger",
@@ -28,11 +35,14 @@ __all__ = [
     "HardwareProfile",
     "HypervisorNoise",
     "LOADING",
+    "LatencyChannel",
     "LinkModel",
+    "LossyChannel",
     "MemoryChannel",
     "PLATFORMS",
     "PREFILTERING",
     "QUERY",
     "VirtualClock",
+    "make_channel",
     "synthesize_observations",
 ]

@@ -11,11 +11,21 @@ and messages so experiments can report transfer overhead — bit-vectors add
 from __future__ import annotations
 
 import os
+import random
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Deque, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Callable,
+    Deque,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 
 @dataclass
@@ -25,6 +35,9 @@ class ChannelStats:
     messages_sent: int = 0
     messages_received: int = 0
     bytes_sent: int = 0
+    #: First transmissions lost on a lossy link (each one was
+    #: retransmitted, so drops cost bytes, never data).
+    messages_dropped: int = 0
 
     def record_send(self, size: int) -> None:
         """Account one outgoing message of *size* bytes."""
@@ -34,6 +47,11 @@ class ChannelStats:
     def record_receive(self) -> None:
         """Account one delivered message."""
         self.messages_received += 1
+
+    def record_drop(self, size: int) -> None:
+        """Account one dropped transmission (its retransmission bytes too)."""
+        self.messages_dropped += 1
+        self.bytes_sent += size
 
 
 class Channel(ABC):
@@ -220,3 +238,250 @@ class LinkModel:
             raise ValueError("payload sizes are non-negative")
         bits = payload_bytes * 8
         return self.latency_us + bits / self.bandwidth_mbps
+
+
+class ChannelDecorator(Channel):
+    """Base for channels that wrap another channel.
+
+    Decorators compose declaratively (see :func:`make_channel`): each one
+    adds a transport property — loss, latency pricing — while delegating
+    storage to the innermost real channel.  The decorator keeps its own
+    :class:`ChannelStats` describing what *it* saw; ``inner.stats`` keeps
+    the underlying channel's view.
+    """
+
+    def __init__(self, inner: Channel):
+        super().__init__()
+        self.inner = inner
+
+    def send(self, payload: bytes) -> None:
+        self.stats.record_send(len(payload))
+        self.inner.send(payload)
+
+    def receive(self) -> Optional[bytes]:
+        payload = self.inner.receive()
+        if payload is not None:
+            self.stats.record_receive()
+        return payload
+
+    def pending(self) -> int:
+        return self.inner.pending()
+
+
+class LossyChannel(ChannelDecorator):
+    """A lossy link under a reliable transport (flaky-network scenarios).
+
+    Each send's first transmission is dropped with probability
+    *drop_rate*; a dropped transmission is retransmitted until one gets
+    through, exactly like a reliable protocol over a lossy link.  Drops
+    therefore cost duplicate bytes and show up in
+    ``stats.messages_dropped`` — they never lose data, which is what lets
+    fleet scenarios assert zero record loss under drops (the no-loss
+    invariant is the transport's job, not luck).
+
+    Determinism: the drop sequence comes entirely from *seed* (explicit,
+    no global RNG), so the same seed replays the same drops.
+    """
+
+    def __init__(self, inner: Channel, drop_rate: float, seed: int):
+        super().__init__(inner)
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {drop_rate!r}"
+            )
+        if seed is None:
+            raise ValueError(
+                "LossyChannel requires an explicit seed: drops must be "
+                "replayable"
+            )
+        self.drop_rate = drop_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def send(self, payload: bytes) -> None:
+        while self._rng.random() < self.drop_rate:
+            self.stats.record_drop(len(payload))
+        self.stats.record_send(len(payload))
+        self.inner.send(payload)
+
+
+class LatencyChannel(ChannelDecorator):
+    """Virtual-time pricing of every delivered message over a link.
+
+    Accumulates :meth:`LinkModel.transfer_time_us` per sent message into
+    :attr:`modeled_us` without sleeping — experiments report transport
+    cost in calibrated virtual µs, the same axis the client cost model
+    uses, while tests run at memory speed.
+    """
+
+    def __init__(self, inner: Channel, link: Optional[LinkModel] = None):
+        super().__init__(inner)
+        self.link = link or LinkModel()
+        self.modeled_us = 0.0
+
+    def send(self, payload: bytes) -> None:
+        self.modeled_us += self.link.transfer_time_us(len(payload))
+        super().send(payload)
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Declarative description of one client→server transport.
+
+    The composable form behind :func:`make_channel`: a base channel kind
+    plus optional decorator layers.  Fleet scenarios hand a single spec to
+    the coordinator and get one independently-seeded channel per client
+    (:meth:`for_client`), instead of hand-writing a factory closure.
+
+    Attributes:
+        kind: Base transport — ``"memory"`` or ``"file"``.
+        directory: Spool directory for ``"file"`` channels (per-client
+            subdirectories are derived by :meth:`for_client`).
+        drop_rate: > 0 wraps the base in a :class:`LossyChannel`.
+        seed: Drop-sequence seed; required when *drop_rate* > 0.
+        link: A :class:`LinkModel` wraps the base in a
+            :class:`LatencyChannel` (priced inside the lossy layer, so
+            retransmissions are not double-charged).
+    """
+
+    kind: str = "memory"
+    directory: Optional[Path] = None
+    drop_rate: float = 0.0
+    seed: Optional[int] = None
+    link: Optional[LinkModel] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("memory", "file"):
+            raise ValueError(
+                f"channel kind must be 'memory' or 'file', "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "file" and self.directory is None:
+            raise ValueError("file channels need a spool directory")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate!r}"
+            )
+        if self.drop_rate > 0 and self.seed is None:
+            raise ValueError(
+                "a lossy channel spec needs an explicit seed "
+                "(drops must be replayable)"
+            )
+
+    def for_client(self, client_id: str) -> "ChannelSpec":
+        """This spec specialized for one fleet client.
+
+        File spools move to a per-client subdirectory and the lossy seed
+        is re-derived per client (stable under the same root seed), so
+        every client gets an independent but replayable drop sequence.
+        """
+        directory = self.directory
+        if self.kind == "file" and directory is not None:
+            directory = Path(directory) / client_id
+        seed = self.seed
+        if seed is not None:
+            # Local import: randomness sits in the data layer, and the
+            # transport module must stay importable without it except for
+            # this derivation convenience.
+            from ..data.randomness import derive_seed
+
+            seed = derive_seed(seed, f"channel:{client_id}")
+        return replace(self, directory=directory, seed=seed)
+
+
+#: Anything :func:`make_channel` accepts.
+ChannelLike = Union[Channel, ChannelSpec, str, Callable[[], Channel], None]
+
+
+def make_channel(spec: ChannelLike = None, *,
+                 directory: Optional[Path] = None) -> Channel:
+    """Build a channel from a declarative *spec*.
+
+    Accepted forms:
+
+    * ``None`` or ``"memory"`` — a fresh :class:`MemoryChannel`;
+    * ``"file"`` (with *directory*) or ``"file:/path/to/spool"`` — a
+      :class:`FileChannel`;
+    * a :class:`ChannelSpec` — base kind plus decorator layers
+      (latency inside, loss outside);
+    * a :class:`Channel` instance — returned as-is;
+    * a zero-argument callable — called.
+    """
+    if isinstance(spec, Channel):
+        return spec
+    if callable(spec):
+        return spec()
+    if spec is None or spec == "memory":
+        spec = ChannelSpec()
+    elif isinstance(spec, str):
+        if spec == "file":
+            spec = ChannelSpec(kind="file", directory=directory)
+        elif spec.startswith("file:"):
+            spec = ChannelSpec(kind="file", directory=Path(spec[5:]))
+        else:
+            raise ValueError(
+                f"unknown channel spec {spec!r}; expected 'memory', "
+                f"'file', 'file:<dir>', a ChannelSpec, a Channel, or a "
+                f"factory"
+            )
+    if not isinstance(spec, ChannelSpec):
+        raise TypeError(
+            f"cannot build a channel from {type(spec).__name__}"
+        )
+    if spec.kind == "file":
+        channel: Channel = FileChannel(spec.directory)
+    else:
+        channel = MemoryChannel()
+    if spec.link is not None:
+        channel = LatencyChannel(channel, spec.link)
+    if spec.drop_rate > 0:
+        channel = LossyChannel(channel, spec.drop_rate, spec.seed)
+    return channel
+
+
+def per_client_channels(spec: ChannelLike = None, *,
+                        directory: Optional[Path] = None
+                        ) -> Callable[[str], Channel]:
+    """Normalize *spec* into a ``client_id -> Channel`` fleet factory.
+
+    The declarative counterpart of hand-writing a factory closure: a
+    :class:`ChannelSpec` is specialized per client
+    (:meth:`ChannelSpec.for_client` — per-client spool directories and
+    independently derived loss seeds), string forms get per-client
+    subdirectories, and an existing callable passes through unchanged.
+    A shared :class:`Channel` instance is rejected — fleet clients must
+    not interleave on one FIFO.
+    """
+    if isinstance(spec, Channel):
+        raise TypeError(
+            "a single Channel instance cannot back a fleet; pass a "
+            "ChannelSpec, a spec string, or a client_id -> Channel "
+            "factory"
+        )
+    if spec is None:
+        return lambda client_id: MemoryChannel()
+    if callable(spec):
+        return spec
+    if isinstance(spec, str):
+        if spec == "file":
+            if directory is None:
+                raise ValueError(
+                    "per-client file channels need a spool directory: "
+                    "use 'file:<dir>' or pass directory=..."
+                )
+            spec = ChannelSpec(kind="file", directory=directory)
+        elif spec.startswith("file:"):
+            spec = ChannelSpec(kind="file", directory=Path(spec[5:]))
+        elif spec == "memory":
+            spec = ChannelSpec()
+        else:
+            raise ValueError(
+                f"unknown channel spec {spec!r}; expected 'memory', "
+                f"'file', 'file:<dir>', a ChannelSpec, or a factory"
+            )
+    if not isinstance(spec, ChannelSpec):
+        raise TypeError(
+            f"cannot build fleet channels from {type(spec).__name__}"
+        )
+    resolved = spec
+    return lambda client_id: make_channel(resolved.for_client(client_id))

@@ -1,0 +1,168 @@
+"""Unit tests for the DataSource abstraction and as_source coercion."""
+
+import pytest
+
+from repro.api import (
+    CsvFileSource,
+    DataSource,
+    GeneratorSource,
+    JsonFileSource,
+    LineSource,
+    as_source,
+)
+from repro.data import make_generator
+from repro.rawcsv import CsvCodec
+from repro.rawjson import dump_record
+
+
+class TestGeneratorSource:
+    def test_wraps_generator(self):
+        source = as_source("yelp", seed=7, n_records=50)
+        assert isinstance(source, GeneratorSource)
+        assert source.count() == 50
+        lines = list(source.records())
+        assert len(lines) == 50
+        assert all(line.startswith("{") for line in lines)
+
+    def test_sample_independent_of_stream(self):
+        source = as_source("yelp", seed=7, n_records=20)
+        sample = source.sample(10)
+        # Sampling must not consume the ingest stream.
+        assert len(list(source.records())) == 20
+        assert len(sample) == 10
+        assert all(isinstance(r, dict) for r in sample)
+
+    def test_deterministic_for_seed(self):
+        a = list(as_source("winlog", seed=3, n_records=10).records())
+        b = list(as_source("winlog", seed=3, n_records=10).records())
+        assert a == b
+
+    def test_with_count_rebounds(self):
+        source = as_source("yelp", seed=7, n_records=5)
+        rebounded = as_source(source, n_records=9)
+        assert rebounded.count() == 9
+
+    def test_unknown_dataset_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            as_source("no-such-dataset")
+
+    def test_average_record_length_positive(self):
+        assert as_source("ycsb", n_records=5).average_record_length() > 0
+
+
+class TestLineSource:
+    def test_round_trip(self, demo_records):
+        records, raws = demo_records
+        source = as_source(raws)
+        assert isinstance(source, LineSource)
+        assert list(source.records()) == raws
+        assert source.sample(2) == records[:2]
+        assert source.count() == len(raws)
+
+    def test_one_shot_iterator_materialized(self, demo_records):
+        _, raws = demo_records
+        source = as_source(iter(raws))
+        assert list(source.records()) == raws
+        assert list(source.records()) == raws  # replayable
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one record"):
+            LineSource([])
+
+
+class TestFileSources:
+    def test_jsonl_file(self, tmp_path, demo_records):
+        records, raws = demo_records
+        path = tmp_path / "data.jsonl"
+        path.write_text("\n".join(raws) + "\n", encoding="utf-8")
+        source = as_source(path)
+        assert isinstance(source, JsonFileSource)
+        assert list(source.records()) == raws
+        assert source.sample(3) == records[:3]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            JsonFileSource(tmp_path / "absent.jsonl")
+
+    def test_csv_file(self, tmp_path):
+        codec = CsvCodec(["name", "age"], types={"age": int})
+        rows = [{"name": "Bob", "age": 20}, {"name": "Eve", "age": 31}]
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "\n".join(codec.encode_record(r) for r in rows) + "\n",
+            encoding="utf-8",
+        )
+        source = as_source(path, codec=codec)
+        assert isinstance(source, CsvFileSource)
+        assert source.sample(2) == rows
+        # The record stream is JSON re-framed from the CSV rows.
+        assert list(source.records()) == [dump_record(r) for r in rows]
+
+    def test_csv_needs_codec(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="CsvCodec"):
+            as_source(path)
+
+    def test_csv_skip_header(self, tmp_path):
+        codec = CsvCodec(["name", "age"], types={"age": int})
+        path = tmp_path / "data.csv"
+        path.write_text("name,age\nBob,20\n", encoding="utf-8")
+        source = CsvFileSource(path, codec, skip_header=True)
+        assert source.sample(5) == [{"name": "Bob", "age": 20}]
+
+
+class TestLimitedSource:
+    def test_n_records_truncates_line_source(self, demo_records):
+        """Regression: n_records must bound *every* source kind."""
+        _, raws = demo_records
+        source = as_source(LineSource(raws), n_records=2)
+        assert list(source.records()) == raws[:2]
+        assert source.count() == 2
+        assert source.sample(10) == \
+            [r for r in LineSource(raws).sample(2)]
+
+    def test_n_records_truncates_file_source(self, tmp_path,
+                                             demo_records):
+        _, raws = demo_records
+        path = tmp_path / "data.jsonl"
+        path.write_text("\n".join(raws) + "\n", encoding="utf-8")
+        source = as_source(path, n_records=3)
+        assert len(list(source.records())) == 3
+        # File length is unknown without a scan, so no count is claimed.
+        assert source.count() is None
+
+    def test_n_records_truncates_iterable(self, demo_records):
+        _, raws = demo_records
+        source = as_source(raws, n_records=1)
+        assert list(source.records()) == raws[:1]
+
+    def test_cap_beyond_length_is_harmless(self, demo_records):
+        _, raws = demo_records
+        source = as_source(LineSource(raws), n_records=10 ** 6)
+        assert list(source.records()) == raws
+        assert source.count() == len(raws)
+
+
+class TestAsSource:
+    def test_datasource_passthrough(self, demo_records):
+        _, raws = demo_records
+        source = LineSource(raws)
+        assert as_source(source) is source
+
+    def test_generator_instance(self):
+        generator = make_generator("yelp", seed=1)
+        source = as_source(generator, n_records=7)
+        assert isinstance(source, GeneratorSource)
+        assert source.count() == 7
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(TypeError, match="DataSource"):
+            as_source(42)
+
+    def test_average_record_length_empty_sample(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        source = JsonFileSource(path)
+        with pytest.raises(ValueError, match="empty sample"):
+            source.average_record_length()

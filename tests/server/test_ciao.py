@@ -180,3 +180,36 @@ class TestIngestSessions:
         summary = server.finalize_loading()
         assert summary.received == 30
         assert server.ingest_sources == {"a": 2, "b": 1}
+
+
+class TestSharedOptionValidation:
+    """ServerConfig and CiaoServer validate through one shared helper."""
+
+    def test_partial_loading_message(self, tmp_path):
+        from repro.server import ServerConfig, validate_server_options
+
+        with pytest.raises(ValueError) as direct:
+            CiaoServer(tmp_path, partial_loading="maybe")
+        with pytest.raises(ValueError) as config:
+            ServerConfig(data_dir=tmp_path, partial_loading="maybe")
+        with pytest.raises(ValueError) as helper:
+            validate_server_options(partial_loading="maybe")
+        assert "partial_loading must be 'auto', 'on' or 'off'" in \
+            str(direct.value)
+        assert str(direct.value) == str(config.value) == str(helper.value)
+
+    def test_shard_mode_message_names_valid_options(self, tmp_path):
+        with pytest.raises(ValueError, match=r"process.*thread"):
+            CiaoServer(tmp_path, shard_mode="fiber")
+
+    def test_dispatch_message_names_valid_options(self, tmp_path):
+        with pytest.raises(ValueError, match=r"work-stealing.*round-robin"):
+            CiaoServer(tmp_path, dispatch="lottery")
+
+    def test_n_shards_floor(self, tmp_path):
+        from repro.server import ServerConfig
+
+        with pytest.raises(ValueError, match="n_shards must be >= 1"):
+            CiaoServer(tmp_path, n_shards=0)
+        with pytest.raises(ValueError, match="n_shards must be >= 1"):
+            ServerConfig(data_dir=tmp_path, n_shards=-1)

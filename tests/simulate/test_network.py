@@ -181,3 +181,160 @@ class TestSendFrames:
         channel.send_frames(frames)
         assert channel.stats.messages_sent == 1
         assert [bytes(f) for f in channel.drain_chunks()] == frames
+
+
+# ----------------------------------------------------------------------
+# Decorator channels + the declarative factory
+# ----------------------------------------------------------------------
+from pathlib import Path
+
+from repro.simulate import (
+    ChannelSpec,
+    LatencyChannel,
+    LossyChannel,
+    make_channel,
+)
+from repro.simulate.network import per_client_channels
+
+
+class TestLossyChannel:
+    def test_requires_explicit_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            LossyChannel(MemoryChannel(), drop_rate=0.1, seed=None)
+
+    def test_drop_rate_bounds(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            LossyChannel(MemoryChannel(), drop_rate=1.0, seed=1)
+        with pytest.raises(ValueError, match="drop_rate"):
+            LossyChannel(MemoryChannel(), drop_rate=-0.1, seed=1)
+
+    def test_deterministic_drop_sequence(self):
+        """Same seed → byte-for-byte identical drop accounting."""
+        counts = []
+        for _ in range(2):
+            channel = LossyChannel(MemoryChannel(), drop_rate=0.5, seed=42)
+            for i in range(100):
+                channel.send(f"m{i}".encode())
+            counts.append(channel.stats.messages_dropped)
+        assert counts[0] == counts[1]
+        assert counts[0] > 0
+
+    def test_reliable_delivery_despite_drops(self):
+        """Drops are retransmitted: every payload arrives, in order."""
+        channel = LossyChannel(MemoryChannel(), drop_rate=0.6, seed=7)
+        payloads = [f"m{i}".encode() for i in range(50)]
+        for p in payloads:
+            channel.send(p)
+        assert list(channel.drain()) == payloads
+        assert channel.stats.messages_dropped > 0
+
+    def test_drops_cost_bytes_not_data(self):
+        channel = LossyChannel(MemoryChannel(), drop_rate=0.5, seed=3)
+        for _ in range(40):
+            channel.send(b"x" * 10)
+        sent = channel.stats
+        # Retransmissions inflate bytes beyond the 40 * 10 payload floor.
+        assert sent.bytes_sent == 10 * (40 + sent.messages_dropped)
+        assert channel.inner.stats.messages_sent == 40
+
+    def test_different_seeds_differ(self):
+        a = LossyChannel(MemoryChannel(), drop_rate=0.5, seed=1)
+        b = LossyChannel(MemoryChannel(), drop_rate=0.5, seed=2)
+        seq_a, seq_b = [], []
+        for i in range(64):
+            a.send(b"x")
+            b.send(b"x")
+            seq_a.append(a.stats.messages_dropped)
+            seq_b.append(b.stats.messages_dropped)
+        assert seq_a != seq_b
+
+
+class TestLatencyChannel:
+    def test_accumulates_modeled_time(self):
+        link = LinkModel(bandwidth_mbps=8.0, latency_us=100.0)
+        channel = LatencyChannel(MemoryChannel(), link)
+        channel.send(b"x" * 1000)  # 8000 bits / 8 Mbps = 1000 µs + 100
+        assert channel.modeled_us == pytest.approx(1100.0)
+        channel.send(b"")
+        assert channel.modeled_us == pytest.approx(1200.0)
+
+    def test_delegates_delivery(self):
+        channel = LatencyChannel(MemoryChannel())
+        channel.send(b"hello")
+        assert channel.pending() == 1
+        assert channel.receive() == b"hello"
+        assert channel.stats.messages_received == 1
+
+
+class TestMakeChannel:
+    def test_default_memory(self):
+        assert isinstance(make_channel(), MemoryChannel)
+        assert isinstance(make_channel("memory"), MemoryChannel)
+
+    def test_file_spec(self, tmp_path):
+        channel = make_channel(f"file:{tmp_path / 'spool'}")
+        assert isinstance(channel, FileChannel)
+        channel = make_channel("file", directory=tmp_path / "spool2")
+        assert isinstance(channel, FileChannel)
+
+    def test_instance_passthrough(self):
+        channel = MemoryChannel()
+        assert make_channel(channel) is channel
+
+    def test_factory_called(self):
+        channel = make_channel(lambda: MemoryChannel())
+        assert isinstance(channel, MemoryChannel)
+
+    def test_spec_composition_order(self):
+        spec = ChannelSpec(drop_rate=0.3, seed=5, link=LinkModel())
+        channel = make_channel(spec)
+        # Loss outside, latency inside, storage at the core.
+        assert isinstance(channel, LossyChannel)
+        assert isinstance(channel.inner, LatencyChannel)
+        assert isinstance(channel.inner.inner, MemoryChannel)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown channel spec"):
+            make_channel("carrier-pigeon")
+
+    def test_spec_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="spool directory"):
+            ChannelSpec(kind="file")
+        with pytest.raises(ValueError, match="seed"):
+            ChannelSpec(drop_rate=0.5)
+        with pytest.raises(ValueError, match="kind"):
+            ChannelSpec(kind="quantum")
+
+
+class TestPerClientChannels:
+    def test_independent_seeds_per_client(self):
+        factory = per_client_channels(ChannelSpec(drop_rate=0.5, seed=9))
+        a, b = factory("client-00"), factory("client-01")
+        assert isinstance(a, LossyChannel)
+        assert a.seed != b.seed
+        # Replayable: the same client id re-derives the same seed.
+        assert factory("client-00").seed == a.seed
+
+    def test_file_channels_get_subdirectories(self, tmp_path):
+        factory = per_client_channels(
+            ChannelSpec(kind="file", directory=tmp_path)
+        )
+        a = factory("c0")
+        a.send(b"x")
+        assert (tmp_path / "c0").is_dir()
+
+    def test_callable_passthrough(self):
+        sentinel = []
+        factory = per_client_channels(
+            lambda cid: sentinel.append(cid) or MemoryChannel()
+        )
+        factory("c7")
+        assert sentinel == ["c7"]
+
+    def test_shared_instance_rejected(self):
+        with pytest.raises(TypeError, match="cannot back a fleet"):
+            per_client_channels(MemoryChannel())
+
+    def test_file_string_needs_directory(self):
+        with pytest.raises(ValueError, match="spool directory"):
+            per_client_channels("file")

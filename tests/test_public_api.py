@@ -1,0 +1,112 @@
+"""The public-API contract: ``__all__`` is complete, exact, and importable.
+
+Every package exposes its public surface through ``__all__``; a symbol
+imported into a package namespace but missing from ``__all__`` (or listed
+but not importable) fails here — so the front door cannot silently rot as
+modules grow.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.api",
+    "repro.bench",
+    "repro.bitvec",
+    "repro.client",
+    "repro.core",
+    "repro.data",
+    "repro.engine",
+    "repro.fleet",
+    "repro.rawcsv",
+    "repro.rawjson",
+    "repro.server",
+    "repro.simulate",
+    "repro.storage",
+    "repro.workload",
+]
+
+#: Symbols the roadmap promises at the top level (the satellite list:
+#: fleet + streaming-query + deployment API symbols, exported
+#: consistently).
+PROMISED_TOP_LEVEL = {
+    "Budget",
+    "ChannelSpec",
+    "CiaoOptimizer",
+    "CiaoServer",
+    "CiaoSession",
+    "ClientPopulation",
+    "DataSource",
+    "DeploymentConfig",
+    "FleetClientSpec",
+    "FleetCoordinator",
+    "FleetReport",
+    "IngestSession",
+    "LoadJob",
+    "LoadReport",
+    "LoadSummary",
+    "LossyChannel",
+    "ServerConfig",
+    "SimulatedClient",
+    "make_channel",
+}
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_is_declared(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} has no __all__"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_importable(name):
+    """Every name in ``__all__`` resolves (no stale exports)."""
+    module = importlib.import_module(name)
+    missing = [n for n in module.__all__ if not hasattr(module, n)]
+    assert not missing, f"{name}.__all__ lists unimportable: {missing}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_no_public_name_outside_all(name):
+    """Every public (non-module) attribute is listed in ``__all__``.
+
+    This is the CI tripwire the satellite asks for: importing a symbol
+    into a package without exporting it fails the suite.
+    """
+    module = importlib.import_module(name)
+    public = {
+        attr
+        for attr, value in vars(module).items()
+        if not attr.startswith("_") and not inspect.ismodule(value)
+    }
+    stray = sorted(public - set(module.__all__))
+    assert not stray, (
+        f"{name} imports public names missing from __all__: {stray}"
+    )
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_is_sorted_and_unique(name):
+    module = importlib.import_module(name)
+    entries = list(module.__all__)
+    assert entries == sorted(entries), f"{name}.__all__ is not sorted"
+    assert len(entries) == len(set(entries)), (
+        f"{name}.__all__ has duplicates"
+    )
+
+
+def test_promised_symbols_at_top_level():
+    repro = importlib.import_module("repro")
+    missing = sorted(PROMISED_TOP_LEVEL - set(repro.__all__))
+    assert not missing, f"top-level __all__ lost: {missing}"
+
+
+def test_star_import_matches_all():
+    namespace = {}
+    exec("from repro import *", namespace)
+    imported = {n for n in namespace if not n.startswith("_")}
+    repro = importlib.import_module("repro")
+    assert imported == set(repro.__all__) - {"__version__"}
