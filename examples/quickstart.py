@@ -3,6 +3,16 @@
 Plan a budgeted pushdown for a prospective workload, load a synthetic
 Yelp-style stream with client assistance, query with data skipping.
 
+Queries below run on the columnar **batch engine**: operators exchange
+column batches with bit-vector selection masks, so a COUNT(*) like these
+is page decodes + popcounts, never a Python dict per row.  Row-shaped
+results (``result.rows``) come from the thin ``rows()`` adapter over the
+final batch, so nothing here changes as the engine vectorizes further
+(see ``repro.engine``).  On sharded deployments, repeated mid-load
+``job.snapshot_query(...)`` aggregates are incremental: sealed parts are
+served from cached partial aggregates and only newly loaded data is
+scanned.
+
 Run:  python examples/quickstart.py
 """
 

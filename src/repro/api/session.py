@@ -128,6 +128,13 @@ class LoadJob:
         consistent mid-load view (sealed shard parts + sideline
         watermarks); serial deployments and ``seal_interval=None`` raise
         ``RuntimeError`` — finalize via :meth:`result` and query then.
+
+        Polling the same aggregate repeatedly is cheap: the engine keeps
+        per-part partial aggregates keyed by (sealed part, query
+        fingerprint), so each call scans only the parts sealed since the
+        previous one plus the sideline delta — see
+        ``result.plan_info.snapshot_cache_hits`` — with answers
+        identical to a cold scan of the same snapshot.
         """
         if not self.config.streaming_queries:
             raise RuntimeError(

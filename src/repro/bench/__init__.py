@@ -17,6 +17,7 @@ from .experiments import (
 from .reporting import (
     RESULTS_DIR,
     emit,
+    emit_json,
     fleet_table,
     load_report_block,
     format_table,
@@ -36,6 +37,7 @@ __all__ = [
     "RunMetrics",
     "cost_model_experiment",
     "emit",
+    "emit_json",
     "end_to_end_sweep",
     "fleet_table",
     "format_table",

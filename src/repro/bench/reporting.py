@@ -197,3 +197,24 @@ def emit(name: str, text: str,
     path = directory / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     return path
+
+
+def emit_json(name: str, payload: Any,
+              results_dir: Optional[Path] = None) -> Path:
+    """Archive *payload* as ``<name>.json`` next to the text reports.
+
+    The machine-readable side of :func:`emit`: benches write their
+    headline numbers (speedups, latencies, config) as one JSON document
+    per run, so the performance trajectory is diffable across PRs
+    instead of living only in prose tables.
+    """
+    import json
+
+    directory = results_dir or RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path

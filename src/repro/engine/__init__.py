@@ -1,5 +1,30 @@
-"""Mini query-engine substrate (the prototype's Spark stand-in)."""
+"""Mini query-engine substrate (the prototype's Spark stand-in).
 
+Execution is **columnar-batch**: operators exchange
+:class:`ColumnBatch` objects — per-column value lists plus a word-level
+``BitVector`` selection vector — through ``Operator.batches()``.  Scans
+decode each row group's pages once (``RowGroupReader.read_batch``);
+``Expr.evaluate_batch`` turns a WHERE clause into one predicate mask per
+batch, ANDed into the selection with ``intersect_update``; aggregates
+fold batches directly, so COUNT(*)-only plans reduce to popcounts and
+never materialize a row dict.
+
+The historical row-at-a-time surface is preserved as a thin adapter:
+``Operator.execute()`` spills batches back into dict rows (and
+row-only ``Operator`` subclasses are wrapped the other way), so planner,
+server, session, and bench code written against row iterators keeps
+working unchanged.  :mod:`repro.engine.rowpath` additionally keeps the
+full pre-batch interpreter runnable as an equivalence oracle and
+benchmark baseline.
+
+Mid-load snapshot queries get incremental aggregation: sealed Parquet
+parts are immutable, so :class:`SnapshotAggCache` keys per-part partial
+aggregates by (part identity, query fingerprint) and successive
+snapshot queries only scan newly sealed parts plus the sideline delta
+(:mod:`repro.engine.snapcache`).
+"""
+
+from .batch import ColumnBatch
 from .catalog import Catalog, CatalogError, TableEntry
 from .executor import Executor, QueryResult, run_plan
 from .expressions import (
@@ -14,6 +39,7 @@ from .expressions import (
     Not,
     Or,
     clause_to_expr,
+    compile_like,
     conjuncts,
     like_match,
     predicate_to_expr,
@@ -34,6 +60,8 @@ from .operators import (
     SkippingScan,
 )
 from .planner import PlanInfo, PlannerError, plan_query
+from .rowpath import run_plan_rows
+from .snapcache import SnapshotAggCache, query_fingerprint
 from .sql import ParsedQuery, SelectItem, SqlError, parse_sql
 
 __all__ = [
@@ -43,6 +71,7 @@ __all__ = [
     "CatalogError",
     "ChainScan",
     "Column",
+    "ColumnBatch",
     "Comparison",
     "ExecutionStats",
     "Executor",
@@ -66,15 +95,19 @@ __all__ = [
     "SelectItem",
     "SidelineScan",
     "SkippingScan",
+    "SnapshotAggCache",
     "SqlError",
     "TableEntry",
     "clause_to_expr",
+    "compile_like",
     "conjuncts",
     "like_match",
     "parse_sql",
     "plan_query",
     "predicate_to_expr",
+    "query_fingerprint",
     "query_where_expr",
     "run_plan",
+    "run_plan_rows",
     "to_clause",
 ]

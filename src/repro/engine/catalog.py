@@ -50,6 +50,14 @@ class TableEntry:
     _snapshot_version: Optional[int] = field(
         default=None, repr=False, compare=False
     )
+    #: Incremental snapshot-scan cache: per-part partial aggregates keyed
+    #: by (part identity, query fingerprint).  Lives exactly as long as
+    #: snapshot-scan mode does — sealed parts are immutable, so partials
+    #: stay valid across snapshot versions and successive mid-load
+    #: aggregate queries only scan newly sealed parts.
+    _snapshot_cache: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     def open_readers(self) -> List[ParquetLiteReader]:
         """Open (and cache) readers for this table's Parquet-lite files.
@@ -96,6 +104,12 @@ class TableEntry:
         self.parquet_paths = [Path(p) for p in parquet_paths]
         self._snapshot_side = side_view
         self._snapshot_version = version
+        if self._snapshot_cache is not None:
+            # Parts normally only accumulate; pruning is a cheap guard
+            # against providers that replace their part set.
+            self._snapshot_cache.retain_parts(
+                str(p) for p in self.parquet_paths
+            )
 
     def clear_snapshot(self) -> None:
         """Leave snapshot-scan mode (the load finalized or was reset)."""
@@ -103,6 +117,24 @@ class TableEntry:
             self.invalidate()
             self._snapshot_side = None
             self._snapshot_version = None
+            self._snapshot_cache = None
+
+    @property
+    def snapshot_cache(self):
+        """The incremental aggregate cache for this snapshot session.
+
+        Created on first use; dropped with :meth:`clear_snapshot` (the
+        finalized table is a different scan surface).
+        """
+        if self._snapshot_cache is None:
+            from .snapcache import SnapshotAggCache  # deferred: no cycle
+            self._snapshot_cache = SnapshotAggCache()
+        return self._snapshot_cache
+
+    def clear_snapshot_cache(self) -> None:
+        """Forget cached partial aggregates (next query scans cold)."""
+        if self._snapshot_cache is not None:
+            self._snapshot_cache.clear()
 
     @property
     def in_snapshot_mode(self) -> bool:

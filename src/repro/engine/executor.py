@@ -1,12 +1,20 @@
-"""Query execution entry point."""
+"""Query execution entry point.
+
+``run_plan`` drives the batch engine: the operator tree exchanges
+columnar batches and rows are only materialized once, at the result
+boundary.  Mid-load aggregate queries against a snapshot-mode table are
+routed through the incremental snapshot cache
+(:mod:`repro.engine.snapcache`), which reuses per-part partial aggregates
+across successive snapshots instead of rescanning sealed parts.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List
 
-from .catalog import Catalog, TableEntry
+from .catalog import Catalog
 from .operators import ExecutionStats, Operator
 from .planner import PlanInfo, plan_query
 from .sql import ParsedQuery, parse_sql
@@ -42,16 +50,28 @@ class Executor:
         return self.execute_parsed(parsed)
 
     def execute_parsed(self, parsed: ParsedQuery) -> QueryResult:
-        """Run an already-parsed statement."""
+        """Run an already-parsed statement.
+
+        Aggregate queries over a table in snapshot-scan mode go through
+        the incremental snapshot cache: sealed parts are immutable, so
+        repeated mid-load aggregates only scan newly sealed parts plus
+        the sideline delta.  Everything else plans and runs cold.
+        """
         table = self.catalog.lookup(parsed.table)
+        if table.in_snapshot_mode and parsed.is_aggregate:
+            from .snapcache import execute_snapshot_aggregate
+            return execute_snapshot_aggregate(parsed, table,
+                                              table.snapshot_cache)
         return run_plan(*plan_query(parsed, table))
 
 
 def run_plan(plan: Operator, info: PlanInfo) -> QueryResult:
-    """Drive an operator tree to completion."""
+    """Drive an operator tree to completion (batch execution)."""
     stats = ExecutionStats()
     start = time.perf_counter()
-    rows = list(plan.execute(stats))
+    rows: List[Dict[str, Any]] = []
+    for batch in plan.batches(stats):
+        rows.extend(batch.iter_rows())
     elapsed = time.perf_counter() - start
     stats.rows_emitted = len(rows)
     return QueryResult(

@@ -17,8 +17,18 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from ..bitvec.bitvector import BitVector
 from ..core.predicates import (
     Clause,
     SimplePredicate,
@@ -37,6 +47,22 @@ class Expr(ABC):
     @abstractmethod
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         """Value of this expression on one row."""
+
+    def evaluate_batch(self, batch) -> BitVector:
+        """Truth of this expression over every row of a *batch*.
+
+        Returns one bit per batch row (selected or not); the caller
+        narrows the batch's selection vector with ``intersect_update``.
+        Subclasses override with vectorized kernels; this generic
+        fallback evaluates row-at-a-time through a reusable row view and
+        is exact for any expression shape.
+        """
+        view = batch.row_view()
+        bits = []
+        for index in range(batch.num_rows):
+            view.index = index
+            bits.append(bool(self.evaluate(view)))
+        return BitVector.from_bits(bits)
 
     @abstractmethod
     def columns(self) -> Set[str]:
@@ -99,6 +125,47 @@ _COMPARATORS = {
 }
 
 
+def _compare_values(values: List[Any], op: str, rhs: Any) -> List[bool]:
+    """Vectorized :meth:`Comparison.evaluate` over one column list.
+
+    Replicates the scalar semantics bit-for-bit: null operands are false,
+    bool/str kind mismatches are false (``true`` never equates ``1``),
+    and un-orderable types compare false instead of raising.
+    """
+    if rhs is None:
+        return [False] * len(values)
+    want_bool = isinstance(rhs, bool)
+    want_str = isinstance(rhs, str)
+    if op == "=":
+        if want_bool:
+            # True/False are singletons; `is` excludes 1/0 impostors.
+            return [v is rhs for v in values]
+        if want_str:
+            return [isinstance(v, str) and v == rhs for v in values]
+        return [
+            v == rhs and not isinstance(v, bool) for v in values
+        ]
+    if op == "!=":
+        return [
+            v is not None and isinstance(v, bool) == want_bool
+            and isinstance(v, str) == want_str and v != rhs
+            for v in values
+        ]
+    compare = _COMPARATORS[op]
+    bits = []
+    append = bits.append
+    for v in values:
+        if v is None or isinstance(v, bool) != want_bool \
+                or isinstance(v, str) != want_str:
+            append(False)
+            continue
+        try:
+            append(bool(compare(v, rhs)))
+        except TypeError:
+            append(False)
+    return bits
+
+
 @dataclass(frozen=True)
 class Comparison(Expr):
     """A binary comparison; false on nulls or type mismatch."""
@@ -125,6 +192,15 @@ class Comparison(Expr):
         except TypeError:
             return False
 
+    def evaluate_batch(self, batch) -> BitVector:
+        left, right = self.left, self.right
+        if isinstance(left, Column) and isinstance(right, Literal):
+            return BitVector.from_bits(
+                _compare_values(batch.column(left.name), self.op,
+                                right.value)
+            )
+        return super().evaluate_batch(batch)
+
     def columns(self) -> Set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -146,6 +222,15 @@ class LikeExpr(Expr):
             return False
         return like_match(self.pattern, value)
 
+    def evaluate_batch(self, batch) -> BitVector:
+        if not isinstance(self.column, Column):
+            return super().evaluate_batch(batch)
+        match = compile_like(self.pattern)
+        return BitVector.from_bits(
+            isinstance(v, str) and match(v)
+            for v in batch.column(self.column.name)
+        )
+
     def columns(self) -> Set[str]:
         return self.column.columns()
 
@@ -163,6 +248,13 @@ class IsNotNull(Expr):
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         return self.column.evaluate(row) is not None
 
+    def evaluate_batch(self, batch) -> BitVector:
+        if not isinstance(self.column, Column):
+            return super().evaluate_batch(batch)
+        return BitVector.from_bits(
+            v is not None for v in batch.column(self.column.name)
+        )
+
     def columns(self) -> Set[str]:
         return self.column.columns()
 
@@ -179,6 +271,13 @@ class IsNull(Expr):
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         return self.column.evaluate(row) is None
 
+    def evaluate_batch(self, batch) -> BitVector:
+        if not isinstance(self.column, Column):
+            return super().evaluate_batch(batch)
+        return BitVector.from_bits(
+            v is None for v in batch.column(self.column.name)
+        )
+
     def columns(self) -> Set[str]:
         return self.column.columns()
 
@@ -194,6 +293,14 @@ class And(Expr):
 
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         return all(child.evaluate(row) for child in self.children)
+
+    def evaluate_batch(self, batch) -> BitVector:
+        mask = self.children[0].evaluate_batch(batch)
+        for child in self.children[1:]:
+            if not mask.any():
+                break  # conjunction already dead everywhere
+            mask.intersect_update(child.evaluate_batch(batch))
+        return mask
 
     def columns(self) -> Set[str]:
         out: Set[str] = set()
@@ -217,6 +324,14 @@ class Or(Expr):
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         return any(child.evaluate(row) for child in self.children)
 
+    def evaluate_batch(self, batch) -> BitVector:
+        mask = self.children[0].evaluate_batch(batch)
+        for child in self.children[1:]:
+            if mask.all():
+                break  # disjunction already true everywhere
+            mask.union_update(child.evaluate_batch(batch))
+        return mask
+
     def columns(self) -> Set[str]:
         out: Set[str] = set()
         for child in self.children:
@@ -235,6 +350,9 @@ class Not(Expr):
 
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         return not self.child.evaluate(row)
+
+    def evaluate_batch(self, batch) -> BitVector:
+        return ~self.child.evaluate_batch(batch)
 
     def columns(self) -> Set[str]:
         return self.child.columns()
@@ -270,6 +388,37 @@ def like_match(pattern: str, value: str) -> bool:
             return False
         position = found + len(segment)
     return position <= end_limit
+
+
+def compile_like(pattern: str) -> Callable[[str], bool]:
+    """One-off compile of a LIKE pattern into a ``str -> bool`` matcher.
+
+    The batch engine matches one pattern against a whole column, so the
+    common shapes (``'x'``, ``'x%'``, ``'%x'``, ``'%x%'``) collapse to a
+    single C-level string method per value instead of re-splitting the
+    pattern per row; every other shape falls back to :func:`like_match`.
+    Matchers agree with ``like_match(pattern, value)`` on every string.
+    """
+    segments = pattern.split("%")
+    if len(segments) == 1:
+        return pattern.__eq__
+    if all(not s for s in segments):  # '%', '%%', ...: matches anything
+        return lambda value: True
+    if len(segments) == 2:
+        head, tail = segments
+        if not tail:
+            return lambda value: value.startswith(head)
+        if not head:
+            return lambda value: value.endswith(tail)
+        floor = len(head) + len(tail)
+        return lambda value: (
+            len(value) >= floor
+            and value.startswith(head) and value.endswith(tail)
+        )
+    if len(segments) == 3 and not segments[0] and not segments[2]:
+        body = segments[1]
+        return lambda value: body in value
+    return lambda value: like_match(pattern, value)
 
 
 # ----------------------------------------------------------------------

@@ -1,11 +1,24 @@
-"""Volcano-style operators over dict rows.
+"""Batch-vectorized operators over columnar batches.
 
 The operator set covers the paper's query template (scan → filter →
 COUNT(*)) plus projections, general aggregates, and LIMIT so the examples
 can run realistic analytics.  The CIAO-specific operator is
 :class:`SkippingScan`: it resolves the query's pushed-down predicate ids to
 per-row-group bit-vectors, ANDs them (§VI-B), skips whole row groups whose
-intersection is empty, and materializes only surviving row positions.
+intersection is empty, and keeps the surviving mask as the batch's
+selection vector — no per-row index list is ever materialized.
+
+Execution is columnar: operators exchange
+:class:`~repro.engine.batch.ColumnBatch` objects (decoded column lists +
+a word-level ``BitVector`` selection vector) through :meth:`Operator.
+batches`.  Scans decode each row group's pages exactly once
+(``RowGroupReader.read_batch``); filters narrow the selection with
+``Expr.evaluate_batch`` + ``intersect_update``; aggregates consume batches
+directly, so a COUNT(*)-only plan is selection-vector popcounts all the
+way down and never materializes a row dict.  The historical row-at-a-time
+surface survives as a thin adapter: :meth:`Operator.execute` spills
+batches back into dict rows, and subclasses that only implement
+``execute()`` (legacy or test operators) are wrapped the other way.
 
 Every operator reports into a shared :class:`ExecutionStats`, which is how
 the experiment harness measures tuples skipped, groups skipped, and
@@ -14,14 +27,28 @@ sideline parsing.
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from abc import ABC
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..bitvec.bitvector import BitVector, intersect_all
 from ..storage.columnar import ParquetLiteReader
 from ..storage.jsonstore import JsonSideStore
+from .batch import ColumnBatch
 from .expressions import Expr
+
+
+def _close_source(source) -> None:
+    """Close a child batch iterator if it supports it (generators do);
+    closing propagates LIMIT satisfaction down into the scans."""
+    close = getattr(source, "close", None)
+    if close is not None:
+        close()
+
+#: Rows accumulated per batch when batching a row-producing source
+#: (sideline scans).  Large enough to amortize per-batch overhead, small
+#: enough that LIMIT over a sideline stops parsing early.
+SIDELINE_BATCH_ROWS = 2048
 
 
 @dataclass
@@ -55,15 +82,32 @@ class ExecutionStats:
 
 
 class Operator(ABC):
-    """An iterator node producing dict rows."""
+    """A node producing columnar batches (and, via adapter, dict rows).
 
-    @abstractmethod
+    Implement :meth:`batches` (the engine's native surface).  Subclasses
+    that predate the batch engine may instead implement :meth:`execute`;
+    their row stream is wrapped into single-row batches, preserving the
+    exact per-row laziness of the old volcano interpreter.
+    """
+
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
+        """Yield columnar batches, accounting into *stats*."""
+        if type(self).execute is Operator.execute:
+            raise TypeError(
+                f"{type(self).__name__} implements neither batches() "
+                f"nor execute()"
+            )
+        for row in self.execute(stats):
+            yield ColumnBatch.from_rows([row])
+
     def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
-        """Yield result rows, accounting into *stats*."""
+        """Yield result rows — the ``rows()`` adapter over batches."""
+        for batch in self.batches(stats):
+            yield from batch.iter_rows()
 
-    @abstractmethod
     def describe(self) -> str:
         """One-line plan description."""
+        raise NotImplementedError
 
 
 class ParquetScan(Operator):
@@ -81,17 +125,20 @@ class ParquetScan(Operator):
         self._columns = list(columns) if columns is not None else None
         self._prune = prune
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
+        names = self._columns if self._columns is not None \
+            else self._reader.schema.names
         for group in self._reader.row_groups():
             stats.row_groups_total += 1
             if self._prune is not None and self._prune(group.meta):
                 stats.row_groups_pruned_by_zonemap += 1
                 stats.tuples_pruned_by_zonemap += group.row_count
                 continue
-            for row in group.rows(columns=self._columns):
-                stats.rows_examined += 1
-                yield row
+            columns = group.read_batch(self._columns)
             group.clear_cache()
+            stats.rows_examined += group.row_count
+            yield ColumnBatch.from_columns(columns, group.row_count,
+                                           names=names)
 
     def describe(self) -> str:
         cols = ", ".join(self._columns) if self._columns else "*"
@@ -110,7 +157,8 @@ class SkippingScan(Operator):
       soundness first;
     * if the intersection is empty, skip the group without decoding a
       single column;
-    * otherwise materialize only the surviving row positions.
+    * otherwise the surviving mask *becomes the batch's selection vector*:
+      survivor counting is a popcount and no index list is built.
     """
 
     def __init__(self, reader: ParquetLiteReader,
@@ -124,9 +172,11 @@ class SkippingScan(Operator):
         self._columns = list(columns) if columns is not None else None
         self._prune = prune
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
         stats.used_data_skipping = True
-        for index, group in enumerate(self._reader.row_groups()):
+        names = self._columns if self._columns is not None \
+            else self._reader.schema.names
+        for group in self._reader.row_groups():
             stats.row_groups_total += 1
             if self._prune is not None and self._prune(group.meta):
                 stats.row_groups_pruned_by_zonemap += 1
@@ -141,21 +191,23 @@ class SkippingScan(Operator):
                     break
                 vectors.append(bv)
             if missing:
-                for row in group.rows(columns=self._columns):
-                    stats.rows_examined += 1
-                    yield row
+                columns = group.read_batch(self._columns)
                 group.clear_cache()
+                stats.rows_examined += group.row_count
+                yield ColumnBatch.from_columns(columns, group.row_count,
+                                               names=names)
                 continue
             mask = intersect_all(vectors)
-            indices = list(mask.iter_set())
-            stats.tuples_skipped += group.row_count - len(indices)
-            if not indices:
+            survivors = mask.count()
+            stats.tuples_skipped += group.row_count - survivors
+            if not survivors:
                 stats.row_groups_skipped += 1
                 continue
-            for row in group.rows(columns=self._columns, indices=indices):
-                stats.rows_examined += 1
-                yield row
+            columns = group.read_batch(self._columns)
             group.clear_cache()
+            stats.rows_examined += survivors
+            yield ColumnBatch.from_columns(columns, group.row_count,
+                                           names=names, sel=mask)
 
     def describe(self) -> str:
         return (
@@ -169,18 +221,26 @@ class SidelineScan(Operator):
 
     Accepts anything with the store's read interface (``iter_parsed`` +
     ``path``) — in particular the bounded loaded-so-far views snapshot
-    queries scan during a streaming ingest.
+    queries scan during a streaming ingest.  Parsed records are grouped
+    into row-backed batches, so their ragged key sets survive
+    materialization untouched.
     """
 
     def __init__(self, store: JsonSideStore):
         self._store = store
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
         stats.scanned_sideline = True
+        pending: List[Dict[str, Any]] = []
         for record in self._store.iter_parsed():
             stats.sideline_records_parsed += 1
             stats.rows_examined += 1
-            yield record
+            pending.append(record)
+            if len(pending) >= SIDELINE_BATCH_ROWS:
+                yield ColumnBatch.from_rows(pending)
+                pending = []
+        if pending:
+            yield ColumnBatch.from_rows(pending)
 
     def describe(self) -> str:
         return f"SidelineScan({self._store.path.name})"
@@ -194,9 +254,9 @@ class ChainScan(Operator):
             raise ValueError("ChainScan needs at least one child")
         self._children = list(children)
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
         for child in self._children:
-            yield from child.execute(stats)
+            yield from child.batches(stats)
 
     def describe(self) -> str:
         return " + ".join(child.describe() for child in self._children)
@@ -206,25 +266,59 @@ class Filter(Operator):
     """Residual predicate evaluation.
 
     Always present above CIAO scans: bit-vectors admit false positives, so
-    every surviving tuple re-checks the full WHERE expression (§IV-B).
+    every surviving tuple re-checks the full WHERE expression (§IV-B) —
+    as one vectorized ``evaluate_batch`` mask ANDed into the selection
+    vector, not a Python-level row loop.
     """
 
     def __init__(self, child: Operator, predicate: Expr):
         self._child = child
         self._predicate = predicate
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+    #: Selection density (1/N of the batch) below which the residual
+    #: predicate re-checks survivors row-by-row instead of vectorizing
+    #: over the whole batch.  Vectorized evaluation costs ~tens of ns per
+    #: row, per-row AST walks ~1 µs per survivor, so the survivor path
+    #: wins once pushdown masks leave fewer than ~1/16 of a group alive
+    #: (the paper's high-selectivity headline case).
+    SPARSE_SELECTION_DIVISOR = 16
+
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
         predicate = self._predicate
-        for row in self._child.execute(stats):
-            if predicate.evaluate(row):
-                yield row
+        source = self._child.batches(stats)
+        try:
+            for batch in source:
+                selected = batch.selected_count()
+                if not selected:
+                    continue
+                if selected * self.SPARSE_SELECTION_DIVISOR \
+                        <= batch.num_rows:
+                    # Sparse pushdown survivors: evaluate only them, like
+                    # the pre-batch engine's survivor loop.
+                    view = batch.row_view()
+                    keep = []
+                    for index in batch.sel.iter_set():
+                        view.index = index
+                        if predicate.evaluate(view):
+                            keep.append(index)
+                    if not keep:
+                        continue
+                    batch.sel = BitVector.from_indices(batch.num_rows,
+                                                       keep)
+                    yield batch
+                    continue
+                batch.apply_mask(predicate.evaluate_batch(batch))
+                if batch.sel.any():
+                    yield batch
+        finally:
+            _close_source(source)
 
     def describe(self) -> str:
         return f"Filter({self._predicate.sql()}) <- {self._child.describe()}"
 
 
 class Project(Operator):
-    """Column projection."""
+    """Column projection (zero-copy: batches share column storage)."""
 
     def __init__(self, child: Operator, columns: Sequence[str]):
         if not columns:
@@ -232,10 +326,14 @@ class Project(Operator):
         self._child = child
         self._columns = list(columns)
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
         columns = self._columns
-        for row in self._child.execute(stats):
-            yield {name: row.get(name) for name in columns}
+        source = self._child.batches(stats)
+        try:
+            for batch in source:
+                yield batch.project(columns)
+        finally:
+            _close_source(source)
 
     def describe(self) -> str:
         return (
@@ -245,7 +343,12 @@ class Project(Operator):
 
 
 class Limit(Operator):
-    """Stop after *n* rows."""
+    """Stop after *n* selected rows.
+
+    Closing the child generator chain on satisfaction propagates all the
+    way into the scans (``ChainScan``/``Filter``/``Project`` forward the
+    close), so remaining row groups are never decoded.
+    """
 
     def __init__(self, child: Operator, n: int):
         if n < 0:
@@ -253,20 +356,30 @@ class Limit(Operator):
         self._child = child
         self._n = n
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
         if self._n == 0:
             return
-        emitted = 0
-        for row in self._child.execute(stats):
-            yield row
-            emitted += 1
-            if emitted >= self._n:
+        remaining = self._n
+        source = self._child.batches(stats)
+        try:
+            for batch in source:
+                selected = batch.selected_count()
+                if selected < remaining:
+                    remaining -= selected
+                    yield batch
+                    continue
+                yield batch.truncate_selected(remaining)
                 return
+        finally:
+            _close_source(source)
 
     def describe(self) -> str:
         return f"Limit({self._n}) <- {self._child.describe()}"
 
 
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
 @dataclass
 class _AggState:
     count: int = 0
@@ -275,11 +388,104 @@ class _AggState:
     maximum: Any = None
 
 
+def _update_state(state: _AggState, value: Any) -> None:
+    """Fold one non-null value into an aggregate state (SQL null rules
+    are applied by the caller: nulls never reach here)."""
+    state.count += 1
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        state.total += value
+    if state.minimum is None or value < state.minimum:
+        state.minimum = value
+    if state.maximum is None or value > state.maximum:
+        state.maximum = value
+
+
+def merge_states(into: _AggState, other: _AggState) -> None:
+    """Fold a partial aggregate into an accumulator (cache merges)."""
+    into.count += other.count
+    into.total += other.total
+    if other.minimum is not None and (
+            into.minimum is None or other.minimum < into.minimum):
+        into.minimum = other.minimum
+    if other.maximum is not None and (
+            into.maximum is None or other.maximum > into.maximum):
+        into.maximum = other.maximum
+
+
+def accumulate_simple(items: Sequence, batches: Iterator[ColumnBatch]
+                      ) -> List[_AggState]:
+    """Fold *batches* into one aggregate state per select item.
+
+    COUNT(*) items are pure selection-vector popcounts; per-column items
+    walk the decoded column list over selected positions only.  This is
+    shared by :class:`Aggregate` and the incremental snapshot cache's
+    per-part partials.
+    """
+    states = [_AggState() for _ in items]
+    for batch in batches:
+        full = batch.sel.all()
+        positions: Optional[List[int]] = None  # shared across items
+        for item, state in zip(items, states):
+            if item.column == "*":
+                state.count += batch.num_rows if full \
+                    else batch.selected_count()
+                continue
+            values = batch.column(item.column)
+            if full:
+                for value in values:
+                    if value is not None:
+                        _update_state(state, value)
+            else:
+                if positions is None:
+                    positions = list(batch.sel.iter_set())
+                for index in positions:
+                    value = values[index]
+                    if value is not None:
+                        _update_state(state, value)
+    return states
+
+
+def accumulate_grouped(group_columns: Sequence[str], agg_items: Sequence,
+                       batches: Iterator[ColumnBatch]):
+    """Fold *batches* into per-group aggregate states.
+
+    Returns ``(order, groups)`` where *order* lists key tuples in first
+    appearance order (the engine's deterministic output order) and
+    *groups* maps each key to one state per aggregate item.
+    """
+    groups: Dict[tuple, List[_AggState]] = {}
+    order: List[tuple] = []
+    for batch in batches:
+        key_columns = [batch.column(c) for c in group_columns]
+        value_columns = [
+            batch.column(item.column) if item.column != "*" else None
+            for item in agg_items
+        ]
+        positions = range(batch.num_rows) if batch.sel.all() \
+            else batch.sel.iter_set()
+        for index in positions:
+            key = tuple(column[index] for column in key_columns)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState() for _ in agg_items]
+                groups[key] = states
+                order.append(key)
+            for state, values in zip(states, value_columns):
+                if values is None:  # COUNT(*)
+                    state.count += 1
+                    continue
+                value = values[index]
+                if value is not None:
+                    _update_state(state, value)
+    return order, groups
+
+
 class Aggregate(Operator):
     """COUNT/SUM/AVG/MIN/MAX over the child's rows (single output row).
 
     Null handling follows SQL: only COUNT(*) counts null-valued rows;
-    per-column aggregates ignore nulls.
+    per-column aggregates ignore nulls.  A COUNT(*)-only plan reduces to
+    selection-vector popcounts and never touches a value list.
     """
 
     def __init__(self, child: Operator, items: Sequence):
@@ -294,28 +500,12 @@ class Aggregate(Operator):
                     "grouping is not supported"
                 )
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
-        states = [_AggState() for _ in self._items]
-        for row in self._child.execute(stats):
-            for item, state in zip(self._items, states):
-                if item.column == "*":
-                    state.count += 1
-                    continue
-                value = row.get(item.column)
-                if value is None:
-                    continue
-                state.count += 1
-                if isinstance(value, (int, float)) and not isinstance(
-                        value, bool):
-                    state.total += value
-                if state.minimum is None or value < state.minimum:
-                    state.minimum = value
-                if state.maximum is None or value > state.maximum:
-                    state.maximum = value
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
+        states = accumulate_simple(self._items, self._child.batches(stats))
         result: Dict[str, Any] = {}
         for item, state in zip(self._items, states):
             result[item.label] = self._finalize(item.aggregate, state)
-        yield result
+        yield ColumnBatch.from_rows([result])
 
     @staticmethod
     def _finalize(aggregate: str, state: _AggState) -> Any:
@@ -359,47 +549,15 @@ class GroupedAggregate(Operator):
                     f"grouped"
                 )
 
-    def execute(self, stats: ExecutionStats) -> Iterator[Dict[str, Any]]:
-        groups: Dict[tuple, List[_AggState]] = {}
-        order: List[tuple] = []
+    def batches(self, stats: ExecutionStats) -> Iterator[ColumnBatch]:
         agg_items = [i for i in self._items if i.aggregate is not None]
-        for row in self._child.execute(stats):
-            key = tuple(row.get(c) for c in self._group_columns)
-            states = groups.get(key)
-            if states is None:
-                states = [_AggState() for _ in agg_items]
-                groups[key] = states
-                order.append(key)
-            for item, state in zip(agg_items, states):
-                if item.column == "*":
-                    state.count += 1
-                    continue
-                value = row.get(item.column)
-                if value is None:
-                    continue
-                state.count += 1
-                if isinstance(value, (int, float)) and not isinstance(
-                        value, bool):
-                    state.total += value
-                if state.minimum is None or value < state.minimum:
-                    state.minimum = value
-                if state.maximum is None or value > state.maximum:
-                    state.maximum = value
-        for key in order:
-            states = groups[key]
-            result: Dict[str, Any] = {}
-            agg_index = 0
-            for item in self._items:
-                if item.aggregate is None:
-                    result[item.label] = key[
-                        self._group_columns.index(item.column)
-                    ]
-                else:
-                    result[item.label] = Aggregate._finalize(
-                        item.aggregate, states[agg_index]
-                    )
-                    agg_index += 1
-            yield result
+        order, groups = accumulate_grouped(
+            self._group_columns, agg_items, self._child.batches(stats)
+        )
+        rows = finalize_grouped(self._items, self._group_columns,
+                                order, groups)
+        if rows:
+            yield ColumnBatch.from_rows(rows)
 
     def describe(self) -> str:
         labels = ", ".join(item.label for item in self._items)
@@ -408,3 +566,26 @@ class GroupedAggregate(Operator):
             f"GroupedAggregate([{keys}] -> {labels}) <- "
             f"{self._child.describe()}"
         )
+
+
+def finalize_grouped(items: Sequence, group_columns: Sequence[str],
+                     order: List[tuple],
+                     groups: Dict[tuple, List[_AggState]]
+                     ) -> List[Dict[str, Any]]:
+    """Render grouped aggregate states into output rows (shared with the
+    snapshot cache's merge path)."""
+    rows: List[Dict[str, Any]] = []
+    for key in order:
+        states = groups[key]
+        result: Dict[str, Any] = {}
+        agg_index = 0
+        for item in items:
+            if item.aggregate is None:
+                result[item.label] = key[group_columns.index(item.column)]
+            else:
+                result[item.label] = Aggregate._finalize(
+                    item.aggregate, states[agg_index]
+                )
+                agg_index += 1
+        rows.append(result)
+    return rows

@@ -23,7 +23,7 @@ range and inequality predicates that CIAO cannot push to clients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .catalog import TableEntry
 from .expressions import Expr, conjuncts, to_clause
@@ -52,28 +52,41 @@ class PlanInfo:
     uses_zonemaps: bool = False
     scans_sideline: bool = False
     description: str = ""
+    #: Incremental snapshot-scan cache accounting (mid-load aggregate
+    #: queries only): sealed parts answered from cached partial
+    #: aggregates vs. parts actually scanned this execution.
+    snapshot_cache_hits: int = 0
+    snapshot_cache_misses: int = 0
 
 
 class PlannerError(ValueError):
     """Query shape the engine cannot plan."""
 
 
+def zone_prune_hook(where: Optional[Expr]) -> Optional[Callable]:
+    """The zone-map pruning callable for a WHERE clause (None when the
+    query has no predicate to prune against)."""
+    if where is None:
+        return None
+
+    def prune(meta, _where=where):
+        return expr_prunes_group(_where, meta)
+
+    return prune
+
+
 def plan_query(parsed: ParsedQuery, table: TableEntry
                ) -> Tuple[Operator, PlanInfo]:
     """Build the operator tree for *parsed* against *table*."""
     info = PlanInfo()
-    matched_ids = _match_pushdown(parsed.where, table)
+    matched_ids = match_pushdown(parsed.where, table)
     info.matched_predicate_ids = matched_ids
 
     readers = table.open_readers()
-    scan_columns = _scan_columns(parsed)
-    prune = None
-    if parsed.where is not None:
-        where = parsed.where
+    scan_columns = scan_columns_for(parsed)
+    prune = zone_prune_hook(parsed.where)
+    if prune is not None:
         info.uses_zonemaps = True
-
-        def prune(meta, _where=where):
-            return expr_prunes_group(_where, meta)
 
     scans: List[Operator] = []
     if matched_ids:
@@ -102,7 +115,7 @@ def plan_query(parsed: ParsedQuery, table: TableEntry
     return plan, info
 
 
-def _match_pushdown(where: Optional[Expr], table: TableEntry) -> List[int]:
+def match_pushdown(where: Optional[Expr], table: TableEntry) -> List[int]:
     """Predicate ids for the query's pushed-down conjuncts."""
     if where is None or not table.pushdown:
         return []
@@ -117,7 +130,7 @@ def _match_pushdown(where: Optional[Expr], table: TableEntry) -> List[int]:
     return sorted(set(ids))
 
 
-def _scan_columns(parsed: ParsedQuery) -> Optional[Sequence[str]]:
+def scan_columns_for(parsed: ParsedQuery) -> Optional[Sequence[str]]:
     """Columns the scan must decode, or None for SELECT * shapes.
 
     COUNT(*)-only queries still need the WHERE columns; projection pushdown
@@ -161,6 +174,9 @@ def _projection(plan: Operator, parsed: ParsedQuery) -> Operator:
 
 class _EmptyScan(Operator):
     """Zero-row scan for empty tables."""
+
+    def batches(self, stats):
+        return iter(())
 
     def execute(self, stats):
         return iter(())

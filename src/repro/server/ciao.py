@@ -439,7 +439,13 @@ class CiaoServer:
         runs against a consistent loaded-so-far snapshot (sealed shard
         parts plus per-shard sideline watermarks), so results equal serial
         ingest of exactly the chunks covered so far — no auto-finalize,
-        and ingestion keeps running.  Serial (``n_shards=1``) servers —
+        and ingestion keeps running.  Repeated mid-load *aggregate*
+        queries are incremental: sealed parts are immutable, so the
+        engine caches per-part partial aggregates by (part, query
+        fingerprint) and each successive snapshot query scans only the
+        parts sealed since it last ran plus the sideline delta
+        (:mod:`repro.engine.snapcache`; answers are identical to a cold
+        scan of the same snapshot).  Serial (``n_shards=1``) servers —
         and sharded servers with streaming disabled
         (``seal_interval=None``) — keep the historical convenience
         behavior: the first query finalizes loading, because without

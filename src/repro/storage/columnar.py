@@ -95,7 +95,13 @@ class ParquetLiteWriter:
 
 
 class ParquetLiteReader:
-    """Reader with row-group granularity and bit-vector access."""
+    """Reader with row-group granularity and bit-vector access.
+
+    Row-shaped consumers use :meth:`iter_rows`/:meth:`read_all`;
+    columnar consumers (the batch query engine) go per row group via
+    :meth:`repro.storage.rowgroup.RowGroupReader.read_batch`, which
+    decodes each page once into plain value lists with no row dicts.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)

@@ -95,7 +95,13 @@ def read_page(data: bytes, column_type: ColumnType) -> List[Any]:
     payload = data[pos:pos + payload_len]
     if len(presence) != row_count:
         raise EncodingError("null bitmap does not match page row count")
-    non_null = decode(payload, presence.count(), column_type, encoding)
+    n_present = presence.count()
+    non_null = decode(payload, n_present, column_type, encoding)
+    if n_present == row_count:
+        # Dense page (no nulls): the decoded list already is the column,
+        # no per-row scatter needed — the common case on the batch
+        # engine's hot decode path.
+        return non_null
     values: List[Any] = [None] * row_count
     for slot, row in enumerate(presence.iter_set()):
         values[row] = non_null[slot]

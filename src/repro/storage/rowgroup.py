@@ -86,6 +86,19 @@ class RowGroupReader:
         self._cache[name] = values
         return values
 
+    def read_batch(self, columns: Optional[Sequence[str]] = None
+                   ) -> Dict[str, List[Any]]:
+        """Decode the requested columns once, as column value lists.
+
+        This is the columnar fast path under the batch query engine: each
+        page is decoded exactly once and handed over as a plain list —
+        no per-row dict is ever materialized (compare :meth:`rows`).
+        Columns absent from the schema read as all-null lists, matching
+        :meth:`column`.
+        """
+        names = list(columns) if columns is not None else self._schema.names
+        return {name: self.column(name) for name in names}
+
     def rows(self, columns: Optional[Sequence[str]] = None,
              indices: Optional[Sequence[int]] = None
              ) -> List[Dict[str, Any]]:
