@@ -1,0 +1,51 @@
+"""Runtime side of ciaolint's lock-discipline annotation convention.
+
+Two declarations make shared state auditable:
+
+``# guarded-by: _lock`` (comment, on an attribute assignment)
+    The attribute is only written while ``self._lock`` is held.  The
+    static checker verifies every write site; the comment is the single
+    source of truth.
+
+``@guarded_by("_lock")`` (decorator, on a method)
+    The method must only be called with ``self._lock`` already held.
+    The static checker treats the body as lock-held (so writes to
+    guarded attributes inside it are legal) and propagates the
+    requirement through the cross-module lock-acquisition graph.
+
+The decorator is intentionally a runtime no-op beyond tagging the
+function: enforcement lives in the static checker and in the
+``CIAO_LOCKSAN`` runtime sanitizer, so annotated hot paths pay zero
+per-call overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def guarded_by(*locks: str) -> Callable[[F], F]:
+    """Declare that a function requires *locks* (attribute names) held.
+
+    Usage::
+
+        @guarded_by("_lock")
+        def _pump_messages(self):  # caller holds self._lock
+            ...
+
+    The lock names are recorded on the function as
+    ``__guarded_by__`` for introspection (the runtime sanitizer and the
+    static checker both read the declaration; only the checker verifies
+    call sites).
+    """
+    if not locks or any(not isinstance(name, str) or not name
+                        for name in locks):
+        raise ValueError("guarded_by() needs one or more lock names")
+
+    def decorate(func: F) -> F:
+        func.__guarded_by__ = tuple(locks)
+        return func
+
+    return decorate

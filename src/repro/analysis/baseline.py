@@ -1,0 +1,119 @@
+"""Baseline support: grandfather known findings, with justification.
+
+A baseline file is a JSON document::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "PRO002",
+          "path": "src/repro/storage/encodings.py",
+          "message": "struct.unpack on the decode path: ...",
+          "justification": "length prechecked two lines above"
+        }
+      ]
+    }
+
+Matching is on ``(rule, path, message)`` — line numbers are deliberately
+excluded so edits above a baselined site do not resurrect it.  Every
+entry MUST carry a non-empty ``justification``; an unjustified entry is
+a configuration error (the whole point is that suppressions are argued,
+not accumulated).  The committed baseline for this repo is empty: new
+findings must be fixed or carry an inline ``allow`` marker, and the
+baseline exists as the escape hatch for genuinely staged cleanups.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+_KEY_FIELDS = ("rule", "path", "message")
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing a justification."""
+
+
+def _entry_key(entry: Dict[str, str]) -> Tuple[str, str, str]:
+    return tuple(entry[field] for field in _KEY_FIELDS)  # type: ignore
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Parse and validate a baseline file.  Missing file -> empty."""
+    if not path.exists():
+        return []
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("entries"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with an 'entries' list"
+        )
+    entries: List[Dict[str, str]] = []
+    for i, entry in enumerate(doc["entries"]):
+        if not isinstance(entry, dict):
+            raise BaselineError(
+                f"baseline {path} entry {i} is not an object"
+            )
+        for field in _KEY_FIELDS:
+            if not isinstance(entry.get(field), str) or not entry[field]:
+                raise BaselineError(
+                    f"baseline {path} entry {i} missing {field!r}"
+                )
+        justification = entry.get("justification")
+        if (not isinstance(justification, str)
+                or not justification.strip()
+                or justification.strip().upper().startswith("TODO")):
+            raise BaselineError(
+                f"baseline {path} entry {i} "
+                f"({entry['rule']} {entry['path']}) has no "
+                f"justification — every baselined finding must argue "
+                f"why it is acceptable (TODO placeholders from "
+                f"--write-baseline do not count)"
+            )
+        entries.append(entry)
+    return entries
+
+
+def partition(
+    findings: Iterable[Finding], entries: List[Dict[str, str]],
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+    """Split findings into (new, baselined); also return stale entries."""
+    keyed = {_entry_key(entry): entry for entry in entries}
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen = set()
+    for finding in findings:
+        key = tuple(finding.baseline_key()[f] for f in _KEY_FIELDS)
+        if key in keyed:
+            baselined.append(finding)
+            seen.add(key)
+        else:
+            new.append(finding)
+    stale = [entry for key, entry in keyed.items() if key not in seen]
+    return new, baselined, stale
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write a baseline grandfathering *findings*; returns entry count.
+
+    Justifications are written as ``TODO`` placeholders — the file will
+    not load until a human replaces each one with an actual argument.
+    """
+    entries = []
+    for finding in sorted(set(findings)):
+        entry = dict(finding.baseline_key())
+        entry["justification"] = "TODO: justify or fix"
+        entries.append(entry)
+    doc = {"version": 1, "entries": entries}
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

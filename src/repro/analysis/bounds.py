@@ -1,0 +1,110 @@
+"""Protocol bounds-safety checker for wire/storage decode modules.
+
+The protocol layer's contract (PR 1) is that *every* length field is
+validated before the bytes it describes are touched: truncation raises
+``ProtocolError``/``EncodingError``, never a silent short slice (Python
+slicing clamps out-of-range bounds, so ``buf[pos:pos + n]`` on a
+truncated buffer quietly returns fewer than *n* bytes) and never a
+stray ``struct.error``.
+
+Scope: modules with the ``protocol`` role — ``client/protocol.py``,
+``rawjson/``/``rawcsv/``, ``storage/encodings.py``, ``storage/pages.py``,
+``core/plan_io.py``, or any file declaring
+``# ciaolint: module-role=protocol``.
+
+Rules:
+
+``PRO001``
+    Cursor-arithmetic slicing ``buf[i:i + n]`` (the upper bound repeats
+    the lower plus an offset).  Route it through a bounds-checked cursor
+    primitive instead: compute ``end = i + n``, raise the module's decode
+    error if ``end`` overruns, then slice ``buf[i:end]``.
+``PRO002``
+    ``struct.unpack``/``unpack_from`` on a buffer whose length was not
+    established first — a short buffer raises ``struct.error``, which the
+    decode error contract does not cover.
+
+Both rules are heuristics over the syntactic pattern; genuinely-checked
+sites (the cursor primitives themselves) carry an
+``# ciaolint: allow[...] -- reason`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .findings import Finding
+from .model import Project, SourceModule
+from .registry import Checker, register
+
+
+def _same_expr(a: ast.AST, b: ast.AST) -> bool:
+    return ast.dump(a) == ast.dump(b)
+
+
+def _is_cursor_slice(node: ast.Subscript) -> bool:
+    """True for ``buf[i:i + n]`` / ``buf[i:n + i]`` shaped slices."""
+    sl = node.slice
+    if not isinstance(sl, ast.Slice):
+        return False
+    if sl.lower is None or sl.upper is None:
+        return False
+    upper = sl.upper
+    if not (isinstance(upper, ast.BinOp)
+            and isinstance(upper.op, ast.Add)):
+        return False
+    return (_same_expr(upper.left, sl.lower)
+            or _same_expr(upper.right, sl.lower))
+
+
+@register
+class ProtocolBoundsChecker(Checker):
+    name = "protocol-bounds"
+    description = (
+        "decode paths validate lengths before slicing or unpacking"
+    )
+    rules = {
+        "PRO001": "raw cursor slice buf[i:i+n] outside the checked cursor",
+        "PRO002": "struct.unpack without an established buffer length",
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.by_role("protocol"):
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Subscript) and _is_cursor_slice(node):
+                findings.append(Finding(
+                    path=module.rel_path, line=node.lineno,
+                    col=node.col_offset, rule="PRO001",
+                    checker=self.name,
+                    message=(
+                        "cursor-arithmetic slice: a truncated buffer "
+                        "yields a silent short slice — bounds-check the "
+                        "end offset first (raise the decode error), "
+                        "then slice to the checked end"
+                    ),
+                ))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "struct"
+                        and func.attr.startswith("unpack")):
+                    findings.append(Finding(
+                        path=module.rel_path, line=node.lineno,
+                        col=node.col_offset, rule="PRO002",
+                        checker=self.name,
+                        message=(
+                            "struct.unpack on the decode path: a short "
+                            "buffer raises struct.error instead of the "
+                            "decode error — check the required length "
+                            "first and justify with an allow marker"
+                        ),
+                    ))
+        return findings

@@ -1,0 +1,243 @@
+"""ciaolint command line: ``python -m repro.analysis [paths...]``.
+
+Exit codes: ``0`` clean (or everything baselined), ``1`` findings,
+``2`` usage/configuration error (unknown checker, malformed baseline,
+unparseable target).
+
+The engine half (:func:`run_analysis`) is importable so tests — and
+``tests/test_public_api.py``, which is now a thin assertion over the
+api-hygiene checker — can run the same gate in-process without
+subprocesses or stdout parsing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import BaselineError, load_baseline, partition, write_baseline
+from .findings import Finding
+from .model import Project
+from .registry import all_checkers, resolve_select
+
+# Importing the checker modules registers them; the registry is the
+# only coupling the engine has to the individual checkers.
+from . import bounds as _bounds            # noqa: F401
+from . import determinism as _determinism  # noqa: F401
+from . import generators as _generators    # noqa: F401
+from . import hygiene as _hygiene          # noqa: F401
+from . import locks as _locks              # noqa: F401
+
+DEFAULT_BASELINE = ".ciaolint-baseline.json"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)   # actionable
+    baselined: List[Finding] = field(default_factory=list)  # grandfathered
+    suppressed: List[Finding] = field(default_factory=list)  # inline allows
+    stale_baseline: List[Dict[str, str]] = field(default_factory=list)
+    checkers: List[str] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _meta_findings(project: Project) -> List[Finding]:
+    """META001 (reason-less allow markers) and META002 (parse failures)."""
+    findings: List[Finding] = []
+    for module in project.modules:
+        for marker in module.allow_markers:
+            if marker.reason is None:
+                findings.append(Finding(
+                    path=module.rel_path, line=marker.marker_line, col=0,
+                    rule="META001", checker="ciaolint",
+                    message=(
+                        "allow marker without a reason: write "
+                        "`# ciaolint: allow[RULE] -- why it is safe`"
+                    ),
+                ))
+    for failure in project.failures:
+        findings.append(Finding(
+            path=failure.rel_path, line=failure.line, col=0,
+            rule="META002", checker="ciaolint", message=failure.message,
+        ))
+    return findings
+
+
+def _apply_suppressions(
+    project: Project, findings: List[Finding],
+) -> tuple:
+    """Split findings into (kept, suppressed) via inline allow markers."""
+    markers_by_path: Dict[str, list] = {}
+    for module in project.modules:
+        markers_by_path[module.rel_path] = [
+            m for m in module.allow_markers if m.reason is not None
+        ]
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        if finding.checker == "ciaolint":
+            kept.append(finding)  # META findings are not suppressible
+            continue
+        hit = any(
+            marker.line == finding.line
+            and marker.covers(finding.rule, finding.checker)
+            for marker in markers_by_path.get(finding.path, [])
+        )
+        (suppressed if hit else kept).append(finding)
+    return kept, suppressed
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    select: Sequence[str] = ("all",),
+    baseline_path: Optional[Path] = None,
+    root: Optional[Path] = None,
+) -> AnalysisResult:
+    """Run the selected checkers over *paths* and return the result.
+
+    Raises ``ValueError`` for an unknown ``--select`` token and
+    :class:`~repro.analysis.baseline.BaselineError` for a bad baseline.
+    """
+    checkers = resolve_select(select)
+    project = Project.load(paths, root=root)
+    raw: List[Finding] = list(_meta_findings(project))
+    for checker_cls in checkers:
+        raw.extend(checker_cls().check(project))
+    kept, suppressed = _apply_suppressions(project, raw)
+    entries = load_baseline(baseline_path) if baseline_path else []
+    new, baselined, stale = partition(kept, entries)
+    return AnalysisResult(
+        findings=sorted(set(new)),
+        baselined=sorted(set(baselined)),
+        suppressed=sorted(set(suppressed)),
+        stale_baseline=stale,
+        checkers=[cls.name for cls in checkers],
+        files=len(project.modules) + len(project.failures),
+    )
+
+
+def _render_text(result: AnalysisResult, out) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    for entry in result.stale_baseline:
+        print(
+            f"note: stale baseline entry ({entry['rule']} "
+            f"{entry['path']}) — the finding no longer occurs; remove it",
+            file=out,
+        )
+    summary = (
+        f"ciaolint: {len(result.findings)} finding(s) in "
+        f"{result.files} file(s) "
+        f"[{len(result.suppressed)} suppressed inline, "
+        f"{len(result.baselined)} baselined]"
+    )
+    print(summary, file=out)
+
+
+def _render_json(result: AnalysisResult, out) -> None:
+    doc = {
+        "version": 1,
+        "checkers": result.checkers,
+        "files": result.files,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": result.stale_baseline,
+        "clean": result.clean,
+    }
+    print(json.dumps(doc, indent=2), file=out)
+
+
+def _list_checkers(out) -> None:
+    for cls in all_checkers():
+        print(f"{cls.name}: {cls.description}", file=out)
+        for rule, meaning in sorted(cls.rules.items()):
+            print(f"  {rule}  {meaning}", file=out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "ciaolint: AST-based project-invariant checks for the "
+            "concurrent ingest/query stack"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--select", default="all",
+        help="comma list of checker names to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path(DEFAULT_BASELINE),
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help=(
+            "grandfather current findings into the baseline file "
+            "(justifications start as TODO and must be filled in)"
+        ),
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="list registered checkers and their rules, then exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = sys.stdout
+    if args.list_checkers:
+        _list_checkers(out)
+        return 0
+    paths = args.paths or [Path("src")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    baseline_path = None if args.no_baseline else args.baseline
+    try:
+        result = run_analysis(
+            paths,
+            select=args.select.split(","),
+            baseline_path=None if args.write_baseline else baseline_path,
+        )
+    except (ValueError, BaselineError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = args.baseline
+        count = write_baseline(target, result.findings)
+        print(f"ciaolint: wrote {count} entries to {target}", file=out)
+        return 0
+    if args.format == "json":
+        _render_json(result, out)
+    else:
+        _render_text(result, out)
+    if any(f.rule == "META002" for f in result.findings):
+        return 2
+    return 0 if result.clean else 1

@@ -1,0 +1,118 @@
+"""Determinism checker for simulation, data-generation, and engine paths.
+
+The reproduction's experiments (simulate/, data/, engine/, workload/)
+must be replayable: the same seed and config produce the same plans,
+the same synthetic rows, and the same measurements.  Two things quietly
+break that:
+
+``DET001``
+    Wall-clock reads — ``time.time()``, ``time.time_ns()``,
+    ``datetime.now()``/``utcnow()``/``today()``.  Timing *measurement*
+    is fine (``time.perf_counter`` / ``monotonic`` are not flagged);
+    feeding wall-clock values into decisions or generated data is not.
+``DET002``
+    The process-global random generator — ``random.random()``,
+    ``random.randint(...)`` etc., or a seedless ``random.Random()``.
+    Anything stochastic must draw from an explicitly seeded
+    ``random.Random(seed)`` instance threaded through the config.
+
+Scope: modules whose role is ``simulate``, ``data``, ``engine``, or
+``workload`` (path-inferred, or declared with
+``# ciaolint: module-role=...``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .findings import Finding
+from .model import Project, SourceModule
+from .registry import Checker, register
+
+#: attribute -> owning module name, for wall-clock reads.
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+_DET_ROLES = ("simulate", "data", "engine", "workload")
+
+
+def _dotted(expr: ast.AST) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty if not a plain dotted name)."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+@register
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = (
+        "simulate/data/engine paths avoid wall clocks and the global RNG"
+    )
+    rules = {
+        "DET001": "wall-clock read on a deterministic path",
+        "DET002": "global/unseeded random on a deterministic path",
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.by_role(*_DET_ROLES):
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if len(dotted) < 2:
+                continue
+            owner, attr = dotted[-2], dotted[-1]
+            if (owner, attr) in _WALL_CLOCK:
+                findings.append(Finding(
+                    path=module.rel_path, line=node.lineno,
+                    col=node.col_offset, rule="DET001",
+                    checker=self.name,
+                    message=(
+                        f"{owner}.{attr}() on a deterministic path: "
+                        f"replays diverge run-to-run — take the clock "
+                        f"as an input (or use perf_counter/monotonic "
+                        f"for pure measurement)"
+                    ),
+                ))
+            elif owner == "random" and attr == "Random":
+                if not node.args and not node.keywords:
+                    findings.append(Finding(
+                        path=module.rel_path, line=node.lineno,
+                        col=node.col_offset, rule="DET002",
+                        checker=self.name,
+                        message=(
+                            "random.Random() without a seed: pass the "
+                            "experiment seed so runs replay"
+                        ),
+                    ))
+            elif owner == "random" and attr not in ("Random", "SystemRandom"):
+                findings.append(Finding(
+                    path=module.rel_path, line=node.lineno,
+                    col=node.col_offset, rule="DET002",
+                    checker=self.name,
+                    message=(
+                        f"random.{attr}() uses the process-global RNG: "
+                        f"draw from a seeded random.Random(seed) "
+                        f"instance threaded through the config"
+                    ),
+                ))
+        return findings

@@ -1,0 +1,61 @@
+"""Finding model for ciaolint: one rule violation at one source location.
+
+Findings are plain, ordered, hashable values so the engine can sort,
+deduplicate, diff against a baseline, and serialize them without any
+checker-specific knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Repo-relative POSIX path of the offending file.
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule: Stable rule id (e.g. ``LCK001``) — what to put in an
+            ``allow[...]`` marker or a baseline justification.
+        checker: The owning checker's group name (e.g.
+            ``lock-discipline``) — what ``--select`` matches.
+        message: Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    checker: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: RULE [checker] msg``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.checker}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (stable key order via dataclass field order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "checker": self.checker,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> Dict[str, str]:
+        """The identity a baseline entry matches on.
+
+        Line/column are deliberately excluded so an unrelated edit above
+        a baselined finding does not resurrect it.
+        """
+        return {"rule": self.rule, "path": self.path,
+                "message": self.message}

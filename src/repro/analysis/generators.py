@@ -1,0 +1,140 @@
+"""Yield-under-lock checker.
+
+A generator that yields while holding a lock suspends with the lock
+held: the consumer decides when (or whether) the frame resumes, so the
+lock's critical section silently extends across arbitrary foreign code
+— the signature hazard of lazy generator chains (PR 5's ``batches()``
+pipelines) meeting lock-protected snapshot merges (PR 2).  The fix is
+to copy what the lock protects and yield outside, or return a list.
+
+Rule ``GEN001`` flags ``yield``/``yield from`` lexically inside a
+``with`` block whose context manager looks like a lock: a known lock
+attribute of the class (see :mod:`repro.analysis.lockgraph`), a known
+module-level lock, or any name matching ``lock``/``cond``/``mutex``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from .findings import Finding
+from .lockgraph import collect_classes, module_level_locks
+from .model import Project, SourceModule
+from .registry import Checker, register
+
+_LOCKISH_NAME = re.compile(r"lock|cond|mutex|semaphore", re.IGNORECASE)
+
+
+def _lockish_label(expr: ast.AST, class_locks: Set[str],
+                   module_locks: Set[str]) -> Optional[str]:
+    """A display label if *expr* looks like a lock, else None."""
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        if expr.attr in class_locks or _LOCKISH_NAME.search(expr.attr):
+            return f"self.{expr.attr}"
+        return None
+    if isinstance(expr, ast.Name):
+        if expr.id in module_locks or _LOCKISH_NAME.search(expr.id):
+            return expr.id
+        return None
+    return None
+
+
+class _YieldVisitor(ast.NodeVisitor):
+    """Find yields inside lock-holding with-blocks of one function."""
+
+    def __init__(self, class_locks: Set[str], module_locks: Set[str]):
+        self.class_locks = class_locks
+        self.module_locks = module_locks
+        self.held: List[str] = []
+        self.hits: List[tuple] = []  # (line, col, lock label)
+
+    def _visit_with(self, node) -> None:
+        pushed = 0
+        for item in node.items:
+            label = _lockish_label(
+                item.context_expr, self.class_locks, self.module_locks
+            )
+            if label is not None:
+                self.held.append(label)
+                pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if self.held:
+            self.hits.append((node.lineno, node.col_offset,
+                              self.held[-1]))
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if self.held:
+            self.hits.append((node.lineno, node.col_offset,
+                              self.held[-1]))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # a nested def is its own frame; its yields aren't ours
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+@register
+class YieldUnderLockChecker(Checker):
+    name = "yield-under-lock"
+    description = (
+        "generators must not suspend while holding a lock"
+    )
+    rules = {
+        "GEN001": "yield inside a with-lock block",
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        module_locks = set(module_level_locks(module))
+        class_locks_by_node = {}
+        for info in collect_classes(module):
+            for method in info.methods.values():
+                class_locks_by_node[method] = set(info.lock_attrs)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            visitor = _YieldVisitor(
+                class_locks_by_node.get(node, set()), module_locks
+            )
+            for stmt in node.body:
+                visitor.visit(stmt)
+            for line, col, label in visitor.hits:
+                findings.append(Finding(
+                    path=module.rel_path, line=line, col=col,
+                    rule="GEN001", checker=self.name,
+                    message=(
+                        f"yield while holding {label}: the generator "
+                        f"suspends with the lock held and the consumer "
+                        f"controls when it resumes — copy the guarded "
+                        f"state and yield outside the lock"
+                    ),
+                ))
+        return findings

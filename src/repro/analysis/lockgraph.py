@@ -1,0 +1,437 @@
+"""Cross-module lock-acquisition graph, built statically from the AST.
+
+Nodes are lock *declarations* — ``ClassName.attr`` for locks created in
+a class (``self._lock = threading.Lock()`` or the sanitizer factories),
+``module.name`` for module-level locks.  An edge ``A -> B`` means "some
+code path acquires B while holding A": either a ``with`` statement
+lexically nested inside another, or a call made under ``A`` to a
+function whose (transitively computed) effect acquires ``B``.
+
+Call effects are resolved by name, conservatively: ``self.m()`` binds to
+the same class's ``m`` when it exists, any other ``obj.m()`` unions over
+every known method named ``m``, and plain ``f()`` prefers the defining
+module before falling back project-wide.  Over-approximation can add
+edges that no real execution takes — acceptable for a deadlock linter,
+where the cost of a false edge is a review, and the runtime sanitizer
+(:mod:`repro.analysis.sanitizer`) cross-checks the graph against orders
+a real run actually observed.
+
+``@guarded_by("_lock")`` methods are analyzed as if their body ran with
+that lock held, so the requirement propagates to their callers' edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .model import Project, SourceModule
+
+Edge = Tuple[str, str]
+
+_LOCK_FACTORIES = {"make_lock", "make_rlock", "make_condition"}
+_THREADING_LOCKS = {"Lock", "RLock", "Condition"}
+
+#: The linter's own package is excluded from the graph: the sanitizer's
+#: internal bookkeeping lock is a leaf by construction (its critical
+#: sections only touch private containers), but name-based call
+#: resolution would bind its ``.clear()``/``.append()`` calls to
+#: arbitrary project methods and fabricate edges from it.
+_SELF_PACKAGE = "repro/analysis/"
+
+
+@dataclass
+class LockDecl:
+    """One lock declaration site."""
+
+    lock_id: str
+    rel_path: str
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    """Per-class facts shared by the lock checkers."""
+
+    module: SourceModule
+    node: ast.ClassDef
+    name: str
+    #: lock attribute name -> declaration line.
+    lock_attrs: Dict[str, int] = field(default_factory=dict)
+    #: method name -> FunctionDef (direct children only).
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def lock_id(self, attr: str) -> str:
+        return f"{self.name}.{attr}"
+
+
+@dataclass
+class FunctionFacts:
+    """What one function acquires and calls, with held-lock context."""
+
+    key: Tuple[str, Optional[str], str]  # (rel_path, class, func)
+    rel_path: str
+    #: (lock_id, held stack at acquisition, line).
+    acquisitions: List[Tuple[str, Tuple[str, ...], int]] = field(
+        default_factory=list
+    )
+    #: (callee ref, held stack at call, line).
+    calls: List[Tuple[Tuple[str, str], Tuple[str, ...], int]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class LockGraph:
+    """The assembled graph: declarations, edges, and provenance."""
+
+    locks: Dict[str, LockDecl] = field(default_factory=dict)
+    #: edge -> representative (rel_path, line) where it was derived.
+    edges: Dict[Edge, Tuple[str, int]] = field(default_factory=dict)
+
+    def edge_set(self) -> Set[Edge]:
+        return set(self.edges)
+
+    def cycles(self) -> List[List[str]]:
+        """Every nontrivial strongly connected component (lock cycle)."""
+        graph: Dict[str, List[str]] = {}
+        for (src, dst) in self.edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+        order: List[str] = []
+        seen: Set[str] = set()
+        for root in sorted(graph):
+            if root in seen:
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            seen.add(root)
+            while stack:
+                node, idx = stack.pop()
+                children = graph[node]
+                if idx < len(children):
+                    stack.append((node, idx + 1))
+                    child = children[idx]
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append((child, 0))
+                else:
+                    order.append(node)
+        reverse: Dict[str, List[str]] = {node: [] for node in graph}
+        for (src, dst) in self.edges:
+            reverse[dst].append(src)
+        assigned: Set[str] = set()
+        components: List[List[str]] = []
+        for root in reversed(order):
+            if root in assigned:
+                continue
+            component: List[str] = []
+            stack2 = [root]
+            assigned.add(root)
+            while stack2:
+                node = stack2.pop()
+                component.append(node)
+                for prev in reverse[node]:
+                    if prev not in assigned:
+                        assigned.add(prev)
+                        stack2.append(prev)
+            components.append(sorted(component))
+        return [
+            c for c in components
+            if len(c) > 1 or (c[0], c[0]) in self.edges
+        ]
+
+
+def _is_lock_creation(value: ast.AST) -> bool:
+    """True when *value* contains a lock-constructing call."""
+    for node in ast.walk(value):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "threading"
+                    and func.attr in _THREADING_LOCKS):
+                return True
+            if func.attr in _LOCK_FACTORIES:
+                return True
+        elif isinstance(func, ast.Name):
+            if func.id in _THREADING_LOCKS or func.id in _LOCK_FACTORIES:
+                return True
+    return False
+
+
+def collect_classes(module: SourceModule) -> List[ClassInfo]:
+    """Every class in *module* with its lock attributes and methods."""
+    classes: List[ClassInfo] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = ClassInfo(module=module, node=node, name=node.name)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[child.name] = child
+        for method in info.methods.values():
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not _is_lock_creation(stmt.value):
+                    continue
+                for target in stmt.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        info.lock_attrs.setdefault(
+                            target.attr, stmt.lineno
+                        )
+        classes.append(info)
+    return classes
+
+
+def module_level_locks(module: SourceModule) -> Dict[str, int]:
+    """Module-global lock names -> declaration line."""
+    locks: Dict[str, int] = {}
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign) and _is_lock_creation(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    locks.setdefault(target.id, stmt.lineno)
+    return locks
+
+
+def guarded_by_decorations(func: ast.AST) -> List[str]:
+    """Lock attribute names from an ``@guarded_by(...)`` decorator."""
+    names: List[str] = []
+    for deco in getattr(func, "decorator_list", []):
+        if not isinstance(deco, ast.Call):
+            continue
+        target = deco.func
+        deco_name = (
+            target.id if isinstance(target, ast.Name)
+            else target.attr if isinstance(target, ast.Attribute)
+            else None
+        )
+        if deco_name != "guarded_by":
+            continue
+        for arg in deco.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                names.append(arg.value)
+    return names
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    """Walk one function body tracking the held-lock stack."""
+
+    def __init__(self, facts: FunctionFacts,
+                 class_info: Optional[ClassInfo],
+                 module_locks: Dict[str, int],
+                 module_stem: str,
+                 initial_held: Sequence[str]):
+        self.facts = facts
+        self.class_info = class_info
+        self.module_locks = module_locks
+        self.module_stem = module_stem
+        self.held: List[str] = list(initial_held)
+
+    # -- lock identification ------------------------------------------
+    def _lock_id_for(self, expr: ast.AST) -> Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and self.class_info is not None
+                and expr.attr in self.class_info.lock_attrs):
+            return self.class_info.lock_id(expr.attr)
+        if isinstance(expr, ast.Name) and expr.id in self.module_locks:
+            return f"{self.module_stem}.{expr.id}"
+        return None
+
+    # -- traversal -----------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        pushed = 0
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):  # e.g. clock.window()
+                lock_id = None
+            else:
+                lock_id = self._lock_id_for(expr)
+            self.visit(expr)
+            if lock_id is not None:
+                self.facts.acquisitions.append(
+                    (lock_id, tuple(self.held), node.lineno)
+                )
+                self.held.append(lock_id)
+                pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        ref = _callee_ref(node.func)
+        if ref is not None:
+            self.facts.calls.append((ref, tuple(self.held), node.lineno))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are analyzed as their own functions
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _callee_ref(func: ast.AST) -> Optional[Tuple[str, str]]:
+    if isinstance(func, ast.Name):
+        return ("func", func.id)
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            return ("self", func.attr)
+        return ("method", func.attr)
+    return None
+
+
+def build_lock_graph(project: Project) -> LockGraph:
+    """Assemble the cross-module lock graph for *project*."""
+    graph = LockGraph()
+    all_classes: List[ClassInfo] = []
+    facts_by_key: Dict[Tuple[str, Optional[str], str], FunctionFacts] = {}
+    # Indexes for call resolution.
+    methods_by_name: Dict[str, List[Tuple[str, Optional[str], str]]] = {}
+    funcs_by_module: Dict[Tuple[str, str],
+                          Tuple[str, Optional[str], str]] = {}
+    funcs_by_name: Dict[str, List[Tuple[str, Optional[str], str]]] = {}
+    class_init: Dict[str, Tuple[str, Optional[str], str]] = {}
+
+    def analyze(func: ast.AST, module: SourceModule,
+                class_info: Optional[ClassInfo],
+                module_locks: Dict[str, int]) -> FunctionFacts:
+        name = func.name
+        key = (module.rel_path,
+               class_info.name if class_info else None, name)
+        facts = FunctionFacts(key=key, rel_path=module.rel_path)
+        initial = []
+        if class_info is not None:
+            for lock_attr in guarded_by_decorations(func):
+                if lock_attr in class_info.lock_attrs:
+                    initial.append(class_info.lock_id(lock_attr))
+        visitor = _FunctionVisitor(
+            facts, class_info, module_locks,
+            Path(module.rel_path).stem, initial,
+        )
+        for stmt in func.body:
+            visitor.visit(stmt)
+        return facts
+
+    for module in project.modules:
+        if _SELF_PACKAGE in module.rel_path:
+            continue
+        module_locks = module_level_locks(module)
+        stem = Path(module.rel_path).stem
+        for lock_name, line in module_locks.items():
+            lock_id = f"{stem}.{lock_name}"
+            graph.locks.setdefault(
+                lock_id, LockDecl(lock_id, module.rel_path, line)
+            )
+        classes = collect_classes(module)
+        all_classes.extend(classes)
+        for info in classes:
+            for attr, line in info.lock_attrs.items():
+                lock_id = info.lock_id(attr)
+                graph.locks.setdefault(
+                    lock_id, LockDecl(lock_id, module.rel_path, line)
+                )
+            for method in info.methods.values():
+                facts = analyze(method, module, info, module_locks)
+                facts_by_key[facts.key] = facts
+                methods_by_name.setdefault(method.name, []).append(
+                    facts.key
+                )
+                if method.name == "__init__":
+                    class_init[info.name] = facts.key
+        # Module-level and nested functions (not class methods).
+        method_nodes = {
+            m for info in classes for m in info.methods.values()
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node in method_nodes:
+                continue
+            facts = analyze(node, module, None, module_locks)
+            facts_by_key[facts.key] = facts
+            funcs_by_module[(module.rel_path, node.name)] = facts.key
+            funcs_by_name.setdefault(node.name, []).append(facts.key)
+
+    class_by_name = {info.name: info for info in all_classes}
+
+    def resolve(ref: Tuple[str, str], caller_key) -> List:
+        kind, name = ref
+        caller_module, caller_class, _ = caller_key
+        if kind == "self":
+            if caller_class is not None:
+                key = (caller_module, caller_class, name)
+                if key in facts_by_key:
+                    return [key]
+            return methods_by_name.get(name, [])
+        if kind == "method":
+            return methods_by_name.get(name, [])
+        # Plain name: same-module function, then a class constructor,
+        # then any function with that name anywhere.
+        key = funcs_by_module.get((caller_module, name))
+        if key is not None:
+            return [key]
+        if name in class_by_name and name in class_init:
+            return [class_init[name]]
+        return funcs_by_name.get(name, [])
+
+    # Transitive acquisition effects, to fixpoint.
+    acquires: Dict[Tuple, Set[str]] = {
+        key: {lock for lock, _, _ in facts.acquisitions}
+        for key, facts in facts_by_key.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, facts in facts_by_key.items():
+            for ref, _, _ in facts.calls:
+                for target in resolve(ref, key):
+                    extra = acquires.get(target, set()) - acquires[key]
+                    if extra:
+                        acquires[key] |= extra
+                        changed = True
+
+    # Edges: direct nesting plus call effects under a held lock.
+    for key, facts in facts_by_key.items():
+        for lock, held, line in facts.acquisitions:
+            for holder in held:
+                if holder != lock:
+                    graph.edges.setdefault(
+                        (holder, lock), (facts.rel_path, line)
+                    )
+        for ref, held, line in facts.calls:
+            if not held:
+                continue
+            for target in resolve(ref, key):
+                for lock in acquires.get(target, ()):
+                    for holder in held:
+                        if holder != lock:
+                            graph.edges.setdefault(
+                                (holder, lock), (facts.rel_path, line)
+                            )
+    return graph
+
+
+def build_lock_graph_from_paths(paths: Iterable[Path],
+                                root: Optional[Path] = None) -> LockGraph:
+    """Convenience: load a :class:`Project` from *paths* and build."""
+    return build_lock_graph(Project.load(paths, root=root))

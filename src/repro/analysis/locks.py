@@ -1,0 +1,291 @@
+"""Lock-discipline checker: guarded attributes, annotations, ordering.
+
+Rules:
+
+``LCK001``
+    A write to a ``# guarded-by: NAME`` attribute outside a ``with
+    self.NAME`` block (and outside an ``@guarded_by("NAME")`` method and
+    the constructor — construction happens-before publication).
+``LCK002``
+    The cross-module lock-acquisition graph contains a cycle (see
+    :mod:`repro.analysis.lockgraph`) — a potential deadlock order.
+``LCK003``
+    A write under a lock to an attribute with no ``# guarded-by:``
+    annotation: shared state the annotations don't cover.  Annotate it
+    (or justify with an ``allow`` marker) so the discipline stays
+    complete as the code grows.
+``LCK004``
+    A ``# guarded-by:`` annotation or ``@guarded_by`` decorator naming a
+    lock attribute the class never creates.
+
+Writes are attribute assignments (`self.x = ...`, augmented, annotated,
+subscript `self.x[k] = ...`, `del self.x`) and calls to well-known
+container mutators (``self.x.append(...)`` etc.).  Reads are not
+checked — the convention targets the mutation side, where a missed lock
+corrupts state rather than merely observing it stale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .lockgraph import (
+    ClassInfo,
+    build_lock_graph,
+    collect_classes,
+    guarded_by_decorations,
+)
+from .model import Project, SourceModule
+from .registry import Checker, register
+
+#: Method names treated as in-place container mutation.
+_MUTATORS = {
+    "append", "extend", "extendleft", "appendleft", "insert", "add",
+    "update", "setdefault", "pop", "popleft", "popitem", "remove",
+    "discard", "clear", "sort", "reverse",
+}
+
+#: Methods whose body is construction, exempt from guarded-write checks.
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__"}
+
+
+def _attribute_writes(stmt: ast.stmt) -> Iterable[Tuple[str, int]]:
+    """Yield ``(attr, line)`` for every self-attribute write in *stmt*."""
+
+    def target_attr(node: ast.AST) -> Optional[str]:
+        # self.X or self.X[...] as an assignment target.
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        return None
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            parts = (target.elts if isinstance(target, (ast.Tuple,
+                                                        ast.List))
+                     else [target])
+            for part in parts:
+                attr = target_attr(part)
+                if attr is not None:
+                    yield attr, stmt.lineno
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        attr = target_attr(stmt.target)
+        if attr is not None:
+            yield attr, stmt.lineno
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            attr = target_attr(target)
+            if attr is not None:
+                yield attr, stmt.lineno
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"):
+            yield func.value.attr, stmt.lineno
+
+
+class _WriteVisitor(ast.NodeVisitor):
+    """Collect self-attribute writes with the held-lock attr set."""
+
+    def __init__(self, lock_attrs: Set[str]):
+        self.lock_attrs = lock_attrs
+        self.held: List[str] = []
+        #: (attr, line, frozenset of held lock attrs)
+        self.writes: List[Tuple[str, int, frozenset]] = []
+
+    def _lock_attr_for(self, expr: ast.AST) -> Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in self.lock_attrs):
+            return expr.attr
+        return None
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        pushed = 0
+        for item in node.items:
+            attr = self._lock_attr_for(item.context_expr)
+            if attr is not None:
+                self.held.append(attr)
+                pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.stmt):
+            for attr, line in _attribute_writes(node):
+                self.writes.append((attr, line, frozenset(self.held)))
+        super().generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # closures run on their own thread/context; not this lock scope
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _class_guarded_attrs(
+    info: ClassInfo,
+) -> Tuple[Dict[str, str], Set[str], List[Tuple[str, int]]]:
+    """(verified attr->lock, documented-only attrs, unknown-lock sites)."""
+    verified: Dict[str, str] = {}
+    documented: Set[str] = set()
+    unknown: List[Tuple[str, int]] = []
+    module = info.module
+    for method in info.methods.values():
+        for stmt in ast.walk(method):
+            for attr, line in _attribute_writes(stmt):
+                guard = module.guard_for_line(line)
+                if guard is None:
+                    continue
+                if guard.lock is not None:
+                    if guard.lock not in info.lock_attrs:
+                        unknown.append((guard.lock, line))
+                    else:
+                        verified[attr] = guard.lock
+                else:
+                    documented.add(attr)
+    # Dataclass-style class-body annotations: AnnAssign on plain names.
+    for stmt in info.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                          ast.Name):
+            guard = module.guard_for_line(stmt.lineno)
+            if guard is None:
+                continue
+            if guard.lock is not None and guard.lock in info.lock_attrs:
+                verified[stmt.target.id] = guard.lock
+            else:
+                documented.add(stmt.target.id)
+    return verified, documented, unknown
+
+
+@register
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    description = (
+        "guarded-by annotations are complete and respected; the "
+        "cross-module lock graph is acyclic"
+    )
+    rules = {
+        "LCK001": "write to a guarded attribute outside its lock",
+        "LCK002": "lock-acquisition ordering cycle",
+        "LCK003": "write under a lock to an unannotated attribute",
+        "LCK004": "guarded-by names a lock the class does not create",
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            findings.extend(self._check_module(module))
+        graph = build_lock_graph(project)
+        for cycle in graph.cycles():
+            sites = sorted(
+                graph.edges[edge]
+                for edge in graph.edges
+                if edge[0] in cycle and edge[1] in cycle
+            )
+            rel_path, line = sites[0]
+            findings.append(Finding(
+                path=rel_path, line=line, col=0, rule="LCK002",
+                checker=self.name,
+                message=(
+                    "lock-acquisition cycle: "
+                    + " -> ".join(cycle + [cycle[0]])
+                    + "; a consistent global order is required"
+                ),
+            ))
+        return findings
+
+    def _check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for info in collect_classes(module):
+            findings.extend(self._check_class(module, info))
+        return findings
+
+    def _check_class(self, module: SourceModule,
+                     info: ClassInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        verified, documented, unknown = _class_guarded_attrs(info)
+        for lock_name, line in unknown:
+            findings.append(Finding(
+                path=module.rel_path, line=line, col=0, rule="LCK004",
+                checker=self.name,
+                message=(
+                    f"guarded-by names {lock_name!r} but class "
+                    f"{info.name} creates no such lock"
+                ),
+            ))
+        if not info.lock_attrs:
+            return findings
+        lock_attr_names = set(info.lock_attrs)
+        for method_name, method in info.methods.items():
+            if method_name in _CONSTRUCTORS:
+                continue
+            decorated = [
+                attr for attr in guarded_by_decorations(method)
+            ]
+            for attr in decorated:
+                if attr not in lock_attr_names:
+                    findings.append(Finding(
+                        path=module.rel_path, line=method.lineno, col=0,
+                        rule="LCK004", checker=self.name,
+                        message=(
+                            f"@guarded_by({attr!r}) on "
+                            f"{info.name}.{method_name} but the class "
+                            f"creates no such lock"
+                        ),
+                    ))
+            assumed = frozenset(
+                attr for attr in decorated if attr in lock_attr_names
+            )
+            visitor = _WriteVisitor(lock_attr_names)
+            for stmt in method.body:
+                visitor.visit(stmt)
+            for attr, line, held in visitor.writes:
+                if attr in lock_attr_names:
+                    continue  # creating/rebinding the lock itself
+                effective = held | assumed
+                lock = verified.get(attr)
+                if lock is not None and lock not in effective:
+                    findings.append(Finding(
+                        path=module.rel_path, line=line, col=0,
+                        rule="LCK001", checker=self.name,
+                        message=(
+                            f"{info.name}.{attr} is guarded by "
+                            f"{lock!r} but written here without it "
+                            f"(wrap in `with self.{lock}:` or mark the "
+                            f"method @guarded_by({lock!r}))"
+                        ),
+                    ))
+                elif (lock is None and effective
+                        and attr not in documented):
+                    findings.append(Finding(
+                        path=module.rel_path, line=line, col=0,
+                        rule="LCK003", checker=self.name,
+                        message=(
+                            f"{info.name}.{attr} is written under "
+                            f"{sorted(effective)!r} but has no "
+                            f"guarded-by annotation; annotate its "
+                            f"declaration"
+                        ),
+                    ))
+        return findings

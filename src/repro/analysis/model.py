@@ -1,0 +1,251 @@
+"""Source model for ciaolint: parsed modules, roles, and directives.
+
+The engine parses every target file exactly once into a
+:class:`SourceModule` (text, lines, AST, inferred role, inline
+directives); checkers share that model instead of re-reading files.
+
+Inline directives (comments):
+
+``# ciaolint: allow[RULE] -- reason``
+    Suppress *RULE* (a rule id like ``PRO001``, a checker name like
+    ``protocol-bounds``, or a comma list) on this line — or, when the
+    comment stands alone on its line, on the next statement line.  The
+    ``-- reason`` justification is mandatory; a marker without one is
+    itself a finding (``META001``).
+
+``# ciaolint: module-role=ROLE``
+    Override the path-inferred module role (``protocol``, ``simulate``,
+    ``data``, ``engine``, ``workload``).  Used by fixture corpora and by
+    modules whose path does not reveal their role.
+
+``# guarded-by: NAME`` / ``# guarded-by: <free text>``
+    Declare the attribute assigned on this line (or the next) as guarded
+    by the lock attribute *NAME* of the same object — statically verified
+    by the lock-discipline checker.  The angle-bracket form documents a
+    non-lock protocol (e.g. thread-join happens-before) and is recorded
+    but not verified.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: Path segments / file names that assign a role to a module.  Roles
+#: scope the protocol-bounds and determinism checkers.
+_ROLE_BY_SEGMENT = {
+    "simulate": "simulate",
+    "data": "data",
+    "engine": "engine",
+    "workload": "workload",
+    "rawjson": "protocol",
+    "rawcsv": "protocol",
+}
+_ROLE_BY_FILENAME = {
+    "protocol.py": "protocol",
+    "encodings.py": "protocol",
+    "pages.py": "protocol",
+    "plan_io.py": "protocol",
+}
+
+_ALLOW_RE = re.compile(
+    r"#\s*ciaolint:\s*allow\[([A-Za-z0-9_,\- ]+)\]\s*(?:--\s*(\S.*))?"
+)
+_ROLE_RE = re.compile(r"#\s*ciaolint:\s*module-role=([a-z\-]+)")
+_GUARDED_RE = re.compile(
+    r"#\s*guarded-by:\s*(?:(?P<name>[A-Za-z_]\w*)\s*$|<(?P<doc>[^>]+)>)"
+)
+
+
+@dataclass(frozen=True)
+class AllowMarker:
+    """One parsed ``allow[...]`` directive."""
+
+    line: int            # line the marker suppresses
+    marker_line: int     # line the comment itself sits on
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+
+    def covers(self, rule: str, checker: str) -> bool:
+        return rule in self.rules or checker in self.rules
+
+
+@dataclass(frozen=True)
+class GuardAnnotation:
+    """One ``# guarded-by:`` declaration, attached to a source line."""
+
+    line: int            # line of the annotated assignment
+    lock: Optional[str]  # verified self-lock attribute, or None
+    doc: Optional[str]   # documented-only free text, or None
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus everything checkers share."""
+
+    path: Path
+    rel_path: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    role: Optional[str]
+    allow_markers: List[AllowMarker] = field(default_factory=list)
+    guard_annotations: Dict[int, GuardAnnotation] = field(
+        default_factory=dict
+    )
+
+    def guard_for_line(self, line: int) -> Optional[GuardAnnotation]:
+        """The guard annotation covering *line*, if any.
+
+        An annotation on the assignment's own line wins; a standalone
+        comment line annotates the next line.
+        """
+        return self.guard_annotations.get(line)
+
+
+@dataclass
+class ParseFailure:
+    """A target file the engine could not parse (reported as a finding)."""
+
+    path: Path
+    rel_path: str
+    line: int
+    message: str
+
+
+def _infer_role(rel_path: str) -> Optional[str]:
+    parts = Path(rel_path).parts
+    if "analysis" in parts or "tests" in parts:
+        return None  # the linter and its fixtures choose roles explicitly
+    name = Path(rel_path).name
+    if name in _ROLE_BY_FILENAME:
+        return _ROLE_BY_FILENAME[name]
+    for part in parts:
+        if part in _ROLE_BY_SEGMENT:
+            return _ROLE_BY_SEGMENT[part]
+    return None
+
+
+def _statement_lines(tree: ast.Module) -> Set[int]:
+    """First lines of every statement — targets for standalone markers."""
+    return {
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.stmt)
+    }
+
+
+def _next_statement_line(start: int, stmt_lines: Set[int],
+                         n_lines: int) -> int:
+    for line in range(start + 1, n_lines + 1):
+        if line in stmt_lines:
+            return line
+    return start
+
+
+def parse_module(path: Path, root: Path) -> "SourceModule | ParseFailure":
+    """Parse one file into a :class:`SourceModule` (or a failure)."""
+    try:
+        rel_path = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel_path = path.as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return ParseFailure(path, rel_path, 1, f"unreadable: {exc}")
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return ParseFailure(
+            path, rel_path, exc.lineno or 1, f"syntax error: {exc.msg}"
+        )
+    lines = text.splitlines()
+    stmt_lines = _statement_lines(tree)
+
+    role: Optional[str] = None
+    allow_markers: List[AllowMarker] = []
+    guards: Dict[int, GuardAnnotation] = {}
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        standalone = stripped.startswith("#")
+        role_match = _ROLE_RE.search(line)
+        if role_match and lineno <= 20:
+            role = role_match.group(1)
+        allow_match = _ALLOW_RE.search(line)
+        if allow_match:
+            target = lineno
+            if standalone:
+                target = _next_statement_line(
+                    lineno, stmt_lines, len(lines)
+                )
+            rules = tuple(
+                token.strip()
+                for token in allow_match.group(1).split(",")
+                if token.strip()
+            )
+            reason = allow_match.group(2)
+            allow_markers.append(AllowMarker(
+                line=target, marker_line=lineno, rules=rules,
+                reason=reason.strip() if reason else None,
+            ))
+        guard_match = _GUARDED_RE.search(line)
+        if guard_match:
+            target = lineno
+            if standalone:
+                target = _next_statement_line(
+                    lineno, stmt_lines, len(lines)
+                )
+            guards[target] = GuardAnnotation(
+                line=target,
+                lock=guard_match.group("name"),
+                doc=guard_match.group("doc"),
+            )
+    if role is None:
+        role = _infer_role(rel_path)
+    return SourceModule(
+        path=path, rel_path=rel_path, text=text, lines=lines,
+        tree=tree, role=role, allow_markers=allow_markers,
+        guard_annotations=guards,
+    )
+
+
+class Project:
+    """Every parsed module under the analyzed paths, shared by checkers."""
+
+    def __init__(self, modules: List[SourceModule],
+                 failures: List[ParseFailure], root: Path):
+        self.modules = modules
+        self.failures = failures
+        self.root = root
+
+    @classmethod
+    def load(cls, paths: Iterable[Path],
+             root: Optional[Path] = None) -> "Project":
+        """Parse every ``*.py`` file under *paths* (files or directories)."""
+        root = (root or Path.cwd()).resolve()
+        files: List[Path] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                files.extend(
+                    p for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                )
+            else:
+                files.append(path)
+        modules: List[SourceModule] = []
+        failures: List[ParseFailure] = []
+        for path in files:
+            parsed = parse_module(path, root)
+            if isinstance(parsed, ParseFailure):
+                failures.append(parsed)
+            else:
+                modules.append(parsed)
+        return cls(modules, failures, root)
+
+    def by_role(self, *roles: str) -> List[SourceModule]:
+        """Modules whose role is one of *roles*."""
+        return [m for m in self.modules if m.role in roles]

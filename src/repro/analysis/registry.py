@@ -1,0 +1,80 @@
+"""Checker registry: the pluggable surface of ciaolint.
+
+A checker is a class with a ``name``, a one-line ``description``, the
+``rules`` it may emit, and a ``check(project)`` method returning
+findings.  Registering is one decorator::
+
+    @register
+    class MyChecker(Checker):
+        name = "my-check"
+        description = "what it enforces"
+        rules = {"MYC001": "what MYC001 means"}
+
+        def check(self, project):
+            ...
+
+Selection (``--select``) matches checker names; ``all`` (the default)
+runs everything registered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from .findings import Finding
+from .model import Project
+
+
+class Checker:
+    """Base class for ciaolint checkers (see module docstring)."""
+
+    #: Group name matched by ``--select`` and reported per finding.
+    name: str = ""
+    #: One-line summary shown by ``--list-checkers``.
+    description: str = ""
+    #: rule id -> one-line meaning.
+    rules: Dict[str, str] = {}
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> List[Type[Checker]]:
+    """Every registered checker class, in registration-name order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def resolve_select(select: Iterable[str]) -> List[Type[Checker]]:
+    """Map ``--select`` tokens to checker classes.
+
+    Tokens are checker names; ``all`` selects everything.  Unknown
+    tokens raise ``ValueError`` listing what exists, so a typo cannot
+    silently skip a gate.
+    """
+    tokens = [t.strip() for t in select if t.strip()]
+    if not tokens or "all" in tokens:
+        return all_checkers()
+    chosen: List[Type[Checker]] = []
+    for token in tokens:
+        if token not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(
+                f"unknown checker {token!r}; known checkers: {known}"
+            )
+        cls = _REGISTRY[token]
+        if cls not in chosen:
+            chosen.append(cls)
+    return chosen

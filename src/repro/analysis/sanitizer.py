@@ -1,0 +1,274 @@
+"""Runtime lock sanitizer: record real acquisition orders, catch cycles.
+
+The static lock graph (:mod:`repro.analysis.lockgraph`) predicts which
+lock orders the code *can* take; this module observes which orders a
+real run *does* take.  Production code creates its locks through the
+factories here with a stable fleet-wide name::
+
+    self._lock = make_lock("ShardedIngestPipeline._lock")
+
+Normally the factories return plain :mod:`threading` primitives — zero
+overhead.  With the sanitizer enabled (``CIAO_LOCKSAN=1`` in the
+environment, wired through ``tests/conftest.py``, or
+:func:`enable` programmatically) they return instrumented wrappers that
+maintain a per-thread stack of held locks and record every
+``held -> acquired`` pair into a process-global edge set.
+
+At the end of an instrumented run, :func:`verify_consistent` merges the
+observed edges into the static graph and fails if the union contains a
+cycle — i.e. if the run exercised an order the static analysis calls
+deadlock-prone, or an order that contradicts the statically derived
+one.  Observed edges over locks the static graph has never seen are
+added as fresh nodes (they still participate in cycle detection).
+
+Lock *names*, not instances, are the graph nodes: every instance of a
+class shares its lock's name, which is exactly the granularity at which
+ordering rules are stated ("pipeline lock after lifecycle lock").
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+Edge = Tuple[str, str]
+
+_enabled = False
+_observed_edges: Set[Edge] = set()
+_edge_sites: Dict[Edge, int] = {}
+_acquisitions: Dict[str, int] = {}
+_state_lock = threading.Lock()
+_held = threading.local()
+
+
+class LockOrderError(AssertionError):
+    """An observed acquisition order is cyclic against the static graph."""
+
+
+def enable() -> None:
+    """Turn the sanitizer on for locks created from now on."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the sanitizer off (new locks come out uninstrumented)."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """True when new locks will be instrumented."""
+    return _enabled or bool(os.environ.get("CIAO_LOCKSAN"))
+
+
+def reset() -> None:
+    """Forget every observed edge (test isolation)."""
+    with _state_lock:
+        _observed_edges.clear()
+        _edge_sites.clear()
+        _acquisitions.clear()
+
+
+def observed_edges() -> Set[Edge]:
+    """A copy of the ``held -> acquired`` pairs observed so far."""
+    with _state_lock:
+        return set(_observed_edges)
+
+
+def acquisition_counts() -> Dict[str, int]:
+    """Sanitized acquisitions per lock name (instrumentation coverage)."""
+    with _state_lock:
+        return dict(_acquisitions)
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+def _record_acquire(name: str) -> None:
+    stack = _held_stack()
+    with _state_lock:
+        _acquisitions[name] = _acquisitions.get(name, 0) + 1
+        for holder in stack:
+            if holder != name:
+                edge = (holder, name)
+                if edge not in _observed_edges:
+                    _observed_edges.add(edge)
+                    _edge_sites[edge] = _acquisitions[name]
+    stack.append(name)
+
+
+def _record_release(name: str) -> None:
+    stack = _held_stack()
+    # Release order may differ from acquisition order; drop the newest
+    # matching entry (reentrant locks push one entry per acquire).
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i] == name:
+            del stack[i]
+            return
+
+
+class _SanitizedBase:
+    """Shared acquire/release instrumentation over a threading primitive."""
+
+    def __init__(self, name: str, inner):
+        self.name = name
+        self._inner = inner
+
+    def acquire(self, *args, **kwargs):
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            _record_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        _record_release(self.name)
+
+    def __enter__(self):
+        self._inner.acquire()
+        _record_acquire(self.name)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._inner.release()
+        _record_release(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SanitizedLock(_SanitizedBase):
+    """Instrumented ``threading.Lock``."""
+
+    def __init__(self, name: str):
+        super().__init__(name, threading.Lock())
+
+
+class SanitizedRLock(_SanitizedBase):
+    """Instrumented ``threading.RLock``.
+
+    Reentrant re-acquisition pushes a second stack entry (popped on the
+    matching release) but records no self-edge.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name, threading.RLock())
+
+
+class SanitizedCondition(_SanitizedBase):
+    """Instrumented ``threading.Condition``.
+
+    ``wait()`` releases and re-acquires the underlying lock internally;
+    the held-stack entry stays in place across the wait, which is sound
+    because the waiting thread acquires nothing while blocked.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name, threading.Condition())
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._inner.wait(timeout)
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        return self._inner.wait_for(predicate, timeout)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+
+def make_lock(name: str):
+    """A ``threading.Lock`` — instrumented when the sanitizer is on."""
+    if enabled():
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A ``threading.RLock`` — instrumented when the sanitizer is on."""
+    if enabled():
+        return SanitizedRLock(name)
+    return threading.RLock()
+
+
+def make_condition(name: str):
+    """A ``threading.Condition`` — instrumented when the sanitizer is on."""
+    if enabled():
+        return SanitizedCondition(name)
+    return threading.Condition()
+
+
+def find_cycle(edges: Iterable[Edge]) -> Optional[List[str]]:
+    """A lock-name cycle in *edges*, or None.  Iterative DFS."""
+    graph: Dict[str, List[str]] = {}
+    for src, dst in edges:
+        graph.setdefault(src, []).append(dst)
+        graph.setdefault(dst, [])
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    parent: Dict[str, Optional[str]] = {}
+    for root in sorted(graph):
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[str, Iterable[str]]] = [
+            (root, iter(sorted(graph[root])))
+        ]
+        color[root] = GRAY
+        parent[root] = None
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    parent[child] = node
+                    stack.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if color[child] == GRAY:
+                    # Back edge: walk parents from node back to child.
+                    cycle = [child, node]
+                    cursor = parent[node]
+                    while cursor is not None and cursor != child:
+                        cycle.append(cursor)
+                        cursor = parent[cursor]
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+        # parent map only needs to survive within one DFS tree
+    return None
+
+
+def verify_consistent(static_edges: Iterable[Edge]) -> Set[Edge]:
+    """Fail if observed orders are cyclic against the static lock graph.
+
+    Merges the run's observed edges into *static_edges* and raises
+    :class:`LockOrderError` when the union contains a cycle — either the
+    run itself interleaved locks both ways, or it took an order the
+    static graph's (acyclic) orientation forbids.  Returns the observed
+    edge set on success so callers can report coverage.
+    """
+    observed = observed_edges()
+    union = set(static_edges) | observed
+    cycle = find_cycle(union)
+    if cycle is not None:
+        raise LockOrderError(
+            "lock acquisition order is cyclic: "
+            + " -> ".join(cycle + [cycle[0]])
+            + f"; observed edges this run: {sorted(observed)}"
+        )
+    return observed

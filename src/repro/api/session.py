@@ -77,18 +77,22 @@ class LoadJob:
         self.config = config
         self.records_offered = records_offered
         self._thread: Optional[threading.Thread] = None
+        # guarded-by: <written by the load thread, read after wait()/join>
         self._error: Optional[BaseException] = None
         self._report: Optional[LoadReport] = None
         self._started = time.perf_counter()
+        # guarded-by: <written by the load thread, read after wait()/join>
         self._wall: Optional[float] = None
         #: Server summary, set by the worker thread after it finalizes —
         #: so wall time covers finalize in every mode (the fleet
         #: coordinator finalizes internally; serial/sharded match it).
+        # guarded-by: <written by the load thread, read after wait()/join>
         self._summary = None
         # Mode-specific progress taps, set by the session at start.
         self._client: Optional[SimulatedClient] = None
         self._channel: Optional[Channel] = None
         self._coordinator: Optional[FleetCoordinator] = None
+        # guarded-by: <written by the load thread, read after wait()/join>
         self._fleet_report = None
 
     # ------------------------------------------------------------------
@@ -171,7 +175,7 @@ class LoadJob:
             # stays the one surfaced.
             try:
                 self.server.finalize_loading()
-            except BaseException:
+            except BaseException:  # ciaolint: allow[API006] -- best-effort reap; the original load error is surfaced
                 pass
             raise self._error
         if self._wall is None:
@@ -394,7 +398,7 @@ class CiaoSession:
                     on_flush=lambda: job.server.ingest_channel(channel),
                 )
                 job._summary = job.server.finalize_loading()
-            except BaseException as exc:  # surfaced by result()
+            except BaseException as exc:  # ciaolint: allow[API006] -- surfaced by result()
                 job._error = exc
             finally:
                 job._wall = time.perf_counter() - job._started
@@ -435,7 +439,7 @@ class CiaoSession:
         def run() -> None:
             try:
                 job._fleet_report = coordinator.run(records)
-            except BaseException as exc:  # surfaced by result()
+            except BaseException as exc:  # ciaolint: allow[API006] -- surfaced by result()
                 job._error = exc
             finally:
                 job._wall = time.perf_counter() - job._started
@@ -490,8 +494,8 @@ class CiaoSession:
             if job._report is None:
                 try:
                     job.result()
-                except BaseException:
-                    pass  # closing must not mask the caller's exception
+                except BaseException:  # ciaolint: allow[API006] -- closing must not mask the caller's exception
+                    pass
         self._closed = True
         if self._tmpdir is not None:
             self._tmpdir.cleanup()

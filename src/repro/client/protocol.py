@@ -272,10 +272,10 @@ def _take(view: memoryview, pos: int, size: int, what: str
     """Bounds-checked cursor advance; raises before touching bytes."""
     if size < 0 or pos + size > len(view):
         raise ProtocolError(f"truncated {what}")
-    return view[pos:pos + size], pos + size
+    return view[pos:pos + size], pos + size  # ciaolint: allow[PRO001] -- this IS the checked cursor primitive
 
 
 def _read_u32(view: memoryview, pos: int) -> Tuple[int, int]:
     if pos + 4 > len(view):
         raise ProtocolError("truncated length field")
-    return int.from_bytes(view[pos:pos + 4], "little"), pos + 4
+    return int.from_bytes(view[pos:pos + 4], "little"), pos + 4  # ciaolint: allow[PRO001] -- length prechecked on the line above

@@ -46,6 +46,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, \
     Tuple, Union
 
+from ..analysis.annotations import guarded_by
+from ..analysis.sanitizer import make_condition
 from ..client.device import DEFAULT_SHIP_BATCH, SimulatedClient
 from ..client.protocol import encode_chunk
 from ..core.budgets import Budget, ClientProfile
@@ -180,13 +182,13 @@ class FleetCoordinator:
             )
         self._workers: List[_Worker] = []
         self._by_id: Dict[str, _Worker] = {}
-        self._cond = threading.Condition()
+        self._cond = make_condition("FleetCoordinator._cond")
         self._admission = (
             threading.Semaphore(max_active) if max_active else None
         )
-        self._reassignment_events = 0
-        self._reassigned_records = 0
-        self._reassignments: List[Tuple[str, str, int]] = []
+        self._reassignment_events = 0  # guarded-by: _cond
+        self._reassigned_records = 0  # guarded-by: _cond
+        self._reassignments: List[Tuple[str, str, int]] = []  # guarded-by: _cond
         self._realloc_rounds = 0
         self._profiles: List[ClientProfile] = []
         self._ran = False
@@ -279,7 +281,7 @@ class FleetCoordinator:
         unshipped: List[Tuple[bytes, List[str]]] = []
         try:
             self._worker_body(worker, unshipped)
-        except BaseException:
+        except BaseException:  # ciaolint: allow[API006] -- re-raised below; siblings must be unwedged first
             # An unexpected client-side crash must not wedge the fleet:
             # hand back what can be handed back, zero the in-hand count
             # so siblings' termination check converges, and die loudly.
@@ -392,6 +394,7 @@ class FleetCoordinator:
                     return _EMPTY_NOW
                 self._cond.wait(timeout=0.01)
 
+    @guarded_by("_cond")
     def _claim(self, worker: _Worker, queue: Deque[str],
                limit: int) -> List[str]:
         n = min(self.chunk_size, limit, len(queue))
@@ -399,6 +402,7 @@ class FleetCoordinator:
         worker.in_hand += n
         return batch
 
+    @guarded_by("_cond")
     def _pick_victim(self, thief: _Worker
                      ) -> Optional[Tuple[_Worker, int]]:
         """The neediest sibling to steal from (with a take limit), or None.

@@ -147,5 +147,5 @@ def try_parse(text: str) -> Tuple[Any, bool]:
         return loads(text), True
     except JsonSyntaxError:
         return None, False
-    except Exception:  # noqa: BLE001 - tokenizer errors subclass ValueError
+    except Exception:  # ciaolint: allow[API006] -- probe semantics: any parse failure means "not JSON", never an error
         return None, False

@@ -199,7 +199,7 @@ class Tokenizer:
     def _scan_surrogate_pair(self, high: int, pos: int) -> tuple:
         """Combine a high surrogate with a following ``\\uXXXX`` low half."""
         text = self._text
-        if text[pos : pos + 2] == "\\u":
+        if text[pos : pos + 2] == "\\u":  # ciaolint: allow[PRO001] -- str compare: a short slice simply fails the ==
             low, next_pos = self._scan_unicode_escape(pos)
             if 0xDC00 <= low <= 0xDFFF:
                 combined = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)

@@ -22,11 +22,12 @@ queries.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
+from ..analysis.annotations import guarded_by
+from ..analysis.sanitizer import make_rlock
 from ..client.protocol import decode_chunk, decode_chunk_stream, split_frames
 from ..core.optimizer import PushdownPlan
 from ..core.predicates import Query, Workload
@@ -250,13 +251,13 @@ class CiaoServer:
         )
         self.catalog.register(self._table)
         self._executor = Executor(self.catalog)
-        self._loading_finalized = False
+        self._loading_finalized = False  # guarded-by: _lifecycle_lock
         # Serializes query() against finalize_loading(): a loading
         # server may be queried from one thread while another thread
         # finalizes (session load jobs, fleet coordinators), and the
         # finalize mutates the catalog entry a query scans.  Reentrant
         # because a serial query() auto-finalizes through the same lock.
-        self._lifecycle_lock = threading.RLock()
+        self._lifecycle_lock = make_rlock("CiaoServer._lifecycle_lock")
 
     @classmethod
     def from_config(cls, config: ServerConfig,
@@ -465,6 +466,7 @@ class CiaoServer:
                     self.finalize_loading()
             return self._executor.execute(sql)
 
+    @guarded_by("_lifecycle_lock")
     def _refresh_snapshot(self) -> None:
         """Point the table at the pipeline's latest loaded-so-far view."""
         snap = self._pipeline.snapshot()

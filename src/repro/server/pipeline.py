@@ -81,6 +81,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..analysis.annotations import guarded_by
+from ..analysis.sanitizer import make_lock
 from ..client.protocol import decode_chunk
 from ..rawjson.chunks import JsonChunk
 from ..storage.jsonstore import JsonSideStore, SidelineView
@@ -200,7 +202,7 @@ def _run_shard(shard_id: int,
             schema=schema,
             required_predicate_ids=required_ids,
         )
-    except Exception:
+    except Exception:  # ciaolint: allow[API006] -- shard isolation: any init failure becomes a reported per-shard error
         error = fail("failed to initialize")
 
     def publish() -> None:
@@ -235,7 +237,7 @@ def _run_shard(shard_id: int,
             unpublished += 1
             if seal_interval is not None and unpublished >= seal_interval:
                 publish()
-        except Exception:
+        except Exception:  # ciaolint: allow[API006] -- shard isolation: a poison chunk must not kill the drain loop
             error = fail(f"failed on chunk #{seq}")
 
     # The drain loop must run no matter what happened above: a bounded
@@ -275,7 +277,7 @@ def _run_shard(shard_id: int,
         if loader is not None:
             loader.finalize()
             paths = [str(p) for p in loader.parquet_paths]
-    except Exception:
+    except Exception:  # ciaolint: allow[API006] -- shard isolation: finalize failure is reported via the out queue
         if error is None:
             error = fail("failed to finalize")
     if error is not None:
@@ -345,19 +347,23 @@ class ShardedIngestPipeline:
         self._seq = 0
         self._submitted_by_source: Dict[str, int] = {}
         self._finalized = False
+        # guarded-by: _lock
         self._shard_parquet_paths: List[List[Path]] = [[] for _ in
                                                        range(n_shards)]
         self._parquet_paths: List[Path] = []
-        self._errors: List[str] = []
+        self._errors: List[str] = []  # guarded-by: _lock
         # Streaming snapshot state, guarded by _lock: the latest published
         # per-shard (sealed paths, sideline watermark, reports) plus a
         # version bumped on every observed change.
-        self._lock = threading.Lock()
+        self._lock = make_lock("ShardedIngestPipeline._lock")
+        # guarded-by: _lock
         self._progress: Dict[int, Tuple[List[Path], int,
                                         List[Tuple[int, LoadReport]]]] = {}
+        # guarded-by: _lock
         self._final_reports: Dict[int, List[Tuple[int, LoadReport]]] = {}
-        self._terminal: set = set()
-        self._version = 0
+        self._terminal: set = set()  # guarded-by: _lock
+        self._version = 0  # guarded-by: _lock
+        # guarded-by: _lock
         self._snapshot_cache: Optional[LoadSnapshot] = None
 
         required = (
@@ -537,6 +543,7 @@ class ShardedIngestPipeline:
                 )
             time.sleep(_IDLE_POLL_SECONDS / 2)
 
+    @guarded_by("_lock")
     def _pump_messages(self, block_seconds: Optional[float] = None) -> bool:
         """Drain pending out-queue messages into state; caller holds _lock.
 

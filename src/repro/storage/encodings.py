@@ -164,8 +164,11 @@ def _decode_plain_values(data: bytes, count: int,
                     if not byte & 0x80:
                         break
                     shift += 7
-            append(data[pos:pos + length].decode("utf-8"))
-            pos += length
+            end = pos + length
+            if end > size:
+                raise EncodingError("truncated string payload")
+            append(data[pos:end].decode("utf-8"))
+            pos = end
     elif column_type is ColumnType.INT64:
         values = [
             (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)  # un-zigzag
@@ -174,7 +177,9 @@ def _decode_plain_values(data: bytes, count: int,
         if len(values) != count:
             raise EncodingError("truncated varint")
     elif column_type is ColumnType.FLOAT64:
-        values = list(struct.unpack_from(f"<{count}d", data, 0))
+        if len(data) < count * 8:
+            raise EncodingError("truncated float64 block")
+        values = list(struct.unpack_from(f"<{count}d", data, 0))  # ciaolint: allow[PRO002] -- length prechecked on the line above
     elif column_type is ColumnType.BOOL:
         for i in range(count):
             values.append(bool(data[i >> 3] >> (i & 7) & 1))
@@ -225,10 +230,13 @@ def decode_dictionary(data: bytes, count: int,
     """Inverse of :func:`encode_dictionary`."""
     dict_size, pos = read_varint(data, 0)
     dict_len, pos = read_varint(data, pos)
+    dict_end = pos + dict_len
+    if dict_end > len(data):
+        raise EncodingError("truncated dictionary block")
     dictionary = _decode_plain_values(
-        data[pos:pos + dict_len], dict_size, column_type
+        data[pos:dict_end], dict_size, column_type
     )
-    pos += dict_len
+    pos = dict_end
     indices = read_varint_block(data[pos:], count)
     if len(indices) != count:
         raise EncodingError("truncated varint")
@@ -263,10 +271,13 @@ def decode_rle(data: bytes, count: int, column_type: ColumnType) -> List[Any]:
     for _ in range(n_runs):
         length, pos = read_varint(data, pos)
         enc_len, pos = read_varint(data, pos)
+        enc_end = pos + enc_len
+        if enc_end > len(data):
+            raise EncodingError("truncated RLE run payload")
         value = _decode_plain_values(
-            data[pos:pos + enc_len], 1, column_type
+            data[pos:enc_end], 1, column_type
         )[0]
-        pos += enc_len
+        pos = enc_end
         values.extend([value] * length)
     if len(values) != count:
         raise EncodingError(

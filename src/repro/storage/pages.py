@@ -89,10 +89,16 @@ def read_page(data: bytes, column_type: ColumnType) -> List[Any]:
         raise EncodingError(f"unknown encoding tag {tag}") from None
     row_count, pos = read_varint(data, 1)
     bitmap_len, pos = read_varint(data, pos)
-    presence = BitVector.from_bytes(data[pos:pos + bitmap_len])
-    pos += bitmap_len
+    bitmap_end = pos + bitmap_len
+    if bitmap_end > len(data):
+        raise EncodingError("truncated null bitmap")
+    presence = BitVector.from_bytes(data[pos:bitmap_end])
+    pos = bitmap_end
     payload_len, pos = read_varint(data, pos)
-    payload = data[pos:pos + payload_len]
+    payload_end = pos + payload_len
+    if payload_end > len(data):
+        raise EncodingError("truncated page payload")
+    payload = data[pos:payload_end]
     if len(presence) != row_count:
         raise EncodingError("null bitmap does not match page row count")
     n_present = presence.count()

@@ -1,0 +1,13 @@
+"""Fixture: api-hygiene violations (API002-API006)."""
+
+from .helpers import thing
+
+
+def fetch(into={}):
+    try:
+        return into["k"]
+    except Exception:
+        return None
+
+
+__all__ = ["zeta", "thing", "zeta"]

@@ -1,0 +1,15 @@
+"""Fixture: a clean package surface."""
+
+from .helpers import thing
+
+
+def fetch(into=None):
+    if into is None:
+        into = {}
+    try:
+        return into["k"]
+    except KeyError:
+        return None
+
+
+__all__ = ["fetch", "thing"]

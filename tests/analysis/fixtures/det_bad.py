@@ -1,0 +1,9 @@
+# ciaolint: module-role=simulate
+"""Fixture: DET001/DET002 — wall clock and global RNG in a simulation."""
+
+import random
+import time
+
+
+def jitter():
+    return time.time() + random.random()

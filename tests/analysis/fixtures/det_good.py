@@ -1,0 +1,10 @@
+# ciaolint: module-role=simulate
+"""Fixture: deterministic — seeded RNG threaded in, monotonic timing."""
+
+import random
+import time
+
+
+def jitter(rng: random.Random):
+    started = time.perf_counter()
+    return rng.random(), time.perf_counter() - started

@@ -1,0 +1,12 @@
+"""Fixture: GEN001 — a generator that suspends while holding a lock."""
+
+import threading
+
+_lock = threading.Lock()
+_items = ["a", "b"]
+
+
+def stream():
+    with _lock:
+        for item in _items:
+            yield item

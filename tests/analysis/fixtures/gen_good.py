@@ -1,0 +1,13 @@
+"""Fixture: copy under the lock, yield outside it."""
+
+import threading
+
+_lock = threading.Lock()
+_items = ["a", "b"]
+
+
+def stream():
+    with _lock:
+        snapshot = list(_items)
+    for item in snapshot:
+        yield item

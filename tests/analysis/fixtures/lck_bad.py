@@ -1,0 +1,12 @@
+"""Fixture: LCK001 — a guarded attribute written outside its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._count += 1  # racy: no lock held

@@ -1,0 +1,10 @@
+# ciaolint: module-role=protocol
+"""Fixture: PRO001/PRO002 — unchecked slicing and unpacking."""
+
+import struct
+
+
+def decode(buf, pos, n):
+    head = buf[pos:pos + n]  # silent short slice on truncated input
+    (value,) = struct.unpack("<q", head[:8])
+    return value

@@ -1,0 +1,13 @@
+# ciaolint: module-role=protocol
+"""Fixture: the pro_bad decode with a checked cursor."""
+
+
+class DecodeError(ValueError):
+    pass
+
+
+def decode(buf, pos, n):
+    end = pos + n
+    if end > len(buf):
+        raise DecodeError("truncated payload")
+    return buf[pos:end]

@@ -1,0 +1,224 @@
+"""Per-rule checker tests over the fixture corpus, plus CLI behavior."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.baseline import BaselineError
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def analyze(target, select="all", baseline=None):
+    return run_analysis(
+        [FIXTURES / target], select=[select], baseline_path=baseline,
+        root=FIXTURES,
+    )
+
+
+def rules_of(result):
+    return {f.rule for f in result.findings}
+
+
+# ---------------------------------------------------------------- rules
+@pytest.mark.parametrize("bad, good, select, expected", [
+    ("lck_bad.py", "lck_good.py", "lock-discipline", {"LCK001"}),
+    ("cycle_bad.py", "cycle_good.py", "lock-discipline", {"LCK002"}),
+    ("gen_bad.py", "gen_good.py", "yield-under-lock", {"GEN001"}),
+    ("pro_bad.py", "pro_good.py", "protocol-bounds",
+     {"PRO001", "PRO002"}),
+    ("api_bad", "api_good", "api-hygiene",
+     {"API002", "API003", "API004", "API005", "API006"}),
+    ("det_bad.py", "det_good.py", "determinism", {"DET001", "DET002"}),
+])
+def test_bad_caught_good_clean(bad, good, select, expected):
+    bad_rules = rules_of(analyze(bad, select))
+    assert bad_rules == expected
+    good_result = analyze(good, select)
+    assert good_result.findings == [], [
+        f.render() for f in good_result.findings
+    ]
+
+
+def test_api001_missing_all(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("x = 1\n")
+    result = run_analysis([pkg], select=["api-hygiene"], root=tmp_path)
+    assert rules_of(result) == {"API001"}
+
+
+def test_lck003_unannotated_write_under_lock(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "import threading\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._x = 0\n\n"
+        "    def set(self, v):\n"
+        "        with self._lock:\n"
+        "            self._x = v\n"
+    )
+    result = run_analysis(
+        [tmp_path / "mod.py"], select=["lock-discipline"], root=tmp_path
+    )
+    assert rules_of(result) == {"LCK003"}
+
+
+def test_lck004_unknown_lock_name(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "import threading\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._x = 0  # guarded-by: _mutex\n"
+    )
+    result = run_analysis(
+        [tmp_path / "mod.py"], select=["lock-discipline"], root=tmp_path
+    )
+    assert rules_of(result) == {"LCK004"}
+
+
+def test_guarded_by_decorator_assumes_lock(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "import threading\n\n"
+        "from repro.analysis import guarded_by\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._x = 0  # guarded-by: _lock\n\n"
+        "    @guarded_by('_lock')\n"
+        "    def _set(self, v):\n"
+        "        self._x = v\n"
+    )
+    result = run_analysis(
+        [tmp_path / "mod.py"], select=["lock-discipline"], root=tmp_path
+    )
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+# --------------------------------------------------------- suppressions
+def test_allow_marker_suppresses_with_reason(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except Exception:  # ciaolint: allow[API006] -- fixture\n"
+        "        return None\n"
+    )
+    result = run_analysis(
+        [tmp_path / "mod.py"], select=["api-hygiene"], root=tmp_path
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["API006"]
+
+
+def test_allow_marker_without_reason_is_meta001(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except Exception:  # ciaolint: allow[API006]\n"
+        "        return None\n"
+    )
+    result = run_analysis(
+        [tmp_path / "mod.py"], select=["api-hygiene"], root=tmp_path
+    )
+    # The reason-less marker does not suppress, and is itself flagged.
+    assert rules_of(result) == {"API006", "META001"}
+
+
+def test_standalone_marker_covers_next_statement(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "# ciaolint: module-role=simulate\n"
+        "import random\n\n\n"
+        "def f():\n"
+        "    # ciaolint: allow[DET002] -- fixture\n"
+        "    return random.random()\n"
+    )
+    result = run_analysis(
+        [tmp_path / "mod.py"], select=["determinism"], root=tmp_path
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["DET002"]
+
+
+# -------------------------------------------------------------- baseline
+def test_baseline_grandfathers_with_justification(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    result = analyze("det_bad.py", "determinism")
+    entries = [
+        dict(f.baseline_key(), justification="fixture: known debt")
+        for f in result.findings
+    ]
+    baseline.write_text(json.dumps({"version": 1, "entries": entries}))
+    rebased = analyze("det_bad.py", "determinism", baseline=baseline)
+    assert rebased.findings == []
+    assert len(rebased.baselined) == len(entries)
+
+
+def test_baseline_without_justification_rejected(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    result = analyze("det_bad.py", "determinism")
+    entries = [dict(f.baseline_key()) for f in result.findings]
+    baseline.write_text(json.dumps({"version": 1, "entries": entries}))
+    with pytest.raises(BaselineError, match="justification"):
+        analyze("det_bad.py", "determinism", baseline=baseline)
+
+
+def test_stale_baseline_entries_reported(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"version": 1, "entries": [{
+        "rule": "DET001", "path": "gone.py", "message": "never happens",
+        "justification": "obsolete",
+    }]}))
+    result = analyze("det_good.py", "determinism", baseline=baseline)
+    assert result.findings == []
+    assert len(result.stale_baseline) == 1
+
+
+# ------------------------------------------------------------------ CLI
+def test_cli_exit_codes():
+    assert main([str(FIXTURES / "det_bad.py"), "--no-baseline"]) == 1
+    assert main([str(FIXTURES / "det_good.py"), "--no-baseline"]) == 0
+    assert main(["--list-checkers"]) == 0
+    assert main([str(FIXTURES / "det_good.py"), "--select", "nope"]) == 2
+    assert main([str(FIXTURES / "no_such_file.py")]) == 2
+
+
+def test_cli_json_output(capsys):
+    code = main([
+        str(FIXTURES / "det_bad.py"), "--no-baseline", "--format", "json",
+    ])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["clean"] is False
+    assert {f["rule"] for f in doc["findings"]} == {"DET001", "DET002"}
+    for finding in doc["findings"]:
+        assert set(finding) == {
+            "path", "line", "col", "rule", "checker", "message"
+        }
+
+
+def test_cli_unparseable_target_is_config_error(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    assert main([str(bad), "--no-baseline"]) == 2
+    assert "META002" in capsys.readouterr().out
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys):
+    baseline = tmp_path / "bl.json"
+    assert main([
+        str(FIXTURES / "det_bad.py"), "--write-baseline",
+        "--baseline", str(baseline),
+    ]) == 0
+    doc = json.loads(baseline.read_text())
+    assert doc["entries"], "expected grandfathered entries"
+    # TODO justifications must be replaced before the file loads.
+    assert main([
+        str(FIXTURES / "det_bad.py"), "--baseline", str(baseline),
+    ]) == 2

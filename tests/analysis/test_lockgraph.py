@@ -1,0 +1,75 @@
+"""The static lock graph over the real repo and the cycle fixtures."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import build_lock_graph_from_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC_PKG = Path(repro.__file__).parent
+
+
+def test_repo_graph_has_the_production_locks():
+    graph = build_lock_graph_from_paths([SRC_PKG])
+    assert {
+        "CiaoServer._lifecycle_lock",
+        "ShardedIngestPipeline._lock",
+        "FleetCoordinator._cond",
+    } <= set(graph.locks)
+
+
+def test_repo_graph_lifecycle_before_pipeline():
+    """query()/finalize_loading() take the pipeline lock under the
+    lifecycle lock — the one cross-class ordering in the stack."""
+    graph = build_lock_graph_from_paths([SRC_PKG])
+    assert (
+        "CiaoServer._lifecycle_lock", "ShardedIngestPipeline._lock"
+    ) in graph.edge_set()
+
+
+def test_repo_graph_is_acyclic():
+    graph = build_lock_graph_from_paths([SRC_PKG])
+    assert graph.cycles() == []
+
+
+def test_cycle_fixture_detected():
+    graph = build_lock_graph_from_paths(
+        [FIXTURES / "cycle_bad.py"], root=FIXTURES
+    )
+    (cycle,) = graph.cycles()
+    assert set(cycle) == {"Pair._a", "Pair._b"}
+
+
+def test_ordered_fixture_clean():
+    graph = build_lock_graph_from_paths(
+        [FIXTURES / "cycle_good.py"], root=FIXTURES
+    )
+    assert graph.cycles() == []
+    assert ("Pair._a", "Pair._b") in graph.edge_set()
+
+
+def test_call_effects_propagate_to_callers(tmp_path):
+    """A caller holding one lock that calls into code taking another
+    produces the cross-function edge (the fixpoint half of the graph)."""
+    (tmp_path / "mod.py").write_text(
+        "import threading\n\n\n"
+        "class Inner:\n"
+        "    def __init__(self):\n"
+        "        self._inner_lock = threading.Lock()\n\n"
+        "    def poke(self):\n"
+        "        with self._inner_lock:\n"
+        "            pass\n\n\n"
+        "class Outer:\n"
+        "    def __init__(self):\n"
+        "        self._outer_lock = threading.Lock()\n"
+        "        self.child = Inner()\n\n"
+        "    def run(self):\n"
+        "        with self._outer_lock:\n"
+        "            self.child.poke()\n"
+    )
+    graph = build_lock_graph_from_paths(
+        [tmp_path / "mod.py"], root=tmp_path
+    )
+    assert (
+        "Outer._outer_lock", "Inner._inner_lock"
+    ) in graph.edge_set()

@@ -1,0 +1,47 @@
+"""Meta-test: the committed tree passes its own linter, end to end."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+def test_src_is_clean():
+    proc = run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_src_json_is_clean_and_well_formed():
+    proc = run_cli("src", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["clean"] is True
+    assert doc["findings"] == []
+    assert set(doc["checkers"]) == {
+        "api-hygiene", "determinism", "lock-discipline",
+        "protocol-bounds", "yield-under-lock",
+    }
+
+
+def test_committed_baseline_is_empty():
+    doc = json.loads((REPO / ".ciaolint-baseline.json").read_text())
+    assert doc["entries"] == []
+
+
+def test_seeded_violation_exits_nonzero():
+    proc = run_cli(str(FIXTURES / "det_bad.py"), "--no-baseline")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "DET001" in proc.stdout and "DET002" in proc.stdout

@@ -1,0 +1,139 @@
+"""The runtime lock sanitizer: recording, cycle detection, factories."""
+
+import threading
+
+import pytest
+
+from repro.analysis import (
+    LockOrderError,
+    make_condition,
+    make_lock,
+    make_rlock,
+    verify_consistent,
+)
+from repro.analysis.sanitizer import (
+    SanitizedCondition,
+    SanitizedLock,
+    SanitizedRLock,
+    acquisition_counts,
+    disable,
+    enable,
+    find_cycle,
+    observed_edges,
+    reset,
+)
+
+
+@pytest.fixture()
+def sanitized():
+    """Enable the sanitizer with clean state; restore afterwards."""
+    enable()
+    reset()
+    yield
+    reset()
+    disable()
+
+
+def test_factories_plain_when_disabled(monkeypatch):
+    monkeypatch.delenv("CIAO_LOCKSAN", raising=False)
+    disable()
+    assert isinstance(make_lock("t.plain"), type(threading.Lock()))
+    assert isinstance(make_rlock("t.plain_r"), type(threading.RLock()))
+    assert isinstance(make_condition("t.plain_c"), threading.Condition)
+
+
+def test_factories_instrumented_when_enabled(sanitized):
+    assert isinstance(make_lock("t.a"), SanitizedLock)
+    assert isinstance(make_rlock("t.b"), SanitizedRLock)
+    assert isinstance(make_condition("t.c"), SanitizedCondition)
+
+
+def test_nested_acquisition_records_edge(sanitized):
+    a, b = make_lock("t.a"), make_lock("t.b")
+    with a:
+        with b:
+            pass
+    assert ("t.a", "t.b") in observed_edges()
+    assert acquisition_counts() == {"t.a": 1, "t.b": 1}
+
+
+def test_consistent_order_passes(sanitized):
+    a, b = make_lock("t.a"), make_lock("t.b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    observed = verify_consistent({("t.a", "t.b")})
+    assert observed == {("t.a", "t.b")}
+
+
+def test_both_orders_is_a_cycle(sanitized):
+    a, b = make_lock("t.a"), make_lock("t.b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    with pytest.raises(LockOrderError, match="t.a"):
+        verify_consistent(set())
+
+
+def test_observed_order_against_static_edge_is_a_cycle(sanitized):
+    a, b = make_lock("t.a"), make_lock("t.b")
+    with b:
+        with a:
+            pass
+    with pytest.raises(LockOrderError):
+        verify_consistent({("t.a", "t.b")})
+
+
+def test_rlock_reentry_records_no_self_edge(sanitized):
+    r = make_rlock("t.r")
+    with r:
+        with r:
+            pass
+    assert observed_edges() == set()
+
+
+def test_condition_wait_does_not_poison_the_stack(sanitized):
+    cond = make_condition("t.cond")
+    inner = make_lock("t.inner")
+
+    def waker():
+        with cond:
+            cond.notify_all()
+
+    with cond:
+        timer = threading.Timer(0.05, waker)
+        timer.start()
+        cond.wait(timeout=2.0)
+        with inner:
+            pass
+    timer.join()
+    assert ("t.cond", "t.inner") in observed_edges()
+    verify_consistent(set())  # no spurious cycle from the wait
+
+
+def test_cross_thread_edges_merge(sanitized):
+    a, b = make_lock("t.a"), make_lock("t.b")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    thread = threading.Thread(target=forward)
+    thread.start()
+    thread.join()
+    with b:
+        with a:
+            pass
+    with pytest.raises(LockOrderError):
+        verify_consistent(set())
+
+
+def test_find_cycle_simple():
+    assert find_cycle({("x", "y"), ("y", "z")}) is None
+    cycle = find_cycle({("x", "y"), ("y", "z"), ("z", "x")})
+    assert cycle is not None and set(cycle) == {"x", "y", "z"}

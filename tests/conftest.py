@@ -1,8 +1,44 @@
-"""Shared fixtures for the CIAO reproduction test suite."""
+"""Shared fixtures for the CIAO reproduction test suite.
+
+With ``CIAO_LOCKSAN=1`` in the environment the runtime lock sanitizer
+is enabled before any production lock is created: the ``make_*`` lock
+factories return instrumented wrappers that record real acquisition
+orders, and a session-teardown fixture merges the observed edges into
+the statically computed lock graph and fails the run on any cycle.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+if os.environ.get("CIAO_LOCKSAN"):
+    from repro.analysis.sanitizer import enable as _locksan_enable
+
+    _locksan_enable()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _locksan_session_check():
+    """Verify observed lock orders against the static graph at teardown."""
+    yield
+    if not os.environ.get("CIAO_LOCKSAN"):
+        return
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import build_lock_graph_from_paths, verify_consistent
+    from repro.analysis.sanitizer import acquisition_counts
+
+    graph = build_lock_graph_from_paths([Path(repro.__file__).parent])
+    observed = verify_consistent(graph.edge_set())  # raises on a cycle
+    counts = acquisition_counts()
+    print(
+        f"\n[locksan] {sum(counts.values())} sanitized acquisitions over "
+        f"{len(counts)} lock(s); {len(observed)} observed order edge(s) "
+        f"consistent with the static graph"
+    )
 
 from repro.core import (
     Budget,

@@ -1,33 +1,20 @@
-"""The public-API contract: ``__all__`` is complete, exact, and importable.
+"""The public-API contract, enforced by ciaolint's api-hygiene checker.
 
-Every package exposes its public surface through ``__all__``; a symbol
-imported into a package namespace but missing from ``__all__`` (or listed
-but not importable) fails here — so the front door cannot silently rot as
-modules grow.
+The per-package ``__all__`` completeness/sortedness/importability tests
+that used to live here were promoted into the static api-hygiene
+checker (``repro.analysis.hygiene``), which covers every package under
+``src`` from the AST alone.  This file is the thin runtime half: one
+assertion that the checker is clean, plus the two contracts a static
+pass cannot express — the roadmap's promised top-level symbol set, and
+actual star-import behavior.
 """
 
 import importlib
-import inspect
+from pathlib import Path
 
-import pytest
+from repro.analysis import run_analysis
 
-PACKAGES = [
-    "repro",
-    "repro.api",
-    "repro.bench",
-    "repro.bitvec",
-    "repro.client",
-    "repro.core",
-    "repro.data",
-    "repro.engine",
-    "repro.fleet",
-    "repro.rawcsv",
-    "repro.rawjson",
-    "repro.server",
-    "repro.simulate",
-    "repro.storage",
-    "repro.workload",
-]
+SRC = Path(__file__).resolve().parents[1] / "src"
 
 #: Symbols the roadmap promises at the top level (the satellite list:
 #: fleet + streaming-query + deployment API symbols, exported
@@ -55,47 +42,22 @@ PROMISED_TOP_LEVEL = {
 }
 
 
-@pytest.mark.parametrize("name", PACKAGES)
-def test_all_is_declared(name):
-    module = importlib.import_module(name)
-    assert hasattr(module, "__all__"), f"{name} has no __all__"
+def test_api_hygiene_is_clean():
+    """Every package __all__ is complete, sorted, and bound (API001-006)."""
+    result = run_analysis([SRC], select=["api-hygiene"], root=SRC.parent)
+    assert [f.render() for f in result.findings] == []
 
 
-@pytest.mark.parametrize("name", PACKAGES)
-def test_all_entries_importable(name):
-    """Every name in ``__all__`` resolves (no stale exports)."""
-    module = importlib.import_module(name)
-    missing = [n for n in module.__all__ if not hasattr(module, n)]
-    assert not missing, f"{name}.__all__ lists unimportable: {missing}"
+def test_all_entries_importable():
+    """Every ``repro.__all__`` name resolves at runtime (no stale exports).
 
-
-@pytest.mark.parametrize("name", PACKAGES)
-def test_no_public_name_outside_all(name):
-    """Every public (non-module) attribute is listed in ``__all__``.
-
-    This is the CI tripwire the satellite asks for: importing a symbol
-    into a package without exporting it fails the suite.
+    The static checker proves each entry is *bound* in the module; this
+    proves the top-level package actually imports — the one failure mode
+    (a broken re-export chain) statics cannot see.
     """
-    module = importlib.import_module(name)
-    public = {
-        attr
-        for attr, value in vars(module).items()
-        if not attr.startswith("_") and not inspect.ismodule(value)
-    }
-    stray = sorted(public - set(module.__all__))
-    assert not stray, (
-        f"{name} imports public names missing from __all__: {stray}"
-    )
-
-
-@pytest.mark.parametrize("name", PACKAGES)
-def test_all_is_sorted_and_unique(name):
-    module = importlib.import_module(name)
-    entries = list(module.__all__)
-    assert entries == sorted(entries), f"{name}.__all__ is not sorted"
-    assert len(entries) == len(set(entries)), (
-        f"{name}.__all__ has duplicates"
-    )
+    repro = importlib.import_module("repro")
+    missing = [n for n in repro.__all__ if not hasattr(repro, n)]
+    assert not missing, f"repro.__all__ lists unimportable: {missing}"
 
 
 def test_promised_symbols_at_top_level():
