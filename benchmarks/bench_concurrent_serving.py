@@ -1,0 +1,300 @@
+"""Concurrent remote query serving: throughput, tails, and exactness.
+
+The service layer's headline claim, measured over real sockets:
+
+1. **Mid-load serving** — while a fleet load is in flight, N remote
+   readers issue ``snapshot_query()`` over TCP against the service and
+   every answer must be internally consistent (monotone non-decreasing
+   ``COUNT(*)`` as the load progresses).  Reported: queries served
+   mid-load and their latency distribution.
+2. **Scaling + identity** — after the load commits, sweeps client counts
+   and reports aggregate queries/sec plus p50/p95/p99 latency per count.
+   Every remote result is asserted *byte-identical* (canonical rows
+   serialization) to the same query executed in-process on the served
+   session.  Asserted unconditionally.
+3. **Saturation** — a service configured with one execution slot and a
+   one-deep queue under a client burst must surface BUSY
+   (:class:`repro.service.RemoteBusyError`) instead of queuing without
+   bound, and recover to serve cleanly afterwards.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_concurrent_serving.py``
+(set ``REPRO_BENCH_SMOKE=1`` for a <60 s smoke configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from conftest import run_once
+
+from repro.api import (
+    Budget,
+    CiaoSession,
+    ClientPopulation,
+    DeploymentConfig,
+    LineSource,
+)
+from repro.bench import emit, emit_json
+from repro.data import make_generator
+from repro.service import (
+    CiaoService,
+    RemoteBusyError,
+    RemoteSession,
+    canonical_result_bytes,
+)
+from repro.workload import table3_workload
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_RECORDS = 1600 if SMOKE else 6000
+CHUNK_SIZE = 200
+N_CLIENTS = 4
+N_SHARDS = 2
+SEED = 20260807
+
+MIDLOAD_READERS = 3
+CLIENT_COUNTS = (1, 2, 4) if SMOKE else (1, 2, 4, 8)
+QUERIES_PER_CLIENT = 8 if SMOKE else 25
+
+SQL_COUNT = "SELECT COUNT(*) FROM t"
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[idx]
+
+
+def _make_session(tmp_path):
+    generator = make_generator("yelp", SEED)
+    source = LineSource(generator.raw_lines(N_RECORDS), name="yelp")
+    workload = table3_workload("yelp", "A", seed=SEED, n_queries=10)
+    config = DeploymentConfig(
+        mode="fleet",
+        n_shards=N_SHARDS,
+        shard_mode="thread",
+        seal_interval=2,
+        chunk_size=CHUNK_SIZE,
+        population=ClientPopulation.generate(N_CLIENTS, seed=SEED),
+        aggregate_budget=Budget(8.0),
+    )
+    session = CiaoSession(workload, source=source, config=config,
+                          data_dir=tmp_path / "served", seed=SEED)
+    session.plan(Budget(20.0), sample_size=min(1000, N_RECORDS),
+                 avg_record_length=160)
+    return session, workload
+
+
+def _midload_reader(address, stop, latencies, counts, errors):
+    try:
+        with RemoteSession(address, client_id=f"mid-{id(stop)}") as remote:
+            while not stop.is_set():
+                start = time.perf_counter()
+                result = remote.snapshot_query(SQL_COUNT)
+                latencies.append(time.perf_counter() - start)
+                counts.append(result.scalar())
+    except Exception as exc:  # pragma: no cover - surfaced by the test
+        errors.append(exc)
+
+
+def _sweep_reader(address, reader_id, latencies, errors):
+    try:
+        with RemoteSession(address,
+                           client_id=f"sweep-{reader_id}") as remote:
+            for _ in range(QUERIES_PER_CLIENT):
+                start = time.perf_counter()
+                remote.query(SQL_COUNT)
+                latencies.append(time.perf_counter() - start)
+    except Exception as exc:  # pragma: no cover - surfaced by the test
+        errors.append(exc)
+
+
+def test_concurrent_remote_serving(benchmark, tmp_path, results_dir):
+    session, workload = _make_session(tmp_path)
+
+    def experiment():
+        service = CiaoService(session)
+        address = service.address
+
+        # 1. Fleet load in flight, N snapshot readers over sockets.
+        job = session.load()
+        stop = threading.Event()
+        mid_lat, mid_counts, errors = [], [], []
+        readers = [
+            threading.Thread(
+                target=_midload_reader,
+                args=(address, stop, mid_lat, mid_counts, errors),
+            )
+            for _ in range(MIDLOAD_READERS)
+        ]
+        for t in readers:
+            t.start()
+        report = job.result()
+        stop.set()
+        for t in readers:
+            t.join()
+
+        # 2. Post-load sweep: queries/sec and tails vs client count.
+        sweep = []
+        for n in CLIENT_COUNTS:
+            latencies = []
+            threads = [
+                threading.Thread(target=_sweep_reader,
+                                 args=(address, f"{n}-{i}",
+                                       latencies, errors))
+                for i in range(n)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            latencies.sort()
+            sweep.append({
+                "clients": n,
+                "queries": len(latencies),
+                "queries_per_second": len(latencies) / elapsed,
+                "p50_ms": _percentile(latencies, 0.50) * 1e3,
+                "p95_ms": _percentile(latencies, 0.95) * 1e3,
+                "p99_ms": _percentile(latencies, 0.99) * 1e3,
+            })
+
+        # 3. Remote ≡ in-process, byte for byte, over the workload.
+        with RemoteSession(address, client_id="verify") as remote:
+            pairs = [
+                (canonical_result_bytes(remote.query(q.sql("t"))),
+                 canonical_result_bytes(session.query(q.sql("t"))))
+                for q in workload.queries
+            ]
+        return service, report, mid_lat, mid_counts, errors, sweep, pairs
+
+    (service, report, mid_lat, mid_counts, errors, sweep,
+     pairs) = run_once(benchmark, experiment)
+    admission = service.admission.stats
+    service.close()
+    session.close()
+
+    assert not errors, f"remote readers failed: {errors[:3]}"
+    assert report.no_record_loss
+    # Mid-load snapshot counts are monotone per reader stream only in
+    # aggregate bounds: none may exceed the final count.
+    assert all(0 <= c <= N_RECORDS for c in mid_counts)
+    for remote_bytes, local_bytes in pairs:
+        assert remote_bytes == local_bytes, (
+            "remote result diverged from in-process execution"
+        )
+    assert admission.granted == admission.completed
+    assert admission.rejected == 0
+
+    mid_lat.sort()
+    lines = [
+        f"concurrent remote serving ({N_RECORDS} records, "
+        f"{N_CLIENTS}-client fleet load, {N_SHARDS} thread shards, "
+        f"{MIDLOAD_READERS} mid-load socket readers):",
+        f"  mid-load: {len(mid_lat)} snapshot queries served during the "
+        f"load, p50 {_percentile(mid_lat, 0.5) * 1e3:.2f} ms, "
+        f"p95 {_percentile(mid_lat, 0.95) * 1e3:.2f} ms",
+        "  post-load sweep:",
+        "  clients   queries/s      p50       p95       p99",
+    ]
+    for row in sweep:
+        lines.append(
+            f"  {row['clients']:7d}   {row['queries_per_second']:9.1f}"
+            f"   {row['p50_ms']:6.2f}ms  {row['p95_ms']:6.2f}ms"
+            f"  {row['p99_ms']:6.2f}ms"
+        )
+    lines.append(
+        f"  admission: granted={admission.granted} "
+        f"completed={admission.completed} rejected={admission.rejected} "
+        f"peak_active={admission.peak_active}"
+    )
+    lines.append(
+        f"  remote ≡ in-process: {len(pairs)} workload queries "
+        f"byte-identical"
+    )
+    emit("concurrent_serving", "\n".join(lines), results_dir)
+    emit_json("BENCH_concurrent_serving", {
+        "config": {
+            "n_records": N_RECORDS,
+            "fleet_clients": N_CLIENTS,
+            "n_shards": N_SHARDS,
+            "shard_mode": "thread",
+            "midload_readers": MIDLOAD_READERS,
+            "queries_per_client": QUERIES_PER_CLIENT,
+            "smoke": SMOKE,
+        },
+        "midload": {
+            "queries_served": len(mid_lat),
+            "p50_ms": _percentile(mid_lat, 0.50) * 1e3,
+            "p95_ms": _percentile(mid_lat, 0.95) * 1e3,
+        },
+        "sweep": sweep,
+        "admission": {
+            "granted": admission.granted,
+            "completed": admission.completed,
+            "rejected": admission.rejected,
+            "peak_active": admission.peak_active,
+            "peak_queued": admission.peak_queued,
+        },
+        "remote_identical_to_inprocess": True,
+    }, results_dir)
+
+
+def test_admission_saturation_surfaces_busy(benchmark, tmp_path,
+                                            results_dir):
+    """One slot, one-deep queue, a burst — BUSY must appear, then heal."""
+    session, _ = _make_session(tmp_path)
+
+    def experiment():
+        session.load().result()
+        service = CiaoService(session, query_max_active=1,
+                              query_max_pending=1,
+                              admission_timeout=0.05)
+        busy = []
+        lock = threading.Lock()
+
+        def hammer(i):
+            with RemoteSession(service.address,
+                               client_id="same-client") as remote:
+                for _ in range(6):
+                    try:
+                        remote.query(SQL_COUNT)
+                    except RemoteBusyError:
+                        with lock:
+                            busy.append(i)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # After the burst, a fresh client is served normally.
+        with RemoteSession(service.address, client_id="after") as remote:
+            final = remote.query(SQL_COUNT).scalar()
+        stats = service.admission.stats
+        service.close()
+        return busy, final, stats
+
+    busy, final, stats = run_once(benchmark, experiment)
+    session.close()
+    assert final == N_RECORDS
+    assert busy, (
+        "a 4-thread burst against max_active=1/max_pending=1 never saw "
+        "BUSY — admission control is not bounding the queue"
+    )
+    assert stats.rejected == len(busy)
+    assert stats.granted == stats.completed
+    emit_json("BENCH_concurrent_serving_saturation", {
+        "burst_threads": 4,
+        "requests_per_thread": 6,
+        "busy_rejections": len(busy),
+        "granted": stats.granted,
+        "completed": stats.completed,
+        "recovered_final_count": final,
+        "smoke": SMOKE,
+    }, results_dir)

@@ -45,7 +45,7 @@ from repro.api import (
     DeploymentConfig,
     LineSource,
 )
-from repro.bench import emit, fleet_table
+from repro.bench import emit, emit_json, fleet_table
 from repro.client import DEFAULT_SHIP_BATCH
 from repro.data import make_generator
 from repro.workload import table3_workload
@@ -196,6 +196,30 @@ def test_fleet_loading(benchmark, tmp_path, results_dir):
         f"  speedup         : {speedup:8.2f}x (floor {floor:.1f}x)",
     ]
     emit("fleet_loading", "\n".join(lines_out), results_dir)
+    emit_json("BENCH_fleet_loading", {
+        "config": {
+            "n_records": N_RECORDS,
+            "n_clients": N_CLIENTS,
+            "n_shards": N_SHARDS,
+            "chunk_size": CHUNK_SIZE,
+            "ship_batch": DEFAULT_SHIP_BATCH,
+            "smoke": SMOKE,
+            "effective_cores": cores,
+        },
+        "serial_seconds": serial_s,
+        "fleet_seconds": fleet_s,
+        "speedup": speedup,
+        "speedup_floor": floor,
+        "fleet_no_record_loss": fleet_report.no_record_loss,
+        "straggler": {
+            "killed_client": fat,
+            "reassignment_events":
+                kill_report.fleet.reassignment_events,
+            "reassigned_records": kill_report.fleet.reassigned_records,
+            "no_record_loss": kill_report.no_record_loss,
+            "wall_seconds": kill_report.wall_seconds,
+        },
+    }, results_dir)
 
     for session in (serial_session, fleet_session, kill_session):
         session.close()

@@ -29,7 +29,11 @@ import time
 
 from conftest import run_once
 
-from repro.bench import emit
+from repro.bench import emit, emit_json
+
+#: Shared machine-readable payload; both tests write into it so the JSON
+#: document accretes whichever halves of the bench actually ran.
+_PAYLOAD = {}
 from repro.rawjson import JsonChunk, dump_record
 from repro.server import CiaoServer
 
@@ -167,6 +171,27 @@ def test_streaming_query_latency_and_exactness(benchmark, tmp_path,
         f"malformed={summary.malformed} (quarantined raw)",
     ]
     emit("streaming_query_progress", "\n".join(lines), results_dir)
+    _PAYLOAD["streaming_progress"] = {
+        "config": {
+            "n_shards": N_SHARDS,
+            "stream_chunks": STREAM_CHUNKS,
+            "records_per_chunk": STREAM_CHUNK_RECORDS,
+            "smoke": SMOKE,
+        },
+        "checkpoints": [
+            {"chunks_sent": point, "chunks_covered": covered,
+             "query_latency_ms": latency * 1e3}
+            for point, covered, latency in rows
+        ],
+        "accounting": {
+            "received": summary.received,
+            "loaded": summary.loaded,
+            "sidelined": summary.sidelined,
+            "malformed": summary.malformed,
+        },
+        "answers_match_serial_prefix": True,
+    }
+    emit_json("BENCH_streaming_query", _PAYLOAD, results_dir)
     assert summary.malformed == STREAM_CHUNKS * MALFORMED_PER_CHUNK
     assert summary.received == STREAM_CHUNKS * STREAM_CHUNK_RECORDS
 
@@ -218,6 +243,21 @@ def test_work_stealing_speedup_on_skewed_chunks(benchmark, tmp_path,
         f"(== {rr_summary.malformed} round-robin)",
     ]
     emit("streaming_query_work_stealing", "\n".join(lines), results_dir)
+    _PAYLOAD["work_stealing"] = {
+        "config": {
+            "n_shards": N_SHARDS,
+            "skew_rounds": SKEW_ROUNDS,
+            "big_chunk_records": SKEW_BIG,
+            "small_chunk_records": SKEW_SMALL,
+            "effective_cores": cores,
+            "smoke": SMOKE,
+        },
+        "round_robin_seconds": rr_seconds,
+        "work_stealing_seconds": ws_seconds,
+        "speedup": speedup,
+        "speedup_floor": floor,
+    }
+    emit_json("BENCH_streaming_query", _PAYLOAD, results_dir)
 
     # Identical accounting regardless of dispatch policy.
     assert ws_summary.received == rr_summary.received

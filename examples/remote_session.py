@@ -1,0 +1,132 @@
+"""Remote serving: one server process, N client processes, real sockets.
+
+The paper's deployment story end to end across process boundaries: a
+server process plans the pushdown and serves a `CiaoSession` through
+`CiaoService`; client processes dial in with `RemoteSession`, fetch the
+plan over the wire, evaluate the pushed-down predicates *locally* on
+their own records (the client-assisted part), and stream annotated
+chunks back.  One client commits the load, then every client — plus a
+late-arriving reader — queries the same store concurrently and gets
+byte-identical answers.
+
+Run:  python examples/remote_session.py
+"""
+
+import multiprocessing as mp
+
+from repro.api import Budget, CiaoSession
+from repro.data import make_generator
+from repro.service import CiaoService, RemoteSession
+from repro.workload import table3_workload
+
+N_CLIENTS = 3
+RECORDS_PER_CLIENT = 3_000
+SEED = 7
+
+SQL = [
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(*) FROM t WHERE stars = 5",
+]
+
+
+def server_process(address_queue, done_queue):
+    """Plan a session, serve it, and wait for the clients to finish."""
+    workload = table3_workload("yelp", "A", seed=SEED, n_queries=10)
+    with CiaoSession(workload, source="yelp", seed=SEED) as session:
+        session.plan(Budget(20.0))
+        with CiaoService(session) as service:
+            address_queue.put(service.address)
+            # Block until the driver says every client is done.
+            done_queue.get()
+            count = session.query(SQL[0]).scalar()
+            print(f"[server] in-process check: COUNT(*) = {count}")
+
+
+def client_process(address, client_id, client_seed, result_queue):
+    """Ship one partition of records, then read back through the wire."""
+    generator = make_generator("yelp", client_seed)
+    records = list(generator.raw_lines(RECORDS_PER_CLIENT))
+    with RemoteSession(address, client_id=client_id) as remote:
+        accepted = remote.load(records, source_id=client_id)
+        print(f"[{client_id}] shipped {len(records)} records "
+              f"({accepted} chunk frames, plan evaluated client-side)")
+        result_queue.put((client_id, accepted))
+
+
+def reader_process(address, name, result_queue):
+    """A pure reader: no ingest, just admission-controlled queries."""
+    with RemoteSession(address, client_id=name) as remote:
+        answers = [remote.query(sql).scalar() for sql in SQL]
+        result_queue.put((name, answers))
+
+
+def main() -> None:
+    ctx = mp.get_context("spawn")
+    address_queue = ctx.Queue()
+    done_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+
+    server = ctx.Process(target=server_process,
+                         args=(address_queue, done_queue))
+    server.start()
+    spawned = [server]
+    try:
+        address = address_queue.get(timeout=60)
+        print(f"[driver] service listening on {address[0]}:{address[1]}")
+
+        # N clients ingest concurrently, each its own process and socket.
+        clients = [
+            ctx.Process(target=client_process,
+                        args=(address, f"client-{i}", SEED + i,
+                              result_queue))
+            for i in range(N_CLIENTS)
+        ]
+        spawned += clients
+        for proc in clients:
+            proc.start()
+        for _ in clients:
+            result_queue.get(timeout=120)
+        for proc in clients:
+            proc.join()
+
+        # Any client may commit; here the driver does it from its own
+        # connection, sealing every source at once.
+        with RemoteSession(address, client_id="driver") as remote:
+            report = remote.commit()
+            expected = N_CLIENTS * RECORDS_PER_CLIENT
+            print(f"[driver] committed: received={report['received']} "
+                  f"loaded={report['loaded']} "
+                  f"sidelined={report['sidelined']} "
+                  f"(expected {expected})")
+            assert report["received"] == expected
+
+        # Concurrent readers, each a fresh process + socket.
+        readers = [
+            ctx.Process(target=reader_process,
+                        args=(address, f"reader-{i}", result_queue))
+            for i in range(N_CLIENTS)
+        ]
+        spawned += readers
+        for proc in readers:
+            proc.start()
+        answers = [result_queue.get(timeout=60) for _ in readers]
+        for proc in readers:
+            proc.join()
+
+        baseline = answers[0][1]
+        for name, got in answers:
+            print(f"[{name}] answers: {got}")
+            assert got == baseline, "remote readers disagreed"
+        print("[driver] all remote readers agree; shutting down")
+
+        done_queue.put(True)
+        server.join(timeout=60)
+    finally:
+        for proc in spawned:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,10 @@ Swap the session's :class:`~repro.api.DeploymentConfig` to go sharded
 (``mode="sharded"`` — query *while* loading via
 ``job.snapshot_query(...)``) or to a coordinated heterogeneous fleet
 (``mode="fleet"`` — per-client budgets, backpressure, straggler
-reassignment, declarative — optionally lossy — channels).
+reassignment, declarative — optionally lossy — channels).  To serve a
+session over a real socket to concurrent remote clients, wrap it in a
+:class:`~repro.service.CiaoService` and dial in with
+:class:`~repro.service.RemoteSession` (see :mod:`repro.service`).
 
 The low-level layer the session composes (``CiaoOptimizer``,
 ``CiaoServer``, ``SimulatedClient``, ``FleetCoordinator``, channels)
@@ -34,6 +37,7 @@ table and figure.
 """
 
 from .api import (
+    AsyncSession,
     CiaoSession,
     DataSource,
     DeploymentConfig,
@@ -86,7 +90,8 @@ from .server import (
     LoadSummary,
     ServerConfig,
 )
-from .simulate import (
+from .service import CiaoService, RemoteSession
+from .transport import (
     Channel,
     ChannelSpec,
     FileChannel,
@@ -94,18 +99,22 @@ from .simulate import (
     LinkModel,
     LossyChannel,
     MemoryChannel,
+    SocketChannel,
+    SocketListener,
     make_channel,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "APPROXIMATION_GUARANTEE",
+    "AsyncSession",
     "Budget",
     "Channel",
     "ChannelSpec",
     "CiaoOptimizer",
     "CiaoServer",
+    "CiaoService",
     "CiaoSession",
     "Clause",
     "ClientAssistedLoader",
@@ -136,11 +145,14 @@ __all__ = [
     "PushdownEntry",
     "PushdownPlan",
     "Query",
+    "RemoteSession",
     "SelectionObjective",
     "SelectionResult",
     "ServerConfig",
     "SimplePredicate",
     "SimulatedClient",
+    "SocketChannel",
+    "SocketListener",
     "UnsupportedPredicateError",
     "Workload",
     "__version__",

@@ -9,8 +9,8 @@ stray ``struct.error``.
 
 Scope: modules with the ``protocol`` role — ``client/protocol.py``,
 ``rawjson/``/``rawcsv/``, ``storage/encodings.py``, ``storage/pages.py``,
-``core/plan_io.py``, or any file declaring
-``# ciaolint: module-role=protocol``.
+``core/plan_io.py``, the ``transport/`` frame- and message-decode paths,
+or any file declaring ``# ciaolint: module-role=protocol``.
 
 Rules:
 

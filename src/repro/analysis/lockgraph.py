@@ -16,6 +16,15 @@ where the cost of a false edge is a review, and the runtime sanitizer
 (:mod:`repro.analysis.sanitizer`) cross-checks the graph against orders
 a real run actually observed.
 
+The review's verdict is recorded inline: a call site marked
+``# ciaolint: allow[LCK002] -- reason`` is excluded from the call graph
+— the reviewer asserts the call's *real* binding acquires no project
+locks, so the conservative name union (e.g. ``.close()`` matching every
+class with a ``close`` method) must not poison its callers' effects.
+That keeps a reviewed false edge from fabricating a cycle, both here
+and in the sanitizer's static/observed union, while the orders real
+executions take remain fully checked at runtime.
+
 ``@guarded_by("_lock")`` methods are analyzed as if their body ran with
 that lock held, so the requirement propagates to their callers' edges.
 """
@@ -302,6 +311,14 @@ def _callee_ref(func: ast.AST) -> Optional[Tuple[str, str]]:
 def build_lock_graph(project: Project) -> LockGraph:
     """Assemble the cross-module lock graph for *project*."""
     graph = LockGraph()
+    # Call sites whose derived edges a reviewer has waived (false edges
+    # from conservative name resolution).
+    waived: Set[Tuple[str, int]] = {
+        (module.rel_path, marker.line)
+        for module in project.modules
+        for marker in module.allow_markers
+        if marker.covers("LCK002", "lock-discipline")
+    }
     all_classes: List[ClassInfo] = []
     facts_by_key: Dict[Tuple[str, Optional[str], str], FunctionFacts] = {}
     # Indexes for call resolution.
@@ -329,6 +346,10 @@ def build_lock_graph(project: Project) -> LockGraph:
         )
         for stmt in func.body:
             visitor.visit(stmt)
+        facts.calls = [
+            call for call in facts.calls
+            if (facts.rel_path, call[2]) not in waived
+        ]
         return facts
 
     for module in project.modules:

@@ -43,6 +43,7 @@ _ROLE_BY_SEGMENT = {
     "workload": "workload",
     "rawjson": "protocol",
     "rawcsv": "protocol",
+    "transport": "protocol",
 }
 _ROLE_BY_FILENAME = {
     "protocol.py": "protocol",

@@ -15,7 +15,11 @@ system (the low-level constructors stay public underneath it):
   :class:`LoadReport` accounting contract;
 * :func:`make_channel` and the composable channel decorators
   (:class:`LossyChannel`, :class:`LatencyChannel`) for declarative,
-  replayable transport — including flaky networks.
+  replayable transport — including flaky networks — re-exported from
+  :mod:`repro.transport`;
+* :class:`AsyncSession` — an ``async``/``await`` face over a blocking
+  local or remote session (see :mod:`repro.service` for the network
+  service itself).
 
 Commonly-needed core symbols (budgets, workload building blocks) are
 re-exported so a quickstart needs only ``repro.api`` imports.
@@ -37,7 +41,7 @@ from ..core.predicates import (
 )
 from ..fleet.population import ClientPopulation, FleetClientSpec
 from ..server.ciao import CiaoServer, ServerConfig
-from ..simulate.network import (
+from ..transport import (
     Channel,
     ChannelSpec,
     FileChannel,
@@ -48,6 +52,7 @@ from ..simulate.network import (
     make_channel,
     per_client_channels,
 )
+from .aio import AsyncSession
 from .config import (
     DEFAULT_N_CLIENTS,
     DEFAULT_N_SHARDS,
@@ -67,6 +72,7 @@ from .source import (
 )
 
 __all__ = [
+    "AsyncSession",
     "Budget",
     "Channel",
     "ChannelSpec",

@@ -1,0 +1,100 @@
+"""AsyncSession: an asyncio face over the blocking session API.
+
+The session layer stays thread-based (loads run on worker threads,
+queries block in the engine); :class:`AsyncSession` adapts either a
+:class:`~repro.api.session.CiaoSession` or a
+:class:`~repro.service.remote.RemoteSession` to ``async``/``await`` by
+pushing each blocking call onto the event loop's executor.  Concurrency
+between a load and mid-load snapshot queries then reads naturally::
+
+    async with AsyncSession(CiaoSession(workload, config=cfg)) as s:
+        load = asyncio.ensure_future(s.load("yelp", n_records=100_000))
+        while not load.done():
+            count = (await s.snapshot_query(
+                "SELECT COUNT(*) FROM t")).scalar()
+            ...
+        report = await load
+
+No event loop, thread pool, or session state is created here beyond the
+wrapper itself — the executor is the loop's default unless one is
+injected — so the adapter composes with any asyncio application.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Optional
+
+
+class AsyncSession:
+    """``await``-able facade over a blocking (remote or local) session.
+
+    Args:
+        session: A :class:`~repro.api.session.CiaoSession`, a
+            :class:`~repro.service.remote.RemoteSession`, or anything
+            with the same ``load``/``query`` duck type.
+        executor: Executor for the blocking calls (``None`` = the event
+            loop's default thread pool).
+    """
+
+    def __init__(self, session: Any, executor: Any = None):
+        self._session = session
+        self._executor = executor
+
+    @property
+    def session(self) -> Any:
+        """The wrapped blocking session."""
+        return self._session
+
+    # ------------------------------------------------------------------
+    async def _run(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        call = functools.partial(fn, *args, **kwargs)
+        return await loop.run_in_executor(self._executor, call)
+
+    # ------------------------------------------------------------------
+    async def plan(self, *args, **kwargs):
+        """Await ``session.plan(...)`` (local sessions only)."""
+        return await self._run(self._session.plan, *args, **kwargs)
+
+    async def load(self, *args, **kwargs):
+        """Run a load to completion off the event loop.
+
+        For a local :class:`CiaoSession`, awaits the whole job — the
+        returned value is the :class:`~repro.api.report.LoadReport` (the
+        job's ``result()`` is collected on the executor thread, so the
+        event loop never blocks on the join).  For a
+        :class:`RemoteSession`, returns its accepted-frame count.
+
+        Start it as a task (``asyncio.ensure_future``) to overlap with
+        :meth:`snapshot_query` calls.
+        """
+        outcome = await self._run(self._session.load, *args, **kwargs)
+        result = getattr(outcome, "result", None)
+        if callable(result):
+            return await self._run(result)
+        return outcome
+
+    async def query(self, sql: str):
+        """Await ``session.query(sql)``."""
+        return await self._run(self._session.query, sql)
+
+    async def snapshot_query(self, sql: str):
+        """Await ``session.snapshot_query(sql)`` (mid-load reads)."""
+        return await self._run(self._session.snapshot_query, sql)
+
+    async def commit(self):
+        """Await ``session.commit()`` (remote sessions)."""
+        return await self._run(self._session.commit)
+
+    async def close(self) -> None:
+        """Await ``session.close()``."""
+        await self._run(self._session.close)
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "AsyncSession":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

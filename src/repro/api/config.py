@@ -24,7 +24,7 @@ from ..fleet.population import ClientPopulation
 from ..rawjson.chunks import DEFAULT_CHUNK_SIZE
 from ..server.ciao import ServerConfig, validate_server_options
 from ..server.pipeline import DEFAULT_SEAL_INTERVAL
-from ..simulate.network import ChannelLike
+from ..transport import ChannelLike
 from ..storage.schema import Schema
 
 #: The deployment shapes a session can run.
@@ -35,6 +35,12 @@ DEFAULT_N_SHARDS = 2
 
 #: Default fleet size when no population is given.
 DEFAULT_N_CLIENTS = 8
+
+#: Query-side per-client backpressure bound, mirroring the ingest-side
+#: :data:`~repro.fleet.coordinator.DEFAULT_MAX_PENDING`: a remote client
+#: may have at most this many queries queued before the service answers
+#: BUSY instead of accepting more.
+DEFAULT_QUERY_MAX_PENDING = 8
 
 
 @dataclass(frozen=True)
@@ -55,7 +61,7 @@ class DeploymentConfig:
         chunk_size: Records per client chunk.
         ship_batch: Chunk frames concatenated per channel message.
         channel: Transport spec (see
-            :func:`repro.simulate.network.make_channel`); ``None`` is an
+            :func:`repro.transport.make_channel`); ``None`` is an
             in-memory channel.  Fleets derive one independently-seeded
             channel per client from it.
         n_clients: Fleet size when generating a population.
@@ -68,6 +74,14 @@ class DeploymentConfig:
         max_active: Admission control (fleet; ``None`` = all at once).
         realloc_interval: Online budget re-allocation cadence in drained
             chunks (fleet; ``None`` disables).
+        query_max_active: Query-side admission control when the session
+            is served remotely (:class:`repro.service.CiaoService`):
+            at most this many queries execute concurrently (``None`` =
+            unbounded) — the read-path mirror of *max_active*.
+        query_max_pending: Query-side per-client backpressure bound: a
+            remote client with this many queries already queued gets
+            BUSY instead of unbounded queueing — the read-path mirror
+            of *max_pending*.
     """
 
     mode: str = "serial"
@@ -88,6 +102,8 @@ class DeploymentConfig:
     max_pending: int = DEFAULT_MAX_PENDING
     max_active: Optional[int] = None
     realloc_interval: Optional[int] = None
+    query_max_active: Optional[int] = None
+    query_max_pending: int = DEFAULT_QUERY_MAX_PENDING
 
     def __post_init__(self) -> None:
         if self.mode not in DEPLOYMENT_MODES:
@@ -135,6 +151,16 @@ class DeploymentConfig:
         if self.max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.query_max_pending < 1:
+            raise ValueError(
+                f"query_max_pending must be >= 1, "
+                f"got {self.query_max_pending}"
+            )
+        if self.query_max_active is not None and self.query_max_active < 1:
+            raise ValueError(
+                f"query_max_active must be >= 1 or None, "
+                f"got {self.query_max_active}"
             )
 
     # ------------------------------------------------------------------

@@ -40,7 +40,7 @@ from ..engine.executor import QueryResult
 from ..fleet.coordinator import FleetCoordinator
 from ..fleet.population import ClientPopulation
 from ..server.ciao import CiaoServer
-from ..simulate.network import Channel, make_channel, per_client_channels
+from ..transport import Channel, make_channel, per_client_channels
 from ..workload.selectivity import estimate_selectivities
 from .config import DeploymentConfig
 from .report import LoadReport
@@ -94,6 +94,10 @@ class LoadJob:
         self._coordinator: Optional[FleetCoordinator] = None
         # guarded-by: <written by the load thread, read after wait()/join>
         self._fleet_report = None
+        # Externally-fed loads (a network service pushing chunks) have no
+        # load thread; completion is signalled through an event instead.
+        self._external = False
+        self._finished: Optional[threading.Event] = None
 
     # ------------------------------------------------------------------
     @property
@@ -103,7 +107,9 @@ class LoadJob:
 
     @property
     def done(self) -> bool:
-        """True once the load thread has finished (success or failure)."""
+        """True once the load has finished (success or failure)."""
+        if self._external:
+            return self._finished.is_set()
         return self._thread is not None and not self._thread.is_alive()
 
     def progress(self) -> LoadProgress:
@@ -151,11 +157,38 @@ class LoadJob:
         return self.server.query(sql)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until the load thread finishes; True if it did."""
+        """Block until the load finishes; True if it did."""
+        if self._external:
+            return self._finished.wait(timeout)
         if self._thread is not None:
             self._thread.join(timeout)
             return not self._thread.is_alive()
         return True
+
+    def finish_external(self, timeout: Optional[float] = None
+                        ) -> LoadReport:
+        """Seal an externally-fed load and return its report.
+
+        The external counterpart of the worker thread's finalize: the
+        feeder (e.g. a :class:`repro.service.CiaoService` handling a
+        remote COMMIT) calls this once every chunk has been ingested.
+        Idempotent — concurrent callers race only on identical writes,
+        and the underlying ``finalize_loading`` is itself idempotent.
+        """
+        if not self._external:
+            raise RuntimeError(
+                "finish_external() only applies to external loads "
+                "(see CiaoSession.external_load)"
+            )
+        if not self._finished.is_set():
+            try:
+                self._summary = self.server.finalize_loading()
+            except BaseException as exc:  # ciaolint: allow[API006] -- surfaced by result()
+                self._error = exc
+            finally:
+                self._wall = time.perf_counter() - self._started
+                self._finished.set()
+        return self.result(timeout)
 
     def result(self, timeout: Optional[float] = None) -> LoadReport:
         """The unified load report (joins the load and finalizes).
@@ -373,6 +406,37 @@ class CiaoSession:
         self._jobs.append(job)
         return job
 
+    def external_load(self) -> LoadJob:
+        """Start a load whose data arrives from outside the session.
+
+        The session builds a fresh server exactly as :meth:`load` does,
+        but ships nothing itself: the caller feeds chunks through
+        ``job.server`` ingest sessions (this is how a
+        :class:`repro.service.CiaoService` routes remote clients' data
+        in) and seals the load with :meth:`LoadJob.finish_external`.
+        Progress/snapshot/query semantics match a thread-driven job.
+        """
+        self._check_open()
+        active = self.last_job
+        if active is not None and not active.done and \
+                active._report is None:
+            raise RuntimeError(
+                "a load is already running on this session; collect "
+                "job.result() first"
+            )
+        server = CiaoServer.from_config(
+            self.config.server_config(
+                self.data_dir / f"load-{len(self._jobs)}"
+            ),
+            plan=self._plan,
+            workload=self.workload,
+        )
+        job = LoadJob(server, self.config, None)
+        job._external = True
+        job._finished = threading.Event()
+        self._jobs.append(job)
+        return job
+
     def _start_serial(self, job: LoadJob, src: DataSource) -> None:
         client = SimulatedClient(
             "session-client",
@@ -466,6 +530,25 @@ class CiaoSession:
         job.result()
         return job.server.query(sql)
 
+    def snapshot_query(self, sql: str) -> QueryResult:
+        """Answer *sql* against the loaded-so-far snapshot, mid-load.
+
+        The session-level convenience over
+        :meth:`LoadJob.snapshot_query`: while a streaming-capable load is
+        in flight this answers from the consistent loaded-so-far view
+        without waiting; once the load is done (or when the deployment
+        cannot stream) it behaves exactly like :meth:`query`.
+        """
+        self._check_open()
+        job = self.last_job
+        if job is None:
+            raise RuntimeError(
+                "nothing loaded on this session yet: call load() first"
+            )
+        if not job.done and self.config.streaming_queries:
+            return job.snapshot_query(sql)
+        return self.query(sql)
+
     def run_workload(self, queries: Optional[Iterable[Query]] = None
                      ) -> List[QueryResult]:
         """Run the prospective workload (or *queries*) to completion."""
@@ -493,7 +576,12 @@ class CiaoSession:
         for job in self._jobs:
             if job._report is None:
                 try:
-                    job.result()
+                    if job._external and not job.done:
+                        # An abandoned external load would wait forever
+                        # for a feeder that is gone; seal it instead.
+                        job.finish_external()
+                    else:
+                        job.result()
                 except BaseException:  # ciaolint: allow[API006] -- closing must not mask the caller's exception
                     pass
         self._closed = True

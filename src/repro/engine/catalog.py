@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..analysis.sanitizer import make_lock
 from ..core.predicates import Clause
 from ..storage.columnar import ParquetLiteReader
 from ..storage.jsonstore import JsonSideStore
@@ -39,8 +40,15 @@ class TableEntry:
     side_store: Optional[JsonSideStore] = None
     #: Pushed-down clause → predicate id (empty when nothing was pushed).
     pushdown: Dict[Clause, int] = field(default_factory=dict)
+    # guarded-by: _readers_lock
     _readers: Optional[List[ParquetLiteReader]] = field(
         default=None, repr=False, compare=False
+    )
+    #: Serializes reader-cache population and teardown: concurrent first
+    #: queries must not each open (and then leak) a reader set.
+    _readers_lock: object = field(
+        default_factory=lambda: make_lock("TableEntry._readers_lock"),
+        repr=False, compare=False,
     )
     #: Snapshot-scan mode state: the sideline view queries should scan
     #: instead of ``side_store``, and the snapshot version it came from.
@@ -67,20 +75,22 @@ class TableEntry:
         called after new files are registered.  Paths that do not exist yet
         are skipped: a freshly registered table is legitimately empty.
         """
-        if self._readers is None:
-            self._readers = [
-                ParquetLiteReader(path)
-                for path in self.parquet_paths
-                if Path(path).exists()
-            ]
-        return self._readers
+        with self._readers_lock:
+            if self._readers is None:
+                self._readers = [
+                    ParquetLiteReader(path)
+                    for path in self.parquet_paths
+                    if Path(path).exists()
+                ]
+            return self._readers
 
     def invalidate(self) -> None:
         """Close cached readers; call after loading new files."""
-        if self._readers is not None:
-            for reader in self._readers:
-                reader.close()
-            self._readers = None
+        with self._readers_lock:
+            if self._readers is not None:
+                for reader in self._readers:
+                    reader.close()  # ciaolint: allow[LCK002] -- ParquetLiteReader.close is lock-free; `.close()` name union binds wider
+                self._readers = None
 
     def pushed_id(self, clause: Clause) -> Optional[int]:
         """Predicate id for *clause* if it was pushed down."""

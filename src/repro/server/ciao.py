@@ -27,7 +27,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..analysis.annotations import guarded_by
-from ..analysis.sanitizer import make_rlock
+from ..analysis.sanitizer import make_lock, make_rlock
 from ..client.protocol import decode_chunk, decode_chunk_stream, split_frames
 from ..core.optimizer import PushdownPlan
 from ..core.predicates import Query, Workload
@@ -238,7 +238,7 @@ class CiaoServer:
                 schema=schema,
                 required_predicate_ids=required_ids,
             )
-        self._sessions: Dict[str, IngestSession] = {}
+        self._sessions: Dict[str, IngestSession] = {}  # guarded-by: _ingest_lock
         self.catalog = Catalog()
         self._table = TableEntry(
             name=table_name,
@@ -258,6 +258,13 @@ class CiaoServer:
         # finalize mutates the catalog entry a query scans.  Reentrant
         # because a serial query() auto-finalizes through the same lock.
         self._lifecycle_lock = make_rlock("CiaoServer._lifecycle_lock")
+        # Serializes chunk submission: the serial loader buffers rows and
+        # the sharded pipeline's submit() assumes one submitting thread,
+        # but remote serving (CiaoService) ingests from one router thread
+        # per connection.  Also guards _sessions registration.  Ordering:
+        # finalize_loading() takes _lifecycle_lock then _ingest_lock;
+        # ingest paths take _ingest_lock alone — the graph stays acyclic.
+        self._ingest_lock = make_lock("CiaoServer._ingest_lock")
 
     @classmethod
     def from_config(cls, config: ServerConfig,
@@ -307,28 +314,36 @@ class CiaoServer:
 
     def _ingest_any(self, chunk: Union[JsonChunk, bytes],
                     source: Optional[str] = None) -> int:
-        """Shared ingest core; returns the number of frames ingested."""
+        """Shared ingest core; returns the number of frames ingested.
+
+        Safe to call from many threads: remote serving ingests from one
+        router thread per connection, while the serial loader and the
+        pipeline's ``submit`` both assume a single submitter.
+        """
         if not isinstance(chunk, (bytes, bytearray, memoryview)):
             self._ingest_one(chunk, source)
             return 1
         if self._pipeline is not None:
             count = 0
-            for frame in split_frames(chunk):
-                self._pipeline.submit(frame, source=source)
-                count += 1
+            with self._ingest_lock:
+                for frame in split_frames(chunk):
+                    self._pipeline.submit(frame, source=source)
+                    count += 1
             return count
         count = 0
-        for decoded in decode_chunk_stream(chunk):
-            self._loader.ingest(decoded)
-            count += 1
+        with self._ingest_lock:
+            for decoded in decode_chunk_stream(chunk):
+                self._loader.ingest(decoded)
+                count += 1
         return count
 
     def _ingest_one(self, chunk: JsonChunk,
                     source: Optional[str] = None) -> None:
-        if self._pipeline is not None:
-            self._pipeline.submit(chunk, source=source)
-        else:
-            self._loader.ingest(chunk)
+        with self._ingest_lock:
+            if self._pipeline is not None:
+                self._pipeline.submit(chunk, source=source)
+            else:
+                self._loader.ingest(chunk)
 
     def ingest_channel(self, channel: Channel) -> int:
         """Drain a channel; returns the number of chunk frames ingested.
@@ -342,10 +357,11 @@ class CiaoServer:
         self._check_loading("ingest_channel")
         count = 0
         for frame in channel.drain_chunks():
-            if self._pipeline is not None:
-                self._pipeline.submit(frame)
-            else:
-                self._loader.ingest(decode_chunk(frame))
+            with self._ingest_lock:
+                if self._pipeline is not None:
+                    self._pipeline.submit(frame)
+                else:
+                    self._loader.ingest(decode_chunk(frame))
             count += 1
         return count
 
@@ -360,27 +376,30 @@ class CiaoServer:
         accounting would conflate the two streams.
         """
         self._check_loading("open_ingest_session")
-        existing = self._sessions.get(source_id)
-        if existing is not None and not existing.closed:
-            raise ValueError(
-                f"ingest session {source_id!r} is already open"
-            )
-        if existing is not None:
-            raise ValueError(
-                f"source {source_id!r} already ingested on this server; "
-                f"per-source accounting would conflate the two streams"
-            )
-        session = IngestSession(self, source_id)
-        self._sessions[source_id] = session
-        return session
+        with self._ingest_lock:
+            existing = self._sessions.get(source_id)
+            if existing is not None and not existing.closed:
+                raise ValueError(
+                    f"ingest session {source_id!r} is already open"
+                )
+            if existing is not None:
+                raise ValueError(
+                    f"source {source_id!r} already ingested on this "
+                    f"server; per-source accounting would conflate the "
+                    f"two streams"
+                )
+            session = IngestSession(self, source_id)
+            self._sessions[source_id] = session
+            return session
 
     @property
     def ingest_sources(self) -> Dict[str, int]:
         """Chunk frames ingested per source id (open + closed sessions)."""
-        return {
-            source_id: session.chunks
-            for source_id, session in self._sessions.items()
-        }
+        with self._ingest_lock:
+            return {
+                source_id: session.chunks
+                for source_id, session in self._sessions.items()
+            }
 
     def _check_loading(self, operation: str) -> None:
         if self._loading_finalized:
@@ -397,9 +416,9 @@ class CiaoServer:
         sealed, their Parquet parts registered (shard-major order) and
         their sidelines folded into the table's store.
         """
-        with self._lifecycle_lock:
+        with self._lifecycle_lock, self._ingest_lock:
             for session in self._sessions.values():
-                session.close()
+                session.close()  # ciaolint: allow[LCK002] -- IngestSession.close only flips a flag; `.close()` name union binds wider
             if self._pipeline is not None:
                 summary = self._pipeline.finalize()
                 parquet_paths = self._pipeline.parquet_paths

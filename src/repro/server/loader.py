@@ -204,7 +204,7 @@ class ClientAssistedLoader:
         No-op when no part is open.
         """
         if self._writer is not None:
-            self._writer.close()
+            self._writer.close()  # ciaolint: allow[LCK002] -- ParquetLiteWriter.close takes no locks; the `.close()` name union binds wider
             self._writer = None
 
     @property
@@ -221,7 +221,7 @@ class ClientAssistedLoader:
         """Seal the Parquet-lite file; idempotent."""
         if not self._finalized:
             if self._writer is not None:
-                self._writer.close()
+                self._writer.close()  # ciaolint: allow[LCK002] -- ParquetLiteWriter.close takes no locks; the `.close()` name union binds wider
                 self._writer = None
             self._finalized = True
         return self.summary
@@ -235,7 +235,7 @@ class ClientAssistedLoader:
         elif not schema_covers(self._schema, needed):
             self._schema = merge_schemas(self._schema, needed)
             if self._writer is not None:
-                self._writer.close()
+                self._writer.close()  # ciaolint: allow[LCK002] -- ParquetLiteWriter.close takes no locks; the `.close()` name union binds wider
                 self._writer = None
         if self._writer is None:
             part = self.parquet_path.with_suffix(

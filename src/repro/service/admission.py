@@ -1,0 +1,184 @@
+"""Query-side admission control: fair, bounded, backpressured.
+
+The read-path mirror of the fleet coordinator's ingest-side admission
+(``max_active`` slots, ``max_pending`` per-channel backpressure): a
+:class:`QueryAdmission` bounds how many remote queries execute
+concurrently (*max_active*) and how many each client may have queued
+(*max_pending*).  Saturation is surfaced immediately —
+:class:`AdmissionSaturated` maps to a BUSY reply on the wire — instead
+of letting one chatty client queue without bound and starve the rest.
+
+Fairness is round-robin across clients: when a slot frees, the grant
+goes to the longest-waiting ticket of the next client in rotation, not
+to whichever client submitted the most requests.  All state sits under
+one condition variable; no lock is held while a query executes, so the
+admission layer adds no edges under the server's lifecycle lock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Set
+
+from ..analysis.annotations import guarded_by
+from ..analysis.sanitizer import make_condition
+from ..api.config import DEFAULT_QUERY_MAX_PENDING
+
+
+class AdmissionSaturated(RuntimeError):
+    """The admission queue rejected a query (bounds or timeout)."""
+
+
+@dataclass
+class AdmissionStats:
+    """Aggregate accounting for one :class:`QueryAdmission`."""
+
+    granted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    peak_active: int = 0
+    peak_queued: int = 0
+
+
+class QueryAdmission:
+    """Slot-based query admission with per-client fairness.
+
+    Args:
+        max_active: Concurrent execution slots (``None`` = unbounded —
+            every ticket is granted immediately; the per-client queue
+            bound still applies to pathological bursts).
+        max_pending: Per-client queue bound: a client with this many
+            tickets already waiting gets :class:`AdmissionSaturated`
+            instead of a longer queue.
+
+    Protocol: :meth:`acquire` a ticket (blocks until granted, honoring
+    round-robin order across clients), run the query, :meth:`release`
+    the ticket in a ``finally``.
+    """
+
+    def __init__(self, max_active: Optional[int] = None,
+                 max_pending: int = DEFAULT_QUERY_MAX_PENDING):
+        if max_active is not None and max_active < 1:
+            raise ValueError(
+                f"max_active must be >= 1 or None, got {max_active}"
+            )
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.max_active = max_active
+        self.max_pending = max_pending
+        self.stats = AdmissionStats()
+        self._cond = make_condition("QueryAdmission._cond")
+        #: client_id -> waiting tickets, oldest first.
+        self._queues: Dict[str, Deque[int]] = {}  # guarded-by: _cond
+        #: Round-robin rotation of known client ids.
+        self._rr: Deque[str] = deque()  # guarded-by: _cond
+        self._grants: Set[int] = set()  # guarded-by: _cond
+        self._active = 0  # guarded-by: _cond
+        self._next_ticket = 0  # guarded-by: _cond
+
+    # ------------------------------------------------------------------
+    def acquire(self, client_id: str,
+                timeout: Optional[float] = None) -> int:
+        """Wait for an execution slot; returns the granted ticket.
+
+        Raises :class:`AdmissionSaturated` immediately when *client_id*
+        already has *max_pending* tickets waiting, or on *timeout*
+        (the withdrawn ticket frees its queue slot).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cond:
+            queue = self._queues.get(client_id)
+            if queue is None:
+                queue = deque()
+                self._queues[client_id] = queue
+                self._rr.append(client_id)
+            if len(queue) >= self.max_pending:
+                self.stats.rejected += 1
+                raise AdmissionSaturated(
+                    f"client {client_id!r} already has {len(queue)} "
+                    f"queries queued (max_pending={self.max_pending}); "
+                    f"back off and retry"
+                )
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            queue.append(ticket)
+            queued = sum(len(q) for q in self._queues.values())
+            if queued > self.stats.peak_queued:
+                self.stats.peak_queued = queued
+            self._grant_locked()
+            while ticket not in self._grants:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(remaining)
+            if ticket not in self._grants:
+                # Timed out waiting: withdraw so the queue slot frees.
+                try:
+                    queue.remove(ticket)
+                except ValueError:
+                    pass  # granted between the check and the withdraw
+                if ticket in self._grants:
+                    return ticket
+                self.stats.rejected += 1
+                raise AdmissionSaturated(
+                    f"client {client_id!r} timed out after {timeout} s "
+                    f"waiting for an execution slot"
+                )
+            return ticket
+
+    def release(self, ticket: int) -> None:
+        """Return *ticket*'s slot and grant the next waiter."""
+        with self._cond:
+            if ticket not in self._grants:
+                raise ValueError(
+                    f"ticket {ticket} is not currently granted"
+                )
+            self._grants.discard(ticket)
+            self._active -= 1
+            self.stats.completed += 1
+            self._grant_locked()
+
+    @property
+    def active(self) -> int:
+        """Currently executing queries."""
+        with self._cond:
+            return self._active
+
+    @property
+    def queued(self) -> int:
+        """Tickets waiting for a slot."""
+        with self._cond:
+            return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    @guarded_by("_cond")
+    def _grant_locked(self) -> None:
+        """Grant waiting tickets round-robin while slots remain."""
+        granted_any = False
+        while self.max_active is None or self._active < self.max_active:
+            ticket = None
+            for _ in range(len(self._rr)):
+                client_id = self._rr[0]
+                self._rr.rotate(-1)
+                queue = self._queues[client_id]
+                if queue:
+                    ticket = queue.popleft()
+                    break
+            if ticket is None:
+                break
+            self._grants.add(ticket)
+            self._active += 1
+            granted_any = True
+            self.stats.granted += 1
+            if self._active > self.stats.peak_active:
+                self.stats.peak_active = self._active
+        if granted_any:
+            self._cond.notify_all()

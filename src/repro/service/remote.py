@@ -1,0 +1,212 @@
+"""RemoteSession: the client half of the service conversation.
+
+A :class:`RemoteSession` talks to a :class:`~repro.service.service.CiaoService`
+over any :class:`~repro.transport.base.Channel` — normally a
+:class:`~repro.transport.sockets.SocketChannel` dialed from an address,
+but an explicitly constructed channel (including one wrapped in
+Lossy/Latency decorators) can be injected for fault-injection tests.
+
+The surface mirrors the in-process session: fetch the pushdown plan,
+:meth:`load` a source (client-side filtering runs *here*, on this
+process's :class:`~repro.client.device.SimulatedClient`, exactly as the
+paper's client-assisted design prescribes), :meth:`commit`, and
+:meth:`query` — remote results decode into the same
+:class:`~repro.engine.executor.QueryResult` dataclasses local execution
+returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..client.device import DEFAULT_SHIP_BATCH, SimulatedClient
+from ..client.protocol import encode_frame_batch
+from ..core.optimizer import PushdownPlan
+from ..core.plan_io import loads_plan
+from ..data.randomness import DEFAULT_SEED
+from ..engine.executor import QueryResult
+from ..rawjson.chunks import DEFAULT_CHUNK_SIZE
+from ..transport.base import Channel, TransportError
+from ..transport.sockets import SocketChannel
+from ..transport import wire
+from ..transport.wire import Message, encode_message
+from .results import result_from_payload
+
+
+class RemoteError(RuntimeError):
+    """The service replied with an error, or the conversation broke."""
+
+
+class RemoteBusyError(RemoteError):
+    """The service is saturated (admission BUSY); back off and retry."""
+
+
+class RemoteSession:
+    """A client-side session speaking the service wire protocol.
+
+    Args:
+        address: ``(host, port)`` of a running service; a fresh
+            :class:`SocketChannel` is dialed.  Mutually exclusive with
+            *channel*.
+        channel: An already-open channel to converse over — inject a
+            decorated (lossy/latent) channel here for fault testing.
+        client_id: Identity used for admission fairness and default
+            ingest source ids.
+        chunk_size: Records per chunk for :meth:`load`'s client.
+        timeout: Per-reply wait; ``None`` waits forever.
+
+    The constructor performs the HELLO/WELCOME handshake, so a
+    constructed session is known-good.  Context-manager friendly.
+    """
+
+    def __init__(self, address: Optional[Tuple[str, int]] = None, *,
+                 channel: Optional[Channel] = None,
+                 client_id: str = "remote-client",
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 seed: int = DEFAULT_SEED,
+                 timeout: Optional[float] = 30.0):
+        if (address is None) == (channel is None):
+            raise ValueError(
+                "pass exactly one of address=(host, port) or channel="
+            )
+        if channel is None:
+            channel = SocketChannel.connect(address)
+        self.channel = channel
+        self.client_id = client_id
+        self.chunk_size = chunk_size
+        self.seed = seed
+        self.timeout = timeout
+        self.last_client: Optional[SimulatedClient] = None
+        self._closed = False
+        welcome = self._request(wire.HELLO, {
+            "client_id": client_id,
+            "protocol": wire.PROTOCOL_VERSION,
+        }, expect=wire.WELCOME)
+        self.server_mode: str = str(welcome.header.get("mode", ""))
+
+    # ------------------------------------------------------------------
+    def _request(self, tag: int, header: Optional[Dict[str, Any]] = None,
+                 body: bytes = b"",
+                 expect: Optional[int] = None) -> Message:
+        """Send one message and wait for the service's reply."""
+        if self._closed:
+            raise RemoteError("session is closed")
+        self.channel.send(encode_message(tag, header or {}, body))
+        payload = self.channel.receive_wait(self.timeout)
+        if payload is None:
+            raise RemoteError(
+                f"no reply to {wire.tag_name(tag)} within "
+                f"{self.timeout} s (connection "
+                f"{'closed' if self.channel.closed else 'idle'})"
+            )
+        reply = wire.decode_message(payload)
+        if reply.tag == wire.BUSY:
+            raise RemoteBusyError(
+                reply.header.get("error", "service saturated")
+            )
+        if reply.tag == wire.ERROR:
+            raise RemoteError(
+                reply.header.get("error", "unspecified service error")
+            )
+        if expect is not None and reply.tag != expect:
+            raise RemoteError(
+                f"expected {wire.tag_name(expect)} in reply to "
+                f"{wire.tag_name(tag)}, got {reply.name}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    def fetch_plan(self) -> Optional[PushdownPlan]:
+        """The service's pushdown plan (``None`` if it has none)."""
+        reply = self._request(wire.GET_PLAN, expect=wire.PLAN)
+        if not reply.header.get("present"):
+            return None
+        return loads_plan(reply.body.decode("utf-8"))
+
+    def load(self, source, *, n_records: Optional[int] = None,
+             source_id: Optional[str] = None,
+             batch_size: int = DEFAULT_SHIP_BATCH) -> int:
+        """Client-filter *source* and stream its chunks to the service.
+
+        Fetches the plan, runs this process's
+        :class:`~repro.client.device.SimulatedClient` over the records
+        (predicate bit-vectors computed client-side), and ships encoded
+        chunk frames in batches of *batch_size* per CHUNKS message —
+        every batch is acknowledged, so a returned count is a received
+        count.  Returns the number of chunk frames the service accepted.
+
+        Call :meth:`commit` (after all participating clients finish) to
+        seal the load; on streaming deployments, :meth:`snapshot_query`
+        works before the commit.
+        """
+        # Imported here (not at module top): source coercion pulls in the
+        # api layer, which imports transport; keep the client-facing
+        # entry lazy so service/* never creates an import cycle.
+        from ..api.source import as_source
+
+        src = as_source(source, seed=self.seed, n_records=n_records)
+        plan = self.fetch_plan()
+        client = SimulatedClient(self.client_id, plan, self.chunk_size)
+        self.last_client = client
+        self._request(wire.OPEN_INGEST, {
+            "source_id": source_id or self.client_id,
+        }, expect=wire.INGEST_ACK)
+        accepted = 0
+        pending = []
+        for chunk in client.process(src.records()):
+            pending.append(chunk)
+            if len(pending) >= batch_size:
+                accepted += self._ship(pending)
+                pending = []
+        if pending:
+            accepted += self._ship(pending)
+        self._request(wire.END_INGEST, {}, expect=wire.INGEST_ACK)
+        return accepted
+
+    def _ship(self, chunks) -> int:
+        """Send one CHUNKS batch; returns the acknowledged frame count."""
+        reply = self._request(
+            wire.CHUNKS, {"frames": len(chunks)},
+            encode_frame_batch(chunks), expect=wire.INGEST_ACK,
+        )
+        return int(reply.header.get("frames_accepted", 0))
+
+    def commit(self) -> Dict[str, Any]:
+        """Seal the remote load; returns the service's report summary."""
+        reply = self._request(wire.COMMIT, expect=wire.COMMITTED)
+        return dict(reply.header.get("report", {}))
+
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> QueryResult:
+        """Run *sql* on the service's finalized store."""
+        reply = self._request(
+            wire.QUERY, {"sql": sql, "snapshot": False},
+            expect=wire.RESULT,
+        )
+        return result_from_payload(reply.body)
+
+    def snapshot_query(self, sql: str) -> QueryResult:
+        """Run *sql* against the service's loaded-so-far snapshot."""
+        reply = self._request(
+            wire.QUERY, {"sql": sql, "snapshot": True},
+            expect=wire.RESULT,
+        )
+        return result_from_payload(reply.body)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Say BYE (best effort) and close the channel (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self._request(wire.BYE, expect=wire.BYE)
+        except (RemoteError, TransportError, wire.WireError):
+            pass  # the goodbye is a courtesy, not a contract
+        self._closed = True
+        self.channel.close()
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

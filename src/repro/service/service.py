@@ -1,0 +1,393 @@
+"""CiaoService: concurrent remote serving on top of a CiaoSession.
+
+The router→controller→service loop that turns the in-process session API
+into a servable system:
+
+* the **service** owns a listening socket and accepts up to
+  ``max_connections`` concurrent clients;
+* each connection gets a **router** thread that decodes
+  :mod:`repro.transport.wire` messages and dispatches them;
+* handlers are the **controllers** — ingest control
+  (OPEN_INGEST/CHUNKS/END_INGEST/COMMIT feeding an external
+  :class:`~repro.api.session.LoadJob`), plan shipping (GET_PLAN via
+  :mod:`repro.core.plan_io`), and query serving (QUERY through
+  query-side :class:`~repro.service.admission.QueryAdmission`).
+
+Concurrency discipline: the service lock guards only the connection
+registry and the external-job pointer — it is **never** held while
+calling into the session or server, so the service adds no edges above
+the server's lifecycle lock and the lock graph stays acyclic.  Query
+execution runs between admission acquire/release with no service lock
+held; saturation surfaces as a BUSY reply, never an unbounded queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..analysis.sanitizer import make_lock
+from ..api.session import CiaoSession, LoadJob
+from ..core.plan_io import dumps_plan
+from ..engine.executor import QueryResult
+from ..server.ciao import IngestSession
+from ..transport.base import TransportError
+from ..transport.sockets import SocketChannel, SocketListener
+from ..transport import wire
+from ..transport.wire import Message, WireError, encode_message
+from .admission import AdmissionSaturated, QueryAdmission
+from .results import result_to_payload
+
+#: Default ceiling on concurrently served connections.
+DEFAULT_MAX_CONNECTIONS = 64
+
+#: Router receive poll; also bounds how fast close() is observed.
+_POLL_SECONDS = 0.25
+
+
+class _Connection:
+    """Router for one accepted connection: decode, dispatch, reply."""
+
+    def __init__(self, service: "CiaoService", channel: SocketChannel,
+                 conn_id: int):
+        self.service = service
+        self.channel = channel
+        self.conn_id = conn_id
+        self.client_id = f"conn-{conn_id}"
+        self._ingest: Optional[IngestSession] = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"ciao-service-conn-{conn_id}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            self._serve()
+        finally:
+            if self._ingest is not None:
+                self._ingest.close()
+            self.channel.close()
+            self.service._forget(self)
+
+    def _serve(self) -> None:
+        while not self.service.closed:
+            payload = self.channel.receive_wait(_POLL_SECONDS)
+            if payload is None:
+                if self.channel.closed:
+                    return
+                continue
+            try:
+                message = wire.decode_message(payload)
+            except WireError as exc:
+                self._reply(wire.ERROR, {"error": str(exc)})
+                continue
+            if message.tag == wire.BYE:
+                self._reply(wire.BYE, {})
+                return
+            try:
+                self._dispatch(message)
+            except AdmissionSaturated as exc:
+                self._reply(wire.BUSY, {"error": str(exc)})
+            except TransportError:
+                return  # peer is gone; nothing left to reply to
+            except Exception as exc:  # ciaolint: allow[API006] -- a handler fault must become an ERROR reply, not kill the connection
+                self._reply(wire.ERROR, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: Message) -> None:
+        tag = message.tag
+        if tag == wire.HELLO:
+            self._handle_hello(message)
+        elif tag == wire.GET_PLAN:
+            self._handle_get_plan()
+        elif tag == wire.OPEN_INGEST:
+            self._handle_open_ingest(message)
+        elif tag == wire.CHUNKS:
+            self._handle_chunks(message)
+        elif tag == wire.END_INGEST:
+            self._handle_end_ingest()
+        elif tag == wire.COMMIT:
+            self._handle_commit()
+        elif tag == wire.QUERY:
+            self._handle_query(message)
+        else:
+            self._reply(wire.ERROR, {
+                "error": f"unexpected {message.name} message",
+            })
+
+    def _handle_hello(self, message: Message) -> None:
+        protocol = message.header.get("protocol")
+        if protocol != wire.PROTOCOL_VERSION:
+            self._reply(wire.ERROR, {
+                "error": (
+                    f"protocol mismatch: client speaks {protocol!r}, "
+                    f"service speaks {wire.PROTOCOL_VERSION}"
+                ),
+            })
+            return
+        client_id = message.header.get("client_id")
+        if client_id:
+            self.client_id = str(client_id)
+        self._reply(wire.WELCOME, {
+            "server": "ciao",
+            "protocol": wire.PROTOCOL_VERSION,
+            "mode": self.service.session.config.mode,
+        })
+
+    def _handle_get_plan(self) -> None:
+        plan = self.service.session.pushdown_plan
+        if plan is None:
+            self._reply(wire.PLAN, {"present": False})
+        else:
+            self._reply(wire.PLAN, {"present": True},
+                        dumps_plan(plan).encode("utf-8"))
+
+    def _handle_open_ingest(self, message: Message) -> None:
+        source_id = message.header.get("source_id") or self.client_id
+        if self._ingest is not None and not self._ingest.closed:
+            raise RuntimeError(
+                f"connection already has ingest stream "
+                f"{self._ingest.source_id!r} open"
+            )
+        self._ingest = self.service._open_ingest(str(source_id))
+        self._reply(wire.INGEST_ACK, {"opened": str(source_id)})
+
+    def _handle_chunks(self, message: Message) -> None:
+        if self._ingest is None or self._ingest.closed:
+            raise RuntimeError(
+                "CHUNKS before OPEN_INGEST: open an ingest stream first"
+            )
+        accepted = self._ingest.ingest(message.body)
+        self._reply(wire.INGEST_ACK, {"frames_accepted": accepted})
+
+    def _handle_end_ingest(self) -> None:
+        if self._ingest is None:
+            raise RuntimeError("END_INGEST without an open ingest stream")
+        self._ingest.close()
+        self._reply(wire.INGEST_ACK, {"closed": True})
+
+    def _handle_commit(self) -> None:
+        report = self.service._commit()
+        self._reply(wire.COMMITTED, {"report": {
+            "mode": report.mode,
+            "received": report.received,
+            "loaded": report.loaded,
+            "sidelined": report.sidelined,
+            "malformed": report.malformed,
+            "chunks": report.chunks,
+            "wall_seconds": report.wall_seconds,
+        }})
+
+    def _handle_query(self, message: Message) -> None:
+        sql = message.header.get("sql")
+        if not sql:
+            raise ValueError("QUERY message carries no sql")
+        snapshot = bool(message.header.get("snapshot"))
+        result = self.service._query(self.client_id, str(sql), snapshot)
+        self._reply(wire.RESULT, {}, result_to_payload(result))
+
+    # ------------------------------------------------------------------
+    def _reply(self, tag: int, header: Dict, body: bytes = b"") -> None:
+        try:
+            self.channel.send(encode_message(tag, header, body))
+        except TransportError:
+            pass  # peer hung up mid-reply; the router loop will exit
+
+
+class CiaoService:
+    """A network front end serving one :class:`CiaoSession` to N clients.
+
+    Listens immediately on construction (``port=0`` picks a free port —
+    read :attr:`address` back); every accepted connection is served by
+    its own router thread, so ingest streams and queries from different
+    clients genuinely interleave.  Query admission mirrors the ingest
+    side's ``max_active``/``max_pending`` discipline (defaults come from
+    the session's :class:`~repro.api.config.DeploymentConfig`
+    ``query_max_active``/``query_max_pending`` knobs).
+
+    The service does not own the session: closing the service stops
+    serving but leaves the session and its loaded data usable in
+    process.  Context-manager friendly.
+    """
+
+    def __init__(self, session: CiaoSession,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 max_connections: int = DEFAULT_MAX_CONNECTIONS,
+                 query_max_active: Optional[int] = None,
+                 query_max_pending: Optional[int] = None,
+                 admission_timeout: Optional[float] = 30.0):
+        if max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        config = session.config
+        self.session = session
+        self.max_connections = max_connections
+        self.admission_timeout = admission_timeout
+        self.admission = QueryAdmission(
+            max_active=(
+                query_max_active if query_max_active is not None
+                else config.query_max_active
+            ),
+            max_pending=(
+                query_max_pending if query_max_pending is not None
+                else config.query_max_pending
+            ),
+        )
+        self._listener = SocketListener(host, port)
+        self._lock = make_lock("CiaoService._lock")
+        self._connections: List[_Connection] = []  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._next_conn = 0  # guarded-by: _lock
+        self._external_job: Optional[LoadJob] = None  # guarded-by: _lock
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="ciao-service-accept",
+            daemon=True,
+        )
+        self._acceptor.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self):
+        """The bound ``(host, port)`` clients dial."""
+        return self._listener.address
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def connection_count(self) -> int:
+        """Connections currently being served."""
+        with self._lock:
+            return len(self._connections)
+
+    def close(self) -> None:
+        """Stop accepting and disconnect every client (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections = list(self._connections)
+        self._listener.close()
+        for connection in connections:
+            connection.channel.close()
+        for connection in connections:
+            connection.thread.join(timeout=10.0)
+        self._acceptor.join(timeout=10.0)
+
+    def __enter__(self) -> "CiaoService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Acceptor
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+            channel = self._listener.accept(timeout=_POLL_SECONDS)
+            if channel is None:
+                continue
+            with self._lock:
+                if self._closed:
+                    at_capacity = True  # shutting down: turn it away
+                else:
+                    at_capacity = (
+                        len(self._connections) >= self.max_connections
+                    )
+                if not at_capacity:
+                    conn_id = self._next_conn
+                    self._next_conn += 1
+                    connection = _Connection(self, channel, conn_id)
+                    self._connections.append(connection)
+            if at_capacity:
+                try:
+                    channel.send(encode_message(wire.BUSY, {
+                        "error": (
+                            f"service at max_connections="
+                            f"{self.max_connections}"
+                        ),
+                    }))
+                except TransportError:
+                    pass  # the turned-away peer already hung up
+                channel.close()
+            else:
+                connection.start()
+
+    def _forget(self, connection: _Connection) -> None:
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+
+    # ------------------------------------------------------------------
+    # Controllers (called from router threads, no service lock held)
+    # ------------------------------------------------------------------
+    def _open_ingest(self, source_id: str) -> IngestSession:
+        job = self._ensure_external_job()
+        return job.server.open_ingest_session(source_id)
+
+    def _ensure_external_job(self) -> LoadJob:
+        with self._lock:
+            job = self._external_job
+            needs_new = job is None or job.done
+        if needs_new:
+            # Created outside the lock: external_load builds a server
+            # (storage directories, shard workers) and must not run
+            # under the connection-registry lock.
+            created = self.session.external_load()
+            with self._lock:
+                # First creator wins; a racing creator's job is unused
+                # (external_load itself rejects concurrent actives, so
+                # losing this race raises there instead).
+                if self._external_job is None or self._external_job.done:
+                    self._external_job = created
+                job = self._external_job
+        return job
+
+    def _commit(self):
+        with self._lock:
+            job = self._external_job
+        if job is None:
+            raise RuntimeError(
+                "COMMIT without a remote load: no ingest stream was "
+                "opened on this service"
+            )
+        return job.finish_external()
+
+    def _query(self, client_id: str, sql: str,
+               snapshot: bool) -> QueryResult:
+        ticket = self.admission.acquire(
+            client_id, timeout=self.admission_timeout
+        )
+        try:
+            return self._execute(sql, snapshot)
+        finally:
+            self.admission.release(ticket)
+
+    def _execute(self, sql: str, snapshot: bool) -> QueryResult:
+        session = self.session
+        job = session.last_job
+        if job is not None and not job.done:
+            if snapshot and session.config.streaming_queries:
+                return job.snapshot_query(sql)
+            if job._external:
+                # A plain query would wait for a COMMIT that may never
+                # come from this client — refuse instead of wedging an
+                # admission slot.
+                raise RuntimeError(
+                    "a remote load is in flight: COMMIT it first, or "
+                    "use snapshot queries on a streaming deployment"
+                )
+        return session.query(sql)

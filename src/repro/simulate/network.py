@@ -1,487 +1,43 @@
-"""Simulated client→server transport.
+"""Deprecated channel location — the stack now lives in :mod:`repro.transport`.
 
-The paper's prototype "simulates all communication through file I/O" on a
-single machine; :class:`FileChannel` reproduces that literally (one spool
-file per chunk), while :class:`MemoryChannel` offers the same interface
-without touching disk for tests and fast benchmarks.  Both account bytes
-and messages so experiments can report transfer overhead — bit-vectors add
-~1 bit per record per pushed predicate, one of CIAO's selling points.
+The channel abstraction started here while the whole reproduction ran in
+one process; once it grew a real TCP transport and a service wire it
+moved to :mod:`repro.transport` (``base``/``file``/``decorators``/
+``sockets``/``spec``/``wire``).  This module re-exports the original
+names so existing imports keep working — new code should import from
+:mod:`repro.transport` directly, which also offers the
+:class:`~repro.transport.sockets.SocketChannel` transport and
+``"tcp:<host>:<port>"`` channel specs this shim predates.
 """
 
 from __future__ import annotations
 
-import os
-import random
-from abc import ABC, abstractmethod
-from collections import deque
-from dataclasses import dataclass, replace
-from pathlib import Path
-from typing import (
-    Callable,
-    Deque,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Union,
+from ..transport import (
+    Channel,
+    ChannelDecorator,
+    ChannelLike,
+    ChannelSpec,
+    ChannelStats,
+    FileChannel,
+    LatencyChannel,
+    LinkModel,
+    LossyChannel,
+    MemoryChannel,
+    make_channel,
+    per_client_channels,
 )
 
-
-@dataclass
-class ChannelStats:
-    """Transfer accounting for one channel."""
-
-    messages_sent: int = 0
-    messages_received: int = 0
-    bytes_sent: int = 0
-    #: First transmissions lost on a lossy link (each one was
-    #: retransmitted, so drops cost bytes, never data).
-    messages_dropped: int = 0
-
-    def record_send(self, size: int) -> None:
-        """Account one outgoing message of *size* bytes."""
-        self.messages_sent += 1
-        self.bytes_sent += size
-
-    def record_receive(self) -> None:
-        """Account one delivered message."""
-        self.messages_received += 1
-
-    def record_drop(self, size: int) -> None:
-        """Account one dropped transmission (its retransmission bytes too)."""
-        self.messages_dropped += 1
-        self.bytes_sent += size
-
-
-class Channel(ABC):
-    """One-directional ordered message transport."""
-
-    def __init__(self) -> None:
-        self.stats = ChannelStats()
-
-    @abstractmethod
-    def send(self, payload: bytes) -> None:
-        """Enqueue one message."""
-
-    def send_batch(self, payloads: Iterable[bytes]) -> None:
-        """Frame several encoded chunks into one message.
-
-        Chunk frames are self-delimiting, so the batch is their plain
-        concatenation; one queue put / spool file then carries many
-        chunks, amortizing per-message transport overhead.  Receivers
-        that care about chunk boundaries use :meth:`drain_chunks`, which
-        splits batches back apart; an empty batch sends nothing.
-        """
-        batch = bytearray()
-        for payload in payloads:
-            if not isinstance(payload, (bytes, bytearray, memoryview)):
-                raise TypeError("channels carry bytes")
-            batch += payload
-        if batch:
-            self.send(bytes(batch))
-
-    def send_frames(self, payloads: Sequence[bytes]) -> None:
-        """Send buffered chunk frames as one message.
-
-        The canonical flush for senders that accumulate frames: a single
-        frame goes out directly (no copy), several are concatenated via
-        :meth:`send_batch`, and an empty buffer sends nothing.
-        """
-        if len(payloads) == 1:
-            self.send(payloads[0])
-        elif payloads:
-            self.send_batch(payloads)
-
-    @abstractmethod
-    def receive(self) -> Optional[bytes]:
-        """Dequeue the oldest message, or None if the channel is empty."""
-
-    def drain(self) -> Iterator[bytes]:
-        """Receive until empty."""
-        while True:
-            payload = self.receive()
-            if payload is None:
-                return
-            yield payload
-
-    def drain_chunks(self) -> Iterator[bytes]:
-        """Receive until empty, yielding individual chunk frames.
-
-        The inverse of :meth:`send_batch`: each received message is split
-        into its chunk frames (a single-chunk message yields itself), so
-        consumers see one chunk per iteration regardless of how the
-        sender framed them.  Only valid for channels carrying encoded
-        chunks.
-        """
-        # Imported lazily: the protocol module sits above the transport
-        # layer in the package graph, and channels stay payload-agnostic
-        # except for this one chunk-aware convenience.
-        from ..client.protocol import split_frames
-
-        for payload in self.drain():
-            for frame in split_frames(payload):
-                yield bytes(frame)
-
-    def __len__(self) -> int:
-        return self.pending()
-
-    @abstractmethod
-    def pending(self) -> int:
-        """Number of undelivered messages."""
-
-
-class MemoryChannel(Channel):
-    """In-process FIFO — the fast default for tests and benches."""
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._queue: Deque[bytes] = deque()
-
-    def send(self, payload: bytes) -> None:
-        if not isinstance(payload, (bytes, bytearray)):
-            raise TypeError("channels carry bytes")
-        self._queue.append(bytes(payload))
-        self.stats.record_send(len(payload))
-
-    def receive(self) -> Optional[bytes]:
-        if not self._queue:
-            return None
-        self.stats.record_receive()
-        return self._queue.popleft()
-
-    def pending(self) -> int:
-        return len(self._queue)
-
-
-class FileChannel(Channel):
-    """File-spool FIFO, mirroring the paper's file-I/O deployment.
-
-    Messages are numbered spool files under *directory*; receive order is
-    send order.  The channel owns the directory's ``.msg`` files; anything
-    else in there is left alone.
-    """
-
-    def __init__(self, directory: str | Path):
-        super().__init__()
-        self._dir = Path(directory)
-        self._dir.mkdir(parents=True, exist_ok=True)
-        self._next_send = 0
-        self._next_receive = 0
-        # Resume counters from any existing spool (restart tolerance).
-        numbers = self._spool_numbers()
-        if numbers:
-            self._next_receive = min(numbers)
-            self._next_send = max(numbers) + 1
-
-    def _path(self, index: int) -> Path:
-        return self._dir / f"{index:09d}.msg"
-
-    def send(self, payload: bytes) -> None:
-        if not isinstance(payload, (bytes, bytearray)):
-            raise TypeError("channels carry bytes")
-        path = self._path(self._next_send)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(payload)
-        os.replace(tmp, path)  # atomic publish: no torn reads
-        self._next_send += 1
-        self.stats.record_send(len(payload))
-
-    def receive(self) -> Optional[bytes]:
-        path = self._path(self._next_receive)
-        if not path.exists():
-            # A gap in the spool (e.g. a crashed consumer deleted one
-            # file out of order) must not stall the channel forever:
-            # skip forward to the oldest spool file that actually
-            # exists, if any.
-            numbers = self._spool_numbers()
-            later = [n for n in numbers if n > self._next_receive]
-            if not later:
-                return None
-            self._next_receive = min(later)
-            path = self._path(self._next_receive)
-        payload = path.read_bytes()
-        path.unlink()
-        self._next_receive += 1
-        self.stats.record_receive()
-        return payload
-
-    def pending(self) -> int:
-        # Counted from files actually on disk, not send/receive counters:
-        # a resumed spool with gaps would otherwise overcount messages
-        # that no longer exist.
-        return len(self._spool_numbers())
-
-    def _spool_numbers(self) -> List[int]:
-        """Message numbers of the spool files currently on disk."""
-        return [
-            int(p.stem) for p in self._dir.glob("*.msg")
-            if p.stem.isdigit()
-        ]
-
-
-@dataclass
-class LinkModel:
-    """Optional virtual-time pricing of a link (extension over the paper).
-
-    Attributes:
-        bandwidth_mbps: Payload throughput in megabits per second.
-        latency_us: Fixed per-message latency.
-    """
-
-    bandwidth_mbps: float = 1000.0
-    latency_us: float = 50.0
-
-    def transfer_time_us(self, payload_bytes: int) -> float:
-        """Virtual µs to move one message across the link."""
-        if payload_bytes < 0:
-            raise ValueError("payload sizes are non-negative")
-        bits = payload_bytes * 8
-        return self.latency_us + bits / self.bandwidth_mbps
-
-
-class ChannelDecorator(Channel):
-    """Base for channels that wrap another channel.
-
-    Decorators compose declaratively (see :func:`make_channel`): each one
-    adds a transport property — loss, latency pricing — while delegating
-    storage to the innermost real channel.  The decorator keeps its own
-    :class:`ChannelStats` describing what *it* saw; ``inner.stats`` keeps
-    the underlying channel's view.
-    """
-
-    def __init__(self, inner: Channel):
-        super().__init__()
-        self.inner = inner
-
-    def send(self, payload: bytes) -> None:
-        self.stats.record_send(len(payload))
-        self.inner.send(payload)
-
-    def receive(self) -> Optional[bytes]:
-        payload = self.inner.receive()
-        if payload is not None:
-            self.stats.record_receive()
-        return payload
-
-    def pending(self) -> int:
-        return self.inner.pending()
-
-
-class LossyChannel(ChannelDecorator):
-    """A lossy link under a reliable transport (flaky-network scenarios).
-
-    Each send's first transmission is dropped with probability
-    *drop_rate*; a dropped transmission is retransmitted until one gets
-    through, exactly like a reliable protocol over a lossy link.  Drops
-    therefore cost duplicate bytes and show up in
-    ``stats.messages_dropped`` — they never lose data, which is what lets
-    fleet scenarios assert zero record loss under drops (the no-loss
-    invariant is the transport's job, not luck).
-
-    Determinism: the drop sequence comes entirely from *seed* (explicit,
-    no global RNG), so the same seed replays the same drops.
-    """
-
-    def __init__(self, inner: Channel, drop_rate: float, seed: int):
-        super().__init__(inner)
-        if not 0.0 <= drop_rate < 1.0:
-            raise ValueError(
-                f"drop_rate must be in [0, 1), got {drop_rate!r}"
-            )
-        if seed is None:
-            raise ValueError(
-                "LossyChannel requires an explicit seed: drops must be "
-                "replayable"
-            )
-        self.drop_rate = drop_rate
-        self.seed = seed
-        self._rng = random.Random(seed)
-
-    def send(self, payload: bytes) -> None:
-        while self._rng.random() < self.drop_rate:
-            self.stats.record_drop(len(payload))
-        self.stats.record_send(len(payload))
-        self.inner.send(payload)
-
-
-class LatencyChannel(ChannelDecorator):
-    """Virtual-time pricing of every delivered message over a link.
-
-    Accumulates :meth:`LinkModel.transfer_time_us` per sent message into
-    :attr:`modeled_us` without sleeping — experiments report transport
-    cost in calibrated virtual µs, the same axis the client cost model
-    uses, while tests run at memory speed.
-    """
-
-    def __init__(self, inner: Channel, link: Optional[LinkModel] = None):
-        super().__init__(inner)
-        self.link = link or LinkModel()
-        self.modeled_us = 0.0
-
-    def send(self, payload: bytes) -> None:
-        self.modeled_us += self.link.transfer_time_us(len(payload))
-        super().send(payload)
-
-
-@dataclass(frozen=True)
-class ChannelSpec:
-    """Declarative description of one client→server transport.
-
-    The composable form behind :func:`make_channel`: a base channel kind
-    plus optional decorator layers.  Fleet scenarios hand a single spec to
-    the coordinator and get one independently-seeded channel per client
-    (:meth:`for_client`), instead of hand-writing a factory closure.
-
-    Attributes:
-        kind: Base transport — ``"memory"`` or ``"file"``.
-        directory: Spool directory for ``"file"`` channels (per-client
-            subdirectories are derived by :meth:`for_client`).
-        drop_rate: > 0 wraps the base in a :class:`LossyChannel`.
-        seed: Drop-sequence seed; required when *drop_rate* > 0.
-        link: A :class:`LinkModel` wraps the base in a
-            :class:`LatencyChannel` (priced inside the lossy layer, so
-            retransmissions are not double-charged).
-    """
-
-    kind: str = "memory"
-    directory: Optional[Path] = None
-    drop_rate: float = 0.0
-    seed: Optional[int] = None
-    link: Optional[LinkModel] = None
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("memory", "file"):
-            raise ValueError(
-                f"channel kind must be 'memory' or 'file', "
-                f"got {self.kind!r}"
-            )
-        if self.kind == "file" and self.directory is None:
-            raise ValueError("file channels need a spool directory")
-        if not 0.0 <= self.drop_rate < 1.0:
-            raise ValueError(
-                f"drop_rate must be in [0, 1), got {self.drop_rate!r}"
-            )
-        if self.drop_rate > 0 and self.seed is None:
-            raise ValueError(
-                "a lossy channel spec needs an explicit seed "
-                "(drops must be replayable)"
-            )
-
-    def for_client(self, client_id: str) -> "ChannelSpec":
-        """This spec specialized for one fleet client.
-
-        File spools move to a per-client subdirectory and the lossy seed
-        is re-derived per client (stable under the same root seed), so
-        every client gets an independent but replayable drop sequence.
-        """
-        directory = self.directory
-        if self.kind == "file" and directory is not None:
-            directory = Path(directory) / client_id
-        seed = self.seed
-        if seed is not None:
-            # Local import: randomness sits in the data layer, and the
-            # transport module must stay importable without it except for
-            # this derivation convenience.
-            from ..data.randomness import derive_seed
-
-            seed = derive_seed(seed, f"channel:{client_id}")
-        return replace(self, directory=directory, seed=seed)
-
-
-#: Anything :func:`make_channel` accepts.
-ChannelLike = Union[Channel, ChannelSpec, str, Callable[[], Channel], None]
-
-
-def make_channel(spec: ChannelLike = None, *,
-                 directory: Optional[Path] = None) -> Channel:
-    """Build a channel from a declarative *spec*.
-
-    Accepted forms:
-
-    * ``None`` or ``"memory"`` — a fresh :class:`MemoryChannel`;
-    * ``"file"`` (with *directory*) or ``"file:/path/to/spool"`` — a
-      :class:`FileChannel`;
-    * a :class:`ChannelSpec` — base kind plus decorator layers
-      (latency inside, loss outside);
-    * a :class:`Channel` instance — returned as-is;
-    * a zero-argument callable — called.
-    """
-    if isinstance(spec, Channel):
-        return spec
-    if callable(spec):
-        return spec()
-    if spec is None or spec == "memory":
-        spec = ChannelSpec()
-    elif isinstance(spec, str):
-        if spec == "file":
-            spec = ChannelSpec(kind="file", directory=directory)
-        elif spec.startswith("file:"):
-            spec = ChannelSpec(kind="file", directory=Path(spec[5:]))
-        else:
-            raise ValueError(
-                f"unknown channel spec {spec!r}; expected 'memory', "
-                f"'file', 'file:<dir>', a ChannelSpec, a Channel, or a "
-                f"factory"
-            )
-    if not isinstance(spec, ChannelSpec):
-        raise TypeError(
-            f"cannot build a channel from {type(spec).__name__}"
-        )
-    if spec.kind == "file":
-        channel: Channel = FileChannel(spec.directory)
-    else:
-        channel = MemoryChannel()
-    if spec.link is not None:
-        channel = LatencyChannel(channel, spec.link)
-    if spec.drop_rate > 0:
-        channel = LossyChannel(channel, spec.drop_rate, spec.seed)
-    return channel
-
-
-def per_client_channels(spec: ChannelLike = None, *,
-                        directory: Optional[Path] = None
-                        ) -> Callable[[str], Channel]:
-    """Normalize *spec* into a ``client_id -> Channel`` fleet factory.
-
-    The declarative counterpart of hand-writing a factory closure: a
-    :class:`ChannelSpec` is specialized per client
-    (:meth:`ChannelSpec.for_client` — per-client spool directories and
-    independently derived loss seeds), string forms get per-client
-    subdirectories, and an existing callable passes through unchanged.
-    A shared :class:`Channel` instance is rejected — fleet clients must
-    not interleave on one FIFO.
-    """
-    if isinstance(spec, Channel):
-        raise TypeError(
-            "a single Channel instance cannot back a fleet; pass a "
-            "ChannelSpec, a spec string, or a client_id -> Channel "
-            "factory"
-        )
-    if spec is None:
-        return lambda client_id: MemoryChannel()
-    if callable(spec):
-        return spec
-    if isinstance(spec, str):
-        if spec == "file":
-            if directory is None:
-                raise ValueError(
-                    "per-client file channels need a spool directory: "
-                    "use 'file:<dir>' or pass directory=..."
-                )
-            spec = ChannelSpec(kind="file", directory=directory)
-        elif spec.startswith("file:"):
-            spec = ChannelSpec(kind="file", directory=Path(spec[5:]))
-        elif spec == "memory":
-            spec = ChannelSpec()
-        else:
-            raise ValueError(
-                f"unknown channel spec {spec!r}; expected 'memory', "
-                f"'file', 'file:<dir>', a ChannelSpec, or a factory"
-            )
-    if not isinstance(spec, ChannelSpec):
-        raise TypeError(
-            f"cannot build fleet channels from {type(spec).__name__}"
-        )
-    resolved = spec
-    return lambda client_id: make_channel(resolved.for_client(client_id))
+__all__ = [
+    "Channel",
+    "ChannelDecorator",
+    "ChannelLike",
+    "ChannelSpec",
+    "ChannelStats",
+    "FileChannel",
+    "LatencyChannel",
+    "LinkModel",
+    "LossyChannel",
+    "MemoryChannel",
+    "make_channel",
+    "per_client_channels",
+]

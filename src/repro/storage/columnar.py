@@ -21,6 +21,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from ..analysis.sanitizer import make_lock
 from ..bitvec.bitvector import BitVector
 from .encodings import Encoding
 from .metadata import MAGIC, FileMeta, RowGroupMeta
@@ -107,8 +108,12 @@ class ParquetLiteReader:
         self.path = Path(path)
         self._file = open(self.path, "rb")
         self.meta = self._read_footer()
+        # One lock per file: every row group shares the handle, so the
+        # no-pread fallback in RowGroupReader must serialize across them.
+        read_lock = make_lock("ParquetLiteReader._read_lock")
         self._groups = [
-            RowGroupReader(self._file, self.meta.schema, rg)
+            RowGroupReader(self._file, self.meta.schema, rg,
+                           read_lock=read_lock)
             for rg in self.meta.row_groups
         ]
 

@@ -7,8 +7,10 @@ positions.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..analysis.sanitizer import make_lock
 from ..bitvec.bitvector import BitVector
 from .encodings import Encoding
 from .metadata import ColumnChunkMeta, RowGroupMeta
@@ -53,13 +55,48 @@ def build_row_group(
 
 
 class RowGroupReader:
-    """Decode columns of one row group from an open file."""
+    """Decode columns of one row group from an open file.
 
-    def __init__(self, file_handle, schema: Schema, meta: RowGroupMeta):
+    Concurrent queries share one file handle per Parquet-lite file (the
+    catalog caches readers), so page reads must not race on the handle's
+    seek position: where the platform has :func:`os.pread` the read is
+    positionless and lock-free; otherwise *read_lock* serializes the
+    seek+read pair.  Pass the same lock to every row group of one file.
+    """
+
+    def __init__(self, file_handle, schema: Schema, meta: RowGroupMeta,
+                 read_lock=None):
         self._file = file_handle
         self._schema = schema
         self.meta = meta
+        # guarded-by: _read_lock (the shared handle's seek position, on
+        # platforms without pread)
+        self._read_lock = read_lock or make_lock(
+            "RowGroupReader._read_lock"
+        )
         self._cache: Dict[str, List[Any]] = {}
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        """Read *length* bytes at *offset* without racing other readers."""
+        try:
+            fd = self._file.fileno()
+        except (AttributeError, OSError):
+            fd = None
+        if fd is not None and hasattr(os, "pread"):
+            parts: List[bytes] = []
+            remaining = length
+            position = offset
+            while remaining > 0:
+                part = os.pread(fd, remaining, position)
+                if not part:
+                    break
+                parts.append(part)
+                position += len(part)
+                remaining -= len(part)
+            return b"".join(parts)
+        with self._read_lock:
+            self._file.seek(offset)
+            return self._file.read(length)
 
     @property
     def row_count(self) -> int:
@@ -80,8 +117,7 @@ class RowGroupReader:
         if chunk is None:
             values: List[Any] = [None] * self.meta.row_count
         else:
-            self._file.seek(chunk.offset)
-            page = self._file.read(chunk.length)
+            page = self._read_at(chunk.offset, chunk.length)
             values = read_page(page, self._schema.field(name).type)
         self._cache[name] = values
         return values

@@ -1,0 +1,57 @@
+"""Transport layer: channels, decorators, sockets, and the service wire.
+
+The channel stack, lifted out of ``simulate/`` now that it carries real
+traffic: :class:`Channel` and its in-process/file implementations,
+the composable :class:`LossyChannel`/:class:`LatencyChannel` decorators,
+declarative construction (:class:`ChannelSpec`, :func:`make_channel`,
+:func:`per_client_channels`), the TCP transport
+(:class:`SocketChannel`, :class:`SocketListener`), and the typed
+service-message codec (:mod:`repro.transport.wire`).  Decorators compose
+over any base transport — a seeded lossy link behaves identically over
+an in-memory queue and a live socket.
+
+``repro.simulate.network`` remains as a deprecation shim re-exporting
+these names.
+"""
+
+from .base import (
+    Channel,
+    ChannelDecorator,
+    ChannelStats,
+    MemoryChannel,
+    TransportError,
+)
+from .decorators import LatencyChannel, LinkModel, LossyChannel
+from .file import FileChannel
+from .sockets import (
+    MAX_FRAME_BYTES,
+    SocketChannel,
+    SocketListener,
+    socket_pair,
+)
+from .spec import ChannelLike, ChannelSpec, make_channel, per_client_channels
+from .wire import Message, WireError, decode_message, encode_message
+
+__all__ = [
+    "Channel",
+    "ChannelDecorator",
+    "ChannelLike",
+    "ChannelSpec",
+    "ChannelStats",
+    "FileChannel",
+    "LatencyChannel",
+    "LinkModel",
+    "LossyChannel",
+    "MAX_FRAME_BYTES",
+    "MemoryChannel",
+    "Message",
+    "SocketChannel",
+    "SocketListener",
+    "TransportError",
+    "WireError",
+    "decode_message",
+    "encode_message",
+    "make_channel",
+    "per_client_channels",
+    "socket_pair",
+]

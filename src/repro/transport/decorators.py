@@ -1,0 +1,91 @@
+"""Composable channel decorators: loss and latency over any transport.
+
+Each decorator adds one transport property while delegating storage to
+the innermost real channel, so they compose over a memory queue, a file
+spool, or a live TCP socket identically — seeded
+:class:`LossyChannel` fault injection works against a real wire.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .base import Channel, ChannelDecorator
+
+
+@dataclass
+class LinkModel:
+    """Optional virtual-time pricing of a link (extension over the paper).
+
+    Attributes:
+        bandwidth_mbps: Payload throughput in megabits per second.
+        latency_us: Fixed per-message latency.
+    """
+
+    bandwidth_mbps: float = 1000.0
+    latency_us: float = 50.0
+
+    def transfer_time_us(self, payload_bytes: int) -> float:
+        """Virtual µs to move one message across the link."""
+        if payload_bytes < 0:
+            raise ValueError("payload sizes are non-negative")
+        bits = payload_bytes * 8
+        return self.latency_us + bits / self.bandwidth_mbps
+
+
+class LossyChannel(ChannelDecorator):
+    """A lossy link under a reliable transport (flaky-network scenarios).
+
+    Each send's first transmission is dropped with probability
+    *drop_rate*; a dropped transmission is retransmitted until one gets
+    through, exactly like a reliable protocol over a lossy link.  Drops
+    therefore cost duplicate bytes and show up in
+    ``stats.messages_dropped`` — they never lose data, which is what lets
+    fleet scenarios assert zero record loss under drops (the no-loss
+    invariant is the transport's job, not luck).
+
+    Determinism: the drop sequence comes entirely from *seed* (explicit,
+    no global RNG), so the same seed replays the same drops.
+    """
+
+    def __init__(self, inner: Channel, drop_rate: float, seed: int):
+        super().__init__(inner)
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {drop_rate!r}"
+            )
+        if seed is None:
+            raise ValueError(
+                "LossyChannel requires an explicit seed: drops must be "
+                "replayable"
+            )
+        self.drop_rate = drop_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def send(self, payload: bytes) -> None:
+        while self._rng.random() < self.drop_rate:
+            self.stats.record_drop(len(payload))
+        self.stats.record_send(len(payload))
+        self.inner.send(payload)
+
+
+class LatencyChannel(ChannelDecorator):
+    """Virtual-time pricing of every delivered message over a link.
+
+    Accumulates :meth:`LinkModel.transfer_time_us` per sent message into
+    :attr:`modeled_us` without sleeping — experiments report transport
+    cost in calibrated virtual µs, the same axis the client cost model
+    uses, while tests run at memory speed.
+    """
+
+    def __init__(self, inner: Channel, link: Optional[LinkModel] = None):
+        super().__init__(inner)
+        self.link = link or LinkModel()
+        self.modeled_us = 0.0
+
+    def send(self, payload: bytes) -> None:
+        self.modeled_us += self.link.transfer_time_us(len(payload))
+        super().send(payload)

@@ -1,0 +1,75 @@
+"""File-spool channel, mirroring the paper's file-I/O deployment."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional
+
+from .base import Channel
+
+
+class FileChannel(Channel):
+    """File-spool FIFO, mirroring the paper's file-I/O deployment.
+
+    Messages are numbered spool files under *directory*; receive order is
+    send order.  The channel owns the directory's ``.msg`` files; anything
+    else in there is left alone.
+    """
+
+    def __init__(self, directory: str | Path):
+        super().__init__()
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._next_send = 0
+        self._next_receive = 0
+        # Resume counters from any existing spool (restart tolerance).
+        numbers = self._spool_numbers()
+        if numbers:
+            self._next_receive = min(numbers)
+            self._next_send = max(numbers) + 1
+
+    def _path(self, index: int) -> Path:
+        return self._dir / f"{index:09d}.msg"
+
+    def send(self, payload: bytes) -> None:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("channels carry bytes")
+        path = self._path(self._next_send)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)  # atomic publish: no torn reads
+        self._next_send += 1
+        self.stats.record_send(len(payload))
+
+    def receive(self) -> Optional[bytes]:
+        path = self._path(self._next_receive)
+        if not path.exists():
+            # A gap in the spool (e.g. a crashed consumer deleted one
+            # file out of order) must not stall the channel forever:
+            # skip forward to the oldest spool file that actually
+            # exists, if any.
+            numbers = self._spool_numbers()
+            later = [n for n in numbers if n > self._next_receive]
+            if not later:
+                return None
+            self._next_receive = min(later)
+            path = self._path(self._next_receive)
+        payload = path.read_bytes()
+        path.unlink()
+        self._next_receive += 1
+        self.stats.record_receive()
+        return payload
+
+    def pending(self) -> int:
+        # Counted from files actually on disk, not send/receive counters:
+        # a resumed spool with gaps would otherwise overcount messages
+        # that no longer exist.
+        return len(self._spool_numbers())
+
+    def _spool_numbers(self) -> List[int]:
+        """Message numbers of the spool files currently on disk."""
+        return [
+            int(p.stem) for p in self._dir.glob("*.msg")
+            if p.stem.isdigit()
+        ]

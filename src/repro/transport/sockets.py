@@ -1,0 +1,299 @@
+"""Real socket transport: TCP channels carrying length-prefixed frames.
+
+The abstraction the channel stack was always for: a
+:class:`SocketChannel` is one endpoint of a connected stream socket and
+implements the full :class:`~repro.transport.base.Channel` contract —
+``send`` writes one ``[u32 length][payload]`` frame, ``receive`` returns
+one complete reassembled frame (or ``None``, non-blocking), and the
+``Lossy``/``Latency`` decorators compose over it unchanged.  The payload
+is whatever the layers above already speak: batched chunk frames
+(:func:`repro.client.protocol.encode_frame_batch`), serialized plans
+(:mod:`repro.core.plan_io`), or the service wire messages
+(:mod:`repro.transport.wire`).
+
+Framing is strict: the 4-byte little-endian length prefix is validated
+against :data:`MAX_FRAME_BYTES` before any allocation, so a corrupt or
+hostile peer cannot force a multi-gigabyte buffer, and a short read
+simply waits for the rest of the frame (TCP gives bytes, not messages).
+
+Blocking model: sends block until the kernel accepts the bytes
+(``sendall``); receives never block unless asked
+(:meth:`SocketChannel.receive_wait` uses ``select`` with a deadline).
+Peer shutdown surfaces as ``closed`` — ``receive`` returns ``None``
+forever after the buffered frames drain, exactly like an empty channel.
+"""
+
+from __future__ import annotations
+
+import select
+import socket as socketlib
+import time
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..analysis.sanitizer import make_lock
+from .base import Channel, TransportError
+
+#: Hard ceiling on one frame's payload, validated before allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Bytes pulled off the socket per ``recv`` call.
+_RECV_CHUNK = 1 << 16
+
+_LEN_BYTES = 4
+
+
+class SocketChannel(Channel):
+    """One endpoint of a connected stream socket, as a channel.
+
+    Args:
+        sock: A connected stream socket (TCP or a ``socketpair`` end).
+            The channel takes ownership: :meth:`close` closes it.
+        max_frame_bytes: Per-frame payload ceiling (strictly validated
+            before allocation).
+    """
+
+    def __init__(self, sock: socketlib.socket,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        super().__init__()
+        if max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self._sock = sock
+        self._max_frame = max_frame_bytes
+        self._buffer = bytearray()
+        self._frames: Deque[bytes] = deque()
+        self._eof = False
+        self._shut = False
+        # Serializes concurrent senders: a frame must hit the stream as
+        # one contiguous [length][payload] unit or the peer desyncs.
+        self._send_lock = make_lock("SocketChannel._send_lock")
+        try:
+            sock.setsockopt(socketlib.IPPROTO_TCP,
+                            socketlib.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not TCP (e.g. a socketpair end); fine without it
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(cls, address: Tuple[str, int],
+                timeout: Optional[float] = 30.0,
+                max_frame_bytes: int = MAX_FRAME_BYTES
+                ) -> "SocketChannel":
+        """Dial ``(host, port)`` and return the connected channel."""
+        sock = socketlib.create_connection(address, timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock, max_frame_bytes=max_frame_bytes)
+
+    # ------------------------------------------------------------------
+    # Channel contract
+    # ------------------------------------------------------------------
+    def send(self, payload: bytes) -> None:
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError("channels carry bytes")
+        payload = bytes(payload)
+        if len(payload) > self._max_frame:
+            raise TransportError(
+                f"frame of {len(payload)} bytes exceeds the "
+                f"{self._max_frame}-byte frame ceiling"
+            )
+        header = len(payload).to_bytes(_LEN_BYTES, "little")
+        with self._send_lock:
+            if self._shut:
+                raise TransportError("send on a closed socket channel")
+            try:
+                self._sock.sendall(header + payload)
+            except OSError as exc:
+                raise TransportError(
+                    f"socket send failed: {exc}"
+                ) from exc
+        self.stats.record_send(len(payload))
+
+    def receive(self) -> Optional[bytes]:
+        self._pump()
+        if not self._frames:
+            return None
+        self.stats.record_receive()
+        return self._frames.popleft()
+
+    def receive_wait(self, timeout: Optional[float] = None
+                     ) -> Optional[bytes]:
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            payload = self.receive()
+            if payload is not None:
+                return payload
+            if self.closed:
+                return None
+            if deadline is None:
+                wait = 1.0
+            else:
+                wait = deadline - time.monotonic()
+                if wait <= 0:
+                    return None
+            try:
+                ready, _, _ = select.select([self._sock], [], [],
+                                            min(wait, 1.0))
+            except (OSError, ValueError):
+                # The socket was closed under us; drain what we have.
+                self._eof = True
+                continue
+            if not ready and deadline is not None \
+                    and time.monotonic() >= deadline:
+                return None
+
+    def pending(self) -> int:
+        self._pump()
+        return len(self._frames)
+
+    @property
+    def closed(self) -> bool:
+        """True once the peer hung up and every buffered frame drained."""
+        return (self._eof or self._shut) and not self._frames
+
+    @property
+    def eof(self) -> bool:
+        """True once the peer's end of the stream has closed."""
+        return self._eof
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        if self._shut:
+            return
+        self._shut = True
+        try:
+            self._sock.shutdown(socketlib.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected
+        self._sock.close()
+
+    def __enter__(self) -> "SocketChannel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Stream reassembly
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Slurp every byte the kernel has, then split complete frames."""
+        while not self._eof and not self._shut:
+            try:
+                ready, _, _ = select.select([self._sock], [], [], 0)
+            except (OSError, ValueError):
+                self._eof = True
+                break
+            if not ready:
+                break
+            try:
+                data = self._sock.recv(_RECV_CHUNK)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._eof = True
+                break
+            if not data:
+                self._eof = True
+                break
+            self._buffer += data
+        self._split_frames()
+
+    def _split_frames(self) -> None:
+        """Move complete ``[length][payload]`` frames out of the buffer."""
+        buf = self._buffer
+        while len(buf) >= _LEN_BYTES:
+            length = int.from_bytes(buf[:_LEN_BYTES], "little")
+            if length > self._max_frame:
+                self._eof = True
+                raise TransportError(
+                    f"peer declared a {length}-byte frame; ceiling is "
+                    f"{self._max_frame} bytes"
+                )
+            end = _LEN_BYTES + length
+            if len(buf) < end:
+                return  # incomplete frame: wait for more bytes
+            self._frames.append(bytes(buf[_LEN_BYTES:end]))
+            del buf[:end]
+
+
+class SocketListener:
+    """A listening TCP socket handing out :class:`SocketChannel` peers.
+
+    Binds immediately (``port=0`` asks the kernel for a free port — read
+    it back from :attr:`address`); :meth:`accept` blocks up to *timeout*
+    for one inbound connection and wraps it.  Context-manager friendly::
+
+        with SocketListener() as listener:
+            spec = f"tcp:{listener.address[0]}:{listener.address[1]}"
+            ...
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 backlog: int = 16,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self._max_frame = max_frame_bytes
+        self._sock = socketlib.socket(socketlib.AF_INET,
+                                      socketlib.SOCK_STREAM)
+        self._sock.setsockopt(socketlib.SOL_SOCKET,
+                              socketlib.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def accept(self, timeout: Optional[float] = None
+               ) -> Optional[SocketChannel]:
+        """One inbound connection as a channel, or ``None`` on timeout."""
+        if self._closed:
+            return None
+        try:
+            ready, _, _ = select.select([self._sock], [], [], timeout)
+        except (OSError, ValueError):
+            return None
+        if not ready:
+            return None
+        try:
+            sock, _ = self._sock.accept()
+        except OSError:
+            return None
+        return SocketChannel(sock, max_frame_bytes=self._max_frame)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._sock.close()
+
+    def __enter__(self) -> "SocketListener":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def socket_pair(max_frame_bytes: int = MAX_FRAME_BYTES
+                ) -> Tuple[SocketChannel, SocketChannel]:
+    """Two connected :class:`SocketChannel` ends over a real socketpair.
+
+    The loopback harness for tests: bytes genuinely cross the kernel
+    (partial reads, buffering, EOF semantics all real) without binding a
+    port.  Each end both sends and receives.
+    """
+    a, b = socketlib.socketpair()
+    return (SocketChannel(a, max_frame_bytes=max_frame_bytes),
+            SocketChannel(b, max_frame_bytes=max_frame_bytes))

@@ -1,0 +1,211 @@
+"""Declarative channel construction: specs, factories, fleet fan-out.
+
+One :class:`ChannelSpec` describes a transport — base kind (memory,
+file spool, or a live TCP endpoint) plus decorator layers — and
+:func:`make_channel` builds it.  Fleet scenarios hand the same spec to
+:func:`per_client_channels` and get one independently-seeded channel per
+client: file spools fan out into per-client subdirectories, TCP specs
+dial one connection per client, loss seeds are re-derived per client so
+every drop sequence is independent but replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+from .base import Channel, MemoryChannel
+from .decorators import LatencyChannel, LinkModel, LossyChannel
+from .file import FileChannel
+from .sockets import SocketChannel
+
+#: Channel kinds a spec may name.
+_KINDS = ("memory", "file", "tcp")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Declarative description of one client→server transport.
+
+    The composable form behind :func:`make_channel`: a base channel kind
+    plus optional decorator layers.  Fleet scenarios hand a single spec to
+    the coordinator and get one independently-seeded channel per client
+    (:meth:`for_client`), instead of hand-writing a factory closure.
+
+    Attributes:
+        kind: Base transport — ``"memory"``, ``"file"``, or ``"tcp"``.
+        directory: Spool directory for ``"file"`` channels (per-client
+            subdirectories are derived by :meth:`for_client`).
+        address: ``(host, port)`` for ``"tcp"`` channels; every
+            :func:`make_channel` call dials a fresh connection, so a
+            fleet spec gives each client its own socket.
+        drop_rate: > 0 wraps the base in a :class:`LossyChannel`.
+        seed: Drop-sequence seed; required when *drop_rate* > 0.
+        link: A :class:`LinkModel` wraps the base in a
+            :class:`LatencyChannel` (priced inside the lossy layer, so
+            retransmissions are not double-charged).
+    """
+
+    kind: str = "memory"
+    directory: Optional[Path] = None
+    address: Optional[Tuple[str, int]] = None
+    drop_rate: float = 0.0
+    seed: Optional[int] = None
+    link: Optional[LinkModel] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"channel kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "file" and self.directory is None:
+            raise ValueError("file channels need a spool directory")
+        if self.kind == "tcp" and self.address is None:
+            raise ValueError(
+                "tcp channels need an address: ChannelSpec(kind='tcp', "
+                "address=(host, port))"
+            )
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate!r}"
+            )
+        if self.drop_rate > 0 and self.seed is None:
+            raise ValueError(
+                "a lossy channel spec needs an explicit seed "
+                "(drops must be replayable)"
+            )
+
+    def for_client(self, client_id: str) -> "ChannelSpec":
+        """This spec specialized for one fleet client.
+
+        File spools move to a per-client subdirectory and the lossy seed
+        is re-derived per client (stable under the same root seed), so
+        every client gets an independent but replayable drop sequence.
+        TCP specs pass through unchanged apart from the seed — each
+        :func:`make_channel` call already dials its own connection.
+        """
+        directory = self.directory
+        if self.kind == "file" and directory is not None:
+            directory = Path(directory) / client_id
+        seed = self.seed
+        if seed is not None:
+            # Local import: randomness sits in the data layer, and the
+            # transport module must stay importable without it except for
+            # this derivation convenience.
+            from ..data.randomness import derive_seed
+
+            seed = derive_seed(seed, f"channel:{client_id}")
+        return replace(self, directory=directory, seed=seed)
+
+
+#: Anything :func:`make_channel` accepts.
+ChannelLike = Union[Channel, ChannelSpec, str, Callable[[], Channel], None]
+
+
+def _parse_tcp(spec: str) -> ChannelSpec:
+    """``"tcp:host:port"`` → a tcp :class:`ChannelSpec`."""
+    rest = spec[4:]
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        raise ValueError(
+            f"malformed tcp channel spec {spec!r}; expected "
+            f"'tcp:<host>:<port>'"
+        )
+    return ChannelSpec(kind="tcp", address=(host, int(port_text)))
+
+
+def _parse_spec(spec: str, directory: Optional[Path]) -> ChannelSpec:
+    """Normalize a spec string into a :class:`ChannelSpec`."""
+    if spec == "memory":
+        return ChannelSpec()
+    if spec == "file":
+        return ChannelSpec(kind="file", directory=directory)
+    if spec.startswith("file:"):
+        return ChannelSpec(kind="file", directory=Path(spec[5:]))
+    if spec.startswith("tcp:"):
+        return _parse_tcp(spec)
+    raise ValueError(
+        f"unknown channel spec {spec!r}; expected 'memory', 'file', "
+        f"'file:<dir>', 'tcp:<host>:<port>', a ChannelSpec, a Channel, "
+        f"or a factory"
+    )
+
+
+def make_channel(spec: ChannelLike = None, *,
+                 directory: Optional[Path] = None) -> Channel:
+    """Build a channel from a declarative *spec*.
+
+    Accepted forms:
+
+    * ``None`` or ``"memory"`` — a fresh :class:`MemoryChannel`;
+    * ``"file"`` (with *directory*) or ``"file:/path/to/spool"`` — a
+      :class:`FileChannel`;
+    * ``"tcp:<host>:<port>"`` — a freshly dialed
+      :class:`~repro.transport.sockets.SocketChannel`;
+    * a :class:`ChannelSpec` — base kind plus decorator layers
+      (latency inside, loss outside);
+    * a :class:`Channel` instance — returned as-is;
+    * a zero-argument callable — called.
+    """
+    if isinstance(spec, Channel):
+        return spec
+    if callable(spec):
+        return spec()
+    if spec is None:
+        spec = ChannelSpec()
+    elif isinstance(spec, str):
+        spec = _parse_spec(spec, directory)
+    if not isinstance(spec, ChannelSpec):
+        raise TypeError(
+            f"cannot build a channel from {type(spec).__name__}"
+        )
+    if spec.kind == "file":
+        channel: Channel = FileChannel(spec.directory)
+    elif spec.kind == "tcp":
+        channel = SocketChannel.connect(spec.address)
+    else:
+        channel = MemoryChannel()
+    if spec.link is not None:
+        channel = LatencyChannel(channel, spec.link)
+    if spec.drop_rate > 0:
+        channel = LossyChannel(channel, spec.drop_rate, spec.seed)
+    return channel
+
+
+def per_client_channels(spec: ChannelLike = None, *,
+                        directory: Optional[Path] = None
+                        ) -> Callable[[str], Channel]:
+    """Normalize *spec* into a ``client_id -> Channel`` fleet factory.
+
+    The declarative counterpart of hand-writing a factory closure: a
+    :class:`ChannelSpec` is specialized per client
+    (:meth:`ChannelSpec.for_client` — per-client spool directories,
+    independently derived loss seeds, one TCP connection per client),
+    string forms get the same treatment, and an existing callable passes
+    through unchanged.  A shared :class:`Channel` instance is rejected —
+    fleet clients must not interleave on one FIFO.
+    """
+    if isinstance(spec, Channel):
+        raise TypeError(
+            "a single Channel instance cannot back a fleet; pass a "
+            "ChannelSpec, a spec string, or a client_id -> Channel "
+            "factory"
+        )
+    if spec is None:
+        return lambda client_id: MemoryChannel()
+    if callable(spec):
+        return spec
+    if isinstance(spec, str):
+        if spec == "file" and directory is None:
+            raise ValueError(
+                "per-client file channels need a spool directory: "
+                "use 'file:<dir>' or pass directory=..."
+            )
+        spec = _parse_spec(spec, directory)
+    if not isinstance(spec, ChannelSpec):
+        raise TypeError(
+            f"cannot build fleet channels from {type(spec).__name__}"
+        )
+    resolved = spec
+    return lambda client_id: make_channel(resolved.for_client(client_id))

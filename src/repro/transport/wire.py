@@ -1,0 +1,180 @@
+"""Typed service messages over a channel: the remote-session wire format.
+
+Chunk frames (:mod:`repro.client.protocol`) carry data; this module
+carries *conversation* — the handshake, plan shipping, ingest control,
+and query traffic between a :class:`~repro.service.remote.RemoteSession`
+and a :class:`~repro.service.service.CiaoService`.  One message is one
+channel payload::
+
+        [MAGIC "CIAW"] [u8 tag] [u32 header_len] [header JSON]
+        [u32 body_len] [body bytes]
+
+The header is small structured metadata (source ids, SQL text, error
+strings) as UTF-8 JSON; the body is an opaque byte blob for the payloads
+that already have their own serialization — batched chunk frames, a
+:mod:`repro.core.plan_io` plan document, an encoded query result.  All
+integers are little-endian, and every length is bounds-checked before
+the slice so truncated or corrupt messages surface as :class:`WireError`
+rather than silent misparses (same discipline as the chunk protocol).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: Service message magic ("CIAO wire"); chunk frames use ``CIA1``.
+MAGIC = b"CIAW"
+
+#: Conversation protocol version, checked in the HELLO/WELCOME handshake.
+PROTOCOL_VERSION = 1
+
+_U32_BYTES = 4
+_HEADER_OFFSET = len(MAGIC) + 1  # magic + tag byte
+
+#: Ceiling on the JSON header — headers are metadata, not payload.
+MAX_HEADER_BYTES = 1 << 20
+
+#: Message tags, in conversation order.
+HELLO = 1          # client → server: {"client_id", "protocol"}
+WELCOME = 2        # server → client: {"server", "mode", "protocol"}
+GET_PLAN = 3       # client → server: {}
+PLAN = 4           # server → client: {"present"}; body = plan_io text
+OPEN_INGEST = 5    # client → server: {"source_id"}
+CHUNKS = 6         # client → server: {"frames"}; body = chunk frames
+INGEST_ACK = 7     # server → client: {"frames_accepted"}
+END_INGEST = 8     # client → server: {"source_id"}
+COMMIT = 9         # client → server: {}
+COMMITTED = 10     # server → client: {"summary"}
+QUERY = 11         # client → server: {"sql", "snapshot"}
+RESULT = 12        # server → client: {}; body = encoded result
+ERROR = 13         # server → client: {"error"}
+BUSY = 14          # server → client: {"error"} (admission saturated)
+BYE = 15           # client → server: {}
+
+_TAG_NAMES = {
+    HELLO: "HELLO", WELCOME: "WELCOME", GET_PLAN: "GET_PLAN",
+    PLAN: "PLAN", OPEN_INGEST: "OPEN_INGEST", CHUNKS: "CHUNKS",
+    INGEST_ACK: "INGEST_ACK", END_INGEST: "END_INGEST",
+    COMMIT: "COMMIT", COMMITTED: "COMMITTED", QUERY: "QUERY",
+    RESULT: "RESULT", ERROR: "ERROR", BUSY: "BUSY", BYE: "BYE",
+}
+
+
+class WireError(ValueError):
+    """A malformed, truncated, or unknown service message."""
+
+
+def tag_name(tag: int) -> str:
+    """Human-readable name of a message tag (for errors and logs)."""
+    return _TAG_NAMES.get(tag, f"tag#{tag}")
+
+
+@dataclass
+class Message:
+    """One decoded service message."""
+
+    tag: int
+    header: Dict[str, Any] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def name(self) -> str:
+        """The tag's symbolic name."""
+        return tag_name(self.tag)
+
+
+def encode_message(tag: int, header: Dict[str, Any] = None,
+                   body: bytes = b"") -> bytes:
+    """Serialize one service message into a channel payload."""
+    if tag not in _TAG_NAMES:
+        raise WireError(f"unknown message tag {tag}")
+    header_bytes = json.dumps(
+        header or {}, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise WireError(
+            f"{tag_name(tag)} header of {len(header_bytes)} bytes "
+            f"exceeds the {MAX_HEADER_BYTES}-byte ceiling"
+        )
+    if not isinstance(body, (bytes, bytearray, memoryview)):
+        raise WireError("message bodies are bytes")
+    body = bytes(body)
+    return b"".join((
+        MAGIC,
+        bytes((tag,)),
+        len(header_bytes).to_bytes(_U32_BYTES, "little"),
+        header_bytes,
+        len(body).to_bytes(_U32_BYTES, "little"),
+        body,
+    ))
+
+
+def _read_u32(buf: bytes, offset: int) -> Tuple[int, int]:
+    """Bounds-checked little-endian u32 read; returns (value, new offset)."""
+    end = offset + _U32_BYTES
+    if end > len(buf):
+        raise WireError(
+            f"truncated message: u32 at offset {offset} needs {end} "
+            f"bytes, have {len(buf)}"
+        )
+    return int.from_bytes(buf[offset:end], "little"), end
+
+
+def _take(buf: bytes, offset: int, length: int) -> Tuple[bytes, int]:
+    """Bounds-checked slice of *length* bytes; returns (bytes, new offset)."""
+    end = offset + length
+    if end > len(buf):
+        raise WireError(
+            f"truncated message: field at offset {offset} declares "
+            f"{length} bytes, have {len(buf) - offset}"
+        )
+    return buf[offset:end], end
+
+
+def decode_message(payload: bytes) -> Message:
+    """Parse one channel payload back into a :class:`Message`.
+
+    Strict: bad magic, unknown tags, truncation anywhere, undecodable
+    header JSON, and trailing garbage all raise :class:`WireError`.
+    """
+    if len(payload) < _HEADER_OFFSET:
+        raise WireError(
+            f"message of {len(payload)} bytes is shorter than the "
+            f"{_HEADER_OFFSET}-byte preamble"
+        )
+    if payload[:len(MAGIC)] != MAGIC:
+        raise WireError(
+            f"bad message magic {bytes(payload[:len(MAGIC)])!r}; "
+            f"expected {MAGIC!r}"
+        )
+    tag = payload[len(MAGIC)]
+    if tag not in _TAG_NAMES:
+        raise WireError(f"unknown message tag {tag}")
+    header_len, offset = _read_u32(payload, _HEADER_OFFSET)
+    if header_len > MAX_HEADER_BYTES:
+        raise WireError(
+            f"{tag_name(tag)} header declares {header_len} bytes; "
+            f"ceiling is {MAX_HEADER_BYTES}"
+        )
+    header_bytes, offset = _take(payload, offset, header_len)
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(
+            f"{tag_name(tag)} header is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise WireError(
+            f"{tag_name(tag)} header must be a JSON object, got "
+            f"{type(header).__name__}"
+        )
+    body_len, offset = _read_u32(payload, offset)
+    body, offset = _take(payload, offset, body_len)
+    if offset != len(payload):
+        raise WireError(
+            f"{tag_name(tag)} message has {len(payload) - offset} "
+            f"trailing bytes"
+        )
+    return Message(tag=tag, header=header, body=bytes(body))

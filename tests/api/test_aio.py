@@ -1,0 +1,107 @@
+"""AsyncSession: the asyncio face over local and remote sessions."""
+
+import asyncio
+
+import pytest
+
+from repro.api import (
+    AsyncSession,
+    Budget,
+    CiaoSession,
+    DeploymentConfig,
+    Query,
+    Workload,
+    clause,
+    key_value,
+)
+from repro.api.report import LoadReport
+from repro.service import CiaoService, RemoteSession
+
+SEED = 1234
+N_RECORDS = 600
+SQL_COUNT = "SELECT COUNT(*) FROM t"
+
+
+@pytest.fixture()
+def workload():
+    return Workload(
+        (Query((clause(key_value("stars", 5)),), name="five"),),
+        dataset="yelp",
+    )
+
+
+class TestLocalAsync:
+    def test_load_and_query(self, workload, tmp_path):
+        async def scenario():
+            session = CiaoSession(workload, source="yelp", seed=SEED,
+                                  data_dir=tmp_path / "aio")
+            async with AsyncSession(session) as aio:
+                await aio.plan(Budget(1.0))
+                report = await aio.load(n_records=N_RECORDS)
+                assert isinstance(report, LoadReport)
+                assert report.no_record_loss
+                result = await aio.query(SQL_COUNT)
+                return result.scalar()
+
+        assert asyncio.run(scenario()) == N_RECORDS
+
+    def test_snapshot_queries_overlap_a_load(self, workload, tmp_path):
+        config = DeploymentConfig(mode="sharded", n_shards=2,
+                                  shard_mode="thread", chunk_size=50,
+                                  seal_interval=2)
+
+        async def scenario():
+            session = CiaoSession(workload, source="yelp", seed=SEED,
+                                  config=config,
+                                  data_dir=tmp_path / "aio-stream")
+            async with AsyncSession(session) as aio:
+                await aio.plan(Budget(1.0))
+                load = asyncio.ensure_future(
+                    aio.load(n_records=N_RECORDS)
+                )
+                # The load starts on an executor thread; queries need
+                # the job to exist first.
+                while session.last_job is None:
+                    await asyncio.sleep(0.005)
+                counts = []
+                while not load.done():
+                    result = await aio.snapshot_query(SQL_COUNT)
+                    counts.append(result.scalar())
+                report = await load
+                final = (await aio.query(SQL_COUNT)).scalar()
+                return report, counts, final
+
+        report, counts, final = asyncio.run(scenario())
+        assert report.no_record_loss
+        assert final == N_RECORDS
+        assert all(0 <= c <= N_RECORDS for c in counts)
+        assert counts == sorted(counts)
+
+    def test_session_property_exposes_wrapped(self, workload, tmp_path):
+        session = CiaoSession(workload, source="yelp", seed=SEED,
+                              data_dir=tmp_path / "aio-prop")
+        aio = AsyncSession(session)
+        assert aio.session is session
+        session.close()
+
+
+class TestRemoteAsync:
+    def test_remote_session_adapts(self, workload, tmp_path):
+        session = CiaoSession(workload, source="yelp", seed=SEED,
+                              data_dir=tmp_path / "aio-remote")
+        session.plan(Budget(1.0))
+
+        async def scenario(address):
+            remote = RemoteSession(address, client_id="aio", seed=SEED)
+            async with AsyncSession(remote) as aio:
+                accepted = await aio.load("yelp", n_records=N_RECORDS)
+                assert isinstance(accepted, int)
+                assert accepted > 0
+                report = await aio.commit()
+                assert report["received"] == N_RECORDS
+                result = await aio.query(SQL_COUNT)
+                return result.scalar()
+
+        with CiaoService(session) as service:
+            assert asyncio.run(scenario(service.address)) == N_RECORDS
+        session.close()

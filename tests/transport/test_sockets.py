@@ -1,0 +1,245 @@
+"""Socket transport: framing, EOF semantics, decorators over real wires."""
+
+import socket as socketlib
+import threading
+
+import pytest
+
+from repro.client import SimulatedClient, encode_chunk
+from repro.client.protocol import decode_chunk, split_frames
+from repro.rawjson import JsonChunk, dump_record
+from repro.transport import (
+    ChannelSpec,
+    LatencyChannel,
+    LinkModel,
+    LossyChannel,
+    SocketChannel,
+    SocketListener,
+    TransportError,
+    make_channel,
+    socket_pair,
+)
+
+
+class TestSocketChannelContract:
+    def test_fifo_round_trip(self):
+        a, b = socket_pair()
+        a.send(b"one")
+        a.send(b"two")
+        assert b.receive_wait(5.0) == b"one"
+        assert b.receive_wait(5.0) == b"two"
+        assert b.receive() is None
+        a.close()
+        b.close()
+
+    def test_both_directions(self):
+        a, b = socket_pair()
+        a.send(b"ping")
+        assert b.receive_wait(5.0) == b"ping"
+        b.send(b"pong")
+        assert a.receive_wait(5.0) == b"pong"
+        a.close()
+        b.close()
+
+    def test_large_frame_reassembled(self):
+        # Bigger than one recv() chunk, so reassembly genuinely runs;
+        # sent from a thread because a megabyte overflows the kernel's
+        # socketpair buffer and sendall must interleave with the reads.
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        a, b = socket_pair()
+        sender = threading.Thread(target=a.send, args=(payload,))
+        sender.start()
+        got = b.receive_wait(10.0)
+        sender.join()
+        assert got == payload
+        a.close()
+        b.close()
+
+    def test_empty_frame(self):
+        a, b = socket_pair()
+        a.send(b"")
+        assert b.receive_wait(5.0) == b""
+        a.close()
+        b.close()
+
+    def test_type_checked(self):
+        a, b = socket_pair()
+        with pytest.raises(TypeError):
+            a.send("not bytes")
+        a.close()
+        b.close()
+
+    def test_oversized_send_rejected(self):
+        a, b = socket_pair(max_frame_bytes=16)
+        with pytest.raises(TransportError):
+            a.send(b"x" * 17)
+        a.close()
+        b.close()
+
+    def test_hostile_length_prefix_rejected(self):
+        # A peer declaring a frame over the ceiling must fail loudly
+        # before any allocation, not buffer gigabytes.
+        raw_a, raw_b = socketlib.socketpair()
+        channel = SocketChannel(raw_b, max_frame_bytes=1024)
+        raw_a.sendall((1 << 30).to_bytes(4, "little"))
+        with pytest.raises(TransportError, match="ceiling"):
+            channel.receive_wait(5.0)
+        channel.close()
+        raw_a.close()
+
+    def test_stats(self):
+        a, b = socket_pair()
+        a.send(b"abcd")
+        a.send(b"ef")
+        assert b.receive_wait(5.0) is not None
+        assert a.stats.messages_sent == 2
+        assert a.stats.bytes_sent == 6
+        assert b.stats.messages_received == 1
+        a.close()
+        b.close()
+
+    def test_receive_wait_timeout(self):
+        a, b = socket_pair()
+        assert b.receive_wait(0.05) is None
+        a.close()
+        b.close()
+
+
+class TestEofSemantics:
+    def test_peer_close_drains_buffered_frames(self):
+        a, b = socket_pair()
+        a.send(b"first")
+        a.send(b"second")
+        a.close()
+        # Buffered frames still deliver; closed only after the drain.
+        assert b.receive_wait(5.0) == b"first"
+        assert b.receive_wait(5.0) == b"second"
+        assert b.receive_wait(1.0) is None
+        assert b.closed
+        b.close()
+
+    def test_send_after_close_raises(self):
+        a, b = socket_pair()
+        a.close()
+        with pytest.raises(TransportError):
+            a.send(b"late")
+        b.close()
+
+    def test_receive_wait_returns_on_peer_close(self):
+        a, b = socket_pair()
+        threading.Thread(target=a.close).start()
+        assert b.receive_wait(10.0) is None
+        assert b.closed
+        b.close()
+
+
+class TestListenerAndFactory:
+    def test_listener_accept_and_dial(self):
+        with SocketListener() as listener:
+            client = SocketChannel.connect(listener.address)
+            served = listener.accept(timeout=5.0)
+            assert served is not None
+            client.send(b"hello")
+            assert served.receive_wait(5.0) == b"hello"
+            client.close()
+            served.close()
+
+    def test_accept_timeout_returns_none(self):
+        with SocketListener() as listener:
+            assert listener.accept(timeout=0.05) is None
+
+    def test_make_channel_tcp_spec(self):
+        with SocketListener() as listener:
+            host, port = listener.address
+            channel = make_channel(f"tcp:{host}:{port}")
+            served = listener.accept(timeout=5.0)
+            assert isinstance(channel, SocketChannel)
+            channel.send(b"via-spec")
+            assert served.receive_wait(5.0) == b"via-spec"
+            channel.close()
+            served.close()
+
+    def test_tcp_spec_with_decorators(self):
+        with SocketListener() as listener:
+            host, port = listener.address
+            spec = ChannelSpec(kind="tcp", address=(host, port),
+                               drop_rate=0.3, seed=11,
+                               link=LinkModel(bandwidth_mbps=100.0))
+            channel = make_channel(spec)
+            served = listener.accept(timeout=5.0)
+            assert isinstance(channel, LossyChannel)
+            assert isinstance(channel.inner, LatencyChannel)
+            assert isinstance(channel.inner.inner, SocketChannel)
+            for i in range(10):
+                channel.send(b"m%d" % i)
+            got = [served.receive_wait(5.0) for _ in range(10)]
+            assert got == [b"m%d" % i for i in range(10)]
+            channel.close()
+            served.close()
+
+    def test_tcp_spec_requires_address(self):
+        with pytest.raises(ValueError, match="address"):
+            ChannelSpec(kind="tcp")
+
+
+class TestDecoratorsOverSockets:
+    """Satellite: Lossy/Latency compose over a real wire unchanged."""
+
+    def test_lossy_over_socket_zero_record_loss(self):
+        n_records = 200
+        records = [dump_record({"v": i, "tag": f"t{i % 3}"})
+                   for i in range(n_records)]
+        raw_a, raw_b = socket_pair()
+        lossy = LossyChannel(raw_a, drop_rate=0.4, seed=99)
+        client = SimulatedClient("dev-0", plan=None, chunk_size=25)
+        sent = client.ship(records, lossy, batch_size=2)
+        lossy.close()
+
+        payloads = []
+        while True:
+            frame = raw_b.receive_wait(5.0)
+            if frame is None:
+                break
+            payloads.append(frame)
+        decoded = [
+            decode_chunk(f) for payload in payloads
+            for f in split_frames(payload)
+        ]
+        arrived = [r for chunk in decoded for r in chunk.records]
+        assert len(decoded) == sent
+        assert arrived == records, "record loss across a lossy socket"
+        assert lossy.stats.messages_dropped > 0, (
+            "drop_rate=0.4 never dropped — the lossy decorator is not "
+            "exercising the socket path"
+        )
+        raw_b.close()
+
+    def test_latency_over_socket_accounts_modeled_time(self):
+        a, b = socket_pair()
+        latent = LatencyChannel(a, LinkModel(bandwidth_mbps=8.0,
+                                             latency_us=100.0))
+        latent.send(b"x" * 1000)
+        assert b.receive_wait(5.0) == b"x" * 1000
+        # 1000 bytes at 8 Mbps = 1000 us + 100 us propagation.
+        assert latent.modeled_us == pytest.approx(1100.0)
+        latent.close()
+        b.close()
+
+    def test_lossy_and_latency_stack_over_socket(self):
+        a, b = socket_pair()
+        stacked = LossyChannel(
+            LatencyChannel(a, LinkModel(latency_us=10.0)),
+            drop_rate=0.5, seed=5,
+        )
+        frames = [
+            encode_chunk(JsonChunk(i, [dump_record({"v": i})]))
+            for i in range(20)
+        ]
+        for frame in frames:
+            stacked.send(frame)
+        got = [b.receive_wait(5.0) for _ in range(20)]
+        assert got == frames
+        assert stacked.stats.messages_dropped > 0
+        assert stacked.inner.modeled_us > 0
+        stacked.close()
+        b.close()

@@ -1,0 +1,131 @@
+"""Service wire codec: round trips, strict decoding, fuzzed truncation."""
+
+import pytest
+
+from repro.transport import Message, WireError, decode_message, encode_message
+from repro.transport import wire
+
+
+ALL_TAGS = sorted(wire._TAG_NAMES)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("tag", ALL_TAGS)
+    def test_every_tag(self, tag):
+        message = decode_message(encode_message(
+            tag, {"k": "v", "n": 7}, b"\x00body\xff"
+        ))
+        assert message.tag == tag
+        assert message.header == {"k": "v", "n": 7}
+        assert message.body == b"\x00body\xff"
+        assert message.name == wire.tag_name(tag)
+
+    def test_defaults(self):
+        message = decode_message(encode_message(wire.HELLO))
+        assert message.header == {}
+        assert message.body == b""
+
+    def test_empty_header_nonempty_body(self):
+        message = decode_message(
+            encode_message(wire.CHUNKS, None, b"x" * 1000)
+        )
+        assert message.header == {}
+        assert message.body == b"x" * 1000
+
+    def test_header_encoding_is_canonical(self):
+        # Key-sorted, whitespace-free: byte-stable across dict orders.
+        a = encode_message(wire.QUERY, {"sql": "S", "snapshot": True})
+        b = encode_message(wire.QUERY, {"snapshot": True, "sql": "S"})
+        assert a == b
+
+    def test_message_dataclass_default_isolated(self):
+        first = Message(wire.HELLO)
+        first.header["polluted"] = True
+        assert Message(wire.HELLO).header == {}
+
+
+class TestEncodeStrictness:
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireError, match="unknown"):
+            encode_message(200)
+
+    def test_header_ceiling_enforced(self):
+        with pytest.raises(WireError, match="ceiling"):
+            encode_message(
+                wire.HELLO, {"pad": "x" * (wire.MAX_HEADER_BYTES + 1)}
+            )
+
+    def test_body_must_be_bytes(self):
+        with pytest.raises(WireError, match="bytes"):
+            encode_message(wire.CHUNKS, {}, "text")
+
+
+class TestDecodeStrictness:
+    def test_bad_magic(self):
+        payload = bytearray(encode_message(wire.HELLO, {"a": 1}))
+        payload[:4] = b"NOPE"
+        with pytest.raises(WireError, match="magic"):
+            decode_message(bytes(payload))
+
+    def test_unknown_tag(self):
+        payload = bytearray(encode_message(wire.HELLO))
+        payload[4] = 250
+        with pytest.raises(WireError, match="unknown"):
+            decode_message(bytes(payload))
+
+    def test_truncation_at_every_offset(self):
+        # Strictness satellite: any prefix of a valid message is an
+        # error, never a misparse.
+        payload = encode_message(
+            wire.QUERY, {"sql": "SELECT COUNT(*) FROM t"}, b"body!"
+        )
+        for cut in range(len(payload)):
+            with pytest.raises(WireError):
+                decode_message(payload[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_message(wire.BYE) + b"\x00"
+        with pytest.raises(WireError, match="trailing"):
+            decode_message(payload)
+
+    def test_header_declares_past_ceiling(self):
+        payload = bytearray(encode_message(wire.HELLO))
+        declared = wire.MAX_HEADER_BYTES + 1
+        payload[5:9] = declared.to_bytes(4, "little")
+        with pytest.raises(WireError, match="ceiling"):
+            decode_message(bytes(payload))
+
+    def test_header_bad_json(self):
+        good = encode_message(wire.HELLO, {"ab": 1})
+        payload = bytearray(good)
+        # Corrupt one byte inside the JSON header region.
+        payload[10] = 0xFF
+        with pytest.raises(WireError):
+            decode_message(bytes(payload))
+
+    def test_header_must_be_object(self):
+        header_bytes = b"[1,2]"
+        payload = (
+            wire.MAGIC + bytes((wire.HELLO,))
+            + len(header_bytes).to_bytes(4, "little") + header_bytes
+            + (0).to_bytes(4, "little")
+        )
+        with pytest.raises(WireError, match="object"):
+            decode_message(payload)
+
+
+class TestOverSocket:
+    def test_messages_survive_a_real_socket(self):
+        from repro.transport import socket_pair
+
+        a, b = socket_pair()
+        a.send(encode_message(wire.HELLO, {"client_id": "c"}, b""))
+        a.send(encode_message(wire.CHUNKS, {"frames": 2}, b"\x01" * 64))
+        first = decode_message(b.receive_wait(5.0))
+        second = decode_message(b.receive_wait(5.0))
+        assert first.name == "HELLO"
+        assert first.header["client_id"] == "c"
+        assert second.name == "CHUNKS"
+        assert second.body == b"\x01" * 64
+        a.close()
+        b.close()
