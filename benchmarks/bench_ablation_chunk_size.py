@@ -9,7 +9,7 @@ query time, and wire overhead of the bit-vectors.
 
 from conftest import config_for, run_once
 
-from repro.bench import EndToEndRunner, emit, format_table
+from repro.bench import EndToEndRunner, emit_table
 from repro.client import SimulatedClient, encode_chunk
 from repro.workload import selectivity_workload
 
@@ -54,13 +54,12 @@ def test_ablation_chunk_size(benchmark, tmp_path, results_dir):
         return rows
 
     rows = run_once(benchmark, experiment)
-    table = format_table(
+    emit_table(
+        "ablation_chunk_size",
         ["chunk size", "loading (s)", "load ratio", "query (s)",
          "wire overhead (%)"],
-        rows,
+        rows, results_dir, title="Chunk-size ablation",
     )
-    emit("ablation_chunk_size", f"== Chunk-size ablation ==\n{table}",
-         results_dir)
 
     overheads = [row[4] for row in rows]
     # Bit-vector overhead stays marginal at every chunk size and shrinks

@@ -13,7 +13,7 @@ import time
 
 from conftest import run_once
 
-from repro.bench import emit, format_table
+from repro.bench import emit_table
 from repro.core import clause, compile_clause, key_value, substring
 from repro.data import make_generator
 from repro.rawjson import dump_record, parse_object
@@ -54,15 +54,11 @@ def test_ablation_client_matcher(benchmark, results_dir):
         return rows
 
     rows = run_once(benchmark, experiment)
-    table = format_table(
+    emit_table(
+        "ablation_client_matcher",
         ["clause", "raw µs/rec", "parse+eval µs/rec", "speedup",
          "raw hits", "semantic hits"],
-        rows,
-    )
-    emit(
-        "ablation_client_matcher",
-        f"== Client matcher ablation ==\n{table}",
-        results_dir,
+        rows, results_dir, title="Client matcher ablation",
     )
 
     for _, _, _, speedup, raw_hits, parsed_hits in rows:

@@ -9,7 +9,7 @@ import time
 
 from conftest import run_once
 
-from repro.bench import emit, format_table
+from repro.bench import emit, emit_json, format_table
 from repro.data import make_generator
 from repro.storage import (
     Encoding,
@@ -66,6 +66,11 @@ def test_ablation_encodings(benchmark, tmp_path, results_dir):
         f"heuristic choices (first row group):\n{choices}",
         results_dir,
     )
+    emit_json("ablation_encodings", {
+        "headers": ["encoding", "file size (KiB)", "full scan (s)"],
+        "rows": [list(row) for row in rows],
+        "heuristic_choices": {name: tag for name, tag in chosen},
+    }, results_dir)
 
     sizes = {label: size for label, size, _ in rows}
     # Dictionary beats plain on this dataset (low-cardinality columns),

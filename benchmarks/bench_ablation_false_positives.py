@@ -9,7 +9,7 @@ patterns the best.
 
 from conftest import run_once
 
-from repro.bench import emit, format_table
+from repro.bench import emit_table
 from repro.core import clause, exact, key_present, key_value, substring
 from repro.data import make_generator
 from repro.rawjson import dump_record
@@ -48,15 +48,11 @@ def test_ablation_false_positive_rates(benchmark, results_dir):
         ]
 
     rows = run_once(benchmark, experiment)
-    table = format_table(
+    emit_table(
+        "ablation_false_positives",
         ["family", "clause", "selectivity", "raw hit rate",
          "false-positive rate"],
-        rows,
-    )
-    emit(
-        "ablation_false_positives",
-        f"== False-positive ablation ==\n{table}",
-        results_dir,
+        rows, results_dir, title="False-positive ablation",
     )
 
     by_family = {family: row for family, *row in rows}

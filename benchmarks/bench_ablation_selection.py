@@ -8,7 +8,7 @@ pool, and marginal-gain evaluation counts on a full-size pool.
 
 from conftest import run_once
 
-from repro.bench import emit, format_table
+from repro.bench import emit, emit_json, format_table
 from repro.core import (
     Budget,
     CiaoOptimizer,
@@ -106,6 +106,18 @@ def test_ablation_selection_quality_and_evals(benchmark, results_dir):
         f"== Selection ablation: lazy evaluation ==\n{evals}",
         results_dir,
     )
+    emit_json("ablation_selection", {
+        "quality": {
+            "headers": ["budget", "algorithm", "f(S)", "OPT",
+                        "ratio to OPT"],
+            "rows": [list(row) for row in quality_rows],
+        },
+        "lazy_evaluation": {
+            "headers": ["budget", "#selected", "evals (eager)",
+                        "evals (CELF)", "saving"],
+            "rows": [list(row) for row in eval_rows],
+        },
+    }, results_dir)
 
     # Every algorithm clears the 0.316·OPT bound; combined ≥ both arms.
     for budget, name, value, opt, ratio in quality_rows:

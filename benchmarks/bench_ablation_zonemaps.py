@@ -12,7 +12,7 @@ import time
 
 from conftest import config_for, run_once
 
-from repro.bench import EndToEndRunner, emit, format_table
+from repro.bench import EndToEndRunner, emit_table
 
 PARAMS = config_for("winlog", n_records=6000, n_queries=5)
 
@@ -58,13 +58,12 @@ def test_ablation_zonemaps(benchmark, tmp_path, results_dir):
         return rows
 
     rows = run_once(benchmark, experiment)
-    table = format_table(
+    emit_table(
+        "ablation_zonemaps",
         ["query", "count", "row groups", "pruned", "rows examined",
          "time (s)"],
-        rows,
+        rows, results_dir, title="Zone-map ablation",
     )
-    emit("ablation_zonemaps", f"== Zone-map ablation ==\n{table}",
-         results_dir)
 
     by_name = {row[0]: row for row in rows}
     total_rows = PARAMS["config"].records

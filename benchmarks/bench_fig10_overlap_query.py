@@ -8,7 +8,7 @@ with partial loading and is fastest across the board.
 
 from conftest import config_for, run_once
 
-from repro.bench import emit, format_table, overlap_experiment
+from repro.bench import emit_table, overlap_experiment
 
 PARAMS = config_for("winlog", n_records=4000, n_queries=5)
 
@@ -25,8 +25,8 @@ def test_fig10_overlap_query(benchmark, tmp_path, results_dir):
         row.extend(r.per_query_s[i] for r in results)
         row.append(results[0].baseline.per_query_wall_s[i])
         rows.append(row)
-    table = format_table(headers, rows)
-    emit("fig10_overlap_query", f"== Fig 10 ==\n{table}", results_dir)
+    emit_table("fig10_overlap_query", headers, rows, results_dir,
+               title="Fig 10")
 
     by_level = {r.level: r.metrics for r in results}
     # Covered-query counts rise with overlap (2 / 4 / 5 of 5).

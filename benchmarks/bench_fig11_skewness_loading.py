@@ -8,7 +8,7 @@ loading and cuts loading time.
 
 from conftest import config_for, run_once
 
-from repro.bench import emit, format_table, skewness_experiment
+from repro.bench import emit_table, skewness_experiment
 
 PARAMS = config_for("winlog", n_records=4000, n_queries=5)
 
@@ -23,12 +23,12 @@ def test_fig11_skewness_loading(benchmark, tmp_path, results_dir):
          "yes" if r.metrics.partial_loading else "no")
         for r in results
     ]
-    table = format_table(
+    emit_table(
+        "fig11_skewness_loading",
         ["skewness", "loading time (s)", "loading ratio",
          "partial loading"],
-        rows,
+        rows, results_dir, title="Fig 11",
     )
-    emit("fig11_skewness_loading", f"== Fig 11 ==\n{table}", results_dir)
 
     by_level = {r.level: r for r in results}
     assert by_level["skew=0.0"].loading_ratio == 1.0

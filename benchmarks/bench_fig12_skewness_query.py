@@ -7,7 +7,7 @@ the pushed predicate and benefits; at 0.5 a couple of queries benefit; at
 
 from conftest import config_for, run_once
 
-from repro.bench import emit, format_table, skewness_experiment
+from repro.bench import emit_table, skewness_experiment
 
 PARAMS = config_for("winlog", n_records=4000, n_queries=5)
 
@@ -24,8 +24,8 @@ def test_fig12_skewness_query(benchmark, tmp_path, results_dir):
         row.extend(r.per_query_s[i] for r in results)
         row.append(results[0].baseline.per_query_wall_s[i])
         rows.append(row)
-    table = format_table(headers, rows)
-    emit("fig12_skewness_query", f"== Fig 12 ==\n{table}", results_dir)
+    emit_table("fig12_skewness_query", headers, rows, results_dir,
+               title="Fig 12")
 
     counts = [r.metrics.queries_using_skipping for r in results]
     # 1 / 2 / 5 queries include the pushed predicate (paper: 1 / 3 / 5;

@@ -12,10 +12,12 @@ from conftest import config_for, run_once
 from repro.bench import (
     BUDGET_GRIDS,
     emit,
+    emit_json,
     end_to_end_sweep,
     headline_speedups,
     metrics_table,
     speedup_summary,
+    sweep_payload,
 )
 
 PARAMS = config_for("winlog", n_records=4000, n_queries=60)
@@ -43,6 +45,10 @@ def test_fig3_winlog_end_to_end(benchmark, tmp_path, results_dir):
         f"end-to-end {best['end_to_end']:.1f}x"
     )
     emit("fig3_winlog_end_to_end", "\n\n".join(sections), results_dir)
+    emit_json("fig3_winlog_end_to_end", {
+        "sweep": sweep_payload(sweep),
+        "headline_speedups": best,
+    }, results_dir)
 
     runs_a = sweep["A"]
     baseline = runs_a[0]

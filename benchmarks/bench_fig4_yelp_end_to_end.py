@@ -9,10 +9,12 @@ from conftest import config_for, run_once
 from repro.bench import (
     BUDGET_GRIDS,
     emit,
+    emit_json,
     end_to_end_sweep,
     headline_speedups,
     metrics_table,
     speedup_summary,
+    sweep_payload,
 )
 
 PARAMS = config_for("yelp", n_records=3000, n_queries=50)
@@ -40,6 +42,10 @@ def test_fig4_yelp_end_to_end(benchmark, tmp_path, results_dir):
         f"end-to-end {best['end_to_end']:.1f}x"
     )
     emit("fig4_yelp_end_to_end", "\n\n".join(sections), results_dir)
+    emit_json("fig4_yelp_end_to_end", {
+        "sweep": sweep_payload(sweep),
+        "headline_speedups": best,
+    }, results_dir)
 
     for label, runs in sweep.items():
         baseline = runs[0]

@@ -11,10 +11,12 @@ from conftest import config_for, run_once
 from repro.bench import (
     BUDGET_GRIDS,
     emit,
+    emit_json,
     end_to_end_sweep,
     headline_speedups,
     metrics_table,
     speedup_summary,
+    sweep_payload,
 )
 
 PARAMS = config_for("ycsb", n_records=2500, n_queries=50)
@@ -42,6 +44,10 @@ def test_fig5_ycsb_end_to_end(benchmark, tmp_path, results_dir):
         f"end-to-end {best['end_to_end']:.1f}x"
     )
     emit("fig5_ycsb_end_to_end", "\n\n".join(sections), results_dir)
+    emit_json("fig5_ycsb_end_to_end", {
+        "sweep": sweep_payload(sweep),
+        "headline_speedups": best,
+    }, results_dir)
 
     # The paper's observation: C's aggregate result shows little partial
     # loading; A engages it.

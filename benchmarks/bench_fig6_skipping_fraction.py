@@ -8,7 +8,7 @@ bit-vector skipping — the point of this figure.
 
 from conftest import config_for, run_once
 
-from repro.bench import FIG6_BUDGETS, emit, format_table, skipping_benefit_sweep
+from repro.bench import FIG6_BUDGETS, emit_table, skipping_benefit_sweep
 
 PARAMS = config_for("ycsb", n_records=2500, n_queries=40)
 
@@ -23,11 +23,12 @@ def test_fig6_skipping_benefit_fraction(benchmark, tmp_path, results_dir):
         )
 
     series = run_once(benchmark, experiment)
-    table = format_table(
+    emit_table(
+        "fig6_skipping_fraction",
         ["budget (µs)", "benefiting fraction"],
         [(budget, fraction) for budget, fraction in series],
+        results_dir, title="Fig 6",
     )
-    emit("fig6_skipping_fraction", f"== Fig 6 ==\n{table}", results_dir)
 
     fractions = [fraction for _, fraction in series]
     # The paper reports 37–68%; shape requirement: a substantial share of

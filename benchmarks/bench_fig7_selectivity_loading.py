@@ -8,7 +8,7 @@ enabled.  Expected shape: more selective predicates ⇒ lower loading ratio
 
 from conftest import config_for, run_once
 
-from repro.bench import emit, format_table, selectivity_experiment
+from repro.bench import emit_table, selectivity_experiment
 
 PARAMS = config_for("winlog", n_records=4000, n_queries=5)
 
@@ -27,12 +27,12 @@ def test_fig7_selectivity_loading(benchmark, tmp_path, results_dir):
         )
         for r in results
     ]
-    table = format_table(
+    emit_table(
+        "fig7_selectivity_loading",
         ["selectivity", "loading time (s)", "loading ratio",
          "baseline loading (s)"],
-        rows,
+        rows, results_dir, title="Fig 7",
     )
-    emit("fig7_selectivity_loading", f"== Fig 7 ==\n{table}", results_dir)
 
     ratios = [r.loading_ratio for r in results]
     times = [r.loading_time_s for r in results]

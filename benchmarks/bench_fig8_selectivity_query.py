@@ -7,7 +7,7 @@ every query runs faster than at 0.35.
 
 from conftest import config_for, run_once
 
-from repro.bench import emit, format_table, selectivity_experiment
+from repro.bench import emit_table, selectivity_experiment
 
 PARAMS = config_for("winlog", n_records=4000, n_queries=5)
 
@@ -24,8 +24,8 @@ def test_fig8_selectivity_query(benchmark, tmp_path, results_dir):
         row.extend(r.per_query_s[i] for r in results)
         row.append(results[0].baseline.per_query_wall_s[i])
         rows.append(row)
-    table = format_table(headers, rows)
-    emit("fig8_selectivity_query", f"== Fig 8 ==\n{table}", results_dir)
+    emit_table("fig8_selectivity_query", headers, rows, results_dir,
+               title="Fig 8")
 
     # Per-query times at selectivity 0.01 beat those at 0.35.
     high, low = results[0], results[-1]

@@ -9,7 +9,7 @@ loading time drops drastically.
 
 from conftest import config_for, run_once
 
-from repro.bench import emit, format_table, overlap_experiment
+from repro.bench import emit_table, overlap_experiment
 
 PARAMS = config_for("winlog", n_records=4000, n_queries=5)
 
@@ -24,11 +24,11 @@ def test_fig9_overlap_loading(benchmark, tmp_path, results_dir):
          "yes" if r.metrics.partial_loading else "no")
         for r in results
     ]
-    table = format_table(
+    emit_table(
+        "fig9_overlap_loading",
         ["overlap", "loading time (s)", "loading ratio", "partial loading"],
-        rows,
+        rows, results_dir, title="Fig 9",
     )
-    emit("fig9_overlap_loading", f"== Fig 9 ==\n{table}", results_dir)
 
     by_level = {r.level: r for r in results}
     assert by_level["low"].loading_ratio == 1.0

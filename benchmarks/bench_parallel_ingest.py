@@ -36,7 +36,8 @@ import time
 
 from conftest import run_once
 
-from repro.bench import emit, format_table
+from repro.bench import emit, emit_json, format_table
+from repro.obs import Metrics
 from repro.bitvec import BitVector
 from repro.client import DEFAULT_SHIP_BATCH, SimulatedClient, encode_chunk
 from repro.core import (
@@ -138,6 +139,13 @@ def test_bitvector_kernel_speedup(benchmark, results_dir):
         f"  speedup            : {ratio:8.1f}x (floor 10x)",
     ]
     emit("parallel_ingest_kernels", "\n".join(lines), results_dir)
+    emit_json("parallel_ingest_kernels", {
+        "bits": KERNEL_BITS,
+        "seed_seconds": seed_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": ratio,
+        "floor": 10.0,
+    }, results_dir)
     run_once(benchmark, kernels)
     assert ratio >= 10.0, (
         f"word-level kernels only {ratio:.1f}x over the per-byte loop"
@@ -170,10 +178,11 @@ def _prepare_payloads():
     return plan, workload, list(channel.drain()), n_chunks
 
 
-def _ingest(tmp_path, tag, plan, workload, payloads, n_shards):
+def _ingest(tmp_path, tag, plan, workload, payloads, n_shards,
+            metrics=None):
     server = CiaoServer(
         tmp_path / tag, plan=plan, workload=workload,
-        n_shards=n_shards, shard_mode="process",
+        n_shards=n_shards, shard_mode="process", metrics=metrics,
     )
     start = time.perf_counter()
     for payload in payloads:
@@ -185,6 +194,7 @@ def _ingest(tmp_path, tag, plan, workload, payloads, n_shards):
 
 def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
     plan, workload, payloads, n_chunks = _prepare_payloads()
+    metrics = Metrics()
 
     def experiment():
         serial_summary, serial_seconds = _ingest(
@@ -192,7 +202,7 @@ def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
         )
         parallel_summary, parallel_seconds = _ingest(
             tmp_path, "parallel", plan, workload, payloads,
-            n_shards=N_SHARDS,
+            n_shards=N_SHARDS, metrics=metrics,
         )
         return (serial_summary, serial_seconds,
                 parallel_summary, parallel_seconds)
@@ -220,6 +230,20 @@ def test_parallel_ingest_speedup(benchmark, tmp_path, results_dir):
         f"malformed={parallel_summary.malformed} (quarantined raw)",
     ]
     emit("parallel_ingest_throughput", "\n".join(lines), results_dir)
+    emit_json("parallel_ingest_throughput", {
+        "records": N_RECORDS,
+        "chunks": n_chunks,
+        "chunk_size": CHUNK_SIZE,
+        "n_shards": N_SHARDS,
+        "effective_cores": cores,
+        "serial_chunks_per_s": serial_rate,
+        "parallel_chunks_per_s": parallel_rate,
+        "speedup": speedup,
+        "floor": floor,
+        "loaded": parallel_summary.loaded,
+        "sidelined": parallel_summary.sidelined,
+        "malformed": parallel_summary.malformed,
+    }, results_dir, metrics=metrics)
 
     # Identical accounting regardless of shard count.
     assert parallel_summary.received == serial_summary.received
@@ -346,6 +370,24 @@ def test_batched_framing_amortization(benchmark, tmp_path, results_dir):
         f"returns diminish past ~{DEFAULT_SHIP_BATCH} frames.",
     ]
     emit("batched_framing", "\n".join(lines_out), results_dir)
+    emit_json("batched_framing", {
+        "records": N_RECORDS,
+        "default_ship_batch": DEFAULT_SHIP_BATCH,
+        "rows": [
+            {
+                "chunk_size": chunk_size,
+                "channel": channel_name,
+                "frames_per_message": batch,
+                "messages": messages,
+                "wall_seconds": seconds,
+            }
+            for (chunk_size, channel_name, batch), (seconds, messages)
+            in results.items()
+        ],
+        "small_file_speedup": small_file,
+        "big_file_speedup": big_file,
+        "small_memory_speedup": small_memory,
+    }, results_dir)
 
     # Small chunks must show a real file-channel win; big chunks must
     # not regress (payload I/O dominates there, so ~1x is expected).

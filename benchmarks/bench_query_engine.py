@@ -1,9 +1,7 @@
 """Batch query engine vs. row-at-a-time execution, and the incremental
 snapshot-aggregation cache.
 
-Two claims are measured, both **single-thread CPU work** — unlike the
-ingest benches there is no core gate, so the assertions hold on any
-machine:
+Three claims are measured, all **single-thread CPU work**:
 
 1. **Batch speedup** — the same plan trees run under the batch engine
    (``run_plan``: columnar batches, ``evaluate_batch`` selection masks,
@@ -20,6 +18,13 @@ machine:
    aggregates: the second query's ``row_groups_total`` must be
    *strictly lower* than a cold (cache-cleared) scan of the same
    snapshot, with byte-identical answers.
+
+3. **Disabled-instrumentation overhead** — an ``Executor`` built with
+   no ``repro.obs`` instruments (the default null registry) must run
+   the paper template within ``REPRO_BENCH_MAX_OBS_OVERHEAD`` (default
+   5%) of bare ``run_plan``.  Unlike the first two, this assertion IS
+   core-gated (<4 usable cores: reported, not asserted) because it
+   compares two nearly-equal few-ms timings.
 
 Reports: paper-style text table plus machine-readable
 ``BENCH_query_engine.json`` under ``benchmarks/results/`` so the perf
@@ -38,7 +43,14 @@ import time
 from conftest import run_once
 
 from repro.bench import emit, emit_json, format_table
-from repro.engine import Catalog, TableEntry, parse_sql, plan_query, run_plan
+from repro.engine import (
+    Catalog,
+    Executor,
+    TableEntry,
+    parse_sql,
+    plan_query,
+    run_plan,
+)
 from repro.engine.rowpath import run_plan_rows
 from repro.rawjson import JsonChunk, dump_record
 from repro.server import CiaoServer
@@ -265,3 +277,97 @@ def test_incremental_snapshot_aggregation(benchmark, tmp_path,
         "answers_identical": True,
     }
     emit_json("BENCH_query_engine", _PAYLOAD, results_dir)
+
+
+# ----------------------------------------------------------------------
+# Disabled-instrumentation overhead guard (repro.obs).
+#
+# An `Executor` built with no metrics/tracer/query-log runs every query
+# through the shared null instruments; the guard pins that path to
+# within REPRO_BENCH_MAX_OBS_OVERHEAD (default 5%) of bare `run_plan` on
+# the paper template.  Like the ingest speedup floors, the assertion is
+# core-gated: on a starved shared runner (<4 usable cores) min-of-N
+# timing of a few-ms query is dominated by scheduling noise, so there
+# the ratio is reported but not asserted.
+
+MAX_OBS_OVERHEAD = float(
+    os.environ.get("REPRO_BENCH_MAX_OBS_OVERHEAD", "0.05")
+)
+OVERHEAD_QUERIES = 10 if SMOKE else 20
+OVERHEAD_REPEATS = 5 if SMOKE else 8
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_disabled_instrumentation_overhead(benchmark, tmp_path,
+                                           results_dir):
+    table = _write_table(tmp_path)
+    catalog = Catalog()
+    catalog.register(table)
+    executor = Executor(catalog)  # null metrics, tracer, and query log
+    parsed = parse_sql(TEMPLATE_SQL)
+
+    direct_result = run_plan(*plan_query(parsed, table))
+    executor_result = executor.execute_parsed(parsed, sql=TEMPLATE_SQL)
+    assert executor_result.rows == direct_result.rows
+
+    def run_direct():
+        for _ in range(OVERHEAD_QUERIES):
+            run_plan(*plan_query(parsed, table))
+
+    def run_executor():
+        for _ in range(OVERHEAD_QUERIES):
+            executor.execute_parsed(parsed, sql=TEMPLATE_SQL)
+
+    def measure():
+        # Interleave the arms so clock drift hits both equally; keep
+        # the per-arm minimum (the least-disturbed run).
+        direct_s = executor_s = float("inf")
+        for _ in range(OVERHEAD_REPEATS):
+            d, _ = _best_of(run_direct, repeats=1)
+            e, _ = _best_of(run_executor, repeats=1)
+            direct_s = min(direct_s, d)
+            executor_s = min(executor_s, e)
+        return direct_s, executor_s
+
+    direct_s, executor_s = run_once(benchmark, measure)
+    ratio = executor_s / direct_s
+    cores = _effective_cores()
+    gated = cores >= 4
+
+    lines = [
+        "== disabled-instrumentation overhead (null obs executor) ==",
+        f"query: {TEMPLATE_SQL} x{OVERHEAD_QUERIES}, min of "
+        f"{OVERHEAD_REPEATS}",
+        f"bare run_plan:   {direct_s * 1000:.2f}ms",
+        f"null Executor:   {executor_s * 1000:.2f}ms",
+        f"ratio: {ratio:.4f} (ceiling 1 + {MAX_OBS_OVERHEAD}; "
+        f"{'asserted' if gated else f'reported only, {cores} cores'})",
+    ]
+    emit("query_engine_obs_overhead", "\n".join(lines), results_dir)
+
+    _PAYLOAD["obs_overhead"] = {
+        "sql": TEMPLATE_SQL,
+        "queries_per_rep": OVERHEAD_QUERIES,
+        "repeats": OVERHEAD_REPEATS,
+        "direct_ms": direct_s * 1000,
+        "executor_ms": executor_s * 1000,
+        "ratio": ratio,
+        "max_overhead": MAX_OBS_OVERHEAD,
+        "cores": cores,
+        "asserted": gated,
+    }
+    emit_json("BENCH_query_engine", _PAYLOAD, results_dir)
+
+    if gated:
+        assert ratio <= 1.0 + MAX_OBS_OVERHEAD, (
+            f"null-instrumented Executor is {ratio:.3f}x bare run_plan "
+            f"on the paper template ({executor_s * 1000:.2f}ms vs "
+            f"{direct_s * 1000:.2f}ms) — disabled observability must "
+            f"stay within {MAX_OBS_OVERHEAD:.0%}"
+        )

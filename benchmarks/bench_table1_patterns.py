@@ -10,7 +10,7 @@ import time
 
 from conftest import run_once
 
-from repro.bench import emit, format_table
+from repro.bench import emit_table
 from repro.core import (
     compile_predicate,
     exact,
@@ -56,12 +56,12 @@ def test_table1_patterns_and_throughput(benchmark, results_dir):
         return rows
 
     rows = run_once(benchmark, experiment)
-    table = format_table(
+    emit_table(
+        "table1_patterns",
         ["family", "SQL predicate", "pattern string(s)", "hit rate",
          "M records/s"],
-        rows,
+        rows, results_dir, title="Table I",
     )
-    emit("table1_patterns", f"== Table I ==\n{table}", results_dir)
 
     throughputs = [r[4] for r in rows]
     # Raw matching must be fast — this is what makes client-side

@@ -11,7 +11,7 @@ timings measured on the current host.
 
 from conftest import run_once
 
-from repro.bench import cost_model_experiment, emit, format_table
+from repro.bench import cost_model_experiment, emit, emit_json, format_table
 
 
 def test_table4_cost_model_robustness(benchmark, results_dir):
@@ -39,6 +39,14 @@ def test_table4_cost_model_robustness(benchmark, results_dir):
         f"== Table IV ==\n{table}\n\nfit details:\n{details}",
         results_dir,
     )
+    emit_json("table4_cost_model", {
+        "headers": ["platform", "hardware", "r_squared",
+                    "paper_r_squared"],
+        "rows": [
+            [r.platform, r.hardware, r.r_squared, r.paper_r_squared]
+            for r in rows
+        ],
+    }, results_dir)
 
     simulated = {r.platform: r for r in rows[:3]}
     # Paper-matching values within tolerance...

@@ -1,0 +1,77 @@
+"""Observability: one trace across the wire, metrics, and the query log.
+
+Everything in ``repro.obs`` is injectable and off by default — a session
+built without a registry pays a handful of no-op calls and nothing else.
+This demo turns all three instruments on for a served session:
+
+* a ``Metrics`` registry counting chunk decodes, row groups skipped,
+  snapshot-cache hits, admission decisions, and socket frames;
+* a ``Tracer`` whose spans cross the process boundary: the client's
+  ``remote.query`` span id rides the wire header, the server re-roots
+  its ``service.query``/``engine.*`` spans under it, and the RESULT
+  frame carries the finished server spans back for adoption — one trace
+  id, both sides;
+* a ``QueryLog`` recording per query the predicate columns, observed
+  selectivity, rows and row groups scanned vs. skipped, snapshot-cache
+  outcome, and which client asked.
+
+Run:  python examples/observability.py
+"""
+
+from repro.api import Budget, CiaoSession, Query, Workload, clause, key_value
+from repro.obs import Metrics, QueryLog, Tracer, prometheus_text
+from repro.service import CiaoService, RemoteSession
+
+SEED = 11
+N_RECORDS = 5_000
+SQL = "SELECT COUNT(*) FROM t WHERE stars = 5"
+
+
+def main() -> None:
+    workload = Workload(
+        (Query((clause(key_value("stars", 5)),), name="five-stars"),),
+        dataset="yelp",
+    )
+    metrics = Metrics()
+    query_log = QueryLog()
+    session = CiaoSession(
+        workload, source="yelp", seed=SEED,
+        metrics=metrics, tracer=Tracer("server"), query_log=query_log,
+    )
+    with session:
+        session.plan(Budget(1.0))
+        session.load(n_records=N_RECORDS).result()
+
+        client_tracer = Tracer("client")
+        with CiaoService(session) as service:
+            with RemoteSession(service.address, client_id="demo",
+                               tracer=client_tracer) as remote:
+                count = remote.query(SQL).scalar()
+                stats = remote.stats(query_log_tail=5)
+
+        print(f"{SQL}\n  -> {count}\n")
+
+        print("Trace (client + adopted server spans, one trace id):")
+        print(client_tracer.format_tree())
+
+        print("\nQuery log:")
+        for rec in query_log.records():
+            print(f"  client={rec.client_id} cols={rec.predicate_columns} "
+                  f"selectivity={rec.selectivity:.3f} "
+                  f"row_groups scanned={rec.row_groups_scanned} "
+                  f"skipped={rec.row_groups_skipped} "
+                  f"cache={rec.snapshot_cache}")
+
+        print("\nSTATS over the wire (excerpt):")
+        print(f"  connections={stats['connections']} "
+              f"admission={stats['admission']}")
+        for name in ("engine.queries", "loader.chunks",
+                     "scan.row_groups_skipped", "socket.frames_in"):
+            print(f"  {name} = {stats['metrics']['counters'].get(name, 0)}")
+
+        print("\nPrometheus text (first lines):")
+        print("\n".join(prometheus_text(metrics).splitlines()[:8]))
+
+
+if __name__ == "__main__":
+    main()

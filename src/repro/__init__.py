@@ -82,6 +82,7 @@ from .fleet import (
     FleetCoordinator,
     FleetReport,
 )
+from .obs import Metrics, QueryLog, Tracer
 from .server import (
     CiaoServer,
     ClientAssistedLoader,
@@ -141,10 +142,12 @@ __all__ = [
     "LoadSummary",
     "LossyChannel",
     "MemoryChannel",
+    "Metrics",
     "PredicateKind",
     "PushdownEntry",
     "PushdownPlan",
     "Query",
+    "QueryLog",
     "RemoteSession",
     "SelectionObjective",
     "SelectionResult",
@@ -153,6 +156,7 @@ __all__ = [
     "SimulatedClient",
     "SocketChannel",
     "SocketListener",
+    "Tracer",
     "UnsupportedPredicateError",
     "Workload",
     "__version__",

@@ -44,6 +44,9 @@ _ROLE_BY_SEGMENT = {
     "rawjson": "protocol",
     "rawcsv": "protocol",
     "transport": "protocol",
+    "server": "server",
+    "storage": "storage",
+    "service": "service",
 }
 _ROLE_BY_FILENAME = {
     "protocol.py": "protocol",

@@ -1,0 +1,99 @@
+"""Observability discipline for hot-path modules.
+
+The server/engine/storage/service layers sit on ingest and query hot
+paths; ad-hoc ``print()`` calls and ``logging`` there are both a
+performance hazard (formatting and I/O inside scan/ingest loops) and an
+observability dead end — output that bypasses the :mod:`repro.obs`
+registry can't be snapshotted, exported, or asserted on.  Those layers
+report through injected :class:`~repro.obs.Metrics` /
+:class:`~repro.obs.Tracer` / :class:`~repro.obs.QueryLog` instances
+instead.
+
+``OBS001``
+    A direct ``print(...)`` call, a ``logging`` import, or a
+    ``logging.*`` call in a hot-path module.  Route the signal through
+    the obs registry (or, for genuinely human-facing output such as a
+    CLI entry point, move it out of the hot-path layer).
+
+Scope: modules whose role is ``server``, ``engine``, ``storage``, or
+``service`` (path-inferred, or declared with
+``# ciaolint: module-role=...``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .findings import Finding
+from .model import Project, SourceModule
+from .registry import Checker, register
+
+_OBS_ROLES = ("server", "engine", "storage", "service")
+
+
+@register
+class ObservabilityChecker(Checker):
+    name = "observability"
+    description = (
+        "hot-path layers report via repro.obs, not print()/logging"
+    )
+    rules = {
+        "OBS001": "print()/logging on a hot path — use the obs registry",
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.by_role(*_OBS_ROLES):
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "logging":
+                        findings.append(self._finding(
+                            module, node,
+                            "imports logging: hot-path modules report "
+                            "through injected repro.obs instruments, "
+                            "not a process-global logger",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and \
+                        node.module.split(".")[0] == "logging":
+                    findings.append(self._finding(
+                        module, node,
+                        "imports from logging: hot-path modules report "
+                        "through injected repro.obs instruments, "
+                        "not a process-global logger",
+                    ))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    findings.append(self._finding(
+                        module, node,
+                        "print() on a hot path: formatting + stdout I/O "
+                        "inside ingest/query code — record a metric or "
+                        "span via repro.obs instead",
+                    ))
+                elif isinstance(func, ast.Attribute):
+                    root = func.value
+                    while isinstance(root, ast.Attribute):
+                        root = root.value
+                    if isinstance(root, ast.Name) and root.id == "logging":
+                        findings.append(self._finding(
+                            module, node,
+                            f"logging.{func.attr}() on a hot path: "
+                            f"route the signal through the obs registry",
+                        ))
+        return findings
+
+    def _finding(self, module: SourceModule, node: ast.AST,
+                 message: str) -> Finding:
+        return Finding(
+            path=module.rel_path, line=node.lineno,
+            col=node.col_offset, rule="OBS001", checker=self.name,
+            message=message,
+        )

@@ -38,6 +38,9 @@ from ..data import DEFAULT_SEED
 from ..data.randomness import derive_seed
 from ..engine.executor import QueryResult
 from ..fleet.coordinator import FleetCoordinator
+from ..obs.metrics import Metrics, resolve_metrics
+from ..obs.querylog import QueryLog, QueryLogRecord, resolve_query_log
+from ..obs.tracing import Tracer, resolve_tracer
 from ..fleet.population import ClientPopulation
 from ..server.ciao import CiaoServer
 from ..transport import Channel, make_channel, per_client_channels
@@ -261,6 +264,11 @@ class CiaoSession:
         seed: Root seed for source coercion, generated fleet
             populations, and channel loss sequences.
         plan: A pre-built pushdown plan (skips :meth:`plan`).
+        metrics: A :class:`repro.obs.Metrics` registry to instrument the
+            deployment with (``None`` = no-op instruments everywhere).
+        tracer: A :class:`repro.obs.Tracer` for engine-side spans.
+        query_log: A :class:`repro.obs.QueryLog` accumulating one record
+            per executed query; drain it via :meth:`query_log`.
 
     The session is a facade over — not a fork of — the low-level API:
     :attr:`server`, :attr:`pushdown_plan`, and every constructor the
@@ -272,10 +280,16 @@ class CiaoSession:
                  config: Optional[DeploymentConfig] = None,
                  data_dir: Optional[Union[str, Path]] = None,
                  seed: int = DEFAULT_SEED,
-                 plan: Optional[PushdownPlan] = None):
+                 plan: Optional[PushdownPlan] = None,
+                 metrics: Optional[Metrics] = None,
+                 tracer: Optional[Tracer] = None,
+                 query_log: Optional[QueryLog] = None):
         self.workload = workload
         self.config = config or DeploymentConfig()
         self.seed = seed
+        self._metrics = resolve_metrics(metrics)
+        self._tracer = resolve_tracer(tracer)
+        self._query_log = resolve_query_log(query_log)
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
         if data_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="ciao-")
@@ -314,6 +328,39 @@ class CiaoSession:
     def last_job(self) -> Optional[LoadJob]:
         """The most recent :class:`LoadJob`, if any."""
         return self._jobs[-1] if self._jobs else None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def obs_metrics(self) -> Metrics:
+        """The live metrics registry this session instruments with."""
+        return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer collecting this session's engine spans."""
+        return self._tracer
+
+    def metrics(self) -> Dict[str, Dict[str, Any]]:
+        """A point-in-time snapshot of every session instrument.
+
+        Empty sections unless the session was constructed with a real
+        :class:`repro.obs.Metrics` (observability is opt-in).
+        """
+        return self._metrics.snapshot()
+
+    def query_log(self, drain: bool = False) -> List[QueryLogRecord]:
+        """The accumulated per-query records, oldest first.
+
+        With ``drain=True`` the returned records are removed from the
+        log (the consuming pattern for layout optimizers); otherwise the
+        log keeps them.  Empty unless the session was constructed with a
+        real :class:`repro.obs.QueryLog`.
+        """
+        if drain:
+            return self._query_log.drain()
+        return self._query_log.records()
 
     # ------------------------------------------------------------------
     # Plan
@@ -397,6 +444,9 @@ class CiaoSession:
             ),
             plan=self._plan,
             workload=self.workload,
+            metrics=self._metrics,
+            tracer=self._tracer,
+            query_log=self._query_log,
         )
         job = LoadJob(server, self.config, src.count())
         if self.config.mode == "fleet":
@@ -430,6 +480,9 @@ class CiaoSession:
             ),
             plan=self._plan,
             workload=self.workload,
+            metrics=self._metrics,
+            tracer=self._tracer,
+            query_log=self._query_log,
         )
         job = LoadJob(server, self.config, None)
         job._external = True

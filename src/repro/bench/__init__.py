@@ -18,11 +18,13 @@ from .reporting import (
     RESULTS_DIR,
     emit,
     emit_json,
+    emit_table,
     fleet_table,
     load_report_block,
     format_table,
     metrics_table,
     speedup_summary,
+    sweep_payload,
 )
 from .runner import EndToEndRunner, ExperimentConfig, RunMetrics
 
@@ -38,6 +40,7 @@ __all__ = [
     "cost_model_experiment",
     "emit",
     "emit_json",
+    "emit_table",
     "end_to_end_sweep",
     "fleet_table",
     "format_table",
@@ -49,4 +52,5 @@ __all__ = [
     "skewness_experiment",
     "skipping_benefit_sweep",
     "speedup_summary",
+    "sweep_payload",
 ]

@@ -187,6 +187,25 @@ def load_report_block(report: Any) -> str:
     return "\n".join(lines)
 
 
+def sweep_payload(sweep: Any) -> dict:
+    """JSON-ready form of an end-to-end sweep.
+
+    *sweep* maps workload label → sequence of :class:`RunMetrics`; the
+    result maps the same labels to lists of plain dicts (derived
+    end-to-end seconds included), ready for :func:`emit_json`.
+    """
+    import dataclasses
+
+    payload = {}
+    for label, runs in sweep.items():
+        payload[label] = [
+            dict(dataclasses.asdict(m),
+                 end_to_end_wall_s=m.end_to_end_wall_s)
+            for m in runs
+        ]
+    return payload
+
+
 def emit(name: str, text: str,
          results_dir: Optional[Path] = None) -> Path:
     """Print *text* and archive it under the results directory."""
@@ -200,16 +219,26 @@ def emit(name: str, text: str,
 
 
 def emit_json(name: str, payload: Any,
-              results_dir: Optional[Path] = None) -> Path:
+              results_dir: Optional[Path] = None,
+              metrics: Any = None) -> Path:
     """Archive *payload* as ``<name>.json`` next to the text reports.
 
     The machine-readable side of :func:`emit`: benches write their
     headline numbers (speedups, latencies, config) as one JSON document
     per run, so the performance trajectory is diffable across PRs
     instead of living only in prose tables.
+
+    *metrics* — a :class:`repro.obs.Metrics` registry or an
+    already-taken snapshot mapping — is embedded under a ``"metrics"``
+    key so a bench's counters/histograms travel with its headline
+    numbers.  Only dict payloads can carry it.
     """
     import json
 
+    snapshot = _metrics_snapshot(metrics)
+    if snapshot is not None and isinstance(payload, dict):
+        payload = dict(payload)
+        payload["metrics"] = snapshot
     directory = results_dir or RESULTS_DIR
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.json"
@@ -218,3 +247,41 @@ def emit_json(name: str, payload: Any,
         encoding="utf-8",
     )
     return path
+
+
+def _metrics_snapshot(metrics: Any) -> Optional[dict]:
+    """Coerce a Metrics registry or pre-taken snapshot dict (or None)."""
+    if metrics is None:
+        return None
+    if hasattr(metrics, "snapshot"):
+        return metrics.snapshot()
+    return dict(metrics)
+
+
+def emit_table(name: str, headers: Sequence[str],
+               rows: Sequence[Sequence[Any]],
+               results_dir: Optional[Path] = None,
+               title: str = "",
+               metrics: Any = None,
+               extra: Any = None) -> Path:
+    """Emit one experiment table as text *and* machine-readable JSON.
+
+    The one-call migration target for txt-only benches: prints and
+    archives the fixed-width table via :func:`emit`, and writes a
+    ``<name>.json`` sibling with ``{"headers", "rows"}`` (plus *extra*
+    merged in and the optional *metrics* snapshot) via
+    :func:`emit_json`.  Returns the text report's path.
+    """
+    table = format_table(headers, rows)
+    if title:
+        table = f"== {title} ==\n{table}"
+    payload = {
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    if title:
+        payload["title"] = title
+    if isinstance(extra, dict):
+        payload.update(extra)
+    emit_json(name, payload, results_dir, metrics=metrics)
+    return emit(name, table, results_dir)

@@ -6,14 +6,29 @@ boundary.  Mid-load aggregate queries against a snapshot-mode table are
 routed through the incremental snapshot cache
 (:mod:`repro.engine.snapcache`), which reuses per-part partial aggregates
 across successive snapshots instead of rescanning sealed parts.
+
+Observability (``repro.obs``) hangs off the :class:`Executor`, not the
+operators: per-query counters, spans, and the query-log record are all
+folded from :class:`ExecutionStats`/:class:`PlanInfo` *after* the plan
+runs, so the batch scan loop itself carries zero instrumentation and
+the disabled path stays within the overhead guard asserted by
+``benchmarks/bench_query_engine.py``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from ..obs.metrics import Metrics, resolve_metrics
+from ..obs.querylog import (
+    QueryLog,
+    QueryLogRecord,
+    current_client_id,
+    resolve_query_log,
+)
+from ..obs.tracing import Tracer, resolve_tracer
 from .catalog import Catalog
 from .operators import ExecutionStats, Operator
 from .planner import PlanInfo, plan_query
@@ -39,17 +54,46 @@ class QueryResult:
 
 
 class Executor:
-    """Parse → plan → run against a catalog."""
+    """Parse → plan → run against a catalog.
 
-    def __init__(self, catalog: Catalog):
+    *metrics*, *tracer*, and *query_log* default to the shared no-op
+    instances; a deployment that wants observability constructs real
+    ones and injects them (``CiaoSession`` does this when asked).
+    """
+
+    def __init__(self, catalog: Catalog, *,
+                 metrics: Optional[Metrics] = None,
+                 tracer: Optional[Tracer] = None,
+                 query_log: Optional[QueryLog] = None):
         self.catalog = catalog
+        self.tracer = resolve_tracer(tracer)
+        self.query_log = resolve_query_log(query_log)
+        metrics = resolve_metrics(metrics)
+        self.metrics = metrics
+        # Instruments are cached once; the per-query path only ever
+        # calls inc/observe on them (no-ops on the null registry).
+        self._m_queries = metrics.counter("engine.queries")
+        self._m_latency = metrics.histogram("engine.query_seconds")
+        self._m_rows_emitted = metrics.counter("engine.rows_emitted")
+        self._m_rows_examined = metrics.counter("engine.rows_examined")
+        self._m_rg_scanned = metrics.counter("scan.row_groups_scanned")
+        self._m_rg_skipped = metrics.counter("scan.row_groups_skipped")
+        self._m_tuples_skipped = metrics.counter("scan.tuples_skipped")
+        self._m_cache_hits = metrics.counter("snapcache.hits")
+        self._m_cache_misses = metrics.counter("snapcache.misses")
+        # One flag gates the whole fold, so a fully-disabled executor
+        # adds a single attribute check per query over bare run_plan.
+        self._observing = (
+            metrics.enabled or self.query_log.enabled or self.tracer.enabled
+        )
 
     def execute(self, sql: str) -> QueryResult:
         """Run one SQL statement."""
         parsed = parse_sql(sql)
-        return self.execute_parsed(parsed)
+        return self.execute_parsed(parsed, sql=sql)
 
-    def execute_parsed(self, parsed: ParsedQuery) -> QueryResult:
+    def execute_parsed(self, parsed: ParsedQuery,
+                       sql: str = "") -> QueryResult:
         """Run an already-parsed statement.
 
         Aggregate queries over a table in snapshot-scan mode go through
@@ -58,11 +102,82 @@ class Executor:
         the sideline delta.  Everything else plans and runs cold.
         """
         table = self.catalog.lookup(parsed.table)
+        if not self._observing:
+            return self._run(parsed, table)
+        with self.tracer.trace("engine.query",
+                               attrs={"table": parsed.table}):
+            result = self._run(parsed, table)
+            self._observe(parsed, result, sql)
+        return result
+
+    def _run(self, parsed: ParsedQuery, table) -> QueryResult:
         if table.in_snapshot_mode and parsed.is_aggregate:
             from .snapcache import execute_snapshot_aggregate
-            return execute_snapshot_aggregate(parsed, table,
-                                              table.snapshot_cache)
-        return run_plan(*plan_query(parsed, table))
+            with self.tracer.trace("engine.aggregate"):
+                return execute_snapshot_aggregate(parsed, table,
+                                                  table.snapshot_cache)
+        with self.tracer.trace("engine.plan"):
+            plan, info = plan_query(parsed, table)
+        with self.tracer.trace("engine.scan"):
+            return run_plan(plan, info)
+
+    # ------------------------------------------------------------------
+    def _observe(self, parsed: ParsedQuery, result: QueryResult,
+                 sql: str) -> None:
+        """Fold one finished query into metrics and the query log."""
+        stats = result.stats
+        info = result.plan_info
+        self._m_queries.inc()
+        self._m_latency.observe(result.wall_seconds)
+        self._m_rows_emitted.inc(stats.rows_emitted)
+        self._m_rows_examined.inc(stats.rows_examined)
+        scanned = max(
+            0, stats.row_groups_total - stats.row_groups_skipped
+        )
+        self._m_rg_scanned.inc(scanned)
+        self._m_rg_skipped.inc(stats.row_groups_skipped)
+        self._m_tuples_skipped.inc(
+            stats.tuples_skipped + stats.tuples_pruned_by_zonemap
+        )
+        self._m_cache_hits.inc(info.snapshot_cache_hits)
+        self._m_cache_misses.inc(info.snapshot_cache_misses)
+        if not self.query_log.enabled:
+            return
+        from .snapcache import query_fingerprint
+        predicate_columns = (
+            tuple(sorted(parsed.where.columns()))
+            if parsed.where is not None else ()
+        )
+        skipped = stats.tuples_skipped + stats.tuples_pruned_by_zonemap
+        candidates = stats.rows_examined + skipped
+        selectivity = (
+            stats.rows_examined / candidates if candidates > 0 else 1.0
+        )
+        if info.snapshot_cache_hits and info.snapshot_cache_misses:
+            cache_outcome = "mixed"
+        elif info.snapshot_cache_hits:
+            cache_outcome = "hit"
+        elif info.snapshot_cache_misses:
+            cache_outcome = "miss"
+        else:
+            cache_outcome = "none"
+        current = self.tracer.current()
+        self.query_log.append(QueryLogRecord(
+            fingerprint=query_fingerprint(parsed),
+            table=parsed.table,
+            sql=sql,
+            predicate_columns=predicate_columns,
+            selectivity=selectivity,
+            rows_examined=stats.rows_examined,
+            rows_emitted=stats.rows_emitted,
+            row_groups_scanned=scanned,
+            row_groups_skipped=stats.row_groups_skipped,
+            tuples_skipped=skipped,
+            snapshot_cache=cache_outcome,
+            wall_seconds=result.wall_seconds,
+            client_id=current_client_id(),
+            trace_id=current.trace_id if current is not None else None,
+        ))
 
 
 def run_plan(plan: Operator, info: PlanInfo) -> QueryResult:

@@ -1,0 +1,88 @@
+"""Exporters: metrics snapshots as Prometheus text or JSON documents.
+
+Both take the plain-dict output of :meth:`repro.obs.Metrics.snapshot`
+(not a live registry), so they also work on snapshots that crossed the
+wire in a ``STATS`` reply.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Union
+
+from .metrics import Metrics
+
+SnapshotLike = Union[Metrics, Mapping[str, object]]
+
+
+def _as_snapshot(source: SnapshotLike) -> Mapping[str, object]:
+    if isinstance(source, Metrics):
+        return source.snapshot()
+    return source
+
+
+def _prom_name(name: str) -> str:
+    """Dotted instrument names as Prometheus-legal metric names."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text or "_"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(source: SnapshotLike) -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Counters become ``counter`` series, gauges ``gauge``, histograms the
+    standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    triple with a ``+Inf`` bucket.
+    """
+    snapshot = _as_snapshot(source)
+    lines: List[str] = []
+    counters = snapshot.get("counters") or {}
+    for name in sorted(counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_format_value(counters[name])}")
+    gauges = snapshot.get("gauges") or {}
+    for name in sorted(gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(gauges[name])}")
+    histograms = snapshot.get("histograms") or {}
+    for name in sorted(histograms):
+        data = histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        bounds = list(data.get("le") or [])
+        counts = list(data.get("counts") or [])
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_format_value(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        total = int(data.get("count", 0))
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{prom}_sum {_format_value(float(data.get('sum', 0.0)))}")
+        lines.append(f"{prom}_count {total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_json(source: SnapshotLike, *, indent: int = 2) -> str:
+    """A metrics snapshot as a stable (sorted-key) JSON document."""
+    return json.dumps(_as_snapshot(source), indent=indent, sort_keys=True,
+                      default=str)

@@ -1,0 +1,318 @@
+"""Thread-safe metrics registry: counters, gauges, latency histograms.
+
+The observability substrate every hot path reports into — loader chunk
+ingest, pipeline seals, ``SkippingScan`` row-group accounting, snapshot
+cache hits, admission pressure, socket traffic.  Two design rules keep
+it honest with the rest of the codebase:
+
+* **Injectable instances, no globals.**  A :class:`Metrics` registry is
+  passed down constructor chains (session → server → loader/executor),
+  never read from module state, so DET-checked modules stay
+  deterministic: two runs with two registries share nothing.
+* **Near-zero overhead when disabled.**  Every component defaults to
+  :meth:`Metrics.null`, whose instruments are shared no-op singletons —
+  an ``inc()`` on the null path is one attribute-free method call with
+  an empty body, and instrument lookup returns the same object every
+  time (no per-call allocation; asserted by the obs test suite).
+
+Instruments are exact under concurrency: each one owns a leaf lock (no
+instrument ever acquires another lock while held), so N router threads
+incrementing one counter lose no updates — the obs tests assert exact
+totals.  Snapshots (:meth:`Metrics.snapshot`) are plain JSON-able dicts;
+:mod:`repro.obs.export` renders them as Prometheus text.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.sanitizer import make_lock
+
+#: Default fixed buckets for latency histograms, in seconds.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, rows, bytes)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = make_lock("obs.Counter._lock")
+        self._value = 0  # guarded-by: _lock
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (>= 0) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, active slots)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = make_lock("obs.Gauge._lock")
+        self._value = 0.0  # guarded-by: _lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A fixed-bucket distribution (latencies, sizes).
+
+    Buckets are upper bounds in ascending order; an observation lands in
+    the first bucket whose bound is >= the value, or the implicit
+    ``+Inf`` overflow bucket.  Bounds are fixed at construction — no
+    rebucketing, no allocation per observation.
+    """
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(
+                f"histogram buckets must be non-empty ascending bounds, "
+                f"got {buckets!r}"
+            )
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._lock = make_lock("obs.Histogram._lock")
+        # One slot per bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(self.bounds) + 1)  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_right(self.bounds, value)
+        if index > 0 and self.bounds[index - 1] == value:
+            index -= 1  # bounds are inclusive upper edges
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> Dict[str, object]:
+        """Bucket bounds, per-bucket counts, sum, and count as JSON."""
+        with self._lock:
+            return {
+                "le": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class Metrics:
+    """A named-instrument registry; one per deployment, injected down.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the same instrument for the same name afterwards, so callers cache
+    instruments at construction time and hot loops touch only the
+    instrument itself.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("obs.Metrics._lock")
+        self._counters: Dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
+
+    @property
+    def enabled(self) -> bool:
+        """False on the no-op registry; real registries record."""
+        return True
+
+    @staticmethod
+    def null() -> "Metrics":
+        """The shared no-op registry (the default everywhere)."""
+        return NULL_METRICS
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        # Subscript (not .get) lookups keep the registry lock a leaf in
+        # the static lock graph: an attribute-call under the lock would
+        # union over every project method of the same name.
+        with self._lock:
+            try:
+                return self._counters[name]
+            except KeyError:
+                instrument = Counter(name)
+                self._counters[name] = instrument
+                return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on first use)."""
+        with self._lock:
+            try:
+                return self._gauges[name]
+            except KeyError:
+                instrument = Gauge(name)
+                self._gauges[name] = instrument
+                return instrument
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """The histogram under *name* (created on first use).
+
+        *buckets* only applies at creation; a later lookup with
+        different bounds returns the existing instrument unchanged.
+        """
+        with self._lock:
+            try:
+                return self._histograms[name]
+            except KeyError:
+                instrument = Histogram(
+                    name, buckets if buckets is not None
+                    else DEFAULT_LATENCY_BUCKETS,
+                )
+                self._histograms[name] = instrument
+                return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every instrument's current value as one JSON-able document."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
+            "histograms": {h.name: h.snapshot() for h in histograms},
+        }
+
+
+class _NullCounter:
+    """No-op counter: one shared instance, allocation-free ``inc``."""
+
+    __slots__ = ()
+    name = "null"
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    @property
+    def value(self) -> int:
+        return 0
+
+
+class _NullGauge:
+    """No-op gauge: one shared instance, allocation-free mutators."""
+
+    __slots__ = ()
+    name = "null"
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullHistogram:
+    """No-op histogram: one shared instance, allocation-free ``observe``."""
+
+    __slots__ = ()
+    name = "null"
+    bounds: Tuple[float, ...] = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"le": [], "counts": [], "sum": 0.0, "count": 0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics(Metrics):
+    """The disabled registry: every lookup returns a shared no-op.
+
+    Instruments are singletons, so hot-path code written against a real
+    registry (cache the instrument, call ``inc``/``observe``) costs one
+    empty method call when observability is off — and allocates nothing,
+    which the obs test suite asserts with ``tracemalloc``.
+    """
+
+    def __init__(self) -> None:
+        # No locks, no dicts: the null registry holds no state at all.
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The shared disabled registry (what ``Metrics.null()`` returns).
+NULL_METRICS = NullMetrics()
+
+
+def resolve_metrics(metrics: Optional[Metrics]) -> Metrics:
+    """``metrics`` if given, else the shared null registry."""
+    return metrics if metrics is not None else NULL_METRICS

@@ -33,6 +33,9 @@ from ..core.optimizer import PushdownPlan
 from ..core.predicates import Query, Workload
 from ..engine.catalog import Catalog, TableEntry
 from ..engine.executor import Executor, QueryResult
+from ..obs.metrics import Metrics
+from ..obs.querylog import QueryLog
+from ..obs.tracing import Tracer
 from ..rawjson.chunks import JsonChunk
 from ..simulate.network import Channel
 from ..storage.jsonstore import CompositeSidelineView, JsonSideStore
@@ -196,7 +199,10 @@ class CiaoServer:
                  n_shards: int = 1,
                  shard_mode: str = "process",
                  dispatch: str = "work-stealing",
-                 seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL):
+                 seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL,
+                 metrics: Optional[Metrics] = None,
+                 tracer: Optional[Tracer] = None,
+                 query_log: Optional[QueryLog] = None):
         validate_server_options(
             shard_mode=shard_mode,
             dispatch=dispatch,
@@ -229,6 +235,7 @@ class CiaoServer:
                 mode=shard_mode,
                 dispatch=dispatch,
                 seal_interval=seal_interval,
+                metrics=metrics,
             )
         else:
             self._loader = ClientAssistedLoader(
@@ -237,6 +244,7 @@ class CiaoServer:
                 partial_loading=self.partial_loading_enabled,
                 schema=schema,
                 required_predicate_ids=required_ids,
+                metrics=metrics,
             )
         self._sessions: Dict[str, IngestSession] = {}  # guarded-by: _ingest_lock
         self.catalog = Catalog()
@@ -250,7 +258,8 @@ class CiaoServer:
             ),
         )
         self.catalog.register(self._table)
-        self._executor = Executor(self.catalog)
+        self._executor = Executor(self.catalog, metrics=metrics,
+                                  tracer=tracer, query_log=query_log)
         self._loading_finalized = False  # guarded-by: _lifecycle_lock
         # Serializes query() against finalize_loading(): a loading
         # server may be queried from one thread while another thread
@@ -269,11 +278,15 @@ class CiaoServer:
     @classmethod
     def from_config(cls, config: ServerConfig,
                     plan: Optional[PushdownPlan] = None,
-                    workload: Optional[Workload] = None) -> "CiaoServer":
+                    workload: Optional[Workload] = None,
+                    metrics: Optional[Metrics] = None,
+                    tracer: Optional[Tracer] = None,
+                    query_log: Optional[QueryLog] = None) -> "CiaoServer":
         """Build a server from a :class:`ServerConfig`.
 
         The optional *plan*/*workload* are the per-session optimizer
-        outputs; everything else comes from the config.
+        outputs and *metrics*/*tracer*/*query_log* the observability
+        sinks; everything else comes from the config.
         """
         return cls(
             config.data_dir,
@@ -286,6 +299,9 @@ class CiaoServer:
             shard_mode=config.shard_mode,
             dispatch=config.dispatch,
             seal_interval=config.seal_interval,
+            metrics=metrics,
+            tracer=tracer,
+            query_log=query_log,
         )
 
     @property

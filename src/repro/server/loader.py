@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..bitvec.bitvector import BitVector
+from ..obs.metrics import Metrics, resolve_metrics
 from ..rawjson.chunks import JsonChunk
 from ..rawjson.parser import try_parse
 from ..storage.columnar import ParquetLiteWriter
@@ -117,8 +118,17 @@ class ClientAssistedLoader:
                  side_store: JsonSideStore,
                  partial_loading: bool,
                  schema: Optional[Schema] = None,
-                 required_predicate_ids: Optional[Sequence[int]] = None):
+                 required_predicate_ids: Optional[Sequence[int]] = None,
+                 metrics: Optional[Metrics] = None):
         self.parquet_path = Path(parquet_path)
+        metrics = resolve_metrics(metrics)
+        self._m_chunks = metrics.counter("loader.chunks")
+        self._m_received = metrics.counter("loader.records_received")
+        self._m_loaded = metrics.counter("loader.records_loaded")
+        self._m_sidelined = metrics.counter("loader.records_sidelined")
+        self._m_malformed = metrics.counter("loader.records_malformed")
+        self._m_seconds = metrics.histogram("loader.chunk_seconds")
+        self._m_seals = metrics.counter("loader.parts_sealed")
         self.side_store = side_store
         self.partial_loading = partial_loading
         self._schema = schema
@@ -192,6 +202,12 @@ class ClientAssistedLoader:
             report.loaded + report.sidelined + report.malformed
         ), "loader invariant violated: counters must partition the chunk"
         self.summary.add(report)
+        self._m_chunks.inc()
+        self._m_received.inc(report.received)
+        self._m_loaded.inc(report.loaded)
+        self._m_sidelined.inc(report.sidelined)
+        self._m_malformed.inc(report.malformed)
+        self._m_seconds.observe(report.wall_seconds)
         return report
 
     def seal_part(self) -> None:
@@ -206,6 +222,7 @@ class ClientAssistedLoader:
         if self._writer is not None:
             self._writer.close()  # ciaolint: allow[LCK002] -- ParquetLiteWriter.close takes no locks; the `.close()` name union binds wider
             self._writer = None
+            self._m_seals.inc()
 
     @property
     def sealed_paths(self) -> List[Path]:

@@ -84,6 +84,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..analysis.annotations import guarded_by
 from ..analysis.sanitizer import make_lock
 from ..client.protocol import decode_chunk
+from ..obs.metrics import Metrics, resolve_metrics
 from ..rawjson.chunks import JsonChunk
 from ..storage.jsonstore import JsonSideStore, SidelineView
 from ..storage.schema import Schema
@@ -321,7 +322,8 @@ class ShardedIngestPipeline:
                  mode: str = "process",
                  dispatch: str = "work-stealing",
                  seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL,
-                 queue_depth: int = DEFAULT_QUEUE_DEPTH):
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 metrics: Optional[Metrics] = None):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if mode not in ("process", "thread"):
@@ -365,6 +367,18 @@ class ShardedIngestPipeline:
         self._version = 0  # guarded-by: _lock
         # guarded-by: _lock
         self._snapshot_cache: Optional[LoadSnapshot] = None
+        # Parent-side instrumentation only: worker processes cannot share
+        # a registry, so seals/ingests are counted as their publications
+        # arrive.  Per-shard counted totals avoid double counting when a
+        # terminal message supersedes earlier progress deltas.
+        metrics = resolve_metrics(metrics)
+        self._m_submitted = metrics.counter("pipeline.chunks_submitted")
+        self._m_ingested = metrics.counter("pipeline.chunks_ingested")
+        self._m_sealed = metrics.counter("pipeline.parts_sealed")
+        self._m_snapshots = metrics.counter("pipeline.snapshots")
+        self._m_finalize = metrics.histogram("pipeline.finalize_seconds")
+        self._counted_paths: Dict[int, int] = {}  # guarded-by: _lock
+        self._counted_reports: Dict[int, int] = {}  # guarded-by: _lock
 
         required = (
             frozenset(required_predicate_ids)
@@ -446,6 +460,7 @@ class ShardedIngestPipeline:
                 self._submitted_by_source.get(source, 0) + 1
             )
         self._in_queues[seq % self.n_shards].put((seq, payload))
+        self._m_submitted.inc()
         return seq
 
     @property
@@ -487,6 +502,7 @@ class ShardedIngestPipeline:
             raise RuntimeError(
                 "streaming snapshots are disabled (seal_interval=None)"
             )
+        self._m_snapshots.inc()
         with self._lock:
             self._pump_messages()
             if self._errors:
@@ -573,6 +589,14 @@ class ShardedIngestPipeline:
                     prev[2] + list(reports),
                 )
                 self._version += 1
+                self._m_sealed.inc(len(paths))
+                self._m_ingested.inc(len(reports))
+                self._counted_paths[shard_id] = (
+                    self._counted_paths.get(shard_id, 0) + len(paths)
+                )
+                self._counted_reports[shard_id] = (
+                    self._counted_reports.get(shard_id, 0) + len(reports)
+                )
             elif kind == "failing":
                 # Eager (non-terminal) announcement of a shard error; the
                 # worker repeats the same text in its terminal message.
@@ -594,6 +618,14 @@ class ShardedIngestPipeline:
                 self._final_reports[shard_id] = list(reports)
                 self._version += 1
                 self._terminal.add(shard_id)
+                self._m_sealed.inc(max(
+                    0, len(paths) - self._counted_paths.get(shard_id, 0)
+                ))
+                self._m_ingested.inc(max(
+                    0, len(reports) - self._counted_reports.get(shard_id, 0)
+                ))
+                self._counted_paths[shard_id] = len(paths)
+                self._counted_reports[shard_id] = len(reports)
 
     # ------------------------------------------------------------------
     def finalize(self) -> LoadSummary:
@@ -608,6 +640,7 @@ class ShardedIngestPipeline:
                 raise IngestPipelineError("\n".join(self._errors))
             return self.summary
         self._finalized = True
+        finalize_start = time.perf_counter()
         if self.dispatch == "round-robin":
             for in_queue in self._in_queues:
                 in_queue.put(None)
@@ -678,6 +711,7 @@ class ShardedIngestPipeline:
                 shard_side = JsonSideStore(sideline_path)
                 self.side_store.append_pairs(shard_side.iter_raw())
                 sideline_path.unlink()
+        self._m_finalize.observe(time.perf_counter() - finalize_start)
         if self._errors:
             raise IngestPipelineError("\n".join(self._errors))
         return self.summary

@@ -23,7 +23,7 @@ from .results import (
     result_from_payload,
     result_to_payload,
 )
-from .service import DEFAULT_MAX_CONNECTIONS, CiaoService
+from .service import DEFAULT_MAX_CONNECTIONS, STATS_FORMAT, CiaoService
 
 __all__ = [
     "AdmissionSaturated",
@@ -36,6 +36,7 @@ __all__ = [
     "RemoteError",
     "RemoteSession",
     "ResultFormatError",
+    "STATS_FORMAT",
     "canonical_result_bytes",
     "result_from_payload",
     "result_to_payload",

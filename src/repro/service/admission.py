@@ -25,6 +25,7 @@ from typing import Deque, Dict, Optional, Set
 from ..analysis.annotations import guarded_by
 from ..analysis.sanitizer import make_condition
 from ..api.config import DEFAULT_QUERY_MAX_PENDING
+from ..obs.metrics import Metrics, resolve_metrics
 
 
 class AdmissionSaturated(RuntimeError):
@@ -59,7 +60,8 @@ class QueryAdmission:
     """
 
     def __init__(self, max_active: Optional[int] = None,
-                 max_pending: int = DEFAULT_QUERY_MAX_PENDING):
+                 max_pending: int = DEFAULT_QUERY_MAX_PENDING,
+                 metrics: Optional[Metrics] = None):
         if max_active is not None and max_active < 1:
             raise ValueError(
                 f"max_active must be >= 1 or None, got {max_active}"
@@ -71,6 +73,12 @@ class QueryAdmission:
         self.max_active = max_active
         self.max_pending = max_pending
         self.stats = AdmissionStats()
+        metrics = resolve_metrics(metrics)
+        self._m_granted = metrics.counter("admission.granted")
+        self._m_rejected = metrics.counter("admission.rejected")
+        self._m_completed = metrics.counter("admission.completed")
+        self._m_active = metrics.gauge("admission.active")
+        self._m_queued = metrics.gauge("admission.queued")
         self._cond = make_condition("QueryAdmission._cond")
         #: client_id -> waiting tickets, oldest first.
         self._queues: Dict[str, Deque[int]] = {}  # guarded-by: _cond
@@ -100,6 +108,7 @@ class QueryAdmission:
                 self._rr.append(client_id)
             if len(queue) >= self.max_pending:
                 self.stats.rejected += 1
+                self._m_rejected.inc()
                 raise AdmissionSaturated(
                     f"client {client_id!r} already has {len(queue)} "
                     f"queries queued (max_pending={self.max_pending}); "
@@ -111,6 +120,7 @@ class QueryAdmission:
             queued = sum(len(q) for q in self._queues.values())
             if queued > self.stats.peak_queued:
                 self.stats.peak_queued = queued
+            self._m_queued.set(queued)
             self._grant_locked()
             while ticket not in self._grants:
                 remaining = None
@@ -128,6 +138,10 @@ class QueryAdmission:
                 if ticket in self._grants:
                     return ticket
                 self.stats.rejected += 1
+                self._m_rejected.inc()
+                self._m_queued.set(
+                    sum(len(q) for q in self._queues.values())
+                )
                 raise AdmissionSaturated(
                     f"client {client_id!r} timed out after {timeout} s "
                     f"waiting for an execution slot"
@@ -144,6 +158,8 @@ class QueryAdmission:
             self._grants.discard(ticket)
             self._active -= 1
             self.stats.completed += 1
+            self._m_completed.inc()
+            self._m_active.set(self._active)
             self._grant_locked()
 
     @property
@@ -178,7 +194,12 @@ class QueryAdmission:
             self._active += 1
             granted_any = True
             self.stats.granted += 1
+            self._m_granted.inc()
             if self._active > self.stats.peak_active:
                 self.stats.peak_active = self._active
         if granted_any:
+            self._m_active.set(self._active)
+            self._m_queued.set(
+                sum(len(q) for q in self._queues.values())
+            )
             self._cond.notify_all()

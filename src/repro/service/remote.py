@@ -17,6 +17,7 @@ returns.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, Optional, Tuple
 
 from ..client.device import DEFAULT_SHIP_BATCH, SimulatedClient
@@ -25,6 +26,8 @@ from ..core.optimizer import PushdownPlan
 from ..core.plan_io import loads_plan
 from ..data.randomness import DEFAULT_SEED
 from ..engine.executor import QueryResult
+from ..obs.metrics import Metrics
+from ..obs.tracing import Tracer, resolve_tracer
 from ..rawjson.chunks import DEFAULT_CHUNK_SIZE
 from ..transport.base import Channel, TransportError
 from ..transport.sockets import SocketChannel
@@ -54,6 +57,14 @@ class RemoteSession:
             ingest source ids.
         chunk_size: Records per chunk for :meth:`load`'s client.
         timeout: Per-reply wait; ``None`` waits forever.
+        tracer: A :class:`repro.obs.Tracer`.  When given, every
+            :meth:`query`/:meth:`snapshot_query` opens a client-side
+            span, propagates its context in the wire header, and adopts
+            the server-side spans shipped back in the RESULT reply — one
+            exported trace spans both processes.
+        metrics: A :class:`repro.obs.Metrics` registry for the dialed
+            socket's byte/frame counters (ignored when *channel* is
+            injected — instrument the channel yourself).
 
     The constructor performs the HELLO/WELCOME handshake, so a
     constructed session is known-good.  Context-manager friendly.
@@ -64,14 +75,17 @@ class RemoteSession:
                  client_id: str = "remote-client",
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  seed: int = DEFAULT_SEED,
-                 timeout: Optional[float] = 30.0):
+                 timeout: Optional[float] = 30.0,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None):
         if (address is None) == (channel is None):
             raise ValueError(
                 "pass exactly one of address=(host, port) or channel="
             )
         if channel is None:
-            channel = SocketChannel.connect(address)
+            channel = SocketChannel.connect(address, metrics=metrics)
         self.channel = channel
+        self.tracer = resolve_tracer(tracer)
         self.client_id = client_id
         self.chunk_size = chunk_size
         self.seed = seed
@@ -179,19 +193,59 @@ class RemoteSession:
     # ------------------------------------------------------------------
     def query(self, sql: str) -> QueryResult:
         """Run *sql* on the service's finalized store."""
-        reply = self._request(
-            wire.QUERY, {"sql": sql, "snapshot": False},
-            expect=wire.RESULT,
-        )
-        return result_from_payload(reply.body)
+        return self._traced_query(sql, snapshot=False)
 
     def snapshot_query(self, sql: str) -> QueryResult:
         """Run *sql* against the service's loaded-so-far snapshot."""
+        return self._traced_query(sql, snapshot=True)
+
+    def _traced_query(self, sql: str, snapshot: bool) -> QueryResult:
+        """One QUERY round trip, wrapped in a client-side span.
+
+        The span's context rides the wire header; the service executes
+        under it and returns its finished span records in the RESULT
+        header, which are adopted here — so a single trace id covers
+        ``remote.query`` on this side and plan/scan/aggregate on the
+        server side.  With the (default) null tracer this is exactly the
+        pre-obs request path.
+        """
+        header: Dict[str, Any] = {"sql": sql, "snapshot": snapshot}
+        if not self.tracer.enabled:
+            reply = self._request(wire.QUERY, header, expect=wire.RESULT)
+            return result_from_payload(reply.body)
+        with self.tracer.trace(
+            "remote.query", attrs={"sql": sql, "snapshot": snapshot},
+        ) as span:
+            wire.attach_trace(header, span.trace_id, span.span_id)
+            reply = self._request(wire.QUERY, header, expect=wire.RESULT)
+            spans = reply.header.get("spans")
+            if isinstance(spans, list):
+                self.tracer.adopt(
+                    s for s in spans if isinstance(s, dict)
+                )
+            return result_from_payload(reply.body)
+
+    def stats(self, query_log_tail: int = 0) -> Dict[str, Any]:
+        """Poll the service's live STATS document.
+
+        Includes connection/admission accounting and the service-side
+        metrics snapshot; *query_log_tail* > 0 additionally requests the
+        most recent N query-log records.
+        """
         reply = self._request(
-            wire.QUERY, {"sql": sql, "snapshot": True},
-            expect=wire.RESULT,
+            wire.STATS, {"query_log_tail": int(query_log_tail)},
+            expect=wire.STATS,
         )
-        return result_from_payload(reply.body)
+        try:
+            doc = json.loads(reply.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RemoteError(f"malformed STATS reply: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise RemoteError(
+                f"STATS reply must be a JSON object, got "
+                f"{type(doc).__name__}"
+            )
+        return doc
 
     # ------------------------------------------------------------------
     def close(self) -> None:

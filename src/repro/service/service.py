@@ -23,13 +23,16 @@ held; saturation surfaces as a BUSY reply, never an unbounded queue.
 
 from __future__ import annotations
 
+import json
 import threading
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..analysis.sanitizer import make_lock
 from ..api.session import CiaoSession, LoadJob
 from ..core.plan_io import dumps_plan
 from ..engine.executor import QueryResult
+from ..obs.querylog import client_scope
+from ..obs.tracing import TraceContext
 from ..server.ciao import IngestSession
 from ..transport.base import TransportError
 from ..transport.sockets import SocketChannel, SocketListener
@@ -40,6 +43,9 @@ from .results import result_to_payload
 
 #: Default ceiling on concurrently served connections.
 DEFAULT_MAX_CONNECTIONS = 64
+
+#: Self-describing format tag of the STATS reply body.
+STATS_FORMAT = "ciao-stats/1"
 
 #: Router receive poll; also bounds how fast close() is observed.
 _POLL_SECONDS = 0.25
@@ -91,6 +97,7 @@ class _Connection:
             try:
                 self._dispatch(message)
             except AdmissionSaturated as exc:
+                self.service._m_busy.inc()
                 self._reply(wire.BUSY, {"error": str(exc)})
             except TransportError:
                 return  # peer is gone; nothing left to reply to
@@ -116,6 +123,8 @@ class _Connection:
             self._handle_commit()
         elif tag == wire.QUERY:
             self._handle_query(message)
+        elif tag == wire.STATS:
+            self._handle_stats(message)
         else:
             self._reply(wire.ERROR, {
                 "error": f"unexpected {message.name} message",
@@ -189,8 +198,43 @@ class _Connection:
         if not sql:
             raise ValueError("QUERY message carries no sql")
         snapshot = bool(message.header.get("snapshot"))
-        result = self.service._query(self.client_id, str(sql), snapshot)
-        self._reply(wire.RESULT, {}, result_to_payload(result))
+        trace = wire.extract_trace(message.header)
+        tracer = self.service.session.tracer
+        header: Dict[str, Any] = {}
+        with client_scope(self.client_id):
+            if trace is not None and tracer.enabled:
+                # Re-root the server-side spans under the client's wire
+                # context, then ship the finished records back in the
+                # RESULT header so the client tracer can adopt them —
+                # one trace id covers both halves of the query.
+                trace_id, parent_id = trace
+                with tracer.trace(
+                    "service.query", parent=TraceContext(trace_id,
+                                                         parent_id),
+                    attrs={"client_id": self.client_id, "sql": str(sql)},
+                ):
+                    result = self.service._query(
+                        self.client_id, str(sql), snapshot
+                    )
+                header["spans"] = [
+                    s.to_dict() for s in tracer.drain(trace_id)
+                ]
+            else:
+                result = self.service._query(
+                    self.client_id, str(sql), snapshot
+                )
+        self._reply(wire.RESULT, header, result_to_payload(result))
+
+    def _handle_stats(self, message: Message) -> None:
+        tail = message.header.get("query_log_tail", 0)
+        try:
+            tail = max(0, int(tail))
+        except (TypeError, ValueError):
+            tail = 0
+        payload = self.service.stats(query_log_tail=tail)
+        body = json.dumps(payload, sort_keys=True,
+                          default=str).encode("utf-8")
+        self._reply(wire.STATS, {"format": STATS_FORMAT}, body)
 
     # ------------------------------------------------------------------
     def _reply(self, tag: int, header: Dict, body: bytes = b"") -> None:
@@ -230,6 +274,12 @@ class CiaoService:
         self.session = session
         self.max_connections = max_connections
         self.admission_timeout = admission_timeout
+        # The session's registry instruments the whole service stack:
+        # admission pressure, accepted sockets, BUSY turn-aways.
+        metrics = session.obs_metrics
+        self._m_busy = metrics.counter("service.busy_replies")
+        self._m_accepted = metrics.counter("service.connections_accepted")
+        self._m_connections = metrics.gauge("service.connections")
         self.admission = QueryAdmission(
             max_active=(
                 query_max_active if query_max_active is not None
@@ -239,8 +289,9 @@ class CiaoService:
                 query_max_pending if query_max_pending is not None
                 else config.query_max_pending
             ),
+            metrics=metrics,
         )
-        self._listener = SocketListener(host, port)
+        self._listener = SocketListener(host, port, metrics=metrics)
         self._lock = make_lock("CiaoService._lock")
         self._connections: List[_Connection] = []  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
@@ -312,7 +363,9 @@ class CiaoService:
                     self._next_conn += 1
                     connection = _Connection(self, channel, conn_id)
                     self._connections.append(connection)
+                    self._m_connections.set(len(self._connections))
             if at_capacity:
+                self._m_busy.inc()
                 try:
                     channel.send(encode_message(wire.BUSY, {
                         "error": (
@@ -324,12 +377,50 @@ class CiaoService:
                     pass  # the turned-away peer already hung up
                 channel.close()
             else:
+                self._m_accepted.inc()
                 connection.start()
 
     def _forget(self, connection: _Connection) -> None:
         with self._lock:
             if connection in self._connections:
                 self._connections.remove(connection)
+                self._m_connections.set(len(self._connections))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self, query_log_tail: int = 0) -> Dict[str, Any]:
+        """A live operational snapshot (the STATS wire reply body).
+
+        Always includes connection and admission accounting; the
+        ``metrics`` section is empty unless the session was constructed
+        with a real registry.  *query_log_tail* > 0 additionally embeds
+        the most recent N query-log records.
+        """
+        with self._lock:
+            connections = len(self._connections)
+        admission = self.admission.stats
+        doc: Dict[str, Any] = {
+            "format": STATS_FORMAT,
+            "connections": connections,
+            "max_connections": self.max_connections,
+            "admission": {
+                "granted": admission.granted,
+                "completed": admission.completed,
+                "rejected": admission.rejected,
+                "peak_active": admission.peak_active,
+                "peak_queued": admission.peak_queued,
+                "active": self.admission.active,
+                "queued": self.admission.queued,
+            },
+            "metrics": self.session.metrics(),
+        }
+        if query_log_tail > 0:
+            records = self.session.query_log()
+            doc["query_log"] = [
+                r.to_dict() for r in records[-query_log_tail:]
+            ]
+        return doc
 
     # ------------------------------------------------------------------
     # Controllers (called from router threads, no service lock held)

@@ -32,6 +32,7 @@ from collections import deque
 from typing import Deque, Optional, Tuple
 
 from ..analysis.sanitizer import make_lock
+from ..obs.metrics import Metrics, resolve_metrics
 from .base import Channel, TransportError
 
 #: Hard ceiling on one frame's payload, validated before allocation.
@@ -51,11 +52,20 @@ class SocketChannel(Channel):
             The channel takes ownership: :meth:`close` closes it.
         max_frame_bytes: Per-frame payload ceiling (strictly validated
             before allocation).
+        metrics: Optional :class:`~repro.obs.Metrics` registry; when
+            given, the channel reports ``socket.bytes_in/out`` and
+            ``socket.frames_in/out``.  Defaults to the no-op registry.
     """
 
     def __init__(self, sock: socketlib.socket,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 metrics: Optional[Metrics] = None):
         super().__init__()
+        metrics = resolve_metrics(metrics)
+        self._bytes_out = metrics.counter("socket.bytes_out")
+        self._bytes_in = metrics.counter("socket.bytes_in")
+        self._frames_out = metrics.counter("socket.frames_out")
+        self._frames_in = metrics.counter("socket.frames_in")
         if max_frame_bytes < 1:
             raise ValueError(
                 f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
@@ -81,12 +91,13 @@ class SocketChannel(Channel):
     @classmethod
     def connect(cls, address: Tuple[str, int],
                 timeout: Optional[float] = 30.0,
-                max_frame_bytes: int = MAX_FRAME_BYTES
+                max_frame_bytes: int = MAX_FRAME_BYTES,
+                metrics: Optional[Metrics] = None
                 ) -> "SocketChannel":
         """Dial ``(host, port)`` and return the connected channel."""
         sock = socketlib.create_connection(address, timeout=timeout)
         sock.settimeout(None)
-        return cls(sock, max_frame_bytes=max_frame_bytes)
+        return cls(sock, max_frame_bytes=max_frame_bytes, metrics=metrics)
 
     # ------------------------------------------------------------------
     # Channel contract
@@ -111,12 +122,15 @@ class SocketChannel(Channel):
                     f"socket send failed: {exc}"
                 ) from exc
         self.stats.record_send(len(payload))
+        self._bytes_out.inc(len(payload))
+        self._frames_out.inc()
 
     def receive(self) -> Optional[bytes]:
         self._pump()
         if not self._frames:
             return None
         self.stats.record_receive()
+        self._frames_in.inc()
         return self._frames.popleft()
 
     def receive_wait(self, timeout: Optional[float] = None
@@ -202,6 +216,7 @@ class SocketChannel(Channel):
                 self._eof = True
                 break
             self._buffer += data
+            self._bytes_in.inc(len(data))
         self._split_frames()
 
     def _split_frames(self) -> None:
@@ -236,8 +251,10 @@ class SocketListener:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  backlog: int = 16,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 metrics: Optional[Metrics] = None):
         self._max_frame = max_frame_bytes
+        self._metrics = metrics
         self._sock = socketlib.socket(socketlib.AF_INET,
                                       socketlib.SOCK_STREAM)
         self._sock.setsockopt(socketlib.SOL_SOCKET,
@@ -271,7 +288,8 @@ class SocketListener:
             sock, _ = self._sock.accept()
         except OSError:
             return None
-        return SocketChannel(sock, max_frame_bytes=self._max_frame)
+        return SocketChannel(sock, max_frame_bytes=self._max_frame,
+                             metrics=self._metrics)
 
     def close(self) -> None:
         if self._closed:

@@ -48,10 +48,11 @@ END_INGEST = 8     # client → server: {"source_id"}
 COMMIT = 9         # client → server: {}
 COMMITTED = 10     # server → client: {"summary"}
 QUERY = 11         # client → server: {"sql", "snapshot"}
-RESULT = 12        # server → client: {}; body = encoded result
+RESULT = 12        # server → client: {"spans"?}; body = encoded result
 ERROR = 13         # server → client: {"error"}
 BUSY = 14          # server → client: {"error"} (admission saturated)
 BYE = 15           # client → server: {}
+STATS = 16         # both ways: request {}, reply {}; body = stats JSON
 
 _TAG_NAMES = {
     HELLO: "HELLO", WELCOME: "WELCOME", GET_PLAN: "GET_PLAN",
@@ -59,11 +60,47 @@ _TAG_NAMES = {
     INGEST_ACK: "INGEST_ACK", END_INGEST: "END_INGEST",
     COMMIT: "COMMIT", COMMITTED: "COMMITTED", QUERY: "QUERY",
     RESULT: "RESULT", ERROR: "ERROR", BUSY: "BUSY", BYE: "BYE",
+    STATS: "STATS",
 }
+
+#: Header field carrying trace context.  Headers are read with ``.get``
+#: on both ends, so an old peer simply ignores the field — trace
+#: propagation is backward/forward compatible by construction.
+TRACE_FIELD = "trace"
 
 
 class WireError(ValueError):
     """A malformed, truncated, or unknown service message."""
+
+
+def attach_trace(header: Dict[str, Any], trace_id: str,
+                 parent_id: str) -> Dict[str, Any]:
+    """Add trace context to a message header (mutates and returns it).
+
+    The receiving side re-roots its spans under this context so one
+    trace id covers both halves of a remote query.
+    """
+    header[TRACE_FIELD] = {"trace_id": trace_id, "parent_id": parent_id}
+    return header
+
+
+def extract_trace(header: Dict[str, Any]) -> Tuple[str, str] | None:
+    """The ``(trace_id, parent_id)`` in *header*, if well-formed.
+
+    Tolerant by design: an absent field (old client), a non-dict value,
+    or missing ids all return ``None`` rather than raising, so trace
+    context can never break message handling.
+    """
+    value = header.get(TRACE_FIELD)
+    if not isinstance(value, dict):
+        return None
+    trace_id = value.get("trace_id")
+    parent_id = value.get("parent_id")
+    if not isinstance(trace_id, str) or not isinstance(parent_id, str):
+        return None
+    if not trace_id or not parent_id:
+        return None
+    return trace_id, parent_id
 
 
 def tag_name(tag: int) -> str:

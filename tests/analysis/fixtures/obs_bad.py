@@ -1,0 +1,11 @@
+# ciaolint: module-role=server
+"""Fixture: OBS001 — print()/logging in a hot-path server module."""
+
+import logging
+
+
+def ingest(chunks):
+    logging.info("ingesting %d chunks", len(chunks))
+    for chunk in chunks:
+        print("chunk", chunk)
+    return len(chunks)

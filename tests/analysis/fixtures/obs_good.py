@@ -1,0 +1,9 @@
+# ciaolint: module-role=server
+"""Fixture: hot-path reporting via injected obs instruments."""
+
+
+def ingest(chunks, metrics):
+    counter = metrics.counter("loader.chunks")
+    for _ in chunks:
+        counter.inc()
+    return counter.value

@@ -1,0 +1,57 @@
+"""Exporters: Prometheus text format and JSON snapshots."""
+
+import json
+
+from repro.obs import Metrics, metrics_json, prometheus_text
+
+
+def loaded_metrics():
+    metrics = Metrics()
+    metrics.counter("engine.queries").inc(7)
+    metrics.gauge("admission.active").set(2)
+    hist = metrics.histogram("engine.query_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return metrics
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(loaded_metrics())
+        assert "# TYPE engine_queries counter" in text
+        assert "engine_queries 7" in text
+        assert "# TYPE admission_active gauge" in text
+        assert "admission_active 2" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = prometheus_text(loaded_metrics())
+        assert 'engine_query_seconds_bucket{le="0.1"} 1' in text
+        assert 'engine_query_seconds_bucket{le="1"} 2' in text
+        assert 'engine_query_seconds_bucket{le="+Inf"} 3' in text
+        assert "engine_query_seconds_count 3" in text
+
+    def test_accepts_plain_snapshot(self):
+        metrics = loaded_metrics()
+        assert prometheus_text(metrics.snapshot()) == \
+            prometheus_text(metrics)
+
+    def test_name_sanitization(self):
+        metrics = Metrics()
+        metrics.counter("socket.bytes-out").inc()
+        text = prometheus_text(metrics)
+        assert "socket_bytes_out 1" in text
+
+
+class TestMetricsJson:
+    def test_round_trips(self):
+        doc = json.loads(metrics_json(loaded_metrics()))
+        assert doc["counters"]["engine.queries"] == 7
+        assert doc["histograms"]["engine.query_seconds"]["count"] == 3
+
+    def test_deterministic_key_order(self):
+        metrics = Metrics()
+        metrics.counter("b").inc()
+        metrics.counter("a").inc()
+        text = metrics_json(metrics)
+        assert text.index('"a"') < text.index('"b"')

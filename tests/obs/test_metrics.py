@@ -1,0 +1,176 @@
+"""Metrics registry: concurrency-exact totals and the free null path."""
+
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.obs import Metrics, NullMetrics
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    resolve_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        metrics = Metrics()
+        counter = metrics.counter("c")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Metrics().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_histogram_buckets_cumulative(self):
+        hist = Metrics().histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["le"] == [0.1, 1.0, 10.0]
+        assert snap["counts"] == [1, 1, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(55.55)
+
+    def test_histogram_upper_edge_inclusive(self):
+        hist = Metrics().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.snapshot()["counts"] == [1, 0, 0]
+
+    def test_histogram_rejects_bad_buckets(self):
+        metrics = Metrics()
+        with pytest.raises(ValueError):
+            metrics.histogram("empty", buckets=())
+        with pytest.raises(ValueError):
+            metrics.histogram("unsorted", buckets=(2.0, 1.0))
+
+    def test_default_buckets_ascending(self):
+        bounds = list(DEFAULT_LATENCY_BUCKETS)
+        assert bounds == sorted(bounds)
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        metrics = Metrics()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.gauge("y") is metrics.gauge("y")
+        assert metrics.histogram("z") is metrics.histogram("z")
+
+    def test_snapshot_shape(self):
+        metrics = Metrics()
+        metrics.counter("c").inc(3)
+        metrics.gauge("g").set(1.5)
+        metrics.histogram("h").observe(0.01)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_resolve_defaults_to_null(self):
+        assert resolve_metrics(None) is NULL_METRICS
+        real = Metrics()
+        assert resolve_metrics(real) is real
+
+
+class TestConcurrency:
+    N_THREADS = 8
+    N_INCS = 2000
+
+    def test_counter_totals_exact(self):
+        counter = Metrics().counter("c")
+
+        def work():
+            for _ in range(self.N_INCS):
+                counter.inc()
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == self.N_THREADS * self.N_INCS
+
+    def test_histogram_totals_exact(self):
+        hist = Metrics().histogram("h", buckets=(0.5,))
+
+        def work():
+            for i in range(self.N_INCS):
+                hist.observe(0.25 if i % 2 == 0 else 0.75)
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = self.N_THREADS * self.N_INCS
+        snap = hist.snapshot()
+        assert snap["count"] == total
+        assert snap["counts"] == [total // 2, total // 2]
+
+    def test_registry_create_race_single_instrument(self):
+        metrics = Metrics()
+        seen = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def work():
+            barrier.wait()
+            seen.append(metrics.counter("contended"))
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+
+
+class TestNullMetrics:
+    def test_shared_singletons(self):
+        null = Metrics.null()
+        assert null is NULL_METRICS
+        assert isinstance(null, NullMetrics)
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b")
+        assert not null.enabled
+
+    def test_null_snapshot_empty(self):
+        null = Metrics.null()
+        null.counter("c").inc(100)
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_null_hot_loop_allocation_free(self):
+        """The disabled path must not allocate per observation."""
+        counter = NULL_METRICS.counter("scan.rows")
+        hist = NULL_METRICS.histogram("scan.seconds")
+
+        def loop(n):
+            for _ in range(n):
+                counter.inc()
+                hist.observe(0.001)
+
+        loop(100)  # warm up
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        loop(10_000)
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        grown = sum(
+            stat.size_diff
+            for stat in after.compare_to(before, "lineno")
+            if stat.size_diff > 0
+        )
+        # Tolerance covers tracemalloc's own bookkeeping; a per-call
+        # allocation in the loop would show up as ~10k objects.
+        assert grown < 64 * 1024

@@ -1,0 +1,130 @@
+"""Query log: bounded retention, drain semantics, client attribution."""
+
+import threading
+
+import pytest
+
+from repro.obs import QueryLog, QueryLogRecord, client_scope
+from repro.obs.querylog import (
+    NULL_QUERY_LOG,
+    current_client_id,
+    resolve_query_log,
+)
+
+
+def record(i=0, **kwargs):
+    defaults = dict(
+        fingerprint=f"fp{i}", table="t",
+        sql=f"SELECT COUNT(*) FROM t -- {i}",
+        predicate_columns=("stars",),
+    )
+    defaults.update(kwargs)
+    return QueryLogRecord(**defaults)
+
+
+class TestQueryLog:
+    def test_append_and_records(self):
+        log = QueryLog()
+        log.append(record(1))
+        log.append(record(2))
+        assert [r.fingerprint for r in log.records()] == ["fp1", "fp2"]
+        assert len(log) == 2
+        assert log.total == 2
+
+    def test_capacity_evicts_oldest_total_keeps_counting(self):
+        log = QueryLog(capacity=2)
+        for i in range(5):
+            log.append(record(i))
+        assert [r.fingerprint for r in log.records()] == ["fp3", "fp4"]
+        assert log.total == 5
+
+    def test_drain_empties(self):
+        log = QueryLog()
+        log.append(record())
+        assert len(log.drain()) == 1
+        assert log.records() == []
+        assert log.total == 1
+
+    def test_tail(self):
+        log = QueryLog()
+        for i in range(4):
+            log.append(record(i))
+        assert [r.fingerprint for r in log.tail(2)] == ["fp2", "fp3"]
+        assert log.tail(0) == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            QueryLog(capacity=0)
+
+    def test_to_dict_round_trip_fields(self):
+        rec = record(
+            7, selectivity=0.25, rows_examined=100, rows_emitted=25,
+            row_groups_scanned=3, row_groups_skipped=5,
+            snapshot_cache="hit", client_id="c9", trace_id="t-1",
+        )
+        doc = rec.to_dict()
+        assert doc["fingerprint"] == "fp7"
+        assert doc["predicate_columns"] == ["stars"]
+        assert doc["selectivity"] == 0.25
+        assert doc["row_groups_skipped"] == 5
+        assert doc["snapshot_cache"] == "hit"
+        assert doc["client_id"] == "c9"
+        assert doc["trace_id"] == "t-1"
+
+    def test_concurrent_appends_all_counted(self):
+        log = QueryLog(capacity=100_000)
+        n_threads, n_appends = 8, 500
+
+        def work():
+            for i in range(n_appends):
+                log.append(record(i))
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.total == n_threads * n_appends
+        assert len(log) == n_threads * n_appends
+
+
+class TestClientScope:
+    def test_default_is_local(self):
+        assert current_client_id() == "local"
+
+    def test_scope_sets_and_restores(self):
+        with client_scope("remote-7"):
+            assert current_client_id() == "remote-7"
+            with client_scope("inner"):
+                assert current_client_id() == "inner"
+            assert current_client_id() == "remote-7"
+        assert current_client_id() == "local"
+
+    def test_scope_is_per_thread(self):
+        seen = {}
+
+        def work():
+            seen["other"] = current_client_id()
+
+        with client_scope("main-client"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert seen["other"] == "local"
+
+
+class TestNullQueryLog:
+    def test_drops_everything(self):
+        null = QueryLog.null()
+        assert null is NULL_QUERY_LOG
+        null.append(record())
+        assert null.records() == []
+        assert null.drain() == []
+        assert len(null) == 0
+        assert not null.enabled
+
+    def test_resolve_defaults_to_null(self):
+        assert resolve_query_log(None) is NULL_QUERY_LOG
+        real = QueryLog()
+        assert resolve_query_log(real) is real

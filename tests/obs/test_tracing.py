@@ -1,0 +1,127 @@
+"""Tracer: span nesting, ids, adoption, and exports."""
+
+import json
+
+from repro.obs import Tracer
+from repro.obs.tracing import NULL_TRACER, TraceContext, resolve_tracer
+
+
+class TestSpans:
+    def test_root_span_gets_fresh_trace_id(self):
+        tracer = Tracer("t")
+        with tracer.trace("root") as span:
+            assert span.trace_id.startswith("t-")
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["root"]
+        assert spans[0].parent_id is None
+        assert spans[0].end >= spans[0].start
+
+    def test_nested_spans_link_parent_child(self):
+        tracer = Tracer()
+        with tracer.trace("outer") as outer:
+            with tracer.trace("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_explicit_parent_reroots(self):
+        tracer = Tracer()
+        parent = TraceContext("trace-9", "span-9")
+        with tracer.trace("child", parent=parent):
+            pass
+        (span,) = tracer.spans()
+        assert span.trace_id == "trace-9"
+        assert span.parent_id == "span-9"
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = Tracer()
+        try:
+            with tracer.trace("boom"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_drain_by_trace_id_keeps_others(self):
+        tracer = Tracer()
+        with tracer.trace("a") as a:
+            pass
+        with tracer.trace("b"):
+            pass
+        drained = tracer.drain(a.trace_id)
+        assert [s.name for s in drained] == ["a"]
+        assert [s.name for s in tracer.spans()] == ["b"]
+
+    def test_adopt_files_foreign_spans(self):
+        source, sink = Tracer("src"), Tracer("dst")
+        with source.trace("remote-side"):
+            pass
+        records = [s.to_dict() for s in source.drain()]
+        sink.adopt(records)
+        (span,) = sink.spans()
+        assert span.name == "remote-side"
+        assert span.trace_id.startswith("src-")
+
+
+class TestExports:
+    def _three_span_tracer(self):
+        tracer = Tracer()
+        with tracer.trace("root"):
+            with tracer.trace("child1"):
+                pass
+            with tracer.trace("child2"):
+                pass
+        return tracer
+
+    def test_span_tree_nests_children(self):
+        tracer = self._three_span_tracer()
+        (root,) = tracer.span_tree()
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == \
+            ["child1", "child2"]
+
+    def test_format_tree_indents(self):
+        text = self._three_span_tracer().format_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child1")
+        assert "ms]" in lines[0]
+
+    def test_chrome_trace_shape(self):
+        tracer = self._three_span_tracer()
+        doc = tracer.chrome_trace()
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_orphan_parent_becomes_root(self):
+        tracer = Tracer()
+        with tracer.trace("child",
+                          parent=TraceContext("t-x", "gone")):
+            pass
+        (root,) = tracer.span_tree()
+        assert root["name"] == "child"
+
+
+class TestNullTracer:
+    def test_trace_yields_no_span(self):
+        with NULL_TRACER.trace("anything") as nothing:
+            assert nothing is None
+        assert NULL_TRACER.spans() == []
+        assert not NULL_TRACER.enabled
+
+    def test_null_is_shared_context_manager(self):
+        a = NULL_TRACER.trace("a")
+        b = NULL_TRACER.trace("b")
+        assert a is b
+
+    def test_resolve_defaults_to_null(self):
+        assert resolve_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert resolve_tracer(real) is real

@@ -1,0 +1,194 @@
+"""End-to-end observability: one trace across the wire, query log, STATS.
+
+The acceptance path for the obs subsystem: a ``RemoteSession.query()``
+over a real :class:`SocketChannel` produces a single exported trace
+containing both the client-side ``remote.query`` span and the
+server-side ``service.query``/``engine.*`` spans, and the serving
+session's query log records predicate columns and skip/scan counts.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Budget, CiaoSession, Query, Workload, clause, key_value
+from repro.obs import Metrics, QueryLog, Tracer
+from repro.service import STATS_FORMAT, CiaoService, RemoteSession
+from repro.transport import wire
+
+SEED = 4321
+N_RECORDS = 600
+SQL_FILTERED = "SELECT COUNT(*) FROM t WHERE stars = 5"
+
+
+@pytest.fixture()
+def obs():
+    return {
+        "metrics": Metrics(),
+        "tracer": Tracer("server"),
+        "query_log": QueryLog(),
+    }
+
+
+@pytest.fixture()
+def loaded_session(obs, tmp_path):
+    workload = Workload(
+        (Query((clause(key_value("stars", 5)),), name="five"),),
+        dataset="yelp",
+    )
+    session = CiaoSession(
+        workload, source="yelp", seed=SEED,
+        data_dir=tmp_path / "obs-served", **obs,
+    )
+    session.plan(Budget(1.0))
+    session.load(n_records=N_RECORDS).result()
+    yield session
+    session.close()
+
+
+@pytest.fixture()
+def service(loaded_session):
+    with CiaoService(loaded_session) as service:
+        yield service
+
+
+class TestTraceAcrossTheWire:
+    def test_single_trace_spans_both_processes(self, service):
+        client_tracer = Tracer("client")
+        with RemoteSession(service.address,
+                           tracer=client_tracer) as remote:
+            result = remote.query(SQL_FILTERED)
+        assert result.scalar() > 0
+
+        spans = client_tracer.spans()
+        names = {s.name for s in spans}
+        assert "remote.query" in names       # client side
+        assert "service.query" in names      # server side, adopted
+        assert "engine.query" in names
+        # Exactly one trace id across every span.
+        assert len({s.trace_id for s in spans}) == 1
+
+        by_name = {s.name: s for s in spans}
+        root = by_name["remote.query"]
+        assert root.parent_id is None
+        assert by_name["service.query"].parent_id == root.span_id
+        assert by_name["engine.query"].parent_id == \
+            by_name["service.query"].span_id
+        # plan/scan nest under the engine span.
+        for leaf in ("engine.plan", "engine.scan"):
+            assert by_name[leaf].parent_id == \
+                by_name["engine.query"].span_id
+
+    def test_tree_and_chrome_export_cover_the_trace(self, service):
+        client_tracer = Tracer("client")
+        with RemoteSession(service.address,
+                           tracer=client_tracer) as remote:
+            remote.query(SQL_FILTERED)
+        (root,) = client_tracer.span_tree()
+        assert root["name"] == "remote.query"
+        child_names = [c["name"] for c in root["children"]]
+        assert child_names == ["service.query"]
+        doc = client_tracer.chrome_trace()
+        assert {e["name"] for e in doc["traceEvents"]} >= {
+            "remote.query", "service.query", "engine.query",
+        }
+        json.dumps(doc)
+
+    def test_untraced_client_leaves_no_server_spans_behind(
+            self, obs, service):
+        with RemoteSession(service.address) as remote:
+            remote.query(SQL_FILTERED)
+        # No trace context arrived, so the service filed nothing under
+        # a wire trace id and shipped no spans.
+        assert all(s.name != "service.query"
+                   for s in obs["tracer"].spans())
+
+    def test_server_tracer_drained_per_request(self, obs, service):
+        client_tracer = Tracer("client")
+        with RemoteSession(service.address,
+                           tracer=client_tracer) as remote:
+            remote.query(SQL_FILTERED)
+        # The request's spans were shipped to the client, not retained.
+        shipped = {s.span_id for s in client_tracer.spans()}
+        for span in obs["tracer"].spans():
+            assert span.span_id not in shipped
+
+
+class TestQueryLog:
+    def test_records_predicates_and_skip_counts(self, obs, service):
+        log = obs["query_log"]
+        log.drain()
+        with RemoteSession(service.address,
+                           client_id="obs-client") as remote:
+            remote.query(SQL_FILTERED)
+        (rec,) = log.records()
+        assert rec.predicate_columns == ("stars",)
+        assert rec.table == "t"
+        assert rec.sql == SQL_FILTERED
+        assert rec.client_id == "obs-client"
+        assert rec.rows_examined > 0
+        assert rec.row_groups_scanned + rec.row_groups_skipped > 0
+        assert 0.0 <= rec.selectivity <= 1.0
+        assert rec.wall_seconds >= 0.0
+
+    def test_session_query_log_drains(self, obs, loaded_session):
+        loaded_session.query(SQL_FILTERED)
+        records = loaded_session.query_log(drain=True)
+        assert records, "local query must be logged too"
+        assert loaded_session.query_log() == []
+
+    def test_local_queries_attributed_to_local(self, obs, loaded_session):
+        obs["query_log"].drain()
+        loaded_session.query(SQL_FILTERED)
+        (rec,) = obs["query_log"].records()
+        assert rec.client_id == "local"
+
+
+class TestStats:
+    def test_remote_stats_document(self, obs, service):
+        with RemoteSession(service.address) as remote:
+            remote.query(SQL_FILTERED)
+            doc = remote.stats(query_log_tail=10)
+        assert doc["format"] == STATS_FORMAT
+        assert doc["connections"] >= 1
+        assert doc["admission"]["granted"] >= 1
+        counters = doc["metrics"]["counters"]
+        assert counters["engine.queries"] >= 1
+        assert any(r["sql"] == SQL_FILTERED for r in doc["query_log"])
+
+    def test_stats_without_tail_omits_query_log(self, service):
+        with RemoteSession(service.address) as remote:
+            doc = remote.stats()
+        assert "query_log" not in doc
+
+    def test_stats_wire_message_shape(self, service):
+        from repro.transport.sockets import SocketChannel
+        from repro.transport.wire import decode_message, encode_message
+
+        channel = SocketChannel.connect(service.address)
+        channel.send(encode_message(wire.HELLO, {
+            "client_id": "raw", "protocol": wire.PROTOCOL_VERSION,
+        }))
+        decode_message(channel.receive_wait(5.0))  # WELCOME
+        channel.send(encode_message(wire.STATS, {}))
+        reply = decode_message(channel.receive_wait(5.0))
+        assert reply.tag == wire.STATS
+        assert reply.header["format"] == STATS_FORMAT
+        doc = json.loads(reply.body.decode("utf-8"))
+        assert "metrics" in doc and "admission" in doc
+        channel.close()
+
+
+class TestServiceMetrics:
+    def test_socket_and_service_counters_advance(self, obs, service):
+        with RemoteSession(service.address) as remote:
+            remote.query(SQL_FILTERED)
+        snap = obs["metrics"].snapshot()
+        counters = snap["counters"]
+        assert counters["service.connections_accepted"] >= 1
+        assert counters["socket.frames_in"] >= 1
+        assert counters["socket.frames_out"] >= 1
+        assert counters["socket.bytes_in"] > 0
+        assert counters["socket.bytes_out"] > 0
+        assert counters["engine.queries"] >= 1
+        assert snap["histograms"]["engine.query_seconds"]["count"] >= 1

@@ -1,0 +1,82 @@
+"""Trace context in wire headers: round-trip and old-peer tolerance."""
+
+import pytest
+
+from repro.transport import wire
+from repro.transport.wire import (
+    Message,
+    attach_trace,
+    decode_message,
+    encode_message,
+    extract_trace,
+)
+
+
+class TestRoundTrip:
+    def test_attach_then_extract(self):
+        header = {"sql": "SELECT COUNT(*) FROM t"}
+        returned = attach_trace(header, "t-1", "s-1")
+        assert returned is header  # mutates and returns
+        assert extract_trace(header) == ("t-1", "s-1")
+
+    def test_survives_encode_decode(self):
+        header = attach_trace({"sql": "q", "snapshot": False},
+                              "trace-42", "span-9")
+        message = decode_message(
+            encode_message(wire.QUERY, header, b"")
+        )
+        assert message.tag == wire.QUERY
+        assert extract_trace(message.header) == ("trace-42", "span-9")
+        # The rest of the header is untouched.
+        assert message.header["sql"] == "q"
+
+    def test_stats_tag_encodes(self):
+        message = decode_message(
+            encode_message(wire.STATS, {"query_log_tail": 5}, b"{}")
+        )
+        assert message.tag == wire.STATS
+        assert message.name == "STATS"
+        assert message.header["query_log_tail"] == 5
+
+
+class TestTolerance:
+    def test_absent_field_is_none(self):
+        assert extract_trace({}) is None
+        assert extract_trace({"sql": "q"}) is None
+
+    @pytest.mark.parametrize("garbage", [
+        "not-a-dict",
+        17,
+        None,
+        ["trace-1", "span-1"],
+        {},
+        {"trace_id": "t-1"},                      # parent missing
+        {"parent_id": "s-1"},                     # trace missing
+        {"trace_id": 5, "parent_id": "s-1"},      # wrong type
+        {"trace_id": "t-1", "parent_id": b"s"},   # wrong type
+        {"trace_id": "", "parent_id": "s-1"},     # empty id
+        {"trace_id": "t-1", "parent_id": ""},     # empty id
+    ])
+    def test_garbage_trace_values_are_none(self, garbage):
+        assert extract_trace({wire.TRACE_FIELD: garbage}) is None
+
+    def test_old_client_message_still_decodes(self):
+        """A pre-trace QUERY (no trace field) flows through untouched."""
+        payload = encode_message(
+            wire.QUERY, {"sql": "SELECT COUNT(*) FROM t",
+                         "snapshot": False}, b"",
+        )
+        message = decode_message(payload)
+        assert extract_trace(message.header) is None
+        assert message.header["sql"] == "SELECT COUNT(*) FROM t"
+
+    def test_new_header_ignored_by_dict_reads(self):
+        """Old peers read headers with .get(); the trace field must be
+        plain JSON data that round-trips without special handling."""
+        header = attach_trace({}, "t-1", "s-1")
+        message = decode_message(encode_message(wire.QUERY, header))
+        assert message.header.get("nonexistent") is None
+        assert isinstance(message.header[wire.TRACE_FIELD], dict)
+
+    def test_message_dataclass_default_header(self):
+        assert extract_trace(Message(wire.QUERY).header) is None
