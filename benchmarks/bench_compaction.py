@@ -1,0 +1,238 @@
+"""Compaction: row-group skipping before/after re-clustering + the regret guard.
+
+Two legs:
+
+1. **Merge + re-cluster payoff** — a sharded streaming load with
+   ``seal_interval=1`` leaves one small sealed part per chunk, each with
+   round-robin values in the hot predicate column (so every zone map
+   spans the whole domain and nothing prunes).  After a warm-up workload
+   of point filters the compactor merges the parts and re-sorts rows by
+   the hot column.  Reported and asserted: the part count drops and the
+   row-group skip fraction (skipped + zone-pruned over total groups
+   visited) **strictly improves**; query p50 before/after rides along in
+   the JSON payload.
+
+2. **Thrash resistance (ski-rental regret guard)** — an adversarial
+   workload alternates its filter column every round (``a``, ``b``,
+   ``a``, …).  An *eager* policy (cost factor ~0) re-sorts on every
+   flip; the *guarded* leg prices a rewrite at two rounds' worth of
+   un-pruned scan work (``rewrite_cost_factor = 2 × queries/round``),
+   so a column must stay hot across phases before a re-sort pays and
+   the flip-flopping workload mostly leaves the layout alone.
+   Asserted: the guarded leg performs **strictly fewer rewrites** than
+   the eager one, and its query p50 never regresses beyond
+   ``REPRO_BENCH_REGRET_BUDGET`` (default +50%) of a never-compact
+   baseline.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_compaction.py``
+(set ``REPRO_BENCH_SMOKE=1`` for a <60 s smoke configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from conftest import run_once
+
+from repro.bench import emit, emit_json
+from repro.compact import CompactionConfig, Compactor
+from repro.obs import QueryLog
+from repro.rawjson import JsonChunk, dump_record
+from repro.server import CiaoServer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+REGRET_BUDGET = float(os.environ.get("REPRO_BENCH_REGRET_BUDGET", "0.5"))
+
+N_SHARDS = 2
+DOMAIN = 8
+N_CHUNKS = 8 if SMOKE else 24
+CHUNK_RECORDS = 120 if SMOKE else 400
+WARMUP_QUERIES = 12 if SMOKE else 32
+THRASH_ROUNDS = 4 if SMOKE else 8
+THRASH_QUERIES = 8 if SMOKE else 20
+
+#: Shared machine-readable payload; both tests write into it so the JSON
+#: document accretes whichever legs actually ran.
+_PAYLOAD = {"config": {
+    "smoke": SMOKE, "n_chunks": N_CHUNKS, "chunk_records": CHUNK_RECORDS,
+    "domain": DOMAIN, "regret_budget": REGRET_BUDGET,
+}}
+
+
+def make_chunks():
+    """Round-robin hot columns: every seal's zone maps span the domain."""
+    chunks = []
+    for cid in range(N_CHUNKS):
+        records = []
+        for i in range(CHUNK_RECORDS):
+            n = cid * CHUNK_RECORDS + i
+            records.append(dump_record({
+                "a": n % DOMAIN,
+                "b": (n // DOMAIN) % DOMAIN,
+                "v": n,
+            }))
+        chunks.append(JsonChunk(cid, records))
+    return chunks
+
+
+def streaming_server(path, query_log):
+    return CiaoServer(path, n_shards=N_SHARDS, shard_mode="thread",
+                      seal_interval=1, query_log=query_log)
+
+
+def loaded_server(path, query_log):
+    server = streaming_server(path, query_log)
+    for chunk in make_chunks():
+        server.ingest(chunk)
+    server.quiesce()
+    return server
+
+
+def timed_queries(server, column, n):
+    """Run *n* point filters on *column*; return (p50 seconds, answers)."""
+    latencies = []
+    answers = []
+    for i in range(n):
+        sql = f"SELECT COUNT(*) FROM t WHERE {column} = {i % DOMAIN}"
+        started = time.perf_counter()
+        answers.append(server.query(sql).scalar())
+        latencies.append(time.perf_counter() - started)
+    return statistics.median(latencies), answers
+
+
+def skip_fraction(records):
+    """Row groups not examined per row group visited, from log records."""
+    skipped = sum(r.row_groups_skipped + r.row_groups_pruned
+                  for r in records)
+    visited = sum(r.row_groups_scanned + r.row_groups_skipped
+                  for r in records)
+    return skipped / visited if visited else 0.0
+
+
+def drain_compactor(comp, max_rounds=10):
+    """Synchronous rounds until the policy has nothing left to do."""
+    rewrites = 0
+    for _ in range(max_rounds):
+        if comp.run_once() is None:
+            break
+        rewrites += 1
+    return rewrites
+
+
+def test_recluster_improves_skipping(benchmark, tmp_path, results_dir):
+    def experiment():
+        qlog = QueryLog(capacity=100_000)
+        server = loaded_server(tmp_path / "payoff", qlog)
+        parts_before = len(server.sealed_parts())
+        p50_before, before_answers = timed_queries(
+            server, "a", WARMUP_QUERIES
+        )
+        fraction_before = skip_fraction(qlog.records())
+
+        # The compactor reads the same log itself (credit + hot
+        # columns), so nothing is drained out from under it.
+        comp = Compactor(server, config=CompactionConfig(
+            min_observations=1,
+            row_group_rows=max(CHUNK_RECORDS // 2, 64),
+        ), query_log=qlog)
+        rewrites = drain_compactor(comp)
+
+        parts_after = len(server.sealed_parts())
+        mark = len(qlog.records())
+        p50_after, after_answers = timed_queries(
+            server, "a", WARMUP_QUERIES
+        )
+        fraction_after = skip_fraction(qlog.records()[mark:])
+        return {
+            "parts_before": parts_before,
+            "parts_after": parts_after,
+            "rewrites": rewrites,
+            "p50_before_s": p50_before,
+            "p50_after_s": p50_after,
+            "skip_fraction_before": fraction_before,
+            "skip_fraction_after": fraction_after,
+            "answers_unchanged": before_answers == after_answers,
+            "compactor": comp.stats(),
+        }
+
+    result = run_once(benchmark, experiment)
+    _PAYLOAD["recluster_payoff"] = result
+    emit(
+        "compaction_payoff",
+        "compaction payoff: "
+        f"parts {result['parts_before']} -> {result['parts_after']}, "
+        f"skip fraction {result['skip_fraction_before']:.3f} -> "
+        f"{result['skip_fraction_after']:.3f}, "
+        f"p50 {result['p50_before_s'] * 1e3:.2f} ms -> "
+        f"{result['p50_after_s'] * 1e3:.2f} ms",
+        results_dir,
+    )
+    emit_json("BENCH_compaction", _PAYLOAD, results_dir)
+
+    assert result["answers_unchanged"]
+    assert result["parts_after"] < result["parts_before"]
+    # The headline claim: re-clustering strictly improves skipping.
+    assert result["skip_fraction_after"] > result["skip_fraction_before"]
+
+
+def test_regret_guard_bounds_thrash(benchmark, tmp_path, results_dir):
+    def thrash(server, comp):
+        """Alternate the filter column; compact between rounds."""
+        latencies = []
+        for round_no in range(THRASH_ROUNDS):
+            column = "a" if round_no % 2 == 0 else "b"
+            for i in range(THRASH_QUERIES):
+                sql = (f"SELECT COUNT(*) FROM t "
+                       f"WHERE {column} = {i % DOMAIN}")
+                started = time.perf_counter()
+                server.query(sql)
+                latencies.append(time.perf_counter() - started)
+            if comp is not None:
+                comp.run_once()
+        return statistics.median(latencies)
+
+    def experiment():
+        legs = {}
+        for leg, config in (
+            ("never", None),
+            # Price a rewrite at ~2 rounds of un-pruned scanning: a
+            # column must stay hot across phases before re-sorting pays.
+            ("guard", CompactionConfig(
+                rewrite_cost_factor=2.0 * THRASH_QUERIES)),
+            ("eager", CompactionConfig(min_observations=1,
+                                       rewrite_cost_factor=1e-9)),
+        ):
+            qlog = QueryLog(capacity=100_000)
+            server = loaded_server(tmp_path / leg, qlog)
+            comp = None
+            if config is not None:
+                comp = Compactor(server, config=config, query_log=qlog)
+            p50 = thrash(server, comp)
+            legs[leg] = {
+                "p50_s": p50,
+                "rewrites": comp.stats()["rewrites"] if comp else 0,
+                "reclusters": comp.stats()["reclusters"] if comp else 0,
+            }
+        return legs
+
+    legs = run_once(benchmark, experiment)
+    _PAYLOAD["regret_guard"] = legs
+    emit(
+        "compaction_thrash",
+        "compaction thrash: "
+        f"rewrites guard={legs['guard']['rewrites']} "
+        f"eager={legs['eager']['rewrites']}; "
+        f"p50 never={legs['never']['p50_s'] * 1e3:.2f} ms "
+        f"guard={legs['guard']['p50_s'] * 1e3:.2f} ms "
+        f"(budget +{REGRET_BUDGET:.0%})",
+        results_dir,
+    )
+    emit_json("BENCH_compaction", _PAYLOAD, results_dir)
+
+    # The guard holds: strictly less churn than the eager policy, and
+    # the alternating workload never drags p50 past the regret budget.
+    assert legs["guard"]["rewrites"] < legs["eager"]["rewrites"]
+    assert (legs["guard"]["p50_s"]
+            <= legs["never"]["p50_s"] * (1.0 + REGRET_BUDGET))

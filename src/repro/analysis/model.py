@@ -47,6 +47,7 @@ _ROLE_BY_SEGMENT = {
     "server": "server",
     "storage": "storage",
     "service": "service",
+    "compact": "compact",
 }
 _ROLE_BY_FILENAME = {
     "protocol.py": "protocol",

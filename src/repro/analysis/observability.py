@@ -15,8 +15,8 @@ instead.
     the obs registry (or, for genuinely human-facing output such as a
     CLI entry point, move it out of the hot-path layer).
 
-Scope: modules whose role is ``server``, ``engine``, ``storage``, or
-``service`` (path-inferred, or declared with
+Scope: modules whose role is ``server``, ``engine``, ``storage``,
+``service``, or ``compact`` (path-inferred, or declared with
 ``# ciaolint: module-role=...``).
 """
 
@@ -29,7 +29,7 @@ from .findings import Finding
 from .model import Project, SourceModule
 from .registry import Checker, register
 
-_OBS_ROLES = ("server", "engine", "storage", "service")
+_OBS_ROLES = ("server", "engine", "storage", "service", "compact")
 
 
 @register

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from ..client.device import SimulatedClient
+from ..compact import Compactor, resolve_compaction
 from ..core.budgets import Budget
 from ..core.cost_model import DEFAULT_COEFFICIENTS, CostModel
 from ..core.optimizer import CiaoOptimizer, PushdownPlan
@@ -269,6 +270,12 @@ class CiaoSession:
         tracer: A :class:`repro.obs.Tracer` for engine-side spans.
         query_log: A :class:`repro.obs.QueryLog` accumulating one record
             per executed query; drain it via :meth:`query_log`.
+        compaction: Opt-in background compaction of sealed parts: a
+            :class:`repro.compact.CompactionConfig` (or ``True`` for
+            the defaults) starts a :class:`repro.compact.Compactor`
+            worker per load that merges small sealed parts and
+            re-clusters rows by the query log's hot predicate columns.
+            Off by default.
 
     The session is a facade over — not a fork of — the low-level API:
     :attr:`server`, :attr:`pushdown_plan`, and every constructor the
@@ -283,13 +290,16 @@ class CiaoSession:
                  plan: Optional[PushdownPlan] = None,
                  metrics: Optional[Metrics] = None,
                  tracer: Optional[Tracer] = None,
-                 query_log: Optional[QueryLog] = None):
+                 query_log: Optional[QueryLog] = None,
+                 compaction=None):
         self.workload = workload
         self.config = config or DeploymentConfig()
         self.seed = seed
         self._metrics = resolve_metrics(metrics)
         self._tracer = resolve_tracer(tracer)
         self._query_log = resolve_query_log(query_log)
+        self._compaction = resolve_compaction(compaction)
+        self._compactor: Optional[Compactor] = None
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
         if data_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="ciao-")
@@ -349,6 +359,21 @@ class CiaoSession:
         :class:`repro.obs.Metrics` (observability is opt-in).
         """
         return self._metrics.snapshot()
+
+    @property
+    def compactor(self) -> Optional[Compactor]:
+        """The live compaction worker, if the session opted in."""
+        return self._compactor
+
+    def compaction_stats(self) -> Optional[Dict[str, Any]]:
+        """The compactor's operational snapshot, or None when disabled.
+
+        This is what the service layer embeds under the STATS reply's
+        ``compaction`` key.
+        """
+        if self._compactor is None:
+            return None
+        return self._compactor.stats()
 
     def query_log(self, drain: bool = False) -> List[QueryLogRecord]:
         """The accumulated per-query records, oldest first.
@@ -454,6 +479,7 @@ class CiaoSession:
         else:
             self._start_serial(job, src)
         self._jobs.append(job)
+        self._attach_compactor(server)
         return job
 
     def external_load(self) -> LoadJob:
@@ -488,7 +514,30 @@ class CiaoSession:
         job._external = True
         job._finished = threading.Event()
         self._jobs.append(job)
+        self._attach_compactor(server)
         return job
+
+    def _attach_compactor(self, server: CiaoServer) -> None:
+        """Start a compaction worker for *server* (if opted in).
+
+        One worker per live server: a new load retires the previous
+        worker (its server is superseded) and starts a fresh one, so
+        compaction keeps running across external loads too — including
+        under remote serving, where :class:`repro.service.CiaoService`
+        creates the jobs.
+        """
+        if self._compaction is None:
+            return
+        if self._compactor is not None:
+            self._compactor.close()
+        self._compactor = Compactor(
+            server,
+            config=self._compaction,
+            metrics=self._metrics,
+            tracer=self._tracer,
+            query_log=self._query_log,
+        )
+        self._compactor.start()
 
     def _start_serial(self, job: LoadJob, src: DataSource) -> None:
         client = SimulatedClient(
@@ -626,6 +675,11 @@ class CiaoSession:
         """
         if self._closed:
             return
+        if self._compactor is not None:
+            # Stop background rewrites before finalizing: a swap racing
+            # the teardown would rewrite parts nobody will query.
+            self._compactor.close()
+            self._compactor = None
         for job in self._jobs:
             if job._report is None:
                 try:

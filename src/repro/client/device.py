@@ -18,7 +18,7 @@ from typing import Callable, Iterable, Iterator, List, Optional
 
 from ..core.optimizer import PushdownPlan
 from ..rawjson.chunks import DEFAULT_CHUNK_SIZE, JsonChunk, chunk_records
-from ..simulate.network import Channel
+from ..transport import Channel
 from .evaluator import ClientEvaluator, EvaluationReport
 from .protocol import encode_chunk
 

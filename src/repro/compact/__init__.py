@@ -1,0 +1,47 @@
+"""Workload-adaptive compaction of sealed Parquet-lite parts.
+
+Streaming seals and fleet ingest deliberately produce many small sealed
+parts; every part is a scan unit and a snapshot-cache key, so part
+count is a direct query-latency tax.  This package merges small sealed
+parts into large ones and — guided by the query log — re-clusters rows
+by the hot predicate columns so the rebuilt zone maps prune, with a
+ski-rental regret guard that keeps a shifting workload from thrashing
+the layout (see :mod:`repro.compact.policy`).
+
+Entry points: pass ``compaction=CompactionConfig(...)`` (or ``True``)
+to :class:`repro.api.CiaoSession` for the background worker, or drive
+:class:`Compactor.run_once` / :func:`rewrite_parts` directly.
+"""
+
+from .compactor import Compactor
+from .policy import CompactionConfig, CompactionPlan, CompactionPolicy
+from .rewrite import DEFAULT_ROW_GROUP_ROWS, RewriteStats, rewrite_parts
+
+__all__ = [
+    "CompactionConfig",
+    "CompactionPlan",
+    "CompactionPolicy",
+    "Compactor",
+    "DEFAULT_ROW_GROUP_ROWS",
+    "RewriteStats",
+    "resolve_compaction",
+    "rewrite_parts",
+]
+
+
+def resolve_compaction(value) -> "CompactionConfig | None":
+    """Normalize a session's ``compaction=`` argument.
+
+    ``None``/``False`` → disabled; ``True`` → default config; a
+    :class:`CompactionConfig` passes through.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return CompactionConfig()
+    if isinstance(value, CompactionConfig):
+        return value
+    raise TypeError(
+        f"compaction must be a CompactionConfig, True, False or None; "
+        f"got {type(value).__name__}"
+    )

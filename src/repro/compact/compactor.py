@@ -1,0 +1,287 @@
+"""The background compaction worker.
+
+One daemon thread per server: each round it folds new query-log records
+into the :class:`~repro.compact.policy.CompactionPolicy`'s credit
+ledger, asks the server for its sealed part set, lets the policy decide
+one rewrite, performs it **without holding any server lock** (sealed
+parts are immutable, so reading them races with nothing), and commits
+the swap through :meth:`CiaoServer.commit_compaction` — the only step
+that touches the server's lifecycle lock, and the step that makes the
+swap atomic with respect to in-flight queries.
+
+Lock discipline: the compactor's own lock is a leaf guarding its stats
+counters; it is never held across a rewrite, a server call, or any
+other lock acquisition, so the subsystem adds no edges above the
+documented ``lifecycle → ingest`` order (``ciaolint`` checks this
+statically and ``CIAO_LOCKSAN=1`` at runtime).
+
+A rewrite that raises (disk full, a part deleted underneath us, a bug)
+is contained to its round: the error is counted and the catalog keeps
+pointing at the old parts — :func:`repro.compact.rewrite.rewrite_parts`
+never leaves a readable file at the output path on failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..analysis.sanitizer import make_lock
+from ..obs.metrics import Metrics, resolve_metrics
+from ..obs.querylog import QueryLog, resolve_query_log
+from ..obs.tracing import Tracer, resolve_tracer
+from .policy import CompactionConfig, CompactionPlan, CompactionPolicy
+from .rewrite import RewriteStats, rewrite_parts
+
+#: How many hot columns the worker offers the policy per round.
+HOT_COLUMN_CANDIDATES = 3
+
+
+class Compactor:
+    """Workload-adaptive compaction for one server's sealed parts.
+
+    *server* is any object with the :class:`repro.server.ciao.
+    CiaoServer` compaction surface — ``sealed_parts()``,
+    ``commit_compaction(inputs, output)``, ``data_dir`` and
+    ``table_name``.  Construction does not start the thread; call
+    :meth:`start` (the session does) or drive rounds synchronously with
+    :meth:`run_once` (tests and benchmarks do, for determinism).
+    """
+
+    def __init__(self, server,
+                 policy: Optional[CompactionPolicy] = None,
+                 config: Optional[CompactionConfig] = None,
+                 *,
+                 metrics: Optional[Metrics] = None,
+                 tracer: Optional[Tracer] = None,
+                 query_log: Optional[QueryLog] = None):
+        if policy is not None and config is not None:
+            raise ValueError(
+                "pass either a policy or a config, not both"
+            )
+        self._server = server
+        self.policy = policy or CompactionPolicy(config)
+        self._query_log = resolve_query_log(query_log)
+        self._tracer = resolve_tracer(tracer)
+        metrics = resolve_metrics(metrics)
+        self._m_rounds = metrics.counter("compact.rounds")
+        self._m_parts_merged = metrics.counter("compact.parts_merged")
+        self._m_parts_written = metrics.counter("compact.parts_written")
+        self._m_rows = metrics.counter("compact.rows_rewritten")
+        self._m_bytes = metrics.counter("compact.bytes_rewritten")
+        self._m_reclusters = metrics.counter("compact.reclusters")
+        self._m_errors = metrics.counter("compact.errors")
+        self._g_parts_live = metrics.gauge("compact.parts_live")
+        self._g_skip_before = metrics.gauge("compact.skip_fraction_before")
+        self._g_skip_after = metrics.gauge("compact.skip_fraction_after")
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = make_lock("Compactor._lock")
+        self._rounds = 0  # guarded-by: _lock
+        self._rewrites = 0  # guarded-by: _lock
+        self._reclusters = 0  # guarded-by: _lock
+        self._errors = 0  # guarded-by: _lock
+        self._last_error: Optional[str] = None  # guarded-by: _lock
+        self._rows_rewritten = 0  # guarded-by: _lock
+        self._bytes_rewritten = 0  # guarded-by: _lock
+        self._parts_merged = 0  # guarded-by: _lock
+        # Workload skip accounting since the last committed re-cluster;
+        # feeds the before/after gauges.  # guarded-by: _lock
+        self._skip_units = 0
+        self._total_units = 0  # guarded-by: _lock
+        # Single-thread state (the worker/run_once caller only):
+        self._log_cursor = 0
+        self._output_seq = 0
+        #: Output path → the column its rows are sorted by, so the
+        #: policy can refuse to re-sort by the current order.
+        self._clustered_by: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="ciao-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the worker and join it (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        """True while the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        interval = self.policy.config.poll_interval
+        while not self._stop.wait(interval):
+            try:
+                self.run_once()
+            except BaseException as exc:  # ciaolint: allow[API006] -- a failed round must not kill the worker; counted below
+                self._record_error(exc)
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+    def run_once(self) -> Optional[RewriteStats]:
+        """Observe, decide, rewrite, commit — one synchronous round.
+
+        Returns the rewrite's stats, or None when the policy proposed
+        nothing.  Exceptions propagate (the background loop catches and
+        counts them; direct callers see them).
+        """
+        self._observe_workload()
+        parts = [Path(p) for p in self._server.sealed_parts()]
+        self._g_parts_live.set(len(parts))
+        if not parts:
+            self._bump_round()
+            return None
+        hot = self._query_log.hot_columns(HOT_COLUMN_CANDIDATES)
+        plan = self.policy.propose(
+            parts, hot, current_cluster=self._current_cluster(parts)
+        )
+        if plan is None:
+            self._bump_round()
+            return None
+        output = self._next_output_path()
+        try:
+            with self._tracer.trace("compact.rewrite", attrs={
+                "inputs": len(plan.inputs),
+                "cluster_by": plan.cluster_by or "",
+            }):
+                stats = rewrite_parts(
+                    plan.inputs, output,
+                    cluster_by=plan.cluster_by,
+                    row_group_rows=self.policy.config.row_group_rows,
+                )
+            self._server.commit_compaction(plan.inputs, output)
+        except BaseException:  # ciaolint: allow[API006] -- round accounting only; re-raised
+            self._bump_round()
+            raise
+        self._committed(plan, stats, output)
+        self._bump_round()
+        if self.policy.config.remove_inputs:
+            for part in plan.inputs:
+                Path(part).unlink(missing_ok=True)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _observe_workload(self) -> None:
+        """Feed query-log records appended since the last round."""
+        total = self._query_log.total
+        fresh = total - self._log_cursor
+        if fresh <= 0:
+            return
+        records = self._query_log.tail(fresh)
+        self._log_cursor = total
+        self.policy.observe(records)
+        skip_units = total_units = 0
+        for record in records:
+            skip_units += (
+                record.row_groups_skipped + record.row_groups_pruned
+            )
+            total_units += (
+                record.row_groups_scanned + record.row_groups_skipped
+            )
+        with self._lock:
+            self._skip_units += skip_units
+            self._total_units += total_units
+            if self._total_units > 0:
+                fraction = self._skip_units / self._total_units
+            else:
+                fraction = 0.0
+        self._g_skip_after.set(fraction)
+
+    def _current_cluster(self, parts) -> Optional[str]:
+        """The column every live part is sorted by, if one exists."""
+        columns = {
+            self._clustered_by.get(str(Path(p))) for p in parts
+        }
+        if len(columns) == 1:
+            return next(iter(columns))
+        return None
+
+    def _next_output_path(self) -> Path:
+        data_dir = Path(self._server.data_dir)
+        table = self._server.table_name
+        while True:
+            candidate = (
+                data_dir / f"{table}.compact{self._output_seq}.pql"
+            )
+            self._output_seq += 1
+            if not candidate.exists():
+                return candidate
+
+    def _committed(self, plan: CompactionPlan, stats: RewriteStats,
+                   output: Path) -> None:
+        self.policy.committed(plan)
+        for part in plan.inputs:
+            self._clustered_by.pop(str(Path(part)), None)
+        if plan.cluster_by is not None:
+            self._clustered_by[str(output)] = plan.cluster_by
+        self._m_parts_merged.inc(len(plan.inputs))
+        self._m_parts_written.inc()
+        self._m_rows.inc(stats.rows)
+        self._m_bytes.inc(stats.bytes_out)
+        if plan.cluster_by is not None:
+            self._m_reclusters.inc()
+        with self._lock:
+            self._rewrites += 1
+            self._parts_merged += len(plan.inputs)
+            self._rows_rewritten += stats.rows
+            self._bytes_rewritten += stats.bytes_out
+            if plan.cluster_by is not None:
+                self._reclusters += 1
+                # Reset the skip window: the before gauge keeps the
+                # pre-re-cluster fraction, the after gauge rebuilds
+                # from post-re-cluster queries only.
+                if self._total_units > 0:
+                    before = self._skip_units / self._total_units
+                else:
+                    before = 0.0
+                self._skip_units = 0
+                self._total_units = 0
+            else:
+                before = None
+        if before is not None:
+            self._g_skip_before.set(before)
+
+    def _bump_round(self) -> None:
+        self._m_rounds.inc()
+        with self._lock:
+            self._rounds += 1
+
+    def _record_error(self, exc: BaseException) -> None:
+        self._m_errors.inc()
+        message = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            self._errors += 1
+            self._last_error = message
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot (surfaced through the STATS wire reply)."""
+        running = self.running
+        with self._lock:
+            doc: Dict[str, object] = {
+                "running": running,
+                "rounds": self._rounds,
+                "rewrites": self._rewrites,
+                "reclusters": self._reclusters,
+                "parts_merged": self._parts_merged,
+                "rows_rewritten": self._rows_rewritten,
+                "bytes_rewritten": self._bytes_rewritten,
+                "errors": self._errors,
+                "last_error": self._last_error,
+            }
+        doc["policy"] = self.policy.stats()
+        return doc

@@ -78,6 +78,7 @@ class Executor:
         self._m_rows_examined = metrics.counter("engine.rows_examined")
         self._m_rg_scanned = metrics.counter("scan.row_groups_scanned")
         self._m_rg_skipped = metrics.counter("scan.row_groups_skipped")
+        self._m_rg_pruned = metrics.counter("scan.row_groups_pruned")
         self._m_tuples_skipped = metrics.counter("scan.tuples_skipped")
         self._m_cache_hits = metrics.counter("snapcache.hits")
         self._m_cache_misses = metrics.counter("snapcache.misses")
@@ -136,6 +137,7 @@ class Executor:
         )
         self._m_rg_scanned.inc(scanned)
         self._m_rg_skipped.inc(stats.row_groups_skipped)
+        self._m_rg_pruned.inc(stats.row_groups_pruned_by_zonemap)
         self._m_tuples_skipped.inc(
             stats.tuples_skipped + stats.tuples_pruned_by_zonemap
         )
@@ -172,6 +174,7 @@ class Executor:
             rows_emitted=stats.rows_emitted,
             row_groups_scanned=scanned,
             row_groups_skipped=stats.row_groups_skipped,
+            row_groups_pruned=stats.row_groups_pruned_by_zonemap,
             tuples_skipped=skipped,
             snapshot_cache=cache_outcome,
             wall_seconds=result.wall_seconds,

@@ -53,7 +53,7 @@ from ..client.protocol import encode_chunk
 from ..core.budgets import Budget, ClientProfile
 from ..core.optimizer import PushdownPlan
 from ..server.ciao import CiaoServer, IngestSession
-from ..simulate.network import Channel, ChannelLike, per_client_channels
+from ..transport import Channel, ChannelLike, per_client_channels
 from ..simulate.runtime import LOADING, PREFILTERING, CostLedger
 from .allocation import FleetAllocation, FleetBudgetAllocator, \
     uniform_allocation

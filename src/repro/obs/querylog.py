@@ -60,6 +60,10 @@ class QueryLogRecord:
     rows_emitted: int = 0
     row_groups_scanned: int = 0
     row_groups_skipped: int = 0
+    #: Of the scanned groups, how many zone maps pruned without
+    #: decoding (a subset of ``row_groups_scanned``, which counts
+    #: every group the bit-vector path did not skip outright).
+    row_groups_pruned: int = 0
     tuples_skipped: int = 0
     snapshot_cache: str = "none"  # "none" | "hit" | "miss" | "mixed"
     wall_seconds: float = 0.0
@@ -78,6 +82,7 @@ class QueryLogRecord:
             "rows_emitted": self.rows_emitted,
             "row_groups_scanned": self.row_groups_scanned,
             "row_groups_skipped": self.row_groups_skipped,
+            "row_groups_pruned": self.row_groups_pruned,
             "tuples_skipped": self.tuples_skipped,
             "snapshot_cache": self.snapshot_cache,
             "wall_seconds": self.wall_seconds,
@@ -143,6 +148,40 @@ class QueryLog:
                 return []
             return list(self._records)[-n:]
 
+    def hot_columns(self, top_n: int = 3) -> List[Tuple[str, float]]:
+        """The hottest predicate columns, fingerprint-weighted.
+
+        Folds the retained records into ``(column, weight)`` pairs,
+        hottest first: each distinct query fingerprint contributes its
+        occurrence count to every column its WHERE clause filters on,
+        so a column stays hot because the *workload* keeps filtering on
+        it, not because one query ran once with many clauses.  Ties
+        break by column name for determinism.  This is the fold the
+        compaction policy (and any layout optimizer) ranks re-cluster
+        candidates with.
+        """
+        if top_n <= 0:
+            raise ValueError(f"top_n must be positive, got {top_n}")
+        with self._lock:
+            records = list(self._records)
+        frequency: Dict[str, int] = {}
+        columns_of: Dict[str, Tuple[str, ...]] = {}
+        for record in records:
+            if not record.predicate_columns:
+                continue
+            frequency[record.fingerprint] = (
+                frequency.get(record.fingerprint, 0) + 1
+            )
+            columns_of[record.fingerprint] = record.predicate_columns
+        weight: Dict[str, float] = {}
+        for fingerprint, count in frequency.items():
+            for column in columns_of[fingerprint]:
+                weight[column] = weight.get(column, 0.0) + count
+        ranked = sorted(
+            weight.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:top_n]
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
@@ -172,6 +211,11 @@ class NullQueryLog(QueryLog):
         return []
 
     def tail(self, n: int) -> List[QueryLogRecord]:
+        return []
+
+    def hot_columns(self, top_n: int = 3) -> List[Tuple[str, float]]:
+        if top_n <= 0:
+            raise ValueError(f"top_n must be positive, got {top_n}")
         return []
 
     def __len__(self) -> int:

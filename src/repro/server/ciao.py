@@ -37,7 +37,7 @@ from ..obs.metrics import Metrics
 from ..obs.querylog import QueryLog
 from ..obs.tracing import Tracer
 from ..rawjson.chunks import JsonChunk
-from ..simulate.network import Channel
+from ..transport import Channel
 from ..storage.jsonstore import CompositeSidelineView, JsonSideStore
 from ..storage.schema import Schema
 from .loader import ClientAssistedLoader, LoadSummary
@@ -261,6 +261,16 @@ class CiaoServer:
         self._executor = Executor(self.catalog, metrics=metrics,
                                   tracer=tracer, query_log=query_log)
         self._loading_finalized = False  # guarded-by: _lifecycle_lock
+        #: Compaction view: original sealed-part path → the compacted
+        #: part that replaced it.  Kept flat (targets that are
+        #: themselves replaced are rewritten in place), so resolving a
+        #: path is one lookup, never a chain walk.
+        # guarded-by: _lifecycle_lock
+        self._compaction_remap: Dict[str, Path] = {}
+        #: Bumped on every committed compaction; composed into the
+        #: snapshot version token so a swap is never mistaken for an
+        #: unchanged snapshot.
+        self._compaction_epoch = 0  # guarded-by: _lifecycle_lock
         # Serializes query() against finalize_loading(): a loading
         # server may be queried from one thread while another thread
         # finalizes (session load jobs, fleet coordinators), and the
@@ -443,7 +453,9 @@ class CiaoServer:
                 parquet_paths = self._loader.parquet_paths
             if not self._loading_finalized:
                 self._table.clear_snapshot()
-                self._table.parquet_paths = list(parquet_paths)
+                self._table.parquet_paths = self._remap_parts(
+                    parquet_paths
+                )
                 self._table.invalidate()
                 self._loading_finalized = True
             return summary
@@ -503,14 +515,95 @@ class CiaoServer:
 
     @guarded_by("_lifecycle_lock")
     def _refresh_snapshot(self) -> None:
-        """Point the table at the pipeline's latest loaded-so-far view."""
+        """Point the table at the pipeline's latest loaded-so-far view.
+
+        The pipeline reports its own sealed parts; parts a compactor
+        already replaced are remapped to their compacted merge, and the
+        compaction epoch rides the version token so the swap registers
+        as a change even when the pipeline's counter did not move.
+        """
         snap = self._pipeline.snapshot()
         self._table.apply_snapshot(
-            snap.version,
-            snap.parquet_paths,
+            (snap.version, self._compaction_epoch),
+            self._remap_parts(snap.parquet_paths),
             CompositeSidelineView(self._side_store.path,
                                   snap.sideline_views),
         )
+
+    # ------------------------------------------------------------------
+    # Compaction (repro.compact drives these)
+    # ------------------------------------------------------------------
+    @guarded_by("_lifecycle_lock")
+    def _remap_parts(self, parquet_paths: Iterable[Path]) -> List[Path]:
+        """Resolve raw sealed-part paths through the compaction remap.
+
+        Several inputs of one merge resolve to the same output; the
+        first occurrence keeps its position and later ones drop, so the
+        resolved list preserves ingest order with no duplicates.
+        """
+        resolved: List[Path] = []
+        seen: set = set()
+        for path in parquet_paths:
+            target = self._compaction_remap.get(str(Path(path)))
+            if target is None:
+                target = Path(path)
+            key = str(target)
+            if key not in seen:
+                seen.add(key)
+                resolved.append(target)
+        return resolved
+
+    def sealed_parts(self) -> List[Path]:
+        """The immutable parts a compactor may rewrite right now.
+
+        Finalized servers expose the table's full part list; streaming
+        sharded servers expose the current snapshot's sealed parts
+        (through the compaction remap, so already-replaced parts never
+        reappear).  A still-loading serial server — or a sharded one
+        with streaming disabled — has no sealed immutable parts yet and
+        returns an empty list.
+        """
+        with self._lifecycle_lock:
+            if self._loading_finalized:
+                return list(self._table.parquet_paths)
+            if (self._pipeline is not None
+                    and self._pipeline.seal_interval is not None):
+                snap = self._pipeline.snapshot()
+                return self._remap_parts(snap.parquet_paths)
+            return []
+
+    def commit_compaction(self, inputs: Iterable[Path],
+                          output: Path | str) -> None:
+        """Atomically swap compacted *inputs* for their merged *output*.
+
+        Holding the lifecycle lock makes the swap atomic with respect
+        to queries (a statement holds the same lock for its whole
+        execution): every query sees either the old parts or the new
+        part, never a mix.  The remap is updated first — flattening any
+        earlier entries that pointed at a part now being replaced — so
+        pipeline snapshots and ``finalize_loading`` keep resolving to
+        live parts no matter when they run.
+        """
+        output = Path(output)
+        with self._lifecycle_lock:
+            replaced = {str(Path(p)) for p in inputs}
+            for key, target in list(self._compaction_remap.items()):
+                if str(target) in replaced:
+                    self._compaction_remap[key] = output
+            for key in replaced:
+                self._compaction_remap[key] = output
+            self._compaction_epoch += 1
+            if self._loading_finalized:
+                self._table.swap_parts(
+                    [Path(p) for p in inputs], output
+                )
+            elif (self._pipeline is not None
+                    and self._pipeline.seal_interval is not None
+                    and self._table.in_snapshot_mode):
+                # Re-derive the snapshot view through the updated remap;
+                # the bumped epoch forces the apply even when the
+                # pipeline's own version counter did not move.
+                self._refresh_snapshot()
 
     def quiesce(self, timeout: float = 30.0) -> None:
         """Wait until every ingested chunk is visible to queries.

@@ -415,6 +415,9 @@ class CiaoService:
             },
             "metrics": self.session.metrics(),
         }
+        compaction = self.session.compaction_stats()
+        if compaction is not None:
+            doc["compaction"] = compaction
         if query_log_tail > 0:
             records = self.session.query_log()
             doc["query_log"] = [

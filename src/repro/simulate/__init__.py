@@ -8,7 +8,9 @@ from .hardware import (
     PLATFORMS,
     synthesize_observations,
 )
-from .network import (
+# Channel names re-export from the transport package directly (not via
+# the deprecated .network shim, whose import now warns).
+from ..transport import (
     Channel,
     ChannelDecorator,
     ChannelSpec,

@@ -12,7 +12,16 @@ names so existing imports keep working — new code should import from
 
 from __future__ import annotations
 
-from ..transport import (
+import warnings
+
+warnings.warn(
+    "repro.simulate.network is deprecated; import the channel stack "
+    "from repro.transport instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from ..transport import (  # noqa: E402  (the warning must fire first)
     Channel,
     ChannelDecorator,
     ChannelLike,

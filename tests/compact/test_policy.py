@@ -1,0 +1,148 @@
+"""CompactionPolicy: tier selection, the credit guard, schema grouping."""
+
+import pytest
+
+from repro.compact import CompactionConfig, CompactionPolicy
+from repro.obs.querylog import QueryLogRecord
+from repro.storage.columnar import write_records
+
+
+def record(columns, scanned, pruned=0, fingerprint=None):
+    return QueryLogRecord(
+        fingerprint=fingerprint or f"q|{','.join(columns)}",
+        table="t",
+        sql="SELECT COUNT(*) FROM t",
+        predicate_columns=tuple(columns),
+        row_groups_scanned=scanned,
+        row_groups_pruned=pruned,
+    )
+
+
+def make_parts(tmp_path, count, rows_each=8, prefix="part",
+               columns=("k", "v")):
+    paths = []
+    for index in range(count):
+        rows = [
+            {c: index * rows_each + i for c in columns}
+            for i in range(rows_each)
+        ]
+        path = tmp_path / f"{prefix}{index}.pql"
+        write_records(path, rows, row_group_size=4)
+        paths.append(path)
+    return paths
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_inputs": 1},
+        {"min_inputs": 4, "max_inputs": 2},
+        {"small_part_bytes": 0},
+        {"tier_ratio": 0.5},
+        {"row_group_rows": 0},
+        {"rewrite_cost_factor": 0},
+        {"min_observations": -1},
+        {"poll_interval": 0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CompactionConfig(**kwargs)
+
+
+class TestTierSelection:
+    def test_small_parts_merge_without_any_observations(self, tmp_path):
+        parts = make_parts(tmp_path, 4)
+        policy = CompactionPolicy()
+        plan = policy.propose(parts)
+        assert plan is not None
+        assert set(plan.inputs) == set(parts)
+        assert plan.cluster_by is None  # no credit, merge only
+        assert plan.input_row_groups == 8  # 4 parts x 2 groups
+
+    def test_single_part_is_not_a_merge(self, tmp_path):
+        parts = make_parts(tmp_path, 1)
+        assert CompactionPolicy().propose(parts) is None
+
+    def test_max_inputs_caps_the_merge(self, tmp_path):
+        parts = make_parts(tmp_path, 6)
+        policy = CompactionPolicy(CompactionConfig(max_inputs=3))
+        plan = policy.propose(parts)
+        assert plan is not None
+        assert len(plan.inputs) == 3
+
+    def test_missing_parts_skipped(self, tmp_path):
+        parts = make_parts(tmp_path, 3)
+        ghost = tmp_path / "gone.pql"
+        plan = CompactionPolicy().propose(parts + [ghost])
+        assert plan is not None
+        assert ghost not in plan.inputs
+
+    def test_mixed_schemas_never_merge_together(self, tmp_path):
+        ints = make_parts(tmp_path, 2, prefix="int", columns=("k",))
+        floats = []
+        for index in range(3):
+            rows = [{"k": float(i)} for i in range(4)]
+            path = tmp_path / f"float{index}.pql"
+            write_records(path, rows, row_group_size=4)
+            floats.append(path)
+        plan = CompactionPolicy().propose(ints + floats)
+        assert plan is not None
+        # The larger same-schema tier wins; no cross-schema mixing.
+        assert set(plan.inputs) == set(floats)
+
+
+class TestCreditGuard:
+    def test_recluster_needs_observations_and_credit(self, tmp_path):
+        parts = make_parts(tmp_path, 4)
+        policy = CompactionPolicy(CompactionConfig(min_observations=2))
+        hot = [("k", 10.0)]
+        # No observations at all: merge yes, cluster no.
+        plan = policy.propose(parts, hot)
+        assert plan is not None and plan.cluster_by is None
+        # Enough queries, enough credit (each decoded 8 groups).
+        policy.observe([record(["k"], scanned=8) for _ in range(2)])
+        plan = policy.propose(parts, hot)
+        assert plan is not None and plan.cluster_by == "k"
+
+    def test_pruned_groups_deposit_no_credit(self, tmp_path):
+        # A workload whose queries already get zone-pruned to nothing
+        # deposits nothing: re-sorting cannot help it.
+        parts = make_parts(tmp_path, 4)
+        policy = CompactionPolicy(CompactionConfig(min_observations=1))
+        policy.observe([
+            record(["k"], scanned=8, pruned=8) for _ in range(50)
+        ])
+        plan = policy.propose(parts, [("k", 50.0)])
+        assert plan is not None and plan.cluster_by is None
+
+    def test_committed_spends_credit(self, tmp_path):
+        parts = make_parts(tmp_path, 4)
+        policy = CompactionPolicy(CompactionConfig(min_observations=1))
+        policy.observe([record(["k"], scanned=8)])  # exactly the cost
+        plan = policy.propose(parts, [("k", 1.0)])
+        assert plan is not None and plan.cluster_by == "k"
+        policy.committed(plan)
+        assert policy.stats()["credit"]["k"] == 0.0
+        # The same opportunity no longer clears the guard.
+        plan = policy.propose(parts, [("k", 1.0)])
+        assert plan is not None and plan.cluster_by is None
+
+    def test_relayout_without_merge_tier(self, tmp_path):
+        # One big part, hot shifted workload: a pure re-sort is allowed
+        # once credit covers it, but not by the current cluster column.
+        parts = make_parts(tmp_path, 1)
+        policy = CompactionPolicy(CompactionConfig(min_observations=1))
+        policy.observe([record(["b"], scanned=2) for _ in range(5)])
+        plan = policy.propose(parts, [("b", 5.0)], current_cluster="b")
+        assert plan is None  # already sorted by b: nothing to gain
+        plan = policy.propose(parts, [("b", 5.0)], current_cluster="a")
+        assert plan is not None
+        assert plan.cluster_by == "b"
+        assert plan.inputs == (parts[0],)
+
+    def test_stats_shape(self):
+        policy = CompactionPolicy()
+        policy.observe([record(["a", "b"], scanned=3)])
+        stats = policy.stats()
+        assert stats["observed_queries"] == 1
+        assert stats["credit"] == {"a": 3.0, "b": 3.0}
+        assert stats["spent"] == 0.0

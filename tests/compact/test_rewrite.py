@@ -1,0 +1,183 @@
+"""rewrite_parts: row preservation, bit-vector soundness, crash atomicity."""
+
+import os
+
+import pytest
+
+from repro.bitvec import BitVector
+from repro.compact import rewrite_parts
+from repro.compact.rewrite import RewriteStats
+from repro.storage import ParquetLiteReader, ParquetLiteWriter
+from repro.storage.columnar import write_records
+from repro.storage.schema import infer_schema
+
+
+def rows_of(path):
+    with ParquetLiteReader(path) as reader:
+        return reader.read_all()
+
+
+def make_part(path, rows, group_size=4, bitvectors_by_group=None):
+    """Write one part; bitvectors_by_group: [ {pid: [bits]} per group ]."""
+    schema = infer_schema(rows)
+    with ParquetLiteWriter(path, schema) as writer:
+        for g, start in enumerate(range(0, len(rows), group_size)):
+            window = rows[start:start + group_size]
+            vectors = None
+            if bitvectors_by_group is not None:
+                vectors = {
+                    pid: BitVector.from_bits(bits)
+                    for pid, bits in bitvectors_by_group[g].items()
+                }
+            writer.write_row_group(window, bitvectors=vectors)
+    return path
+
+
+class TestRowPreservation:
+    def test_merged_part_equals_union_of_inputs(self, tmp_path):
+        a = [{"k": i % 3, "v": i} for i in range(10)]
+        b = [{"k": i % 3, "v": 100 + i} for i in range(7)]
+        write_records(tmp_path / "a.pql", a, row_group_size=4)
+        write_records(tmp_path / "b.pql", b, row_group_size=3)
+        out = tmp_path / "merged.pql"
+        stats = rewrite_parts(
+            [tmp_path / "a.pql", tmp_path / "b.pql"], out
+        )
+        assert isinstance(stats, RewriteStats)
+        assert rows_of(out) == a + b  # input order, byte-identical rows
+        assert stats.rows == 17
+        assert stats.inputs == 2
+        assert stats.row_groups_in == 3 + 3
+
+    def test_cluster_by_sorts_rows_stably(self, tmp_path):
+        rows = [{"k": i % 4, "v": i} for i in range(16)]
+        write_records(tmp_path / "a.pql", rows, row_group_size=4)
+        out = tmp_path / "sorted.pql"
+        stats = rewrite_parts([tmp_path / "a.pql"], out, cluster_by="k")
+        merged = rows_of(out)
+        assert sorted(merged, key=lambda r: (r["k"], r["v"])) == merged
+        # Same multiset as the input.
+        key = lambda r: (r["k"], r["v"])  # noqa: E731
+        assert sorted(merged, key=key) == sorted(rows, key=key)
+        assert stats.cluster_by == "k"
+
+    def test_cluster_by_handles_nulls_and_mixed_types(self, tmp_path):
+        rows = [{"k": 3, "v": 0}, {"k": None, "v": 1},
+                {"k": "z", "v": 2}, {"k": 1, "v": 3}]
+        write_records(tmp_path / "a.pql", rows, row_group_size=2)
+        out = tmp_path / "sorted.pql"
+        rewrite_parts([tmp_path / "a.pql"], out, cluster_by="k")
+        merged = rows_of(out)
+        assert merged[0]["k"] is None  # nulls first
+        assert {r["v"] for r in merged} == {0, 1, 2, 3}
+
+    def test_cluster_rebuilds_zone_maps(self, tmp_path):
+        # Round-robin k values make every group's min/max span the whole
+        # domain; after clustering each output group covers a narrow
+        # range, which is the entire point of re-clustering.
+        rows = [{"k": i % 8, "v": i} for i in range(64)]
+        write_records(tmp_path / "a.pql", rows, row_group_size=8)
+        out = tmp_path / "sorted.pql"
+        rewrite_parts([tmp_path / "a.pql"], out, cluster_by="k",
+                      row_group_rows=8)
+        with ParquetLiteReader(out) as reader:
+            spans = []
+            for rg in reader.meta.row_groups:
+                stats = rg.columns["k"].stats
+                spans.append(stats.max_value - stats.min_value)
+        assert max(spans) <= 1  # 8 groups x 8 rows over 8 values
+
+    def test_schema_union_missing_columns_read_as_null(self, tmp_path):
+        write_records(tmp_path / "a.pql", [{"x": 1}], row_group_size=4)
+        write_records(tmp_path / "b.pql", [{"y": 2}], row_group_size=4)
+        out = tmp_path / "merged.pql"
+        rewrite_parts([tmp_path / "a.pql", tmp_path / "b.pql"], out)
+        assert rows_of(out) == [{"x": 1, "y": None},
+                                {"x": None, "y": 2}]
+
+
+class TestBitvectorSoundness:
+    def test_vectors_follow_rows_through_merge_and_sort(self, tmp_path):
+        rows = [{"k": i, "v": i} for i in range(8)]
+        # pid 7 marks even k as "may satisfy".
+        bits = [[r["k"] % 2 == 0 for r in rows[g * 4:(g + 1) * 4]]
+                for g in range(2)]
+        make_part(tmp_path / "a.pql", rows, group_size=4,
+                  bitvectors_by_group=[{7: bits[0]}, {7: bits[1]}])
+        out = tmp_path / "merged.pql"
+        # Reverse-ish ordering via cluster on v descending is not
+        # supported; cluster on k keeps order here, so permute via a
+        # second part interleaved ahead of the first.
+        rewrite_parts([tmp_path / "a.pql"], out, cluster_by="k",
+                      row_group_rows=4)
+        with ParquetLiteReader(out) as reader:
+            for g, group in enumerate(reader.row_groups()):
+                vector = reader.bitvector(g, 7)
+                assert vector is not None
+                for position, row in enumerate(group.rows()):
+                    assert vector[position] == (row["k"] % 2 == 0)
+
+    def test_missing_vector_pads_conservative_ones(self, tmp_path):
+        rows_a = [{"k": 1, "v": 1}, {"k": 2, "v": 2}]
+        rows_b = [{"k": 3, "v": 3}, {"k": 4, "v": 4}]
+        # Only part a carries pid 5.
+        make_part(tmp_path / "a.pql", rows_a, group_size=2,
+                  bitvectors_by_group=[{5: [True, False]}])
+        make_part(tmp_path / "b.pql", rows_b, group_size=2,
+                  bitvectors_by_group=[{}])
+        out = tmp_path / "merged.pql"
+        rewrite_parts([tmp_path / "a.pql", tmp_path / "b.pql"], out,
+                      row_group_rows=16)
+        with ParquetLiteReader(out) as reader:
+            vector = reader.bitvector(0, 5)
+            # a's bits preserved; b's rows padded to 1 (never skipped).
+            assert vector.to_bits() == [1, 0, 1, 1]
+
+
+class TestCrashAtomicity:
+    def test_failure_leaves_no_output_or_temp(self, tmp_path,
+                                              monkeypatch):
+        rows = [{"k": i, "v": i} for i in range(8)]
+        write_records(tmp_path / "a.pql", rows, row_group_size=2)
+        write_records(tmp_path / "b.pql", rows, row_group_size=2)
+        out = tmp_path / "merged.pql"
+
+        def boom(src, dst):
+            raise OSError("disk died mid-replace")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            rewrite_parts([tmp_path / "a.pql", tmp_path / "b.pql"], out)
+        monkeypatch.undo()
+        assert not out.exists()
+        # Inputs intact and readable.
+        assert rows_of(tmp_path / "a.pql") == rows
+
+    def test_writer_failure_cleans_temp(self, tmp_path, monkeypatch):
+        rows = [{"k": i, "v": i} for i in range(8)]
+        write_records(tmp_path / "a.pql", rows, row_group_size=2)
+        write_records(tmp_path / "b.pql", rows, row_group_size=2)
+        out = tmp_path / "merged.pql"
+        from repro.storage.columnar import ParquetLiteWriter as Writer
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("write exploded")
+
+        monkeypatch.setattr(Writer, "write_row_group", boom)
+        with pytest.raises(RuntimeError):
+            rewrite_parts([tmp_path / "a.pql", tmp_path / "b.pql"], out)
+        monkeypatch.undo()
+        assert not out.exists()
+        assert not (tmp_path / "merged.pql.tmp").exists()
+
+
+class TestValidation:
+    def test_empty_inputs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one input"):
+            rewrite_parts([], tmp_path / "out.pql")
+
+    def test_bad_row_group_rows_rejected(self, tmp_path):
+        write_records(tmp_path / "a.pql", [{"x": 1}])
+        with pytest.raises(ValueError, match="row_group_rows"):
+            rewrite_parts([tmp_path / "a.pql"], tmp_path / "out.pql",
+                          row_group_rows=0)

@@ -128,3 +128,41 @@ class TestNullQueryLog:
         assert resolve_query_log(None) is NULL_QUERY_LOG
         real = QueryLog()
         assert resolve_query_log(real) is real
+
+
+class TestHotColumns:
+    def test_weights_by_fingerprint_frequency(self):
+        log = QueryLog()
+        for _ in range(3):
+            log.append(record(1, predicate_columns=("a",)))
+        log.append(record(2, predicate_columns=("b", "c")))
+        hot = log.hot_columns(top_n=3)
+        assert hot[0] == ("a", 3.0)
+        assert {name for name, _ in hot[1:]} == {"b", "c"}
+
+    def test_ties_break_by_name(self):
+        log = QueryLog()
+        log.append(record(1, predicate_columns=("z", "a")))
+        assert log.hot_columns(top_n=2) == [("a", 1.0), ("z", 1.0)]
+
+    def test_top_n_truncates(self):
+        log = QueryLog()
+        log.append(record(1, predicate_columns=("a", "b", "c")))
+        assert len(log.hot_columns(top_n=2)) == 2
+
+    def test_empty_log_has_no_hot_columns(self):
+        assert QueryLog().hot_columns() == []
+
+    @pytest.mark.parametrize("log", [QueryLog(), QueryLog.null()])
+    def test_nonpositive_top_n_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.hot_columns(top_n=0)
+
+    def test_null_log_is_never_hot(self):
+        null = QueryLog.null()
+        null.append(record(1))
+        assert null.hot_columns() == []
+
+    def test_row_groups_pruned_serialized(self):
+        rec = record(3, row_groups_scanned=4, row_groups_pruned=2)
+        assert rec.to_dict()["row_groups_pruned"] == 2
