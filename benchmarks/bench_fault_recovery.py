@@ -1,0 +1,171 @@
+"""Fault recovery: manifest rebuild cost and chaos-schedule overhead.
+
+Two legs:
+
+1. **Recovery time vs sealed-part count** — durable streaming servers
+   are checkpointed at increasing sealed-part counts, then rebuilt with
+   :meth:`CiaoServer.recover`.  Reported: wall time per rebuild and the
+   per-part cost.  Asserted: every recovery answers ``COUNT(*)``
+   identically to the pre-crash server — recovery is a correctness
+   feature first, its speed rides along in the JSON payload.
+
+2. **Throughput under a 10% fault schedule** — the same remote load is
+   driven twice through a :class:`CiaoService`, once clean and once
+   through a :class:`FaultyChannel` with a seeded 10% fault plan
+   (disconnects, stalls, drops, truncation, corruption) and a retrying
+   client.  Reported: records/s for both legs and the overhead factor.
+   Asserted: the chaotic leg loses nothing (exact row count) and its
+   overhead stays bounded — retries cost time, never data.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_fault_recovery.py``
+(set ``REPRO_BENCH_SMOKE=1`` for a <60 s smoke configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.api import CiaoSession, DeploymentConfig
+from repro.bench import emit, emit_json
+from repro.client.protocol import encode_chunk
+from repro.rawjson import JsonChunk, dump_record
+from repro.recovery import RetryPolicy
+from repro.server import CiaoServer
+from repro.service import CiaoService, RemoteSession
+from repro.transport import FaultPlan, SocketChannel, faulty_dialer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+N_SHARDS = 2
+CHUNK_RECORDS = 100 if SMOKE else 250
+PART_COUNTS = (4, 8) if SMOKE else (8, 32, 64)
+CHAOS_RECORDS = 400 if SMOKE else 2000
+FAULT_RATE = 0.1
+#: Pathology guard for the chaos leg, not a performance claim: injected
+#: stalls and reply timeouts dominate, so the bound is generous.
+MAX_OVERHEAD_FACTOR = 50.0
+
+_PAYLOAD = {"config": {
+    "smoke": SMOKE, "chunk_records": CHUNK_RECORDS,
+    "part_counts": list(PART_COUNTS), "chaos_records": CHAOS_RECORDS,
+    "fault_rate": FAULT_RATE,
+}}
+
+
+def sealed_server(path, n_chunks):
+    """A durable streaming server checkpointed at ~n_chunks sealed parts."""
+    server = CiaoServer(path, n_shards=N_SHARDS, shard_mode="thread",
+                        seal_interval=1, durable=True)
+    ingest = server.open_ingest_session("bench")
+    for cid in range(n_chunks):
+        records = [
+            dump_record({"k": (cid * CHUNK_RECORDS + i) % 7, "n": i})
+            for i in range(CHUNK_RECORDS)
+        ]
+        ingest.ingest_sequenced(
+            encode_chunk(JsonChunk(cid, records)),
+            seq=cid + 1, client_id="bench",
+        )
+    assert server.checkpoint() is True
+    return server
+
+
+def test_recovery_time_vs_sealed_parts(benchmark, tmp_path, results_dir):
+    def experiment():
+        rows = []
+        for n_chunks in PART_COUNTS:
+            root = tmp_path / f"parts-{n_chunks}"
+            server = sealed_server(root, n_chunks)
+            before = server.query("SELECT COUNT(*) FROM t").scalar()
+            started = time.perf_counter()
+            recovered = CiaoServer.recover(root)
+            wall = time.perf_counter() - started
+            after = recovered.query("SELECT COUNT(*) FROM t").scalar()
+            parts = len(recovered.sealed_parts())
+            rows.append({
+                "sealed_parts": parts,
+                "recover_s": wall,
+                "per_part_ms": wall * 1e3 / max(parts, 1),
+                "rows_before": before,
+                "rows_after": after,
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    _PAYLOAD["recovery_time"] = rows
+    emit(
+        "fault_recovery_time",
+        "recovery time vs sealed parts: " + ", ".join(
+            f"{r['sealed_parts']} parts -> {r['recover_s'] * 1e3:.1f} ms"
+            for r in rows
+        ),
+        results_dir,
+    )
+    emit_json("BENCH_fault_recovery", _PAYLOAD, results_dir)
+    for row in rows:
+        assert row["rows_after"] == row["rows_before"]
+
+
+def _timed_remote_load(tmp_path, leg, plan):
+    config = DeploymentConfig(mode="sharded", n_shards=N_SHARDS,
+                              shard_mode="thread", seal_interval=4,
+                              durable=True)
+    session = CiaoSession(config=config, data_dir=tmp_path / leg)
+    with CiaoService(session, checkpoint_every=8,
+                     idle_timeout=60.0) as service:
+        if plan is None:
+            remote = RemoteSession(address=service.address,
+                                   client_id="bench", chunk_size=10)
+        else:
+            dial, _ = faulty_dialer(
+                lambda: SocketChannel.connect(service.address), plan,
+            )
+            remote = RemoteSession(
+                channel_factory=dial, client_id="bench", chunk_size=10,
+                retry=RetryPolicy(max_attempts=10, base_delay=0.01,
+                                  max_delay=0.05, seed=plan.seed),
+                timeout=1.0,
+            )
+        started = time.perf_counter()
+        remote.load("yelp", n_records=CHAOS_RECORDS, source_id="bench",
+                    batch_size=2)
+        remote.commit()
+        wall = time.perf_counter() - started
+        count = remote.query("SELECT COUNT(*) FROM t").scalar()
+        remote.close()
+    session.close()
+    return {"wall_s": wall, "records_per_s": CHAOS_RECORDS / wall,
+            "rows_committed": count}
+
+
+def test_throughput_under_faults(benchmark, tmp_path, results_dir):
+    def experiment():
+        clean = _timed_remote_load(tmp_path, "clean", None)
+        plan = FaultPlan.generate(seed=17, n_ops=800,
+                                  fault_rate=FAULT_RATE)
+        chaotic = _timed_remote_load(tmp_path, "chaos", plan)
+        return {
+            "clean": clean,
+            "chaotic": chaotic,
+            "injected_faults": len(plan),
+            "overhead_factor": chaotic["wall_s"] / clean["wall_s"],
+        }
+
+    result = run_once(benchmark, experiment)
+    _PAYLOAD["fault_throughput"] = result
+    emit(
+        "fault_recovery_throughput",
+        f"remote load of {CHAOS_RECORDS} records: "
+        f"clean {result['clean']['records_per_s']:.0f} rec/s, "
+        f"under {FAULT_RATE:.0%} faults "
+        f"{result['chaotic']['records_per_s']:.0f} rec/s "
+        f"({result['overhead_factor']:.2f}x wall)",
+        results_dir,
+    )
+    emit_json("BENCH_fault_recovery", _PAYLOAD, results_dir)
+    assert result["clean"]["rows_committed"] == CHAOS_RECORDS
+    assert result["chaotic"]["rows_committed"] == CHAOS_RECORDS
+    assert result["overhead_factor"] < MAX_OVERHEAD_FACTOR

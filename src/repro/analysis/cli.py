@@ -32,6 +32,7 @@ from . import generators as _generators    # noqa: F401
 from . import hygiene as _hygiene          # noqa: F401
 from . import locks as _locks              # noqa: F401
 from . import observability as _observability  # noqa: F401
+from . import retries as _retries          # noqa: F401
 
 DEFAULT_BASELINE = ".ciaolint-baseline.json"
 

@@ -48,6 +48,7 @@ _ROLE_BY_SEGMENT = {
     "storage": "storage",
     "service": "service",
     "compact": "compact",
+    "recovery": "recovery",
 }
 _ROLE_BY_FILENAME = {
     "protocol.py": "protocol",

@@ -1,0 +1,142 @@
+"""Retry discipline for transport-facing layers.
+
+Fault tolerance lives or dies on *bounded* retries: an unbounded
+``while True: try/except`` reconnect loop turns a dead peer into a
+livelocked client (and, server-side, a pinned router thread).  The
+sanctioned shape is :class:`repro.recovery.RetryPolicy` — a hard
+attempt bound with backoff — iterated with a ``for`` loop, which is
+bounded by construction.
+
+``RET001``
+    A ``while True`` loop in a transport/service/recovery-role module
+    that swallows exceptions (some handler neither re-raises, returns,
+    nor breaks) and has no escape the exception path can reach: every
+    ``return``/``raise``/``break`` sits inside the swallowed ``try``
+    body, so persistent failure spins forever.  Drive the retry with
+    ``for pause in policy.pauses():`` instead, or give the handler an
+    explicit bound.
+
+Scope: modules whose role is ``protocol`` (the transport stack),
+``service``, or ``recovery`` (path-inferred, or declared with
+``# ciaolint: module-role=...``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .findings import Finding
+from .model import Project, SourceModule
+from .registry import Checker, register
+
+_RETRY_ROLES = ("protocol", "service", "recovery")
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and test.value is True
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """A handler that neither re-raises, returns, nor breaks.
+
+    Such a handler sends control back around the loop no matter what
+    went wrong — the shape that needs an external bound to terminate.
+    """
+    return not any(
+        isinstance(inner, (ast.Raise, ast.Return, ast.Break))
+        for inner in ast.walk(handler)
+    )
+
+
+class _LoopAudit:
+    """Escape analysis for one ``while True`` body.
+
+    Walks the statement tree tracking whether the current position is
+    *protected* by a swallowing ``try`` — i.e. whether an exception
+    can skip it.  An exit (``return``/``raise``, or ``break`` bound to
+    this loop) only counts if the exception path can still reach it:
+    exits inside a swallowed ``try`` body never run when the operation
+    keeps failing, and exits inside handler bodies only bound their own
+    exception type (their presence already makes that handler
+    non-swallowing).
+    """
+
+    def __init__(self) -> None:
+        self.swallowing_trys: List[ast.Try] = []
+        self.reachable_exit = False
+
+    def scan(self, body: List[ast.stmt], protected: bool = False,
+             own_loop: bool = True) -> None:
+        for stmt in body:
+            if isinstance(stmt, _SCOPES):
+                continue  # nested scopes neither exit nor retry this loop
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                if not protected:
+                    self.reachable_exit = True
+            elif isinstance(stmt, ast.Break):
+                if not protected and own_loop:
+                    self.reachable_exit = True
+            elif isinstance(stmt, ast.Try):
+                swallowed = any(_swallows(h) for h in stmt.handlers)
+                if swallowed:
+                    self.swallowing_trys.append(stmt)
+                self.scan(stmt.body, protected or swallowed, own_loop)
+                self.scan(stmt.orelse, protected or swallowed, own_loop)
+                # finally always runs, even on the exception path.
+                self.scan(stmt.finalbody, protected, own_loop)
+            elif isinstance(stmt, ast.If):
+                self.scan(stmt.body, protected, own_loop)
+                self.scan(stmt.orelse, protected, own_loop)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self.scan(stmt.body, protected, own_loop)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                # break in a nested loop stays in the nested loop.
+                self.scan(stmt.body, protected, own_loop=False)
+                self.scan(stmt.orelse, protected, own_loop)
+
+
+@register
+class RetryBoundsChecker(Checker):
+    name = "retry-bounds"
+    description = (
+        "transport-facing retry loops terminate: no unbounded "
+        "while True: try/except reconnects"
+    )
+    rules = {
+        "RET001": (
+            "unbounded swallow-and-spin retry loop — iterate "
+            "RetryPolicy.pauses() or bound the handler"
+        ),
+    }
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.by_role(*_RETRY_ROLES):
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While) or not _is_while_true(node):
+                continue
+            audit = _LoopAudit()
+            audit.scan(node.body)
+            if audit.swallowing_trys and not audit.reachable_exit:
+                findings.append(Finding(
+                    path=module.rel_path, line=node.lineno,
+                    col=node.col_offset, rule="RET001",
+                    checker=self.name,
+                    message=(
+                        "while True retry loop swallows exceptions with "
+                        "no reachable exit on the failure path: a dead "
+                        "peer spins this forever — drive it with "
+                        "`for pause in RetryPolicy(...).pauses():` or "
+                        "bound the handler explicitly"
+                    ),
+                ))
+        return findings

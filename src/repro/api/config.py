@@ -82,6 +82,11 @@ class DeploymentConfig:
             remote client with this many queries already queued gets
             BUSY instead of unbounded queueing — the read-path mirror
             of *max_pending*.
+        durable: Keep a crash-atomic manifest
+            (:class:`repro.recovery.Manifest`) under the server's data
+            directory, checkpointable mid-load and recoverable after a
+            crash via ``CiaoSession(recover_from=...)``.  Off by
+            default — durability costs an fsync per checkpoint.
     """
 
     mode: str = "serial"
@@ -104,6 +109,7 @@ class DeploymentConfig:
     realloc_interval: Optional[int] = None
     query_max_active: Optional[int] = None
     query_max_pending: int = DEFAULT_QUERY_MAX_PENDING
+    durable: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in DEPLOYMENT_MODES:
@@ -182,6 +188,7 @@ class DeploymentConfig:
             shard_mode=self.shard_mode,
             dispatch=self.dispatch,
             seal_interval=self.seal_interval,
+            durable=self.durable,
         )
 
     def with_mode(self, mode: str, **changes) -> "DeploymentConfig":

@@ -25,10 +25,11 @@ from __future__ import annotations
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
+from ..analysis.sanitizer import make_lock
 from ..client.device import SimulatedClient
 from ..compact import Compactor, resolve_compaction
 from ..core.budgets import Budget
@@ -43,6 +44,7 @@ from ..obs.metrics import Metrics, resolve_metrics
 from ..obs.querylog import QueryLog, QueryLogRecord, resolve_query_log
 from ..obs.tracing import Tracer, resolve_tracer
 from ..fleet.population import ClientPopulation
+from ..recovery.manifest import ManifestError
 from ..server.ciao import CiaoServer
 from ..transport import Channel, make_channel, per_client_channels
 from ..workload.selectivity import estimate_selectivities
@@ -276,6 +278,17 @@ class CiaoSession:
             worker per load that merges small sealed parts and
             re-clusters rows by the query log's hot predicate columns.
             Off by default.
+        recover_from: Rebuild the session from a crashed (or cleanly
+            stopped) durable deployment: a directory holding a
+            ``MANIFEST-<table>.json`` — either directly or in its
+            newest ``load-*/`` subdirectory (a previous session's
+            ``data_dir``).  The recovered server becomes the session's
+            latest job: finalized manifests come back queryable
+            immediately; mid-load manifests come back as an open
+            external load that remote clients can resume into (see
+            :meth:`external_load`).  Raises
+            :class:`repro.recovery.ManifestError` when no manifest is
+            found.
 
     The session is a facade over — not a fork of — the low-level API:
     :attr:`server`, :attr:`pushdown_plan`, and every constructor the
@@ -291,7 +304,8 @@ class CiaoSession:
                  metrics: Optional[Metrics] = None,
                  tracer: Optional[Tracer] = None,
                  query_log: Optional[QueryLog] = None,
-                 compaction=None):
+                 compaction=None,
+                 recover_from: Optional[Union[str, Path]] = None):
         self.workload = workload
         self.config = config or DeploymentConfig()
         self.seed = seed
@@ -309,8 +323,16 @@ class CiaoSession:
             as_source(source, seed=seed) if source is not None else None
         )
         self._plan = plan
-        self._jobs: List[LoadJob] = []
+        self._jobs: List[LoadJob] = []  # guarded-by: _external_lock
+        # Serializes external_load's check-and-create: concurrent
+        # service routers (one RESUME per reconnecting client) must
+        # converge on ONE job, not race two servers into one data_dir.
+        # Every _jobs append takes it so the job list stays coherent
+        # when a driver-thread load overlaps a router's rejoin.
+        self._external_lock = make_lock("CiaoSession._external_lock")
         self._closed = False
+        if recover_from is not None:
+            self._recover(Path(recover_from))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -478,12 +500,13 @@ class CiaoSession:
             self._start_fleet(job, src)
         else:
             self._start_serial(job, src)
-        self._jobs.append(job)
+        with self._external_lock:
+            self._jobs.append(job)
         self._attach_compactor(server)
         return job
 
     def external_load(self) -> LoadJob:
-        """Start a load whose data arrives from outside the session.
+        """Start (or rejoin) a load whose data arrives from outside.
 
         The session builds a fresh server exactly as :meth:`load` does,
         but ships nothing itself: the caller feeds chunks through
@@ -491,31 +514,127 @@ class CiaoSession:
         :class:`repro.service.CiaoService` routes remote clients' data
         in) and seals the load with :meth:`LoadJob.finish_external`.
         Progress/snapshot/query semantics match a thread-driven job.
+
+        If an external load is already open — including one rebuilt by
+        ``recover_from=`` — it is returned instead of a fresh one, so a
+        service attached after recovery feeds the surviving server
+        rather than racing it.  A running thread-driven :meth:`load`
+        still refuses.  Safe to call from concurrent service routers:
+        check-and-create is serialized, so racing callers share one job.
         """
         self._check_open()
-        active = self.last_job
-        if active is not None and not active.done and \
-                active._report is None:
-            raise RuntimeError(
-                "a load is already running on this session; collect "
-                "job.result() first"
+        with self._external_lock:
+            active = self.last_job
+            if active is not None and not active.done and \
+                    active._report is None:
+                if active._external:
+                    return active
+                raise RuntimeError(
+                    "a load is already running on this session; collect "
+                    "job.result() first"
+                )
+            server = CiaoServer.from_config(
+                self.config.server_config(
+                    self.data_dir / f"load-{len(self._jobs)}"
+                ),
+                plan=self._plan,
+                workload=self.workload,
+                metrics=self._metrics,
+                tracer=self._tracer,
+                query_log=self._query_log,
             )
-        server = CiaoServer.from_config(
-            self.config.server_config(
-                self.data_dir / f"load-{len(self._jobs)}"
-            ),
-            plan=self._plan,
+            job = LoadJob(server, self.config, None)
+            job._external = True
+            job._finished = threading.Event()
+            self._jobs.append(job)
+            self._attach_compactor(server)
+            return job
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self, root: Path) -> None:
+        """Rebuild the latest job from a durable manifest under *root*.
+
+        Accepts either the manifest's own directory or a previous
+        session's ``data_dir`` (in which case the newest ``load-*/``
+        subdirectory holding a manifest wins — later loads supersede
+        earlier ones exactly as they do live).
+        """
+        table = self.config.table_name
+        manifest_path = self._find_manifest(root, table)
+        server = CiaoServer.recover(
+            manifest_path.parent,
+            table_name=table,
             workload=self.workload,
             metrics=self._metrics,
             tracer=self._tracer,
             query_log=self._query_log,
         )
+        if self._plan is None:
+            self._plan = server.plan
+        # The manifest's deployment options supersede the session's
+        # defaults: future loads and stats reflect what is on disk.
+        self.config = self._recovered_config(server)
         job = LoadJob(server, self.config, None)
         job._external = True
         job._finished = threading.Event()
-        self._jobs.append(job)
+        if server.state == "finalized":
+            # Nothing left to feed: the job is born done and queryable.
+            job._summary = server.load_summary
+            job._wall = 0.0
+            job._finished.set()
+        with self._external_lock:
+            self._jobs.append(job)
         self._attach_compactor(server)
-        return job
+
+    @staticmethod
+    def _find_manifest(root: Path, table: str) -> Path:
+        name = f"MANIFEST-{table}.json"
+        if (root / name).exists():
+            return root / name
+        candidates = [
+            child for child in root.glob("load-*") if (child / name).exists()
+        ]
+        if candidates:
+            def load_index(child: Path) -> int:
+                try:
+                    return int(child.name.split("-", 1)[1])
+                except ValueError:
+                    return -1
+            return max(candidates, key=load_index) / name
+        raise ManifestError(
+            f"no {name} under {root} or its load-*/ subdirectories; "
+            f"was the deployment durable?"
+        )
+
+    def _recovered_config(self, server: CiaoServer) -> DeploymentConfig:
+        """A config matching the *recovered* server's actual shape.
+
+        The manifest records how the crashed deployment really ran
+        (shards, dispatch, seal cadence); the session's own config may
+        disagree, and mid-load snapshot gating must follow the server
+        that exists, not the one the caller imagined.
+        """
+        options = server.deployment_options
+        n_shards = int(options.get("n_shards", 1) or 1)
+        seal = options.get("seal_interval")
+        return replace(
+            self.config,
+            mode="sharded" if n_shards > 1 else "serial",
+            n_shards=n_shards if n_shards > 1 else None,
+            shard_mode=str(options.get("shard_mode", self.config.shard_mode)),
+            dispatch=str(options.get("dispatch", self.config.dispatch)),
+            seal_interval=int(seal) if seal is not None else None,
+            partial_loading=str(
+                options.get("partial_loading", self.config.partial_loading)
+            ),
+            durable=True,
+            population=None,
+            aggregate_budget=None,
+            max_active=None,
+            realloc_interval=None,
+        )
 
     def _attach_compactor(self, server: CiaoServer) -> None:
         """Start a compaction worker for *server* (if opted in).

@@ -1,0 +1,104 @@
+"""The ingest ledger: exactly-once dedupe for replayed CHUNKS batches.
+
+Retrying clients replay whole batches — a lost ``INGEST_ACK`` is
+indistinguishable from a lost ``CHUNKS``, so after a reconnect the
+client re-sends everything the server has not provably applied.  The
+ledger makes that replay safe: each batch carries a client-supplied
+monotonic sequence number per ``(client_id, source_id)`` stream, and
+the server admits a batch exactly when it is the next contiguous
+number.  Anything at or below the watermark is a duplicate (already
+applied — acknowledge, do not re-ingest); anything above ``last + 1``
+is a protocol violation (the client skipped a batch) and fails loudly.
+
+The ledger itself is in-memory state; durability comes from the
+manifest (:mod:`repro.recovery.manifest`), which snapshots the ledger
+at each checkpoint so a recovered server resumes dedupe from the last
+*durable* watermark — matching exactly the data that survived.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_Key = Tuple[str, str]
+
+
+class LedgerError(RuntimeError):
+    """A sequencing violation: a gap in a client's batch stream."""
+
+
+class IngestLedger:
+    """Last contiguous applied sequence per ``(client_id, source_id)``.
+
+    Not self-locking: the server mutates it under its ingest lock, in
+    the same critical section as the ingest it accounts, so "admitted"
+    and "applied" can never disagree.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[_Key, int] = {}
+
+    def last(self, client_id: str, source_id: str) -> int:
+        """The stream's watermark; ``0`` before any batch applied."""
+        return self._last.get((client_id, source_id), 0)
+
+    def admit(self, client_id: str, source_id: str, seq: int) -> bool:
+        """Whether batch *seq* should be applied.
+
+        ``True`` — it is the next contiguous batch; the caller must
+        ingest it and then :meth:`advance`.  ``False`` — a duplicate of
+        an already-applied batch; acknowledge without re-ingesting.
+        Raises :class:`LedgerError` on a gap.
+        """
+        if seq < 1:
+            raise LedgerError(
+                f"sequence numbers start at 1, got {seq}"
+            )
+        last = self.last(client_id, source_id)
+        if seq <= last:
+            return False
+        if seq != last + 1:
+            raise LedgerError(
+                f"stream ({client_id!r}, {source_id!r}) jumped from "
+                f"seq {last} to {seq}; batches must be contiguous"
+            )
+        return True
+
+    def advance(self, client_id: str, source_id: str, seq: int) -> None:
+        """Record batch *seq* as applied (must follow an admit)."""
+        last = self.last(client_id, source_id)
+        if seq != last + 1:
+            raise LedgerError(
+                f"cannot advance ({client_id!r}, {source_id!r}) to "
+                f"{seq}: watermark is {last}"
+            )
+        self._last[(client_id, source_id)] = seq
+
+    def to_records(self) -> List[List[object]]:
+        """JSON-safe snapshot: sorted ``[client_id, source_id, seq]``."""
+        return [
+            [client, source, seq]
+            for (client, source), seq in sorted(self._last.items())
+        ]
+
+    @classmethod
+    def from_records(cls, records: Sequence[Sequence[object]]
+                     ) -> "IngestLedger":
+        """Rebuild a ledger from :meth:`to_records` output."""
+        ledger = cls()
+        for record in records:
+            if len(record) != 3:
+                raise LedgerError(
+                    f"ledger records are [client, source, seq] triples, "
+                    f"got {record!r}"
+                )
+            client, source, seq = record
+            ledger._last[(str(client), str(source))] = int(seq)
+        return ledger
+
+    def snapshot(self) -> Dict[_Key, int]:
+        """A plain-dict copy of the watermarks."""
+        return dict(self._last)
+
+    def __len__(self) -> int:
+        return len(self._last)

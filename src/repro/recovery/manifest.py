@@ -1,0 +1,128 @@
+"""The durable manifest: crash-atomic record of what a server has sealed.
+
+One JSON document per ``(data_dir, table)`` at
+``MANIFEST-<table>.json``, rewritten whole on every checkpoint with the
+same crash-atomicity discipline as :mod:`repro.compact.rewrite`: write
+``<name>.tmp``, flush + fsync, then ``os.replace``.  A crash at any
+instant leaves either the previous complete revision or the new one —
+never a torn file — so recovery always has a consistent cut to rebuild
+from: the sealed parts, the sideline watermarks, the plan and schema,
+the ingest-ledger snapshot, and the summary counts *as of the same
+moment*.
+
+What the manifest deliberately does not promise: anything past the
+last checkpoint.  Acknowledged-but-uncheckpointed batches die with the
+process — that is the contract retrying clients are built around (they
+replay from the recovered ledger watermark), and it is what bounds a
+kill -9's damage to the unsealed tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+#: Format tag checked on load; bump on incompatible layout changes.
+MANIFEST_FORMAT = "ciao-manifest/1"
+
+#: Ceiling on the embedded event history (newest kept).
+MAX_EVENTS = 64
+
+
+class ManifestError(RuntimeError):
+    """A missing, torn, or incompatible manifest."""
+
+
+class Manifest:
+    """Atomic writer/loader for one table's manifest document.
+
+    The server composes the document (it owns the state and the locks);
+    the manifest owns persistence: revision numbering, event-history
+    capping, the tmp+replace dance, and load-time validation.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self.revision = 0
+
+    @staticmethod
+    def path_for(data_dir: Path | str, table_name: str) -> Path:
+        """The canonical manifest path for a table in *data_dir*."""
+        return Path(data_dir) / f"MANIFEST-{table_name}.json"
+
+    @property
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def write(self, doc: Dict[str, Any]) -> int:
+        """Persist *doc* as the next revision; returns that revision.
+
+        The document is augmented with the format tag and revision
+        number, its event list capped to :data:`MAX_EVENTS`, and the
+        whole thing replaced atomically — a reader (or a recovery after
+        a crash mid-write) sees the old revision or the new one, never
+        a mix.
+        """
+        doc = dict(doc)
+        self.revision += 1
+        doc["format"] = MANIFEST_FORMAT
+        doc["revision"] = self.revision
+        doc["events"] = list(doc.get("events", []))[-MAX_EVENTS:]
+        encoded = json.dumps(doc, sort_keys=True, indent=1)
+        tmp_path = self.path.parent / (self.path.name + ".tmp")
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:  # ciaolint: allow[API006] -- cleanup-and-reraise: the temp must die on any failure, including KeyboardInterrupt
+            # Leave no readable file behind: a half-written temp must
+            # never shadow the durable revision.
+            tmp_path.unlink(missing_ok=True)
+            raise
+        os.replace(tmp_path, self.path)
+        return self.revision
+
+    @classmethod
+    def load(cls, path: Path | str) -> Tuple["Manifest", Dict[str, Any]]:
+        """Read and validate the manifest at *path*.
+
+        Returns ``(manifest, document)`` with the manifest positioned
+        at the loaded revision, so subsequent writes continue the
+        numbering.  Raises :class:`ManifestError` for a missing file,
+        undecodable JSON (a torn write can only happen to the ``.tmp``,
+        but disks lie), or an unknown format tag.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ManifestError(
+                f"no readable manifest at {path}: {exc}"
+            ) from exc
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(
+                f"manifest at {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ManifestError(
+                f"manifest at {path} must be a JSON object, got "
+                f"{type(doc).__name__}"
+            )
+        if doc.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(
+                f"manifest at {path} has format {doc.get('format')!r}; "
+                f"this build reads {MANIFEST_FORMAT!r}"
+            )
+        revision = doc.get("revision")
+        if not isinstance(revision, int) or revision < 1:
+            raise ManifestError(
+                f"manifest at {path} has a bad revision: {revision!r}"
+            )
+        manifest = cls(path)
+        manifest.revision = revision
+        return manifest, doc

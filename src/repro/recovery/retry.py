@@ -1,0 +1,93 @@
+"""Bounded, deterministic retry schedules for transport-facing clients.
+
+A :class:`RetryPolicy` is the one sanctioned shape for "try again":
+a hard attempt bound, exponential backoff with a ceiling, jitter drawn
+from an explicit seed (same seed, same pauses — the replayability
+discipline every stochastic knob in this codebase follows), and an
+optional per-operation deadline.  Unbounded ``while True: try/except``
+reconnect loops are banned outright — ciaolint's ``RET001`` enforces
+that in transport and service roles — so every retry in the stack
+terminates and backs off by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries one failed operation.
+
+    Attributes:
+        max_attempts: Total tries including the first; must be >= 1.
+        base_delay: Pause before the first retry, seconds.
+        max_delay: Ceiling on any single pause (pre-jitter), seconds.
+        multiplier: Exponential growth factor between pauses.
+        jitter: Symmetric jitter fraction — each pause is scaled by a
+            factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+        deadline: Optional wall-clock budget for the whole operation,
+            seconds; callers stop retrying once it is spent even if
+            attempts remain.
+        seed: Explicit RNG seed for the jitter stream.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter!r}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    def backoff(self) -> Iterator[float]:
+        """The pauses between attempts, in order (``max_attempts - 1``).
+
+        A fresh iterator restarts the seeded jitter stream, so two
+        operations under the same policy pause identically — what makes
+        a chaos failure replay bit-for-bit.
+        """
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield min(delay, self.max_delay) * scale
+            delay *= self.multiplier
+
+    def pauses(self) -> Iterator[float]:
+        """Pause before each attempt: ``0.0`` first, then the backoffs.
+
+        The canonical loop shape (bounded by construction)::
+
+            for pause in policy.pauses():
+                sleep(pause)
+                try:
+                    return operation()
+                except RetryableError as exc:
+                    last = exc
+            raise last
+        """
+        yield 0.0
+        yield from self.backoff()

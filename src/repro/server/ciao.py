@@ -24,21 +24,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..analysis.annotations import guarded_by
 from ..analysis.sanitizer import make_lock, make_rlock
 from ..client.protocol import decode_chunk, decode_chunk_stream, split_frames
 from ..core.optimizer import PushdownPlan
+from ..core.plan_io import dumps_plan, loads_plan
 from ..core.predicates import Query, Workload
 from ..engine.catalog import Catalog, TableEntry
 from ..engine.executor import Executor, QueryResult
-from ..obs.metrics import Metrics
+from ..obs.metrics import Metrics, resolve_metrics
 from ..obs.querylog import QueryLog
 from ..obs.tracing import Tracer
 from ..rawjson.chunks import JsonChunk
+from ..recovery.ledger import IngestLedger
+from ..recovery.manifest import Manifest
 from ..transport import Channel
-from ..storage.jsonstore import CompositeSidelineView, JsonSideStore
+from ..storage.columnar import ParquetLiteError, ParquetLiteReader
+from ..storage.jsonstore import (
+    CompositeSidelineView,
+    JsonSideStore,
+    SidelineView,
+)
 from ..storage.schema import Schema
 from .loader import ClientAssistedLoader, LoadSummary
 from .pipeline import DEFAULT_SEAL_INTERVAL, ShardedIngestPipeline
@@ -99,6 +107,9 @@ class ServerConfig:
     shard_mode: str = "process"  # 'process' | 'thread'
     dispatch: str = "work-stealing"  # 'work-stealing' | 'round-robin'
     seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL
+    #: Maintain a crash-atomic manifest so the server can be rebuilt via
+    #: :meth:`CiaoServer.recover` after a kill -9.
+    durable: bool = False
 
     def __post_init__(self) -> None:
         validate_server_options(
@@ -151,6 +162,36 @@ class IngestSession:
             self.bytes += len(chunk)
         return frames
 
+    def ingest_sequenced(self, chunk: bytes, *, seq: int,
+                         client_id: str) -> Tuple[int, bool]:
+        """Ingest one sequenced batch; returns ``(frames, duplicate)``.
+
+        The exactly-once path for retrying clients: *seq* is the
+        client's monotonic batch number for this ``(client_id,
+        source_id)`` stream, deduped by the server's ingest ledger.  A
+        duplicate batch (already applied — the client's ack was lost)
+        returns ``(0, True)`` without touching storage.  Only encoded
+        payloads travel this path; it is what CHUNKS messages carry.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"ingest session {self.source_id!r} is closed"
+            )
+        if not isinstance(chunk, (bytes, bytearray, memoryview)):
+            raise TypeError("sequenced ingest carries encoded payloads")
+        self._server._check_loading("ingest")
+        frames, duplicate = self._server._ingest_sequenced(
+            chunk, source=self.source_id, client_id=client_id, seq=seq
+        )
+        if not duplicate:
+            self.chunks += frames
+            self.bytes += len(chunk)
+        return frames, duplicate
+
+    def reopen(self) -> None:
+        """Accept chunks again (a reconnecting client resumed the stream)."""
+        self._closed = False
+
     def drain_channel(self, channel: Channel) -> int:
         """Drain a channel through this session; returns messages drained."""
         count = 0
@@ -202,25 +243,37 @@ class CiaoServer:
                  seal_interval: Optional[int] = DEFAULT_SEAL_INTERVAL,
                  metrics: Optional[Metrics] = None,
                  tracer: Optional[Tracer] = None,
-                 query_log: Optional[QueryLog] = None):
+                 query_log: Optional[QueryLog] = None,
+                 durable: bool = False,
+                 generation: int = 0):
         validate_server_options(
             shard_mode=shard_mode,
             dispatch=dispatch,
             partial_loading=partial_loading,
             n_shards=n_shards,
         )
+        if generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.plan = plan
         self.workload = workload
         self.table_name = table_name
+        self.durable = durable
+        #: Recovery generation: bumped on every :meth:`recover`, and
+        #: suffixed into this generation's storage paths so a recovered
+        #: server never collides with the files it inherited.
+        self.generation = generation
         self.partial_loading_enabled = self._decide_partial_loading(
             partial_loading
         )
-        self._side_store = JsonSideStore(
-            self.data_dir / f"{table_name}.sideline.jsonl"
+        gen_stem = (
+            f"{table_name}.g{generation}" if generation else table_name
         )
-        self._parquet_path = self.data_dir / f"{table_name}.pql"
+        self._side_store = JsonSideStore(
+            self.data_dir / f"{gen_stem}.sideline.jsonl"
+        )
+        self._parquet_path = self.data_dir / f"{gen_stem}.pql"
         required_ids = plan.predicate_ids if plan is not None else None
         self._loader: Optional[ClientAssistedLoader] = None
         self._pipeline: Optional[ShardedIngestPipeline] = None
@@ -280,10 +333,56 @@ class CiaoServer:
         # Serializes chunk submission: the serial loader buffers rows and
         # the sharded pipeline's submit() assumes one submitting thread,
         # but remote serving (CiaoService) ingests from one router thread
-        # per connection.  Also guards _sessions registration.  Ordering:
-        # finalize_loading() takes _lifecycle_lock then _ingest_lock;
-        # ingest paths take _ingest_lock alone — the graph stays acyclic.
+        # per connection.  Also guards _sessions registration and the
+        # ingest ledger.  Ordering: finalize_loading() and checkpoint()
+        # take _lifecycle_lock then _ingest_lock; ingest paths take
+        # _ingest_lock alone — the graph stays acyclic.
         self._ingest_lock = make_lock("CiaoServer._ingest_lock")
+        self._schema = schema
+        self._metrics = resolve_metrics(metrics)
+        self._m_checkpoints = self._metrics.counter("recovery.checkpoints")
+        self._m_manifest_writes = self._metrics.counter(
+            "recovery.manifest_writes"
+        )
+        self._m_duplicates = self._metrics.counter(
+            "recovery.duplicates_dropped"
+        )
+        #: Deployment knobs as resolved at construction — persisted in
+        #: the manifest so recovery rebuilds an equivalent server.
+        self._options: Dict[str, Any] = {
+            "n_shards": n_shards,
+            "shard_mode": shard_mode,
+            "dispatch": dispatch,
+            "seal_interval": seal_interval,
+            "partial_loading": (
+                "on" if self.partial_loading_enabled else "off"
+            ),
+        }
+        self._ledger = IngestLedger()  # guarded-by: _ingest_lock
+        #: Ledger watermarks as of the last manifest write: the durable
+        #: cut clients may safely prune their replay buffers to.
+        # guarded-by: _ingest_lock
+        self._durable_seqs: Dict[Tuple[str, str], int] = {}
+        #: Parts and sideline records inherited from a previous
+        #: generation via recover(); fixed for this server's lifetime.
+        self._recovered_parts: List[Path] = []
+        self._recovered_sideline = 0
+        self._summary_baseline: Optional[LoadSummary] = None
+        self._manifest_events: List[str] = []  # guarded-by: _lifecycle_lock
+        self._manifest: Optional[Manifest] = None
+        if durable:
+            self._manifest = Manifest(
+                Manifest.path_for(self.data_dir, table_name)
+            )
+            # A pre-existing manifest belongs to the generation being
+            # recovered: leave it durable until recover() (or the first
+            # checkpoint) writes this generation's state over it.
+            if not self._manifest.exists:
+                with self._lifecycle_lock, self._ingest_lock:
+                    self._manifest_events.append("created")
+                    self._write_manifest_locked(
+                        "loading", [], [], LoadSummary()
+                    )
 
     @classmethod
     def from_config(cls, config: ServerConfig,
@@ -312,12 +411,25 @@ class CiaoServer:
             metrics=metrics,
             tracer=tracer,
             query_log=query_log,
+            durable=config.durable,
         )
 
     @property
     def state(self) -> str:
         """Explicit lifecycle state: ``"loading"`` or ``"finalized"``."""
         return "finalized" if self._loading_finalized else "loading"
+
+    @property
+    def manifest_revision(self) -> Optional[int]:
+        """The durable manifest's current revision; ``None`` if not durable."""
+        if self._manifest is None:
+            return None
+        return self._manifest.revision
+
+    @property
+    def deployment_options(self) -> Dict[str, Any]:
+        """The deployment knobs as resolved at construction."""
+        return dict(self._options)
 
     # ------------------------------------------------------------------
     # Loading
@@ -371,6 +483,55 @@ class CiaoServer:
             else:
                 self._loader.ingest(chunk)
 
+    def _ingest_sequenced(self, chunk: bytes, source: str,
+                          client_id: str, seq: int) -> Tuple[int, bool]:
+        """Ledger-deduped ingest of one encoded batch.
+
+        Admission, ingest, and the watermark advance happen in one
+        ingest-lock critical section, so "the ledger says applied" and
+        "the rows are in storage" can never disagree — the invariant
+        that makes client replays exactly-once.
+        """
+        with self._ingest_lock:
+            if not self._ledger.admit(client_id, source, seq):
+                self._m_duplicates.inc()
+                return 0, True
+            count = 0
+            if self._pipeline is not None:
+                for frame in split_frames(chunk):
+                    self._pipeline.submit(frame, source=source)
+                    count += 1
+            else:
+                for decoded in decode_chunk_stream(chunk):
+                    self._loader.ingest(decoded)
+                    count += 1
+            self._ledger.advance(client_id, source, seq)
+            return count, False
+
+    def ledger_last(self, client_id: str, source_id: str) -> int:
+        """The ingest ledger's watermark for one client stream."""
+        with self._ingest_lock:
+            return self._ledger.last(client_id, source_id)
+
+    def durable_seq(self, client_id: str, source_id: str) -> int:
+        """The stream's last *durable* batch — safe to prune replays to.
+
+        For a durable server this is the watermark as of the last
+        manifest write (an acked-but-uncheckpointed batch still dies
+        with the process, so the client must keep it).  A non-durable
+        server has nothing to recover into — a crash loses the whole
+        table regardless — so its live watermark is the honest answer.
+        """
+        with self._ingest_lock:
+            if self._manifest is None:
+                return self._ledger.last(client_id, source_id)
+            return self._durable_seqs.get((client_id, source_id), 0)
+
+    def ledger_records(self) -> List[List[Any]]:
+        """JSON-safe ledger snapshot (for STATS and diagnostics)."""
+        with self._ingest_lock:
+            return self._ledger.to_records()
+
     def ingest_channel(self, channel: Channel) -> int:
         """Drain a channel; returns the number of chunk frames ingested.
 
@@ -418,6 +579,24 @@ class CiaoServer:
             self._sessions[source_id] = session
             return session
 
+    def resume_ingest_session(self, source_id: str) -> IngestSession:
+        """Reopen (or create) the ingest stream for a returning source.
+
+        The reconnect path: unlike :meth:`open_ingest_session`, reusing
+        a source id here is the *point* — the returning client is the
+        same source continuing the same stream, so its accounting keeps
+        accumulating and the ingest ledger keeps deduping its replays.
+        """
+        self._check_loading("resume_ingest_session")
+        with self._ingest_lock:
+            existing = self._sessions.get(source_id)
+            if existing is not None:
+                existing.reopen()
+                return existing
+            session = IngestSession(self, source_id)
+            self._sessions[source_id] = session
+            return session
+
     @property
     def ingest_sources(self) -> Dict[str, int]:
         """Chunk frames ingested per source id (open + closed sessions)."""
@@ -451,13 +630,23 @@ class CiaoServer:
             else:
                 summary = self._loader.finalize()
                 parquet_paths = self._loader.parquet_paths
+            summary = self._merge_baseline(summary)
             if not self._loading_finalized:
                 self._table.clear_snapshot()
                 self._table.parquet_paths = self._remap_parts(
-                    parquet_paths
+                    list(self._recovered_parts) + list(parquet_paths)
                 )
                 self._table.invalidate()
                 self._loading_finalized = True
+            if self._manifest is not None:
+                self._manifest_events.append("finalized")
+                self._write_manifest_locked(
+                    "finalized",
+                    self._table.parquet_paths,
+                    [(self._side_store.path,
+                      self._side_store.record_count)],
+                    summary,
+                )
             return summary
 
     @property
@@ -473,9 +662,33 @@ class CiaoServer:
         if self._pipeline is not None:
             if (not self._loading_finalized
                     and self._pipeline.seal_interval is not None):
-                return self._pipeline.snapshot().summary
-            return self._pipeline.summary
-        return self._loader.summary
+                return self._merge_baseline(
+                    self._pipeline.snapshot().summary
+                )
+            return self._merge_baseline(self._pipeline.summary)
+        return self._merge_baseline(self._loader.summary)
+
+    def _merge_baseline(self, summary: LoadSummary) -> LoadSummary:
+        """Fold the recovered generations' counts into *summary*.
+
+        A recovered server's own loader/pipeline only saw this
+        generation's chunks; the baseline carries everything the
+        manifest proved durable before the crash, so totals reflect the
+        whole table.  Per-chunk reports exist only for this
+        generation's chunks — the baseline is counts, by design.
+        """
+        baseline = self._summary_baseline
+        if baseline is None:
+            return summary
+        return LoadSummary(
+            chunks=baseline.chunks + summary.chunks,
+            received=baseline.received + summary.received,
+            loaded=baseline.loaded + summary.loaded,
+            sidelined=baseline.sidelined + summary.sidelined,
+            malformed=baseline.malformed + summary.malformed,
+            wall_seconds=baseline.wall_seconds + summary.wall_seconds,
+            reports=list(summary.reports),
+        )
 
     # ------------------------------------------------------------------
     # Querying
@@ -523,11 +736,18 @@ class CiaoServer:
         as a change even when the pipeline's counter did not move.
         """
         snap = self._pipeline.snapshot()
+        views = list(snap.sideline_views)
+        if self._recovered_sideline:
+            # Records materialized into this generation's main sideline
+            # file by recover(); shard folding only appends after them.
+            views.insert(0, SidelineView(self._side_store.path,
+                                         self._recovered_sideline))
         self._table.apply_snapshot(
             (snap.version, self._compaction_epoch),
-            self._remap_parts(snap.parquet_paths),
-            CompositeSidelineView(self._side_store.path,
-                                  snap.sideline_views),
+            self._remap_parts(
+                list(self._recovered_parts) + list(snap.parquet_paths)
+            ),
+            CompositeSidelineView(self._side_store.path, views),
         )
 
     # ------------------------------------------------------------------
@@ -569,8 +789,11 @@ class CiaoServer:
             if (self._pipeline is not None
                     and self._pipeline.seal_interval is not None):
                 snap = self._pipeline.snapshot()
-                return self._remap_parts(snap.parquet_paths)
-            return []
+                return self._remap_parts(
+                    list(self._recovered_parts)
+                    + list(snap.parquet_paths)
+                )
+            return list(self._remap_parts(self._recovered_parts))
 
     def commit_compaction(self, inputs: Iterable[Path],
                           output: Path | str) -> None:
@@ -597,6 +820,18 @@ class CiaoServer:
                 self._table.swap_parts(
                     [Path(p) for p in inputs], output
                 )
+                if self._manifest is not None:
+                    with self._ingest_lock:
+                        self._manifest_events.append(
+                            f"compaction epoch={self._compaction_epoch}"
+                        )
+                        self._write_manifest_locked(
+                            "finalized",
+                            self._table.parquet_paths,
+                            [(self._side_store.path,
+                              self._side_store.record_count)],
+                            self.load_summary,
+                        )
             elif (self._pipeline is not None
                     and self._pipeline.seal_interval is not None
                     and self._table.in_snapshot_mode):
@@ -604,6 +839,279 @@ class CiaoServer:
                 # the bumped epoch forces the apply even when the
                 # pipeline's own version counter did not move.
                 self._refresh_snapshot()
+                if self._manifest is not None:
+                    # A compactor running remove_inputs=True may unlink
+                    # manifest-listed parts; refresh the manifest past
+                    # the swap so recovery never chases deleted files.
+                    # Best effort: a quiesce timeout leaves the previous
+                    # (stale but readable) revision in place.
+                    try:
+                        self._checkpoint_streaming_locked(
+                            timeout=30.0,
+                            event=(f"compaction epoch="
+                                   f"{self._compaction_epoch}"),
+                        )
+                    except TimeoutError:
+                        pass
+
+    # ------------------------------------------------------------------
+    # Durability: the manifest, checkpoints, and crash recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self, timeout: float = 30.0) -> bool:
+        """Write a durable manifest revision; returns True if one landed.
+
+        The durable cut: quiesce the pipeline so every submitted chunk
+        is sealed or sidelined, then atomically record the sealed
+        parts, sideline watermarks, ledger, and summary *as of that
+        moment*.  A kill -9 after this call loses nothing at or before
+        it.  Returns ``False`` when there is nothing checkpointable:
+        a non-durable server, or a mid-load server whose storage has no
+        sealed mid-load state (serial, or streaming disabled).
+        """
+        if self._manifest is None:
+            return False
+        with self._lifecycle_lock:
+            if self._loading_finalized:
+                with self._ingest_lock:
+                    self._manifest_events.append("checkpoint")
+                    self._write_manifest_locked(
+                        "finalized",
+                        self._table.parquet_paths,
+                        [(self._side_store.path,
+                          self._side_store.record_count)],
+                        self.load_summary,
+                    )
+                self._m_checkpoints.inc()
+                return True
+            if (self._pipeline is None
+                    or self._pipeline.seal_interval is None):
+                return False
+            self._checkpoint_streaming_locked(timeout, "checkpoint")
+            self._m_checkpoints.inc()
+            return True
+
+    @guarded_by("_lifecycle_lock")
+    def _checkpoint_streaming_locked(self, timeout: float,
+                                     event: str) -> None:
+        """Quiesce the streaming pipeline and persist its state."""
+        with self._ingest_lock:
+            self._pipeline.quiesce(timeout)
+            snap = self._pipeline.snapshot()
+            parts = self._remap_parts(
+                list(self._recovered_parts) + list(snap.parquet_paths)
+            )
+            sidelines: List[Tuple[Path, int]] = []
+            if self._recovered_sideline:
+                sidelines.append(
+                    (self._side_store.path, self._recovered_sideline)
+                )
+            for view in snap.sideline_views:
+                sidelines.append((view.path, view.record_count))
+            self._manifest_events.append(event)
+            self._write_manifest_locked(
+                "loading", parts, sidelines,
+                self._merge_baseline(snap.summary),
+            )
+
+    def _relpath(self, path: Path) -> str:
+        path = Path(path)
+        try:
+            return str(path.relative_to(self.data_dir))
+        except ValueError:
+            return str(path)
+
+    @guarded_by("_lifecycle_lock", "_ingest_lock")
+    def _write_manifest_locked(self, state: str,
+                               parts: Iterable[Path],
+                               sidelines: Iterable[Tuple[Path, int]],
+                               summary: LoadSummary) -> None:
+        """Compose and atomically persist one manifest revision.
+
+        Requires both the lifecycle and ingest locks: the part list,
+        the ledger, and the summary must all describe the same instant.
+        """
+        part_records = []
+        for path in parts:
+            path = Path(path)
+            record: Dict[str, Any] = {"path": self._relpath(path)}
+            try:
+                record["bytes"] = path.stat().st_size
+            except OSError:
+                record["bytes"] = None
+            part_records.append(record)
+        sideline_records = [
+            {"path": self._relpath(path), "records": int(records)}
+            for path, records in sidelines
+            if records
+        ]
+        doc = {
+            "table": self.table_name,
+            "generation": self.generation,
+            "state": state,
+            "plan": dumps_plan(self.plan) if self.plan is not None else None,
+            "schema": (
+                self._schema.to_dict() if self._schema is not None
+                else None
+            ),
+            "options": dict(self._options),
+            "parts": part_records,
+            "sideline": sideline_records,
+            "summary": {
+                "chunks": summary.chunks,
+                "received": summary.received,
+                "loaded": summary.loaded,
+                "sidelined": summary.sidelined,
+                "malformed": summary.malformed,
+                "wall_seconds": summary.wall_seconds,
+            },
+            "ledger": self._ledger.to_records(),
+            "compaction_epoch": self._compaction_epoch,
+            "events": list(self._manifest_events),
+        }
+        self._manifest.write(doc)
+        self._durable_seqs = self._ledger.snapshot()
+        self._m_manifest_writes.inc()
+
+    @staticmethod
+    def _validate_part(path: Path) -> bool:
+        """Whether *path* is a readable, footer-intact Parquet-lite part."""
+        try:
+            reader = ParquetLiteReader(path)
+        except (ParquetLiteError, OSError, ValueError):
+            return False
+        reader.close()
+        return True
+
+    @classmethod
+    def recover(cls, data_dir: str | Path,
+                table_name: str = "t",
+                workload: Optional[Workload] = None,
+                metrics: Optional[Metrics] = None,
+                tracer: Optional[Tracer] = None,
+                query_log: Optional[QueryLog] = None) -> "CiaoServer":
+        """Rebuild a durable server from its manifest after a crash.
+
+        Reads the manifest's last complete revision, validates every
+        listed part (a torn or missing file is quarantined — renamed
+        aside and counted, never trusted and never fatal), re-plays the
+        durable sideline prefix into a fresh generation's store, and
+        restores the plan, schema, summary counts, and ingest ledger.
+        The result is a live server one generation up: a finalized
+        manifest yields a finalized, queryable server; a mid-load
+        manifest yields a loading server that reconnecting clients
+        resume into (their replays deduped from the recovered ledger).
+        Answers over the recovered sealed set are byte-identical to a
+        never-crashed server over the same parts.
+        """
+        data_dir = Path(data_dir)
+        manifest, doc = Manifest.load(
+            Manifest.path_for(data_dir, table_name)
+        )
+        mx = resolve_metrics(metrics)
+        m_recovered = mx.counter("recovery.parts_recovered")
+        m_quarantined = mx.counter("recovery.parts_quarantined")
+        m_sideline_lost = mx.counter("recovery.sideline_records_lost")
+        parts: List[Path] = []
+        quarantined: List[str] = []
+        for record in doc.get("parts", []):
+            path = data_dir / str(record.get("path", ""))
+            if cls._validate_part(path):
+                parts.append(path)
+                m_recovered.inc()
+                continue
+            m_quarantined.inc()
+            quarantined.append(str(record.get("path", "")))
+            if path.exists():
+                try:
+                    path.rename(
+                        path.parent / (path.name + ".quarantined")
+                    )
+                except OSError:
+                    pass  # unreadable either way; recovery proceeds
+        plan_text = doc.get("plan")
+        plan = loads_plan(plan_text) if plan_text else None
+        schema_doc = doc.get("schema")
+        schema = (
+            Schema.from_dict(schema_doc) if schema_doc else None
+        )
+        options = doc.get("options", {})
+        generation = int(doc.get("generation", 0)) + 1
+        server = cls(
+            data_dir,
+            plan=plan,
+            workload=workload,
+            table_name=table_name,
+            partial_loading=str(
+                options.get("partial_loading", "off")
+            ),
+            schema=schema,
+            n_shards=int(options.get("n_shards", 1)),
+            shard_mode=str(options.get("shard_mode", "thread")),
+            dispatch=str(options.get("dispatch", "work-stealing")),
+            seal_interval=options.get("seal_interval"),
+            metrics=metrics,
+            tracer=tracer,
+            query_log=query_log,
+            durable=True,
+            generation=generation,
+        )
+        server._manifest.revision = manifest.revision
+        server._recovered_parts = parts
+        # Materialize the durable sideline prefix into this generation's
+        # main store: CompositeSidelineView scans views, not the raw
+        # file, so the recovered records must be a view over data this
+        # generation owns (shard folding appends after them).
+        pairs: List[Tuple[int, str]] = []
+        expected = 0
+        for record in doc.get("sideline", []):
+            records = int(record.get("records", 0))
+            expected += records
+            view_path = data_dir / str(record.get("path", ""))
+            if view_path.exists():
+                pairs.extend(SidelineView(view_path, records).iter_raw())
+        if len(pairs) < expected:
+            m_sideline_lost.inc(expected - len(pairs))
+        if pairs:
+            server._side_store.append_pairs(pairs)
+        server._recovered_sideline = server._side_store.record_count
+        summary_doc = doc.get("summary") or {}
+        server._summary_baseline = LoadSummary(
+            chunks=int(summary_doc.get("chunks", 0)),
+            received=int(summary_doc.get("received", 0)),
+            loaded=int(summary_doc.get("loaded", 0)),
+            sidelined=int(summary_doc.get("sidelined", 0)),
+            malformed=int(summary_doc.get("malformed", 0)),
+            wall_seconds=float(summary_doc.get("wall_seconds", 0.0)),
+        )
+        with server._lifecycle_lock, server._ingest_lock:
+            server._ledger = IngestLedger.from_records(
+                doc.get("ledger", [])
+            )
+            server._manifest_events = list(doc.get("events", []))
+            event = f"recovered generation={generation}"
+            if quarantined:
+                event += f" quarantined={','.join(quarantined)}"
+            server._manifest_events.append(event)
+            if doc.get("state") == "finalized":
+                server._table.parquet_paths = list(parts)
+                server._table.invalidate()
+                server._loading_finalized = True
+                server._write_manifest_locked(
+                    "finalized", parts,
+                    [(server._side_store.path,
+                      server._side_store.record_count)],
+                    server._summary_baseline,
+                )
+            else:
+                sidelines: List[Tuple[Path, int]] = []
+                if server._recovered_sideline:
+                    sidelines.append((server._side_store.path,
+                                      server._recovered_sideline))
+                server._write_manifest_locked(
+                    "loading", parts, sidelines,
+                    server._summary_baseline,
+                )
+        return server
 
     def quiesce(self, timeout: float = 30.0) -> None:
         """Wait until every ingested chunk is visible to queries.

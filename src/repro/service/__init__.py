@@ -15,7 +15,14 @@ from .admission import (
     AdmissionStats,
     QueryAdmission,
 )
-from .remote import RemoteBusyError, RemoteError, RemoteSession
+from ..recovery.retry import RetryPolicy
+from .remote import (
+    RemoteBusyError,
+    RemoteError,
+    RemoteRetryableError,
+    RemoteSession,
+    RemoteTimeoutError,
+)
 from .results import (
     RESULT_FORMAT,
     ResultFormatError,
@@ -23,19 +30,28 @@ from .results import (
     result_from_payload,
     result_to_payload,
 )
-from .service import DEFAULT_MAX_CONNECTIONS, STATS_FORMAT, CiaoService
+from .service import (
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_CONNECTIONS,
+    STATS_FORMAT,
+    CiaoService,
+)
 
 __all__ = [
     "AdmissionSaturated",
     "AdmissionStats",
     "CiaoService",
+    "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_MAX_CONNECTIONS",
     "QueryAdmission",
     "RESULT_FORMAT",
     "RemoteBusyError",
     "RemoteError",
+    "RemoteRetryableError",
     "RemoteSession",
+    "RemoteTimeoutError",
     "ResultFormatError",
+    "RetryPolicy",
     "STATS_FORMAT",
     "canonical_result_bytes",
     "result_from_payload",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from typing import Any, Dict, List, Optional
 
 from ..analysis.sanitizer import make_lock
@@ -34,7 +35,7 @@ from ..engine.executor import QueryResult
 from ..obs.querylog import client_scope
 from ..obs.tracing import TraceContext
 from ..server.ciao import IngestSession
-from ..transport.base import TransportError
+from ..transport.base import ChannelTimeout, TransportError
 from ..transport.sockets import SocketChannel, SocketListener
 from ..transport import wire
 from ..transport.wire import Message, WireError, encode_message
@@ -50,6 +51,9 @@ STATS_FORMAT = "ciao-stats/1"
 #: Router receive poll; also bounds how fast close() is observed.
 _POLL_SECONDS = 0.25
 
+#: Default silence (seconds) before an idle connection is reaped.
+DEFAULT_IDLE_TIMEOUT = 300.0
+
 
 class _Connection:
     """Router for one accepted connection: decode, dispatch, reply."""
@@ -61,6 +65,7 @@ class _Connection:
         self.conn_id = conn_id
         self.client_id = f"conn-{conn_id}"
         self._ingest: Optional[IngestSession] = None
+        self.last_activity = time.monotonic()
         self.thread = threading.Thread(
             target=self._run, name=f"ciao-service-conn-{conn_id}",
             daemon=True,
@@ -74,22 +79,48 @@ class _Connection:
         try:
             self._serve()
         finally:
-            if self._ingest is not None:
-                self._ingest.close()
+            # Only the stream's current owner may close it: a client
+            # that reconnected and RESUMEd on a fresh connection has
+            # already adopted the session, and this (stale) router must
+            # not yank it out from under the live one.
+            ingest = self._ingest
+            if ingest is not None and \
+                    self.service._release_ingest(self, ingest):
+                ingest.close()
             self.channel.close()
             self.service._forget(self)
 
     def _serve(self) -> None:
         while not self.service.closed:
-            payload = self.channel.receive_wait(_POLL_SECONDS)
+            try:
+                payload = self.channel.receive_wait(_POLL_SECONDS)
+            except ChannelTimeout:
+                # The peer went silent past the socket's own recv
+                # deadline — same remedy as the idle check below.
+                self.service._m_idle_reaped.inc()
+                return
             if payload is None:
                 if self.channel.closed:
                     return
+                idle = self.service.idle_timeout
+                if idle is not None and \
+                        time.monotonic() - self.last_activity > idle:
+                    # Reap the connection: free this router thread and
+                    # any admission the peer was holding hostage.  A
+                    # live client heartbeats (PING) to stay connected.
+                    self.service._m_idle_reaped.inc()
+                    return
                 continue
+            self.last_activity = time.monotonic()
             try:
                 message = wire.decode_message(payload)
             except WireError as exc:
-                self._reply(wire.ERROR, {"error": str(exc)})
+                # A torn or corrupted frame: the stream itself is still
+                # intact (framing survived), so the sender may simply
+                # resend — the ingest ledger makes that safe.
+                self._reply(wire.ERROR, {
+                    "error": str(exc), "retryable": True,
+                })
                 continue
             if message.tag == wire.BYE:
                 self._reply(wire.BYE, {})
@@ -119,6 +150,10 @@ class _Connection:
             self._handle_chunks(message)
         elif tag == wire.END_INGEST:
             self._handle_end_ingest()
+        elif tag == wire.RESUME:
+            self._handle_resume(message)
+        elif tag == wire.PING:
+            self._handle_ping()
         elif tag == wire.COMMIT:
             self._handle_commit()
         elif tag == wire.QUERY:
@@ -165,15 +200,92 @@ class _Connection:
                 f"{self._ingest.source_id!r} open"
             )
         self._ingest = self.service._open_ingest(str(source_id))
+        self.service._claim_ingest(self, self._ingest)
         self._reply(wire.INGEST_ACK, {"opened": str(source_id)})
+
+    def _handle_resume(self, message: Message) -> None:
+        """Adopt (or re-adopt) an ingest stream after a client redial.
+
+        Unlike OPEN_INGEST this is idempotent — a replayed RESUME
+        re-attaches the same server-side stream — and it answers with
+        the stream's applied watermark so the client replays exactly
+        the batches the server never saw.  If the load already
+        committed there is no stream to adopt: the client learns
+        ``finalized`` and skips its replay entirely.
+        """
+        source_id = str(message.header.get("source_id") or self.client_id)
+        self.service._m_resumes.inc()
+        job = self.service._current_external_job()
+        if job is not None and job.done:
+            self._reply(wire.RESUME, {
+                "source_id": source_id,
+                "finalized": True,
+                "last_seq": job.server.ledger_last(
+                    self.client_id, source_id
+                ),
+            })
+            return
+        job = self.service._ensure_external_job()
+        session = job.server.resume_ingest_session(source_id)
+        stale = self._ingest
+        if stale is not None and stale is not session and \
+                self.service._release_ingest(self, stale):
+            stale.close()
+        self._ingest = session
+        self.service._claim_ingest(self, session)
+        self._reply(wire.RESUME, {
+            "source_id": source_id,
+            "finalized": False,
+            "last_seq": job.server.ledger_last(self.client_id, source_id),
+            "durable_seq": job.server.durable_seq(
+                self.client_id, source_id
+            ),
+        })
+
+    def _handle_ping(self) -> None:
+        self.service._m_pings.inc()
+        self._reply(wire.PONG, {})
 
     def _handle_chunks(self, message: Message) -> None:
         if self._ingest is None or self._ingest.closed:
             raise RuntimeError(
                 "CHUNKS before OPEN_INGEST: open an ingest stream first"
             )
-        accepted = self._ingest.ingest(message.body)
-        self._reply(wire.INGEST_ACK, {"frames_accepted": accepted})
+        if not wire.verify_crc(message.header, message.body):
+            # Corrupted in flight: refuse without advancing the ledger
+            # so the client's resend (same seq) applies cleanly.
+            self.service._m_crc_rejects.inc()
+            self._reply(wire.ERROR, {
+                "error": "CHUNKS body failed its crc check",
+                "retryable": True,
+            })
+            return
+        seq = message.header.get("seq")
+        if seq is None:
+            # Legacy unsequenced stream: at-least-once, no dedupe.
+            accepted = self._ingest.ingest(message.body)
+            self._reply(wire.INGEST_ACK, {"frames_accepted": accepted})
+            return
+        accepted, duplicate = self._ingest.ingest_sequenced(
+            message.body, seq=int(seq), client_id=self.client_id,
+        )
+        if duplicate:
+            # Already applied — ack what the batch claimed to carry so
+            # the client's accounting matches the first delivery.
+            accepted = int(message.header.get("frames", 0))
+        header: Dict[str, Any] = {
+            "frames_accepted": accepted,
+            "seq": int(seq),
+            "duplicate": duplicate,
+        }
+        job = self.service._current_external_job()
+        if job is not None:
+            header["durable_seq"] = job.server.durable_seq(
+                self.client_id, self._ingest.source_id
+            )
+        self._reply(wire.INGEST_ACK, header)
+        if not duplicate:
+            self.service._note_applied_batch()
 
     def _handle_end_ingest(self) -> None:
         if self._ingest is None:
@@ -265,21 +377,46 @@ class CiaoService:
                  max_connections: int = DEFAULT_MAX_CONNECTIONS,
                  query_max_active: Optional[int] = None,
                  query_max_pending: Optional[int] = None,
-                 admission_timeout: Optional[float] = 30.0):
+                 admission_timeout: Optional[float] = 30.0,
+                 idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+                 checkpoint_every: Optional[int] = None):
         if max_connections < 1:
             raise ValueError(
                 f"max_connections must be >= 1, got {max_connections}"
+            )
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be positive or None, "
+                f"got {idle_timeout}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1 or None, "
+                f"got {checkpoint_every}"
             )
         config = session.config
         self.session = session
         self.max_connections = max_connections
         self.admission_timeout = admission_timeout
+        #: Silence bound before a router reaps its connection (liveness:
+        #: a hung peer must not pin a thread and admission state
+        #: forever).  ``None`` disables reaping.
+        self.idle_timeout = idle_timeout
+        #: Checkpoint the external load's durable manifest after every
+        #: N applied CHUNKS batches (``None`` = only at commit).  Also
+        #: bounds retrying clients' replay buffers, which prune to the
+        #: durable watermark each checkpoint publishes.
+        self.checkpoint_every = checkpoint_every
         # The session's registry instruments the whole service stack:
         # admission pressure, accepted sockets, BUSY turn-aways.
         metrics = session.obs_metrics
         self._m_busy = metrics.counter("service.busy_replies")
         self._m_accepted = metrics.counter("service.connections_accepted")
         self._m_connections = metrics.gauge("service.connections")
+        self._m_idle_reaped = metrics.counter("heartbeat.idle_reaped")
+        self._m_pings = metrics.counter("heartbeat.pings")
+        self._m_resumes = metrics.counter("recovery.resumes")
+        self._m_crc_rejects = metrics.counter("recovery.crc_rejects")
         self.admission = QueryAdmission(
             max_active=(
                 query_max_active if query_max_active is not None
@@ -291,12 +428,18 @@ class CiaoService:
             ),
             metrics=metrics,
         )
-        self._listener = SocketListener(host, port, metrics=metrics)
+        self._listener = SocketListener(
+            host, port, metrics=metrics, recv_deadline=idle_timeout,
+        )
         self._lock = make_lock("CiaoService._lock")
         self._connections: List[_Connection] = []  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
         self._next_conn = 0  # guarded-by: _lock
         self._external_job: Optional[LoadJob] = None  # guarded-by: _lock
+        # Which router currently owns each ingest stream; RESUME on a
+        # fresh connection steals ownership from the dead one.
+        self._ingest_owner: Dict[str, _Connection] = {}  # guarded-by: _lock
+        self._batches_since_checkpoint = 0  # guarded-by: _lock
         self._acceptor = threading.Thread(
             target=self._accept_loop, name="ciao-service-accept",
             daemon=True,
@@ -414,7 +557,20 @@ class CiaoService:
                 "queued": self.admission.queued,
             },
             "metrics": self.session.metrics(),
+            "heartbeat": {
+                "idle_timeout": self.idle_timeout,
+            },
         }
+        job = self.session.last_job
+        if job is not None:
+            server = job.server
+            doc["recovery"] = {
+                "durable": server.durable,
+                "manifest_revision": server.manifest_revision,
+                "generation": server.generation,
+                "ledger_streams": len(server.ledger_records()),
+                "checkpoint_every": self.checkpoint_every,
+            }
         compaction = self.session.compaction_stats()
         if compaction is not None:
             doc["compaction"] = compaction
@@ -431,6 +587,42 @@ class CiaoService:
     def _open_ingest(self, source_id: str) -> IngestSession:
         job = self._ensure_external_job()
         return job.server.open_ingest_session(source_id)
+
+    def _claim_ingest(self, connection: _Connection,
+                      session: IngestSession) -> None:
+        with self._lock:
+            self._ingest_owner[session.source_id] = connection
+
+    def _release_ingest(self, connection: _Connection,
+                        session: IngestSession) -> bool:
+        """Drop *connection*'s claim; True if it was the owner."""
+        with self._lock:
+            if self._ingest_owner.get(session.source_id) is connection:
+                del self._ingest_owner[session.source_id]
+                return True
+            return False
+
+    def _current_external_job(self) -> Optional[LoadJob]:
+        with self._lock:
+            return self._external_job
+
+    def _note_applied_batch(self) -> None:
+        """Count one applied CHUNKS batch toward the checkpoint cadence.
+
+        The checkpoint itself runs with no service lock held — it
+        quiesces the ingest pipeline and fsyncs the manifest, both far
+        too heavy for the connection-registry lock.
+        """
+        if self.checkpoint_every is None:
+            return
+        with self._lock:
+            self._batches_since_checkpoint += 1
+            due = self._batches_since_checkpoint >= self.checkpoint_every
+            if due:
+                self._batches_since_checkpoint = 0
+            job = self._external_job
+        if due and job is not None:
+            job.server.checkpoint()
 
     def _ensure_external_job(self) -> LoadJob:
         with self._lock:

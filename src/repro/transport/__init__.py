@@ -18,10 +18,12 @@ from .base import (
     Channel,
     ChannelDecorator,
     ChannelStats,
+    ChannelTimeout,
     MemoryChannel,
     TransportError,
 )
 from .decorators import LatencyChannel, LinkModel, LossyChannel
+from .faults import FaultEvent, FaultPlan, FaultyChannel, OpCounter, faulty_dialer
 from .file import FileChannel
 from .sockets import (
     MAX_FRAME_BYTES,
@@ -38,6 +40,10 @@ __all__ = [
     "ChannelLike",
     "ChannelSpec",
     "ChannelStats",
+    "ChannelTimeout",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyChannel",
     "FileChannel",
     "LatencyChannel",
     "LinkModel",
@@ -45,12 +51,14 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MemoryChannel",
     "Message",
+    "OpCounter",
     "SocketChannel",
     "SocketListener",
     "TransportError",
     "WireError",
     "decode_message",
     "encode_message",
+    "faulty_dialer",
     "make_channel",
     "per_client_channels",
     "socket_pair",

@@ -31,6 +31,18 @@ class TransportError(RuntimeError):
     """A transport-level failure (closed socket, oversized frame)."""
 
 
+class ChannelTimeout(TransportError):
+    """A channel's receive deadline elapsed with the peer silent.
+
+    Raised by transports configured with a ``recv_deadline`` (see
+    :class:`repro.transport.sockets.SocketChannel`) when a blocking
+    receive outlives the deadline.  Distinct from the ``None`` a plain
+    *timeout* returns: the deadline is a liveness bound — crossing it
+    means the peer should be presumed hung, and the caller should tear
+    the conversation down rather than keep waiting.
+    """
+
+
 @dataclass
 class ChannelStats:
     """Transfer accounting for one channel."""

@@ -1,0 +1,230 @@
+"""Chaos harness: seeded fault schedules injected into a channel.
+
+Where :class:`~repro.transport.decorators.LossyChannel` models a lossy
+link under a *reliable* protocol (drops are retransmitted, data never
+lost), this module models the faults that protocol itself must survive:
+connections that die mid-conversation, peers that stall, frames that
+arrive truncated, and payloads whose bytes were flipped in flight.
+
+A :class:`FaultPlan` is a deterministic schedule — fault kind per send
+operation index — generated entirely from an explicit seed, so any
+failing chaos run replays exactly.  :class:`FaultyChannel` applies the
+plan as a decorator over any channel (composing over
+:class:`~repro.transport.sockets.SocketChannel` like the existing
+decorators), which is what lets the chaos suite assert the end-to-end
+invariants that matter: zero record loss and byte-identical final
+answers under every injected schedule, with the exactly-once ingest
+ledger absorbing the replays.
+
+Faults act on the *send* direction — the injected damage travels to the
+peer (a truncated or corrupted message arrives malformed; a disconnect
+kills the transport under both directions), which exercises the
+receiver's validation and the sender's retry path at once.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .base import Channel, ChannelDecorator, TransportError
+
+#: Fault kinds a plan may schedule, in roughly increasing subtlety.
+FAULT_KINDS = ("disconnect", "stall", "drop", "truncate", "corrupt")
+
+#: Ceiling on one injected stall, seconds.  Chaos runs must stay fast:
+#: a stall exercises timeout paths, not wall clocks.
+MAX_STALL_SECONDS = 0.25
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        op: 0-based index of the send operation the fault strikes.
+        kind: One of :data:`FAULT_KINDS`.
+        magnitude: Kind-specific knob in ``[0, 1)`` — stall duration
+            fraction of :data:`MAX_STALL_SECONDS`, truncation fraction
+            of the payload kept, corruption position fraction.
+    """
+
+    op: int
+    kind: str
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op < 0:
+            raise ValueError(f"fault op index must be >= 0, got {self.op}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if not 0.0 <= self.magnitude < 1.0:
+            raise ValueError(
+                f"fault magnitude must be in [0, 1), got {self.magnitude!r}"
+            )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over send-operation indices.
+
+    Built either explicitly from events or via :meth:`generate`, which
+    derives the whole schedule from *seed* — same seed, same faults,
+    always (the :class:`LossyChannel` replayability discipline).
+    """
+
+    def __init__(self, events: Sequence[FaultEvent], seed: int):
+        if seed is None:
+            raise ValueError(
+                "FaultPlan requires an explicit seed: chaos schedules "
+                "must be replayable"
+            )
+        by_op: Dict[int, FaultEvent] = {}
+        for event in events:
+            if event.op in by_op:
+                raise ValueError(
+                    f"duplicate fault for op {event.op}: one fault per "
+                    f"send operation"
+                )
+            by_op[event.op] = event
+        self.seed = seed
+        self.events = tuple(sorted(by_op.values(), key=lambda e: e.op))
+        self._by_op = by_op
+
+    @classmethod
+    def generate(cls, seed: int, n_ops: int = 64,
+                 fault_rate: float = 0.1,
+                 kinds: Sequence[str] = FAULT_KINDS) -> "FaultPlan":
+        """A random-but-replayable schedule over the first *n_ops* sends.
+
+        Each operation independently draws a fault with probability
+        *fault_rate*; kind and magnitude come from the same seeded
+        stream, so the full schedule is a pure function of the
+        arguments.
+        """
+        if not 0.0 <= fault_rate < 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1), got {fault_rate!r}"
+            )
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = random.Random(seed)
+        events = []
+        for op in range(n_ops):
+            if rng.random() < fault_rate:
+                events.append(FaultEvent(
+                    op=op,
+                    kind=rng.choice(list(kinds)),
+                    magnitude=rng.random(),
+                ))
+        return cls(events, seed)
+
+    def for_op(self, op: int) -> Optional[FaultEvent]:
+        """The fault scheduled for send operation *op*, if any."""
+        return self._by_op.get(op)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class OpCounter:
+    """A shared send-operation counter.
+
+    Reconnecting clients build a fresh channel per dial; sharing one
+    counter across the :class:`FaultyChannel` wrappers keeps a single
+    :class:`FaultPlan` marching forward over the whole conversation
+    instead of restarting at op 0 after every reconnect.
+    """
+
+    def __init__(self, start: int = 0):
+        self.value = start
+
+    def next(self) -> int:
+        op = self.value
+        self.value += 1
+        return op
+
+
+class FaultyChannel(ChannelDecorator):
+    """Apply a :class:`FaultPlan` to a channel's send operations.
+
+    Per scheduled fault kind:
+
+    * ``disconnect`` — closes the underlying channel and raises
+      :class:`TransportError`; both directions die, like a peer reset.
+    * ``stall`` — sleeps ``magnitude * MAX_STALL_SECONDS`` before
+      sending (exercises receive deadlines), then delivers normally.
+    * ``drop`` — silently discards the payload; the peer never sees it,
+      so the sender's reply timeout must fire.
+    * ``truncate`` — delivers only a ``magnitude`` prefix of the
+      payload; the peer's codec must reject the remainder as malformed.
+    * ``corrupt`` — delivers the full length with one byte flipped at a
+      seed-derived position; framing survives, content validation (CRC,
+      codec strictness) must catch it.
+
+    Fault counts land in :attr:`injected` for assertions.  *sleep* is
+    injectable so stall tests need not actually wait.
+    """
+
+    def __init__(self, inner: Channel, plan: FaultPlan,
+                 counter: Optional[OpCounter] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        super().__init__(inner)
+        self.plan = plan
+        self._counter = counter if counter is not None else OpCounter()
+        self._sleep = sleep
+        self._rng = random.Random(plan.seed)
+        self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    def send(self, payload: bytes) -> None:
+        event = self.plan.for_op(self._counter.next())
+        if event is None:
+            super().send(payload)
+            return
+        self.injected[event.kind] += 1
+        if event.kind == "disconnect":
+            self.inner.close()
+            raise TransportError(
+                f"injected disconnect at op {event.op}"
+            )
+        if event.kind == "stall":
+            self._sleep(event.magnitude * MAX_STALL_SECONDS)
+            super().send(payload)
+            return
+        if event.kind == "drop":
+            # Never reaches the wire; account it like a lossy-link drop.
+            self.stats.record_drop(len(payload))
+            return
+        if event.kind == "truncate":
+            keep = max(1, int(len(payload) * event.magnitude))
+            super().send(bytes(payload[:keep]))
+            return
+        # corrupt: flip one byte at a seed-derived position.
+        data = bytearray(payload)
+        if data:
+            position = int(event.magnitude * len(data)) % len(data)
+            data[position] ^= 0xFF
+        super().send(bytes(data))
+
+
+def faulty_dialer(dial: Callable[[], Channel], plan: FaultPlan,
+                  counter: Optional[OpCounter] = None
+                  ) -> Tuple[Callable[[], Channel], OpCounter]:
+    """Wrap a channel factory so every dialed channel shares *plan*.
+
+    Returns ``(factory, counter)``: the factory hands back each new
+    connection wrapped in a :class:`FaultyChannel` whose op counter
+    continues where the previous connection's left off, and the counter
+    is exposed so tests can assert how far the schedule ran.
+    """
+    shared = counter if counter is not None else OpCounter()
+
+    def _dial() -> Channel:
+        return FaultyChannel(dial(), plan, counter=shared)
+
+    return _dial, shared

@@ -33,7 +33,7 @@ from typing import Deque, Optional, Tuple
 
 from ..analysis.sanitizer import make_lock
 from ..obs.metrics import Metrics, resolve_metrics
-from .base import Channel, TransportError
+from .base import Channel, ChannelTimeout, TransportError
 
 #: Hard ceiling on one frame's payload, validated before allocation.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
@@ -55,11 +55,19 @@ class SocketChannel(Channel):
         metrics: Optional :class:`~repro.obs.Metrics` registry; when
             given, the channel reports ``socket.bytes_in/out`` and
             ``socket.frames_in/out``.  Defaults to the no-op registry.
+        recv_deadline: Optional liveness bound in seconds.  When set, a
+            single :meth:`receive_wait` call that blocks longer than
+            this (because the peer is connected but silent) raises
+            :class:`~repro.transport.base.ChannelTimeout` instead of
+            waiting forever.  A caller-supplied *timeout* shorter than
+            the remaining deadline keeps its usual ``None``-on-timeout
+            semantics.  ``None`` (the default) never raises.
     """
 
     def __init__(self, sock: socketlib.socket,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 metrics: Optional[Metrics] = None):
+                 metrics: Optional[Metrics] = None,
+                 recv_deadline: Optional[float] = None):
         super().__init__()
         metrics = resolve_metrics(metrics)
         self._bytes_out = metrics.counter("socket.bytes_out")
@@ -70,8 +78,13 @@ class SocketChannel(Channel):
             raise ValueError(
                 f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
             )
+        if recv_deadline is not None and recv_deadline <= 0:
+            raise ValueError(
+                f"recv_deadline must be positive, got {recv_deadline}"
+            )
         self._sock = sock
         self._max_frame = max_frame_bytes
+        self._recv_deadline = recv_deadline
         self._buffer = bytearray()
         self._frames: Deque[bytes] = deque()
         self._eof = False
@@ -92,12 +105,14 @@ class SocketChannel(Channel):
     def connect(cls, address: Tuple[str, int],
                 timeout: Optional[float] = 30.0,
                 max_frame_bytes: int = MAX_FRAME_BYTES,
-                metrics: Optional[Metrics] = None
+                metrics: Optional[Metrics] = None,
+                recv_deadline: Optional[float] = None
                 ) -> "SocketChannel":
         """Dial ``(host, port)`` and return the connected channel."""
         sock = socketlib.create_connection(address, timeout=timeout)
         sock.settimeout(None)
-        return cls(sock, max_frame_bytes=max_frame_bytes, metrics=metrics)
+        return cls(sock, max_frame_bytes=max_frame_bytes, metrics=metrics,
+                   recv_deadline=recv_deadline)
 
     # ------------------------------------------------------------------
     # Channel contract
@@ -138,28 +153,37 @@ class SocketChannel(Channel):
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
+        hard = (
+            None if self._recv_deadline is None
+            else time.monotonic() + self._recv_deadline
+        )
         while True:
             payload = self.receive()
             if payload is not None:
                 return payload
             if self.closed:
                 return None
-            if deadline is None:
-                wait = 1.0
-            else:
-                wait = deadline - time.monotonic()
-                if wait <= 0:
-                    return None
+            now = time.monotonic()
+            # The caller's own timeout wins over the liveness deadline:
+            # a short poll below the deadline keeps returning None.
+            if deadline is not None and now >= deadline:
+                return None
+            if hard is not None and now >= hard:
+                raise ChannelTimeout(
+                    f"peer sent nothing for {self._recv_deadline}s "
+                    f"(recv_deadline); presuming it hung"
+                )
+            wait = 1.0
+            if deadline is not None:
+                wait = min(wait, deadline - now)
+            if hard is not None:
+                wait = min(wait, hard - now)
             try:
-                ready, _, _ = select.select([self._sock], [], [],
-                                            min(wait, 1.0))
+                select.select([self._sock], [], [], max(wait, 0.0))
             except (OSError, ValueError):
                 # The socket was closed under us; drain what we have.
                 self._eof = True
                 continue
-            if not ready and deadline is not None \
-                    and time.monotonic() >= deadline:
-                return None
 
     def pending(self) -> int:
         self._pump()
@@ -252,9 +276,11 @@ class SocketListener:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  backlog: int = 16,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 metrics: Optional[Metrics] = None):
+                 metrics: Optional[Metrics] = None,
+                 recv_deadline: Optional[float] = None):
         self._max_frame = max_frame_bytes
         self._metrics = metrics
+        self._recv_deadline = recv_deadline
         self._sock = socketlib.socket(socketlib.AF_INET,
                                       socketlib.SOCK_STREAM)
         self._sock.setsockopt(socketlib.SOL_SOCKET,
@@ -289,7 +315,8 @@ class SocketListener:
         except OSError:
             return None
         return SocketChannel(sock, max_frame_bytes=self._max_frame,
-                             metrics=self._metrics)
+                             metrics=self._metrics,
+                             recv_deadline=self._recv_deadline)
 
     def close(self) -> None:
         if self._closed:

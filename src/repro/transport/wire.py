@@ -21,6 +21,7 @@ rather than silent misparses (same discipline as the chunk protocol).
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
@@ -53,6 +54,10 @@ ERROR = 13         # server → client: {"error"}
 BUSY = 14          # server → client: {"error"} (admission saturated)
 BYE = 15           # client → server: {}
 STATS = 16         # both ways: request {}, reply {}; body = stats JSON
+RESUME = 17        # client → server: {"source_id"}; reply RESUME:
+                   # {"source_id", "last_seq", "finalized"?}
+PING = 18          # client → server: {} (liveness probe)
+PONG = 19          # server → client: {}
 
 _TAG_NAMES = {
     HELLO: "HELLO", WELCOME: "WELCOME", GET_PLAN: "GET_PLAN",
@@ -60,13 +65,18 @@ _TAG_NAMES = {
     INGEST_ACK: "INGEST_ACK", END_INGEST: "END_INGEST",
     COMMIT: "COMMIT", COMMITTED: "COMMITTED", QUERY: "QUERY",
     RESULT: "RESULT", ERROR: "ERROR", BUSY: "BUSY", BYE: "BYE",
-    STATS: "STATS",
+    STATS: "STATS", RESUME: "RESUME", PING: "PING", PONG: "PONG",
 }
 
 #: Header field carrying trace context.  Headers are read with ``.get``
 #: on both ends, so an old peer simply ignores the field — trace
 #: propagation is backward/forward compatible by construction.
 TRACE_FIELD = "trace"
+
+#: Header field carrying a CRC-32 of the message body.  Same tolerant
+#: ``.get`` discipline as :data:`TRACE_FIELD`: an absent field means
+#: "unchecked", so old peers interoperate unchanged.
+CRC_FIELD = "crc"
 
 
 class WireError(ValueError):
@@ -101,6 +111,32 @@ def extract_trace(header: Dict[str, Any]) -> Tuple[str, str] | None:
     if not trace_id or not parent_id:
         return None
     return trace_id, parent_id
+
+
+def attach_crc(header: Dict[str, Any], body: bytes) -> Dict[str, Any]:
+    """Stamp *header* with a CRC-32 of *body* (mutates and returns it).
+
+    The wire codec already rejects truncated *messages*; the CRC closes
+    the remaining gap — a body whose bytes were flipped in flight but
+    whose framing survived.  Ingest payloads are the case that matters:
+    a corrupted chunk frame must bounce back to the sender as a
+    retryable error, never reach a shard worker.
+    """
+    header[CRC_FIELD] = zlib.crc32(bytes(body)) & 0xFFFFFFFF
+    return header
+
+
+def verify_crc(header: Dict[str, Any], body: bytes) -> bool:
+    """True iff *header* carries no CRC or the CRC matches *body*.
+
+    Tolerant like :func:`extract_trace`: a missing or non-integer field
+    passes (old peers never stamp one), only a present-and-mismatched
+    CRC fails.
+    """
+    value = header.get(CRC_FIELD)
+    if not isinstance(value, int) or isinstance(value, bool):
+        return True
+    return (zlib.crc32(bytes(body)) & 0xFFFFFFFF) == (value & 0xFFFFFFFF)
 
 
 def tag_name(tag: int) -> str:

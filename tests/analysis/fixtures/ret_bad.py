@@ -1,0 +1,22 @@
+# ciaolint: module-role=service
+"""Fixture: RET001 — unbounded swallow-and-spin reconnect loops."""
+
+import time
+
+
+def reconnect(dial):
+    while True:
+        try:
+            return dial()
+        except OSError:
+            time.sleep(0.1)
+
+
+def pump(channel, payloads):
+    while True:
+        try:
+            for payload in payloads:
+                channel.send(payload)
+            return
+        except ConnectionError:
+            channel = channel.redial()

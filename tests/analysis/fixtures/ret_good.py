@@ -1,0 +1,39 @@
+# ciaolint: module-role=service
+"""Fixture: bounded retries and exit-bearing poll loops pass RET001."""
+
+import time
+
+
+def reconnect(dial, policy):
+    last = None
+    for pause in policy.pauses():
+        time.sleep(pause)
+        try:
+            return dial()
+        except OSError as exc:
+            last = exc
+    raise last
+
+
+def reconnect_counted(dial):
+    attempts = 0
+    while True:
+        try:
+            return dial()
+        except OSError:
+            attempts += 1
+            if attempts >= 5:
+                raise
+            time.sleep(0.1)
+
+
+def poll(service, channel):
+    while True:
+        if service.closed:
+            return None
+        try:
+            payload = channel.receive_wait(0.25)
+        except (OSError, ValueError):
+            continue
+        if payload is not None:
+            return payload

@@ -34,6 +34,7 @@ def rules_of(result):
      {"API002", "API003", "API004", "API005", "API006"}),
     ("det_bad.py", "det_good.py", "determinism", {"DET001", "DET002"}),
     ("obs_bad.py", "obs_good.py", "observability", {"OBS001"}),
+    ("ret_bad.py", "ret_good.py", "retry-bounds", {"RET001"}),
 ])
 def test_bad_caught_good_clean(bad, good, select, expected):
     bad_rules = rules_of(analyze(bad, select))

@@ -32,7 +32,8 @@ def test_src_json_is_clean_and_well_formed():
     assert doc["findings"] == []
     assert set(doc["checkers"]) == {
         "api-hygiene", "determinism", "lock-discipline",
-        "observability", "protocol-bounds", "yield-under-lock",
+        "observability", "protocol-bounds", "retry-bounds",
+        "yield-under-lock",
     }
 
 

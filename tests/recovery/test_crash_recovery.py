@@ -1,0 +1,226 @@
+"""Crash recovery: durable manifests rebuild servers and sessions.
+
+The contract under test is the paper-system's fault story: a kill -9
+loses at most the unsealed tail (everything past the last checkpoint),
+recovery quarantines torn parts instead of crashing, recovered answers
+are byte-identical over the same sealed set, and the recovered ingest
+ledger makes client replay exactly-once.
+"""
+
+import json
+
+import pytest
+
+from repro.api import CiaoSession
+from repro.api.config import DeploymentConfig
+from repro.client.protocol import encode_chunk
+from repro.obs.metrics import Metrics
+from repro.rawjson.chunks import JsonChunk
+from repro.recovery import Manifest, ManifestError
+from repro.server.ciao import CiaoServer
+from repro.service.results import canonical_result_bytes
+
+
+def batch(i, rows=4):
+    records = [
+        json.dumps({"k": f"v{i % 3}", "n": i}) for _ in range(rows)
+    ]
+    return encode_chunk(JsonChunk(chunk_id=i, records=records))
+
+
+def durable_server(path, **kwargs):
+    kwargs.setdefault("n_shards", 2)
+    kwargs.setdefault("shard_mode", "thread")
+    kwargs.setdefault("seal_interval", 2)
+    return CiaoServer(path, durable=True, **kwargs)
+
+
+def feed(server, seqs, client_id="c1", source_id="src"):
+    session = server.open_ingest_session(source_id)
+    for seq in seqs:
+        session.ingest_sequenced(batch(seq), seq=seq, client_id=client_id)
+    return session
+
+
+class TestDurableManifest:
+    def test_constructor_writes_loading_manifest(self, tmp_path):
+        server = durable_server(tmp_path)
+        path = Manifest.path_for(tmp_path, "t")
+        assert path.exists()
+        _, doc = Manifest.load(path)
+        assert doc["state"] == "loading"
+        assert doc["generation"] == 0
+        assert server.manifest_revision == 1
+
+    def test_non_durable_server_has_no_manifest(self, tmp_path):
+        server = CiaoServer(tmp_path)
+        assert server.manifest_revision is None
+        assert not Manifest.path_for(tmp_path, "t").exists()
+
+    def test_checkpoint_advances_revision(self, tmp_path):
+        server = durable_server(tmp_path)
+        feed(server, range(1, 5))
+        assert server.checkpoint() is True
+        assert server.manifest_revision == 2
+        _, doc = Manifest.load(Manifest.path_for(tmp_path, "t"))
+        assert doc["ledger"] == [["c1", "src", 4]]
+        assert doc["parts"], "checkpoint must record sealed parts"
+
+    def test_finalize_writes_finalized_manifest(self, tmp_path):
+        server = durable_server(tmp_path)
+        feed(server, range(1, 5))
+        server.finalize_loading()
+        _, doc = Manifest.load(Manifest.path_for(tmp_path, "t"))
+        assert doc["state"] == "finalized"
+        assert doc["summary"]["loaded"] == 16
+
+    def test_checkpoint_on_non_durable_is_a_noop(self, tmp_path):
+        server = CiaoServer(tmp_path, n_shards=2, shard_mode="thread",
+                            seal_interval=2)
+        assert server.checkpoint() is False
+
+
+class TestRecovery:
+    def test_midload_recovery_is_byte_identical(self, tmp_path):
+        server = durable_server(tmp_path)
+        feed(server, range(1, 9))
+        assert server.checkpoint() is True
+        sql = "SELECT k, COUNT(*) FROM t GROUP BY k"
+        before = canonical_result_bytes(server.query(sql))
+        # Abandon the server (simulated kill -9) and rebuild from disk.
+        recovered = CiaoServer.recover(tmp_path)
+        assert recovered.state == "loading"
+        assert recovered.generation == 1
+        after = canonical_result_bytes(recovered.query(sql))
+        assert before == after
+
+    def test_uncheckpointed_tail_is_lost_and_replayable(self, tmp_path):
+        server = durable_server(tmp_path)
+        session = feed(server, range(1, 5))
+        server.checkpoint()
+        # These batches are acked but never checkpointed: the crash
+        # eats them, and the recovered watermark says so.
+        for seq in (5, 6):
+            session.ingest_sequenced(batch(seq), seq=seq, client_id="c1")
+        recovered = CiaoServer.recover(tmp_path)
+        assert recovered.ledger_last("c1", "src") == 4
+        replay = recovered.resume_ingest_session("src")
+        results = [
+            replay.ingest_sequenced(batch(seq), seq=seq, client_id="c1")
+            for seq in (3, 4, 5, 6)  # client replays past the watermark
+        ]
+        assert [dup for _, dup in results] == [True, True, False, False]
+        summary = recovered.finalize_loading()
+        assert summary.received == 6 * 4  # every batch exactly once
+
+    def test_finalized_recovery_is_byte_identical(self, tmp_path):
+        server = durable_server(tmp_path)
+        feed(server, range(1, 7))
+        server.finalize_loading()
+        sql = "SELECT k, COUNT(*) FROM t GROUP BY k"
+        before = canonical_result_bytes(server.query(sql))
+        recovered = CiaoServer.recover(tmp_path)
+        assert recovered.state == "finalized"
+        assert canonical_result_bytes(recovered.query(sql)) == before
+
+    def test_torn_part_is_quarantined_not_fatal(self, tmp_path):
+        metrics = Metrics()
+        server = durable_server(tmp_path)
+        feed(server, range(1, 9))
+        server.checkpoint()
+        _, doc = Manifest.load(Manifest.path_for(tmp_path, "t"))
+        victim = tmp_path / doc["parts"][0]["path"]
+        victim.write_bytes(victim.read_bytes()[:10])  # torn footer
+        recovered = CiaoServer.recover(tmp_path, metrics=metrics)
+        counters = metrics.snapshot()["counters"]
+        assert counters["recovery.parts_quarantined"] == 1
+        assert victim.with_suffix(
+            victim.suffix + ".quarantined"
+        ).exists()
+        # The surviving parts still answer.
+        rows = recovered.query("SELECT COUNT(*) FROM t").rows
+        assert 0 < rows[0]["count(*)"] < 32
+
+    def test_recovered_generation_gets_fresh_part_paths(self, tmp_path):
+        server = durable_server(tmp_path)
+        feed(server, range(1, 5))
+        server.checkpoint()
+        recovered = CiaoServer.recover(tmp_path)
+        feed(recovered, range(5, 9))
+        summary = recovered.finalize_loading()
+        assert summary.received == 8 * 4
+        rows = recovered.query("SELECT COUNT(*) FROM t").rows
+        assert rows == [{"count(*)": 32}]
+
+    def test_recover_without_manifest_raises(self, tmp_path):
+        with pytest.raises(ManifestError):
+            CiaoServer.recover(tmp_path)
+
+
+class TestSessionRecovery:
+    def _loaded_dir(self, tmp_path, durable=True):
+        config = DeploymentConfig(durable=durable)
+        with CiaoSession(source="yelp", config=config,
+                         data_dir=tmp_path) as session:
+            session.load(n_records=120).result()
+            return canonical_result_bytes(
+                session.query("SELECT COUNT(*) FROM t")
+            )
+
+    def test_recover_from_data_dir_discovers_load_subdir(self, tmp_path):
+        before = self._loaded_dir(tmp_path)
+        with CiaoSession(recover_from=tmp_path) as session:
+            assert session.server.state == "finalized"
+            after = canonical_result_bytes(
+                session.query("SELECT COUNT(*) FROM t")
+            )
+        assert before == after
+
+    def test_recover_from_manifest_dir_directly(self, tmp_path):
+        before = self._loaded_dir(tmp_path)
+        with CiaoSession(recover_from=tmp_path / "load-0") as session:
+            after = canonical_result_bytes(
+                session.query("SELECT COUNT(*) FROM t")
+            )
+        assert before == after
+
+    def test_recover_restores_plan_and_config(self, tmp_path):
+        config = DeploymentConfig(
+            mode="sharded", n_shards=2, shard_mode="thread",
+            seal_interval=2, durable=True,
+        )
+        with CiaoSession(source="yelp", config=config,
+                         data_dir=tmp_path) as session:
+            session.load(n_records=80).result()
+        with CiaoSession(recover_from=tmp_path) as recovered:
+            assert recovered.config.durable is True
+            assert recovered.config.resolved_n_shards == 2
+            assert recovered.config.seal_interval == 2
+
+    def test_midload_recovery_attaches_external_job(self, tmp_path):
+        config = DeploymentConfig(
+            mode="sharded", n_shards=2, shard_mode="thread",
+            seal_interval=2, durable=True,
+        )
+        session = CiaoSession(config=config, data_dir=tmp_path)
+        job = session.external_load()
+        feed(job.server, range(1, 5))
+        job.server.checkpoint()
+        # Crash: the session object is abandoned un-finalized.
+        recovered = CiaoSession(recover_from=tmp_path)
+        rejoined = recovered.external_load()
+        assert rejoined is recovered.last_job  # attach, not a fresh load
+        assert rejoined.server.state == "loading"
+        feed(rejoined.server, range(5, 7))
+        report = rejoined.finish_external()
+        assert report.received == 6 * 4
+        recovered.close()
+
+    def test_recover_from_empty_dir_raises(self, tmp_path):
+        with pytest.raises(ManifestError, match="MANIFEST-t.json"):
+            CiaoSession(recover_from=tmp_path)
+
+    def test_non_durable_load_leaves_nothing_to_recover(self, tmp_path):
+        self._loaded_dir(tmp_path, durable=False)
+        with pytest.raises(ManifestError):
+            CiaoSession(recover_from=tmp_path)

@@ -1,0 +1,73 @@
+"""IngestLedger: contiguous admission, dedupe, snapshot round-trips."""
+
+import pytest
+
+from repro.recovery import IngestLedger, LedgerError
+
+
+class TestAdmission:
+    def test_fresh_stream_starts_at_one(self):
+        ledger = IngestLedger()
+        assert ledger.last("c", "s") == 0
+        assert ledger.admit("c", "s", 1) is True
+
+    def test_advance_moves_watermark(self):
+        ledger = IngestLedger()
+        ledger.advance("c", "s", 1)
+        assert ledger.last("c", "s") == 1
+        assert ledger.admit("c", "s", 2) is True
+
+    def test_duplicate_is_refused_not_fatal(self):
+        ledger = IngestLedger()
+        ledger.advance("c", "s", 1)
+        ledger.advance("c", "s", 2)
+        assert ledger.admit("c", "s", 1) is False
+        assert ledger.admit("c", "s", 2) is False
+        assert ledger.last("c", "s") == 2
+
+    def test_gap_is_a_protocol_violation(self):
+        ledger = IngestLedger()
+        with pytest.raises(LedgerError, match="jumped"):
+            ledger.admit("c", "s", 3)
+
+    def test_nonpositive_seq_rejected(self):
+        ledger = IngestLedger()
+        with pytest.raises(LedgerError):
+            ledger.admit("c", "s", 0)
+
+    def test_advance_requires_contiguity(self):
+        ledger = IngestLedger()
+        with pytest.raises(LedgerError, match="watermark"):
+            ledger.advance("c", "s", 2)
+
+    def test_streams_are_independent(self):
+        ledger = IngestLedger()
+        ledger.advance("c1", "s", 1)
+        assert ledger.last("c2", "s") == 0
+        assert ledger.last("c1", "other") == 0
+        assert ledger.admit("c2", "s", 1) is True
+
+
+class TestSnapshot:
+    def test_records_round_trip(self):
+        ledger = IngestLedger()
+        ledger.advance("b", "s", 1)
+        ledger.advance("a", "s", 1)
+        ledger.advance("a", "s", 2)
+        records = ledger.to_records()
+        assert records == [["a", "s", 2], ["b", "s", 1]]  # sorted
+        rebuilt = IngestLedger.from_records(records)
+        assert rebuilt.last("a", "s") == 2
+        assert rebuilt.last("b", "s") == 1
+        assert len(rebuilt) == 2
+
+    def test_bad_record_shape_rejected(self):
+        with pytest.raises(LedgerError, match="triples"):
+            IngestLedger.from_records([["a", "s"]])
+
+    def test_snapshot_is_a_copy(self):
+        ledger = IngestLedger()
+        ledger.advance("c", "s", 1)
+        snap = ledger.snapshot()
+        ledger.advance("c", "s", 2)
+        assert snap[("c", "s")] == 1

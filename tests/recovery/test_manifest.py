@@ -1,0 +1,93 @@
+"""Manifest: crash-atomic persistence, revisions, load validation."""
+
+import json
+
+import pytest
+
+from repro.recovery import MANIFEST_FORMAT, Manifest, ManifestError
+from repro.recovery.manifest import MAX_EVENTS
+
+
+class TestWrite:
+    def test_round_trip(self, tmp_path):
+        manifest = Manifest(Manifest.path_for(tmp_path, "t"))
+        assert not manifest.exists
+        rev = manifest.write({"table": "t", "parts": []})
+        assert rev == 1
+        assert manifest.exists
+        loaded, doc = Manifest.load(manifest.path)
+        assert loaded.revision == 1
+        assert doc["table"] == "t"
+        assert doc["format"] == MANIFEST_FORMAT
+
+    def test_revisions_are_monotonic(self, tmp_path):
+        manifest = Manifest(tmp_path / "MANIFEST-t.json")
+        assert manifest.write({}) == 1
+        assert manifest.write({}) == 2
+        _, doc = Manifest.load(manifest.path)
+        assert doc["revision"] == 2
+
+    def test_loaded_manifest_continues_numbering(self, tmp_path):
+        manifest = Manifest(tmp_path / "MANIFEST-t.json")
+        manifest.write({})
+        manifest.write({})
+        loaded, _ = Manifest.load(manifest.path)
+        assert loaded.write({}) == 3
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        manifest = Manifest(tmp_path / "MANIFEST-t.json")
+        manifest.write({"parts": []})
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["MANIFEST-t.json"]
+
+    def test_events_capped(self, tmp_path):
+        manifest = Manifest(tmp_path / "MANIFEST-t.json")
+        manifest.write({"events": [f"e{i}" for i in range(MAX_EVENTS * 2)]})
+        _, doc = Manifest.load(manifest.path)
+        assert len(doc["events"]) == MAX_EVENTS
+        assert doc["events"][-1] == f"e{MAX_EVENTS * 2 - 1}"
+
+    def test_unserializable_doc_leaves_old_revision(self, tmp_path):
+        manifest = Manifest(tmp_path / "MANIFEST-t.json")
+        manifest.write({"table": "t"})
+        with pytest.raises(TypeError):
+            manifest.write({"bad": object()})
+        _, doc = Manifest.load(manifest.path)
+        assert doc["table"] == "t"
+        assert [p.name for p in tmp_path.iterdir()] == ["MANIFEST-t.json"]
+
+
+class TestLoad:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="no readable manifest"):
+            Manifest.load(tmp_path / "MANIFEST-t.json")
+
+    def test_torn_json(self, tmp_path):
+        path = tmp_path / "MANIFEST-t.json"
+        path.write_text('{"format": "ciao-manifest/1", "rev')
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            Manifest.load(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "MANIFEST-t.json"
+        path.write_text(json.dumps({"format": "other/9", "revision": 1}))
+        with pytest.raises(ManifestError, match="format"):
+            Manifest.load(path)
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "MANIFEST-t.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ManifestError, match="JSON object"):
+            Manifest.load(path)
+
+    def test_bad_revision(self, tmp_path):
+        path = tmp_path / "MANIFEST-t.json"
+        path.write_text(json.dumps({
+            "format": MANIFEST_FORMAT, "revision": "x",
+        }))
+        with pytest.raises(ManifestError, match="revision"):
+            Manifest.load(path)
+
+    def test_path_for(self, tmp_path):
+        assert Manifest.path_for(tmp_path, "tbl") == \
+            tmp_path / "MANIFEST-tbl.json"

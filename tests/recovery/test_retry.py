@@ -1,0 +1,67 @@
+"""RetryPolicy: bounded, deterministic, validated."""
+
+import pytest
+
+from repro.recovery import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -0.1},
+        {"max_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+        {"deadline": 0.0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestSchedule:
+    def test_pause_count_is_bounded(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert len(list(policy.backoff())) == 3
+        assert len(list(policy.pauses())) == 4
+
+    def test_first_pause_is_zero(self):
+        pauses = list(RetryPolicy(max_attempts=3).pauses())
+        assert pauses[0] == 0.0
+
+    def test_single_attempt_never_pauses(self):
+        assert list(RetryPolicy(max_attempts=1).pauses()) == [0.0]
+        assert list(RetryPolicy(max_attempts=1).backoff()) == []
+
+    def test_exponential_growth_with_ceiling(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, max_delay=0.4,
+            multiplier=2.0, jitter=0.0,
+        )
+        assert list(policy.backoff()) == pytest.approx(
+            [0.1, 0.2, 0.4, 0.4, 0.4]
+        )
+
+    def test_same_seed_same_pauses(self):
+        a = RetryPolicy(max_attempts=8, jitter=0.3, seed=42)
+        b = RetryPolicy(max_attempts=8, jitter=0.3, seed=42)
+        assert list(a.backoff()) == list(b.backoff())
+        # ... and a fresh iterator restarts the stream.
+        assert list(a.backoff()) == list(a.backoff())
+
+    def test_different_seed_different_jitter(self):
+        a = RetryPolicy(max_attempts=8, jitter=0.3, seed=1)
+        b = RetryPolicy(max_attempts=8, jitter=0.3, seed=2)
+        assert list(a.backoff()) != list(b.backoff())
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            max_attempts=20, base_delay=1.0, max_delay=1.0,
+            multiplier=1.0, jitter=0.25, seed=7,
+        )
+        for pause in policy.backoff():
+            assert 0.75 <= pause <= 1.25

@@ -1,0 +1,213 @@
+"""Chaos harness: seeded fault plans, FaultyChannel, recv deadlines."""
+
+import socket as socketlib
+
+import pytest
+
+from repro.transport import (
+    ChannelTimeout,
+    FaultEvent,
+    FaultPlan,
+    FaultyChannel,
+    OpCounter,
+    SocketChannel,
+    TransportError,
+    faulty_dialer,
+    socket_pair,
+)
+from repro.transport.faults import FAULT_KINDS, MAX_STALL_SECONDS
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        event = FaultEvent(op=3, kind="stall", magnitude=0.5)
+        assert event.op == 3
+
+    @pytest.mark.parametrize("kwargs", [
+        {"op": -1, "kind": "drop"},
+        {"op": 0, "kind": "gremlin"},
+        {"op": 0, "kind": "drop", "magnitude": 1.0},
+        {"op": 0, "kind": "drop", "magnitude": -0.1},
+    ])
+    def test_bad_event_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultEvent(**kwargs)
+
+
+class TestFaultPlan:
+    def test_events_sorted_and_indexed(self):
+        plan = FaultPlan([
+            FaultEvent(op=5, kind="drop"),
+            FaultEvent(op=1, kind="stall"),
+        ], seed=0)
+        assert [e.op for e in plan.events] == [1, 5]
+        assert plan.for_op(5).kind == "drop"
+        assert plan.for_op(2) is None
+        assert len(plan) == 2
+
+    def test_duplicate_op_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fault"):
+            FaultPlan([
+                FaultEvent(op=1, kind="drop"),
+                FaultEvent(op=1, kind="stall"),
+            ], seed=0)
+
+    def test_seed_is_mandatory(self):
+        with pytest.raises(ValueError, match="replayable"):
+            FaultPlan([], seed=None)
+
+    def test_generate_is_a_pure_function_of_args(self):
+        a = FaultPlan.generate(seed=7, n_ops=200, fault_rate=0.3)
+        b = FaultPlan.generate(seed=7, n_ops=200, fault_rate=0.3)
+        assert a.events == b.events
+        assert len(a) > 0
+
+    def test_generate_different_seeds_differ(self):
+        a = FaultPlan.generate(seed=1, n_ops=200, fault_rate=0.3)
+        b = FaultPlan.generate(seed=2, n_ops=200, fault_rate=0.3)
+        assert a.events != b.events
+
+    def test_generate_zero_rate_is_empty(self):
+        assert len(FaultPlan.generate(seed=0, fault_rate=0.0)) == 0
+
+    def test_generate_validates_rate_and_kinds(self):
+        with pytest.raises(ValueError, match="fault_rate"):
+            FaultPlan.generate(seed=0, fault_rate=1.5)
+        with pytest.raises(ValueError, match="gremlin"):
+            FaultPlan.generate(seed=0, kinds=("gremlin",))
+
+
+def plan_for(op, kind, magnitude=0.0):
+    return FaultPlan([FaultEvent(op=op, kind=kind, magnitude=magnitude)],
+                     seed=0)
+
+
+class TestFaultyChannel:
+    def test_unfaulted_ops_pass_through(self):
+        a, b = socket_pair()
+        faulty = FaultyChannel(a, FaultPlan([], seed=0))
+        faulty.send(b"hello")
+        assert b.receive_wait(5.0) == b"hello"
+        assert faulty.injected == {kind: 0 for kind in FAULT_KINDS}
+        a.close()
+        b.close()
+
+    def test_disconnect_kills_the_transport(self):
+        a, b = socket_pair()
+        faulty = FaultyChannel(a, plan_for(0, "disconnect"))
+        with pytest.raises(TransportError, match="injected disconnect"):
+            faulty.send(b"doomed")
+        assert faulty.injected["disconnect"] == 1
+        with pytest.raises(TransportError):
+            a.send(b"after")  # the inner channel really died
+        b.close()
+
+    def test_stall_delays_then_delivers(self):
+        slept = []
+        a, b = socket_pair()
+        faulty = FaultyChannel(a, plan_for(0, "stall", magnitude=0.5),
+                               sleep=slept.append)
+        faulty.send(b"late")
+        assert slept == [pytest.approx(0.5 * MAX_STALL_SECONDS)]
+        assert b.receive_wait(5.0) == b"late"
+        a.close()
+        b.close()
+
+    def test_drop_never_reaches_the_peer(self):
+        a, b = socket_pair()
+        faulty = FaultyChannel(a, plan_for(0, "drop"))
+        faulty.send(b"lost")
+        faulty.send(b"kept")
+        assert b.receive_wait(5.0) == b"kept"
+        assert b.receive() is None
+        assert faulty.stats.messages_dropped == 1
+        a.close()
+        b.close()
+
+    def test_truncate_delivers_a_prefix(self):
+        a, b = socket_pair()
+        faulty = FaultyChannel(a, plan_for(0, "truncate", magnitude=0.5))
+        faulty.send(b"0123456789")
+        assert b.receive_wait(5.0) == b"01234"
+        a.close()
+        b.close()
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        a, b = socket_pair()
+        faulty = FaultyChannel(a, plan_for(0, "corrupt", magnitude=0.5))
+        payload = b"0123456789"
+        faulty.send(payload)
+        got = b.receive_wait(5.0)
+        assert len(got) == len(payload)
+        diffs = [i for i, (x, y) in enumerate(zip(payload, got)) if x != y]
+        assert len(diffs) == 1
+        a.close()
+        b.close()
+
+
+class TestFaultyDialer:
+    def test_counter_spans_reconnects(self):
+        # Fault scheduled at op 1: the first dial's send is clean, the
+        # second dial's first send -- op 1 on the shared counter --
+        # hits it.  A per-channel counter would restart at 0 and miss.
+        plan = plan_for(1, "disconnect")
+        pairs = []
+
+        def dial():
+            a, b = socket_pair()
+            pairs.append((a, b))
+            return a
+
+        factory, counter = faulty_dialer(dial, plan)
+        first = factory()
+        first.send(b"ok")
+        second = factory()
+        with pytest.raises(TransportError):
+            second.send(b"doomed")
+        assert counter.value == 2
+        for a, b in pairs:
+            a.close()
+            b.close()
+
+    def test_explicit_counter_is_shared(self):
+        counter = OpCounter(start=5)
+        factory, shared = faulty_dialer(
+            lambda: socket_pair()[0], FaultPlan([], seed=0),
+            counter=counter,
+        )
+        assert shared is counter
+
+
+class TestRecvDeadline:
+    def _pair(self, **kwargs):
+        raw_a, raw_b = socketlib.socketpair()
+        return SocketChannel(raw_a, **kwargs), SocketChannel(raw_b)
+
+    def test_silent_peer_trips_the_deadline(self):
+        a, b = self._pair(recv_deadline=0.05)
+        with pytest.raises(ChannelTimeout, match="recv_deadline"):
+            a.receive_wait(5.0)
+        a.close()
+        b.close()
+
+    def test_short_poll_returns_none_below_deadline(self):
+        a, b = self._pair(recv_deadline=5.0)
+        assert a.receive_wait(0.01) is None
+        a.close()
+        b.close()
+
+    def test_traffic_satisfies_the_deadline(self):
+        a, b = self._pair(recv_deadline=5.0)
+        b.send(b"alive")
+        assert a.receive_wait(1.0) == b"alive"
+        a.close()
+        b.close()
+
+    def test_nonpositive_deadline_rejected(self):
+        raw_a, raw_b = socketlib.socketpair()
+        try:
+            with pytest.raises(ValueError, match="recv_deadline"):
+                SocketChannel(raw_a, recv_deadline=0.0)
+        finally:
+            raw_a.close()
+            raw_b.close()
